@@ -1,0 +1,57 @@
+//! Ablation — optimistic vs pessimistic write semantics (paper §IV.A,
+//! "tunable write semantics"): the write-throughput vs data-durability
+//! trade-off, measured as session-completion latency at replication 2.
+
+use stdchk_bench::{banner, MB};
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_sim::{SimCluster, SimConfig, WriteJob};
+use stdchk_util::Dur;
+
+fn run(pessimistic: bool, replication: u32) -> (f64, f64) {
+    let mut sim = SimCluster::new(SimConfig::gige(6, 1));
+    let mut job = WriteJob::new(
+        "/sem/f.n0",
+        256 * MB,
+        SessionConfig {
+            protocol: WriteProtocol::SlidingWindow { buffer: 64 << 20 },
+            pessimistic,
+            ..SessionConfig::default()
+        },
+    );
+    job.replication = replication;
+    sim.submit(0, job);
+    let report = sim.run(Dur::from_secs(60));
+    let s = &report.results[0].stats;
+    (
+        s.app_close_at.expect("closed").since(s.open_at).as_secs_f64(),
+        s.done_at.expect("done").since(s.open_at).as_secs_f64(),
+    )
+}
+
+fn main() {
+    banner(
+        "Ablation: write semantics",
+        "optimistic vs pessimistic close at replication 2 (256 MB writes)",
+        "simulated GigE testbed, 6 benefactors",
+    );
+    println!(
+        "{:<28} {:>14} {:>18}",
+        "configuration", "app close (s)", "fully durable (s)"
+    );
+    let (close_opt, done_opt) = run(false, 2);
+    println!("{:<28} {:>14.2} {:>18.2}", "optimistic, repl 2", close_opt, done_opt);
+    let (close_pes, done_pes) = run(true, 2);
+    println!("{:<28} {:>14.2} {:>18.2}", "pessimistic, repl 2", close_pes, done_pes);
+    let (close_r1, done_r1) = run(false, 1);
+    println!("{:<28} {:>14.2} {:>18.2}", "no replication", close_r1, done_r1);
+    println!("\noptimistic clients return at first-copy safety and let background");
+    println!("replication finish; pessimistic clients pay the full durability cost");
+    assert!(
+        done_pes > done_opt,
+        "pessimistic completion must be later: {done_opt} vs {done_pes}"
+    );
+    assert!(
+        (close_opt - close_r1).abs() / close_r1 < 0.3,
+        "optimistic close should barely feel replication: {close_r1} vs {close_opt}"
+    );
+}

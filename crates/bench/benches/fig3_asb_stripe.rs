@@ -1,0 +1,40 @@
+//! Figure 3 — Achieved storage bandwidth (ASB) vs stripe width.
+//!
+//! Paper shape: CLW worst (~45-50 MB/s — it serializes the local dump and
+//! the push), IW in between, SW best and saturating with two benefactors.
+
+use stdchk_bench::{banner, full_scale, protocols, run_sim_write, session_for, MB};
+use stdchk_sim::SimConfig;
+
+fn main() {
+    let size = 1000 * MB; let _ = full_scale();
+    banner(
+        "Figure 3",
+        "ASB vs stripe width (1 GB writes in the paper)",
+        &format!("{} MB files on the simulated GigE testbed (paper scale)", size / MB),
+    );
+    println!("{:<8} {:>8} {:>8} {:>8}  (MB/s)", "stripe", "CLW", "IW", "SW");
+    let mut last = Vec::new();
+    for stripe in [1usize, 2, 4, 8] {
+        let mut row = Vec::new();
+        for (_, protocol) in protocols() {
+            let (_, asb) = run_sim_write(
+                SimConfig::gige(stripe, 1),
+                stripe as u32,
+                size,
+                session_for(protocol),
+            );
+            row.push(asb);
+        }
+        println!(
+            "{:<8} {:>8.1} {:>8.1} {:>8.1}",
+            stripe, row[0], row[1], row[2]
+        );
+        last = row;
+    }
+    println!("\npaper anchors at stripe 8: CLW ≈ 45, IW ≈ 70, SW ≈ 85 MB/s");
+    assert!(
+        last[0] < last[1] && last[1] <= last[2] + 5.0,
+        "ASB ordering CLW < IW <= SW violated: {last:?}"
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 4 — Sliding-window OAB vs stripe width for different write-buffer
+//! sizes (32–512 MB).
+//!
+//! Paper shape: two benefactors saturate the link regardless of buffer;
+//! larger buffers never hurt and help most at small stripe widths.
+
+use stdchk_bench::{banner, full_scale, run_sim_write, session_for, MB};
+use stdchk_core::session::write::WriteProtocol;
+use stdchk_sim::SimConfig;
+
+fn main() {
+    let size = if full_scale() { 1000 * MB } else { 256 * MB };
+    banner(
+        "Figure 4",
+        "SW OAB vs stripe width across buffer sizes",
+        &format!("{} MB files on the simulated GigE testbed", size / MB),
+    );
+    let buffers = [32u64, 64, 128, 256, 512];
+    print!("{:<8}", "stripe");
+    for b in buffers {
+        print!(" {b:>6}MB");
+    }
+    println!("   (OAB, MB/s)");
+    let mut grid = Vec::new();
+    for stripe in [1usize, 2, 4, 8] {
+        print!("{stripe:<8}");
+        let mut row = Vec::new();
+        for buffer in buffers {
+            let (oab, _) = run_sim_write(
+                SimConfig::gige(stripe, 1),
+                stripe as u32,
+                size,
+                session_for(WriteProtocol::SlidingWindow { buffer: buffer << 20 }),
+            );
+            print!(" {oab:>8.1}");
+            row.push(oab);
+        }
+        println!();
+        grid.push(row);
+    }
+    println!("\npaper anchor: saturation at stripe 2; ~110-130 MB/s plateau");
+    for row in &grid[1..] {
+        assert!(
+            row.last().unwrap() + 5.0 >= row[0],
+            "bigger buffers must not hurt: {row:?}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 5 — Sliding-window ASB vs stripe width across buffer sizes.
+//!
+//! Paper shape: like Figure 4, slightly lower (the data must also land on
+//! benefactor disks): saturation at two benefactors, ~80-110 MB/s plateau.
+
+use stdchk_bench::{banner, full_scale, run_sim_write, session_for, MB};
+use stdchk_core::session::write::WriteProtocol;
+use stdchk_sim::SimConfig;
+
+fn main() {
+    let size = if full_scale() { 1000 * MB } else { 256 * MB };
+    banner(
+        "Figure 5",
+        "SW ASB vs stripe width across buffer sizes",
+        &format!("{} MB files on the simulated GigE testbed", size / MB),
+    );
+    let buffers = [32u64, 64, 128, 256, 512];
+    print!("{:<8}", "stripe");
+    for b in buffers {
+        print!(" {b:>6}MB");
+    }
+    println!("   (ASB, MB/s)");
+    let mut at_stripe2 = 0.0;
+    for stripe in [1usize, 2, 4, 8] {
+        print!("{stripe:<8}");
+        for buffer in buffers {
+            let (_, asb) = run_sim_write(
+                SimConfig::gige(stripe, 1),
+                stripe as u32,
+                size,
+                session_for(WriteProtocol::SlidingWindow { buffer: buffer << 20 }),
+            );
+            if stripe == 2 && buffer == 128 {
+                at_stripe2 = asb;
+            }
+            print!(" {asb:>8.1}");
+        }
+        println!();
+    }
+    println!("\npaper anchor: ASB saturates with two benefactors (~80-110 MB/s)");
+    assert!(at_stripe2 > 70.0, "stripe-2 ASB too low: {at_stripe2}");
+}

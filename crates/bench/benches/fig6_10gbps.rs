@@ -1,0 +1,36 @@
+//! Figure 6 — Sliding-window write on the 10 Gbps testbed (§V.D): one fat
+//! client (10 GbE, SATA), benefactors on 1 GbE.
+//!
+//! Paper: OAB and ASB keep scaling with stripe width (no client-NIC
+//! saturation): up to 325 MB/s OAB and 225 MB/s ASB with four benefactors.
+
+use stdchk_bench::{banner, full_scale, run_sim_write, session_for, MB};
+use stdchk_core::session::write::WriteProtocol;
+use stdchk_sim::SimConfig;
+
+fn main() {
+    let size = if full_scale() { 1000 * MB } else { 512 * MB };
+    banner(
+        "Figure 6",
+        "OAB/ASB of SW on the 10 GbE client vs stripe width",
+        &format!("{} MB files, 512 MB buffer", size / MB),
+    );
+    println!("{:<8} {:>10} {:>10}  (MB/s)", "stripe", "OAB", "ASB");
+    let mut oabs = Vec::new();
+    for stripe in [1usize, 2, 3, 4] {
+        let (oab, asb) = run_sim_write(
+            SimConfig::ten_gige(stripe),
+            stripe as u32,
+            size,
+            session_for(WriteProtocol::SlidingWindow { buffer: 512 << 20 }),
+        );
+        println!("{stripe:<8} {oab:>10.1} {asb:>10.1}");
+        oabs.push(oab);
+    }
+    println!("\npaper anchors: OAB 325 MB/s and ASB 225 MB/s at stripe 4, near-linear scaling");
+    assert!(
+        oabs[3] > 2.5 * oabs[0],
+        "10 GbE client must keep scaling: {oabs:?}"
+    );
+    assert!(oabs[3] > 250.0, "4-benefactor OAB too low: {}", oabs[3]);
+}

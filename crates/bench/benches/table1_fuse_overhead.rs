@@ -1,0 +1,29 @@
+//! Table 1 — Time to write a 1 GB file: local I/O, FUSE→local, /stdchk/null.
+//!
+//! Paper: 11.80 s / 12.00 s / 1.04 s — FUSE overhead ≈2 %, per-call cost
+//! ≈32 µs. Reproduced from the simulator's platform model, which uses
+//! exactly these calibration constants everywhere else.
+
+use stdchk_bench::{banner, compare};
+use stdchk_sim::baselines::table1_seconds;
+use stdchk_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Table 1",
+        "time to write a 1 GB file through each local path",
+        "paper-scale (1 GB, analytic platform model)",
+    );
+    let cfg = SimConfig::gige(4, 1);
+    let (local, fuse, null) = table1_seconds(&cfg);
+    compare("Local I/O", 11.80, local, "s");
+    compare("FUSE to local I/O", 12.00, fuse, "s");
+    compare("/stdchk/null", 1.04, null, "s");
+    let overhead = (fuse - local) / local * 100.0;
+    println!("\nFUSE overhead on top of local I/O: {overhead:.1}% (paper: ≈2%)");
+    println!(
+        "implied per-call user-space crossing: {:.0} µs (paper: ≈32 µs)",
+        cfg.fuse_per_call.as_nanos() as f64 / 1e3
+    );
+    assert!(fuse > local && null < local, "table 1 orderings violated");
+}

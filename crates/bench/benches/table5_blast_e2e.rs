@@ -1,0 +1,102 @@
+//! Table 5 — BLAST end-to-end: total execution time, checkpointing time and
+//! data volume, checkpointing to the local disk vs to stdchk (SW + FsCH).
+//!
+//! Paper: −1.3 % total execution time, −27 % checkpointing time, −69 % data
+//! (3.55 TB → 1.14 TB). The application model alternates compute intervals
+//! with checkpoint writes; stdchk runs SW with FsCH dedup over a BLCR-like
+//! trace whose cross-version similarity matches the paper's 69 % reduction.
+
+use stdchk_bench::{banner, compare, full_scale, MB};
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_sim::baselines::local_io_time;
+use stdchk_sim::{SimCluster, SimConfig, WriteJob};
+use stdchk_util::Dur;
+use stdchk_workloads::{AppRun, VirtualTrace};
+
+fn main() {
+    let scale = if full_scale() { 4 } else { 16 };
+    let run = AppRun::blast_like(scale);
+    banner(
+        "Table 5",
+        "BLAST end-to-end: local disk vs stdchk (SW + FsCH)",
+        &format!(
+            "{} checkpoints of {} MB, {}s compute intervals (paper: ~13k × 280 MB)",
+            run.checkpoints,
+            run.image_size / MB,
+            run.compute_per_interval.as_secs_f64()
+        ),
+    );
+    let cfg = SimConfig::gige(4, 1);
+
+    // Baseline: checkpoint to the local disk.
+    let local_ckpt = local_io_time(&cfg, run.image_size).as_secs_f64() * run.checkpoints as f64;
+    let local_total = run.total_compute().as_secs_f64() + local_ckpt;
+    let local_data = run.total_bytes() as f64;
+
+    // stdchk: SW + FsCH over the similarity-bearing trace.
+    let chunks = (run.image_size / (1 << 20)) as usize;
+    let mut trace = VirtualTrace::new(chunks, run.similarity, 17);
+    let mut sim = SimCluster::new(cfg);
+    for _ in 0..run.checkpoints {
+        let mut job = WriteJob::new(
+            "/blast/run.n0",
+            run.image_size,
+            SessionConfig {
+                protocol: WriteProtocol::SlidingWindow { buffer: 256 << 20 },
+                dedup: true,
+                ..SessionConfig::default()
+            },
+        );
+        job.tags = Some(trace.next_tags());
+        sim.submit(0, job);
+    }
+    let report = sim.run(Dur::from_secs(1));
+    let stdchk_ckpt: f64 = report
+        .results
+        .iter()
+        .map(|r| {
+            r.stats
+                .app_close_at
+                .expect("closed")
+                .since(r.stats.open_at)
+                .as_secs_f64()
+        })
+        .sum();
+    let stdchk_total = run.total_compute().as_secs_f64() + stdchk_ckpt;
+    let stdchk_data: u64 = report.results.iter().map(|r| r.stats.bytes_stored).sum();
+
+    println!("{:<26} {:>14} {:>14} {:>12}", "", "local disk", "stdchk", "improvement");
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>11.1}%",
+        "total execution time (s)",
+        local_total,
+        stdchk_total,
+        (local_total - stdchk_total) / local_total * 100.0
+    );
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>11.1}%",
+        "checkpointing time (s)",
+        local_ckpt,
+        stdchk_ckpt,
+        (local_ckpt - stdchk_ckpt) / local_ckpt * 100.0
+    );
+    println!(
+        "{:<26} {:>14.2} {:>14.2} {:>11.1}%",
+        "data size (GB)",
+        local_data / 1e9,
+        stdchk_data as f64 / 1e9,
+        (local_data - stdchk_data as f64) / local_data * 100.0
+    );
+    println!();
+    compare("paper total-time improvement", 1.3, (local_total - stdchk_total) / local_total * 100.0, "%");
+    compare("paper checkpoint-time improvement", 27.0, (local_ckpt - stdchk_ckpt) / local_ckpt * 100.0, "%");
+    compare(
+        "paper data reduction",
+        69.0,
+        (local_data - stdchk_data as f64) / local_data * 100.0,
+        "%",
+    );
+    let data_red = (local_data - stdchk_data as f64) / local_data;
+    assert!((0.55..0.8).contains(&data_red), "data reduction should be ≈69%: {data_red}");
+    assert!(stdchk_ckpt < local_ckpt, "stdchk must speed up checkpointing");
+}

@@ -1,0 +1,150 @@
+//! Shared support for the paper-reproduction benchmark harness.
+//!
+//! Every table and figure of the ICDCS'08 evaluation has one `harness =
+//! false` bench target that regenerates it and prints `paper vs measured`
+//! rows. Network/storage-bound experiments run on the discrete-event
+//! simulator (calibrated to the paper's testbed constants); CPU-bound
+//! similarity-detection experiments run the real chunking implementations.
+//!
+//! Sizes are scaled down by default so `cargo bench` completes in minutes;
+//! set `STDCHK_BENCH_FULL=1` for paper-scale runs. Each harness prints its
+//! scale. Absolute numbers are not the reproduction target — orderings,
+//! saturation points, and ratios are.
+
+use std::time::Instant;
+
+use stdchk_chunker::{Chunker, SimilarityTracker};
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_sim::{SimCluster, SimConfig, WriteJob};
+use stdchk_util::bytesize::to_mbps;
+use stdchk_util::Dur;
+use stdchk_workloads::{TraceConfig, TraceGenerator};
+
+/// Decimal megabyte (the paper's unit).
+pub const MB: u64 = 1_000_000;
+
+/// True when paper-scale sizes were requested via `STDCHK_BENCH_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("STDCHK_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints a harness banner.
+pub fn banner(id: &str, caption: &str, scale_note: &str) {
+    println!("\n==============================================================================");
+    println!("{id}: {caption}");
+    println!("scale: {scale_note}");
+    println!("==============================================================================");
+}
+
+/// Prints one `paper vs measured` line.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    println!("{label:<44} paper {paper:>9.1} {unit:<5} | measured {measured:>9.1} {unit}");
+}
+
+/// Runs one write job on a fresh simulated pool and returns `(OAB, ASB)` in
+/// MB/s.
+pub fn run_sim_write(
+    cfg: SimConfig,
+    stripe: u32,
+    size: u64,
+    session: SessionConfig,
+) -> (f64, f64) {
+    let mut sim = SimCluster::new(cfg);
+    let mut job = WriteJob::new("/bench/f.n0", size, session);
+    job.stripe_width = stripe;
+    sim.submit(0, job);
+    let report = sim.run(Dur::from_secs(1));
+    assert!(!report.results[0].failed, "bench job failed");
+    (to_mbps(report.mean_oab()), to_mbps(report.mean_asb()))
+}
+
+/// A protocol under its paper label.
+pub fn protocols() -> Vec<(&'static str, WriteProtocol)> {
+    vec![
+        ("CLW", WriteProtocol::CompleteLocal),
+        ("IW", WriteProtocol::Incremental { temp_size: 32 << 20 }),
+        ("SW", WriteProtocol::SlidingWindow { buffer: 64 << 20 }),
+    ]
+}
+
+/// Session config for a protocol with defaults.
+pub fn session_for(protocol: WriteProtocol) -> SessionConfig {
+    SessionConfig {
+        protocol,
+        ..SessionConfig::default()
+    }
+}
+
+/// Measured outcome of running a chunking heuristic over a trace.
+#[derive(Clone, Copy, Debug)]
+pub struct HeuristicRun {
+    /// Mean detected similarity across successive images, in `[0,1]`.
+    pub similarity: f64,
+    /// Heuristic throughput over the trace bytes, MB/s.
+    pub throughput_mbps: f64,
+    /// Mean chunk size in bytes.
+    pub avg_chunk: f64,
+    /// Mean per-image minimum chunk size.
+    pub min_chunk: f64,
+    /// Mean per-image maximum chunk size.
+    pub max_chunk: f64,
+}
+
+/// Runs a real chunker over a generated trace, measuring similarity and
+/// wall-clock throughput (the paper's Table 3/4 methodology).
+pub fn run_heuristic(chunker: &dyn Chunker, trace: TraceConfig) -> HeuristicRun {
+    let gen = TraceGenerator::new(trace);
+    let mut tracker = SimilarityTracker::new();
+    let mut stats = Vec::new();
+    let mut bytes = 0u64;
+    let start = Instant::now();
+    for image in gen.images() {
+        bytes += image.len() as u64;
+        let chunks = chunker.split(&image);
+        stats.push(stdchk_chunker::ChunkStats::of(&chunks));
+        tracker.observe(&chunks);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (avg, min, max) = stdchk_chunker::ChunkStats::trace_averages(&stats);
+    HeuristicRun {
+        similarity: tracker.mean_ratio(),
+        throughput_mbps: bytes as f64 / MB as f64 / elapsed.max(1e-9),
+        avg_chunk: avg,
+        min_chunk: min,
+        max_chunk: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stdchk_chunker::FsChunker;
+    use stdchk_workloads::TraceKind;
+
+    #[test]
+    fn heuristic_runner_produces_sane_numbers() {
+        let run = run_heuristic(
+            &FsChunker::new(4096),
+            TraceConfig {
+                image_size: 1 << 20,
+                count: 3,
+                kind: TraceKind::blcr_5min(),
+                seed: 1,
+            },
+        );
+        assert!(run.similarity > 0.1 && run.similarity < 0.5);
+        assert!(run.throughput_mbps > 1.0);
+        assert!(run.avg_chunk > 0.0);
+    }
+
+    #[test]
+    fn sim_write_runner_works() {
+        let (oab, asb) = run_sim_write(
+            SimConfig::gige(2, 1),
+            2,
+            64 * MB,
+            session_for(WriteProtocol::SlidingWindow { buffer: 32 << 20 }),
+        );
+        assert!(oab > 50.0 && asb > 30.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! CbCH: content-based compare-by-hash (LBFS-style chunking).
+//!
+//! See the crate docs for the overlap / no-overlap / rolling distinction and
+//! the paper's throughput implications.
+
+use std::ops::Range;
+
+use crate::Chunker;
+use stdchk_util::rolling::{is_boundary, RollingHash, WindowHash};
+
+/// How the scan window advances between boundary tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Advance {
+    /// `p = 1`: test a window at every byte offset (paper's "overlap").
+    /// Maximal boundary-site coverage, `m×` hashing cost per byte.
+    Overlap,
+    /// `p = m`: advance by the window size (paper's "no-overlap"). Each byte
+    /// is hashed once; boundary sites are tested every `m` bytes.
+    NoOverlap,
+}
+
+/// Paper-faithful CbCH: recomputes the full `m`-byte window hash at every
+/// tested position, exactly as the ICDCS'08 prototype did — which is what
+/// makes the overlap variant measure ~1 MB/s in Table 3.
+///
+/// A chunk boundary is declared after a window whose (whitened) hash has its
+/// lowest `k` bits zero; scanning resumes with a fresh window after the cut.
+/// An optional `max_chunk` cap bounds chunk size in low-entropy regions
+/// where boundaries never fire (disabled by default, matching the paper).
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_chunker::{CbChunker, Chunker};
+///
+/// let data: Vec<u8> = (0..50_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+/// let c = CbChunker::no_overlap(32, 6); // expected chunk ≈ 32·2^6 = 2 KiB
+/// let ranges = c.ranges(&data);
+/// assert!(ranges.len() > 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CbChunker {
+    m: usize,
+    k: u32,
+    advance: Advance,
+    max_chunk: usize,
+}
+
+impl CbChunker {
+    /// Creates a CbCH chunker with explicit parameters and no chunk cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k >= 64`.
+    pub fn new(m: usize, k: u32, advance: Advance) -> CbChunker {
+        assert!(m > 0, "window must be non-empty");
+        assert!(k < 64, "k must be < 64");
+        CbChunker {
+            m,
+            k,
+            advance,
+            max_chunk: usize::MAX,
+        }
+    }
+
+    /// Overlap variant (`p = 1`).
+    pub fn overlap(m: usize, k: u32) -> CbChunker {
+        CbChunker::new(m, k, Advance::Overlap)
+    }
+
+    /// No-overlap variant (`p = m`).
+    pub fn no_overlap(m: usize, k: u32) -> CbChunker {
+        CbChunker::new(m, k, Advance::NoOverlap)
+    }
+
+    /// Caps chunk size: a boundary is forced once a chunk reaches `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < m`.
+    pub fn with_max_chunk(mut self, max: usize) -> CbChunker {
+        assert!(max >= self.m, "max chunk must fit a window");
+        self.max_chunk = max;
+        self
+    }
+
+    /// Window size `m` in bytes.
+    pub fn window(&self) -> usize {
+        self.m
+    }
+
+    /// Boundary bits `k`.
+    pub fn boundary_bits(&self) -> u32 {
+        self.k
+    }
+
+    /// The advance regime.
+    pub fn advance(&self) -> Advance {
+        self.advance
+    }
+
+    fn step(&self) -> usize {
+        match self.advance {
+            Advance::Overlap => 1,
+            Advance::NoOverlap => self.m,
+        }
+    }
+}
+
+impl Chunker for CbChunker {
+    fn ranges(&self, data: &[u8]) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut chunk_start = 0usize;
+        let mut pos = chunk_start; // window start
+        let step = self.step();
+        while chunk_start < data.len() {
+            // Forced cut at the current window *start* keeps the cut a
+            // multiple of the advance step past `chunk_start`, preserving
+            // the scan phase that no-overlap's similarity detection relies
+            // on for in-place modifications. The cap is therefore honoured
+            // at step granularity (cut at the largest step multiple ≤ max).
+            if pos - chunk_start > self.max_chunk.saturating_sub(step) {
+                out.push(chunk_start..pos);
+                chunk_start = pos;
+                continue;
+            }
+            if pos + self.m > data.len() {
+                // No more full windows: the tail is the final chunk.
+                out.push(chunk_start..data.len());
+                break;
+            }
+            // Paper-faithful: full window hash recomputed at each position.
+            let h = WindowHash::hash(&data[pos..pos + self.m]);
+            let cut = pos + self.m;
+            if is_boundary(h, self.k) && cut - chunk_start <= self.max_chunk {
+                out.push(chunk_start..cut);
+                chunk_start = cut;
+                pos = cut;
+            } else {
+                pos += step;
+            }
+        }
+        if data.is_empty() {
+            out.clear();
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        let mode = match self.advance {
+            Advance::Overlap => "overlap",
+            Advance::NoOverlap => "no-overlap",
+        };
+        format!("CbCH {mode} m={}B k={}b", self.m, self.k)
+    }
+}
+
+/// Extension: CbCH boundary rule evaluated with an O(1)-slide rolling hash.
+///
+/// Tests a boundary at *every* byte offset (like [`Advance::Overlap`]) but
+/// hashes each byte only once, so it keeps overlap-grade similarity detection
+/// at no-overlap-grade (better, in fact) throughput. Not part of the paper —
+/// the `ablation_cbch_rolling` bench quantifies the gap this closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CbRollingChunker {
+    m: usize,
+    k: u32,
+    max_chunk: usize,
+}
+
+impl CbRollingChunker {
+    /// Creates a rolling-hash CbCH chunker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k >= 64`.
+    pub fn new(m: usize, k: u32) -> CbRollingChunker {
+        assert!(m > 0, "window must be non-empty");
+        assert!(k < 64, "k must be < 64");
+        CbRollingChunker {
+            m,
+            k,
+            max_chunk: usize::MAX,
+        }
+    }
+
+    /// Caps chunk size, as [`CbChunker::with_max_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < m`.
+    pub fn with_max_chunk(mut self, max: usize) -> CbRollingChunker {
+        assert!(max >= self.m, "max chunk must fit a window");
+        self.max_chunk = max;
+        self
+    }
+}
+
+impl Chunker for CbRollingChunker {
+    fn ranges(&self, data: &[u8]) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        if data.is_empty() {
+            return out;
+        }
+        let mut chunk_start = 0usize;
+        let mut rh = RollingHash::new(self.m);
+        loop {
+            // Fill the window starting at chunk_start.
+            rh.reset();
+            let fill_end = (chunk_start + self.m).min(data.len());
+            for &b in &data[chunk_start..fill_end] {
+                rh.push(b);
+            }
+            // Bytes [window_end - m, window_end) are in rh once full.
+            let mut window_end = fill_end;
+            if !rh.is_full() {
+                // Tail shorter than a window: final chunk.
+                out.push(chunk_start..data.len());
+                return out;
+            }
+            // Slide until boundary or cap or end of data.
+            loop {
+                let cut = window_end;
+                if (is_boundary(rh.value(), self.k) && cut > chunk_start)
+                    || cut - chunk_start >= self.max_chunk
+                {
+                    out.push(chunk_start..cut);
+                    chunk_start = cut;
+                    if chunk_start >= data.len() {
+                        return out;
+                    }
+                    break; // refill fresh window after the cut
+                }
+                if window_end >= data.len() {
+                    out.push(chunk_start..data.len());
+                    return out;
+                }
+                rh.slide(data[window_end - self.m], data[window_end]);
+                window_end += 1;
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("CbCH rolling m={}B k={}b", self.m, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::assert_tiles;
+    use crate::Chunker;
+    use stdchk_proto::ids::ChunkId;
+    use stdchk_util::mix64;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        (0..len).map(|i| mix64(seed ^ i as u64) as u8).collect()
+    }
+
+    #[test]
+    fn tiles_for_all_variants_and_lengths() {
+        for len in [0usize, 1, 19, 20, 21, 1000, 50_000] {
+            let data = noise(len, 1);
+            assert_tiles(&CbChunker::overlap(20, 6), &data);
+            assert_tiles(&CbChunker::no_overlap(20, 6), &data);
+            assert_tiles(&CbRollingChunker::new(20, 6), &data);
+        }
+    }
+
+    #[test]
+    fn expected_chunk_size_scales_with_k() {
+        let data = noise(1 << 20, 2);
+        let small = CbChunker::no_overlap(32, 4).ranges(&data).len();
+        let large = CbChunker::no_overlap(32, 8).ranges(&data).len();
+        // k=4 → ~2 KiB chunks; k=8 → ~8 KiB chunks; ratio ≈ 2^4 = 16.
+        let ratio = small as f64 / large as f64;
+        assert!(
+            (8.0..32.0).contains(&ratio),
+            "chunk count ratio {ratio} (small={small}, large={large})"
+        );
+    }
+
+    #[test]
+    fn insertion_only_perturbs_nearby_chunks() {
+        // The paper's motivation for CbCH: inserting a few bytes should
+        // leave most chunks (hence most detected similarity) intact.
+        let base = noise(200_000, 3);
+        let mut edited = base.clone();
+        let insert_at = 100_000;
+        edited.splice(insert_at..insert_at, [1u8, 2, 3].iter().copied());
+        let c = CbChunker::overlap(16, 7);
+        let ids_base: std::collections::HashSet<ChunkId> =
+            c.split(&base).into_iter().map(|e| e.id).collect();
+        let chunks_edited = c.split(&edited);
+        let dup_bytes: u64 = chunks_edited
+            .iter()
+            .filter(|e| ids_base.contains(&e.id))
+            .map(|e| e.size as u64)
+            .sum();
+        let ratio = dup_bytes as f64 / edited.len() as f64;
+        assert!(ratio > 0.95, "similarity after insertion only {ratio}");
+    }
+
+    #[test]
+    fn fsch_like_alignment_failure_does_not_happen_with_overlap() {
+        // Contrast test with FsCH: prefix insertion preserves CbCH chunks
+        // when every byte offset is a candidate boundary (overlap mode).
+        let base = noise(100_000, 4);
+        let mut shifted = vec![0u8; 5];
+        shifted.extend_from_slice(&base);
+        let c = CbChunker::overlap(20, 6);
+        let ids_base: std::collections::HashSet<ChunkId> =
+            c.split(&base).into_iter().map(|e| e.id).collect();
+        let dup_bytes: u64 = c
+            .split(&shifted)
+            .into_iter()
+            .filter(|e| ids_base.contains(&e.id))
+            .map(|e| e.size as u64)
+            .sum();
+        let ratio = dup_bytes as f64 / shifted.len() as f64;
+        assert!(ratio > 0.9, "shift-resilience too weak: {ratio}");
+    }
+
+    #[test]
+    fn no_overlap_detects_in_place_modification() {
+        // No-overlap only tests boundaries every m bytes from the last cut,
+        // so it is phase-sensitive to insertions — but in-place page
+        // mutations (the dominant change in BLCR process images) keep the
+        // phase and must still be detected.
+        let base = noise(200_000, 6);
+        let mut edited = base.clone();
+        for i in 60_000..64_096 {
+            edited[i] ^= 0x5a; // dirty a 4 KiB page
+        }
+        let c = CbChunker::no_overlap(20, 6);
+        let ids_base: std::collections::HashSet<ChunkId> =
+            c.split(&base).into_iter().map(|e| e.id).collect();
+        let dup_bytes: u64 = c
+            .split(&edited)
+            .into_iter()
+            .filter(|e| ids_base.contains(&e.id))
+            .map(|e| e.size as u64)
+            .sum();
+        let ratio = dup_bytes as f64 / edited.len() as f64;
+        assert!(ratio > 0.9, "in-place resilience too weak: {ratio}");
+    }
+
+    #[test]
+    fn rolling_matches_overlap_boundaries() {
+        // The rolling chunker evaluates the same predicate at every byte
+        // offset, so on data where overlap tests every position they agree.
+        let data = noise(30_000, 5);
+        let a = CbChunker::overlap(16, 6).ranges(&data);
+        let b = CbRollingChunker::new(16, 6).ranges(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_chunk_caps_low_entropy_runs() {
+        // All-zero data never fires a (non-zero-hash) boundary; the cap must
+        // bound chunk size.
+        let data = vec![0u8; 100_000];
+        let c = CbChunker::no_overlap(20, 10).with_max_chunk(4096);
+        let ranges = c.ranges(&data);
+        assert!(ranges.iter().all(|r| r.end - r.start <= 4096));
+        assert_tiles(&c, &data);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(CbChunker::overlap(20, 14).label(), "CbCH overlap m=20B k=14b");
+        assert_eq!(
+            CbRollingChunker::new(32, 10).label(),
+            "CbCH rolling m=32B k=10b"
+        );
+    }
+}

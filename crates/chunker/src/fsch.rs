@@ -1,0 +1,108 @@
+//! FsCH: fixed-size compare-by-hash.
+
+use std::ops::Range;
+
+use crate::Chunker;
+use stdchk_util::bytesize::fmt_bytes;
+
+/// Fixed-size chunking: boundaries every `chunk_size` bytes.
+///
+/// The paper evaluates 1 KB, 256 KB and 1 MB chunk sizes (Table 3) and
+/// integrates FsCH into the stdchk prototype because it offers the best
+/// throughput/similarity balance.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_chunker::{Chunker, FsChunker};
+///
+/// let c = FsChunker::new(4);
+/// let ranges = c.ranges(&[0u8; 10]);
+/// assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsChunker {
+    chunk_size: usize,
+}
+
+impl FsChunker {
+    /// Creates a fixed-size chunker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: usize) -> FsChunker {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        FsChunker { chunk_size }
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+}
+
+impl Chunker for FsChunker {
+    fn ranges(&self, data: &[u8]) -> Vec<Range<usize>> {
+        let mut out = Vec::with_capacity(data.len() / self.chunk_size + 1);
+        let mut pos = 0;
+        while pos < data.len() {
+            let end = (pos + self.chunk_size).min(data.len());
+            out.push(pos..end);
+            pos = end;
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        format!("FsCH {}", fmt_bytes(self.chunk_size as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::assert_tiles;
+    use stdchk_proto::ids::ChunkId;
+
+    #[test]
+    fn tiles_various_sizes() {
+        for len in [0usize, 1, 1023, 1024, 1025, 4096] {
+            let data = vec![9u8; len];
+            assert_tiles(&FsChunker::new(1024), &data);
+        }
+    }
+
+    #[test]
+    fn identical_aligned_content_shares_ids() {
+        let a = vec![1u8; 4096];
+        let c = FsChunker::new(1024);
+        let chunks = c.split(&a);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|e| e.id == chunks[0].id));
+    }
+
+    #[test]
+    fn one_byte_insertion_destroys_alignment() {
+        // The paper's stated weakness: an insertion at the front prevents
+        // FsCH from detecting any similarity.
+        let base: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+        let mut shifted = vec![0xffu8];
+        shifted.extend_from_slice(&base);
+        let c = FsChunker::new(1024);
+        let ids_a: std::collections::HashSet<ChunkId> =
+            c.split(&base).into_iter().map(|e| e.id).collect();
+        let dup = c
+            .split(&shifted)
+            .into_iter()
+            .filter(|e| ids_a.contains(&e.id))
+            .count();
+        assert_eq!(dup, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_size_panics() {
+        let _ = FsChunker::new(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Similarity accounting between successive checkpoint images.
+//!
+//! The paper's metric ("ratio of detected similarity", Tables 3/4) is the
+//! fraction of a new image's bytes that duplicate chunks already present in
+//! the previous image. [`SimilarityTracker`] runs that accounting over a
+//! stream of images; it also supports comparing against *all* prior versions
+//! (what a content-addressed store actually achieves).
+
+use std::collections::HashSet;
+
+use stdchk_proto::chunkmap::ChunkEntry;
+use stdchk_proto::ids::ChunkId;
+
+/// What the new image was compared against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompareScope {
+    /// Only the immediately preceding image (the paper's metric).
+    #[default]
+    Previous,
+    /// Every chunk stored so far (what content addressing achieves).
+    AllHistory,
+}
+
+/// Byte-level accounting for one observed image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimilarityReport {
+    /// Total bytes in the image.
+    pub total_bytes: u64,
+    /// Bytes whose chunks already existed in the comparison scope.
+    pub dup_bytes: u64,
+    /// Bytes in chunks that must actually be stored/transferred (distinct
+    /// new chunks only — repeats within the image are also deduplicated).
+    pub new_bytes: u64,
+}
+
+impl SimilarityReport {
+    /// Detected similarity in `[0, 1]` (the paper's percentage).
+    pub fn ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.dup_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Tracks chunk sets across a sequence of checkpoint images.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_chunker::{Chunker, FsChunker, SimilarityTracker};
+///
+/// let c = FsChunker::new(1024);
+/// let mut tracker = SimilarityTracker::new();
+/// let v1 = vec![1u8; 8192];
+/// let mut v2 = v1.clone();
+/// v2[0] = 2; // dirty one chunk
+/// tracker.observe(&c.split(&v1));
+/// let rep = tracker.observe(&c.split(&v2));
+/// // 7 of 8 chunks unchanged.
+/// assert!((rep.ratio() - 7.0 / 8.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimilarityTracker {
+    scope: CompareScope,
+    previous: HashSet<ChunkId>,
+    history: HashSet<ChunkId>,
+    reports: Vec<SimilarityReport>,
+}
+
+impl SimilarityTracker {
+    /// Creates a tracker comparing against the previous image only.
+    pub fn new() -> SimilarityTracker {
+        SimilarityTracker::default()
+    }
+
+    /// Creates a tracker with an explicit comparison scope.
+    pub fn with_scope(scope: CompareScope) -> SimilarityTracker {
+        SimilarityTracker {
+            scope,
+            ..SimilarityTracker::default()
+        }
+    }
+
+    /// Accounts one image (already chunked) and returns its report.
+    pub fn observe(&mut self, chunks: &[ChunkEntry]) -> SimilarityReport {
+        let baseline: &HashSet<ChunkId> = match self.scope {
+            CompareScope::Previous => &self.previous,
+            CompareScope::AllHistory => &self.history,
+        };
+        let mut report = SimilarityReport::default();
+        let mut fresh: HashSet<ChunkId> = HashSet::with_capacity(chunks.len());
+        let mut new_distinct: HashSet<ChunkId> = HashSet::new();
+        for e in chunks {
+            report.total_bytes += e.size as u64;
+            if baseline.contains(&e.id) {
+                report.dup_bytes += e.size as u64;
+            } else if new_distinct.insert(e.id) {
+                report.new_bytes += e.size as u64;
+            }
+            fresh.insert(e.id);
+        }
+        self.history.extend(fresh.iter().copied());
+        self.previous = fresh;
+        self.reports.push(report);
+        report
+    }
+
+    /// Reports for every observed image, in order. The first image always
+    /// reports zero similarity (nothing to compare against).
+    pub fn reports(&self) -> &[SimilarityReport] {
+        &self.reports
+    }
+
+    /// Mean similarity ratio across all images *after the first* — the
+    /// paper's "average rate of detected similarity".
+    pub fn mean_ratio(&self) -> f64 {
+        if self.reports.len() <= 1 {
+            return 0.0;
+        }
+        let tail = &self.reports[1..];
+        tail.iter().map(|r| r.ratio()).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Total bytes across all observed images.
+    pub fn total_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.total_bytes).sum()
+    }
+
+    /// Total bytes that had to be stored (distinct new chunks only) — the
+    /// "storage space and network effort" the paper reports savings on.
+    pub fn stored_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.new_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chunker, FsChunker};
+
+    #[test]
+    fn first_image_reports_zero_similarity() {
+        let c = FsChunker::new(16);
+        let mut t = SimilarityTracker::new();
+        let r = t.observe(&c.split(&[1u8; 64]));
+        assert_eq!(r.dup_bytes, 0);
+        assert_eq!(t.mean_ratio(), 0.0);
+    }
+
+    #[test]
+    fn identical_images_are_fully_similar() {
+        let c = FsChunker::new(16);
+        let img = vec![3u8; 160];
+        let mut t = SimilarityTracker::new();
+        t.observe(&c.split(&img));
+        let r = t.observe(&c.split(&img));
+        assert_eq!(r.ratio(), 1.0);
+        assert_eq!(r.new_bytes, 0);
+    }
+
+    #[test]
+    fn previous_scope_forgets_older_versions() {
+        let c = FsChunker::new(4);
+        let a = vec![1u8; 16];
+        let b = vec![2u8; 16];
+        let mut t = SimilarityTracker::new();
+        t.observe(&c.split(&a));
+        t.observe(&c.split(&b));
+        // `a` again: previous (=b) has no a-chunks.
+        let r = t.observe(&c.split(&a));
+        assert_eq!(r.dup_bytes, 0);
+    }
+
+    #[test]
+    fn all_history_scope_remembers() {
+        let c = FsChunker::new(4);
+        let a = vec![1u8; 16];
+        let b = vec![2u8; 16];
+        let mut t = SimilarityTracker::with_scope(CompareScope::AllHistory);
+        t.observe(&c.split(&a));
+        t.observe(&c.split(&b));
+        let r = t.observe(&c.split(&a));
+        assert_eq!(r.ratio(), 1.0);
+    }
+
+    #[test]
+    fn intra_image_repeats_counted_once_in_new_bytes() {
+        let c = FsChunker::new(4);
+        // 4 identical chunks: total 16, but only 4 bytes must be stored.
+        let img = vec![7u8; 16];
+        let mut t = SimilarityTracker::new();
+        let r = t.observe(&c.split(&img));
+        assert_eq!(r.total_bytes, 16);
+        assert_eq!(r.new_bytes, 4);
+    }
+
+    #[test]
+    fn stored_bytes_accumulates_savings() {
+        let c = FsChunker::new(8);
+        let img = vec![5u8; 64];
+        let mut t = SimilarityTracker::new();
+        t.observe(&c.split(&img));
+        t.observe(&c.split(&img));
+        t.observe(&c.split(&img));
+        assert_eq!(t.total_bytes(), 192);
+        // Only the first image's single distinct chunk is ever stored.
+        assert_eq!(t.stored_bytes(), 8);
+    }
+}

@@ -1,0 +1,101 @@
+//! Chunk-size statistics for Table 4's avg/min/max columns.
+
+use stdchk_proto::chunkmap::ChunkEntry;
+
+/// Size distribution of one image's chunks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChunkStats {
+    /// Number of chunks.
+    pub count: usize,
+    /// Total bytes.
+    pub total: u64,
+    /// Smallest chunk in bytes (0 when empty).
+    pub min: u64,
+    /// Largest chunk in bytes (0 when empty).
+    pub max: u64,
+}
+
+impl ChunkStats {
+    /// Computes stats over a chunk list.
+    pub fn of(chunks: &[ChunkEntry]) -> ChunkStats {
+        if chunks.is_empty() {
+            return ChunkStats::default();
+        }
+        let mut s = ChunkStats {
+            count: chunks.len(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        };
+        for c in chunks {
+            let sz = c.size as u64;
+            s.total += sz;
+            s.min = s.min.min(sz);
+            s.max = s.max.max(sz);
+        }
+        s
+    }
+
+    /// Mean chunk size in bytes (0 when empty).
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Merges per-image stats into trace-level averages: returns
+    /// `(avg size, avg min, avg max)` across images, the quantities Table 4
+    /// reports.
+    pub fn trace_averages(per_image: &[ChunkStats]) -> (f64, f64, f64) {
+        if per_image.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = per_image.len() as f64;
+        let avg = per_image.iter().map(|s| s.avg()).sum::<f64>() / n;
+        let min = per_image.iter().map(|s| s.min as f64).sum::<f64>() / n;
+        let max = per_image.iter().map(|s| s.max as f64).sum::<f64>() / n;
+        (avg, min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stdchk_proto::ids::ChunkId;
+
+    fn entry(n: u64, size: u32) -> ChunkEntry {
+        ChunkEntry {
+            id: ChunkId::test_id(n),
+            size,
+        }
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ChunkStats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg(), 0.0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let s = ChunkStats::of(&[entry(1, 10), entry(2, 30), entry(3, 20)]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.avg(), 20.0);
+    }
+
+    #[test]
+    fn trace_averages_average_over_images() {
+        let a = ChunkStats::of(&[entry(1, 10), entry(2, 30)]); // avg 20
+        let b = ChunkStats::of(&[entry(3, 40)]); // avg 40
+        let (avg, min, max) = ChunkStats::trace_averages(&[a, b]);
+        assert_eq!(avg, 30.0);
+        assert_eq!(min, 25.0); // (10+40)/2
+        assert_eq!(max, 35.0); // (30+40)/2
+    }
+}

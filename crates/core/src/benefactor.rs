@@ -1,0 +1,1197 @@
+//! The benefactor (storage donor) state machine (paper §IV.A).
+//!
+//! Benefactors keep their responsibilities deliberately minimal to ease
+//! integration: publish status and free space through soft-state
+//! registration (heartbeats), serve chunk store/retrieve requests, execute
+//! replication copy orders, and run garbage collection. They additionally
+//! hold client-stashed chunk-maps so a failed manager can recover committed
+//! files (the ⅔-concurrence protocol).
+//!
+//! Chunk *data* lives behind the driver (a real directory of files in
+//! `stdchk-net`, nothing at all in the simulator); the state machine tracks
+//! the authoritative index of chunk ids, sizes and store times, and emits
+//! [`BenefactorAction::Store`]/[`BenefactorAction::Load`] for the driver to
+//! fulfil.
+
+use std::collections::HashMap;
+
+use stdchk_proto::chunkmap::ChunkEntry;
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
+use stdchk_proto::msg::{Msg, ReplicaCopy};
+use stdchk_proto::ErrorCode;
+use stdchk_util::{Dur, Time};
+
+use crate::payload::Payload;
+use crate::MANAGER_NODE;
+
+/// Benefactor timing/behaviour knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenefactorConfig {
+    /// Heartbeat (soft-state registration refresh) period.
+    pub heartbeat_every: Dur,
+    /// Chunks younger than this are withheld from GC reports, protecting
+    /// in-flight writes whose chunk-map has not been committed yet.
+    pub gc_grace: Dur,
+    /// Minimum spacing between GC reports.
+    pub gc_min_interval: Dur,
+    /// Replication transfer timeout (a copy with no ack in this window is
+    /// reported failed).
+    pub put_timeout: Dur,
+    /// How often stashed commits are re-offered to the manager.
+    pub reoffer_every: Dur,
+    /// Stashed commits older than this are discarded.
+    pub stash_ttl: Dur,
+}
+
+impl Default for BenefactorConfig {
+    fn default() -> Self {
+        BenefactorConfig {
+            heartbeat_every: Dur::from_secs(5),
+            gc_grace: Dur::from_secs(600),
+            gc_min_interval: Dur::from_secs(30),
+            put_timeout: Dur::from_secs(30),
+            reoffer_every: Dur::from_secs(10),
+            stash_ttl: Dur::from_secs(3600),
+        }
+    }
+}
+
+impl BenefactorConfig {
+    /// Tight timers for unit tests.
+    pub fn fast_for_tests() -> BenefactorConfig {
+        BenefactorConfig {
+            heartbeat_every: Dur::from_millis(50),
+            gc_grace: Dur::from_millis(100),
+            gc_min_interval: Dur::from_millis(100),
+            put_timeout: Dur::from_millis(200),
+            reoffer_every: Dur::from_millis(100),
+            stash_ttl: Dur::from_secs(10),
+        }
+    }
+}
+
+/// One output of the benefactor state machine.
+#[derive(Clone, Debug)]
+pub enum BenefactorAction {
+    /// Send a protocol message.
+    Send {
+        /// Destination node (the manager, a client, or a peer benefactor).
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Persist chunk data; call [`Benefactor::on_store_complete`] when done.
+    Store {
+        /// Completion correlation token.
+        op: u64,
+        /// The chunk being stored.
+        chunk: ChunkId,
+        /// The data (possibly virtual).
+        payload: Payload,
+    },
+    /// Read chunk data back; call [`Benefactor::on_load_complete`].
+    Load {
+        /// Completion correlation token.
+        op: u64,
+        /// The chunk to read.
+        chunk: ChunkId,
+        /// Size on record (drivers without a blob store cost the read with
+        /// this; drivers with one may ignore it).
+        size: u32,
+    },
+    /// Remove chunk data from the backing store (no completion needed).
+    Drop {
+        /// The chunk to remove.
+        chunk: ChunkId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct ChunkInfo {
+    size: u32,
+    stored_at: Time,
+}
+
+#[derive(Clone, Debug)]
+struct PendingStore {
+    req: RequestId,
+    chunk: ChunkId,
+    reply_to: NodeId,
+}
+
+#[derive(Clone, Debug)]
+enum LoadPurpose {
+    ServeGet { req: RequestId, to: NodeId },
+    ReplPush { job: u64, copy: ReplicaCopy },
+}
+
+#[derive(Clone, Debug)]
+struct JobState {
+    outstanding: usize,
+    done: Vec<ReplicaCopy>,
+    failed: Vec<ReplicaCopy>,
+}
+
+#[derive(Clone, Debug)]
+struct OutstandingPut {
+    job: u64,
+    copy: ReplicaCopy,
+    sent_at: Time,
+}
+
+#[derive(Clone, Debug)]
+struct Stash {
+    path: String,
+    entries: Vec<ChunkEntry>,
+    placements: Vec<(ChunkId, Vec<NodeId>)>,
+    stored_at: Time,
+    last_offer_req: Option<RequestId>,
+}
+
+/// The benefactor state machine.
+#[derive(Debug)]
+pub struct Benefactor {
+    id: NodeId,
+    total: u64,
+    used: u64,
+    cfg: BenefactorConfig,
+    index: HashMap<ChunkId, ChunkInfo>,
+    next_op: u64,
+    next_req: u64,
+    joined: bool,
+    join_req: Option<RequestId>,
+    last_heartbeat: Option<Time>,
+    gc_due: bool,
+    last_gc: Option<Time>,
+    last_reoffer: Option<Time>,
+    pending_stores: HashMap<u64, PendingStore>,
+    pending_loads: HashMap<u64, LoadPurpose>,
+    repl_jobs: HashMap<u64, JobState>,
+    outstanding_puts: HashMap<RequestId, OutstandingPut>,
+    stash: Vec<Stash>,
+    advertised_addr: String,
+}
+
+impl Benefactor {
+    /// Creates a benefactor contributing `total` bytes.
+    ///
+    /// Pass `NodeId(0)` to have the node acquire an id from the manager via
+    /// `JoinRequest` (the real-network flow); a non-zero id skips joining
+    /// and registers implicitly through heartbeats (the simulator flow).
+    pub fn new(id: NodeId, total: u64, cfg: BenefactorConfig) -> Benefactor {
+        Benefactor {
+            id,
+            total,
+            used: 0,
+            cfg,
+            index: HashMap::new(),
+            next_op: 1,
+            next_req: 1,
+            joined: id != NodeId(0),
+            join_req: None,
+            last_heartbeat: None,
+            gc_due: false,
+            last_gc: None,
+            last_reoffer: None,
+            pending_stores: HashMap::new(),
+            pending_loads: HashMap::new(),
+            repl_jobs: HashMap::new(),
+            outstanding_puts: HashMap::new(),
+            stash: Vec::new(),
+            advertised_addr: String::new(),
+        }
+    }
+
+    /// Sets the dial address announced to the manager in `JoinRequest`
+    /// (real-network deployments; the simulator leaves it empty).
+    pub fn set_advertised_addr(&mut self, addr: impl Into<String>) {
+        self.advertised_addr = addr.into();
+    }
+
+    /// This node's id (0 until joined).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Free bytes (total minus indexed chunks).
+    pub fn free_space(&self) -> u64 {
+        self.total.saturating_sub(self.used)
+    }
+
+    /// Bytes currently indexed.
+    pub fn used_space(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of chunks stored.
+    pub fn chunk_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if this benefactor stores `chunk`.
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        self.index.contains_key(&chunk)
+    }
+
+    /// Seeds the index from a persistent blob store at restart: the chunks
+    /// become immediately servable and GC-reportable.
+    pub fn adopt_existing(&mut self, chunks: impl IntoIterator<Item = (ChunkId, u32)>, now: Time) {
+        for (id, size) in chunks {
+            if self
+                .index
+                .insert(
+                    id,
+                    ChunkInfo {
+                        size,
+                        stored_at: now,
+                    },
+                )
+                .is_none()
+            {
+                self.used += size as u64;
+            }
+        }
+    }
+
+    fn req(&mut self) -> RequestId {
+        self.next_req += 1;
+        RequestId(self.next_req)
+    }
+
+    fn op(&mut self) -> u64 {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    /// Processes one inbound message.
+    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<BenefactorAction> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::JoinOk { req, node, .. } => {
+                // Accept any join grant while unjoined: a duplicate
+                // JoinRequest (e.g. after a dropped reply) may be answered
+                // out of order.
+                let _ = req;
+                if !self.joined {
+                    self.id = node;
+                    self.joined = true;
+                    self.join_req = None;
+                    self.emit_heartbeat(now, &mut out);
+                }
+            }
+            Msg::HeartbeatAck { gc_due, .. } => {
+                if gc_due {
+                    self.gc_due = true;
+                }
+            }
+            Msg::PutChunk {
+                req,
+                chunk,
+                size,
+                data,
+                ..
+            } => self.on_put(from, req, chunk, size, data, now, &mut out),
+            Msg::GetChunk { req, chunk } => self.on_get(from, req, chunk, &mut out),
+            Msg::DeleteChunks { chunks } => {
+                for c in chunks {
+                    self.remove_chunk(c, &mut out);
+                }
+            }
+            Msg::GcReply { deletable, .. } => {
+                for c in deletable {
+                    self.remove_chunk(c, &mut out);
+                }
+            }
+            Msg::ReplicateCmd { job, copies } => self.on_replicate(job, copies, &mut out),
+            Msg::PutChunkOk { req, .. } => self.on_put_ack(req, true, &mut out),
+            Msg::ErrorReply { req, .. } => {
+                // Either a failed replication transfer or a stale reply.
+                self.on_put_ack(req, false, &mut out);
+            }
+            Msg::StashCommit {
+                req,
+                path,
+                entries,
+                placements,
+            } => {
+                self.stash.push(Stash {
+                    path,
+                    entries,
+                    placements,
+                    stored_at: now,
+                    last_offer_req: None,
+                });
+                out.push(BenefactorAction::Send {
+                    to: from,
+                    msg: Msg::Ack { req },
+                });
+            }
+            Msg::Ack { req } => {
+                // Ack of a re-offer: the manager has (re)learned this commit.
+                self.stash.retain(|s| s.last_offer_req != Some(req));
+            }
+            other => {
+                if let Some(req) = other.request_id() {
+                    out.push(BenefactorAction::Send {
+                        to: from,
+                        msg: Msg::ErrorReply {
+                            req,
+                            code: ErrorCode::BadRequest,
+                            detail: format!("benefactor cannot serve tag {}", other.wire_tag()),
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn on_put(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        chunk: ChunkId,
+        size: u32,
+        data: bytes::Bytes,
+        now: Time,
+        out: &mut Vec<BenefactorAction>,
+    ) {
+        if !self.joined {
+            // Until the pool identity is known, acknowledgements would be
+            // unattributable; make the client fail over.
+            out.push(BenefactorAction::Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::Unavailable,
+                    detail: "benefactor has not joined the pool yet".to_string(),
+                },
+            });
+            return;
+        }
+        if self.index.contains_key(&chunk) {
+            // Content-addressed dedup: already stored, ack immediately.
+            out.push(BenefactorAction::Send {
+                to: from,
+                msg: Msg::PutChunkOk {
+                    req,
+                    chunk,
+                    node: self.id,
+                },
+            });
+            return;
+        }
+        if !data.is_empty() {
+            if data.len() != size as usize {
+                out.push(BenefactorAction::Send {
+                    to: from,
+                    msg: Msg::ErrorReply {
+                        req,
+                        code: ErrorCode::BadRequest,
+                        detail: format!("size field {size} != payload {}", data.len()),
+                    },
+                });
+                return;
+            }
+            if !chunk.verify(&data) {
+                // Content-based addressability doubles as an integrity
+                // check: refuse tampered or corrupted data.
+                out.push(BenefactorAction::Send {
+                    to: from,
+                    msg: Msg::ErrorReply {
+                        req,
+                        code: ErrorCode::Corrupt,
+                        detail: "chunk data does not match its content hash".to_string(),
+                    },
+                });
+                return;
+            }
+        }
+        if self.used + size as u64 > self.total {
+            out.push(BenefactorAction::Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NoSpace,
+                    detail: format!("{} bytes free", self.free_space()),
+                },
+            });
+            return;
+        }
+        self.index.insert(
+            chunk,
+            ChunkInfo {
+                size,
+                stored_at: now,
+            },
+        );
+        self.used += size as u64;
+        let op = self.op();
+        let payload = if data.is_empty() {
+            Payload::Virtual { size, tag: 0 }
+        } else {
+            Payload::Real(data)
+        };
+        self.pending_stores.insert(
+            op,
+            PendingStore {
+                req,
+                chunk,
+                reply_to: from,
+            },
+        );
+        out.push(BenefactorAction::Store { op, chunk, payload });
+    }
+
+    /// Driver callback: the `Store` for `op` hit stable storage.
+    pub fn on_store_complete(&mut self, op: u64, _now: Time) -> Vec<BenefactorAction> {
+        let Some(p) = self.pending_stores.remove(&op) else {
+            return Vec::new();
+        };
+        vec![BenefactorAction::Send {
+            to: p.reply_to,
+            msg: Msg::PutChunkOk {
+                req: p.req,
+                chunk: p.chunk,
+                node: self.id,
+            },
+        }]
+    }
+
+    fn on_get(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        chunk: ChunkId,
+        out: &mut Vec<BenefactorAction>,
+    ) {
+        if !self.index.contains_key(&chunk) {
+            out.push(BenefactorAction::Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("chunk {chunk} not stored here"),
+                },
+            });
+            return;
+        }
+        let size = self.index[&chunk].size;
+        let op = self.op();
+        self.pending_loads
+            .insert(op, LoadPurpose::ServeGet { req, to: from });
+        out.push(BenefactorAction::Load { op, chunk, size });
+    }
+
+    /// Driver callback: the `Load` for `op` finished with `payload`.
+    pub fn on_load_complete(
+        &mut self,
+        op: u64,
+        chunk: ChunkId,
+        payload: Payload,
+        now: Time,
+    ) -> Vec<BenefactorAction> {
+        let Some(purpose) = self.pending_loads.remove(&op) else {
+            return Vec::new();
+        };
+        match purpose {
+            LoadPurpose::ServeGet { req, to } => vec![BenefactorAction::Send {
+                to,
+                msg: Msg::GetChunkOk {
+                    req,
+                    chunk,
+                    size: payload.len() as u32,
+                    data: payload.bytes(),
+                },
+            }],
+            LoadPurpose::ReplPush { job, copy } => {
+                let req = self.req();
+                self.outstanding_puts.insert(
+                    req,
+                    OutstandingPut {
+                        job,
+                        copy,
+                        sent_at: now,
+                    },
+                );
+                vec![BenefactorAction::Send {
+                    to: copy.target,
+                    msg: Msg::PutChunk {
+                        req,
+                        chunk,
+                        size: payload.len() as u32,
+                        data: payload.bytes(),
+                        background: true,
+                    },
+                }]
+            }
+        }
+    }
+
+    fn on_replicate(&mut self, job: u64, copies: Vec<ReplicaCopy>, out: &mut Vec<BenefactorAction>) {
+        let mut state = JobState {
+            outstanding: 0,
+            done: Vec::new(),
+            failed: Vec::new(),
+        };
+        for copy in copies {
+            if let Some(info) = self.index.get(&copy.chunk) {
+                let size = info.size;
+                state.outstanding += 1;
+                let op = self.op();
+                self.pending_loads
+                    .insert(op, LoadPurpose::ReplPush { job, copy });
+                out.push(BenefactorAction::Load {
+                    op,
+                    chunk: copy.chunk,
+                    size,
+                });
+            } else {
+                state.failed.push(copy);
+            }
+        }
+        if state.outstanding == 0 {
+            out.push(self.report_job(job, state));
+        } else {
+            self.repl_jobs.insert(job, state);
+        }
+    }
+
+    fn on_put_ack(&mut self, req: RequestId, ok: bool, out: &mut Vec<BenefactorAction>) {
+        let Some(put) = self.outstanding_puts.remove(&req) else {
+            return;
+        };
+        let Some(mut state) = self.repl_jobs.remove(&put.job) else {
+            return;
+        };
+        state.outstanding -= 1;
+        if ok {
+            state.done.push(put.copy);
+        } else {
+            state.failed.push(put.copy);
+        }
+        if state.outstanding == 0 {
+            out.push(self.report_job(put.job, state));
+        } else {
+            self.repl_jobs.insert(put.job, state);
+        }
+    }
+
+    fn report_job(&mut self, job: u64, state: JobState) -> BenefactorAction {
+        BenefactorAction::Send {
+            to: MANAGER_NODE,
+            msg: Msg::ReplicateReport {
+                job,
+                node: self.id,
+                done: state.done,
+                failed: state.failed,
+            },
+        }
+    }
+
+    fn remove_chunk(&mut self, chunk: ChunkId, out: &mut Vec<BenefactorAction>) {
+        if let Some(info) = self.index.remove(&chunk) {
+            self.used = self.used.saturating_sub(info.size as u64);
+            out.push(BenefactorAction::Drop { chunk });
+        }
+    }
+
+    fn emit_heartbeat(&mut self, now: Time, out: &mut Vec<BenefactorAction>) {
+        self.last_heartbeat = Some(now);
+        out.push(BenefactorAction::Send {
+            to: MANAGER_NODE,
+            msg: Msg::Heartbeat {
+                node: self.id,
+                free_space: self.free_space(),
+                total_space: self.total,
+                addr: self.advertised_addr.clone(),
+            },
+        });
+    }
+
+    /// Runs time-based behaviour: joining, heartbeats, GC reports,
+    /// replication timeouts, stash re-offers.
+    pub fn tick(&mut self, now: Time) -> Vec<BenefactorAction> {
+        let mut out = Vec::new();
+        if !self.joined {
+            let due = self
+                .last_heartbeat
+                .map(|t| now.since(t) >= self.cfg.heartbeat_every)
+                .unwrap_or(true);
+            if due {
+                let req = self.req();
+                self.join_req = Some(req);
+                self.last_heartbeat = Some(now);
+                out.push(BenefactorAction::Send {
+                    to: MANAGER_NODE,
+                    msg: Msg::JoinRequest {
+                        req,
+                        addr: self.advertised_addr.clone(),
+                        total_space: self.total,
+                    },
+                });
+            }
+            return out;
+        }
+        let hb_due = self
+            .last_heartbeat
+            .map(|t| now.since(t) >= self.cfg.heartbeat_every)
+            .unwrap_or(true);
+        if hb_due {
+            self.emit_heartbeat(now, &mut out);
+        }
+        if self.gc_due {
+            let gc_ok = self
+                .last_gc
+                .map(|t| now.since(t) >= self.cfg.gc_min_interval)
+                .unwrap_or(true);
+            if gc_ok {
+                self.gc_due = false;
+                self.last_gc = Some(now);
+                let req = self.req();
+                let mut chunks: Vec<ChunkId> = self
+                    .index
+                    .iter()
+                    .filter(|(_, info)| now.since(info.stored_at) >= self.cfg.gc_grace)
+                    .map(|(id, _)| *id)
+                    .collect();
+                chunks.sort_unstable();
+                out.push(BenefactorAction::Send {
+                    to: MANAGER_NODE,
+                    msg: Msg::GcReport {
+                        req,
+                        node: self.id,
+                        chunks,
+                    },
+                });
+            }
+        }
+        // Replication transfer timeouts.
+        let mut timed_out: Vec<RequestId> = self
+            .outstanding_puts
+            .iter()
+            .filter(|(_, p)| now.since(p.sent_at) > self.cfg.put_timeout)
+            .map(|(r, _)| *r)
+            .collect();
+        timed_out.sort_unstable();
+        for req in timed_out {
+            self.on_put_ack(req, false, &mut out);
+        }
+        // Stash maintenance.
+        self.stash
+            .retain(|s| now.since(s.stored_at) <= self.cfg.stash_ttl);
+        let reoffer_due = self
+            .last_reoffer
+            .map(|t| now.since(t) >= self.cfg.reoffer_every)
+            .unwrap_or(true);
+        if reoffer_due && !self.stash.is_empty() {
+            self.last_reoffer = Some(now);
+            let id = self.id;
+            let mut offers = Vec::new();
+            for s in &mut self.stash {
+                let req = RequestId(self.next_req + 1);
+                self.next_req += 1;
+                s.last_offer_req = Some(req);
+                offers.push(BenefactorAction::Send {
+                    to: MANAGER_NODE,
+                    msg: Msg::ReofferCommit {
+                        req,
+                        node: id,
+                        path: s.path.clone(),
+                        entries: s.entries.clone(),
+                        placements: s.placements.clone(),
+                    },
+                });
+            }
+            out.extend(offers);
+        }
+        out
+    }
+
+    /// Number of stashed (not yet manager-acknowledged) commits.
+    pub fn stashed_commits(&self) -> usize {
+        self.stash.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn send_msgs(actions: &[BenefactorAction]) -> Vec<&Msg> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                BenefactorAction::Send { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn make() -> Benefactor {
+        Benefactor::new(NodeId(5), 1 << 20, BenefactorConfig::fast_for_tests())
+    }
+
+    #[test]
+    fn pre_assigned_id_heartbeats_without_joining() {
+        let mut b = make();
+        let out = b.tick(Time::ZERO);
+        let msgs = send_msgs(&out);
+        assert!(matches!(msgs[0], Msg::Heartbeat { node: NodeId(5), .. }));
+        // No duplicate heartbeat before the period elapses.
+        assert!(b.tick(Time::ZERO + Dur::from_millis(10)).is_empty());
+        let out = b.tick(Time::ZERO + Dur::from_millis(60));
+        assert!(!send_msgs(&out).is_empty());
+    }
+
+    #[test]
+    fn zero_id_joins_first() {
+        let mut b = Benefactor::new(NodeId(0), 1 << 20, BenefactorConfig::fast_for_tests());
+        let out = b.tick(Time::ZERO);
+        let req = match send_msgs(&out)[0] {
+            Msg::JoinRequest { req, .. } => *req,
+            other => panic!("expected join, got {other:?}"),
+        };
+        let out = b.handle_msg(
+            MANAGER_NODE,
+            Msg::JoinOk {
+                req,
+                node: NodeId(9),
+                heartbeat_every: Dur::from_millis(50),
+            },
+            Time::ZERO,
+        );
+        assert_eq!(b.id(), NodeId(9));
+        assert!(matches!(
+            send_msgs(&out)[0],
+            Msg::Heartbeat { node: NodeId(9), .. }
+        ));
+    }
+
+    #[test]
+    fn put_stores_then_acks() {
+        let mut b = make();
+        let data = Bytes::from_static(b"hello chunk");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: data.len() as u32,
+                data,
+                background: false,
+            },
+            Time::ZERO,
+        );
+        let op = match &out[0] {
+            BenefactorAction::Store { op, .. } => *op,
+            other => panic!("expected store, got {other:?}"),
+        };
+        assert!(b.contains(chunk));
+        assert_eq!(b.used_space(), 11);
+        let out = b.on_store_complete(op, Time::ZERO);
+        match &out[0] {
+            BenefactorAction::Send { to, msg } => {
+                assert_eq!(*to, NodeId(7));
+                assert!(matches!(msg, Msg::PutChunkOk { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_put_acks_without_storing() {
+        let mut b = make();
+        let data = Bytes::from_static(b"x");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: 1,
+                data: data.clone(),
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let out = b.handle_msg(
+            NodeId(8),
+            Msg::PutChunk {
+                req: RequestId(2),
+                chunk,
+                size: 1,
+                data,
+                background: false,
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(
+            &out[0],
+            BenefactorAction::Send { msg: Msg::PutChunkOk { .. }, .. }
+        ));
+        assert_eq!(b.used_space(), 1, "no double accounting");
+    }
+
+    #[test]
+    fn corrupt_put_is_rejected() {
+        let mut b = make();
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk: ChunkId::for_content(b"expected"),
+                size: 6,
+                data: Bytes::from_static(b"actual"),
+                background: false,
+            },
+            Time::ZERO,
+        );
+        match send_msgs(&out)[0] {
+            Msg::ErrorReply { code, .. } => assert_eq!(*code, ErrorCode::Corrupt),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(b.chunk_count(), 0);
+    }
+
+    #[test]
+    fn put_beyond_capacity_is_no_space() {
+        let mut b = Benefactor::new(NodeId(5), 10, BenefactorConfig::fast_for_tests());
+        let data = Bytes::from(vec![1u8; 11]);
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: 11,
+                data,
+                background: false,
+            },
+            Time::ZERO,
+        );
+        match send_msgs(&out)[0] {
+            Msg::ErrorReply { code, .. } => assert_eq!(*code, ErrorCode::NoSpace),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_round_trips_through_load() {
+        let mut b = make();
+        let data = Bytes::from_static(b"payload");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: 7,
+                data: data.clone(),
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let out = b.handle_msg(
+            NodeId(8),
+            Msg::GetChunk {
+                req: RequestId(2),
+                chunk,
+            },
+            Time::ZERO,
+        );
+        let op = match &out[0] {
+            BenefactorAction::Load { op, .. } => *op,
+            other => panic!("expected load, got {other:?}"),
+        };
+        let out = b.on_load_complete(op, chunk, Payload::Real(data.clone()), Time::ZERO);
+        match &out[0] {
+            BenefactorAction::Send { to, msg } => {
+                assert_eq!(*to, NodeId(8));
+                match msg {
+                    Msg::GetChunkOk { data: d, .. } => assert_eq!(d, &data),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_missing_chunk_is_not_found() {
+        let mut b = make();
+        let out = b.handle_msg(
+            NodeId(8),
+            Msg::GetChunk {
+                req: RequestId(2),
+                chunk: ChunkId::test_id(1),
+            },
+            Time::ZERO,
+        );
+        match send_msgs(&out)[0] {
+            Msg::ErrorReply { code, .. } => assert_eq!(*code, ErrorCode::NotFound),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_chunks_frees_space() {
+        let mut b = make();
+        let data = Bytes::from_static(b"abc");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: 3,
+                data,
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let out = b.handle_msg(
+            MANAGER_NODE,
+            Msg::DeleteChunks {
+                chunks: vec![chunk],
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(out[0], BenefactorAction::Drop { .. }));
+        assert_eq!(b.used_space(), 0);
+    }
+
+    #[test]
+    fn replication_pushes_background_puts_and_reports() {
+        let mut b = make();
+        let data = Bytes::from_static(b"replica me");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: data.len() as u32,
+                data: data.clone(),
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let out = b.handle_msg(
+            MANAGER_NODE,
+            Msg::ReplicateCmd {
+                job: 9,
+                copies: vec![ReplicaCopy {
+                    chunk,
+                    target: NodeId(6),
+                }],
+            },
+            Time::ZERO,
+        );
+        let op = match &out[0] {
+            BenefactorAction::Load { op, .. } => *op,
+            other => panic!("expected load, got {other:?}"),
+        };
+        let out = b.on_load_complete(op, chunk, Payload::Real(data), Time::ZERO);
+        let req = match &out[0] {
+            BenefactorAction::Send { to, msg } => {
+                assert_eq!(*to, NodeId(6));
+                match msg {
+                    Msg::PutChunk {
+                        req, background, ..
+                    } => {
+                        assert!(*background, "replication traffic is background");
+                        *req
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        // Target acks; job completes.
+        let out = b.handle_msg(
+            NodeId(6),
+            Msg::PutChunkOk {
+                req,
+                chunk,
+                node: NodeId(6),
+            },
+            Time::ZERO,
+        );
+        match send_msgs(&out)[0] {
+            Msg::ReplicateReport { done, failed, .. } => {
+                assert_eq!(done.len(), 1);
+                assert!(failed.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_of_missing_chunk_fails_fast() {
+        let mut b = make();
+        let out = b.handle_msg(
+            MANAGER_NODE,
+            Msg::ReplicateCmd {
+                job: 3,
+                copies: vec![ReplicaCopy {
+                    chunk: ChunkId::test_id(1),
+                    target: NodeId(6),
+                }],
+            },
+            Time::ZERO,
+        );
+        match send_msgs(&out)[0] {
+            Msg::ReplicateReport { done, failed, .. } => {
+                assert!(done.is_empty());
+                assert_eq!(failed.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_times_out_and_reports_failure() {
+        let mut b = make();
+        let data = Bytes::from_static(b"slow");
+        let chunk = ChunkId::for_content(&data);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk,
+                size: 4,
+                data: data.clone(),
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let out = b.handle_msg(
+            MANAGER_NODE,
+            Msg::ReplicateCmd {
+                job: 4,
+                copies: vec![ReplicaCopy {
+                    chunk,
+                    target: NodeId(6),
+                }],
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Load { op, .. } = out[0] {
+            b.on_load_complete(op, chunk, Payload::Real(data), Time::ZERO);
+        }
+        // No ack arrives; tick past the timeout.
+        let out = b.tick(Time::ZERO + Dur::from_millis(300));
+        let report = send_msgs(&out)
+            .into_iter()
+            .find(|m| matches!(m, Msg::ReplicateReport { .. }))
+            .expect("timeout report");
+        match report {
+            Msg::ReplicateReport { failed, .. } => assert_eq!(failed.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn gc_report_respects_grace_period() {
+        let mut b = make();
+        let old = Bytes::from_static(b"old");
+        let old_id = ChunkId::for_content(&old);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(1),
+                chunk: old_id,
+                size: 3,
+                data: old,
+                background: false,
+            },
+            Time::ZERO,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, Time::ZERO);
+        }
+        let later = Time::ZERO + Dur::from_millis(150);
+        let fresh = Bytes::from_static(b"fresh");
+        let fresh_id = ChunkId::for_content(&fresh);
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::PutChunk {
+                req: RequestId(2),
+                chunk: fresh_id,
+                size: 5,
+                data: fresh,
+                background: false,
+            },
+            later,
+        );
+        if let BenefactorAction::Store { op, .. } = out[0] {
+            b.on_store_complete(op, later);
+        }
+        b.handle_msg(
+            MANAGER_NODE,
+            Msg::HeartbeatAck {
+                node: NodeId(5),
+                gc_due: true,
+            },
+            later,
+        );
+        let out = b.tick(later + Dur::from_millis(10));
+        let report = send_msgs(&out)
+            .into_iter()
+            .find(|m| matches!(m, Msg::GcReport { .. }))
+            .expect("gc report");
+        match report {
+            Msg::GcReport { chunks, .. } => {
+                assert!(chunks.contains(&old_id), "old chunk reported");
+                assert!(!chunks.contains(&fresh_id), "fresh chunk withheld by grace");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stash_reoffers_until_acked() {
+        let mut b = make();
+        let out = b.handle_msg(
+            NodeId(7),
+            Msg::StashCommit {
+                req: RequestId(1),
+                path: "/f".into(),
+                entries: vec![],
+                placements: vec![],
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(send_msgs(&out)[0], Msg::Ack { .. }));
+        assert_eq!(b.stashed_commits(), 1);
+        let out = b.tick(Time::ZERO + Dur::from_millis(150));
+        let offer_req = send_msgs(&out)
+            .into_iter()
+            .find_map(|m| match m {
+                Msg::ReofferCommit { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("reoffer");
+        // Manager acks: stash drains.
+        b.handle_msg(MANAGER_NODE, Msg::Ack { req: offer_req }, Time::ZERO);
+        assert_eq!(b.stashed_commits(), 0);
+    }
+}

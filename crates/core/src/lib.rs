@@ -1,0 +1,67 @@
+//! The stdchk protocol core: sans-IO state machines for every node role.
+//!
+//! This crate implements the paper's contribution — the checkpoint-optimized
+//! storage system — as pure, deterministic state machines:
+//!
+//! - [`Manager`]: the centralized metadata manager. Soft-state benefactor
+//!   registration, stripe allocation with eager space reservations,
+//!   versioned namespace with copy-on-write chunk sharing and reference
+//!   counting, background replication via shadow chunk-maps, pull-based
+//!   garbage collection, automated retention policies, and ⅔-concurrence
+//!   recovery from manager failure.
+//! - [`Benefactor`]: a storage donor. Stores content-addressed chunks
+//!   (verifying hashes end-to-end), heartbeats free space, executes
+//!   replication copy orders, reports inventory for garbage collection, and
+//!   stashes client chunk-maps for manager recovery.
+//! - [`WriteSession`] / [`ReadSession`]: the client proxy data path. Three
+//!   write protocols (complete local write, incremental write, sliding
+//!   window), round-robin striping, optional incremental-checkpointing dedup
+//!   (FsCH), optimistic/pessimistic write semantics, and a read path with
+//!   read-ahead and replica failover.
+//!
+//! **Sans-IO**: no state machine touches a socket, disk, clock, or thread.
+//! Inputs are protocol messages, completions, and explicit `now` timestamps;
+//! outputs are action lists (send message X to node Y, store/load bytes,
+//! stage bytes locally). Two drivers embed these machines unchanged:
+//! `stdchk-net` (threads + TCP + real disks) and `stdchk-sim` (a
+//! discrete-event simulator with virtual time used to reproduce the paper's
+//! evaluation).
+//!
+//! # Example: driving a manager by hand
+//!
+//! ```
+//! use stdchk_core::{Manager, PoolConfig};
+//! use stdchk_proto::{Msg, NodeId, RequestId};
+//! use stdchk_util::Time;
+//!
+//! let mut mgr = Manager::new(PoolConfig::default());
+//! let now = Time::ZERO;
+//! // A benefactor joins the pool.
+//! let out = mgr.handle_msg(
+//!     NodeId(0),
+//!     Msg::JoinRequest { req: RequestId(1), addr: String::new(), total_space: 1 << 30 },
+//!     now,
+//! );
+//! assert!(matches!(out[0].msg, Msg::JoinOk { .. }));
+//! ```
+
+pub mod benefactor;
+pub mod config;
+pub mod manager;
+pub mod payload;
+pub mod session;
+
+pub use benefactor::{Benefactor, BenefactorAction, BenefactorConfig};
+pub use config::PoolConfig;
+pub use manager::{Manager, ManagerStats, Send};
+pub use payload::{ChunkAssembler, Payload};
+pub use session::read::{ReadAction, ReadSession};
+pub use session::write::{
+    OpenGrant, SessionConfig, WriteAction, WriteProtocol, WriteSession, WriteStats,
+};
+
+/// The reserved node id of the metadata manager.
+///
+/// Benefactors and clients address the manager as node 0; real node ids
+/// assigned by the manager start at 1.
+pub const MANAGER_NODE: stdchk_proto::NodeId = stdchk_proto::NodeId(0);

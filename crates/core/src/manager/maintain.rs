@@ -1,0 +1,220 @@
+//! Time-based maintenance: heartbeat expiry and repair, reservation expiry,
+//! retention-policy sweeps, GC marking and reports, version pruning.
+
+
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
+use stdchk_proto::msg::Msg;
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_util::Time;
+
+use super::{Manager, Send};
+
+impl Manager {
+    /// Runs all time-based maintenance. Drivers call this periodically
+    /// (every few hundred milliseconds of pool time is plenty).
+    pub fn tick(&mut self, now: Time) -> Vec<Send> {
+        let mut out = Vec::new();
+        self.expire_benefactors(now, &mut out);
+        self.expire_reservations(now);
+        if now.since(self.last_policy_sweep) >= self.cfg.policy_sweep_every {
+            self.last_policy_sweep = now;
+            self.policy_sweep(now, &mut out);
+        }
+        if now.since(self.last_gc_mark) >= self.cfg.gc_every {
+            self.last_gc_mark = now;
+            for b in self.benefactors.values_mut().filter(|b| b.online) {
+                b.gc_due = true;
+            }
+        }
+        out.extend(self.pump_replication(now));
+        out
+    }
+
+    fn expire_benefactors(&mut self, now: Time, out: &mut Vec<Send>) {
+        let timeout = self.cfg.benefactor_timeout;
+        let dead: Vec<NodeId> = self
+            .benefactors
+            .iter()
+            .filter(|(_, b)| b.online && now.since(b.last_seen) > timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for node in dead {
+            if let Some(b) = self.benefactors.get_mut(&node) {
+                b.online = false;
+                b.gc_due = false;
+            }
+            // Remove the dead node from chunk locations; plan repair for
+            // chunks that fell under their replication target. A returning
+            // node re-advertises its inventory through GC reports.
+            let mut to_repair = Vec::new();
+            for (id, meta) in self.chunks.iter_mut() {
+                if let Some(pos) = meta.locations.iter().position(|n| *n == node) {
+                    meta.locations.swap_remove(pos);
+                    if meta.refcount > 0 {
+                        to_repair.push(*id);
+                    }
+                }
+            }
+            to_repair.sort_unstable();
+            for id in to_repair {
+                let meta = &self.chunks[&id];
+                let effective = (meta.target as usize).min(self.online_benefactors().max(1));
+                let online = self.online_locations(&meta.locations);
+                if online > 0 && online < effective {
+                    self.enqueue_replication(id);
+                } else if online == 0 {
+                    // Data loss for this chunk: unblock anything waiting.
+                    self.resolve_waiting_chunk(id, out);
+                }
+            }
+        }
+    }
+
+    fn expire_reservations(&mut self, now: Time) {
+        let expired: Vec<_> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.expires < now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            if let Some(res) = self.reservations.remove(&id) {
+                self.release_reservation(&res);
+                self.drop_file_if_empty(&res.path);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ retention
+
+    fn policy_sweep(&mut self, now: Time, out: &mut Vec<Send>) {
+        let policies: Vec<(String, RetentionPolicy)> = self
+            .dirs
+            .iter()
+            .map(|(d, p)| (d.clone(), *p))
+            .collect();
+        for (dir, policy) in policies {
+            let prefix = if dir == "/" {
+                "/".to_string()
+            } else {
+                format!("{dir}/")
+            };
+            let paths: Vec<String> = self
+                .files
+                .keys()
+                .filter(|p| p.starts_with(&prefix))
+                .cloned()
+                .collect();
+            for path in paths {
+                match policy {
+                    RetentionPolicy::NoIntervention => {}
+                    RetentionPolicy::AutomatedReplace { keep_last } => {
+                        out.extend(self.prune_versions(&path, keep_last as usize));
+                    }
+                    RetentionPolicy::AutomatedPurge { after } => {
+                        out.extend(self.purge_older_than(&path, now, after));
+                        self.drop_file_if_empty(&path);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keeps only the newest `keep` versions of `path`, returning
+    /// `DeleteChunks` orders for benefactors holding newly orphaned chunks.
+    pub(crate) fn prune_versions(&mut self, path: &str, keep: usize) -> Vec<Send> {
+        let Some(file) = self.files.get_mut(path) else {
+            return Vec::new();
+        };
+        if file.versions.len() <= keep {
+            return Vec::new();
+        }
+        let drop_count = file.versions.len() - keep;
+        let dropped: Vec<_> = file.versions.drain(..drop_count).collect();
+        let mut out = Vec::new();
+        for record in dropped {
+            self.stats.policy_drops += 1;
+            out.extend(self.decref_map(&record.map));
+        }
+        out
+    }
+
+    fn purge_older_than(&mut self, path: &str, now: Time, after: stdchk_util::Dur) -> Vec<Send> {
+        let Some(file) = self.files.get_mut(path) else {
+            return Vec::new();
+        };
+        let mut dropped = Vec::new();
+        file.versions.retain(|v| {
+            if now.since(v.mtime) > after {
+                dropped.push(v.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let mut out = Vec::new();
+        for record in dropped {
+            self.stats.policy_drops += 1;
+            out.extend(self.decref_map(&record.map));
+        }
+        out
+    }
+
+    /// Decrements refcounts for a dropped version; chunks reaching zero are
+    /// deleted from their holders (fast path; pull-based GC is the backstop).
+    pub(crate) fn decref_map(&mut self, map: &stdchk_proto::chunkmap::ChunkMap) -> Vec<Send> {
+        let mut per_node: std::collections::BTreeMap<NodeId, Vec<ChunkId>> = Default::default();
+        for id in map.distinct_chunks() {
+            let Some(meta) = self.chunks.get_mut(&id) else {
+                continue;
+            };
+            meta.refcount = meta.refcount.saturating_sub(1);
+            if meta.refcount == 0 {
+                for n in &meta.locations {
+                    per_node.entry(*n).or_default().push(id);
+                }
+                self.chunks.remove(&id);
+                self.repl_queue.retain(|t| t.chunk != id);
+            }
+        }
+        per_node
+            .into_iter()
+            .map(|(to, chunks)| Send {
+                to,
+                msg: Msg::DeleteChunks { chunks },
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------ GC
+
+    pub(super) fn on_gc_report(
+        &mut self,
+        req: RequestId,
+        node: NodeId,
+        chunks: Vec<ChunkId>,
+        out: &mut Vec<Send>,
+    ) {
+        if let Some(b) = self.benefactors.get_mut(&node) {
+            b.gc_due = false;
+        }
+        let mut deletable = Vec::new();
+        for id in chunks {
+            match self.chunks.get_mut(&id) {
+                Some(meta) if meta.refcount > 0 => {
+                    // Live chunk: (re-)learn the location. This is how a
+                    // returning benefactor's replicas rejoin the metadata.
+                    if !meta.locations.contains(&node) {
+                        meta.locations.push(node);
+                    }
+                }
+                _ => deletable.push(id),
+            }
+        }
+        self.stats.gc_deletable += deletable.len() as u64;
+        out.push(Send {
+            to: node,
+            msg: Msg::GcReply { req, deletable },
+        });
+    }
+}

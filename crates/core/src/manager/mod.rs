@@ -1,0 +1,755 @@
+//! The centralized metadata manager (paper §IV.A).
+//!
+//! The manager maintains the entire system metadata: donor-node status via
+//! soft-state registration, file chunk distribution (chunk-maps), dataset
+//! attributes, eager space reservations, replication orchestration through
+//! shadow chunk-maps, pull-based garbage collection, and automated
+//! time-sensitive data management.
+//!
+//! The implementation is a sans-IO state machine: [`Manager::handle_msg`]
+//! consumes one protocol message and returns the messages to send;
+//! [`Manager::tick`] runs time-based maintenance (heartbeat expiry,
+//! reservation expiry, retention policies, replication dispatch, GC marks).
+
+mod maintain;
+mod replicate;
+mod write;
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use stdchk_proto::chunkmap::{ChunkMap, FileVersionView};
+use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::msg::{DirEntry, FileAttr, Msg, VersionInfo};
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_proto::ErrorCode;
+use stdchk_util::Time;
+
+use crate::config::PoolConfig;
+
+/// One outbound message produced by the manager.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Send {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// Counters exposed for harnesses (e.g. Figure 8 reports manager
+/// transaction counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Client/benefactor messages processed.
+    pub transactions: u64,
+    /// Versions committed.
+    pub commits: u64,
+    /// Replication copy orders issued.
+    pub replication_copies: u64,
+    /// Chunks declared deletable through GC replies.
+    pub gc_deletable: u64,
+    /// Versions dropped by retention policies.
+    pub policy_drops: u64,
+    /// Commits recovered through benefactor re-offers.
+    pub recovered_commits: u64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct BenefactorInfo {
+    pub free: u64,
+    pub total: u64,
+    pub reserved: u64,
+    pub last_seen: Time,
+    pub online: bool,
+    pub gc_due: bool,
+    /// Dial address (empty under the simulator).
+    pub addr: String,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VersionRecord {
+    pub version: VersionId,
+    pub map: ChunkMap,
+    pub mtime: Time,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct FileState {
+    pub id: FileId,
+    pub versions: Vec<VersionRecord>,
+    pub replication: u32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ChunkMeta {
+    /// Recorded for capacity accounting and GC diagnostics.
+    #[allow(dead_code)]
+    pub size: u32,
+    pub locations: Vec<NodeId>,
+    pub refcount: u32,
+    pub target: u32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Reservation {
+    /// The opening client (diagnostics; replies route via request ids).
+    #[allow(dead_code)]
+    pub client: NodeId,
+    pub path: String,
+    pub version: VersionId,
+    pub stripe: Vec<NodeId>,
+    pub replication: u32,
+    pub reserved_on: HashMap<NodeId, u64>,
+    pub expires: Time,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ReplTask {
+    pub chunk: ChunkId,
+    pub attempts: u32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ReplJob {
+    /// Source benefactor executing the copies (diagnostics).
+    #[allow(dead_code)]
+    pub source: NodeId,
+    pub copies: Vec<(ChunkId, NodeId)>,
+    /// Retry attempt each copy was dispatched at (for failure budgets).
+    pub attempts: HashMap<ChunkId, u32>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct PendingCommit {
+    pub client: NodeId,
+    pub req: RequestId,
+    pub file: FileId,
+    pub version: VersionId,
+    pub waiting: HashSet<ChunkId>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Reoffer {
+    pub node: NodeId,
+    pub entries: Vec<stdchk_proto::chunkmap::ChunkEntry>,
+    pub placements: Vec<(ChunkId, Vec<NodeId>)>,
+}
+
+/// The metadata manager state machine.
+#[derive(Debug)]
+pub struct Manager {
+    pub(crate) cfg: PoolConfig,
+    pub(crate) next_node: u64,
+    pub(crate) next_file: u64,
+    pub(crate) next_version: u64,
+    pub(crate) next_reservation: u64,
+    pub(crate) next_job: u64,
+    pub(crate) benefactors: BTreeMap<NodeId, BenefactorInfo>,
+    pub(crate) rr_cursor: usize,
+    pub(crate) files: BTreeMap<String, FileState>,
+    pub(crate) dirs: BTreeMap<String, RetentionPolicy>,
+    pub(crate) chunks: HashMap<ChunkId, ChunkMeta>,
+    pub(crate) reservations: HashMap<ReservationId, Reservation>,
+    pub(crate) repl_queue: VecDeque<ReplTask>,
+    pub(crate) repl_jobs: HashMap<u64, ReplJob>,
+    pub(crate) pending_commits: Vec<PendingCommit>,
+    pub(crate) reoffers: HashMap<String, Vec<Reoffer>>,
+    pub(crate) last_policy_sweep: Time,
+    pub(crate) last_gc_mark: Time,
+    pub(crate) stats: ManagerStats,
+}
+
+impl Manager {
+    /// Creates a manager for an empty pool.
+    pub fn new(cfg: PoolConfig) -> Manager {
+        Manager {
+            cfg,
+            next_node: 1,
+            next_file: 1,
+            next_version: 1,
+            next_reservation: 1,
+            next_job: 1,
+            benefactors: BTreeMap::new(),
+            rr_cursor: 0,
+            files: BTreeMap::new(),
+            dirs: BTreeMap::new(),
+            chunks: HashMap::new(),
+            reservations: HashMap::new(),
+            repl_queue: VecDeque::new(),
+            repl_jobs: HashMap::new(),
+            pending_commits: Vec::new(),
+            reoffers: HashMap::new(),
+            last_policy_sweep: Time::ZERO,
+            last_gc_mark: Time::ZERO,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Number of currently online benefactors.
+    pub fn online_benefactors(&self) -> usize {
+        self.benefactors.values().filter(|b| b.online).count()
+    }
+
+    /// Total and free bytes across online benefactors.
+    pub fn pool_space(&self) -> (u64, u64) {
+        let mut total = 0;
+        let mut free = 0;
+        for b in self.benefactors.values().filter(|b| b.online) {
+            total += b.total;
+            free += b.free;
+        }
+        (total, free)
+    }
+
+    /// Processes one inbound message, returning the messages to send.
+    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<Send> {
+        self.stats.transactions += 1;
+        let mut out = Vec::new();
+        match msg {
+            Msg::JoinRequest {
+                req,
+                addr,
+                total_space,
+            } => self.on_join(from, req, addr, total_space, now, &mut out),
+            Msg::Heartbeat {
+                node,
+                free_space,
+                total_space,
+                addr,
+            } => self.on_heartbeat(node, free_space, total_space, addr, now, &mut out),
+            Msg::CreateFile {
+                req,
+                client,
+                path,
+                stripe_width,
+                replication,
+                expected_chunks,
+            } => self.on_create_file(
+                client,
+                req,
+                path,
+                stripe_width,
+                replication,
+                expected_chunks,
+                now,
+                &mut out,
+            ),
+            Msg::ExtendReservation {
+                req,
+                reservation,
+                additional_chunks,
+            } => self.on_extend(from, req, reservation, additional_chunks, now, &mut out),
+            Msg::CommitChunkMap {
+                req,
+                reservation,
+                entries,
+                placements,
+                pessimistic,
+            } => self.on_commit(from, req, reservation, entries, placements, pessimistic, now, &mut out),
+            Msg::AbortWrite { req, reservation } => {
+                self.on_abort(from, req, reservation, &mut out)
+            }
+            Msg::GetFile { req, path, version } => {
+                self.on_get_file(from, req, &path, version, &mut out)
+            }
+            Msg::ListDir { req, path } => self.on_list_dir(from, req, &path, &mut out),
+            Msg::GetAttr { req, path } => self.on_get_attr(from, req, &path, &mut out),
+            Msg::ListVersions { req, path } => self.on_list_versions(from, req, &path, &mut out),
+            Msg::DeleteFile { req, path } => self.on_delete_file(from, req, &path, &mut out),
+            Msg::SetPolicy { req, dir, policy } => {
+                self.on_set_policy(from, req, dir, policy, &mut out)
+            }
+            Msg::GcReport { req, node, chunks } => self.on_gc_report(req, node, chunks, &mut out),
+            Msg::ReplicateReport {
+                job,
+                node,
+                done,
+                failed,
+            } => self.on_replicate_report(job, node, done, failed, now, &mut out),
+            Msg::ReofferCommit {
+                req,
+                node,
+                path,
+                entries,
+                placements,
+            } => self.on_reoffer(req, node, path, entries, placements, now, &mut out),
+            Msg::ResolveNodes { req, nodes } => {
+                let addrs = nodes
+                    .into_iter()
+                    .filter_map(|n| {
+                        self.benefactors
+                            .get(&n)
+                            .filter(|b| !b.addr.is_empty())
+                            .map(|b| (n, b.addr.clone()))
+                    })
+                    .collect();
+                out.push(Send {
+                    to: from,
+                    msg: Msg::NodeAddrsReply { req, addrs },
+                });
+            }
+            other => {
+                // Requests the manager does not serve get a loud error if
+                // they carry a request id, and are dropped otherwise.
+                if let Some(req) = other.request_id() {
+                    out.push(Send {
+                        to: from,
+                        msg: Msg::ErrorReply {
+                            req,
+                            code: ErrorCode::BadRequest,
+                            detail: format!("manager cannot serve tag {}", other.wire_tag()),
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ membership
+
+    fn on_join(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        addr: String,
+        total_space: u64,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        self.benefactors.insert(
+            node,
+            BenefactorInfo {
+                free: total_space,
+                total: total_space,
+                reserved: 0,
+                last_seen: now,
+                online: true,
+                gc_due: false,
+                addr,
+            },
+        );
+        out.push(Send {
+            to: from,
+            msg: Msg::JoinOk {
+                req,
+                node,
+                heartbeat_every: self.cfg.heartbeat_every,
+            },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_heartbeat(
+        &mut self,
+        node: NodeId,
+        free: u64,
+        total: u64,
+        addr: String,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let info = self.benefactors.entry(node).or_insert_with(|| {
+            // Unknown node: accept the soft-state registration. This is the
+            // normal path after a manager restart.
+            BenefactorInfo {
+                free,
+                total,
+                reserved: 0,
+                last_seen: now,
+                online: true,
+                gc_due: false,
+                addr: String::new(),
+            }
+        });
+        info.free = free;
+        info.total = total;
+        info.last_seen = now;
+        if !addr.is_empty() {
+            info.addr = addr;
+        }
+        let was_offline = !info.online;
+        info.online = true;
+        if was_offline {
+            // A returning benefactor's inventory may satisfy repairs; its
+            // locations come back through its next GC report.
+            info.gc_due = true;
+        }
+        let gc_due = info.gc_due;
+        self.next_node = self.next_node.max(node.as_u64() + 1);
+        out.push(Send {
+            to: node,
+            msg: Msg::HeartbeatAck { node, gc_due },
+        });
+    }
+
+    // ------------------------------------------------------------ allocation
+
+    /// Selects up to `width` online benefactors with spare capacity,
+    /// rotating a cursor to spread load (the paper's round-robin striping).
+    pub(crate) fn select_stripe(&mut self, width: usize, exclude: &HashSet<NodeId>) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> = self
+            .benefactors
+            .iter()
+            .filter(|(id, b)| {
+                b.online
+                    && !exclude.contains(id)
+                    && b.free.saturating_sub(b.reserved) >= self.cfg.chunk_size as u64
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let take = width.min(candidates.len());
+        let start = self.rr_cursor % candidates.len();
+        self.rr_cursor = self.rr_cursor.wrapping_add(take);
+        (0..take)
+            .map(|i| candidates[(start + i) % candidates.len()])
+            .collect()
+    }
+
+    pub(crate) fn reserve_on(
+        reservation: &mut Reservation,
+        benefactors: &mut BTreeMap<NodeId, BenefactorInfo>,
+        chunk_size: u32,
+        chunks: u64,
+    ) {
+        if reservation.stripe.is_empty() {
+            return;
+        }
+        let per_node = chunks.div_ceil(reservation.stripe.len() as u64) * chunk_size as u64;
+        for node in &reservation.stripe {
+            if let Some(b) = benefactors.get_mut(node) {
+                b.reserved += per_node;
+            }
+            *reservation.reserved_on.entry(*node).or_insert(0) += per_node;
+        }
+    }
+
+    pub(crate) fn release_reservation(&mut self, res: &Reservation) {
+        for (node, amount) in &res.reserved_on {
+            if let Some(b) = self.benefactors.get_mut(node) {
+                b.reserved = b.reserved.saturating_sub(*amount);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ reads
+
+    fn file_view(&self, path: &str, version: Option<VersionId>) -> Result<FileVersionView, ErrorCode> {
+        let file = self.files.get(path).ok_or(ErrorCode::NotFound)?;
+        let record = match version {
+            None => file.versions.last().ok_or(ErrorCode::NotFound)?,
+            Some(v) => file
+                .versions
+                .iter()
+                .find(|r| r.version == v)
+                .ok_or(ErrorCode::NotFound)?,
+        };
+        let mut locations: Vec<(ChunkId, Vec<NodeId>)> = record
+            .map
+            .distinct_chunks()
+            .into_iter()
+            .map(|id| {
+                let locs = self
+                    .chunks
+                    .get(&id)
+                    .map(|m| {
+                        m.locations
+                            .iter()
+                            .filter(|n| {
+                                self.benefactors.get(n).map(|b| b.online).unwrap_or(false)
+                            })
+                            .copied()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (id, locs)
+            })
+            .collect();
+        locations.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(FileVersionView {
+            version: record.version,
+            map: record.map.clone(),
+            locations,
+        })
+    }
+
+    fn on_get_file(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        path: &str,
+        version: Option<VersionId>,
+        out: &mut Vec<Send>,
+    ) {
+        match self.file_view(path, version) {
+            Ok(view) => out.push(Send {
+                to: from,
+                msg: Msg::FileViewReply { req, view },
+            }),
+            Err(code) => out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code,
+                    detail: format!("{path}: no such file or version"),
+                },
+            }),
+        }
+    }
+
+    fn attr_of(&self, file: &FileState) -> FileAttr {
+        match file.versions.last() {
+            Some(v) => FileAttr {
+                size: v.map.file_size(),
+                versions: file.versions.len() as u32,
+                latest: v.version,
+                mtime: v.mtime,
+                is_dir: false,
+            },
+            None => FileAttr {
+                size: 0,
+                versions: 0,
+                latest: VersionId(0),
+                mtime: Time::ZERO,
+                is_dir: false,
+            },
+        }
+    }
+
+    fn is_dir(&self, path: &str) -> bool {
+        if path == "/" || self.dirs.contains_key(path) {
+            return true;
+        }
+        let prefix = format!("{}/", path.trim_end_matches('/'));
+        self.files.keys().any(|p| p.starts_with(&prefix))
+            || self.dirs.keys().any(|d| d.starts_with(&prefix))
+    }
+
+    fn on_get_attr(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+        let path = normalize(path);
+        if let Some(file) = self.files.get(&path) {
+            if !file.versions.is_empty() {
+                let attr = self.attr_of(file);
+                out.push(Send {
+                    to: from,
+                    msg: Msg::AttrReply { req, attr },
+                });
+                return;
+            }
+        }
+        if self.is_dir(&path) {
+            out.push(Send {
+                to: from,
+                msg: Msg::AttrReply {
+                    req,
+                    attr: FileAttr {
+                        size: 0,
+                        versions: 0,
+                        latest: VersionId(0),
+                        mtime: Time::ZERO,
+                        is_dir: true,
+                    },
+                },
+            });
+            return;
+        }
+        out.push(Send {
+            to: from,
+            msg: Msg::ErrorReply {
+                req,
+                code: ErrorCode::NotFound,
+                detail: format!("{path}: no such path"),
+            },
+        });
+    }
+
+    fn on_list_dir(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+        let dir = normalize(path);
+        if !self.is_dir(&dir) {
+            out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("{dir}: not a directory"),
+                },
+            });
+            return;
+        }
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
+        let mut entries: BTreeMap<String, DirEntry> = BTreeMap::new();
+        for (p, f) in &self.files {
+            if f.versions.is_empty() {
+                continue;
+            }
+            if let Some(rest) = p.strip_prefix(&prefix) {
+                if rest.is_empty() {
+                    continue;
+                }
+                match rest.split_once('/') {
+                    None => {
+                        entries.insert(
+                            rest.to_string(),
+                            DirEntry {
+                                name: rest.to_string(),
+                                attr: self.attr_of(f),
+                            },
+                        );
+                    }
+                    Some((child_dir, _)) => {
+                        entries.entry(child_dir.to_string()).or_insert(DirEntry {
+                            name: child_dir.to_string(),
+                            attr: FileAttr {
+                                size: 0,
+                                versions: 0,
+                                latest: VersionId(0),
+                                mtime: Time::ZERO,
+                                is_dir: true,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        for d in self.dirs.keys() {
+            if let Some(rest) = d.strip_prefix(&prefix) {
+                if rest.is_empty() {
+                    continue;
+                }
+                let child = rest.split('/').next().expect("non-empty").to_string();
+                entries.entry(child.clone()).or_insert(DirEntry {
+                    name: child,
+                    attr: FileAttr {
+                        size: 0,
+                        versions: 0,
+                        latest: VersionId(0),
+                        mtime: Time::ZERO,
+                        is_dir: true,
+                    },
+                });
+            }
+        }
+        out.push(Send {
+            to: from,
+            msg: Msg::DirListingReply {
+                req,
+                entries: entries.into_values().collect(),
+            },
+        });
+    }
+
+    fn on_list_versions(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+        let path = normalize(path);
+        match self.files.get(&path) {
+            Some(f) if !f.versions.is_empty() => {
+                let versions = f
+                    .versions
+                    .iter()
+                    .map(|v| VersionInfo {
+                        version: v.version,
+                        size: v.map.file_size(),
+                        mtime: v.mtime,
+                    })
+                    .collect();
+                out.push(Send {
+                    to: from,
+                    msg: Msg::VersionListReply { req, versions },
+                });
+            }
+            _ => out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("{path}: no such file"),
+                },
+            }),
+        }
+    }
+
+    /// Invariant checks used by tests and the simulator's self-audit:
+    /// chunk refcounts equal the number of version references; no committed
+    /// chunk lost its metadata; reservations only reserve on known nodes.
+    pub fn check_invariants(&self) {
+        let mut expected: HashMap<ChunkId, u32> = HashMap::new();
+        for f in self.files.values() {
+            for v in &f.versions {
+                for id in v.map.distinct_chunks() {
+                    *expected.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        for (id, count) in &expected {
+            let meta = self
+                .chunks
+                .get(id)
+                .unwrap_or_else(|| panic!("committed chunk {id} missing metadata"));
+            assert_eq!(
+                meta.refcount, *count,
+                "refcount mismatch for {id}: {} vs expected {count}",
+                meta.refcount
+            );
+        }
+        for (id, meta) in &self.chunks {
+            assert_eq!(
+                meta.refcount,
+                expected.get(id).copied().unwrap_or(0),
+                "orphan chunk {id} holds refcount"
+            );
+            let mut sorted = meta.locations.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), meta.locations.len(), "duplicate locations for {id}");
+        }
+        for r in self.reservations.values() {
+            for node in r.reserved_on.keys() {
+                assert!(
+                    self.benefactors.contains_key(node),
+                    "reservation on unknown node {node}"
+                );
+            }
+        }
+    }
+}
+
+/// Normalizes a path: ensures a leading `/`, strips a trailing `/`.
+pub(crate) fn normalize(path: &str) -> String {
+    let mut p = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("/{path}")
+    };
+    while p.len() > 1 && p.ends_with('/') {
+        p.pop();
+    }
+    p
+}
+
+/// Parent directory of a normalized path (`/a/b` → `/a`, `/x` → `/`).
+pub(crate) fn parent(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests;

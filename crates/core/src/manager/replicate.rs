@@ -1,0 +1,214 @@
+//! Background replication: shadow chunk-maps executed by source benefactors.
+//!
+//! The manager selects replica targets the same way it selects write stripes
+//! (paper §IV.A "data replication"), sends copy orders to a benefactor that
+//! already holds the chunk, and commits the new locations when the copies
+//! are reported done. Creation of new files has priority over replication —
+//! enforced here by bounding concurrent jobs, and at the data plane by the
+//! `background` flag on replication `PutChunk`s (lower network priority).
+
+use std::collections::HashSet;
+
+use stdchk_proto::ids::{ChunkId, NodeId};
+use stdchk_proto::msg::{Msg, ReplicaCopy};
+use stdchk_util::Time;
+
+use super::{Manager, ReplJob, ReplTask, Send};
+
+impl Manager {
+    pub(crate) fn online_locations(&self, locations: &[NodeId]) -> usize {
+        locations
+            .iter()
+            .filter(|n| self.benefactors.get(n).map(|b| b.online).unwrap_or(false))
+            .count()
+    }
+
+    /// Queues a chunk for replication (idempotent per queue pass).
+    pub(crate) fn enqueue_replication(&mut self, chunk: ChunkId) {
+        if self.repl_queue.iter().any(|t| t.chunk == chunk) {
+            return;
+        }
+        if self
+            .repl_jobs
+            .values()
+            .any(|j| j.copies.iter().any(|(c, _)| *c == chunk))
+        {
+            return;
+        }
+        self.repl_queue.push_back(ReplTask { chunk, attempts: 0 });
+    }
+
+    /// Dispatches queued replication tasks into jobs, respecting the
+    /// concurrency bound. Returns the `ReplicateCmd`s to send.
+    pub(crate) fn pump_replication(&mut self, _now: Time) -> Vec<Send> {
+        let mut out = Vec::new();
+        while self.repl_jobs.len() < self.cfg.max_replication_jobs && !self.repl_queue.is_empty() {
+            // Build one job: pick the first actionable task, then batch more
+            // tasks that share its source.
+            let mut job_source: Option<NodeId> = None;
+            let mut copies: Vec<(ChunkId, NodeId)> = Vec::new();
+            let mut attempts: std::collections::HashMap<ChunkId, u32> = Default::default();
+            let mut skipped: Vec<ReplTask> = Vec::new();
+            while let Some(task) = self.repl_queue.pop_front() {
+                match self.plan_task(&task, job_source) {
+                    Plan::Copy { source, target } => {
+                        job_source = Some(source);
+                        copies.push((task.chunk, target));
+                        attempts.insert(task.chunk, task.attempts);
+                        if copies.len() >= self.cfg.replication_batch {
+                            break;
+                        }
+                    }
+                    Plan::Defer => skipped.push(task),
+                    Plan::Drop => {
+                        // Unrecoverable (no source or no possible target):
+                        // unblock any pessimistic commit waiting on it.
+                        self.resolve_waiting_chunk(task.chunk, &mut out);
+                    }
+                }
+            }
+            for t in skipped {
+                self.repl_queue.push_back(t);
+            }
+            let Some(source) = job_source else { break };
+            let job = self.next_job;
+            self.next_job += 1;
+            self.stats.replication_copies += copies.len() as u64;
+            self.repl_jobs.insert(
+                job,
+                ReplJob {
+                    source,
+                    copies: copies.clone(),
+                    attempts,
+                },
+            );
+            out.push(Send {
+                to: source,
+                msg: Msg::ReplicateCmd {
+                    job,
+                    copies: copies
+                        .into_iter()
+                        .map(|(chunk, target)| ReplicaCopy { chunk, target })
+                        .collect(),
+                },
+            });
+        }
+        out
+    }
+
+    fn plan_task(&mut self, task: &ReplTask, required_source: Option<NodeId>) -> Plan {
+        let Some(meta) = self.chunks.get(&task.chunk) else {
+            return Plan::Drop; // chunk was pruned meanwhile
+        };
+        if meta.refcount == 0 {
+            return Plan::Drop;
+        }
+        let online: Vec<NodeId> = meta
+            .locations
+            .iter()
+            .filter(|n| self.benefactors.get(n).map(|b| b.online).unwrap_or(false))
+            .copied()
+            .collect();
+        if online.is_empty() {
+            return Plan::Drop; // data loss; read path will surface it
+        }
+        let effective_target = (meta.target as usize).min(self.online_benefactors());
+        if online.len() >= effective_target {
+            return Plan::Drop; // replication already satisfied
+        }
+        let source = match required_source {
+            Some(s) if online.contains(&s) => s,
+            Some(_) => return Plan::Defer, // batch only same-source copies
+            None => online[task.attempts as usize % online.len()],
+        };
+        let holders: HashSet<NodeId> = meta.locations.iter().copied().collect();
+        let candidates = self.select_stripe(1, &holders);
+        let Some(target) = candidates.first().copied() else {
+            return Plan::Drop;
+        };
+        Plan::Copy { source, target }
+    }
+
+    pub(super) fn on_replicate_report(
+        &mut self,
+        job: u64,
+        _node: NodeId,
+        done: Vec<ReplicaCopy>,
+        failed: Vec<ReplicaCopy>,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let Some(job_state) = self.repl_jobs.remove(&job) else {
+            return; // stale or duplicate report
+        };
+        for c in done {
+            if let Some(meta) = self.chunks.get_mut(&c.chunk) {
+                if !meta.locations.contains(&c.target) {
+                    meta.locations.push(c.target);
+                }
+            }
+            self.resolve_waiting_chunk(c.chunk, out);
+            // Still under target (e.g. target 3, one copy done)? Re-queue.
+            if let Some(meta) = self.chunks.get(&c.chunk) {
+                let effective = (meta.target as usize).min(self.online_benefactors());
+                if self.online_locations(&meta.locations) < effective {
+                    self.enqueue_replication(c.chunk);
+                }
+            }
+        }
+        for c in failed {
+            let attempts = 1 + job_state.attempts.get(&c.chunk).copied().unwrap_or(0);
+            if attempts <= self.cfg.replication_retries {
+                self.repl_queue.retain(|t| t.chunk != c.chunk);
+                self.repl_queue.push_back(ReplTask {
+                    chunk: c.chunk,
+                    attempts,
+                });
+            } else {
+                self.resolve_waiting_chunk(c.chunk, out);
+            }
+        }
+        out.extend(self.pump_replication(now));
+    }
+
+    /// Marks `chunk` as no longer blocking pessimistic commits if its
+    /// replication state is final (satisfied or unrecoverable), emitting any
+    /// newly unblocked `CommitOk`s.
+    pub(crate) fn resolve_waiting_chunk(&mut self, chunk: ChunkId, out: &mut Vec<Send>) {
+        let satisfied_or_dead = match self.chunks.get(&chunk) {
+            None => true,
+            Some(meta) => {
+                let effective = (meta.target as usize).min(self.online_benefactors().max(1));
+                self.online_locations(&meta.locations) >= effective
+                    || self.online_locations(&meta.locations) == 0
+            }
+        };
+        if !satisfied_or_dead {
+            return;
+        }
+        let mut resolved = Vec::new();
+        for (i, pc) in self.pending_commits.iter_mut().enumerate() {
+            pc.waiting.remove(&chunk);
+            if pc.waiting.is_empty() {
+                resolved.push(i);
+            }
+        }
+        for i in resolved.into_iter().rev() {
+            let pc = self.pending_commits.remove(i);
+            out.push(Send {
+                to: pc.client,
+                msg: Msg::CommitOk {
+                    req: pc.req,
+                    file: pc.file,
+                    version: pc.version,
+                },
+            });
+        }
+    }
+}
+
+enum Plan {
+    Copy { source: NodeId, target: NodeId },
+    Defer,
+    Drop,
+}

@@ -1,0 +1,782 @@
+//! Unit tests for the manager state machine.
+
+use std::collections::HashSet;
+
+use stdchk_proto::chunkmap::ChunkEntry;
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::msg::Msg;
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_proto::ErrorCode;
+use stdchk_util::{Dur, Time};
+
+use crate::config::PoolConfig;
+use crate::manager::{Manager, Send};
+
+const GIB: u64 = 1 << 30;
+
+struct Harness {
+    mgr: Manager,
+    now: Time,
+    next_req: u64,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            mgr: Manager::new(PoolConfig::fast_for_tests()),
+            now: Time::ZERO,
+            next_req: 1,
+        }
+    }
+
+    fn req(&mut self) -> RequestId {
+        self.next_req += 1;
+        RequestId(self.next_req)
+    }
+
+    fn advance(&mut self, d: Dur) -> Vec<Send> {
+        self.now += d;
+        self.mgr.tick(self.now)
+    }
+
+    /// Joins `n` benefactors, returning their ids.
+    fn join_benefactors(&mut self, n: usize) -> Vec<NodeId> {
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let req = self.req();
+            let out = self.mgr.handle_msg(
+                NodeId(1000 + i as u64),
+                Msg::JoinRequest {
+                    req,
+                    addr: String::new(),
+                    total_space: GIB,
+                },
+                self.now,
+            );
+            match &out[0].msg {
+                Msg::JoinOk { node, .. } => ids.push(*node),
+                other => panic!("expected JoinOk, got {other:?}"),
+            }
+        }
+        ids
+    }
+
+    fn heartbeat_all(&mut self, nodes: &[NodeId]) {
+        for n in nodes {
+            self.mgr.handle_msg(
+                *n,
+                Msg::Heartbeat {
+                    node: *n,
+                    free_space: GIB,
+                    total_space: GIB,
+                    addr: String::new(),
+                },
+                self.now,
+            );
+        }
+    }
+
+    /// Opens a write session; returns (reservation, stripe, prev_chunks, version).
+    fn open(
+        &mut self,
+        path: &str,
+        replication: u32,
+    ) -> (ReservationId, Vec<NodeId>, Vec<ChunkEntry>, VersionId) {
+        let req = self.req();
+        let out = self.mgr.handle_msg(
+            NodeId(77),
+            Msg::CreateFile {
+                req,
+                client: NodeId(77),
+                path: path.to_string(),
+                stripe_width: 4,
+                replication,
+                expected_chunks: 8,
+            },
+            self.now,
+        );
+        match &out[0].msg {
+            Msg::CreateFileOk {
+                reservation,
+                stripe,
+                prev_chunks,
+                version,
+                ..
+            } => (*reservation, stripe.clone(), prev_chunks.clone(), *version),
+            other => panic!("expected CreateFileOk, got {other:?}"),
+        }
+    }
+
+    /// Commits entries placing each distinct chunk on the first stripe node.
+    fn commit(
+        &mut self,
+        reservation: ReservationId,
+        entries: Vec<ChunkEntry>,
+        stripe: &[NodeId],
+        pessimistic: bool,
+    ) -> Vec<Send> {
+        let req = self.req();
+        let mut placements = Vec::new();
+        let mut seen = HashSet::new();
+        for (i, e) in entries.iter().enumerate() {
+            if seen.insert(e.id) {
+                placements.push((e.id, vec![stripe[i % stripe.len()]]));
+            }
+        }
+        self.mgr.handle_msg(
+            NodeId(77),
+            Msg::CommitChunkMap {
+                req,
+                reservation,
+                entries,
+                placements,
+                pessimistic,
+            },
+            self.now,
+        )
+    }
+}
+
+fn entries(ids: &[u64], size: u32) -> Vec<ChunkEntry> {
+    ids.iter()
+        .map(|n| ChunkEntry {
+            id: ChunkId::test_id(*n),
+            size,
+        })
+        .collect()
+}
+
+fn find_reply<'a>(out: &'a [Send], pred: impl Fn(&Msg) -> bool) -> &'a Msg {
+    out.iter()
+        .map(|s| &s.msg)
+        .find(|m| pred(m))
+        .unwrap_or_else(|| panic!("no matching message in {out:?}"))
+}
+
+#[test]
+fn join_assigns_distinct_ids() {
+    let mut h = Harness::new();
+    let ids = h.join_benefactors(3);
+    assert_eq!(ids.len(), 3);
+    let set: HashSet<_> = ids.iter().collect();
+    assert_eq!(set.len(), 3);
+    assert_eq!(h.mgr.online_benefactors(), 3);
+}
+
+#[test]
+fn create_without_benefactors_is_no_space() {
+    let mut h = Harness::new();
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CreateFile {
+            req,
+            client: NodeId(77),
+            path: "/a".into(),
+            stripe_width: 2,
+            replication: 1,
+            expected_chunks: 1,
+        },
+        h.now,
+    );
+    assert!(matches!(
+        out[0].msg,
+        Msg::ErrorReply {
+            code: ErrorCode::NoSpace,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn commit_makes_file_visible_with_locations() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(4);
+    let (res, stripe, prev, _v) = h.open("/app/ckpt.n1", 1);
+    assert!(prev.is_empty());
+    assert_eq!(stripe.len(), 4);
+    let ents = entries(&[1, 2, 3], 1024);
+    let out = h.commit(res, ents.clone(), &stripe, false);
+    find_reply(&out, |m| matches!(m, Msg::CommitOk { .. }));
+
+    // GetFile returns the map with online locations.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/app/ckpt.n1".into(), version: None }, h.now);
+    match &out[0].msg {
+        Msg::FileViewReply { view, .. } => {
+            assert_eq!(view.map.entries(), ents.as_slice());
+            for (_, locs) in &view.locations {
+                assert_eq!(locs.len(), 1);
+                assert!(nodes.contains(&locs[0]));
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Attr reflects the committed version.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/app/ckpt.n1".into() }, h.now);
+    match &out[0].msg {
+        Msg::AttrReply { attr, .. } => {
+            assert_eq!(attr.size, 3 * 1024);
+            assert_eq!(attr.versions, 1);
+            assert!(!attr.is_dir);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn uncommitted_file_is_invisible() {
+    let mut h = Harness::new();
+    h.join_benefactors(2);
+    let (_res, _stripe, _prev, _v) = h.open("/a/b", 1);
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/a/b".into() }, h.now);
+    assert!(
+        matches!(out[0].msg, Msg::ErrorReply { code: ErrorCode::NotFound, .. }),
+        "open-but-uncommitted file must not stat as a file: {out:?}"
+    );
+}
+
+#[test]
+fn second_version_shares_chunks_and_reports_prev() {
+    let mut h = Harness::new();
+    h.join_benefactors(3);
+    let (res1, stripe, _, v1) = h.open("/f", 1);
+    let e1 = entries(&[1, 2], 64);
+    h.commit(res1, e1.clone(), &stripe, false);
+
+    let (res2, stripe2, prev, v2) = h.open("/f", 1);
+    assert_eq!(prev, e1, "previous version's entries offered for dedup");
+    assert_ne!(v1, v2);
+    // New version: chunk 2 reused, chunk 9 fresh.
+    let e2 = entries(&[2, 9], 64);
+    h.commit(res2, e2, &stripe2, false);
+    h.mgr.check_invariants();
+
+    // Both versions listed.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::ListVersions { req, path: "/f".into() }, h.now);
+    match &out[0].msg {
+        Msg::VersionListReply { versions, .. } => assert_eq!(versions.len(), 2),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn commit_without_placement_is_rejected() {
+    let mut h = Harness::new();
+    h.join_benefactors(2);
+    let (res, _stripe, _, _) = h.open("/g", 1);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[5], 10),
+            placements: vec![],
+            pessimistic: false,
+        },
+        h.now,
+    );
+    assert!(matches!(
+        out[0].msg,
+        Msg::ErrorReply {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn stale_reservation_conflicts() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(2);
+    let (res, stripe, _, _) = h.open("/h", 1);
+    h.commit(res, entries(&[1], 10), &stripe, false);
+    // Second commit on the same reservation.
+    let out = h.commit(res, entries(&[2], 10), &nodes, false);
+    assert!(matches!(
+        out[0].msg,
+        Msg::ErrorReply {
+            code: ErrorCode::Conflict,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn abort_releases_and_hides_file() {
+    let mut h = Harness::new();
+    h.join_benefactors(2);
+    let (res, _, _, _) = h.open("/i", 1);
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::AbortWrite { req, reservation: res }, h.now);
+    assert!(matches!(out[0].msg, Msg::Ack { .. }));
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/i".into() }, h.now);
+    assert!(matches!(out[0].msg, Msg::ErrorReply { .. }));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn reservation_expires_via_tick() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(2);
+    let (res, stripe, _, _) = h.open("/j", 1);
+    let ttl = h.mgr.config().reservation_ttl;
+    h.heartbeat_all(&nodes);
+    h.advance(ttl + Dur::from_millis(50));
+    // Commit against the expired reservation now conflicts.
+    let out = h.commit(res, entries(&[1], 10), &stripe, false);
+    assert!(matches!(
+        out[0].msg,
+        Msg::ErrorReply {
+            code: ErrorCode::Conflict,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn benefactor_timeout_marks_offline_and_excludes_from_reads() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let (res, stripe, _, _) = h.open("/k", 1);
+    h.commit(res, entries(&[1, 2, 3], 100), &stripe, false);
+    // Only two nodes keep heartbeating.
+    let survivors = &nodes[..2];
+    for _ in 0..6 {
+        h.advance(Dur::from_millis(40));
+        h.heartbeat_all(survivors);
+    }
+    assert_eq!(h.mgr.online_benefactors(), 2);
+    // Locations in reads exclude the dead node.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/k".into(), version: None }, h.now);
+    match &out[0].msg {
+        Msg::FileViewReply { view, .. } => {
+            for (_, locs) in &view.locations {
+                assert!(!locs.contains(&nodes[2]), "dead node still listed");
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn death_triggers_re_replication_of_survivor_copies() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let (res, _stripe, _, _) = h.open("/l", 2);
+    // Place both chunks on node[0] only; target replication 2.
+    let ents = entries(&[1, 2], 100);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: ents,
+            placements: vec![
+                (ChunkId::test_id(1), vec![nodes[0]]),
+                (ChunkId::test_id(2), vec![nodes[0]]),
+            ],
+            pessimistic: false,
+        },
+        h.now,
+    );
+    // Optimistic commit: CommitOk plus replication command(s) to node[0].
+    find_reply(&out, |m| matches!(m, Msg::CommitOk { .. }));
+    let cmd = find_reply(&out, |m| matches!(m, Msg::ReplicateCmd { .. }));
+    match cmd {
+        Msg::ReplicateCmd { copies, .. } => {
+            assert_eq!(copies.len(), 2);
+            for c in copies {
+                assert_ne!(c.target, nodes[0], "replica must land elsewhere");
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn pessimistic_commit_waits_for_replication() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let (res, _stripe, _, _) = h.open("/m", 2);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[4], 100),
+            placements: vec![(ChunkId::test_id(4), vec![nodes[0]])],
+            pessimistic: true,
+        },
+        h.now,
+    );
+    assert!(
+        !out.iter().any(|s| matches!(s.msg, Msg::CommitOk { .. })),
+        "pessimistic commit must defer CommitOk: {out:?}"
+    );
+    let (job, target) = out
+        .iter()
+        .find_map(|s| match &s.msg {
+            Msg::ReplicateCmd { job, copies } => Some((*job, copies[0].target)),
+            _ => None,
+        })
+        .expect("replication command");
+    // Source benefactor reports the copy done.
+    let out = h.mgr.handle_msg(
+        nodes[0],
+        Msg::ReplicateReport {
+            job,
+            node: nodes[0],
+            done: vec![stdchk_proto::msg::ReplicaCopy {
+                chunk: ChunkId::test_id(4),
+                target,
+            }],
+            failed: vec![],
+        },
+        h.now,
+    );
+    find_reply(&out, |m| matches!(m, Msg::CommitOk { .. }));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn failed_replication_retries_with_budget() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let (res, _stripe, _, _) = h.open("/n", 2);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[7], 100),
+            placements: vec![(ChunkId::test_id(7), vec![nodes[0]])],
+            pessimistic: false,
+        },
+        h.now,
+    );
+    let (job, target) = out
+        .iter()
+        .find_map(|s| match &s.msg {
+            Msg::ReplicateCmd { job, copies } => Some((*job, copies[0].target)),
+            _ => None,
+        })
+        .expect("replication command");
+    // Report failure; the manager must re-dispatch.
+    let out = h.mgr.handle_msg(
+        nodes[0],
+        Msg::ReplicateReport {
+            job,
+            node: nodes[0],
+            done: vec![],
+            failed: vec![stdchk_proto::msg::ReplicaCopy {
+                chunk: ChunkId::test_id(7),
+                target,
+            }],
+        },
+        h.now,
+    );
+    find_reply(&out, |m| matches!(m, Msg::ReplicateCmd { .. }));
+}
+
+#[test]
+fn gc_report_classifies_orphans_and_relearns_locations() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(2);
+    let (res, _stripe, _, _) = h.open("/o", 1);
+    let req0 = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req: req0,
+            reservation: res,
+            entries: entries(&[1], 100),
+            placements: vec![(ChunkId::test_id(1), vec![nodes[0]])],
+            pessimistic: false,
+        },
+        h.now,
+    );
+    // nodes[1] reports: one live chunk (location relearned), one orphan.
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        nodes[1],
+        Msg::GcReport {
+            req,
+            node: nodes[1],
+            chunks: vec![ChunkId::test_id(1), ChunkId::test_id(99)],
+        },
+        h.now,
+    );
+    match &out[0].msg {
+        Msg::GcReply { deletable, .. } => {
+            assert_eq!(deletable, &vec![ChunkId::test_id(99)]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The live chunk now lists nodes[1] as a replica holder.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/o".into(), version: None }, h.now);
+    match &out[0].msg {
+        Msg::FileViewReply { view, .. } => {
+            let locs = view.locations_of(ChunkId::test_id(1)).expect("chunk");
+            assert!(locs.contains(&nodes[1]));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn automated_replace_prunes_on_commit() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(2);
+    let req = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::SetPolicy {
+            req,
+            dir: "/app".into(),
+            policy: RetentionPolicy::REPLACE,
+        },
+        h.now,
+    );
+    let (res1, stripe, _, _) = h.open("/app/ck", 1);
+    h.commit(res1, entries(&[1], 100), &stripe, false);
+    let (res2, stripe2, _, _) = h.open("/app/ck", 1);
+    let out = h.commit(res2, entries(&[2], 100), &stripe2, false);
+    // Old version pruned: DeleteChunks for chunk 1 goes to its holder.
+    let del = find_reply(&out, |m| matches!(m, Msg::DeleteChunks { .. }));
+    match del {
+        Msg::DeleteChunks { chunks } => assert_eq!(chunks, &vec![ChunkId::test_id(1)]),
+        _ => unreachable!(),
+    }
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::ListVersions { req, path: "/app/ck".into() }, h.now);
+    match &out[0].msg {
+        Msg::VersionListReply { versions, .. } => assert_eq!(versions.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = nodes;
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn automated_purge_drops_old_versions_via_tick() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(2);
+    let req = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::SetPolicy {
+            req,
+            dir: "/tmpckpt".into(),
+            policy: RetentionPolicy::AutomatedPurge {
+                after: Dur::from_millis(200),
+            },
+        },
+        h.now,
+    );
+    let (res, stripe, _, _) = h.open("/tmpckpt/x", 1);
+    h.commit(res, entries(&[1], 10), &stripe, false);
+    // Keep benefactors alive while the purge window elapses.
+    let mut all_out = Vec::new();
+    for _ in 0..4 {
+        h.heartbeat_all(&nodes);
+        all_out.extend(h.advance(Dur::from_millis(100)));
+    }
+    assert!(
+        all_out.iter().any(|s| matches!(s.msg, Msg::DeleteChunks { .. })),
+        "purge should delete chunks: {all_out:?}"
+    );
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/tmpckpt/x".into() }, h.now);
+    assert!(matches!(out[0].msg, Msg::ErrorReply { .. }));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn delete_file_orphans_chunks() {
+    let mut h = Harness::new();
+    let _nodes = h.join_benefactors(2);
+    let (res, stripe, _, _) = h.open("/del", 1);
+    h.commit(res, entries(&[1, 2], 10), &stripe, false);
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::DeleteFile { req, path: "/del".into() }, h.now);
+    assert!(out.iter().any(|s| matches!(s.msg, Msg::DeleteChunks { .. })));
+    assert!(out.iter().any(|s| matches!(s.msg, Msg::Ack { .. })));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn list_dir_shows_files_and_subdirs() {
+    let mut h = Harness::new();
+    h.join_benefactors(2);
+    for path in ["/bms/a.n1", "/bms/a.n2", "/bms/sub/deep.n1"] {
+        let (res, stripe, _, _) = h.open(path, 1);
+        h.commit(res, entries(&[1], 10), &stripe, false);
+    }
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::ListDir { req, path: "/bms".into() }, h.now);
+    match &out[0].msg {
+        Msg::DirListingReply { entries, .. } => {
+            let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+            assert_eq!(names, vec!["a.n1", "a.n2", "sub"]);
+            assert!(entries[2].attr.is_dir);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn reoffer_needs_two_thirds_concurrence() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let ents = entries(&[1, 2, 3], 50);
+    let placements: Vec<(ChunkId, Vec<NodeId>)> = vec![
+        (ChunkId::test_id(1), vec![nodes[0]]),
+        (ChunkId::test_id(2), vec![nodes[1]]),
+        (ChunkId::test_id(3), vec![nodes[2]]),
+    ];
+    // First offer: below threshold (need ceil(2/3·3)=2): silence.
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        nodes[0],
+        Msg::ReofferCommit {
+            req,
+            node: nodes[0],
+            path: "/rec/f".into(),
+            entries: ents.clone(),
+            placements: placements.clone(),
+        },
+        h.now,
+    );
+    assert!(out.is_empty(), "one offer of three must not commit: {out:?}");
+    // Second agreeing offer: accepted.
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        nodes[1],
+        Msg::ReofferCommit {
+            req,
+            node: nodes[1],
+            path: "/rec/f".into(),
+            entries: ents.clone(),
+            placements: placements.clone(),
+        },
+        h.now,
+    );
+    assert!(matches!(out[0].msg, Msg::Ack { .. }));
+    assert_eq!(h.mgr.stats().recovered_commits, 1);
+    // The file is now readable.
+    let req = h.req();
+    let out = h
+        .mgr
+        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/rec/f".into(), version: None }, h.now);
+    assert!(matches!(out[0].msg, Msg::FileViewReply { .. }));
+    // A third (late) offer is acked as stale.
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        nodes[2],
+        Msg::ReofferCommit {
+            req,
+            node: nodes[2],
+            path: "/rec/f".into(),
+            entries: ents,
+            placements,
+        },
+        h.now,
+    );
+    assert!(matches!(out[0].msg, Msg::Ack { .. }));
+    h.mgr.check_invariants();
+}
+
+#[test]
+fn stripe_selection_rotates_across_requests() {
+    let mut h = Harness::new();
+    h.join_benefactors(6);
+    let (_, s1, _, _) = h.open("/r1", 1);
+    let (_, s2, _, _) = h.open("/r2", 1);
+    assert_ne!(s1, s2, "round-robin rotation should shift the stripe");
+}
+
+#[test]
+fn heartbeat_from_unknown_node_registers_it() {
+    let mut h = Harness::new();
+    let out = h.mgr.handle_msg(
+        NodeId(42),
+        Msg::Heartbeat {
+            node: NodeId(42),
+            free_space: GIB,
+            total_space: GIB,
+            addr: String::new(),
+        },
+        h.now,
+    );
+    assert!(matches!(out[0].msg, Msg::HeartbeatAck { .. }));
+    assert_eq!(h.mgr.online_benefactors(), 1);
+    // Subsequent joins must not collide with the adopted id.
+    let ids = h.join_benefactors(1);
+    assert!(ids[0].as_u64() > 42);
+}
+
+#[test]
+fn gc_mark_sets_due_flag_delivered_in_heartbeat_ack() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(1);
+    let every = h.mgr.config().gc_every;
+    // Stay within the liveness timeout while the GC interval elapses.
+    let step = Dur::from_millis(100);
+    let mut elapsed = Dur::ZERO;
+    while elapsed < every + Dur::from_millis(20) {
+        h.heartbeat_all(&nodes);
+        h.advance(step);
+        elapsed += step;
+    }
+    let out = h.mgr.handle_msg(
+        nodes[0],
+        Msg::Heartbeat {
+            node: nodes[0],
+            free_space: GIB,
+            total_space: GIB,
+            addr: String::new(),
+        },
+        h.now,
+    );
+    match &out[0].msg {
+        Msg::HeartbeatAck { gc_due, .. } => assert!(*gc_due),
+        other => panic!("unexpected {other:?}"),
+    }
+}

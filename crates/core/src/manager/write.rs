@@ -1,0 +1,496 @@
+//! Write-path message handlers: session open (with eager reservation),
+//! reservation extension, atomic chunk-map commit, abort, deletion,
+//! policies, and manager-failure recovery via benefactor re-offers.
+
+use std::collections::{HashMap, HashSet};
+
+use stdchk_proto::chunkmap::{ChunkEntry, ChunkMap};
+use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::msg::Msg;
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_proto::ErrorCode;
+use stdchk_util::Time;
+
+use super::{
+    normalize, parent, ChunkMeta, FileState, Manager, PendingCommit, Reoffer, Reservation, Send,
+    VersionRecord,
+};
+
+impl Manager {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_create_file(
+        &mut self,
+        client: NodeId,
+        req: RequestId,
+        path: String,
+        stripe_width: u32,
+        replication: u32,
+        expected_chunks: u32,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let path = normalize(&path);
+        let width = if stripe_width == 0 {
+            self.cfg.default_stripe_width
+        } else {
+            stripe_width
+        } as usize;
+        let replication = if replication == 0 {
+            self.cfg.default_replication
+        } else {
+            replication
+        };
+        let stripe = self.select_stripe(width, &HashSet::new());
+        if stripe.is_empty() {
+            out.push(Send {
+                to: client,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NoSpace,
+                    detail: "no online benefactor has spare capacity".to_string(),
+                },
+            });
+            return;
+        }
+        // File entry exists from the first open; it stays invisible until a
+        // version commits.
+        let file = self
+            .files
+            .entry(path.clone())
+            .or_insert_with(|| {
+                let id = FileId(self.next_file);
+                self.next_file += 1;
+                FileState {
+                    id,
+                    versions: Vec::new(),
+                    replication: 1,
+                }
+            });
+        file.replication = file.replication.max(replication);
+        let file_id = file.id;
+        let prev_chunks: Vec<ChunkEntry> = file
+            .versions
+            .last()
+            .map(|v| v.map.entries().to_vec())
+            .unwrap_or_default();
+
+        let version = VersionId(self.next_version);
+        self.next_version += 1;
+        let reservation_id = ReservationId(self.next_reservation);
+        self.next_reservation += 1;
+        let mut reservation = Reservation {
+            client,
+            path,
+            version,
+            stripe: stripe.clone(),
+            replication,
+            reserved_on: HashMap::new(),
+            expires: now + self.cfg.reservation_ttl,
+        };
+        Manager::reserve_on(
+            &mut reservation,
+            &mut self.benefactors,
+            self.cfg.chunk_size,
+            expected_chunks.max(1) as u64,
+        );
+        self.reservations.insert(reservation_id, reservation);
+        out.push(Send {
+            to: client,
+            msg: Msg::CreateFileOk {
+                req,
+                file: file_id,
+                version,
+                reservation: reservation_id,
+                stripe,
+                prev_chunks,
+                chunk_size: self.cfg.chunk_size,
+            },
+        });
+    }
+
+    pub(super) fn on_extend(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        id: ReservationId,
+        additional_chunks: u32,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let Some(mut res) = self.reservations.remove(&id) else {
+            out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::Conflict,
+                    detail: format!("unknown or expired reservation {id}"),
+                },
+            });
+            return;
+        };
+        // Refresh the stripe: drop members that went offline, backfill.
+        let exclude: HashSet<NodeId> = res.stripe.iter().copied().collect();
+        res.stripe.retain(|n| {
+            self.benefactors
+                .get(n)
+                .map(|b| b.online)
+                .unwrap_or(false)
+        });
+        let missing = exclude.len() - res.stripe.len();
+        if missing > 0 {
+            let fresh = self.select_stripe(missing, &exclude);
+            res.stripe.extend(fresh);
+        }
+        if res.stripe.is_empty() {
+            self.release_reservation(&res);
+            out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NoSpace,
+                    detail: "no online benefactors left for this stripe".to_string(),
+                },
+            });
+            return;
+        }
+        Manager::reserve_on(
+            &mut res,
+            &mut self.benefactors,
+            self.cfg.chunk_size,
+            additional_chunks.max(1) as u64,
+        );
+        res.expires = now + self.cfg.reservation_ttl;
+        let stripe = res.stripe.clone();
+        self.reservations.insert(id, res);
+        out.push(Send {
+            to: from,
+            msg: Msg::ExtendOk { req, stripe },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_commit(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        reservation: ReservationId,
+        entries: Vec<ChunkEntry>,
+        placements: Vec<(ChunkId, Vec<NodeId>)>,
+        pessimistic: bool,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let Some(res) = self.reservations.remove(&reservation) else {
+            out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::Conflict,
+                    detail: format!("unknown or expired reservation {reservation}"),
+                },
+            });
+            return;
+        };
+        self.release_reservation(&res);
+        let placement_map: HashMap<ChunkId, &Vec<NodeId>> =
+            placements.iter().map(|(c, l)| (*c, l)).collect();
+        let map = ChunkMap::from_entries(entries);
+        // Validate: every distinct chunk is either already stored (dedup
+        // against an existing version) or has at least one placement.
+        for id in map.distinct_chunks() {
+            let known = self.chunks.get(&id).map(|m| m.refcount > 0).unwrap_or(false);
+            let placed = placement_map.get(&id).map(|l| !l.is_empty()).unwrap_or(false);
+            if !known && !placed {
+                out.push(Send {
+                    to: from,
+                    msg: Msg::ErrorReply {
+                        req,
+                        code: ErrorCode::BadRequest,
+                        detail: format!("chunk {id} committed without any placement"),
+                    },
+                });
+                return;
+            }
+        }
+        // Apply chunk metadata.
+        let sizes: HashMap<ChunkId, u32> = map
+            .entries()
+            .iter()
+            .map(|e| (e.id, e.size))
+            .collect();
+        for id in map.distinct_chunks() {
+            let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
+                size: *sizes.get(&id).expect("entry size"),
+                locations: Vec::new(),
+                refcount: 0,
+                target: 1,
+            });
+            meta.refcount += 1;
+            meta.target = meta.target.max(res.replication);
+            if let Some(locs) = placement_map.get(&id) {
+                for n in locs.iter() {
+                    if !meta.locations.contains(n) {
+                        meta.locations.push(*n);
+                    }
+                }
+            }
+        }
+        // Record the version.
+        let file = self
+            .files
+            .entry(res.path.clone())
+            .or_insert_with(|| {
+                let id = FileId(self.next_file);
+                self.next_file += 1;
+                FileState {
+                    id,
+                    versions: Vec::new(),
+                    replication: res.replication,
+                }
+            });
+        file.replication = file.replication.max(res.replication);
+        let file_id = file.id;
+        let version = res.version;
+        file.versions.push(VersionRecord {
+            version,
+            map: map.clone(),
+            mtime: now,
+        });
+        self.stats.commits += 1;
+
+        // Plan replication for under-replicated chunks of this version.
+        let mut waiting: HashSet<ChunkId> = HashSet::new();
+        if res.replication > 1 {
+            let online = self.online_benefactors() as u32;
+            let effective = res.replication.min(online.max(1));
+            for id in map.distinct_chunks() {
+                let meta = &self.chunks[&id];
+                if (self.online_locations(&meta.locations) as u32) < effective {
+                    self.enqueue_replication(id);
+                    waiting.insert(id);
+                }
+            }
+        }
+
+        // Retention: a newly committed image may obsolete older ones.
+        let dir_policy = self.policy_for(&res.path);
+        if let RetentionPolicy::AutomatedReplace { keep_last } = dir_policy {
+            out.extend(self.prune_versions(&res.path, keep_last as usize));
+        }
+
+        if pessimistic && !waiting.is_empty() {
+            self.pending_commits.push(PendingCommit {
+                client: from,
+                req,
+                file: file_id,
+                version,
+                waiting,
+            });
+        } else {
+            out.push(Send {
+                to: from,
+                msg: Msg::CommitOk {
+                    req,
+                    file: file_id,
+                    version,
+                },
+            });
+        }
+        out.extend(self.pump_replication(now));
+    }
+
+    pub(super) fn on_abort(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        reservation: ReservationId,
+        out: &mut Vec<Send>,
+    ) {
+        if let Some(res) = self.reservations.remove(&reservation) {
+            self.release_reservation(&res);
+            self.drop_file_if_empty(&res.path);
+        }
+        // Abort is idempotent: an expired reservation still acks.
+        out.push(Send {
+            to: from,
+            msg: Msg::Ack { req },
+        });
+    }
+
+    pub(super) fn on_delete_file(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        path: &str,
+        out: &mut Vec<Send>,
+    ) {
+        let path = normalize(path);
+        match self.files.get(&path) {
+            Some(f) if !f.versions.is_empty() => {
+                out.extend(self.prune_versions(&path, 0));
+                self.files.remove(&path);
+                out.push(Send {
+                    to: from,
+                    msg: Msg::Ack { req },
+                });
+            }
+            _ => out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("{path}: no such file"),
+                },
+            }),
+        }
+    }
+
+    pub(super) fn on_set_policy(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        dir: String,
+        policy: RetentionPolicy,
+        out: &mut Vec<Send>,
+    ) {
+        let dir = normalize(&dir);
+        self.dirs.insert(dir, policy);
+        out.push(Send {
+            to: from,
+            msg: Msg::Ack { req },
+        });
+    }
+
+    /// The retention policy applying to `path`: the policy of its nearest
+    /// ancestor directory, defaulting to no intervention.
+    pub(crate) fn policy_for(&self, path: &str) -> RetentionPolicy {
+        let mut dir = parent(path);
+        loop {
+            if let Some(p) = self.dirs.get(&dir) {
+                return *p;
+            }
+            if dir == "/" {
+                return RetentionPolicy::NoIntervention;
+            }
+            dir = parent(&dir);
+        }
+    }
+
+    pub(crate) fn drop_file_if_empty(&mut self, path: &str) {
+        let empty = self
+            .files
+            .get(path)
+            .map(|f| f.versions.is_empty())
+            .unwrap_or(false);
+        let has_reservation = self.reservations.values().any(|r| r.path == path);
+        if empty && !has_reservation {
+            self.files.remove(path);
+        }
+    }
+
+    // ------------------------------------------------------------ recovery
+
+    /// Handles a benefactor re-offer of a stashed commit after a manager
+    /// restart. The commit is accepted once re-offers from at least ⅔ of the
+    /// write stripe's benefactors agree on the identical chunk-map
+    /// (paper §IV.A, "dealing with failures").
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_reoffer(
+        &mut self,
+        req: RequestId,
+        node: NodeId,
+        path: String,
+        entries: Vec<ChunkEntry>,
+        placements: Vec<(ChunkId, Vec<NodeId>)>,
+        now: Time,
+        out: &mut Vec<Send>,
+    ) {
+        let path = normalize(&path);
+        // Already committed with this exact map? Then the offer is stale:
+        // ack so the benefactor drops its stash.
+        if let Some(f) = self.files.get(&path) {
+            if f.versions
+                .iter()
+                .any(|v| v.map.entries() == entries.as_slice())
+            {
+                out.push(Send {
+                    to: node,
+                    msg: Msg::Ack { req },
+                });
+                return;
+            }
+        }
+        let offers = self.reoffers.entry(path.clone()).or_default();
+        offers.retain(|o| o.node != node);
+        offers.push(Reoffer {
+            node,
+            entries: entries.clone(),
+            placements: placements.clone(),
+        });
+        // Count agreeing offers for this exact chunk-map.
+        let agreeing: Vec<NodeId> = offers
+            .iter()
+            .filter(|o| o.entries == entries && o.placements == placements)
+            .map(|o| o.node)
+            .collect();
+        let stripe_size = {
+            let mut nodes: HashSet<NodeId> = HashSet::new();
+            for (_, locs) in &placements {
+                nodes.extend(locs.iter().copied());
+            }
+            nodes.len().max(1)
+        };
+        let needed = stripe_size.div_ceil(3) * 2; // ceil(2/3 · stripe) for stripe ≥ 1
+        let threshold = needed.min(stripe_size).max(1);
+        if agreeing.len() < threshold {
+            // Not enough concurrence yet: no reply; the benefactor re-offers
+            // on its next cycle.
+            return;
+        }
+        // Accept: synthesize the commit.
+        self.reoffers.remove(&path);
+        let map = ChunkMap::from_entries(entries);
+        let placement_map: HashMap<ChunkId, &Vec<NodeId>> =
+            placements.iter().map(|(c, l)| (*c, l)).collect();
+        let sizes: HashMap<ChunkId, u32> =
+            map.entries().iter().map(|e| (e.id, e.size)).collect();
+        for id in map.distinct_chunks() {
+            let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
+                size: *sizes.get(&id).expect("entry size"),
+                locations: Vec::new(),
+                refcount: 0,
+                target: 1,
+            });
+            meta.refcount += 1;
+            if let Some(locs) = placement_map.get(&id) {
+                for n in locs.iter() {
+                    if !meta.locations.contains(n) {
+                        meta.locations.push(*n);
+                    }
+                }
+            }
+        }
+        let version = VersionId(self.next_version);
+        self.next_version += 1;
+        let file = self.files.entry(path).or_insert_with(|| {
+            let id = FileId(self.next_file);
+            self.next_file += 1;
+            FileState {
+                id,
+                versions: Vec::new(),
+                replication: 1,
+            }
+        });
+        file.versions.push(VersionRecord {
+            version,
+            map,
+            mtime: now,
+        });
+        self.stats.commits += 1;
+        self.stats.recovered_commits += 1;
+        out.push(Send {
+            to: node,
+            msg: Msg::Ack { req },
+        });
+    }
+}

@@ -1,0 +1,331 @@
+//! Payload abstraction: real bytes or virtual (size + content tag).
+//!
+//! The same session/benefactor state machines run under a real driver
+//! (payloads carry actual bytes) and the discrete-event simulator (payloads
+//! carry only a size and a deterministic *content tag*). Content tags stand
+//! in for content: equal tag sequences hash to equal [`ChunkId`]s, so dedup,
+//! content addressing and integrity logic behave identically without
+//! allocating gigabytes during simulation.
+
+use bytes::Bytes;
+
+use stdchk_proto::chunkmap::ChunkEntry;
+use stdchk_proto::ids::ChunkId;
+use stdchk_util::sha256::Sha256;
+
+/// A write payload: application bytes or their virtual stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Real application bytes.
+    Real(Bytes),
+    /// Virtual bytes: `size` bytes whose content is identified by `tag`.
+    /// Two virtual payloads with the same `(size, tag)` represent identical
+    /// content.
+    Virtual {
+        /// Logical length in bytes.
+        size: u32,
+        /// Deterministic content identity.
+        tag: u64,
+    },
+}
+
+impl Payload {
+    /// Logical length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Real(b) => b.len() as u64,
+            Payload::Virtual { size, .. } => *size as u64,
+        }
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The real bytes, or an empty buffer for virtual payloads (what goes
+    /// into `PutChunk::data`).
+    pub fn bytes(&self) -> Bytes {
+        match self {
+            Payload::Real(b) => b.clone(),
+            Payload::Virtual { .. } => Bytes::new(),
+        }
+    }
+
+    /// Builds a real payload from a byte vector.
+    pub fn real(data: impl Into<Bytes>) -> Payload {
+        Payload::Real(data.into())
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Payload {
+        Payload::Real(b)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::Real(Bytes::from(v))
+    }
+}
+
+/// Accumulates payload segments into fixed-size chunks, hashing content as
+/// it streams in (stdchk computes chunk identities *on the write path*, the
+/// cost the paper's Figure 7 measures).
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_core::payload::{ChunkAssembler, Payload};
+///
+/// let mut asm = ChunkAssembler::new(4);
+/// let mut done = Vec::new();
+/// asm.push(Payload::real(vec![1u8, 2, 3, 4, 5]), &mut done);
+/// assert_eq!(done.len(), 1); // one full 4-byte chunk
+/// assert_eq!(done[0].entry.size, 4);
+/// let tail = asm.finish().expect("partial chunk");
+/// assert_eq!(tail.entry.size, 1);
+/// ```
+#[derive(Debug)]
+pub struct ChunkAssembler {
+    chunk_size: u32,
+    hasher: Sha256,
+    segments: Vec<Payload>,
+    current: u64,
+    virtual_only: bool,
+}
+
+/// A completed chunk: its catalog entry plus the payload to ship.
+#[derive(Clone, Debug)]
+pub struct AssembledChunk {
+    /// Content-addressed entry (id + size).
+    pub entry: ChunkEntry,
+    /// The data to transfer (real bytes, or virtual size).
+    pub payload: Payload,
+}
+
+impl ChunkAssembler {
+    /// Creates an assembler cutting chunks of `chunk_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn new(chunk_size: u32) -> ChunkAssembler {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunkAssembler {
+            chunk_size,
+            hasher: Sha256::new(),
+            segments: Vec::new(),
+            current: 0,
+            virtual_only: true,
+        }
+    }
+
+    /// Bytes accumulated toward the current (incomplete) chunk.
+    pub fn pending_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// Feeds a payload, emitting every chunk it completes into `done`.
+    pub fn push(&mut self, payload: Payload, done: &mut Vec<AssembledChunk>) {
+        let mut payload = payload;
+        loop {
+            let room = self.chunk_size as u64 - self.current;
+            let take = payload.len().min(room);
+            if take == 0 && payload.is_empty() {
+                break;
+            }
+            let (head, rest) = split_payload(payload, take);
+            self.absorb(head);
+            if self.current == self.chunk_size as u64 {
+                let chunk = self.cut();
+                done.push(chunk);
+            }
+            match rest {
+                Some(r) => payload = r,
+                None => break,
+            }
+        }
+    }
+
+    /// Finishes the stream, returning the final partial chunk if any.
+    pub fn finish(&mut self) -> Option<AssembledChunk> {
+        if self.current == 0 {
+            return None;
+        }
+        Some(self.cut())
+    }
+
+    fn absorb(&mut self, p: Payload) {
+        match &p {
+            Payload::Real(b) => {
+                self.hasher.update(b);
+                self.virtual_only = false;
+            }
+            Payload::Virtual { size, tag } => {
+                // Hash the identity, not the bytes: deterministic and cheap.
+                self.hasher.update(&tag.to_le_bytes());
+                self.hasher.update(&size.to_le_bytes());
+            }
+        }
+        self.current += p.len();
+        if !p.is_empty() {
+            self.segments.push(p);
+        }
+    }
+
+    fn cut(&mut self) -> AssembledChunk {
+        let size = self.current as u32;
+        let digest = std::mem::replace(&mut self.hasher, Sha256::new()).finalize();
+        let id = ChunkId(digest);
+        let payload = if self.virtual_only && self.segments.iter().all(|s| matches!(s, Payload::Virtual { .. })) {
+            // Preserve virtuality: identity is the chunk id itself.
+            let tag = u64::from_le_bytes(digest[..8].try_into().expect("digest len"));
+            Payload::Virtual { size, tag }
+        } else {
+            // Concatenate real segments (zero-copy when single segment).
+            if self.segments.len() == 1 {
+                self.segments.pop().expect("non-empty").into_real()
+            } else {
+                let mut buf = Vec::with_capacity(size as usize);
+                for s in &self.segments {
+                    buf.extend_from_slice(&s.bytes());
+                }
+                Payload::Real(Bytes::from(buf))
+            }
+        };
+        self.segments.clear();
+        self.current = 0;
+        self.virtual_only = true;
+        AssembledChunk {
+            entry: ChunkEntry { id, size },
+            payload,
+        }
+    }
+}
+
+impl Payload {
+    fn into_real(self) -> Payload {
+        match self {
+            Payload::Real(_) => self,
+            Payload::Virtual { .. } => self,
+        }
+    }
+}
+
+fn split_payload(p: Payload, at: u64) -> (Payload, Option<Payload>) {
+    if at >= p.len() {
+        return (p, None);
+    }
+    match p {
+        Payload::Real(b) => {
+            let head = b.slice(..at as usize);
+            let tail = b.slice(at as usize..);
+            (Payload::Real(head), Some(Payload::Real(tail)))
+        }
+        Payload::Virtual { size, tag } => (
+            Payload::Virtual {
+                size: at as u32,
+                tag,
+            },
+            Some(Payload::Virtual {
+                size: size - at as u32,
+                // Distinguish the two halves deterministically.
+                tag: stdchk_util::mix64(tag ^ at),
+            }),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_chunks_hash_to_content_id() {
+        let mut asm = ChunkAssembler::new(4);
+        let mut done = Vec::new();
+        asm.push(Payload::real(vec![9u8; 8]), &mut done);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].entry.id, ChunkId::for_content(&[9u8; 4]));
+        assert_eq!(done[0].entry.id, done[1].entry.id, "identical content dedupes");
+    }
+
+    #[test]
+    fn split_writes_hash_like_contiguous_writes() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut a = ChunkAssembler::new(64);
+        let mut done_a = Vec::new();
+        a.push(Payload::real(data.clone()), &mut done_a);
+        done_a.extend(a.finish());
+
+        let mut b = ChunkAssembler::new(64);
+        let mut done_b = Vec::new();
+        for piece in data.chunks(7) {
+            b.push(Payload::real(piece.to_vec()), &mut done_b);
+        }
+        done_b.extend(b.finish());
+
+        let ids_a: Vec<_> = done_a.iter().map(|c| c.entry.id).collect();
+        let ids_b: Vec<_> = done_b.iter().map(|c| c.entry.id).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn virtual_payloads_with_same_tags_dedupe() {
+        let mut a = ChunkAssembler::new(1024);
+        let mut out_a = Vec::new();
+        a.push(Payload::Virtual { size: 1024, tag: 42 }, &mut out_a);
+        let mut b = ChunkAssembler::new(1024);
+        let mut out_b = Vec::new();
+        b.push(Payload::Virtual { size: 1024, tag: 42 }, &mut out_b);
+        assert_eq!(out_a[0].entry.id, out_b[0].entry.id);
+
+        let mut c = ChunkAssembler::new(1024);
+        let mut out_c = Vec::new();
+        c.push(Payload::Virtual { size: 1024, tag: 43 }, &mut out_c);
+        assert_ne!(out_a[0].entry.id, out_c[0].entry.id);
+    }
+
+    #[test]
+    fn virtual_chunks_stay_virtual() {
+        let mut a = ChunkAssembler::new(512);
+        let mut out = Vec::new();
+        a.push(
+            Payload::Virtual {
+                size: 2048,
+                tag: 7,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 4);
+        for c in &out {
+            assert!(matches!(c.payload, Payload::Virtual { .. }));
+            assert_eq!(c.payload.len(), 512);
+        }
+    }
+
+    #[test]
+    fn finish_emits_partial_tail_once() {
+        let mut a = ChunkAssembler::new(10);
+        let mut out = Vec::new();
+        a.push(Payload::real(vec![1u8; 13]), &mut out);
+        assert_eq!(out.len(), 1);
+        let tail = a.finish().expect("tail");
+        assert_eq!(tail.entry.size, 3);
+        assert!(a.finish().is_none());
+    }
+
+    #[test]
+    fn mixed_real_segments_concatenate() {
+        let mut a = ChunkAssembler::new(8);
+        let mut out = Vec::new();
+        a.push(Payload::real(vec![1u8; 3]), &mut out);
+        a.push(Payload::real(vec![2u8; 5]), &mut out);
+        assert_eq!(out.len(), 1);
+        let expect = [1u8, 1, 1, 2, 2, 2, 2, 2];
+        assert_eq!(&out[0].payload.bytes()[..], &expect);
+        assert_eq!(out[0].entry.id, ChunkId::for_content(&expect));
+    }
+}

@@ -1,0 +1,831 @@
+//! The write session: CLW, IW and SW protocols (paper §IV.B).
+//!
+//! One state machine implements all three write-optimized protocols as
+//! routing strategies over shared machinery (chunk assembly with on-path
+//! content hashing, FsCH dedup against the previous version, round-robin
+//! striping, reservation management, retries, atomic commit):
+//!
+//! - **Complete local write (CLW)**: every byte is staged locally; the push
+//!   to benefactors starts only at `close()`. Application-observed bandwidth
+//!   tracks local I/O; achieved storage bandwidth pays the serialized push.
+//! - **Incremental write (IW)**: staging is split into temporary files of a
+//!   configurable size; a sealed temp is pushed while the application keeps
+//!   writing the next one, overlapping creation and propagation.
+//! - **Sliding window (SW)**: no local I/O at all; data leaves a bounded
+//!   memory buffer straight to the stripe. The buffer size bounds how far
+//!   the application can run ahead of the network.
+//!
+//! Two timestamps implement the paper's metrics: `app_close_at` ends the
+//! *observed application bandwidth* window (all data handed off: staged
+//! locally for CLW/IW, sent on the wire for SW), and `done_at` ends the
+//! *achieved storage bandwidth* window (all chunks acked remotely and the
+//! chunk-map committed).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use stdchk_proto::chunkmap::ChunkEntry;
+use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::msg::Msg;
+use stdchk_proto::ErrorCode;
+use stdchk_util::Time;
+
+use super::ReqGen;
+use crate::payload::{AssembledChunk, ChunkAssembler, Payload};
+use crate::MANAGER_NODE;
+
+/// Which write-optimized protocol a session uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteProtocol {
+    /// Complete local write: stage everything, push after `close()`.
+    CompleteLocal,
+    /// Incremental write: stage into temps of `temp_size` bytes; push sealed
+    /// temps while writing continues.
+    Incremental {
+        /// Size of each temporary file.
+        temp_size: u64,
+    },
+    /// Sliding window: push straight from a memory buffer of `buffer` bytes.
+    SlidingWindow {
+        /// Memory buffer capacity.
+        buffer: u64,
+    },
+}
+
+/// Write-session configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The write protocol.
+    pub protocol: WriteProtocol,
+    /// Enable FsCH incremental checkpointing: chunks whose content hash
+    /// matches the previous version are not transferred or stored again.
+    pub dedup: bool,
+    /// Pessimistic write semantics: the commit acknowledges only once the
+    /// replication target is met.
+    pub pessimistic: bool,
+    /// Per-chunk transfer retry budget before the session fails.
+    pub put_retries: u32,
+    /// Stash the final chunk-map on the stripe's benefactors so a failed
+    /// manager can recover the commit (paper §IV.A).
+    pub stash_commits: bool,
+    /// IW: sealed-but-unpushed temps tolerated before the app is blocked.
+    pub max_pending_temps: usize,
+    /// Bound on concurrently outstanding chunk transfers.
+    pub max_inflight_puts: usize,
+    /// Bound on staged bytes whose local write has not completed yet.
+    pub stage_window: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            protocol: WriteProtocol::SlidingWindow { buffer: 64 << 20 },
+            dedup: false,
+            pessimistic: false,
+            put_retries: 3,
+            stash_commits: false,
+            max_pending_temps: 2,
+            max_inflight_puts: 16,
+            stage_window: 8 << 20,
+        }
+    }
+}
+
+/// The manager's grant for a write session (a parsed `CreateFileOk` plus the
+/// path the client asked for).
+#[derive(Clone, Debug)]
+pub struct OpenGrant {
+    /// Path being written.
+    pub path: String,
+    /// File id.
+    pub file: FileId,
+    /// The version this session will commit.
+    pub version: VersionId,
+    /// Reservation handle.
+    pub reservation: ReservationId,
+    /// Stripe of benefactors, round-robin order.
+    pub stripe: Vec<NodeId>,
+    /// Previous version's chunk entries (dedup baseline).
+    pub prev_chunks: Vec<ChunkEntry>,
+    /// Pool chunk size.
+    pub chunk_size: u32,
+    /// Chunks covered by the initial reservation.
+    pub reserved_chunks: u64,
+}
+
+/// One output of the write session.
+#[derive(Clone, Debug)]
+pub enum WriteAction {
+    /// Send a protocol message (chunk puts to benefactors; extend, commit,
+    /// abort to the manager; stashes to benefactors).
+    Send {
+        /// Destination.
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Append chunk bytes to the local stage (CLW/IW temp storage). The
+    /// driver persists and calls [`WriteSession::on_stage_append_done`].
+    StageAppend {
+        /// Completion token.
+        op: u64,
+        /// Stage offset (equals the chunk's file offset).
+        offset: u64,
+        /// The data.
+        payload: Payload,
+    },
+    /// Read staged bytes back for pushing. The driver answers with
+    /// [`WriteSession::on_stage_fetch`].
+    StageFetch {
+        /// Completion token.
+        op: u64,
+        /// Stage offset.
+        offset: u64,
+        /// Length.
+        len: u32,
+    },
+    /// The stage below this offset is no longer needed (temp deletion).
+    StageDiscard {
+        /// All staged bytes before this offset may be dropped.
+        upto: u64,
+    },
+}
+
+/// Lifecycle of a write session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Accepting application writes.
+    Open,
+    /// `close()` called; draining data and committing.
+    Closing,
+    /// Chunk-map committed; all remote I/O complete.
+    Done,
+    /// Unrecoverable failure.
+    Failed(ErrorCode),
+}
+
+/// Metrics for the paper's OAB/ASB accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteStats {
+    /// Bytes the application wrote.
+    pub bytes_written: u64,
+    /// Bytes actually shipped to benefactors (network/storage effort).
+    pub bytes_stored: u64,
+    /// Bytes saved by incremental-checkpointing dedup.
+    pub bytes_deduped: u64,
+    /// Total chunks in the committed map.
+    pub chunks_total: u64,
+    /// Chunks that were dedup hits.
+    pub chunks_deduped: u64,
+    /// When the session opened.
+    pub open_at: Time,
+    /// When `close()` returned to the application (ends the OAB window).
+    pub app_close_at: Option<Time>,
+    /// When all remote I/O completed and the map committed (ends ASB).
+    pub done_at: Option<Time>,
+}
+
+impl WriteStats {
+    /// Observed application bandwidth in bytes/sec, if the close returned.
+    pub fn oab(&self) -> Option<f64> {
+        let end = self.app_close_at?;
+        let dt = end.since(self.open_at).as_secs_f64();
+        (dt > 0.0).then(|| self.bytes_written as f64 / dt)
+    }
+
+    /// Achieved storage bandwidth in bytes/sec, if the session completed.
+    pub fn asb(&self) -> Option<f64> {
+        let end = self.done_at?;
+        let dt = end.since(self.open_at).as_secs_f64();
+        (dt > 0.0).then(|| self.bytes_written as f64 / dt)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PendingPut {
+    chunk: ChunkId,
+    size: u32,
+    payload: Payload,
+    target: NodeId,
+    attempts: u32,
+    sent: bool,
+}
+
+#[derive(Clone, Debug)]
+struct StagedChunk {
+    entry: ChunkEntry,
+    offset: u64,
+    /// Index of the IW temp this chunk belongs to (0 for CLW).
+    temp: u64,
+    deduped: bool,
+}
+
+/// The write-session state machine. See the module docs.
+#[derive(Debug)]
+pub struct WriteSession {
+    cfg: SessionConfig,
+    grant: OpenGrant,
+    /// This client's pool identity (kept for diagnostics/logging).
+    #[allow(dead_code)]
+    client: NodeId,
+    reqs: ReqGen,
+    next_op: u64,
+    state: SessionState,
+    asm: ChunkAssembler,
+    entries: Vec<ChunkEntry>,
+    prev: HashSet<ChunkId>,
+    placements: HashMap<ChunkId, Vec<NodeId>>,
+    stripe: Vec<NodeId>,
+    rr: usize,
+    used_chunks: u64,
+    reserved_chunks: u64,
+    extend_pending: Option<RequestId>,
+    // Direct-push state (SW; also the push engine for staged protocols).
+    pending_puts: HashMap<RequestId, PendingPut>,
+    queued_puts: VecDeque<AssembledChunk>,
+    buffered: u64,
+    // Staging state (CLW/IW).
+    staged: VecDeque<StagedChunk>,
+    stage_tail: u64,
+    stage_inflight: u64,
+    stage_ops: HashMap<u64, u64>,
+    sealed_temps: u64,
+    pushed_temps: u64,
+    push_open: bool,
+    pending_fetches: HashMap<u64, StagedChunk>,
+    // Commit state.
+    commit_req: Option<RequestId>,
+    stash_sent: bool,
+    stash_reqs: HashSet<RequestId>,
+    stats: WriteStats,
+}
+
+impl WriteSession {
+    /// Opens a session from a manager grant.
+    ///
+    /// `session_id` must be unique among the client's sessions (request-id
+    /// namespace); `client` is this client's node id.
+    pub fn new(
+        session_id: u64,
+        client: NodeId,
+        grant: OpenGrant,
+        cfg: SessionConfig,
+        now: Time,
+    ) -> WriteSession {
+        let prev = grant.prev_chunks.iter().map(|e| e.id).collect();
+        let asm = ChunkAssembler::new(grant.chunk_size);
+        let stripe = grant.stripe.clone();
+        let reserved = grant.reserved_chunks.max(1);
+        // IW pushes sealed temps immediately; CLW opens the push phase only
+        // at close. (SW never stages, so the flag is inert.)
+        let push_open = !matches!(cfg.protocol, WriteProtocol::CompleteLocal);
+        WriteSession {
+            cfg,
+            client,
+            reqs: ReqGen::new(session_id),
+            next_op: 0,
+            state: SessionState::Open,
+            asm,
+            entries: Vec::new(),
+            prev,
+            placements: HashMap::new(),
+            stripe,
+            rr: 0,
+            used_chunks: 0,
+            reserved_chunks: reserved,
+            extend_pending: None,
+            pending_puts: HashMap::new(),
+            queued_puts: VecDeque::new(),
+            buffered: 0,
+            staged: VecDeque::new(),
+            stage_tail: 0,
+            stage_inflight: 0,
+            stage_ops: HashMap::new(),
+            sealed_temps: 0,
+            pushed_temps: 0,
+            push_open,
+            pending_fetches: HashMap::new(),
+            commit_req: None,
+            stash_sent: false,
+            stash_reqs: HashSet::new(),
+            stats: WriteStats {
+                open_at: now,
+                ..WriteStats::default()
+            },
+            grant,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Session metrics.
+    pub fn stats(&self) -> WriteStats {
+        self.stats
+    }
+
+    /// The committed chunk-map entries so far (final after `Done`).
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// True once the session has fully completed (ASB endpoint).
+    pub fn is_done(&self) -> bool {
+        self.state == SessionState::Done
+    }
+
+    /// True once `close()` has returned to the application (OAB endpoint).
+    pub fn app_close_returned(&self) -> bool {
+        self.stats.app_close_at.is_some()
+    }
+
+    fn op(&mut self) -> u64 {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    /// How many bytes the application may write right now without
+    /// overrunning the protocol's backpressure bound (0 = blocked).
+    pub fn writable(&self) -> u64 {
+        if self.state != SessionState::Open {
+            return 0;
+        }
+        match self.cfg.protocol {
+            WriteProtocol::SlidingWindow { buffer } => buffer.saturating_sub(self.buffered),
+            WriteProtocol::CompleteLocal => {
+                self.cfg.stage_window.saturating_sub(self.stage_inflight)
+            }
+            WriteProtocol::Incremental { .. } => {
+                let pending_temps = self.sealed_temps.saturating_sub(self.pushed_temps);
+                if pending_temps >= self.cfg.max_pending_temps as u64 {
+                    0
+                } else {
+                    self.cfg.stage_window.saturating_sub(self.stage_inflight)
+                }
+            }
+        }
+    }
+
+    /// Application write. Callers should respect [`WriteSession::writable`];
+    /// writes beyond it are accepted but simply extend the backpressure
+    /// window (the driver decides whether to block the application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `close()`.
+    pub fn write(&mut self, payload: Payload, now: Time) -> Vec<WriteAction> {
+        assert_eq!(self.state, SessionState::Open, "write after close");
+        let mut out = Vec::new();
+        self.stats.bytes_written += payload.len();
+        let mut done = Vec::new();
+        self.asm.push(payload, &mut done);
+        for chunk in done {
+            self.route_chunk(chunk, now, &mut out);
+        }
+        out
+    }
+
+    /// Application close: drains remaining data, then commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn close(&mut self, now: Time) -> Vec<WriteAction> {
+        assert_eq!(self.state, SessionState::Open, "close called twice");
+        self.state = SessionState::Closing;
+        let mut out = Vec::new();
+        if let Some(tail) = self.asm.finish() {
+            self.route_chunk(tail, now, &mut out);
+        }
+        // CLW: the push phase starts now.
+        if matches!(self.cfg.protocol, WriteProtocol::CompleteLocal) {
+            self.push_open = true;
+        }
+        // IW: the final (partial) temp seals at close.
+        if matches!(self.cfg.protocol, WriteProtocol::Incremental { .. }) {
+            self.seal_temps(true);
+        }
+        self.pump(now, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------ routing
+
+    fn route_chunk(&mut self, chunk: AssembledChunk, now: Time, out: &mut Vec<WriteAction>) {
+        self.stats.chunks_total += 1;
+        self.entries.push(chunk.entry);
+        let dedup_hit = self.cfg.dedup && self.prev.contains(&chunk.entry.id);
+        // A chunk already shipped (or queued) in *this* session is also a
+        // dedup hit: content addressing is set-based.
+        let already_here = self.placements.contains_key(&chunk.entry.id)
+            || self.pending_puts.values().any(|p| p.chunk == chunk.entry.id)
+            || self.queued_puts.iter().any(|q| q.entry.id == chunk.entry.id)
+            || self
+                .staged
+                .iter()
+                .any(|s| !s.deduped && s.entry.id == chunk.entry.id)
+            || self
+                .pending_fetches
+                .values()
+                .any(|s| s.entry.id == chunk.entry.id);
+        let dedup = dedup_hit || already_here;
+        if dedup {
+            self.stats.chunks_deduped += 1;
+            self.stats.bytes_deduped += chunk.entry.size as u64;
+        }
+        match self.cfg.protocol {
+            WriteProtocol::SlidingWindow { .. } => {
+                if dedup {
+                    // Nothing to transfer; the manager resolves locations.
+                } else {
+                    self.buffered += chunk.entry.size as u64;
+                    self.queued_puts.push_back(chunk);
+                }
+            }
+            WriteProtocol::CompleteLocal | WriteProtocol::Incremental { .. } => {
+                // Stage every byte locally (the local dump), push later.
+                let op = self.op();
+                let offset = self.stage_tail;
+                self.stage_tail += chunk.entry.size as u64;
+                self.stage_inflight += chunk.entry.size as u64;
+                self.stage_ops.insert(op, chunk.entry.size as u64);
+                out.push(WriteAction::StageAppend {
+                    op,
+                    offset,
+                    payload: chunk.payload,
+                });
+                let temp = match self.cfg.protocol {
+                    WriteProtocol::Incremental { temp_size } => offset / temp_size.max(1),
+                    _ => 0,
+                };
+                self.staged.push_back(StagedChunk {
+                    entry: chunk.entry,
+                    offset,
+                    temp,
+                    deduped: dedup,
+                });
+                self.seal_temps(false);
+            }
+        }
+        self.pump(now, out);
+    }
+
+    fn seal_temps(&mut self, all: bool) {
+        if let WriteProtocol::Incremental { temp_size } = self.cfg.protocol {
+            let complete = self.stage_tail / temp_size.max(1);
+            let target = if all {
+                // Seal the partial temp too (close).
+                if self.stage_tail % temp_size.max(1) == 0 {
+                    complete
+                } else {
+                    complete + 1
+                }
+            } else {
+                complete
+            };
+            self.sealed_temps = self.sealed_temps.max(target);
+        } else if all {
+            self.sealed_temps = 1;
+        }
+    }
+
+    /// Central scheduler: issues queued transfers, stage fetches, extension
+    /// requests, close transitions and the final commit.
+    fn pump(&mut self, now: Time, out: &mut Vec<WriteAction>) {
+        if matches!(self.state, SessionState::Done | SessionState::Failed(_)) {
+            return;
+        }
+        // Reservation exhaustion → extend.
+        if self.needs_reservation() && self.extend_pending.is_none() {
+            let req = self.reqs.next();
+            self.extend_pending = Some(req);
+            let additional = (self.queued_puts.len() as u64 + self.staged.len() as u64).max(8);
+            out.push(WriteAction::Send {
+                to: MANAGER_NODE,
+                msg: Msg::ExtendReservation {
+                    req,
+                    reservation: self.grant.reservation,
+                    additional_chunks: additional as u32,
+                },
+            });
+        }
+        // Direct queue (SW).
+        while !self.queued_puts.is_empty()
+            && self.pending_puts.len() < self.cfg.max_inflight_puts
+            && self.reservation_available()
+        {
+            let chunk = self.queued_puts.pop_front().expect("non-empty");
+            self.issue_put(chunk.entry.id, chunk.entry.size, chunk.payload, false, out);
+        }
+        // Staged pushes (CLW/IW).
+        if self.push_open {
+            while let Some(front) = self.staged.front() {
+                if front.deduped {
+                    let c = self.staged.pop_front().expect("non-empty");
+                    let _ = c;
+                    continue;
+                }
+                let pushable = match self.cfg.protocol {
+                    WriteProtocol::Incremental { .. } => front.temp < self.sealed_temps,
+                    WriteProtocol::CompleteLocal => self.state == SessionState::Closing,
+                    WriteProtocol::SlidingWindow { .. } => false,
+                };
+                if !pushable
+                    || self.pending_puts.len() + self.pending_fetches.len()
+                        >= self.cfg.max_inflight_puts
+                    || !self.reservation_available()
+                {
+                    break;
+                }
+                let c = self.staged.pop_front().expect("non-empty");
+                let op = self.op();
+                out.push(WriteAction::StageFetch {
+                    op,
+                    offset: c.offset,
+                    len: c.entry.size,
+                });
+                self.pending_fetches.insert(op, c);
+            }
+        }
+        self.check_close_progress(now, out);
+    }
+
+    fn needs_reservation(&self) -> bool {
+        let demand = !self.queued_puts.is_empty()
+            || self
+                .staged
+                .front()
+                .map(|c| !c.deduped && self.push_open)
+                .unwrap_or(false);
+        demand && self.used_chunks >= self.reserved_chunks
+    }
+
+    fn reservation_available(&self) -> bool {
+        self.used_chunks < self.reserved_chunks
+    }
+
+    fn issue_put(
+        &mut self,
+        chunk: ChunkId,
+        size: u32,
+        payload: Payload,
+        background: bool,
+        out: &mut Vec<WriteAction>,
+    ) {
+        let target = self.stripe[self.rr % self.stripe.len()];
+        self.rr += 1;
+        self.used_chunks += 1;
+        let req = self.reqs.next();
+        self.pending_puts.insert(
+            req,
+            PendingPut {
+                chunk,
+                size,
+                payload: payload.clone(),
+                target,
+                attempts: 0,
+                sent: false,
+            },
+        );
+        out.push(WriteAction::Send {
+            to: target,
+            msg: Msg::PutChunk {
+                req,
+                chunk,
+                size,
+                data: payload.bytes(),
+                background,
+            },
+        });
+    }
+
+    // ------------------------------------------------------------ callbacks
+
+    /// Driver callback: the transfer for `req` has fully left this node
+    /// (socket write completed / simulated flow finished).
+    pub fn on_put_sent(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
+        let mut out = Vec::new();
+        if let Some(p) = self.pending_puts.get_mut(&req) {
+            p.sent = true;
+        }
+        self.check_close_progress(now, &mut out);
+        out
+    }
+
+    /// Driver callback: the transfer for `req` failed (connection lost,
+    /// timeout). The chunk is retried on the next stripe member.
+    pub fn on_put_failed(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
+        let mut out = Vec::new();
+        let Some(mut p) = self.pending_puts.remove(&req) else {
+            return out;
+        };
+        p.attempts += 1;
+        // Exclude the failed target from the stripe.
+        self.stripe.retain(|n| *n != p.target);
+        if p.attempts > self.cfg.put_retries || self.stripe.is_empty() {
+            self.fail(ErrorCode::Unavailable, &mut out);
+            return out;
+        }
+        let target = self.stripe[self.rr % self.stripe.len()];
+        self.rr += 1;
+        let new_req = self.reqs.next();
+        out.push(WriteAction::Send {
+            to: target,
+            msg: Msg::PutChunk {
+                req: new_req,
+                chunk: p.chunk,
+                size: p.size,
+                data: p.payload.bytes(),
+                background: false,
+            },
+        });
+        self.pending_puts.insert(
+            new_req,
+            PendingPut {
+                target,
+                sent: false,
+                ..p
+            },
+        );
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// Driver callback: a stage append completed.
+    pub fn on_stage_append_done(&mut self, op: u64, now: Time) -> Vec<WriteAction> {
+        let mut out = Vec::new();
+        if let Some(bytes) = self.stage_ops.remove(&op) {
+            self.stage_inflight = self.stage_inflight.saturating_sub(bytes);
+        }
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// Driver callback: staged bytes fetched back for pushing.
+    pub fn on_stage_fetch(&mut self, op: u64, payload: Payload, now: Time) -> Vec<WriteAction> {
+        let mut out = Vec::new();
+        let Some(c) = self.pending_fetches.remove(&op) else {
+            return out;
+        };
+        self.issue_put(c.entry.id, c.entry.size, payload, false, &mut out);
+        // Track temp completion for IW discard/backpressure.
+        if matches!(self.cfg.protocol, WriteProtocol::Incremental { .. }) {
+            let min_unpushed_temp = self
+                .staged
+                .iter()
+                .map(|s| s.temp)
+                .chain(self.pending_fetches.values().map(|s| s.temp))
+                .min()
+                .unwrap_or(u64::MAX);
+            let newly_pushed = min_unpushed_temp.min(self.sealed_temps);
+            if newly_pushed > self.pushed_temps {
+                self.pushed_temps = newly_pushed;
+                if let WriteProtocol::Incremental { temp_size } = self.cfg.protocol {
+                    out.push(WriteAction::StageDiscard {
+                        upto: self.pushed_temps * temp_size,
+                    });
+                }
+            }
+        }
+        self.pump(now, &mut out);
+        out
+    }
+
+    /// Processes a protocol reply addressed to this session.
+    pub fn on_msg(&mut self, msg: Msg, now: Time) -> Vec<WriteAction> {
+        let mut out = Vec::new();
+        match msg {
+            Msg::PutChunkOk { req, chunk, node } => {
+                if let Some(p) = self.pending_puts.remove(&req) {
+                    debug_assert_eq!(p.chunk, chunk);
+                    self.stats.bytes_stored += p.size as u64;
+                    self.buffered = self.buffered.saturating_sub(p.size as u64);
+                    self.placements.entry(chunk).or_default().push(node);
+                    self.placements.get_mut(&chunk).expect("just added").dedup();
+                }
+                self.pump(now, &mut out);
+            }
+            Msg::ExtendOk { req, stripe } => {
+                if self.extend_pending == Some(req) {
+                    self.extend_pending = None;
+                    self.reserved_chunks += (self.queued_puts.len() as u64
+                        + self.staged.len() as u64)
+                        .max(8);
+                    if !stripe.is_empty() {
+                        self.stripe = stripe;
+                    }
+                }
+                self.pump(now, &mut out);
+            }
+            Msg::CommitOk { req, .. } => {
+                if self.commit_req == Some(req) {
+                    self.state = SessionState::Done;
+                    self.stats.done_at = Some(now);
+                }
+            }
+            Msg::Ack { req } => {
+                self.stash_reqs.remove(&req);
+                self.check_close_progress(now, &mut out);
+            }
+            Msg::ErrorReply { req, code, .. } => {
+                if self.commit_req == Some(req) {
+                    self.fail(code, &mut out);
+                } else if self.extend_pending == Some(req) {
+                    self.fail(code, &mut out);
+                } else if self.pending_puts.contains_key(&req) {
+                    out.extend(self.on_put_failed(req, now));
+                } else {
+                    self.stash_reqs.remove(&req);
+                    self.check_close_progress(now, &mut out);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn fail(&mut self, code: ErrorCode, out: &mut Vec<WriteAction>) {
+        self.state = SessionState::Failed(code);
+        let req = self.reqs.next();
+        out.push(WriteAction::Send {
+            to: MANAGER_NODE,
+            msg: Msg::AbortWrite {
+                req,
+                reservation: self.grant.reservation,
+            },
+        });
+    }
+
+    // ------------------------------------------------------------ close path
+
+    fn check_close_progress(&mut self, now: Time, out: &mut Vec<WriteAction>) {
+        if self.state != SessionState::Closing {
+            return;
+        }
+        // OAB endpoint: the application's close() unblocks.
+        if self.stats.app_close_at.is_none() {
+            let handed_off = match self.cfg.protocol {
+                WriteProtocol::SlidingWindow { .. } => {
+                    self.queued_puts.is_empty()
+                        && self.pending_puts.values().all(|p| p.sent)
+                }
+                WriteProtocol::CompleteLocal | WriteProtocol::Incremental { .. } => {
+                    self.stage_inflight == 0 && self.stage_ops.is_empty()
+                }
+            };
+            if handed_off {
+                self.stats.app_close_at = Some(now);
+            }
+        }
+        // Commit once every chunk is durably stored once.
+        let all_stored = self.queued_puts.is_empty()
+            && self.pending_puts.is_empty()
+            && self.pending_fetches.is_empty()
+            && self.staged.iter().all(|c| c.deduped);
+        if all_stored && self.commit_req.is_none() && self.stash_reqs.is_empty() {
+            self.staged.clear();
+            let entries = self.entries.clone();
+            let placements: Vec<(ChunkId, Vec<NodeId>)> = {
+                let mut v: Vec<_> = self
+                    .placements
+                    .iter()
+                    .map(|(c, l)| (*c, l.clone()))
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            };
+            if self.cfg.stash_commits && !self.stripe.is_empty() && !self.stash_sent {
+                self.stash_sent = true;
+                for node in self.stripe.clone() {
+                    let req = self.reqs.next();
+                    self.stash_reqs.insert(req);
+                    out.push(WriteAction::Send {
+                        to: node,
+                        msg: Msg::StashCommit {
+                            req,
+                            path: self.grant.path.clone(),
+                            entries: entries.clone(),
+                            placements: placements.clone(),
+                        },
+                    });
+                }
+                // Commit is sent once stashes ack (next pass).
+                return;
+            }
+            let req = self.reqs.next();
+            self.commit_req = Some(req);
+            out.push(WriteAction::Send {
+                to: MANAGER_NODE,
+                msg: Msg::CommitChunkMap {
+                    req,
+                    reservation: self.grant.reservation,
+                    entries,
+                    placements,
+                    pessimistic: self.cfg.pessimistic,
+                },
+            });
+        }
+    }
+}
+

@@ -1,0 +1,253 @@
+//! A user-space file-system facade over a stdchk pool.
+//!
+//! The paper mounts stdchk under `/stdchk` through FUSE so applications and
+//! checkpointing libraries need no modification. A kernel FUSE mount is not
+//! available in every environment (and was not essential to the system —
+//! the paper measures its cost as ≈32 µs per call), so this crate provides
+//! the same *call surface* as a library: open/write/close with session
+//! semantics, reads, `readdir`/`getattr` backed by a metadata cache ("most
+//! readdir and getattr system calls can be answered without contacting the
+//! manager", §IV.E), deletion, retention policies, and the checkpoint
+//! naming convention of §IV.D.
+//!
+//! See [`StdchkFs`] for the entry point and [`naming::CheckpointName`] for
+//! `A.Ni.Tj` handling.
+
+pub mod naming;
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use naming::CheckpointName;
+use stdchk_net::{Grid, GridError, ReadHandle, WriteHandle, WriteOptions};
+use stdchk_proto::msg::{DirEntry, FileAttr};
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_proto::VersionId;
+
+/// Mount-time options.
+#[derive(Clone, Debug)]
+pub struct MountOptions {
+    /// Defaults applied to every write (protocol, striping, replication).
+    pub write: WriteOptions,
+    /// How long cached attributes and listings stay valid.
+    pub attr_ttl: Duration,
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        MountOptions {
+            write: WriteOptions::default(),
+            attr_ttl: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheSlot<T> {
+    at: Instant,
+    value: T,
+}
+
+/// The mounted file-system facade.
+///
+/// All paths are absolute within the pool namespace (`/app/ck.n0.t3`).
+#[derive(Debug)]
+pub struct StdchkFs {
+    grid: Grid,
+    opts: MountOptions,
+    attrs: Mutex<HashMap<String, CacheSlot<FileAttr>>>,
+    listings: Mutex<HashMap<String, CacheSlot<Vec<DirEntry>>>>,
+}
+
+impl StdchkFs {
+    /// Mounts the facade over a connected [`Grid`].
+    pub fn mount(grid: Grid, opts: MountOptions) -> StdchkFs {
+        StdchkFs {
+            grid,
+            opts,
+            attrs: Mutex::new(HashMap::new()),
+            listings: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying pool connection.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Opens `path` for writing with the mount's default options. Data is
+    /// committed — and becomes visible — when the handle's `finish()` runs
+    /// (session semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors (e.g. `NoSpace`).
+    pub fn create(&self, path: &str) -> Result<WriteHandle, GridError> {
+        self.invalidate(path);
+        self.grid.create(path, self.opts.write.clone())
+    }
+
+    /// Opens `path` for writing with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`StdchkFs::create`].
+    pub fn create_with(&self, path: &str, opts: WriteOptions) -> Result<WriteHandle, GridError> {
+        self.invalidate(path);
+        self.grid.create(path, opts)
+    }
+
+    /// Opens the latest committed version of `path` for reading.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if nothing is committed.
+    pub fn open(&self, path: &str) -> Result<ReadHandle, GridError> {
+        self.grid.open(path, None)
+    }
+
+    /// Opens a specific version.
+    ///
+    /// # Errors
+    ///
+    /// See [`StdchkFs::open`].
+    pub fn open_version(&self, path: &str, version: VersionId) -> Result<ReadHandle, GridError> {
+        self.grid.open(path, Some(version))
+    }
+
+    /// Stats a path, serving from the attribute cache within the TTL.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for absent paths.
+    pub fn getattr(&self, path: &str) -> Result<FileAttr, GridError> {
+        if let Some(slot) = self.attrs.lock().get(path) {
+            if slot.at.elapsed() < self.opts.attr_ttl {
+                return Ok(slot.value.clone());
+            }
+        }
+        let attr = self.grid.stat(path)?;
+        self.attrs.lock().insert(
+            path.to_string(),
+            CacheSlot {
+                at: Instant::now(),
+                value: attr.clone(),
+            },
+        );
+        Ok(attr)
+    }
+
+    /// Lists a directory, cached within the TTL.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for absent directories.
+    pub fn readdir(&self, path: &str) -> Result<Vec<DirEntry>, GridError> {
+        if let Some(slot) = self.listings.lock().get(path) {
+            if slot.at.elapsed() < self.opts.attr_ttl {
+                return Ok(slot.value.clone());
+            }
+        }
+        let entries = self.grid.list(path)?;
+        self.listings.lock().insert(
+            path.to_string(),
+            CacheSlot {
+                at: Instant::now(),
+                value: entries.clone(),
+            },
+        );
+        Ok(entries)
+    }
+
+    /// Deletes a file (all versions).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for absent paths.
+    pub fn unlink(&self, path: &str) -> Result<(), GridError> {
+        self.invalidate(path);
+        self.grid.delete(path)
+    }
+
+    /// Sets the retention policy of a directory (paper §IV.D: no
+    /// intervention / automated replace / automated purge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors.
+    pub fn set_policy(&self, dir: &str, policy: RetentionPolicy) -> Result<(), GridError> {
+        self.grid.set_policy(dir, policy)
+    }
+
+    /// Lists the retained versions of a file.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for absent paths.
+    pub fn versions(&self, path: &str) -> Result<Vec<stdchk_proto::msg::VersionInfo>, GridError> {
+        self.grid.versions(path)
+    }
+
+    // ---------------------------------------------------------- checkpoints
+
+    /// Opens a checkpoint image for writing under the naming convention:
+    /// `dir/A.Ni` receives timestep `Tj` as a new version. Incremental
+    /// checkpointing (FsCH dedup against `Tj-1`) applies if enabled in the
+    /// mount's write options.
+    ///
+    /// # Errors
+    ///
+    /// See [`StdchkFs::create`].
+    pub fn checkpoint(&self, dir: &str, name: &CheckpointName) -> Result<WriteHandle, GridError> {
+        let path = format!("{}/{}", dir.trim_end_matches('/'), name.logical());
+        self.create(&path)
+    }
+
+    /// Opens the newest restartable checkpoint of `A.Ni` in `dir`, falling
+    /// back to older versions if the newest has lost chunks (a benefactor
+    /// crash between write and re-replication).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if no version can be read at all.
+    pub fn restart_latest(
+        &self,
+        dir: &str,
+        app: &str,
+        node: u32,
+    ) -> Result<(VersionId, Vec<u8>), GridError> {
+        let path = format!(
+            "{}/{}",
+            dir.trim_end_matches('/'),
+            CheckpointName::new(app, node, 0).logical()
+        );
+        let mut versions = self.grid.versions(&path)?;
+        versions.reverse(); // newest first
+        let mut last_err = GridError::Remote {
+            code: stdchk_proto::ErrorCode::NotFound,
+            detail: format!("{path}: no readable version"),
+        };
+        for v in versions {
+            match self
+                .grid
+                .open(&path, Some(v.version))
+                .and_then(|r| r.read_all())
+            {
+                Ok(data) => return Ok((v.version, data)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn invalidate(&self, path: &str) {
+        self.attrs.lock().remove(path);
+        // Invalidate the parent listing too.
+        if let Some(idx) = path.rfind('/') {
+            let parent = if idx == 0 { "/" } else { &path[..idx] };
+            self.listings.lock().remove(parent);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The checkpoint naming convention (paper §IV.D).
+//!
+//! Files are named `A.Ni.Tj`: application `A`, process on node `i`,
+//! checkpoint timestep `j`. stdchk treats all timesteps of `A.Ni` as
+//! *versions of one logical file*, which is what makes automated
+//! replace/purge policies and incremental checkpointing line up with the
+//! application's mental model.
+
+use std::fmt;
+
+/// A parsed checkpoint name.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_fs::naming::CheckpointName;
+///
+/// let n = CheckpointName::parse("bms.n4.t12").unwrap();
+/// assert_eq!(n.app, "bms");
+/// assert_eq!(n.node, 4);
+/// assert_eq!(n.timestep, 12);
+/// assert_eq!(n.logical(), "bms.n4");
+/// assert_eq!(n.to_string(), "bms.n4.t12");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CheckpointName {
+    /// Application name (may contain dots).
+    pub app: String,
+    /// Node index the process runs on.
+    pub node: u32,
+    /// Checkpoint timestep.
+    pub timestep: u64,
+}
+
+impl CheckpointName {
+    /// Builds a name.
+    pub fn new(app: impl Into<String>, node: u32, timestep: u64) -> CheckpointName {
+        CheckpointName {
+            app: app.into(),
+            node,
+            timestep,
+        }
+    }
+
+    /// Parses `A.Ni.Tj` (e.g. `bms.n4.t12`). Returns `None` for names that
+    /// do not follow the convention.
+    pub fn parse(name: &str) -> Option<CheckpointName> {
+        let (rest, t) = name.rsplit_once('.')?;
+        let timestep = t.strip_prefix('t')?.parse().ok()?;
+        let (app, n) = rest.rsplit_once('.')?;
+        let node = n.strip_prefix('n')?.parse().ok()?;
+        if app.is_empty() {
+            return None;
+        }
+        Some(CheckpointName {
+            app: app.to_string(),
+            node,
+            timestep,
+        })
+    }
+
+    /// The logical file name grouping all timesteps: `A.Ni`.
+    pub fn logical(&self) -> String {
+        format!("{}.n{}", self.app, self.node)
+    }
+}
+
+impl fmt::Display for CheckpointName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.n{}.t{}", self.app, self.node, self.timestep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["a.n0.t0", "bms.n4.t12", "my.app.name.n100.t999"] {
+            let n = CheckpointName::parse(s).expect(s);
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn dotted_app_names_parse() {
+        let n = CheckpointName::parse("proj.v2.sim.n3.t7").unwrap();
+        assert_eq!(n.app, "proj.v2.sim");
+        assert_eq!(n.logical(), "proj.v2.sim.n3");
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        for s in ["", "plain", "a.n1", "a.t1", "a.nx.t1", "a.n1.tx", ".n1.t1"] {
+            assert!(CheckpointName::parse(s).is_none(), "{s} should not parse");
+        }
+    }
+}

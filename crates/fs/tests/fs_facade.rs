@@ -1,0 +1,121 @@
+//! Tests of the file-system facade over a live loopback pool.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stdchk_core::{BenefactorConfig, PoolConfig};
+use stdchk_fs::naming::CheckpointName;
+use stdchk_fs::{MountOptions, StdchkFs};
+use stdchk_net::store::MemStore;
+use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer};
+use stdchk_proto::policy::RetentionPolicy;
+
+struct Fixture {
+    mgr: ManagerServer,
+    _benefactors: Vec<BenefactorServer>,
+}
+
+fn pool(n: usize) -> Fixture {
+    let mut cfg = PoolConfig::fast_for_tests();
+    cfg.chunk_size = 64 << 10;
+    let mgr = ManagerServer::spawn("127.0.0.1:0", cfg).expect("manager");
+    let benefactors = (0..n)
+        .map(|_| {
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 128 << 20,
+                cfg: BenefactorConfig::fast_for_tests(),
+                store: Arc::new(MemStore::new()),
+            })
+            .expect("benefactor")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < n {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Fixture {
+        mgr,
+        _benefactors: benefactors,
+    }
+}
+
+fn mount(f: &Fixture) -> StdchkFs {
+    let grid = Grid::connect(&f.mgr.addr().to_string()).expect("connect");
+    StdchkFs::mount(grid, MountOptions::default())
+}
+
+#[test]
+fn checkpoint_timesteps_become_versions() {
+    let f = pool(2);
+    let fs = mount(&f);
+    for t in 0..3u64 {
+        let name = CheckpointName::new("bms", 4, t);
+        let mut w = fs.checkpoint("/jobs", &name).expect("checkpoint");
+        w.write_all(format!("image at t{t}").as_bytes()).expect("write");
+        w.finish().expect("finish");
+    }
+    // All timesteps are versions of the logical file.
+    let versions = fs.versions("/jobs/bms.n4").expect("versions");
+    assert_eq!(versions.len(), 3);
+    // Restart reads the newest.
+    let (_, data) = fs.restart_latest("/jobs", "bms", 4).expect("restart");
+    assert_eq!(data, b"image at t2");
+}
+
+#[test]
+fn getattr_and_readdir_are_cached() {
+    let f = pool(2);
+    let fs = mount(&f);
+    let mut w = fs.create("/cache/x.n0").expect("create");
+    w.write_all(b"payload").expect("write");
+    w.finish().expect("finish");
+
+    let before = f.mgr.stats().transactions;
+    for _ in 0..50 {
+        fs.getattr("/cache/x.n0").expect("getattr");
+        fs.readdir("/cache").expect("readdir");
+    }
+    let after = f.mgr.stats().transactions;
+    // 100 calls served from cache: at most a couple of manager round trips.
+    assert!(
+        after - before <= 4,
+        "metadata cache ineffective: {} transactions",
+        after - before
+    );
+}
+
+#[test]
+fn automated_replace_policy_applies_through_facade() {
+    let f = pool(2);
+    let fs = mount(&f);
+    fs.set_policy("/replace", RetentionPolicy::REPLACE)
+        .expect("policy");
+    for t in 0..4u64 {
+        let name = CheckpointName::new("app", 0, t);
+        let mut w = fs.checkpoint("/replace", &name).expect("checkpoint");
+        w.write_all(format!("v{t}").as_bytes()).expect("write");
+        w.finish().expect("finish");
+    }
+    let versions = fs.versions("/replace/app.n0").expect("versions");
+    assert_eq!(versions.len(), 1, "replace keeps only the newest image");
+    let (_, data) = fs.restart_latest("/replace", "app", 0).expect("restart");
+    assert_eq!(data, b"v3");
+    f.mgr.check_invariants();
+}
+
+#[test]
+fn unlink_invalidates_cache() {
+    let f = pool(2);
+    let fs = mount(&f);
+    let mut w = fs.create("/u/f.n0").expect("create");
+    w.write_all(b"z").expect("write");
+    w.finish().expect("finish");
+    assert!(fs.getattr("/u/f.n0").is_ok());
+    fs.unlink("/u/f.n0").expect("unlink");
+    // Fresh stat must not come from the cache.
+    assert!(fs.grid().stat("/u/f.n0").is_err());
+}

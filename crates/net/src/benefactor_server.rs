@@ -1,0 +1,423 @@
+//! A benefactor (storage donor) as a TCP node.
+//!
+//! Wraps the sans-IO [`Benefactor`] state machine with: a persistent
+//! manager connection (join, heartbeats, GC, replication commands), a
+//! listener for client and peer-benefactor data connections, a blob store
+//! for chunk payloads, and lazy outbound connections to replication
+//! targets (addresses resolved through the manager).
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use stdchk_core::payload::Payload;
+use stdchk_core::{Benefactor, BenefactorAction, BenefactorConfig, MANAGER_NODE};
+use stdchk_proto::ids::{NodeId, RequestId};
+use stdchk_proto::msg::{Msg, Role};
+
+use crate::conn::{read_loop, Clock, Sender};
+use crate::store::ChunkStore;
+
+/// Configuration of a networked benefactor.
+pub struct BenefactorNetConfig {
+    /// Manager dial address.
+    pub manager_addr: String,
+    /// Listen address for the data path (use `127.0.0.1:0` in tests).
+    pub listen: String,
+    /// Bytes donated.
+    pub total_space: u64,
+    /// Protocol timers.
+    pub cfg: BenefactorConfig,
+    /// Blob store for chunk payloads.
+    pub store: Arc<dyn ChunkStore>,
+}
+
+struct BenefState {
+    sm: Mutex<Benefactor>,
+    store: Arc<dyn ChunkStore>,
+    clock: Clock,
+    manager_addr: String,
+    mgr: Mutex<Sender>,
+    peers: Mutex<HashMap<NodeId, Sender>>,
+    resolver: Mutex<ResolveClient>,
+    shutdown: AtomicBool,
+}
+
+/// A dedicated manager connection for driver-level RPCs (address
+/// resolution), separate from the state machine's message stream.
+struct ResolveClient {
+    addr: String,
+    sender: Sender,
+    replies: channel::Receiver<Msg>,
+    next_req: u64,
+}
+
+impl ResolveClient {
+    fn connect(addr: &str) -> io::Result<ResolveClient> {
+        let stream = TcpStream::connect(addr)?;
+        let sender = Sender::new(stream.try_clone()?);
+        sender
+            .send(&Msg::Hello {
+                role: Role::Benefactor,
+                node: NodeId(0),
+            })
+            .ok();
+        let (tx, rx) = channel::unbounded();
+        let reader = sender.reader()?;
+        thread::Builder::new()
+            .name("stdchk-benef-resolve".into())
+            .spawn(move || read_loop(reader, move |m| drop(tx.send(m))))
+            .expect("spawn resolver");
+        Ok(ResolveClient {
+            addr: addr.to_string(),
+            sender,
+            replies: rx,
+            next_req: 1,
+        })
+    }
+
+    fn resolve(&mut self, node: NodeId) -> Option<String> {
+        match self.try_resolve(node) {
+            Some(a) => Some(a),
+            None => {
+                // The manager may have restarted: redial once.
+                let addr = self.addr.clone();
+                if let Ok(fresh) = ResolveClient::connect(&addr) {
+                    *self = fresh;
+                }
+                self.try_resolve(node)
+            }
+        }
+    }
+
+    fn try_resolve(&mut self, node: NodeId) -> Option<String> {
+        self.next_req += 1;
+        let req = RequestId(0xAAAA_0000_0000 | self.next_req);
+        self.sender
+            .send(&Msg::ResolveNodes {
+                req,
+                nodes: vec![node],
+            })
+            .ok()?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while let Ok(msg) = self
+            .replies
+            .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+        {
+            if let Msg::NodeAddrsReply { req: r, addrs } = msg {
+                if r == req {
+                    return addrs.into_iter().next().map(|(_, a)| a);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A running benefactor node.
+pub struct BenefactorServer {
+    state: Arc<BenefState>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for BenefactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenefactorServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+static CONN_IDS: AtomicU64 = AtomicU64::new(1);
+
+impl BenefactorServer {
+    /// Joins the pool and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind or the manager is unreachable.
+    pub fn spawn(net: BenefactorNetConfig) -> io::Result<BenefactorServer> {
+        let listener = TcpListener::bind(&net.listen)?;
+        let addr = listener.local_addr()?;
+        let mgr_stream = TcpStream::connect(&net.manager_addr)?;
+        let mgr = Sender::new(mgr_stream.try_clone()?);
+        mgr.send(&Msg::Hello {
+            role: Role::Benefactor,
+            node: NodeId(0),
+        })
+        .map_err(|e| io::Error::other(format!("manager handshake failed: {e}")))?;
+
+        let mut sm = Benefactor::new(NodeId(0), net.total_space, net.cfg);
+        sm.set_advertised_addr(addr.to_string());
+        // Adopt whatever survived a restart in the blob store.
+        let existing: Vec<_> = net
+            .store
+            .ids()?
+            .into_iter()
+            .filter_map(|id| {
+                net.store
+                    .get(id)
+                    .ok()
+                    .flatten()
+                    .map(|b| (id, b.len() as u32))
+            })
+            .collect();
+        let clock = Clock::new();
+        sm.adopt_existing(existing, clock.now());
+
+        let resolver = ResolveClient::connect(&net.manager_addr)?;
+        let first_reader = mgr.reader()?;
+        let state = Arc::new(BenefState {
+            sm: Mutex::new(sm),
+            store: net.store,
+            clock,
+            manager_addr: net.manager_addr.clone(),
+            mgr: Mutex::new(mgr),
+            peers: Mutex::new(HashMap::new()),
+            resolver: Mutex::new(resolver),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Manager message stream, with reconnect: a benefactor outlives
+        // manager restarts — its next heartbeat re-registers it (soft
+        // state), and stashed commits are re-offered by the ticker.
+        {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("stdchk-benef-mgr".into())
+                .spawn(move || {
+                    let mut reader = Some(first_reader);
+                    loop {
+                        if state.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Some(r) = reader.take() {
+                            let s2 = Arc::clone(&state);
+                            read_loop(r, move |msg| {
+                                let now = s2.clock.now();
+                                let actions = s2.sm.lock().handle_msg(MANAGER_NODE, msg, now);
+                                act(&s2, None, NodeId(0), actions);
+                            });
+                        }
+                        // Disconnected: redial until it works.
+                        loop {
+                            if state.shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            thread::sleep(Duration::from_millis(250));
+                            let Ok(stream) = TcpStream::connect(&state.manager_addr) else {
+                                continue;
+                            };
+                            let Ok(rd) = stream.try_clone() else { continue };
+                            let sender = Sender::new(stream);
+                            let my_id = state.sm.lock().id();
+                            let _ = sender.send(&Msg::Hello {
+                                role: Role::Benefactor,
+                                node: my_id,
+                            });
+                            *state.mgr.lock() = sender;
+                            reader = Some(rd);
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn mgr reader");
+        }
+
+        // Ticker: join, heartbeats, GC, timeouts, re-offers.
+        {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("stdchk-benef-tick".into())
+                .spawn(move || loop {
+                    if state.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let now = state.clock.now();
+                    let actions = state.sm.lock().tick(now);
+                    act(&state, None, NodeId(0), actions);
+                    thread::sleep(Duration::from_millis(25));
+                })
+                .expect("spawn ticker");
+        }
+
+        // Data-path listener.
+        {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("stdchk-benef-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if state.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let state = Arc::clone(&state);
+                        thread::Builder::new()
+                            .name("stdchk-benef-conn".into())
+                            .spawn(move ||
+
+ serve_data_conn(state, stream))
+                            .expect("spawn conn");
+                    }
+                })
+                .expect("spawn accept");
+        }
+
+        Ok(BenefactorServer { state, addr })
+    }
+
+    /// The data-path listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node id assigned by the manager (0 until joined).
+    pub fn node_id(&self) -> NodeId {
+        self.state.sm.lock().id()
+    }
+
+    /// Chunks currently stored.
+    pub fn chunk_count(&self) -> usize {
+        self.state.sm.lock().chunk_count()
+    }
+
+    /// Free contributed bytes.
+    pub fn free_space(&self) -> u64 {
+        self.state.sm.lock().free_space()
+    }
+
+    /// Stops serving (threads exit as their sockets drain).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        self.state.mgr.lock().shutdown();
+        for (_, p) in self.state.peers.lock().drain() {
+            p.shutdown();
+        }
+    }
+}
+
+impl Drop for BenefactorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Executes benefactor actions. `reply` is the connection the triggering
+/// message arrived on; actions addressed to `reply_to` go back on it.
+fn act(
+    state: &Arc<BenefState>,
+    reply: Option<&Sender>,
+    reply_to: NodeId,
+    actions: Vec<BenefactorAction>,
+) {
+    for a in actions {
+        match a {
+            BenefactorAction::Send { to, msg } => {
+                if to == MANAGER_NODE {
+                    let _ = state.mgr.lock().send(&msg);
+                } else if Some(to) == Some(reply_to) && reply.is_some() {
+                    let _ = reply.expect("checked").send(&msg);
+                } else {
+                    send_to_peer(state, to, msg);
+                }
+            }
+            BenefactorAction::Store { op, chunk, payload } => {
+                let ok = state.store.put(chunk, &payload.bytes()).is_ok();
+                if ok {
+                    let now = state.clock.now();
+                    let more = state.sm.lock().on_store_complete(op, now);
+                    act(state, reply, reply_to, more);
+                }
+            }
+            BenefactorAction::Load { op, chunk, .. } => {
+                let data = state.store.get(chunk).ok().flatten();
+                if let Some(data) = data {
+                    let now = state.clock.now();
+                    let more =
+                        state
+                            .sm
+                            .lock()
+                            .on_load_complete(op, chunk, Payload::Real(data), now);
+                    act(state, reply, reply_to, more);
+                }
+            }
+            BenefactorAction::Drop { chunk } => {
+                let _ = state.store.delete(chunk);
+            }
+        }
+    }
+}
+
+/// Sends to a peer benefactor, dialing (and spawning a reply reader) on
+/// first use.
+fn send_to_peer(state: &Arc<BenefState>, to: NodeId, msg: Msg) {
+    let existing = state.peers.lock().get(&to).cloned();
+    let sender = match existing {
+        Some(s) => s,
+        None => {
+            let Some(addr) = state.resolver.lock().resolve(to) else {
+                return;
+            };
+            let Ok(stream) = TcpStream::connect(&addr) else {
+                return;
+            };
+            let Ok(reader) = stream.try_clone() else {
+                return;
+            };
+            let sender = Sender::new(stream);
+            let my_id = state.sm.lock().id();
+            let _ = sender.send(&Msg::Hello {
+                role: Role::Benefactor,
+                node: my_id,
+            });
+            // Replies (PutChunkOk / ErrorReply) feed the state machine.
+            let s2 = Arc::clone(state);
+            thread::Builder::new()
+                .name("stdchk-benef-peer".into())
+                .spawn(move || {
+                    read_loop(reader, move |m| {
+                        let now = s2.clock.now();
+                        let actions = s2.sm.lock().handle_msg(to, m, now);
+                        act(&s2, None, NodeId(0), actions);
+                    });
+                })
+                .expect("spawn peer reader");
+            state.peers.lock().insert(to, sender.clone());
+            sender
+        }
+    };
+    if sender.send(&msg).is_err() {
+        state.peers.lock().remove(&to);
+    }
+}
+
+/// Serves one inbound data connection (client writes/reads or peer
+/// replication pushes).
+fn serve_data_conn(state: Arc<BenefState>, stream: TcpStream) {
+    let sender = Sender::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let Ok(reader) = sender.reader() else { return };
+    // Synthetic per-connection peer id: replies route back on this socket.
+    let conn_id = NodeId((1 << 50) | CONN_IDS.fetch_add(1, Ordering::Relaxed));
+    let state2 = Arc::clone(&state);
+    let sender2 = sender.clone();
+    read_loop(reader, move |msg| {
+        if matches!(msg, Msg::Hello { .. }) {
+            return;
+        }
+        let now = state2.clock.now();
+        let actions = state2.sm.lock().handle_msg(conn_id, msg, now);
+        act(&state2, Some(&sender2), conn_id, actions);
+    });
+}

@@ -1,0 +1,803 @@
+//! The stdchk client: a blocking API over the session state machines.
+//!
+//! [`Grid`] is the entry point — connect to a manager, then:
+//!
+//! - [`Grid::create`] opens a [`WriteHandle`] implementing
+//!   [`std::io::Write`]; `finish()` performs the session-semantics commit
+//!   (data is invisible until then).
+//! - [`Grid::open`] returns a [`ReadHandle`] implementing
+//!   [`std::io::Read`], with read-ahead and replica failover.
+//! - Metadata operations: [`Grid::stat`], [`Grid::list`],
+//!   [`Grid::versions`], [`Grid::delete`], [`Grid::set_policy`].
+//!
+//! The client proxy drives the same sans-IO sessions the simulator uses;
+//! here the driver is real threads, TCP sockets and a spill file for the
+//! CLW/IW staging protocols.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+
+use stdchk_core::payload::Payload;
+use stdchk_core::session::read::{ReadAction, ReadSession, ReadState};
+use stdchk_core::session::write::{
+    OpenGrant, SessionConfig, SessionState, WriteAction, WriteSession, WriteStats,
+};
+use stdchk_core::MANAGER_NODE;
+use stdchk_proto::ids::{NodeId, RequestId, VersionId};
+use stdchk_proto::msg::{DirEntry, FileAttr, Msg, Role, VersionInfo};
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_proto::ErrorCode;
+
+use crate::conn::{read_loop, Clock, Sender};
+
+/// Client-side errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GridError {
+    /// Socket or file I/O failure.
+    Io(io::Error),
+    /// The remote side reported a semantic error.
+    Remote {
+        /// Status code.
+        code: ErrorCode,
+        /// Context from the remote.
+        detail: String,
+    },
+    /// No reply within the client timeout.
+    Timeout,
+    /// The write session failed mid-flight.
+    SessionFailed(ErrorCode),
+    /// Unexpected protocol behaviour.
+    Protocol(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Io(e) => write!(f, "i/o failure: {e}"),
+            GridError::Remote { code, detail } => write!(f, "remote error: {code}: {detail}"),
+            GridError::Timeout => write!(f, "request timed out"),
+            GridError::SessionFailed(code) => write!(f, "write session failed: {code}"),
+            GridError::Protocol(s) => write!(f, "protocol violation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<io::Error> for GridError {
+    fn from(e: io::Error) -> Self {
+        GridError::Io(e)
+    }
+}
+
+/// Where a correlated reply should be delivered.
+enum Route {
+    Rpc(channel::Sender<Msg>),
+    Write(Arc<WriteShared>),
+    Read(Arc<ReadShared>),
+}
+
+struct GridInner {
+    clock: Clock,
+    mgr: Sender,
+    my_node: NodeId,
+    next_req: AtomicU64,
+    next_sid: AtomicU64,
+    routes: Mutex<HashMap<RequestId, Route>>,
+    benefs: Mutex<HashMap<NodeId, Sender>>,
+    addr_cache: Mutex<HashMap<NodeId, String>>,
+    timeout: Duration,
+    stage_dir: PathBuf,
+}
+
+/// A connection to a stdchk pool.
+#[derive(Clone)]
+pub struct Grid {
+    inner: Arc<GridInner>,
+}
+
+impl fmt::Debug for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Grid")
+            .field("node", &self.inner.my_node)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Options for a write session.
+#[derive(Clone, Debug)]
+pub struct WriteOptions {
+    /// Protocol, dedup, semantics.
+    pub session: SessionConfig,
+    /// Stripe width (0 = pool default).
+    pub stripe_width: u32,
+    /// Replica target (0 = pool default).
+    pub replication: u32,
+    /// Initial eager reservation in chunks.
+    pub expected_chunks: u32,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            session: SessionConfig::default(),
+            stripe_width: 0,
+            replication: 0,
+            expected_chunks: 16,
+        }
+    }
+}
+
+impl Grid {
+    /// Connects to the manager at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dial/handshake problems.
+    pub fn connect(addr: &str) -> Result<Grid, GridError> {
+        let stream = TcpStream::connect(addr)?;
+        let sender = Sender::new(stream.try_clone()?);
+        sender.send(&Msg::Hello {
+            role: Role::Client,
+            node: NodeId(0),
+        })?;
+        // The manager assigns our pool identity in its Hello reply.
+        let mut reader = sender.reader()?;
+        let my_node = match stdchk_proto::frame::read_frame(&mut reader)? {
+            Some(Msg::Hello { node, .. }) => node,
+            other => {
+                return Err(GridError::Protocol(format!(
+                    "expected Hello from manager, got {other:?}"
+                )))
+            }
+        };
+        let inner = Arc::new(GridInner {
+            clock: Clock::new(),
+            mgr: sender,
+            my_node,
+            next_req: AtomicU64::new(1),
+            next_sid: AtomicU64::new(1),
+            routes: Mutex::new(HashMap::new()),
+            benefs: Mutex::new(HashMap::new()),
+            addr_cache: Mutex::new(HashMap::new()),
+            timeout: Duration::from_secs(10),
+            stage_dir: std::env::temp_dir(),
+        });
+        // Manager reply pump.
+        {
+            let inner2 = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("stdchk-grid-mgr".into())
+                .spawn(move || {
+                    read_loop(reader, move |msg| deliver_reply(&inner2, msg));
+                })
+                .expect("spawn grid reader");
+        }
+        Ok(Grid { inner })
+    }
+
+    /// The node id the manager assigned this client.
+    pub fn node_id(&self) -> NodeId {
+        self.inner.my_node
+    }
+
+    fn req(&self) -> RequestId {
+        RequestId(self.inner.next_req.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// One blocking manager RPC.
+    fn rpc(&self, req: RequestId, msg: Msg) -> Result<Msg, GridError> {
+        let (tx, rx) = channel::bounded(1);
+        self.inner.routes.lock().insert(req, Route::Rpc(tx));
+        if let Err(e) = self.inner.mgr.send(&msg) {
+            self.inner.routes.lock().remove(&req);
+            return Err(e.into());
+        }
+        match rx.recv_timeout(self.inner.timeout) {
+            Ok(Msg::ErrorReply { code, detail, .. }) => Err(GridError::Remote { code, detail }),
+            Ok(m) => Ok(m),
+            Err(_) => {
+                self.inner.routes.lock().remove(&req);
+                Err(GridError::Timeout)
+            }
+        }
+    }
+
+    /// Stats a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Remote`] with [`ErrorCode::NotFound`] for absent paths.
+    pub fn stat(&self, path: &str) -> Result<FileAttr, GridError> {
+        let req = self.req();
+        match self.rpc(req, Msg::GetAttr { req, path: path.into() })? {
+            Msg::AttrReply { attr, .. } => Ok(attr),
+            m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
+        }
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// See [`Grid::stat`].
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>, GridError> {
+        let req = self.req();
+        match self.rpc(req, Msg::ListDir { req, path: path.into() })? {
+            Msg::DirListingReply { entries, .. } => Ok(entries),
+            m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
+        }
+    }
+
+    /// Lists the retained versions of a file, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// See [`Grid::stat`].
+    pub fn versions(&self, path: &str) -> Result<Vec<VersionInfo>, GridError> {
+        let req = self.req();
+        match self.rpc(req, Msg::ListVersions { req, path: path.into() })? {
+            Msg::VersionListReply { versions, .. } => Ok(versions),
+            m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
+        }
+    }
+
+    /// Deletes a file (all versions).
+    ///
+    /// # Errors
+    ///
+    /// See [`Grid::stat`].
+    pub fn delete(&self, path: &str) -> Result<(), GridError> {
+        let req = self.req();
+        self.rpc(req, Msg::DeleteFile { req, path: path.into() })?;
+        Ok(())
+    }
+
+    /// Sets the retention policy of a directory.
+    ///
+    /// # Errors
+    ///
+    /// See [`Grid::stat`].
+    pub fn set_policy(&self, dir: &str, policy: RetentionPolicy) -> Result<(), GridError> {
+        let req = self.req();
+        self.rpc(
+            req,
+            Msg::SetPolicy {
+                req,
+                dir: dir.into(),
+                policy,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Opens a write session on `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Remote`] with [`ErrorCode::NoSpace`] if the pool cannot
+    /// host the write.
+    pub fn create(&self, path: &str, opts: WriteOptions) -> Result<WriteHandle, GridError> {
+        let req = self.req();
+        let reply = self.rpc(
+            req,
+            Msg::CreateFile {
+                req,
+                client: self.inner.my_node,
+                path: path.into(),
+                stripe_width: opts.stripe_width,
+                replication: opts.replication,
+                expected_chunks: opts.expected_chunks,
+            },
+        )?;
+        let Msg::CreateFileOk {
+            file,
+            version,
+            reservation,
+            stripe,
+            prev_chunks,
+            chunk_size,
+            ..
+        } = reply
+        else {
+            return Err(GridError::Protocol("bad CreateFile reply".into()));
+        };
+        let grant = OpenGrant {
+            path: path.to_string(),
+            file,
+            version,
+            reservation,
+            stripe,
+            prev_chunks,
+            chunk_size,
+            reserved_chunks: opts.expected_chunks.max(1) as u64,
+        };
+        let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
+        let session = WriteSession::new(
+            sid,
+            self.inner.my_node,
+            grant,
+            opts.session,
+            self.inner.clock.now(),
+        );
+        let stage_path = self
+            .inner
+            .stage_dir
+            .join(format!("stdchk-stage-{}-{sid}", std::process::id()));
+        Ok(WriteHandle {
+            grid: self.clone(),
+            shared: Arc::new(WriteShared {
+                session: Mutex::new(session),
+                cv: Condvar::new(),
+                stage: Mutex::new(None),
+                stage_path,
+            }),
+            finished: false,
+        })
+    }
+
+    /// Opens the latest committed version (or `version`) of `path` for
+    /// reading.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NotFound`] if nothing is committed at `path`.
+    pub fn open(&self, path: &str, version: Option<VersionId>) -> Result<ReadHandle, GridError> {
+        let req = self.req();
+        let reply = self.rpc(
+            req,
+            Msg::GetFile {
+                req,
+                path: path.into(),
+                version,
+            },
+        )?;
+        let Msg::FileViewReply { view, .. } = reply else {
+            return Err(GridError::Protocol("bad GetFile reply".into()));
+        };
+        let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
+        let session = ReadSession::new(sid, view, 4, true);
+        let shared = Arc::new(ReadShared {
+            session: Mutex::new(session),
+            cv: Condvar::new(),
+        });
+        let handle = ReadHandle {
+            grid: self.clone(),
+            shared,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+        };
+        // Prime the read-ahead window.
+        let actions = handle.shared.session.lock().poll(self.inner.clock.now());
+        drive_read(&handle.grid, &handle.shared, actions);
+        Ok(handle)
+    }
+
+    // -------------------------------------------------------- benefactor IO
+
+    fn benefactor_conn(&self, node: NodeId) -> Result<Sender, GridError> {
+        if let Some(s) = self.inner.benefs.lock().get(&node) {
+            return Ok(s.clone());
+        }
+        let addr = self.resolve(node)?;
+        let stream = TcpStream::connect(&addr)?;
+        let sender = Sender::new(stream.try_clone()?);
+        sender.send(&Msg::Hello {
+            role: Role::Client,
+            node: self.inner.my_node,
+        })?;
+        let reader = sender.reader()?;
+        let inner2 = Arc::clone(&self.inner);
+        thread::Builder::new()
+            .name("stdchk-grid-benef".into())
+            .spawn(move || {
+                read_loop(reader, move |msg| deliver_reply(&inner2, msg));
+            })
+            .expect("spawn benef reader");
+        self.inner.benefs.lock().insert(node, sender.clone());
+        Ok(sender)
+    }
+
+    fn resolve(&self, node: NodeId) -> Result<String, GridError> {
+        if let Some(a) = self.inner.addr_cache.lock().get(&node) {
+            return Ok(a.clone());
+        }
+        let req = self.req();
+        let reply = self.rpc(
+            req,
+            Msg::ResolveNodes {
+                req,
+                nodes: vec![node],
+            },
+        )?;
+        let Msg::NodeAddrsReply { addrs, .. } = reply else {
+            return Err(GridError::Protocol("bad resolve reply".into()));
+        };
+        let Some((_, addr)) = addrs.into_iter().next() else {
+            return Err(GridError::Remote {
+                code: ErrorCode::NotFound,
+                detail: format!("no address for {node}"),
+            });
+        };
+        self.inner.addr_cache.lock().insert(node, addr.clone());
+        Ok(addr)
+    }
+}
+
+/// Dispatches a correlated reply to its route.
+fn deliver_reply(inner: &Arc<GridInner>, msg: Msg) {
+    let Some(req) = msg.request_id() else { return };
+    let route = inner.routes.lock().remove(&req);
+    match route {
+        Some(Route::Rpc(tx)) => {
+            let _ = tx.send(msg);
+        }
+        Some(Route::Write(shared)) => {
+            let grid = Grid {
+                inner: Arc::clone(inner),
+            };
+            let actions = {
+                let mut s = shared.session.lock();
+                let a = s.on_msg(msg, inner.clock.now());
+                shared.cv.notify_all();
+                a
+            };
+            drive_write(&grid, &shared, actions);
+        }
+        Some(Route::Read(shared)) => {
+            let grid = Grid {
+                inner: Arc::clone(inner),
+            };
+            let actions = {
+                let mut s = shared.session.lock();
+                let a = s.on_msg(msg, inner.clock.now());
+                shared.cv.notify_all();
+                a
+            };
+            drive_read(&grid, &shared, actions);
+        }
+        None => {}
+    }
+}
+
+// ------------------------------------------------------------------- write
+
+struct WriteShared {
+    session: Mutex<WriteSession>,
+    cv: Condvar,
+    stage: Mutex<Option<std::fs::File>>,
+    stage_path: PathBuf,
+}
+
+/// A write session handle. Write data with [`std::io::Write`], then call
+/// [`WriteHandle::finish`] to commit (session semantics: nothing is visible
+/// until the commit).
+pub struct WriteHandle {
+    grid: Grid,
+    shared: Arc<WriteShared>,
+    finished: bool,
+}
+
+impl fmt::Debug for WriteHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteHandle").finish_non_exhaustive()
+    }
+}
+
+/// Executes write-session actions on the real transports.
+fn drive_write(grid: &Grid, shared: &Arc<WriteShared>, actions: Vec<WriteAction>) {
+    let mut work = actions;
+    while !work.is_empty() {
+        let mut next = Vec::new();
+        for a in work {
+            match a {
+                WriteAction::Send { to, msg } if to == MANAGER_NODE => {
+                    if let Some(req) = msg.request_id() {
+                        grid.inner
+                            .routes
+                            .lock()
+                            .insert(req, Route::Write(Arc::clone(shared)));
+                    }
+                    if grid.inner.mgr.send(&msg).is_err() {
+                        fail_session(grid, shared, &mut next);
+                    }
+                }
+                WriteAction::Send { to, msg } => {
+                    let req = msg.request_id().expect("data messages correlate");
+                    grid.inner
+                        .routes
+                        .lock()
+                        .insert(req, Route::Write(Arc::clone(shared)));
+                    let is_put = matches!(msg, Msg::PutChunk { .. });
+                    let ok = grid
+                        .benefactor_conn(to)
+                        .and_then(|c| c.send(&msg).map_err(GridError::from))
+                        .is_ok();
+                    let now = grid.inner.clock.now();
+                    let mut s = shared.session.lock();
+                    if ok {
+                        if is_put {
+                            next.extend(s.on_put_sent(req, now));
+                        }
+                    } else {
+                        grid.inner.routes.lock().remove(&req);
+                        if is_put {
+                            next.extend(s.on_put_failed(req, now));
+                        }
+                    }
+                    shared.cv.notify_all();
+                }
+                WriteAction::StageAppend { op, offset, payload } => {
+                    let res = stage_write(shared, offset, &payload.bytes());
+                    let now = grid.inner.clock.now();
+                    let mut s = shared.session.lock();
+                    if res.is_ok() {
+                        next.extend(s.on_stage_append_done(op, now));
+                    }
+                    shared.cv.notify_all();
+                }
+                WriteAction::StageFetch { op, offset, len } => {
+                    let data = stage_read(shared, offset, len as usize);
+                    let now = grid.inner.clock.now();
+                    let mut s = shared.session.lock();
+                    if let Ok(data) = data {
+                        next.extend(s.on_stage_fetch(op, Payload::Real(data.into()), now));
+                    }
+                    shared.cv.notify_all();
+                }
+                WriteAction::StageDiscard { .. } => {}
+            }
+        }
+        work = next;
+    }
+}
+
+fn fail_session(_grid: &Grid, shared: &Arc<WriteShared>, _next: &mut Vec<WriteAction>) {
+    // The session discovers transport failure through per-request errors;
+    // a manager-link failure is terminal for this handle.
+    shared.cv.notify_all();
+}
+
+fn stage_write(shared: &Arc<WriteShared>, offset: u64, data: &[u8]) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    let mut guard = shared.stage.lock();
+    if guard.is_none() {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&shared.stage_path)?;
+        *guard = Some(f);
+    }
+    let f = guard.as_mut().expect("just created");
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(data)
+}
+
+fn stage_read(shared: &Arc<WriteShared>, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+    use std::io::{Seek, SeekFrom};
+    let mut guard = shared.stage.lock();
+    let f = guard
+        .as_mut()
+        .ok_or_else(|| io::Error::other("stage not created"))?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    f.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+impl Write for WriteHandle {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Respect session backpressure (the SW buffer / IW temp pipeline).
+        let n;
+        let actions;
+        {
+            let mut s = self.shared.session.lock();
+            loop {
+                match s.state() {
+                    SessionState::Failed(code) => {
+                        return Err(io::Error::other(GridError::SessionFailed(code)))
+                    }
+                    SessionState::Open => {}
+                    _ => return Err(io::Error::other("write after close")),
+                }
+                let w = s.writable();
+                if w > 0 {
+                    n = (buf.len() as u64).min(w) as usize;
+                    break;
+                }
+                self.shared.cv.wait(&mut s);
+            }
+            actions = s.write(Payload::real(buf[..n].to_vec()), self.grid.inner.clock.now());
+        }
+        drive_write(&self.grid, &self.shared, actions);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl WriteHandle {
+    /// Closes the file: drains data, commits the chunk-map, and returns the
+    /// session metrics. Blocks until the commit acknowledges (for
+    /// pessimistic sessions this includes reaching the replication target).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::SessionFailed`] if any chunk could not be stored.
+    pub fn finish(mut self) -> Result<WriteStats, GridError> {
+        self.finished = true;
+        let actions = {
+            let mut s = self.shared.session.lock();
+            s.close(self.grid.inner.clock.now())
+        };
+        drive_write(&self.grid, &self.shared, actions);
+        let deadline = std::time::Instant::now() + self.grid.inner.timeout;
+        let mut s = self.shared.session.lock();
+        loop {
+            match s.state() {
+                SessionState::Done => {
+                    let stats = s.stats();
+                    drop(s);
+                    let _ = std::fs::remove_file(&self.shared.stage_path);
+                    return Ok(stats);
+                }
+                SessionState::Failed(code) => return Err(GridError::SessionFailed(code)),
+                _ => {}
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(GridError::Timeout);
+            }
+            self.shared
+                .cv
+                .wait_for(&mut s, Duration::from_millis(100));
+        }
+    }
+}
+
+impl Drop for WriteHandle {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned write: release the reservation; GC reclaims chunks.
+            let actions = {
+                let mut s = self.shared.session.lock();
+                match s.state() {
+                    SessionState::Open => s.close(self.grid.inner.clock.now()),
+                    _ => Vec::new(),
+                }
+            };
+            // Best effort: we do not wait for completion.
+            drive_write(&self.grid, &self.shared, actions);
+            let _ = std::fs::remove_file(&self.shared.stage_path);
+        }
+    }
+}
+
+// -------------------------------------------------------------------- read
+
+struct ReadShared {
+    session: Mutex<ReadSession>,
+    cv: Condvar,
+}
+
+/// A read handle over one committed version.
+pub struct ReadHandle {
+    grid: Grid,
+    shared: Arc<ReadShared>,
+    buffer: Vec<u8>,
+    buffer_pos: usize,
+}
+
+impl fmt::Debug for ReadHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadHandle").finish_non_exhaustive()
+    }
+}
+
+fn drive_read(grid: &Grid, shared: &Arc<ReadShared>, actions: Vec<ReadAction>) {
+    let mut work = actions;
+    while !work.is_empty() {
+        let mut next = Vec::new();
+        for ReadAction::Send { to, msg } in work {
+            let req = msg.request_id().expect("gets correlate");
+            grid.inner
+                .routes
+                .lock()
+                .insert(req, Route::Read(Arc::clone(shared)));
+            let ok = grid
+                .benefactor_conn(to)
+                .and_then(|c| c.send(&msg).map_err(GridError::from))
+                .is_ok();
+            if !ok {
+                grid.inner.routes.lock().remove(&req);
+                let now = grid.inner.clock.now();
+                let mut s = shared.session.lock();
+                next.extend(s.on_get_failed(req, now));
+                shared.cv.notify_all();
+            }
+        }
+        work = next;
+    }
+}
+
+impl ReadHandle {
+    /// Total size of the version being read.
+    pub fn file_size(&self) -> u64 {
+        self.shared.session.lock().file_size()
+    }
+
+    /// Reads the whole file to a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport/corruption failures.
+    pub fn read_all(mut self) -> Result<Vec<u8>, GridError> {
+        let mut out = Vec::with_capacity(self.file_size() as usize);
+        io::Read::read_to_end(&mut self, &mut out)?;
+        Ok(out)
+    }
+}
+
+impl Read for ReadHandle {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            // Serve buffered bytes first.
+            if self.buffer_pos < self.buffer.len() {
+                let n = (self.buffer.len() - self.buffer_pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + n]);
+                self.buffer_pos += n;
+                return Ok(n);
+            }
+            let deadline = std::time::Instant::now() + self.grid.inner.timeout;
+            let actions;
+            {
+                let mut s = self.shared.session.lock();
+                loop {
+                    if let Some((_, payload)) = s.next_ready() {
+                        self.buffer = payload.bytes().to_vec();
+                        self.buffer_pos = 0;
+                        actions = s.poll(self.grid.inner.clock.now());
+                        break;
+                    }
+                    match s.state() {
+                        ReadState::Done => return Ok(0),
+                        ReadState::Failed(code) => {
+                            return Err(io::Error::other(GridError::Remote {
+                                code,
+                                detail: "chunk unavailable on every replica".into(),
+                            }))
+                        }
+                        ReadState::Active => {}
+                    }
+                    if std::time::Instant::now() > deadline {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read stalled"));
+                    }
+                    self.shared
+                        .cv
+                        .wait_for(&mut s, Duration::from_millis(100));
+                }
+            }
+            drive_read(&self.grid, &self.shared, actions);
+            if self.buffer.is_empty() {
+                continue;
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Framed TCP connection helpers shared by servers and clients.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use stdchk_proto::frame::{read_frame, write_frame};
+use stdchk_proto::msg::Msg;
+use stdchk_util::Time;
+
+/// Process-wide clock mapping wall time onto the protocol's [`Time`].
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+impl Clock {
+    /// A clock whose zero is "now".
+    pub fn new() -> Clock {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current protocol time.
+    pub fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A shareable write half: many threads may send frames on one socket.
+#[derive(Clone)]
+pub struct Sender {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl std::fmt::Debug for Sender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl Sender {
+    /// Wraps a connected stream. The read half should be obtained with
+    /// [`Sender::reader`] before wrapping.
+    pub fn new(stream: TcpStream) -> Sender {
+        Sender {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// A cloned handle for the read side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn reader(&self) -> io::Result<TcpStream> {
+        self.stream.lock().try_clone()
+    }
+
+    /// Sends one frame. Serialized across threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&self, msg: &Msg) -> io::Result<()> {
+        let mut s = self.stream.lock();
+        write_frame(&mut *s, msg)
+    }
+
+    /// Shuts the socket down, unblocking any reader.
+    pub fn shutdown(&self) {
+        let s = self.stream.lock();
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Reads frames until EOF/error, invoking `on_msg` per message.
+pub fn read_loop(mut stream: TcpStream, mut on_msg: impl FnMut(Msg)) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(msg)) => on_msg(msg),
+            Ok(None) => return,
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use stdchk_proto::ids::RequestId;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sender_roundtrips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut got = Vec::new();
+            read_loop(stream, |m| got.push(m));
+            got
+        });
+        let conn = TcpStream::connect(addr).unwrap();
+        let sender = Sender::new(conn);
+        sender.send(&Msg::Ack { req: RequestId(1) }).unwrap();
+        sender.send(&Msg::Ack { req: RequestId(2) }).unwrap();
+        sender.shutdown();
+        let got = t.join().unwrap();
+        assert_eq!(got.len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Real-network deployment of stdchk: threads + TCP + on-disk chunk store.
+//!
+//! This crate turns the sans-IO state machines of `stdchk-core` into a
+//! runnable storage pool:
+//!
+//! - [`ManagerServer`] — the metadata manager as a TCP server.
+//! - [`BenefactorServer`] — a storage donor: joins the pool, heartbeats,
+//!   serves chunks from a [`store::ChunkStore`] (a directory of
+//!   content-hash-named files by default), executes replication, runs GC.
+//! - [`Grid`] — the client proxy: `create()`/`open()` handles implementing
+//!   `std::io::{Write, Read}` plus metadata operations.
+//!
+//! Threading is deliberately simple (thread-per-connection): a desktop grid
+//! pool is tens of nodes with long-lived bulk transfers, where blocking I/O
+//! is both adequate and easy to reason about.
+//!
+//! # Example (in-process pool)
+//!
+//! ```no_run
+//! use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
+//! use stdchk_net::store::MemStore;
+//! use std::io::Write;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mgr = ManagerServer::spawn("127.0.0.1:0", Default::default())?;
+//! let _benefactor = BenefactorServer::spawn(BenefactorNetConfig {
+//!     manager_addr: mgr.addr().to_string(),
+//!     listen: "127.0.0.1:0".into(),
+//!     total_space: 1 << 30,
+//!     cfg: Default::default(),
+//!     store: Arc::new(MemStore::new()),
+//! })?;
+//! let grid = Grid::connect(&mgr.addr().to_string())?;
+//! let mut file = grid.create("/app/ckpt.n0", WriteOptions::default())?;
+//! file.write_all(b"checkpoint image")?;
+//! file.finish()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod benefactor_server;
+pub mod client;
+pub mod conn;
+pub mod manager_server;
+pub mod store;
+
+pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
+pub use client::{Grid, GridError, ReadHandle, WriteHandle, WriteOptions};
+pub use manager_server::ManagerServer;

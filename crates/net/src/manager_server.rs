@@ -1,0 +1,236 @@
+//! The metadata manager as a TCP server.
+//!
+//! Thread-per-connection around the sans-IO [`Manager`] state machine. A
+//! connection registry keyed by node id routes manager-initiated messages
+//! (replication commands, deferred pessimistic commit acks, chunk deletions)
+//! to the right socket; everything else flows back on the connection that
+//! carried the request.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use stdchk_core::{Manager, ManagerStats, PoolConfig};
+use stdchk_proto::ids::NodeId;
+use stdchk_proto::msg::{Msg, Role};
+
+use crate::conn::{read_loop, Clock, Sender};
+
+/// Base of the per-connection client node-id namespace (far above any
+/// benefactor id the manager will ever assign).
+pub const CLIENT_NET_BASE: u64 = 1 << 48;
+
+struct MgrState {
+    mgr: Mutex<Manager>,
+    clock: Clock,
+    conns: Mutex<HashMap<NodeId, Sender>>,
+    next_client: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl MgrState {
+    fn route(&self, origin: Option<(NodeId, &Sender)>, sends: Vec<stdchk_core::Send>) {
+        for s in sends {
+            let sent = match origin {
+                Some((from, conn)) if s.to == from => conn.send(&s.msg).is_ok(),
+                _ => match self.conns.lock().get(&s.to) {
+                    Some(conn) => conn.send(&s.msg).is_ok(),
+                    None => false,
+                },
+            };
+            let _ = sent; // unreachable peers are soft-state; timers recover
+        }
+    }
+}
+
+/// A running manager server.
+pub struct ManagerServer {
+    state: Arc<MgrState>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for ManagerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagerServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ManagerServer {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn spawn(listen: &str, cfg: PoolConfig) -> io::Result<ManagerServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(MgrState {
+            mgr: Mutex::new(Manager::new(cfg)),
+            clock: Clock::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_client: AtomicU64::new(CLIENT_NET_BASE),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Maintenance ticker.
+        {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("stdchk-mgr-tick".into())
+                .spawn(move || loop {
+                    if state.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    thread::sleep(Duration::from_millis(100));
+                    let now = state.clock.now();
+                    let sends = state.mgr.lock().tick(now);
+                    state.route(None, sends);
+                })
+                .expect("spawn ticker");
+        }
+
+        // Accept loop.
+        {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("stdchk-mgr-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if state.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let state = Arc::clone(&state);
+                        thread::Builder::new()
+                            .name("stdchk-mgr-conn".into())
+                            .spawn(move || serve_conn(state, stream))
+                            .expect("spawn conn");
+                    }
+                })
+                .expect("spawn accept");
+        }
+
+        Ok(ManagerServer { state, addr })
+    }
+
+    /// The bound address clients and benefactors dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current manager counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.state.mgr.lock().stats()
+    }
+
+    /// Online benefactor count (for tests and examples).
+    pub fn online_benefactors(&self) -> usize {
+        self.state.mgr.lock().online_benefactors()
+    }
+
+    /// Runs the manager's metadata invariant audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        self.state.mgr.lock().check_invariants();
+    }
+
+    /// Stops accepting and ticking. Existing connection threads exit as
+    /// their sockets close.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for (_, conn) in self.state.conns.lock().drain() {
+            conn.shutdown();
+        }
+    }
+}
+
+impl Drop for ManagerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_conn(state: Arc<MgrState>, stream: TcpStream) {
+    let sender = Sender::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let Ok(reader) = sender.reader() else { return };
+
+    // Handshake: learn who is on the other end. The slot is shared with the
+    // post-loop cleanup.
+    let peer_slot: Arc<Mutex<Option<NodeId>>> = Arc::new(Mutex::new(None));
+    let peer_slot2 = Arc::clone(&peer_slot);
+    let state2 = Arc::clone(&state);
+    let sender2 = sender.clone();
+    read_loop(reader, move |msg| {
+        let now = state2.clock.now();
+        let mut peer_guard = peer_slot2.lock();
+        let peer = *peer_guard;
+        match (&msg, peer) {
+            (Msg::Hello { role: Role::Client, .. }, None) => {
+                let id = NodeId(state2.next_client.fetch_add(1, Ordering::Relaxed));
+                *peer_guard = Some(id);
+                state2.conns.lock().insert(id, sender2.clone());
+                // Tell the client its pool identity.
+                let _ = sender2.send(&Msg::Hello {
+                    role: Role::Manager,
+                    node: id,
+                });
+            }
+            (Msg::Hello { node, .. }, None) => {
+                // Benefactor (or manager peer) announcing an existing id.
+                if *node != NodeId(0) {
+                    *peer_guard = Some(*node);
+                    state2.conns.lock().insert(*node, sender2.clone());
+                }
+            }
+            _ => {
+                let from = peer.unwrap_or(NodeId(0));
+                let sends = state2.mgr.lock().handle_msg(from, msg.clone(), now);
+                // A join assigns the benefactor's node id: bind this conn
+                // and deliver the JoinOk here — the joiner had no routable
+                // id when the request was processed.
+                if let Msg::JoinRequest { .. } = msg {
+                    for s in &sends {
+                        if let Msg::JoinOk { node, .. } = s.msg {
+                            *peer_guard = Some(node);
+                            state2.conns.lock().insert(node, sender2.clone());
+                            let _ = sender2.send(&s.msg);
+                        }
+                    }
+                    return;
+                }
+                // A heartbeat from a not-yet-bound conn also binds it
+                // (manager restart: benefactors keep their old ids).
+                if let Msg::Heartbeat { node, .. } = msg {
+                    if peer_guard.is_none() {
+                        *peer_guard = Some(node);
+                        state2.conns.lock().insert(node, sender2.clone());
+                    }
+                }
+                // Replies addressed to `from` always return on this
+                // connection — including unbound helper connections whose
+                // `from` is the placeholder NodeId(0).
+                state2.route(Some((from, &sender2)), sends);
+            }
+        }
+    });
+    let bound = *peer_slot.lock();
+    if let Some(id) = bound {
+        state.conns.lock().remove(&id);
+    }
+}

@@ -1,0 +1,217 @@
+//! Chunk blob stores backing a benefactor's scavenged space.
+//!
+//! The benefactor state machine owns the authoritative chunk *index*; these
+//! stores hold the bytes. [`DiskStore`] lays chunks out as one file per
+//! chunk named by its content hash inside the donated directory —
+//! self-describing, crash-tolerant (a partial write fails its hash check on
+//! read), and trivially garbage-collectable. [`MemStore`] backs tests.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use stdchk_proto::ids::ChunkId;
+use stdchk_util::sha256::Sha256;
+
+/// Blob storage for chunk payloads.
+pub trait ChunkStore: Send + Sync + 'static {
+    /// Persists `data` under `id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()>;
+
+    /// Reads the chunk back, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>>;
+
+    /// Deletes the chunk; absent chunks are fine.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn delete(&self, id: ChunkId) -> io::Result<()>;
+
+    /// Ids present in the store (used to seed recovery).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn ids(&self) -> io::Result<Vec<ChunkId>>;
+}
+
+/// In-memory store for tests and ephemeral pools.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: Mutex<HashMap<ChunkId, Bytes>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
+        self.blobs
+            .lock()
+            .insert(id, Bytes::from(data.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>> {
+        Ok(self.blobs.lock().get(&id).cloned())
+    }
+
+    fn delete(&self, id: ChunkId) -> io::Result<()> {
+        self.blobs.lock().remove(&id);
+        Ok(())
+    }
+
+    fn ids(&self) -> io::Result<Vec<ChunkId>> {
+        Ok(self.blobs.lock().keys().copied().collect())
+    }
+}
+
+/// One-file-per-chunk store in a donated directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(DiskStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path_of(&self, id: ChunkId) -> PathBuf {
+        self.dir.join(Sha256::to_hex(id.as_bytes()))
+    }
+}
+
+impl ChunkStore for DiskStore {
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
+        // Write-then-rename for atomicity against crashes mid-write.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{:x}",
+            std::process::id(),
+            stdchk_util::mix64(id.as_bytes()[0] as u64 ^ data.len() as u64)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.path_of(id))
+    }
+
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>> {
+        match fs::File::open(self.path_of(id)) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(Some(Bytes::from(buf)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&self, id: ChunkId) -> io::Result<()> {
+        match fs::remove_file(self.path_of(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn ids(&self) -> io::Result<Vec<ChunkId>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.len() != 64 {
+                continue; // temp files and strangers
+            }
+            let mut digest = [0u8; 32];
+            let mut ok = true;
+            for i in 0..32 {
+                match u8::from_str_radix(&name[i * 2..i * 2 + 2], 16) {
+                    Ok(b) => digest[i] = b,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push(ChunkId(digest));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ChunkStore) {
+        let data = b"chunk payload bytes";
+        let id = ChunkId::for_content(data);
+        assert!(store.get(id).unwrap().is_none());
+        store.put(id, data).unwrap();
+        assert_eq!(&store.get(id).unwrap().unwrap()[..], data);
+        assert_eq!(store.ids().unwrap(), vec![id]);
+        store.delete(id).unwrap();
+        assert!(store.get(id).unwrap().is_none());
+        store.delete(id).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("stdchk-test-{}", std::process::id()));
+        let store = DiskStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("stdchk-reopen-{}", std::process::id()));
+        let data = b"persistent";
+        let id = ChunkId::for_content(data);
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(id, data).unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(&store.get(id).unwrap().unwrap()[..], data);
+        assert_eq!(store.ids().unwrap(), vec![id]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

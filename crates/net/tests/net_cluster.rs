@@ -1,0 +1,294 @@
+//! End-to-end tests of the real TCP deployment on loopback: manager server,
+//! benefactor servers with blob stores, and the blocking client.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_core::{BenefactorConfig, PoolConfig};
+use stdchk_net::store::{DiskStore, MemStore};
+use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
+use stdchk_proto::policy::RetentionPolicy;
+use stdchk_util::mix64;
+
+struct TestPool {
+    mgr: ManagerServer,
+    benefactors: Vec<BenefactorServer>,
+}
+
+impl TestPool {
+    fn start(n: usize) -> TestPool {
+        let mut pool_cfg = PoolConfig::fast_for_tests();
+        pool_cfg.chunk_size = 64 << 10;
+        let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
+        let mut benefactors = Vec::new();
+        for _ in 0..n {
+            benefactors.push(
+                BenefactorServer::spawn(BenefactorNetConfig {
+                    manager_addr: mgr.addr().to_string(),
+                    listen: "127.0.0.1:0".into(),
+                    total_space: 256 << 20,
+                    cfg: BenefactorConfig::fast_for_tests(),
+                    store: Arc::new(MemStore::new()),
+                })
+                .expect("benefactor"),
+            );
+        }
+        let pool = TestPool { mgr, benefactors };
+        pool.wait_online(n);
+        pool
+    }
+
+    fn wait_online(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.mgr.online_benefactors() < n {
+            assert!(Instant::now() < deadline, "pool never came online");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::connect(&self.mgr.addr().to_string()).expect("connect")
+    }
+}
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| mix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) as u8)
+        .collect()
+}
+
+fn opts(protocol: WriteProtocol) -> WriteOptions {
+    WriteOptions {
+        session: SessionConfig {
+            protocol,
+            ..SessionConfig::default()
+        },
+        ..WriteOptions::default()
+    }
+}
+
+#[test]
+fn sliding_window_roundtrip_over_tcp() {
+    let pool = TestPool::start(3);
+    let grid = pool.grid();
+    let data = payload(300 << 10, 1); // ~5 chunks
+    let mut w = grid
+        .create("/app/sw.n0", opts(WriteProtocol::SlidingWindow { buffer: 4 << 20 }))
+        .expect("create");
+    w.write_all(&data).expect("write");
+    let stats = w.finish().expect("finish");
+    assert_eq!(stats.bytes_written, data.len() as u64);
+    assert!(stats.oab().is_some() && stats.asb().is_some());
+
+    let r = grid.open("/app/sw.n0", None).expect("open");
+    assert_eq!(r.file_size(), data.len() as u64);
+    assert_eq!(r.read_all().expect("read"), data);
+    pool.mgr.check_invariants();
+}
+
+#[test]
+fn complete_local_write_roundtrip_over_tcp() {
+    let pool = TestPool::start(2);
+    let grid = pool.grid();
+    let data = payload(200 << 10, 2);
+    let mut w = grid
+        .create("/app/clw.n0", opts(WriteProtocol::CompleteLocal))
+        .expect("create");
+    for piece in data.chunks(17 << 10) {
+        w.write_all(piece).expect("write");
+    }
+    w.finish().expect("finish");
+    assert_eq!(
+        grid.open("/app/clw.n0", None).unwrap().read_all().unwrap(),
+        data
+    );
+}
+
+#[test]
+fn incremental_write_roundtrip_over_tcp() {
+    let pool = TestPool::start(2);
+    let grid = pool.grid();
+    let data = payload(400 << 10, 3);
+    let mut w = grid
+        .create(
+            "/app/iw.n0",
+            opts(WriteProtocol::Incremental { temp_size: 128 << 10 }),
+        )
+        .expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish");
+    assert_eq!(
+        grid.open("/app/iw.n0", None).unwrap().read_all().unwrap(),
+        data
+    );
+}
+
+#[test]
+fn session_semantics_hide_uncommitted_data() {
+    let pool = TestPool::start(2);
+    let grid = pool.grid();
+    let mut w = grid
+        .create("/app/hidden.n0", WriteOptions::default())
+        .expect("create");
+    w.write_all(&payload(64 << 10, 4)).expect("write");
+    // Not yet finished: the file must not exist for readers.
+    assert!(grid.stat("/app/hidden.n0").is_err());
+    w.finish().expect("finish");
+    assert_eq!(grid.stat("/app/hidden.n0").unwrap().size, 64 << 10);
+}
+
+#[test]
+fn dedup_reduces_second_version_transfers() {
+    let pool = TestPool::start(3);
+    let grid = pool.grid();
+    let data = payload(512 << 10, 5);
+    let mut o = WriteOptions::default();
+    o.session.dedup = true;
+    let mut w = grid.create("/app/inc.n0", o.clone()).expect("v1");
+    w.write_all(&data).expect("write");
+    let s1 = w.finish().expect("finish v1");
+    assert_eq!(s1.bytes_deduped, 0);
+
+    // Second version: dirty one chunk worth of data.
+    let mut data2 = data.clone();
+    data2[200 << 10] ^= 0xff;
+    let mut w = grid.create("/app/inc.n0", o).expect("v2");
+    w.write_all(&data2).expect("write");
+    let s2 = w.finish().expect("finish v2");
+    assert!(
+        s2.bytes_deduped >= s2.bytes_written * 7 / 10,
+        "most bytes should dedup: {} of {}",
+        s2.bytes_deduped,
+        s2.bytes_written
+    );
+    assert_eq!(
+        grid.open("/app/inc.n0", None).unwrap().read_all().unwrap(),
+        data2
+    );
+    // Both versions retained (no policy set).
+    assert_eq!(grid.versions("/app/inc.n0").unwrap().len(), 2);
+    pool.mgr.check_invariants();
+}
+
+#[test]
+fn metadata_operations_work_over_tcp() {
+    let pool = TestPool::start(2);
+    let grid = pool.grid();
+    grid.set_policy("/policy-dir", RetentionPolicy::REPLACE)
+        .expect("set policy");
+    for name in ["a.n0", "b.n0"] {
+        let mut w = grid
+            .create(&format!("/meta/{name}"), WriteOptions::default())
+            .expect("create");
+        w.write_all(&payload(32 << 10, 6)).expect("write");
+        w.finish().expect("finish");
+    }
+    let listing = grid.list("/meta").expect("list");
+    let names: Vec<&str> = listing.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["a.n0", "b.n0"]);
+    let attr = grid.stat("/meta").expect("stat dir");
+    assert!(attr.is_dir);
+
+    grid.delete("/meta/a.n0").expect("delete");
+    assert!(grid.stat("/meta/a.n0").is_err());
+    assert_eq!(grid.list("/meta").unwrap().len(), 1);
+}
+
+#[test]
+fn replication_reaches_two_copies() {
+    let pool = TestPool::start(3);
+    let grid = pool.grid();
+    let data = payload(128 << 10, 7);
+    let mut o = WriteOptions {
+        replication: 2,
+        ..WriteOptions::default()
+    };
+    o.session.pessimistic = true; // finish() returns only when replicated
+    let mut w = grid.create("/app/rep.n0", o).expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish");
+    // Every chunk is on two benefactors: total stored chunk instances is
+    // twice the distinct count (2 chunks of 64 KiB).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let counts: Vec<usize> = pool.benefactors.iter().map(|b| b.chunk_count()).collect();
+        let total: usize = counts.iter().sum();
+        if total == 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas never settled at 4: {counts:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    pool.mgr.check_invariants();
+}
+
+#[test]
+fn write_survives_benefactor_death() {
+    let pool = TestPool::start(4);
+    let grid = pool.grid();
+    // Kill one benefactor before writing; its stripe slot must fail over.
+    pool.benefactors[0].shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    let data = payload(256 << 10, 8);
+    let mut w = grid
+        .create("/app/survivor.n0", WriteOptions::default())
+        .expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish despite dead benefactor");
+    assert_eq!(
+        grid.open("/app/survivor.n0", None)
+            .unwrap()
+            .read_all()
+            .unwrap(),
+        data
+    );
+}
+
+#[test]
+fn disk_store_benefactor_serves_after_restart() {
+    let dir = std::env::temp_dir().join(format!("stdchk-net-restart-{}", std::process::id()));
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
+    let b1 = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 64 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store: Arc::new(DiskStore::open(&dir).expect("store")),
+    })
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    let data = payload(128 << 10, 9);
+    let mut w = grid
+        .create("/app/durable.n0", WriteOptions::default())
+        .expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish");
+
+    // Restart the benefactor process on the same directory.
+    let old_chunks = b1.chunk_count();
+    assert!(old_chunks > 0);
+    b1.shutdown();
+    drop(b1);
+    let b2 = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 64 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store: Arc::new(DiskStore::open(&dir).expect("store")),
+    })
+    .expect("benefactor restart");
+    assert_eq!(b2.chunk_count(), old_chunks, "index adopted from disk");
+    std::fs::remove_dir_all(&dir).ok();
+}

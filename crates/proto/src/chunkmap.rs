@@ -1,0 +1,212 @@
+//! Chunk-maps: the metadata that constitutes a file version.
+//!
+//! A committed file version is an ordered list of content-addressed chunks.
+//! Offsets are implicit (cumulative sums of chunk sizes), so a chunk-map is
+//! compact and the "offsets are contiguous" invariant holds by construction.
+//! Because chunks are content-addressed, the *same* [`ChunkId`] may appear at
+//! several positions (self-similar data) and in several versions
+//! (incremental checkpointing) — that sharing is exactly the paper's
+//! copy-on-write versioning support.
+
+use crate::ids::{ChunkId, NodeId, VersionId};
+
+/// One logical chunk slot in a file version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChunkEntry {
+    /// Content hash of the chunk.
+    pub id: ChunkId,
+    /// Chunk length in bytes (the last chunk of a file may be short).
+    pub size: u32,
+}
+
+/// The ordered chunk list making up one file version.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_proto::chunkmap::{ChunkEntry, ChunkMap};
+/// use stdchk_proto::ids::ChunkId;
+///
+/// let map = ChunkMap::from_entries(vec![
+///     ChunkEntry { id: ChunkId::for_content(b"aaaa"), size: 4 },
+///     ChunkEntry { id: ChunkId::for_content(b"bb"), size: 2 },
+/// ]);
+/// assert_eq!(map.file_size(), 6);
+/// assert_eq!(map.offset_of(1), 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChunkMap {
+    entries: Vec<ChunkEntry>,
+}
+
+impl ChunkMap {
+    /// Creates an empty chunk-map (a zero-byte file).
+    pub fn new() -> ChunkMap {
+        ChunkMap::default()
+    }
+
+    /// Builds a chunk-map from entries in file order.
+    pub fn from_entries(entries: Vec<ChunkEntry>) -> ChunkMap {
+        ChunkMap { entries }
+    }
+
+    /// Appends a chunk at the end of the file.
+    pub fn push(&mut self, entry: ChunkEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries in file order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Number of chunk slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for a zero-byte file.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.entries.iter().map(|e| e.size as u64).sum()
+    }
+
+    /// Byte offset at which chunk slot `index` starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn offset_of(&self, index: usize) -> u64 {
+        assert!(index <= self.entries.len(), "index out of bounds");
+        self.entries[..index].iter().map(|e| e.size as u64).sum()
+    }
+
+    /// The set of distinct chunk ids referenced (dedup across slots).
+    pub fn distinct_chunks(&self) -> Vec<ChunkId> {
+        let mut v: Vec<ChunkId> = self.entries.iter().map(|e| e.id).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Bytes that would need to be stored if `previous` chunks already exist
+    /// (the incremental-checkpointing savings accounting).
+    pub fn new_bytes_vs(&self, previous: &std::collections::HashSet<ChunkId>) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for e in &self.entries {
+            if !previous.contains(&e.id) && seen.insert(e.id) {
+                total += e.size as u64;
+            }
+        }
+        total
+    }
+}
+
+impl FromIterator<ChunkEntry> for ChunkMap {
+    fn from_iter<I: IntoIterator<Item = ChunkEntry>>(iter: I) -> Self {
+        ChunkMap {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ChunkEntry> for ChunkMap {
+    fn extend<I: IntoIterator<Item = ChunkEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// A read view of one committed version: the chunk-map plus, for every
+/// distinct chunk, the benefactors currently holding a replica.
+///
+/// This is what the manager returns for a retrieval: "first contact the
+/// metadata manager to obtain the chunk-map, then transfer data chunks
+/// directly between the storage nodes and the client" (paper §IV.A).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileVersionView {
+    /// Which version this is.
+    pub version: VersionId,
+    /// The chunk-map in file order.
+    pub map: ChunkMap,
+    /// Replica locations, parallel to `map.distinct_chunks()` semantics:
+    /// one entry per *distinct* chunk id, sorted by chunk id.
+    pub locations: Vec<(ChunkId, Vec<NodeId>)>,
+}
+
+impl FileVersionView {
+    /// Locations of a chunk, if known.
+    pub fn locations_of(&self, id: ChunkId) -> Option<&[NodeId]> {
+        self.locations
+            .binary_search_by(|(c, _)| c.cmp(&id))
+            .ok()
+            .map(|i| self.locations[i].1.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64, size: u32) -> ChunkEntry {
+        ChunkEntry {
+            id: ChunkId::test_id(n),
+            size,
+        }
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let m = ChunkMap::from_entries(vec![entry(1, 10), entry(2, 20), entry(3, 5)]);
+        assert_eq!(m.offset_of(0), 0);
+        assert_eq!(m.offset_of(1), 10);
+        assert_eq!(m.offset_of(2), 30);
+        assert_eq!(m.file_size(), 35);
+    }
+
+    #[test]
+    fn distinct_chunks_dedups_repeats() {
+        let m = ChunkMap::from_entries(vec![entry(1, 4), entry(2, 4), entry(1, 4)]);
+        assert_eq!(m.distinct_chunks().len(), 2);
+        assert_eq!(m.file_size(), 12);
+    }
+
+    #[test]
+    fn new_bytes_vs_counts_only_fresh_distinct_chunks() {
+        let m = ChunkMap::from_entries(vec![entry(1, 4), entry(2, 8), entry(2, 8), entry(3, 2)]);
+        let prev: std::collections::HashSet<_> = [ChunkId::test_id(2)].into_iter().collect();
+        // chunk 2 already stored; chunk 1 (4) + chunk 3 (2) are new; the
+        // repeated slot of chunk 2 costs nothing.
+        assert_eq!(m.new_bytes_vs(&prev), 6);
+    }
+
+    #[test]
+    fn version_view_lookup() {
+        let mut locs = vec![
+            (ChunkId::test_id(5), vec![NodeId(1), NodeId(2)]),
+            (ChunkId::test_id(9), vec![NodeId(3)]),
+        ];
+        locs.sort_by(|a, b| a.0.cmp(&b.0));
+        let view = FileVersionView {
+            version: VersionId(1),
+            map: ChunkMap::from_entries(vec![entry(5, 1), entry(9, 1)]),
+            locations: locs,
+        };
+        assert_eq!(view.locations_of(ChunkId::test_id(9)), Some(&[NodeId(3)][..]));
+        assert_eq!(view.locations_of(ChunkId::test_id(42)), None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let m: ChunkMap = (0..3).map(|i| entry(i, 1)).collect();
+        assert_eq!(m.len(), 3);
+        let mut m2 = m.clone();
+        m2.extend([entry(9, 2)]);
+        assert_eq!(m2.len(), 4);
+        assert_eq!(m2.file_size(), 5);
+    }
+}

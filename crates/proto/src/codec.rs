@@ -1,0 +1,402 @@
+//! Hand-written binary encoding.
+//!
+//! Layout conventions (documented once here, used by every message):
+//!
+//! - integers: little-endian, fixed width;
+//! - `String` / byte payloads: `u32` length prefix + raw bytes;
+//! - `Vec<T>`: `u32` count prefix + elements;
+//! - `Option<T>`: `u8` presence flag (0/1) + value;
+//! - [`ChunkId`]: raw 32 bytes;
+//! - enums: `u8` tag, then variant fields.
+//!
+//! Everything implementing [`Wire`] round-trips; this is property-tested in
+//! the crate tests with randomized values.
+
+use bytes::Bytes;
+
+use crate::error::ProtoError;
+use crate::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_util::{Dur, Time};
+
+/// Encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_raw(v);
+    }
+}
+
+/// Decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::bad(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, ProtoError> {
+        let s = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, ProtoError> {
+        let s = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(ProtoError::Truncated { what: "bytes body" });
+        }
+        Ok(self.take(len, "bytes body")?.to_vec())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        self.take(n, "raw bytes")
+    }
+}
+
+/// A value with a stable binary encoding.
+pub trait Wire: Sized {
+    /// Appends this value to `w`.
+    fn encode(&self, w: &mut Writer);
+    /// Parses a value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError>;
+
+    /// Convenience: encode to a fresh buffer.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decode from a complete buffer, requiring full
+    /// consumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on truncated or trailing bytes.
+    fn from_wire_bytes(buf: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        r.get_u8()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(ProtoError::bad(format!("invalid bool {v}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        let b = r.get_bytes()?;
+        String::from_utf8(b).map_err(|_| ProtoError::bad("invalid utf-8 in string"))
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok(Bytes::from(r.get_bytes()?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        let n = r.get_u32()? as usize;
+        // Sanity: each element needs at least one byte.
+        if n > r.remaining() {
+            return Err(ProtoError::bad(format!("vec length {n} exceeds input")));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            v => Err(ProtoError::bad(format!("invalid option flag {v}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+macro_rules! wire_u64_id {
+    ($t:ty) => {
+        impl Wire for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.put_u64(self.0);
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+                Ok(Self(r.get_u64()?))
+            }
+        }
+    };
+}
+
+wire_u64_id!(NodeId);
+wire_u64_id!(FileId);
+wire_u64_id!(VersionId);
+wire_u64_id!(ReservationId);
+wire_u64_id!(RequestId);
+
+impl Wire for ChunkId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        let raw = r.get_raw(32)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(raw);
+        Ok(ChunkId(d))
+    }
+}
+
+impl Wire for Time {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.as_nanos());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok(Time(r.get_u64()?))
+    }
+}
+
+impl Wire for Dur {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.as_nanos());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok(Dur(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire_bytes();
+        let back = T::from_wire_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("héllo/∂ir"));
+        roundtrip(Bytes::from_static(b"payload"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(42u64));
+        roundtrip((NodeId(3), VersionId(9)));
+        roundtrip(ChunkId::test_id(77));
+        roundtrip(Time::from_secs(5));
+        roundtrip(Dur::from_millis(12));
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let bytes = 0xdead_beefu32.to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(u32::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_wire_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_wire_bytes(&bytes),
+            Err(ProtoError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Declares 2^31 elements with a 1-byte body: must error, not OOM.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        w.put_u8(1);
+        assert!(Vec::<u64>::from_wire_bytes(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_flags() {
+        assert!(bool::from_wire_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_wire_bytes(&[9, 1]).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Protocol-level error types and wire status codes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Status codes carried inside reply messages.
+///
+/// These describe *semantic* failures the remote side reports (file missing,
+/// pool out of space, …), as opposed to [`ProtoError`] which describes
+/// failures to parse bytes at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The named file, version or chunk does not exist.
+    NotFound,
+    /// The storage pool cannot satisfy the space reservation.
+    NoSpace,
+    /// The operation conflicts with current state (e.g. commit against a
+    /// stale reservation, double-commit of a version).
+    Conflict,
+    /// The request was malformed at the semantic level.
+    BadRequest,
+    /// The contacted node cannot serve the request right now (e.g. benefactor
+    /// departing, manager in recovery).
+    Unavailable,
+    /// Stored data failed its content-hash integrity check.
+    Corrupt,
+}
+
+impl ErrorCode {
+    /// Stable wire value of the code.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::NotFound => 1,
+            ErrorCode::NoSpace => 2,
+            ErrorCode::Conflict => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::Unavailable => 5,
+            ErrorCode::Corrupt => 6,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_wire(v: u8) -> Result<ErrorCode, ProtoError> {
+        Ok(match v {
+            1 => ErrorCode::NotFound,
+            2 => ErrorCode::NoSpace,
+            3 => ErrorCode::Conflict,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::Unavailable,
+            6 => ErrorCode::Corrupt,
+            _ => return Err(ProtoError::bad(format!("unknown error code {v}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::NotFound => "not found",
+            ErrorCode::NoSpace => "no space",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Corrupt => "corrupt data",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for ErrorCode {}
+
+/// Failure to decode or frame protocol bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A tag, code, or length field held an invalid value.
+    Malformed {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A frame length exceeded the configured maximum.
+    FrameTooLarge {
+        /// Length declared by the frame header.
+        declared: u32,
+        /// Maximum the reader accepts.
+        max: u32,
+    },
+}
+
+impl ProtoError {
+    /// Convenience constructor for [`ProtoError::Malformed`].
+    pub fn bad(detail: impl Into<String>) -> ProtoError {
+        ProtoError::Malformed {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            ProtoError::Malformed { detail } => write!(f, "malformed message: {detail}"),
+            ProtoError::FrameTooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_code_roundtrip() {
+        for c in [
+            ErrorCode::NotFound,
+            ErrorCode::NoSpace,
+            ErrorCode::Conflict,
+            ErrorCode::BadRequest,
+            ErrorCode::Unavailable,
+            ErrorCode::Corrupt,
+        ] {
+            assert_eq!(ErrorCode::from_wire(c.to_wire()).unwrap(), c);
+        }
+        assert!(ErrorCode::from_wire(0).is_err());
+        assert!(ErrorCode::from_wire(200).is_err());
+    }
+
+    #[test]
+    fn displays_are_lowercase_no_punctuation() {
+        let s = ProtoError::bad("x").to_string();
+        assert!(!s.ends_with('.'));
+        assert_eq!(ErrorCode::NoSpace.to_string(), "no space");
+    }
+}

@@ -1,0 +1,220 @@
+//! Length-prefixed framing for byte streams.
+//!
+//! Each frame is a little-endian `u32` length followed by that many payload
+//! bytes (one encoded [`Msg`](crate::Msg)). [`FrameBuf`] is a sans-IO
+//! incremental decoder — feed it arbitrary byte slices as they arrive and
+//! pull out complete frames — while [`read_frame`]/[`write_frame`] are
+//! blocking helpers for `std::io` streams.
+
+use std::io::{self, Read, Write};
+
+use crate::codec::Wire;
+use crate::error::ProtoError;
+use crate::msg::Msg;
+
+/// Default maximum accepted frame: 64 MiB (comfortably above the largest
+/// chunk payload stdchk ships).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Incremental frame decoder for sans-IO use.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_proto::frame::FrameBuf;
+///
+/// let mut fb = FrameBuf::new(1024);
+/// let frame = [3u8, 0, 0, 0, b'a', b'b', b'c'];
+/// // Feed byte-by-byte: no frame until complete.
+/// for (i, b) in frame.iter().enumerate() {
+///     let got = fb.feed(std::slice::from_ref(b)).unwrap();
+///     if i < frame.len() - 1 {
+///         assert!(got.is_empty());
+///     } else {
+///         assert_eq!(got, vec![b"abc".to_vec()]);
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    max_frame: u32,
+}
+
+impl FrameBuf {
+    /// Creates a decoder that rejects frames larger than `max_frame`.
+    pub fn new(max_frame: u32) -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends incoming bytes and returns every frame completed by them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::FrameTooLarge`] if a header declares a frame
+    /// beyond the configured maximum; the decoder is then poisoned and the
+    /// connection should be dropped.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, ProtoError> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+            if len > self.max_frame {
+                return Err(ProtoError::FrameTooLarge {
+                    declared: len,
+                    max: self.max_frame,
+                });
+            }
+            let total = 4 + len as usize;
+            if self.buf.len() < total {
+                break;
+            }
+            out.push(self.buf[4..total].to_vec());
+            self.buf.drain(..total);
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered but not yet forming a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Encodes `msg` as one frame into a fresh buffer.
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let body = msg.to_wire_bytes();
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Writes `msg` as one frame to a blocking stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()
+}
+
+/// Reads one complete frame from a blocking stream and decodes the message.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors propagate; decode failures and oversized frames surface as
+/// `io::ErrorKind::InvalidData`.
+pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
+    let mut hdr = [0u8; 4];
+    match r.read_exact(&mut hdr) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(hdr);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtoError::FrameTooLarge {
+                declared: len,
+                max: MAX_FRAME,
+            },
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let msg = Msg::from_wire_bytes(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, RequestId};
+    use crate::msg::Role;
+
+    fn sample() -> Msg {
+        Msg::Hello {
+            role: Role::Client,
+            node: NodeId(3),
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let msgs = vec![
+            sample(),
+            Msg::Ack { req: RequestId(1) },
+            Msg::Ack { req: RequestId(2) },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for m in &msgs {
+            let got = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, m);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn framebuf_handles_arbitrary_splits() {
+        let msgs = vec![sample(), Msg::Ack { req: RequestId(7) }];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        for split in 1..wire.len().min(40) {
+            let mut fb = FrameBuf::new(MAX_FRAME);
+            let mut frames = Vec::new();
+            for part in wire.chunks(split) {
+                frames.extend(fb.feed(part).unwrap());
+            }
+            assert_eq!(frames.len(), msgs.len(), "split={split}");
+            for (f, m) in frames.iter().zip(&msgs) {
+                assert_eq!(&Msg::from_wire_bytes(f).unwrap(), m);
+            }
+            assert_eq!(fb.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut fb = FrameBuf::new(16);
+        let mut data = (17u32).to_le_bytes().to_vec();
+        data.extend_from_slice(&[0; 17]);
+        assert!(matches!(
+            fb.feed(&data),
+            Err(ProtoError::FrameTooLarge { declared: 17, max: 16 })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut wire = encode_frame(&sample());
+        wire.truncate(wire.len() - 1);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn garbage_body_is_invalid_data() {
+        let mut wire = (2u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[255, 255]);
+        let err = read_frame(std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,32 @@
+//! Wire protocol for the stdchk checkpoint storage system.
+//!
+//! Defines everything that crosses a node boundary:
+//!
+//! - [`ids`]: strongly-typed identifiers ([`NodeId`], [`FileId`],
+//!   [`ChunkId`] = SHA-256 of chunk content, …).
+//! - [`chunkmap`]: the chunk-map — the ordered list of content-addressed
+//!   chunks that constitutes a file version, plus replica locations.
+//! - [`policy`]: automated data-management (retention) policies.
+//! - [`msg`]: every protocol message exchanged between clients, the metadata
+//!   manager, and benefactor nodes.
+//! - [`codec`]: a hand-written, dependency-free binary encoding with
+//!   round-trip property tests.
+//! - [`frame`]: length-prefixed framing for byte streams (TCP).
+//!
+//! The encoding is deliberately explicit (no serde): each message documents
+//! its own layout, unknown tags fail loudly, and the format can evolve by
+//! adding tags.
+
+pub mod chunkmap;
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod ids;
+pub mod msg;
+pub mod policy;
+
+pub use chunkmap::{ChunkEntry, ChunkMap, FileVersionView};
+pub use error::{ErrorCode, ProtoError};
+pub use ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+pub use msg::Msg;
+pub use policy::RetentionPolicy;

@@ -1,0 +1,60 @@
+//! Automated, time-sensitive data-management policies (paper §IV.D).
+//!
+//! Checkpoint images are transient: stdchk attaches a retention policy to
+//! each application folder and the manager enforces it automatically. The
+//! three scenarios supported by the paper map directly onto
+//! [`RetentionPolicy`].
+
+use stdchk_util::Dur;
+
+/// Per-directory retention policy for checkpoint images.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RetentionPolicy {
+    /// *No intervention*: all versions are persistently stored indefinitely
+    /// (debugging / speculative-execution scenario).
+    #[default]
+    NoIntervention,
+    /// *Automated replace*: a newly committed checkpoint makes older ones
+    /// obsolete; the manager retains only the newest `keep_last` versions.
+    AutomatedReplace {
+        /// How many trailing versions survive (the paper's scenario is 1).
+        keep_last: u32,
+    },
+    /// *Automated purge*: versions are deleted once older than `after`.
+    AutomatedPurge {
+        /// Age at which a version becomes purgeable.
+        after: Dur,
+    },
+}
+
+impl RetentionPolicy {
+    /// The paper's default "new images replace old" behaviour.
+    pub const REPLACE: RetentionPolicy = RetentionPolicy::AutomatedReplace { keep_last: 1 };
+
+    /// Stable wire discriminant.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            RetentionPolicy::NoIntervention => 0,
+            RetentionPolicy::AutomatedReplace { .. } => 1,
+            RetentionPolicy::AutomatedPurge { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_no_intervention() {
+        assert_eq!(RetentionPolicy::default(), RetentionPolicy::NoIntervention);
+    }
+
+    #[test]
+    fn replace_keeps_one() {
+        match RetentionPolicy::REPLACE {
+            RetentionPolicy::AutomatedReplace { keep_last } => assert_eq!(keep_last, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

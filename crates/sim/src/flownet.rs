@@ -1,0 +1,371 @@
+//! Fluid-flow network model with two-priority max-min fair sharing.
+//!
+//! Bulk transfers (chunk payloads) are modelled as *flows*: fluid streams
+//! with a remaining byte count whose instantaneous rates are the max-min
+//! fair allocation under three kinds of capacity:
+//!
+//! - per-node **egress** (the sender's NIC),
+//! - per-node **ingress** (the receiver's NIC — dynamically reducible to
+//!   model TCP backpressure from a storage-bound receiver),
+//! - an optional **fabric** cap (shared switch backplane, the limit the
+//!   paper hits in Figure 8).
+//!
+//! Foreground flows (fresh client writes) are allocated first; background
+//! flows (replication) strictly share the leftovers, implementing the
+//! paper's "creation of new files has priority over replication".
+//!
+//! Rates are recomputed with the progressive-filling algorithm whenever the
+//! flow set or a capacity changes; between changes every flow progresses
+//! linearly, so the next completion time is exact.
+
+use std::collections::HashMap;
+
+use stdchk_proto::ids::NodeId;
+use stdchk_util::{Dur, Time};
+
+/// Identifies a flow within the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+/// A fluid transfer in progress.
+#[derive(Clone, Debug)]
+pub struct Flow<P> {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Bytes still to move.
+    pub remaining: f64,
+    /// Current allocated rate (bytes/sec).
+    pub rate: f64,
+    /// True for background (replication) traffic.
+    pub background: bool,
+    /// Caller payload returned at completion.
+    pub payload: P,
+}
+
+/// Per-node NIC capacities.
+#[derive(Clone, Copy, Debug)]
+pub struct NicCaps {
+    /// Egress bytes/sec.
+    pub egress: f64,
+    /// Ingress bytes/sec (current, possibly gated).
+    pub ingress: f64,
+}
+
+/// The flow network. Generic over the per-flow payload `P`.
+#[derive(Debug)]
+pub struct FlowNet<P> {
+    flows: HashMap<u64, Flow<P>>,
+    next_id: u64,
+    caps: HashMap<NodeId, NicCaps>,
+    fabric: Option<f64>,
+    last_settle: Time,
+}
+
+impl<P> FlowNet<P> {
+    /// Creates an empty network with an optional fabric capacity.
+    pub fn new(fabric: Option<f64>) -> FlowNet<P> {
+        FlowNet {
+            flows: HashMap::new(),
+            next_id: 1,
+            caps: HashMap::new(),
+            fabric,
+            last_settle: Time::ZERO,
+        }
+    }
+
+    /// Registers a node's NIC capacities.
+    pub fn set_node(&mut self, node: NodeId, egress: f64, ingress: f64) {
+        assert!(egress > 0.0 && ingress > 0.0, "capacities must be positive");
+        self.caps.insert(node, NicCaps { egress, ingress });
+    }
+
+    /// Adjusts a node's ingress capacity (backpressure gating). Returns true
+    /// if the value changed.
+    pub fn set_ingress(&mut self, node: NodeId, ingress: f64) -> bool {
+        let caps = self.caps.get_mut(&node).expect("unknown node");
+        if (caps.ingress - ingress).abs() < 1e-6 {
+            return false;
+        }
+        caps.ingress = ingress;
+        true
+    }
+
+    /// Number of active flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are active.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Advances all flows to `now` at their current rates. Must be called
+    /// before any mutation.
+    pub fn settle(&mut self, now: Time) {
+        let dt = now.since(self.last_settle).as_secs_f64();
+        self.last_settle = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+    }
+
+    /// Adds a flow of `bytes` from `src` to `dst`. Caller must `settle`
+    /// first and `recompute` after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint was never registered.
+    pub fn add(&mut self, src: NodeId, dst: NodeId, bytes: u64, background: bool, payload: P) -> FlowId {
+        assert!(self.caps.contains_key(&src), "unknown src {src}");
+        assert!(self.caps.contains_key(&dst), "unknown dst {dst}");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                remaining: bytes.max(1) as f64,
+                rate: 0.0,
+                background,
+                payload,
+            },
+        );
+        FlowId(id)
+    }
+
+    /// Removes and returns every finished flow (remaining ≈ 0), in id order.
+    pub fn take_finished(&mut self) -> Vec<Flow<P>> {
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= 0.5)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| self.flows.remove(&id).expect("present"))
+            .collect()
+    }
+
+    /// Recomputes all flow rates: progressive filling for foreground flows,
+    /// then background flows over the leftovers.
+    pub fn recompute(&mut self) {
+        // Residual capacities.
+        let mut egress: HashMap<NodeId, f64> =
+            self.caps.iter().map(|(n, c)| (*n, c.egress)).collect();
+        let mut ingress: HashMap<NodeId, f64> =
+            self.caps.iter().map(|(n, c)| (*n, c.ingress)).collect();
+        let mut fabric = self.fabric;
+        for pass_background in [false, true] {
+            let mut unfixed: Vec<u64> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.background == pass_background)
+                .map(|(id, _)| *id)
+                .collect();
+            unfixed.sort_unstable();
+            let mut level = 0.0f64;
+            while !unfixed.is_empty() {
+                // Count unfixed flows per resource.
+                let mut n_eg: HashMap<NodeId, usize> = HashMap::new();
+                let mut n_in: HashMap<NodeId, usize> = HashMap::new();
+                for id in &unfixed {
+                    let f = &self.flows[id];
+                    *n_eg.entry(f.src).or_insert(0) += 1;
+                    *n_in.entry(f.dst).or_insert(0) += 1;
+                }
+                // Smallest per-flow headroom across touched resources.
+                let mut delta = f64::INFINITY;
+                for (n, cnt) in &n_eg {
+                    delta = delta.min((egress[n]).max(0.0) / *cnt as f64);
+                }
+                for (n, cnt) in &n_in {
+                    delta = delta.min((ingress[n]).max(0.0) / *cnt as f64);
+                }
+                if let Some(fab) = fabric {
+                    delta = delta.min(fab.max(0.0) / unfixed.len() as f64);
+                }
+                if !delta.is_finite() {
+                    break;
+                }
+                level += delta;
+                // Charge the increment to every resource.
+                for (n, cnt) in &n_eg {
+                    *egress.get_mut(n).expect("known") -= delta * *cnt as f64;
+                }
+                for (n, cnt) in &n_in {
+                    *ingress.get_mut(n).expect("known") -= delta * *cnt as f64;
+                }
+                if let Some(fab) = fabric.as_mut() {
+                    *fab -= delta * unfixed.len() as f64;
+                }
+                // Fix flows whose bottleneck saturated.
+                let saturated = |f: &Flow<P>| {
+                    egress[&f.src] <= 1e-6
+                        || ingress[&f.dst] <= 1e-6
+                        || fabric.map(|x| x <= 1e-6).unwrap_or(false)
+                };
+                let mut progressed = false;
+                unfixed.retain(|id| {
+                    let fixed = saturated(&self.flows[id]);
+                    if fixed {
+                        self.flows.get_mut(id).expect("present").rate = level;
+                        progressed = true;
+                    }
+                    !fixed
+                });
+                if !progressed {
+                    // Numerical corner: fix everything at the current level.
+                    for id in unfixed.drain(..) {
+                        self.flows.get_mut(&id).expect("present").rate = level;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Time until the earliest flow completes at current rates.
+    pub fn next_completion(&self) -> Option<Dur> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| Dur::from_secs_f64(f.remaining / f.rate))
+            .min()
+    }
+
+    /// Read-only view of the flows (tests and debugging).
+    pub fn flows(&self) -> impl Iterator<Item = &Flow<P>> {
+        self.flows.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    fn net() -> FlowNet<u32> {
+        let mut n = FlowNet::new(None);
+        n.set_node(NodeId(1), 100.0 * MB, 100.0 * MB);
+        n.set_node(NodeId(2), 100.0 * MB, 100.0 * MB);
+        n.set_node(NodeId(3), 100.0 * MB, 100.0 * MB);
+        n
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let mut n = net();
+        n.add(NodeId(1), NodeId(2), 100_000_000, false, 0);
+        n.recompute();
+        let f: Vec<_> = n.flows().collect();
+        assert!((f[0].rate - 100.0 * MB).abs() < 1.0);
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_sender_nic_fairly() {
+        let mut n = net();
+        n.add(NodeId(1), NodeId(2), 1_000_000, false, 0);
+        n.add(NodeId(1), NodeId(3), 1_000_000, false, 1);
+        n.recompute();
+        for f in n.flows() {
+            assert!((f.rate - 50.0 * MB).abs() < 1.0, "rate {}", f.rate);
+        }
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks_use_max_min() {
+        let mut n = net();
+        // Receiver 3 is slow (20 MB/s); flows 1→2 and 1→3 share node 1's
+        // 100 MB/s egress. Max-min: flow to 3 gets 20, flow to 2 gets 80.
+        n.set_node(NodeId(3), 100.0 * MB, 20.0 * MB);
+        n.add(NodeId(1), NodeId(2), 1_000_000, false, 0);
+        n.add(NodeId(1), NodeId(3), 1_000_000, false, 1);
+        n.recompute();
+        let mut rates: Vec<(NodeId, f64)> = n.flows().map(|f| (f.dst, f.rate)).collect();
+        rates.sort_by_key(|(d, _)| *d);
+        assert!((rates[0].1 - 80.0 * MB).abs() < 1.0, "fast flow {}", rates[0].1);
+        assert!((rates[1].1 - 20.0 * MB).abs() < 1.0, "slow flow {}", rates[1].1);
+    }
+
+    #[test]
+    fn background_yields_to_foreground() {
+        let mut n = net();
+        n.add(NodeId(1), NodeId(2), 1_000_000, false, 0);
+        n.add(NodeId(3), NodeId(2), 1_000_000, true, 1);
+        n.recompute();
+        for f in n.flows() {
+            if f.background {
+                assert!(f.rate < 1.0, "background must starve here: {}", f.rate);
+            } else {
+                assert!((f.rate - 100.0 * MB).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_cap_limits_aggregate() {
+        let mut n: FlowNet<u32> = FlowNet::new(Some(90.0 * MB));
+        for i in 1..=6 {
+            n.set_node(NodeId(i), 100.0 * MB, 100.0 * MB);
+        }
+        // Three disjoint flows, each could do 100; fabric caps sum at 90.
+        n.add(NodeId(1), NodeId(2), 1_000_000, false, 0);
+        n.add(NodeId(3), NodeId(4), 1_000_000, false, 1);
+        n.add(NodeId(5), NodeId(6), 1_000_000, false, 2);
+        n.recompute();
+        let total: f64 = n.flows().map(|f| f.rate).sum();
+        assert!((total - 90.0 * MB).abs() < 10.0, "total {total}");
+    }
+
+    #[test]
+    fn settle_progresses_and_completes() {
+        let mut n = net();
+        n.add(NodeId(1), NodeId(2), 50_000_000, false, 7);
+        n.recompute();
+        n.settle(Time::from_secs_f64(0.5));
+        let done = n.take_finished();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].payload, 7);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn conservation_under_churn() {
+        // Rates never exceed capacities regardless of add/remove order.
+        let mut n = net();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            let dst = NodeId(2 + (i % 2) as u64);
+            ids.push(n.add(NodeId(1), dst, 10_000_000, i % 3 == 0, i));
+            n.recompute();
+            let mut eg: f64 = 0.0;
+            for f in n.flows() {
+                eg += f.rate;
+            }
+            assert!(eg <= 100.0 * MB + 1.0, "egress overcommitted: {eg}");
+        }
+    }
+
+    #[test]
+    fn ingress_gating_reallocates() {
+        let mut n = net();
+        n.add(NodeId(1), NodeId(2), 1_000_000, false, 0);
+        n.recompute();
+        assert!(n.set_ingress(NodeId(2), 20.0 * MB));
+        n.recompute();
+        let f: Vec<_> = n.flows().collect();
+        assert!((f[0].rate - 20.0 * MB).abs() < 1.0);
+        // Setting the same value reports no change.
+        assert!(!n.set_ingress(NodeId(2), 20.0 * MB));
+    }
+}

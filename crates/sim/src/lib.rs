@@ -1,0 +1,43 @@
+//! Discrete-event simulator for the stdchk evaluation.
+//!
+//! Reproducing the paper's evaluation requires its testbed: 28 LAN machines
+//! with GigE NICs and 86.2 MB/s disks, plus a 10 GbE client. This crate
+//! substitutes that hardware with a calibrated, deterministic model — while
+//! running the *actual* protocol implementation (the sans-IO state machines
+//! from `stdchk-core`) on every node:
+//!
+//! - [`SimCluster`] — the event-driven cluster: virtual time, fluid-flow
+//!   networking with max-min fairness and background-traffic priority, FIFO
+//!   disks with ingress gating, the FUSE write-path cost model, and virtual
+//!   payloads so multi-gigabyte workloads allocate nothing.
+//! - [`flownet`] — the network model, usable on its own.
+//! - [`baselines`] — closed-form local-I/O / FUSE / null-FS / NFS baselines
+//!   (Table 1 and the baseline series of Figures 2–3).
+//!
+//! # Example
+//!
+//! ```
+//! use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+//! use stdchk_sim::{SimCluster, SimConfig, WriteJob};
+//! use stdchk_util::Dur;
+//!
+//! let mut sim = SimCluster::new(SimConfig::gige(4, 1));
+//! let session = SessionConfig {
+//!     protocol: WriteProtocol::SlidingWindow { buffer: 64 << 20 },
+//!     ..SessionConfig::default()
+//! };
+//! sim.submit(0, WriteJob::new("/app/ck.n0", 256 << 20, session));
+//! let report = sim.run(Dur::from_secs(1));
+//! assert_eq!(report.results.len(), 1);
+//! let oab = report.mean_oab();
+//! assert!(oab > 80e6, "sliding window should near GigE speed: {oab}");
+//! ```
+
+pub mod baselines;
+pub mod cluster;
+pub mod flownet;
+pub mod metrics;
+
+pub use cluster::{JobResult, SimCluster, SimConfig, SimReport, WriteJob};
+pub use flownet::{Flow, FlowId, FlowNet};
+pub use metrics::Metrics;

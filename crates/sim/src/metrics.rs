@@ -1,0 +1,59 @@
+//! Simulation metrics: persisted-byte accounting and time series.
+
+use std::collections::BTreeMap;
+
+use stdchk_util::Time;
+
+/// Collects persisted-byte counts bucketed by whole seconds of sim time —
+/// the series Figure 8 plots.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    per_second: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Metrics {
+    /// Records `bytes` hitting a benefactor disk at `now`.
+    pub fn persisted(&mut self, now: Time, bytes: u64) {
+        let sec = now.as_nanos() / 1_000_000_000;
+        *self.per_second.entry(sec).or_insert(0) += bytes;
+        self.total += bytes;
+    }
+
+    /// Total persisted bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The series as `(second, bytes)` pairs, gaps filled with zeros.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        let Some((&first, _)) = self.per_second.iter().next() else {
+            return Vec::new();
+        };
+        let (&last, _) = self.per_second.iter().next_back().expect("non-empty");
+        (first..=last)
+            .map(|s| (s, self.per_second.get(&s).copied().unwrap_or(0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stdchk_util::Dur;
+
+    #[test]
+    fn buckets_by_second_and_fills_gaps() {
+        let mut m = Metrics::default();
+        m.persisted(Time::from_secs(1), 100);
+        m.persisted(Time::from_secs(1) + Dur::from_millis(400), 50);
+        m.persisted(Time::from_secs(3), 10);
+        assert_eq!(m.total(), 160);
+        assert_eq!(m.series(), vec![(1, 150), (2, 0), (3, 10)]);
+    }
+
+    #[test]
+    fn empty_series_is_empty() {
+        assert!(Metrics::default().series().is_empty());
+    }
+}

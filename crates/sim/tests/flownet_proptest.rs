@@ -1,0 +1,111 @@
+//! Property tests for the fluid-flow network: capacity conservation,
+//! allocation work-conservation, and progress under arbitrary churn.
+
+use proptest::prelude::*;
+
+use stdchk_proto::ids::NodeId;
+use stdchk_sim::FlowNet;
+use stdchk_util::{Dur, Time};
+
+const MBPS: f64 = 1e6;
+
+#[derive(Clone, Debug)]
+enum Churn {
+    Add { src: u8, dst: u8, kb: u32, background: bool },
+    Settle { ms: u16 },
+    Gate { node: u8, pct: u8 },
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0u8..5, 0u8..5, 1u32..100_000, any::<bool>()).prop_map(|(src, dst, kb, background)| {
+            Churn::Add { src, dst, kb, background }
+        }),
+        (1u16..2000).prop_map(|ms| Churn::Settle { ms }),
+        (0u8..5, 10u8..100).prop_map(|(node, pct)| Churn::Gate { node, pct }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rates_never_exceed_capacity_and_flows_always_finish(
+        churn in proptest::collection::vec(arb_churn(), 1..40)
+    ) {
+        let nodes: Vec<NodeId> = (0..5).map(|i| NodeId(i + 1)).collect();
+        let mut net: FlowNet<u32> = FlowNet::new(Some(400.0 * MBPS));
+        for n in &nodes {
+            net.set_node(*n, 100.0 * MBPS, 100.0 * MBPS);
+        }
+        let mut now = Time::ZERO;
+        let mut added = 0u32;
+        let mut finished = 0u32;
+        let mut gates = vec![100.0 * MBPS; 5];
+        for c in churn {
+            match c {
+                Churn::Add { src, dst, kb, background } => {
+                    let (s, d) = (nodes[src as usize % 5], nodes[dst as usize % 5]);
+                    if s == d {
+                        continue;
+                    }
+                    net.settle(now);
+                    net.add(s, d, kb as u64 * 1000, background, added);
+                    added += 1;
+                    net.recompute();
+                }
+                Churn::Settle { ms } => {
+                    now += Dur::from_millis(ms as u64);
+                    net.settle(now);
+                    finished += net.take_finished().len() as u32;
+                    net.recompute();
+                }
+                Churn::Gate { node, pct } => {
+                    net.settle(now);
+                    let cap = 100.0 * MBPS * pct as f64 / 100.0;
+                    gates[node as usize % 5] = cap;
+                    net.set_ingress(nodes[node as usize % 5], cap);
+                    net.recompute();
+                }
+            }
+            // Conservation: per-node egress/ingress and the fabric hold.
+            let mut eg = vec![0.0f64; 5];
+            let mut ing = vec![0.0f64; 5];
+            let mut total = 0.0;
+            for f in net.flows() {
+                prop_assert!(f.rate >= -1e-6, "negative rate");
+                eg[(f.src.as_u64() - 1) as usize] += f.rate;
+                ing[(f.dst.as_u64() - 1) as usize] += f.rate;
+                total += f.rate;
+            }
+            for (i, e) in eg.iter().enumerate() {
+                prop_assert!(*e <= 100.0 * MBPS + 1.0, "egress {i} overcommitted: {e}");
+            }
+            for (i, v) in ing.iter().enumerate() {
+                prop_assert!(*v <= gates[i] + 1.0, "ingress {i} overcommitted: {v}");
+            }
+            prop_assert!(total <= 400.0 * MBPS + 1.0, "fabric overcommitted: {total}");
+            // Work conservation: if any flow exists, at least one has rate.
+            if net.len() > 0 {
+                prop_assert!(
+                    net.flows().any(|f| f.rate > 0.0) || net.flows().all(|f| f.background),
+                    "allocator stalled with foreground flows pending"
+                );
+            }
+        }
+        // Drain: with no further churn, everything completes.
+        let mut guard = 0;
+        while !net.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain diverged");
+            let step = net
+                .next_completion()
+                .unwrap_or(Dur::from_millis(100));
+            now = now + step;
+            net.settle(now);
+            finished += net.take_finished().len() as u32;
+            net.recompute();
+        }
+        prop_assert_eq!(added, finished, "every flow must eventually finish");
+    }
+}

@@ -1,0 +1,67 @@
+//! Human-readable byte and throughput formatting for harness output.
+//!
+//! The benchmark harnesses print tables in the same units the paper uses
+//! (MB = 10^6 bytes for throughput, matching "MB/s" in the evaluation).
+
+/// One decimal megabyte (10^6 bytes), the paper's throughput unit.
+pub const MB: u64 = 1_000_000;
+/// One binary mebibyte (2^20 bytes), the chunk-size unit.
+pub const MIB: u64 = 1 << 20;
+/// One binary kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// One decimal gigabyte.
+pub const GB: u64 = 1_000_000_000;
+/// One binary gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Formats a byte count with a binary-unit suffix (`KiB`, `MiB`, `GiB`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(stdchk_util::bytesize::fmt_bytes(1536), "1.50 KiB");
+/// assert_eq!(stdchk_util::bytesize::fmt_bytes(3 << 20), "3.00 MiB");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a throughput in the paper's MB/s (decimal megabytes).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(stdchk_util::bytesize::fmt_rate(110_000_000.0), "110.0 MB/s");
+/// ```
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    format!("{:.1} MB/s", bytes_per_sec / MB as f64)
+}
+
+/// Converts a throughput to the paper's MB/s value (decimal megabytes).
+pub fn to_mbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / MB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_and_rounding() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1024), "1.00 KiB");
+        assert_eq!(fmt_bytes(GIB), "1.00 GiB");
+        assert_eq!(fmt_rate(24_800_000.0), "24.8 MB/s");
+        assert!((to_mbps(86_200_000.0) - 86.2).abs() < 1e-9);
+    }
+}

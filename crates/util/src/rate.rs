@@ -1,0 +1,132 @@
+//! A token-bucket rate limiter.
+//!
+//! Used by the real network driver to optionally emulate constrained NICs in
+//! integration tests, and by the benefactor to throttle background
+//! replication below fresh client writes.
+
+use crate::{Dur, Time};
+
+/// A classic token bucket: `rate` tokens accrue per second up to `capacity`;
+/// a consumer takes tokens to perform work.
+///
+/// The bucket is clock-agnostic: callers pass the current [`Time`], so the
+/// same code works under the simulator's virtual clock and the real clock.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_util::{rate::TokenBucket, Dur, Time};
+///
+/// // 100 bytes/s, burst of 50.
+/// let mut tb = TokenBucket::new(100.0, 50.0);
+/// let t0 = Time::ZERO;
+/// assert!(tb.try_take(50.0, t0));
+/// assert!(!tb.try_take(1.0, t0));
+/// // After a second, 100 more tokens are available (capped at capacity).
+/// assert!(tb.try_take(50.0, t0 + Dur::from_secs(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    capacity: f64,
+    tokens: f64,
+    last: Time,
+}
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `rate` tokens/second with the given
+    /// burst `capacity`. The bucket starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `capacity` is not finite and positive.
+    pub fn new(rate: f64, capacity: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "invalid capacity {capacity}"
+        );
+        TokenBucket {
+            rate,
+            capacity,
+            tokens: capacity,
+            last: Time::ZERO,
+        }
+    }
+
+    /// The refill rate in tokens per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn refill(&mut self, now: Time) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate).min(self.capacity);
+            self.last = now;
+        }
+    }
+
+    /// Takes `n` tokens if available at `now`; returns whether it succeeded.
+    pub fn try_take(&mut self, n: f64, now: Time) -> bool {
+        self.refill(now);
+        if self.tokens + 1e-9 >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long from `now` until `n` tokens would be available.
+    ///
+    /// Returns [`Dur::ZERO`] if they already are. `n` may exceed the burst
+    /// capacity; the wait is computed against accrual, so large requests
+    /// simply wait longer.
+    pub fn time_until(&mut self, n: f64, now: Time) -> Dur {
+        self.refill(now);
+        if self.tokens + 1e-9 >= n {
+            Dur::ZERO
+        } else {
+            Dur::from_secs_f64((n - self.tokens) / self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_refills() {
+        let mut tb = TokenBucket::new(10.0, 10.0);
+        assert!(tb.try_take(10.0, Time::ZERO));
+        assert!(!tb.try_take(0.1, Time::ZERO));
+        let later = Time::ZERO + Dur::from_millis(500);
+        assert!(tb.try_take(5.0, later));
+    }
+
+    #[test]
+    fn capacity_caps_accrual() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        let much_later = Time::from_secs(100);
+        assert!(tb.try_take(10.0, much_later));
+        assert!(!tb.try_take(1.0, much_later));
+    }
+
+    #[test]
+    fn time_until_is_consistent_with_try_take() {
+        let mut tb = TokenBucket::new(100.0, 10.0);
+        assert!(tb.try_take(10.0, Time::ZERO));
+        let wait = tb.time_until(10.0, Time::ZERO);
+        assert!((wait.as_secs_f64() - 0.1).abs() < 1e-6, "wait {wait}");
+        let then = Time::ZERO + wait;
+        assert!(tb.try_take(10.0, then));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_rate() {
+        let _ = TokenBucket::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Nanosecond-precision time newtypes shared across stdchk.
+//!
+//! The sans-IO protocol core never reads a wall clock: every event carries a
+//! [`Time`], and timers are expressed as `Time + Dur`. The discrete-event
+//! simulator advances a virtual [`Time`]; the real network driver maps
+//! `std::time::Instant` onto it. Keeping one representation means the exact
+//! same state-machine code runs under both drivers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant, in nanoseconds since an arbitrary epoch (simulation start or
+/// process start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The epoch.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never" for idle timers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds an instant from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Builds an instant from fractional seconds since the epoch.
+    pub fn from_secs_f64(s: f64) -> Time {
+        Time((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Seconds since the epoch, as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span from `earlier` to `self`, saturating at zero.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating add that never wraps past [`Time::MAX`].
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Builds a span from whole nanoseconds.
+    pub const fn from_nanos(n: u64) -> Dur {
+        Dur(n)
+    }
+
+    /// Builds a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Builds a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Builds a span from fractional seconds, saturating at zero.
+    pub fn from_secs_f64(s: f64) -> Dur {
+        Dur((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// The span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span as whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time needed to move `bytes` at `bytes_per_sec` (rounds up to 1 ns for
+    /// any non-zero transfer so events always make progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not finite and positive while `bytes > 0`.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Dur {
+        if bytes == 0 {
+            return Dur::ZERO;
+        }
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "invalid rate {bytes_per_sec}"
+        );
+        let ns = (bytes as f64 / bytes_per_sec * 1e9).ceil();
+        Dur((ns as u64).max(1))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::from_secs(10);
+        let d = Dur::from_millis(1500);
+        assert_eq!((t + d).as_secs_f64(), 11.5);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), Dur::ZERO); // saturating
+    }
+
+    #[test]
+    fn for_bytes_matches_expected_transfer_times() {
+        // 1 MiB at 1 MiB/s is one second.
+        let d = Dur::for_bytes(1 << 20, (1 << 20) as f64);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-6);
+        // Zero bytes is free.
+        assert_eq!(Dur::for_bytes(0, 1.0), Dur::ZERO);
+        // Tiny transfers still take at least 1 ns.
+        assert!(Dur::for_bytes(1, 1e18).as_nanos() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn for_bytes_rejects_zero_rate() {
+        let _ = Dur::for_bytes(10, 0.0);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Dur::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Dur::from_micros(32)), "32.000µs");
+        assert_eq!(format!("{}", Dur::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", Dur::from_secs(2)), "2.000s");
+    }
+}

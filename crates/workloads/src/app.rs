@@ -1,0 +1,72 @@
+//! Application phase model: compute / checkpoint cycles.
+//!
+//! Table 5 of the paper runs BLAST end-to-end, alternating long compute
+//! phases with checkpoint writes, and compares local-disk checkpointing
+//! against stdchk. [`AppRun`] describes such a run; the simulator executes
+//! it against either backend.
+
+use stdchk_util::Dur;
+
+/// A long-running application that computes and periodically checkpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppRun {
+    /// Wall-clock compute time between checkpoints.
+    pub compute_per_interval: Dur,
+    /// Number of checkpoints over the run.
+    pub checkpoints: usize,
+    /// Bytes per checkpoint image.
+    pub image_size: u64,
+    /// Cross-version chunk similarity of the images (FsCH-detectable).
+    pub similarity: f64,
+}
+
+impl AppRun {
+    /// A scaled-down BLAST-like run: the paper used 30-minute intervals,
+    /// ~280 MB images, and enough checkpoints to write 3.55 TB total.
+    /// `scale` divides both the interval and the checkpoint count so the
+    /// simulation completes quickly while preserving every ratio.
+    pub fn blast_like(scale: u64) -> AppRun {
+        let scale = scale.max(1);
+        AppRun {
+            compute_per_interval: Dur::from_secs(1800 / scale),
+            checkpoints: (128 / scale as usize).max(8),
+            image_size: 280 << 20,
+            similarity: 0.69,
+        }
+    }
+
+    /// Total bytes the application writes (before dedup).
+    pub fn total_bytes(&self) -> u64 {
+        self.image_size * self.checkpoints as u64
+    }
+
+    /// Total compute time (excludes checkpointing).
+    pub fn total_compute(&self) -> Dur {
+        self.compute_per_interval * self.checkpoints as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_scale_with_checkpoints() {
+        let run = AppRun {
+            compute_per_interval: Dur::from_secs(10),
+            checkpoints: 5,
+            image_size: 100,
+            similarity: 0.5,
+        };
+        assert_eq!(run.total_bytes(), 500);
+        assert_eq!(run.total_compute(), Dur::from_secs(50));
+    }
+
+    #[test]
+    fn blast_like_preserves_ratios() {
+        let a = AppRun::blast_like(1);
+        let b = AppRun::blast_like(4);
+        assert_eq!(a.image_size, b.image_size);
+        assert!(b.compute_per_interval < a.compute_per_interval);
+    }
+}

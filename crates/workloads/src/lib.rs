@@ -1,0 +1,34 @@
+//! Synthetic checkpoint workloads for the stdchk evaluation.
+//!
+//! The paper evaluates incremental checkpointing on traces collected from
+//! real applications (Table 2): a biomolecular simulation using
+//! *application-level* checkpointing (BMS), BLAST checkpointed at the
+//! *library level* with BLCR, and BLAST checkpointed at the *VM level* with
+//! Xen. Those traces are proprietary and terabyte-scale, so this crate
+//! generates synthetic equivalents whose **byte-level structure** is
+//! controlled to match the properties the heuristics respond to:
+//!
+//! - [`TraceKind::ApplicationLevel`] — "user-controlled, ideally-compressed
+//!   format": fresh incompressible bytes every version ⇒ no detectable
+//!   similarity (paper: 0% for every heuristic).
+//! - [`TraceKind::LibraryLevel`] — process images: a configurable fraction
+//!   stays identical *and aligned* (FsCH-detectable), another fraction stays
+//!   identical but *shifted* by growing insertions (only content-based
+//!   chunking can find it), a fraction of zero pages models low-entropy
+//!   memory, and the remainder is fresh.
+//! - [`TraceKind::VmLevel`] — Xen-style images: pages are permuted every
+//!   checkpoint and per-page metadata stamps change every version, which
+//!   destroys similarity for both heuristics (paper's "surprising result").
+//!
+//! [`VirtualTrace`] is the simulator-side counterpart: instead of bytes it
+//! emits per-chunk *content tags* with a target cross-version similarity, so
+//! gigabyte-scale experiments (Figure 7, Table 5) run without allocating
+//! data.
+
+pub mod app;
+pub mod traces;
+pub mod virt;
+
+pub use app::AppRun;
+pub use traces::{TraceConfig, TraceGenerator, TraceKind};
+pub use virt::VirtualTrace;

@@ -1,0 +1,359 @@
+//! Byte-level checkpoint trace generators.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// What kind of checkpointing produced the images.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// Application-level checkpoints (BMS-like): dense, compressed state —
+    /// every version is fresh bytes.
+    ApplicationLevel,
+    /// Library-level process images (BLCR-like).
+    LibraryLevel {
+        /// Fraction of the image identical to the previous version and at
+        /// the same offsets (detectable by FsCH and CbCH).
+        aligned_stable: f64,
+        /// Fraction identical but shifted by growing insertions (detectable
+        /// only by content-based chunking).
+        shifted_stable: f64,
+        /// Fraction of the stable regions consisting of zero pages
+        /// (low-entropy memory such as untouched heap).
+        zero_fraction: f64,
+    },
+    /// VM-level images (Xen-like): page permutation plus per-version
+    /// metadata stamps interleaved into every page.
+    VmLevel {
+        /// Guest page size.
+        page_size: usize,
+        /// Distance between changing metadata stamps within a page.
+        stamp_every: usize,
+    },
+}
+
+impl TraceKind {
+    /// The paper's BLCR-like trace at a 5-minute interval: FsCH detects
+    /// ≈ 24 %, CbCH ≈ 84 % (Table 3).
+    pub fn blcr_5min() -> TraceKind {
+        TraceKind::LibraryLevel {
+            aligned_stable: 0.25,
+            shifted_stable: 0.60,
+            zero_fraction: 0.2,
+        }
+    }
+
+    /// The paper's BLCR-like trace at a 15-minute interval: more drift
+    /// between images — FsCH ≈ 7 %, CbCH ≈ 70 %.
+    pub fn blcr_15min() -> TraceKind {
+        TraceKind::LibraryLevel {
+            aligned_stable: 0.07,
+            shifted_stable: 0.64,
+            zero_fraction: 0.2,
+        }
+    }
+
+    /// Xen-like VM checkpointing.
+    pub fn xen() -> TraceKind {
+        TraceKind::VmLevel {
+            page_size: 4096,
+            stamp_every: 512,
+        }
+    }
+}
+
+/// Configuration of a synthetic trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Bytes per checkpoint image.
+    pub image_size: usize,
+    /// Number of checkpoint images.
+    pub count: usize,
+    /// Image structure.
+    pub kind: TraceKind,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+/// Generates successive checkpoint images.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_workloads::{TraceConfig, TraceGenerator, TraceKind};
+///
+/// let mut gen = TraceGenerator::new(TraceConfig {
+///     image_size: 64 * 1024,
+///     count: 3,
+///     kind: TraceKind::blcr_5min(),
+///     seed: 7,
+/// });
+/// let v1 = gen.next_image().unwrap();
+/// let v2 = gen.next_image().unwrap();
+/// assert_eq!(v1.len(), 64 * 1024);
+/// // Successive library-level images share content...
+/// assert_eq!(&v1[..1024], &v2[..1024]);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+    version: usize,
+    /// Stable content pools, fixed for the lifetime of the trace.
+    aligned_pool: Vec<u8>,
+    shifted_pool: Vec<u8>,
+    rng: StdRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions in `cfg.kind` exceed 1.0 combined.
+    pub fn new(cfg: TraceConfig) -> TraceGenerator {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (mut aligned_pool, mut shifted_pool) = (Vec::new(), Vec::new());
+        if let TraceKind::LibraryLevel {
+            aligned_stable,
+            shifted_stable,
+            zero_fraction,
+        } = cfg.kind
+        {
+            assert!(
+                aligned_stable >= 0.0 && shifted_stable >= 0.0 && zero_fraction >= 0.0,
+                "fractions must be non-negative"
+            );
+            assert!(
+                aligned_stable + shifted_stable <= 1.0,
+                "stable fractions exceed the image"
+            );
+            let a_len = (cfg.image_size as f64 * aligned_stable) as usize;
+            let s_len = (cfg.image_size as f64 * shifted_stable) as usize;
+            aligned_pool = stable_bytes(&mut rng, a_len, zero_fraction);
+            shifted_pool = stable_bytes(&mut rng, s_len, zero_fraction);
+        }
+        TraceGenerator {
+            cfg,
+            version: 0,
+            aligned_pool,
+            shifted_pool,
+            rng,
+        }
+    }
+
+    /// The trace configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Produces the next checkpoint image, or `None` after `count` images.
+    pub fn next_image(&mut self) -> Option<Vec<u8>> {
+        if self.version >= self.cfg.count {
+            return None;
+        }
+        let v = self.version;
+        self.version += 1;
+        Some(match self.cfg.kind {
+            TraceKind::ApplicationLevel => {
+                let mut img = vec![0u8; self.cfg.image_size];
+                self.rng.fill_bytes(&mut img);
+                img
+            }
+            TraceKind::LibraryLevel { .. } => self.library_image(v),
+            TraceKind::VmLevel {
+                page_size,
+                stamp_every,
+            } => self.vm_image(v, page_size, stamp_every),
+        })
+    }
+
+    /// Remaining images as an iterator.
+    pub fn images(mut self) -> impl Iterator<Item = Vec<u8>> {
+        std::iter::from_fn(move || self.next_image())
+    }
+
+    fn library_image(&mut self, version: usize) -> Vec<u8> {
+        // Layout: [aligned stable][insertion (grows with version)]
+        //         [shifted stable][fresh tail]
+        let size = self.cfg.image_size;
+        let mut img = Vec::with_capacity(size + 64);
+        img.extend_from_slice(&self.aligned_pool);
+        // The insertion models heap growth/drift; it shifts everything after
+        // it by a version-dependent, non-chunk-aligned amount.
+        let insertion = 37 * (version + 1);
+        let mut blob = vec![0u8; insertion];
+        self.rng.fill_bytes(&mut blob);
+        img.extend_from_slice(&blob);
+        img.extend_from_slice(&self.shifted_pool);
+        // Fresh tail fills up to the target size.
+        if img.len() < size {
+            let mut tail = vec![0u8; size - img.len()];
+            self.rng.fill_bytes(&mut tail);
+            img.extend_from_slice(&tail);
+        }
+        img.truncate(size);
+        img
+    }
+
+    fn vm_image(&mut self, version: usize, page_size: usize, stamp_every: usize) -> Vec<u8> {
+        let size = self.cfg.image_size;
+        let pages = size.div_ceil(page_size).max(1);
+        // Stable page bodies, deterministic per page index.
+        let mut img = vec![0u8; pages * page_size];
+        // Permute page order per version (Fisher-Yates over a derived rng so
+        // the *bodies* stay identical while positions move).
+        let mut order: Vec<usize> = (0..pages).collect();
+        let mut perm_rng = StdRng::seed_from_u64(self.cfg.seed ^ (version as u64) << 32);
+        for i in (1..pages).rev() {
+            let j = (perm_rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        for (slot, &page) in order.iter().enumerate() {
+            let base = slot * page_size;
+            let mut body_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xbeef ^ page as u64);
+            body_rng.fill_bytes(&mut img[base..base + page_size]);
+            // Xen-style metadata: stamps that change every checkpoint,
+            // interleaved through the page. They defeat chunk-level dedup at
+            // any chunk size ≥ stamp_every.
+            let mut off = 0;
+            while off < page_size {
+                let stamp = (version as u64) << 32 | page as u64 ^ off as u64;
+                let end = (off + 8).min(page_size);
+                img[base + off..base + end].copy_from_slice(&stamp.to_le_bytes()[..end - off]);
+                off += stamp_every;
+            }
+        }
+        img.truncate(size);
+        img
+    }
+}
+
+fn stable_bytes(rng: &mut StdRng, len: usize, zero_fraction: f64) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    // Carve zero pages (4 KiB) into the pool.
+    let page = 4096;
+    let zero_pages = ((len / page) as f64 * zero_fraction) as usize;
+    for i in 0..zero_pages {
+        // Spread them deterministically.
+        let start = (i * 2 + 1) * page;
+        if start + page <= len {
+            v[start..start + page].fill(0);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn fsch_similarity(prev: &[u8], cur: &[u8], chunk: usize) -> f64 {
+        let ids: HashSet<_> = prev
+            .chunks(chunk)
+            .map(stdchk_util::sha256::Sha256::digest)
+            .collect();
+        let dup: usize = cur
+            .chunks(chunk)
+            .filter(|c| ids.contains(&stdchk_util::sha256::Sha256::digest(c)))
+            .map(|c| c.len())
+            .sum();
+        dup as f64 / cur.len() as f64
+    }
+
+    #[test]
+    fn application_level_has_no_similarity() {
+        let mut gen = TraceGenerator::new(TraceConfig {
+            image_size: 256 * 1024,
+            count: 3,
+            kind: TraceKind::ApplicationLevel,
+            seed: 1,
+        });
+        let a = gen.next_image().unwrap();
+        let b = gen.next_image().unwrap();
+        assert!(fsch_similarity(&a, &b, 1024) < 0.01);
+    }
+
+    #[test]
+    fn library_level_aligned_fraction_matches_fsch() {
+        let kind = TraceKind::LibraryLevel {
+            aligned_stable: 0.25,
+            shifted_stable: 0.60,
+            zero_fraction: 0.0,
+        };
+        let mut gen = TraceGenerator::new(TraceConfig {
+            image_size: 1 << 20,
+            count: 3,
+            kind,
+            seed: 2,
+        });
+        let a = gen.next_image().unwrap();
+        let b = gen.next_image().unwrap();
+        let sim = fsch_similarity(&a, &b, 4096);
+        assert!(
+            (0.18..0.32).contains(&sim),
+            "FsCH similarity {sim}, expected ≈0.25"
+        );
+    }
+
+    #[test]
+    fn library_level_images_have_exact_size_and_are_deterministic() {
+        let cfg = TraceConfig {
+            image_size: 123_456,
+            count: 4,
+            kind: TraceKind::blcr_5min(),
+            seed: 3,
+        };
+        let imgs_a: Vec<_> = TraceGenerator::new(cfg).images().collect();
+        let imgs_b: Vec<_> = TraceGenerator::new(cfg).images().collect();
+        assert_eq!(imgs_a.len(), 4);
+        for (a, b) in imgs_a.iter().zip(&imgs_b) {
+            assert_eq!(a.len(), 123_456);
+            assert_eq!(a, b, "same seed must reproduce the trace");
+        }
+    }
+
+    #[test]
+    fn vm_level_defeats_fixed_size_dedup() {
+        let mut gen = TraceGenerator::new(TraceConfig {
+            image_size: 512 * 1024,
+            count: 2,
+            kind: TraceKind::xen(),
+            seed: 4,
+        });
+        let a = gen.next_image().unwrap();
+        let b = gen.next_image().unwrap();
+        assert!(
+            fsch_similarity(&a, &b, 1024) < 0.01,
+            "per-page stamps must break chunk dedup"
+        );
+    }
+
+    #[test]
+    fn count_limits_the_trace() {
+        let mut gen = TraceGenerator::new(TraceConfig {
+            image_size: 1024,
+            count: 2,
+            kind: TraceKind::ApplicationLevel,
+            seed: 5,
+        });
+        assert!(gen.next_image().is_some());
+        assert!(gen.next_image().is_some());
+        assert!(gen.next_image().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_fractions_panic() {
+        let _ = TraceGenerator::new(TraceConfig {
+            image_size: 1024,
+            count: 1,
+            kind: TraceKind::LibraryLevel {
+                aligned_stable: 0.7,
+                shifted_stable: 0.7,
+                zero_fraction: 0.0,
+            },
+            seed: 0,
+        });
+    }
+}

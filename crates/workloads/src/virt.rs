@@ -1,0 +1,129 @@
+//! Virtual (tag-level) checkpoint traces for the simulator.
+//!
+//! Gigabyte-scale experiments can't allocate real images. A
+//! [`VirtualTrace`] emits, per checkpoint, one *content tag* per chunk:
+//! equal tags mean identical chunk content (they hash to equal
+//! [`ChunkId`](stdchk_proto::ChunkId)s through the session's
+//! `ChunkAssembler`). A configurable fraction of chunk positions keeps its
+//! tag between versions, directly modelling the FsCH-detectable similarity
+//! the paper measures on BLCR traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Emits per-chunk content tags for successive checkpoint images.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_workloads::VirtualTrace;
+///
+/// let mut t = VirtualTrace::new(100, 0.8, 42);
+/// let v1 = t.next_tags();
+/// let v2 = t.next_tags();
+/// let same = v1.iter().zip(&v2).filter(|(a, b)| a == b).count();
+/// assert!((70..=90).contains(&same), "≈80% of chunks stable, got {same}");
+/// ```
+#[derive(Debug)]
+pub struct VirtualTrace {
+    chunks: usize,
+    similarity: f64,
+    rng: StdRng,
+    next_fresh: u64,
+    current: Vec<u64>,
+}
+
+impl VirtualTrace {
+    /// Creates a trace of images `chunks` chunks long where, on average,
+    /// `similarity` of each image's chunks are identical to the previous
+    /// image's chunk at the same position.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= similarity <= 1.0` and `chunks > 0`.
+    pub fn new(chunks: usize, similarity: f64, seed: u64) -> VirtualTrace {
+        assert!(chunks > 0, "empty images are not a trace");
+        assert!(
+            (0.0..=1.0).contains(&similarity),
+            "similarity must be a fraction"
+        );
+        VirtualTrace {
+            chunks,
+            similarity,
+            rng: StdRng::seed_from_u64(seed),
+            next_fresh: 1,
+            current: Vec::new(),
+        }
+    }
+
+    /// Chunks per image.
+    pub fn chunks_per_image(&self) -> usize {
+        self.chunks
+    }
+
+    /// Produces the next image's chunk tags.
+    pub fn next_tags(&mut self) -> Vec<u64> {
+        if self.current.is_empty() {
+            // First image: all fresh.
+            self.current = (0..self.chunks).map(|_| self.fresh()).collect();
+            return self.current.clone();
+        }
+        let mut next = Vec::with_capacity(self.chunks);
+        for i in 0..self.chunks {
+            if self.rng.gen_bool(self.similarity) {
+                next.push(self.current[i]);
+            } else {
+                let t = self.fresh();
+                next.push(t);
+            }
+        }
+        self.current = next.clone();
+        next
+    }
+
+    fn fresh(&mut self) -> u64 {
+        let t = self.next_fresh;
+        self.next_fresh += 1;
+        // Disperse so tags aren't accidentally equal across traces.
+        stdchk_util::mix64(t ^ 0x5743_6864_7461_0001)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_image_is_all_fresh_and_distinct() {
+        let mut t = VirtualTrace::new(50, 0.9, 1);
+        let v1 = t.next_tags();
+        let set: std::collections::HashSet<_> = v1.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn zero_similarity_shares_nothing() {
+        let mut t = VirtualTrace::new(64, 0.0, 2);
+        let a = t.next_tags();
+        let b = t.next_tags();
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn full_similarity_shares_everything() {
+        let mut t = VirtualTrace::new(64, 1.0, 3);
+        let a = t.next_tags();
+        let b = t.next_tags();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let collect = |seed| {
+            let mut t = VirtualTrace::new(32, 0.5, seed);
+            (t.next_tags(), t.next_tags())
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+}

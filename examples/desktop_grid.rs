@@ -1,0 +1,48 @@
+//! Desktop-grid scenario under the simulator.
+//!
+//! Simulates the paper's environment — a pool of GigE desktops donating
+//! disk space — and runs a parallel application whose processes all
+//! checkpoint simultaneously (the paper's "distinct compute and checkpoint
+//! phases"), comparing the three write protocols.
+//!
+//! Run with: `cargo run --example desktop_grid`
+
+use stdchk::core::session::write::{SessionConfig, WriteProtocol};
+use stdchk::sim::{SimCluster, SimConfig, WriteJob};
+use stdchk::util::bytesize::to_mbps;
+use stdchk::util::Dur;
+
+fn main() {
+    const MB: u64 = 1_000_000;
+    println!("desktop grid: 12 benefactors, 4 clients, GigE LAN\n");
+    println!("{:<22} {:>12} {:>12}", "protocol", "OAB MB/s", "ASB MB/s");
+    for (label, protocol) in [
+        ("complete local write", WriteProtocol::CompleteLocal),
+        ("incremental write", WriteProtocol::Incremental { temp_size: 32 << 20 }),
+        ("sliding window", WriteProtocol::SlidingWindow { buffer: 64 << 20 }),
+    ] {
+        let mut sim = SimCluster::new(SimConfig::gige(12, 4));
+        // All four processes of the parallel app checkpoint at once.
+        for c in 0..4 {
+            let mut job = WriteJob::new(
+                format!("/app/solver.n{c}"),
+                512 * MB,
+                SessionConfig {
+                    protocol,
+                    ..SessionConfig::default()
+                },
+            );
+            job.stripe_width = 4;
+            sim.submit(c, job);
+        }
+        let report = sim.run(Dur::from_secs(2));
+        println!(
+            "{:<22} {:>12.1} {:>12.1}",
+            label,
+            to_mbps(report.mean_oab()),
+            to_mbps(report.mean_asb()),
+        );
+    }
+    println!("\n(the sliding-window protocol avoids local I/O entirely and");
+    println!(" saturates the clients' NICs — the paper's headline result)");
+}

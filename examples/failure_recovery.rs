@@ -1,0 +1,110 @@
+//! Failure handling: benefactor crashes and manager recovery.
+//!
+//! 1. Writes a replicated checkpoint, kills the benefactor holding one
+//!    replica set, and shows the read path failing over.
+//! 2. Restarts the manager from empty metadata and shows committed files
+//!    being recovered from benefactor-stashed chunk-maps (the paper's
+//!    ⅔-concurrence protocol).
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use std::error::Error;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stdchk::core::{BenefactorConfig, PoolConfig};
+use stdchk::net::store::MemStore;
+use stdchk::net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
+
+fn wait_online(mgr: &ManagerServer, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mgr.online_benefactors() < n {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn spawn_benefactor(mgr_addr: &str) -> BenefactorServer {
+    BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr_addr.to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 1 << 30,
+        cfg: BenefactorConfig {
+            heartbeat_every: stdchk::util::Dur::from_millis(100),
+            reoffer_every: stdchk::util::Dur::from_millis(200),
+            ..BenefactorConfig::default()
+        },
+        store: Arc::new(MemStore::new()),
+    })
+    .expect("benefactor")
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut cfg = PoolConfig::default();
+    cfg.heartbeat_every = stdchk::util::Dur::from_millis(100);
+    cfg.benefactor_timeout = stdchk::util::Dur::from_millis(500);
+    let mgr = ManagerServer::spawn("127.0.0.1:0", cfg)?;
+    let benefactors: Vec<_> = (0..4).map(|_| spawn_benefactor(&mgr.addr().to_string())).collect();
+    wait_online(&mgr, 4);
+    let grid = Grid::connect(&mgr.addr().to_string())?;
+
+    // --- Part 1: benefactor crash, replicated data survives -------------
+    let image: Vec<u8> = (0..4 << 20).map(|i| (i % 247) as u8).collect();
+    let mut opts = WriteOptions {
+        replication: 2,
+        ..WriteOptions::default()
+    };
+    opts.session.pessimistic = true; // wait for both replicas
+    let mut w = grid.create("/jobs/resilient.n0", opts)?;
+    w.write_all(&image)?;
+    w.finish()?;
+    println!("checkpoint written with replication 2");
+
+    // Kill one benefactor that holds data.
+    let victim = benefactors
+        .iter()
+        .position(|b| b.chunk_count() > 0)
+        .expect("someone stores chunks");
+    println!("killing benefactor {victim} ({} chunks)", benefactors[victim].chunk_count());
+    benefactors[victim].shutdown();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let back = grid.open("/jobs/resilient.n0", None)?.read_all()?;
+    assert_eq!(back, image);
+    println!("read failed over to surviving replicas: {} bytes ok", back.len());
+
+    // --- Part 2: manager failure, ⅔-concurrence recovery ----------------
+    // Write with commit stashing enabled.
+    let mut opts = WriteOptions::default();
+    opts.session.stash_commits = true;
+    let mut w = grid.create("/jobs/durable.n0", opts)?;
+    w.write_all(&image)?;
+    w.finish()?;
+    println!("\ncheckpoint committed with stashed chunk-maps");
+
+    // The manager dies and restarts from empty metadata on a new address.
+    let mgr_addr = mgr.addr();
+    drop(mgr);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut cfg = PoolConfig::default();
+    cfg.heartbeat_every = stdchk::util::Dur::from_millis(100);
+    let mgr2 = ManagerServer::spawn(&mgr_addr.to_string(), cfg)?;
+    println!("manager restarted empty at {}", mgr2.addr());
+
+    // Benefactors re-register and re-offer stashed commits.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let grid2 = loop {
+        if let Ok(g) = Grid::connect(&mgr2.addr().to_string()) {
+            if g.stat("/jobs/durable.n0").is_ok() {
+                break g;
+            }
+        }
+        assert!(Instant::now() < deadline, "recovery never completed");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let recovered = grid2.open("/jobs/durable.n0", None)?.read_all()?;
+    assert_eq!(recovered, image);
+    println!("manager recovered the commit from benefactor stashes: {} bytes ok", recovered.len());
+    Ok(())
+}

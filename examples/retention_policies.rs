@@ -1,0 +1,90 @@
+//! Automated, time-sensitive checkpoint management (paper §IV.D).
+//!
+//! Demonstrates the three retention scenarios on live directories:
+//! no intervention (keep everything), automated replace (new images
+//! obsolete old ones), and automated purge (images expire after an
+//! interval).
+//!
+//! Run with: `cargo run --example retention_policies`
+
+use std::error::Error;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stdchk::core::{BenefactorConfig, PoolConfig};
+use stdchk::fs::naming::CheckpointName;
+use stdchk::fs::{MountOptions, StdchkFs};
+use stdchk::net::store::MemStore;
+use stdchk::net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer};
+use stdchk::proto::RetentionPolicy;
+use stdchk::util::Dur;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut cfg = PoolConfig::default();
+    cfg.policy_sweep_every = Dur::from_millis(200);
+    let mgr = ManagerServer::spawn("127.0.0.1:0", cfg)?;
+    let _bs: Vec<_> = (0..2)
+        .map(|_| {
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 1 << 30,
+                cfg: BenefactorConfig::default(),
+                store: Arc::new(MemStore::new()),
+            })
+            .expect("benefactor")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mgr.online_benefactors() < 2 {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let fs = StdchkFs::mount(
+        Grid::connect(&mgr.addr().to_string())?,
+        MountOptions::default(),
+    );
+
+    // Scenario 1: debugging — keep every image.
+    fs.set_policy("/debug", RetentionPolicy::NoIntervention)?;
+    // Scenario 2: normal runs — a new image makes the old one obsolete.
+    fs.set_policy("/prod", RetentionPolicy::REPLACE)?;
+    // Scenario 3: scratch — purge anything older than two seconds.
+    fs.set_policy(
+        "/scratch",
+        RetentionPolicy::AutomatedPurge {
+            after: Dur::from_secs(2),
+        },
+    )?;
+
+    for dir in ["/debug", "/prod", "/scratch"] {
+        for t in 0..3u64 {
+            let mut w = fs.checkpoint(dir, &CheckpointName::new("app", 0, t))?;
+            w.write_all(format!("{dir} image t{t}").as_bytes())?;
+            w.finish()?;
+        }
+    }
+
+    println!("immediately after three checkpoints each:");
+    for dir in ["/debug", "/prod", "/scratch"] {
+        let v = fs.versions(&format!("{dir}/app.n0"))?;
+        println!("  {dir}/app.n0 — {} version(s)", v.len());
+    }
+    assert_eq!(fs.versions("/debug/app.n0")?.len(), 3);
+    assert_eq!(fs.versions("/prod/app.n0")?.len(), 1);
+
+    println!("\nwaiting for the purge interval…");
+    std::thread::sleep(Duration::from_secs(3));
+    let scratch = fs.versions("/scratch/app.n0");
+    println!(
+        "  /scratch/app.n0 — {}",
+        match &scratch {
+            Ok(v) => format!("{} version(s)", v.len()),
+            Err(_) => "purged entirely".to_string(),
+        }
+    );
+    assert!(scratch.is_err() || scratch.unwrap().is_empty());
+    println!("\nno intervention kept 3, replace kept 1, purge kept 0 — §IV.D reproduced");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # stdchk — a checkpoint storage system for desktop grid computing
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"stdchk: A Checkpoint Storage System for Desktop Grid Computing"*
+//! (Al Kiswany, Ripeanu, Vazhkudai, Gharaibeh — ICDCS 2008): scavenged
+//! storage aggregated from LAN desktops into a checkpoint-optimized store
+//! with striped high-throughput writes, incremental checkpointing,
+//! replication with tunable write semantics, and automated checkpoint
+//! lifetime management.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `stdchk-core` | sans-IO protocol state machines (manager, benefactor, write/read sessions) |
+//! | [`proto`] | `stdchk-proto` | wire messages, chunk-maps, binary codec |
+//! | [`chunker`] | `stdchk-chunker` | FsCH / CbCH similarity-detection heuristics |
+//! | [`net`] | `stdchk-net` | real deployment: TCP servers + blocking client |
+//! | [`fs`] | `stdchk-fs` | user-space file-system facade, `A.Ni.Tj` naming |
+//! | [`sim`] | `stdchk-sim` | discrete-event simulator reproducing the paper's evaluation |
+//! | [`workloads`] | `stdchk-workloads` | synthetic checkpoint traces (BMS/BLCR/Xen-like) |
+//! | [`util`] | `stdchk-util` | SHA-256, rolling hashes, time types |
+//!
+//! # Quickstart
+//!
+//! Run `cargo run --example quickstart` for a complete in-process pool, or:
+//!
+//! ```no_run
+//! use std::io::Write;
+//! use stdchk::net::{Grid, WriteOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = Grid::connect("127.0.0.1:4402")?;
+//! let mut ck = grid.create("/jobs/solver.n0", WriteOptions::default())?;
+//! ck.write_all(b"...checkpoint image...")?;
+//! let stats = ck.finish()?; // atomic commit: the image is now visible
+//! println!("wrote {} bytes", stats.bytes_written);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use stdchk_chunker as chunker;
+pub use stdchk_core as core;
+pub use stdchk_fs as fs;
+pub use stdchk_net as net;
+pub use stdchk_proto as proto;
+pub use stdchk_sim as sim;
+pub use stdchk_util as util;
+pub use stdchk_workloads as workloads;
