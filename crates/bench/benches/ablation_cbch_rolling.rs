@@ -12,7 +12,11 @@ use stdchk_chunker::{CbChunker, CbRollingChunker, Chunker};
 use stdchk_workloads::{TraceConfig, TraceKind};
 
 fn main() {
-    let (img, count) = if full_scale() { (16 << 20, 8) } else { (4 << 20, 5) };
+    let (img, count) = if full_scale() {
+        (16 << 20, 8)
+    } else {
+        (4 << 20, 5)
+    };
     banner(
         "Ablation: rolling-hash CbCH",
         "paper-faithful overlap vs O(1)-slide rolling hash",
@@ -63,5 +67,9 @@ fn main() {
         "rolling must be several times faster: {} vs {overlap_tp}",
         rolling.1
     );
-    assert!(rolling.0 > 0.6, "rolling similarity degraded: {}", rolling.0);
+    assert!(
+        rolling.0 > 0.6,
+        "rolling similarity degraded: {}",
+        rolling.0
+    );
 }

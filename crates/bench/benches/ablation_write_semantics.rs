@@ -23,7 +23,10 @@ fn run(pessimistic: bool, replication: u32) -> (f64, f64) {
     let report = sim.run(Dur::from_secs(60));
     let s = &report.results[0].stats;
     (
-        s.app_close_at.expect("closed").since(s.open_at).as_secs_f64(),
+        s.app_close_at
+            .expect("closed")
+            .since(s.open_at)
+            .as_secs_f64(),
         s.done_at.expect("done").since(s.open_at).as_secs_f64(),
     )
 }
@@ -39,11 +42,20 @@ fn main() {
         "configuration", "app close (s)", "fully durable (s)"
     );
     let (close_opt, done_opt) = run(false, 2);
-    println!("{:<28} {:>14.2} {:>18.2}", "optimistic, repl 2", close_opt, done_opt);
+    println!(
+        "{:<28} {:>14.2} {:>18.2}",
+        "optimistic, repl 2", close_opt, done_opt
+    );
     let (close_pes, done_pes) = run(true, 2);
-    println!("{:<28} {:>14.2} {:>18.2}", "pessimistic, repl 2", close_pes, done_pes);
+    println!(
+        "{:<28} {:>14.2} {:>18.2}",
+        "pessimistic, repl 2", close_pes, done_pes
+    );
     let (close_r1, done_r1) = run(false, 1);
-    println!("{:<28} {:>14.2} {:>18.2}", "no replication", close_r1, done_r1);
+    println!(
+        "{:<28} {:>14.2} {:>18.2}",
+        "no replication", close_r1, done_r1
+    );
     println!("\noptimistic clients return at first-copy safety and let background");
     println!("replication finish; pessimistic clients pay the full durability cost");
     assert!(

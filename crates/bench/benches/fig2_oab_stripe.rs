@@ -11,11 +11,15 @@ use stdchk_sim::SimConfig;
 use stdchk_util::bytesize::to_mbps;
 
 fn main() {
-    let size = 1000 * MB; let _ = full_scale();
+    let size = 1000 * MB;
+    let _ = full_scale();
     banner(
         "Figure 2",
         "OAB vs stripe width (1 GB writes in the paper)",
-        &format!("{} MB files on the simulated GigE testbed (paper scale)", size / MB),
+        &format!(
+            "{} MB files on the simulated GigE testbed (paper scale)",
+            size / MB
+        ),
     );
     let stripes = [1usize, 2, 4, 8];
     println!(
@@ -50,7 +54,9 @@ fn main() {
             to_mbps(nfs)
         );
     }
-    println!("\npaper anchors: SW/IW ≈ 110 MB/s at stripe ≥ 2; CLW ≈ FUSE ≈ 85 MB/s; NFS 24.8 MB/s");
+    println!(
+        "\npaper anchors: SW/IW ≈ 110 MB/s at stripe ≥ 2; CLW ≈ FUSE ≈ 85 MB/s; NFS 24.8 MB/s"
+    );
     assert!(
         sw_results[1] > sw_results[0],
         "SW must improve from stripe 1 to 2"

@@ -7,13 +7,20 @@ use stdchk_bench::{banner, full_scale, protocols, run_sim_write, session_for, MB
 use stdchk_sim::SimConfig;
 
 fn main() {
-    let size = 1000 * MB; let _ = full_scale();
+    let size = 1000 * MB;
+    let _ = full_scale();
     banner(
         "Figure 3",
         "ASB vs stripe width (1 GB writes in the paper)",
-        &format!("{} MB files on the simulated GigE testbed (paper scale)", size / MB),
+        &format!(
+            "{} MB files on the simulated GigE testbed (paper scale)",
+            size / MB
+        ),
     );
-    println!("{:<8} {:>8} {:>8} {:>8}  (MB/s)", "stripe", "CLW", "IW", "SW");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}  (MB/s)",
+        "stripe", "CLW", "IW", "SW"
+    );
     let mut last = Vec::new();
     for stripe in [1usize, 2, 4, 8] {
         let mut row = Vec::new();

@@ -30,7 +30,9 @@ fn main() {
                 SimConfig::gige(stripe, 1),
                 stripe as u32,
                 size,
-                session_for(WriteProtocol::SlidingWindow { buffer: buffer << 20 }),
+                session_for(WriteProtocol::SlidingWindow {
+                    buffer: buffer << 20,
+                }),
             );
             print!(" {oab:>8.1}");
             row.push(oab);

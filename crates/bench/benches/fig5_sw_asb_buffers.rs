@@ -28,7 +28,9 @@ fn main() {
                 SimConfig::gige(stripe, 1),
                 stripe as u32,
                 size,
-                session_for(WriteProtocol::SlidingWindow { buffer: buffer << 20 }),
+                session_for(WriteProtocol::SlidingWindow {
+                    buffer: buffer << 20,
+                }),
             );
             if stripe == 2 && buffer == 128 {
                 at_stripe2 = asb;

@@ -24,7 +24,9 @@ fn run_series(buffer_mb: u64, dedup: bool, images: usize) -> (f64, f64, f64) {
             "/blast/img.n0",
             image_chunks as u64 * (1 << 20),
             SessionConfig {
-                protocol: WriteProtocol::SlidingWindow { buffer: buffer_mb << 20 },
+                protocol: WriteProtocol::SlidingWindow {
+                    buffer: buffer_mb << 20,
+                },
                 dedup,
                 ..SessionConfig::default()
             },

@@ -60,10 +60,18 @@ fn bench_chunkers(c: &mut Criterion) {
         b.iter(|| FsChunker::new(1 << 20).split(&buf))
     });
     g.bench_function("cbch_no_overlap_m32_k10", |b| {
-        b.iter(|| CbChunker::no_overlap(32, 10).with_max_chunk(8 << 20).split(&buf))
+        b.iter(|| {
+            CbChunker::no_overlap(32, 10)
+                .with_max_chunk(8 << 20)
+                .split(&buf)
+        })
     });
     g.bench_function("cbch_rolling_m32_k10", |b| {
-        b.iter(|| CbRollingChunker::new(32, 10).with_max_chunk(8 << 20).split(&buf))
+        b.iter(|| {
+            CbRollingChunker::new(32, 10)
+                .with_max_chunk(8 << 20)
+                .split(&buf)
+        })
     });
     g.finish();
 }
@@ -123,9 +131,11 @@ fn bench_manager(c: &mut Criterion) {
                         Time::ZERO,
                     );
                     let (res, stripe) = match &out[0].msg {
-                        Msg::CreateFileOk { reservation, stripe, .. } => {
-                            (*reservation, stripe.clone())
-                        }
+                        Msg::CreateFileOk {
+                            reservation,
+                            stripe,
+                            ..
+                        } => (*reservation, stripe.clone()),
                         other => panic!("unexpected {other:?}"),
                     };
                     let id = ChunkId::test_id(f);
@@ -149,5 +159,11 @@ fn bench_manager(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hashing, bench_chunkers, bench_codec, bench_manager);
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_chunkers,
+    bench_codec,
+    bench_manager
+);
 criterion_main!(benches);

@@ -17,9 +17,30 @@ fn main() {
     );
     // (label, checkpointing type, interval min, paper count, paper MB, kind)
     let rows: Vec<(&str, &str, &str, usize, f64, TraceKind)> = vec![
-        ("BMS", "Application", "1", 100, 2.7, TraceKind::ApplicationLevel),
-        ("BLAST", "Library (BLCR)", "5", 902, 279.6, TraceKind::blcr_5min()),
-        ("BLAST", "Library (BLCR)", "15", 654, 308.1, TraceKind::blcr_15min()),
+        (
+            "BMS",
+            "Application",
+            "1",
+            100,
+            2.7,
+            TraceKind::ApplicationLevel,
+        ),
+        (
+            "BLAST",
+            "Library (BLCR)",
+            "5",
+            902,
+            279.6,
+            TraceKind::blcr_5min(),
+        ),
+        (
+            "BLAST",
+            "Library (BLCR)",
+            "15",
+            654,
+            308.1,
+            TraceKind::blcr_15min(),
+        ),
         ("BLAST", "VM (Xen)", "5", 100, 1024.8, TraceKind::xen()),
         ("BLAST", "VM (Xen)", "15", 300, 1024.8, TraceKind::xen()),
     ];

@@ -94,8 +94,15 @@ fn main() {
     }
     println!("\npaper anchors (BLCR 5-min): FsCH 1MB 23.4%% [109 MB/s];");
     println!("CbCH overlap 84%% [1.1 MB/s]; CbCH no-overlap 82%% [26.6 MB/s]");
-    assert!(fsch_1mb > 0.1 && fsch_1mb < 0.45, "FsCH 5-min similarity off: {fsch_1mb}");
-    assert!(cbch_overlap.0 > 0.6, "CbCH must find the shifted content: {}", cbch_overlap.0);
+    assert!(
+        fsch_1mb > 0.1 && fsch_1mb < 0.45,
+        "FsCH 5-min similarity off: {fsch_1mb}"
+    );
+    assert!(
+        cbch_overlap.0 > 0.6,
+        "CbCH must find the shifted content: {}",
+        cbch_overlap.0
+    );
     assert!(
         cbch_overlap.1 < cbch_noov / 2.0,
         "overlap must be far slower than no-overlap: {} vs {}",

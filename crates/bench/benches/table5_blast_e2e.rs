@@ -65,7 +65,10 @@ fn main() {
     let stdchk_total = run.total_compute().as_secs_f64() + stdchk_ckpt;
     let stdchk_data: u64 = report.results.iter().map(|r| r.stats.bytes_stored).sum();
 
-    println!("{:<26} {:>14} {:>14} {:>12}", "", "local disk", "stdchk", "improvement");
+    println!(
+        "{:<26} {:>14} {:>14} {:>12}",
+        "", "local disk", "stdchk", "improvement"
+    );
     println!(
         "{:<26} {:>14.0} {:>14.0} {:>11.1}%",
         "total execution time (s)",
@@ -88,8 +91,18 @@ fn main() {
         (local_data - stdchk_data as f64) / local_data * 100.0
     );
     println!();
-    compare("paper total-time improvement", 1.3, (local_total - stdchk_total) / local_total * 100.0, "%");
-    compare("paper checkpoint-time improvement", 27.0, (local_ckpt - stdchk_ckpt) / local_ckpt * 100.0, "%");
+    compare(
+        "paper total-time improvement",
+        1.3,
+        (local_total - stdchk_total) / local_total * 100.0,
+        "%",
+    );
+    compare(
+        "paper checkpoint-time improvement",
+        27.0,
+        (local_ckpt - stdchk_ckpt) / local_ckpt * 100.0,
+        "%",
+    );
     compare(
         "paper data reduction",
         69.0,
@@ -97,6 +110,12 @@ fn main() {
         "%",
     );
     let data_red = (local_data - stdchk_data as f64) / local_data;
-    assert!((0.55..0.8).contains(&data_red), "data reduction should be ≈69%: {data_red}");
-    assert!(stdchk_ckpt < local_ckpt, "stdchk must speed up checkpointing");
+    assert!(
+        (0.55..0.8).contains(&data_red),
+        "data reduction should be ≈69%: {data_red}"
+    );
+    assert!(
+        stdchk_ckpt < local_ckpt,
+        "stdchk must speed up checkpointing"
+    );
 }

@@ -25,7 +25,9 @@ pub const MB: u64 = 1_000_000;
 
 /// True when paper-scale sizes were requested via `STDCHK_BENCH_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("STDCHK_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("STDCHK_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a harness banner.
@@ -43,12 +45,7 @@ pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
 
 /// Runs one write job on a fresh simulated pool and returns `(OAB, ASB)` in
 /// MB/s.
-pub fn run_sim_write(
-    cfg: SimConfig,
-    stripe: u32,
-    size: u64,
-    session: SessionConfig,
-) -> (f64, f64) {
+pub fn run_sim_write(cfg: SimConfig, stripe: u32, size: u64, session: SessionConfig) -> (f64, f64) {
     let mut sim = SimCluster::new(cfg);
     let mut job = WriteJob::new("/bench/f.n0", size, session);
     job.stripe_width = stripe;
@@ -62,7 +59,12 @@ pub fn run_sim_write(
 pub fn protocols() -> Vec<(&'static str, WriteProtocol)> {
     vec![
         ("CLW", WriteProtocol::CompleteLocal),
-        ("IW", WriteProtocol::Incremental { temp_size: 32 << 20 }),
+        (
+            "IW",
+            WriteProtocol::Incremental {
+                temp_size: 32 << 20,
+            },
+        ),
         ("SW", WriteProtocol::SlidingWindow { buffer: 64 << 20 }),
     ]
 }

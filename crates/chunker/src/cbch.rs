@@ -330,6 +330,7 @@ mod tests {
         // phase and must still be detected.
         let base = noise(200_000, 6);
         let mut edited = base.clone();
+        #[allow(clippy::needless_range_loop)]
         for i in 60_000..64_096 {
             edited[i] ^= 0x5a; // dirty a 4 KiB page
         }
@@ -369,7 +370,10 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert_eq!(CbChunker::overlap(20, 14).label(), "CbCH overlap m=20B k=14b");
+        assert_eq!(
+            CbChunker::overlap(20, 14).label(),
+            "CbCH overlap m=20B k=14b"
+        );
         assert_eq!(
             CbRollingChunker::new(32, 10).label(),
             "CbCH rolling m=32B k=10b"

@@ -38,8 +38,12 @@ fn arb_data() -> impl Strategy<Value = Vec<u8>> {
         // Low-entropy: long runs (exercises no-boundary paths and caps).
         (1usize..2000, any::<u8>()).prop_map(|(n, b)| vec![b; n * 8]),
         // Structured: repeated small motifs (exercises dedup).
-        proptest::collection::vec(any::<u8>(), 1..64)
-            .prop_map(|motif| motif.iter().copied().cycle().take(16_384).collect()),
+        proptest::collection::vec(any::<u8>(), 1..64).prop_map(|motif| motif
+            .iter()
+            .copied()
+            .cycle()
+            .take(16_384)
+            .collect()),
     ]
 }
 

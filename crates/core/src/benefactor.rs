@@ -10,8 +10,13 @@
 //! Chunk *data* lives behind the driver (a real directory of files in
 //! `stdchk-net`, nothing at all in the simulator); the state machine tracks
 //! the authoritative index of chunk ids, sizes and store times, and emits
-//! [`BenefactorAction::Store`]/[`BenefactorAction::Load`] for the driver to
-//! fulfil.
+//! [`Action::Store`]/[`Action::Load`] for the driver to fulfil.
+//!
+//! The benefactor implements the unified [`Node`] API: feed it messages and
+//! completions, drain [`Action`]s with `poll_action`, and schedule
+//! `handle_timeout` from `poll_timeout`. The `Vec`-returning methods
+//! ([`Benefactor::handle_msg`], [`Benefactor::tick`], …) are thin
+//! compatibility shims kept for tests.
 
 use std::collections::HashMap;
 
@@ -21,6 +26,7 @@ use stdchk_proto::msg::{Msg, ReplicaCopy};
 use stdchk_proto::ErrorCode;
 use stdchk_util::{Dur, Time};
 
+use crate::node::{earliest, Action, ActionQueue, Completion, Node};
 use crate::payload::Payload;
 use crate::MANAGER_NODE;
 
@@ -70,7 +76,8 @@ impl BenefactorConfig {
     }
 }
 
-/// One output of the benefactor state machine.
+/// Legacy benefactor action vocabulary, kept as a compatibility shim for
+/// tests. Drivers dispatch on the unified [`Action`] enum instead.
 #[derive(Clone, Debug)]
 pub enum BenefactorAction {
     /// Send a protocol message.
@@ -80,7 +87,7 @@ pub enum BenefactorAction {
         /// The message.
         msg: Msg,
     },
-    /// Persist chunk data; call [`Benefactor::on_store_complete`] when done.
+    /// Persist chunk data; deliver [`Completion::Stored`] when done.
     Store {
         /// Completion correlation token.
         op: u64,
@@ -89,7 +96,7 @@ pub enum BenefactorAction {
         /// The data (possibly virtual).
         payload: Payload,
     },
-    /// Read chunk data back; call [`Benefactor::on_load_complete`].
+    /// Read chunk data back; deliver [`Completion::Loaded`].
     Load {
         /// Completion correlation token.
         op: u64,
@@ -104,6 +111,18 @@ pub enum BenefactorAction {
         /// The chunk to remove.
         chunk: ChunkId,
     },
+}
+
+impl From<Action> for BenefactorAction {
+    fn from(a: Action) -> BenefactorAction {
+        match a {
+            Action::Send { to, msg } => BenefactorAction::Send { to, msg },
+            Action::Store { op, chunk, payload } => BenefactorAction::Store { op, chunk, payload },
+            Action::Load { op, chunk, size } => BenefactorAction::Load { op, chunk, size },
+            Action::DropChunk { chunk } => BenefactorAction::Drop { chunk },
+            other => unreachable!("benefactor never emits {other:?}"),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -170,6 +189,7 @@ pub struct Benefactor {
     outstanding_puts: HashMap<RequestId, OutstandingPut>,
     stash: Vec<Stash>,
     advertised_addr: String,
+    actions: ActionQueue,
 }
 
 impl Benefactor {
@@ -199,6 +219,7 @@ impl Benefactor {
             outstanding_puts: HashMap::new(),
             stash: Vec::new(),
             advertised_addr: String::new(),
+            actions: ActionQueue::new(),
         }
     }
 
@@ -263,9 +284,9 @@ impl Benefactor {
         self.next_op
     }
 
-    /// Processes one inbound message.
-    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<BenefactorAction> {
-        let mut out = Vec::new();
+    // ------------------------------------------------------ message handling
+
+    fn process_msg(&mut self, from: NodeId, msg: Msg, now: Time) {
         match msg {
             Msg::JoinOk { req, node, .. } => {
                 // Accept any join grant while unjoined: a duplicate
@@ -276,7 +297,7 @@ impl Benefactor {
                     self.id = node;
                     self.joined = true;
                     self.join_req = None;
-                    self.emit_heartbeat(now, &mut out);
+                    self.emit_heartbeat(now);
                 }
             }
             Msg::HeartbeatAck { gc_due, .. } => {
@@ -290,23 +311,23 @@ impl Benefactor {
                 size,
                 data,
                 ..
-            } => self.on_put(from, req, chunk, size, data, now, &mut out),
-            Msg::GetChunk { req, chunk } => self.on_get(from, req, chunk, &mut out),
+            } => self.on_put(from, req, chunk, size, data, now),
+            Msg::GetChunk { req, chunk } => self.on_get(from, req, chunk),
             Msg::DeleteChunks { chunks } => {
                 for c in chunks {
-                    self.remove_chunk(c, &mut out);
+                    self.remove_chunk(c);
                 }
             }
             Msg::GcReply { deletable, .. } => {
                 for c in deletable {
-                    self.remove_chunk(c, &mut out);
+                    self.remove_chunk(c);
                 }
             }
-            Msg::ReplicateCmd { job, copies } => self.on_replicate(job, copies, &mut out),
-            Msg::PutChunkOk { req, .. } => self.on_put_ack(req, true, &mut out),
+            Msg::ReplicateCmd { job, copies } => self.on_replicate(job, copies),
+            Msg::PutChunkOk { req, .. } => self.on_put_ack(req, true),
             Msg::ErrorReply { req, .. } => {
                 // Either a failed replication transfer or a stale reply.
-                self.on_put_ack(req, false, &mut out);
+                self.on_put_ack(req, false);
             }
             Msg::StashCommit {
                 req,
@@ -321,10 +342,13 @@ impl Benefactor {
                     stored_at: now,
                     last_offer_req: None,
                 });
-                out.push(BenefactorAction::Send {
-                    to: from,
-                    msg: Msg::Ack { req },
-                });
+                // Quiet period before the first re-offer: the manager that
+                // granted this commit is alive right now, and an immediate
+                // offer would only be acked and dropped — defeating the
+                // stash's purpose of surviving a manager crash shortly
+                // after the commit.
+                self.last_reoffer = Some(now);
+                self.actions.send(from, Msg::Ack { req });
             }
             Msg::Ack { req } => {
                 // Ack of a re-offer: the manager has (re)learned this commit.
@@ -332,18 +356,17 @@ impl Benefactor {
             }
             other => {
                 if let Some(req) = other.request_id() {
-                    out.push(BenefactorAction::Send {
-                        to: from,
-                        msg: Msg::ErrorReply {
+                    self.actions.send(
+                        from,
+                        Msg::ErrorReply {
                             req,
                             code: ErrorCode::BadRequest,
                             detail: format!("benefactor cannot serve tag {}", other.wire_tag()),
                         },
-                    });
+                    );
                 }
             }
         }
-        out
     }
 
     fn on_put(
@@ -354,68 +377,67 @@ impl Benefactor {
         size: u32,
         data: bytes::Bytes,
         now: Time,
-        out: &mut Vec<BenefactorAction>,
     ) {
         if !self.joined {
             // Until the pool identity is known, acknowledgements would be
             // unattributable; make the client fail over.
-            out.push(BenefactorAction::Send {
-                to: from,
-                msg: Msg::ErrorReply {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
                     req,
                     code: ErrorCode::Unavailable,
                     detail: "benefactor has not joined the pool yet".to_string(),
                 },
-            });
+            );
             return;
         }
         if self.index.contains_key(&chunk) {
             // Content-addressed dedup: already stored, ack immediately.
-            out.push(BenefactorAction::Send {
-                to: from,
-                msg: Msg::PutChunkOk {
+            self.actions.send(
+                from,
+                Msg::PutChunkOk {
                     req,
                     chunk,
                     node: self.id,
                 },
-            });
+            );
             return;
         }
         if !data.is_empty() {
             if data.len() != size as usize {
-                out.push(BenefactorAction::Send {
-                    to: from,
-                    msg: Msg::ErrorReply {
+                self.actions.send(
+                    from,
+                    Msg::ErrorReply {
                         req,
                         code: ErrorCode::BadRequest,
                         detail: format!("size field {size} != payload {}", data.len()),
                     },
-                });
+                );
                 return;
             }
             if !chunk.verify(&data) {
                 // Content-based addressability doubles as an integrity
                 // check: refuse tampered or corrupted data.
-                out.push(BenefactorAction::Send {
-                    to: from,
-                    msg: Msg::ErrorReply {
+                self.actions.send(
+                    from,
+                    Msg::ErrorReply {
                         req,
                         code: ErrorCode::Corrupt,
                         detail: "chunk data does not match its content hash".to_string(),
                     },
-                });
+                );
                 return;
             }
         }
         if self.used + size as u64 > self.total {
-            out.push(BenefactorAction::Send {
-                to: from,
-                msg: Msg::ErrorReply {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
                     req,
                     code: ErrorCode::NoSpace,
                     detail: format!("{} bytes free", self.free_space()),
                 },
-            });
+            );
             return;
         }
         self.index.insert(
@@ -440,70 +462,56 @@ impl Benefactor {
                 reply_to: from,
             },
         );
-        out.push(BenefactorAction::Store { op, chunk, payload });
+        self.actions.push(Action::Store { op, chunk, payload });
     }
 
-    /// Driver callback: the `Store` for `op` hit stable storage.
-    pub fn on_store_complete(&mut self, op: u64, _now: Time) -> Vec<BenefactorAction> {
+    fn complete_store(&mut self, op: u64, _now: Time) {
         let Some(p) = self.pending_stores.remove(&op) else {
-            return Vec::new();
+            return;
         };
-        vec![BenefactorAction::Send {
-            to: p.reply_to,
-            msg: Msg::PutChunkOk {
+        self.actions.send(
+            p.reply_to,
+            Msg::PutChunkOk {
                 req: p.req,
                 chunk: p.chunk,
                 node: self.id,
             },
-        }]
+        );
     }
 
-    fn on_get(
-        &mut self,
-        from: NodeId,
-        req: RequestId,
-        chunk: ChunkId,
-        out: &mut Vec<BenefactorAction>,
-    ) {
+    fn on_get(&mut self, from: NodeId, req: RequestId, chunk: ChunkId) {
         if !self.index.contains_key(&chunk) {
-            out.push(BenefactorAction::Send {
-                to: from,
-                msg: Msg::ErrorReply {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
                     req,
                     code: ErrorCode::NotFound,
                     detail: format!("chunk {chunk} not stored here"),
                 },
-            });
+            );
             return;
         }
         let size = self.index[&chunk].size;
         let op = self.op();
         self.pending_loads
             .insert(op, LoadPurpose::ServeGet { req, to: from });
-        out.push(BenefactorAction::Load { op, chunk, size });
+        self.actions.push(Action::Load { op, chunk, size });
     }
 
-    /// Driver callback: the `Load` for `op` finished with `payload`.
-    pub fn on_load_complete(
-        &mut self,
-        op: u64,
-        chunk: ChunkId,
-        payload: Payload,
-        now: Time,
-    ) -> Vec<BenefactorAction> {
+    fn complete_load(&mut self, op: u64, chunk: ChunkId, payload: Payload, now: Time) {
         let Some(purpose) = self.pending_loads.remove(&op) else {
-            return Vec::new();
+            return;
         };
         match purpose {
-            LoadPurpose::ServeGet { req, to } => vec![BenefactorAction::Send {
+            LoadPurpose::ServeGet { req, to } => self.actions.send(
                 to,
-                msg: Msg::GetChunkOk {
+                Msg::GetChunkOk {
                     req,
                     chunk,
                     size: payload.len() as u32,
                     data: payload.bytes(),
                 },
-            }],
+            ),
             LoadPurpose::ReplPush { job, copy } => {
                 let req = self.req();
                 self.outstanding_puts.insert(
@@ -514,21 +522,54 @@ impl Benefactor {
                         sent_at: now,
                     },
                 );
-                vec![BenefactorAction::Send {
-                    to: copy.target,
-                    msg: Msg::PutChunk {
+                self.actions.send(
+                    copy.target,
+                    Msg::PutChunk {
                         req,
                         chunk,
                         size: payload.len() as u32,
                         data: payload.bytes(),
                         background: true,
                     },
-                }]
+                );
             }
         }
     }
 
-    fn on_replicate(&mut self, job: u64, copies: Vec<ReplicaCopy>, out: &mut Vec<BenefactorAction>) {
+    /// The driver could not read a chunk this node's index advertises: the
+    /// backing blob is lost or corrupt. Drop it from the index (GC and
+    /// heartbeats stop advertising it) and fail the pending request so the
+    /// requester fails over to another replica.
+    fn load_failed(&mut self, op: u64, chunk: ChunkId) {
+        let Some(purpose) = self.pending_loads.remove(&op) else {
+            return;
+        };
+        self.remove_chunk(chunk);
+        match purpose {
+            LoadPurpose::ServeGet { req, to } => self.actions.send(
+                to,
+                Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("chunk {chunk} lost from backing store"),
+                },
+            ),
+            LoadPurpose::ReplPush { job, copy } => {
+                let Some(mut state) = self.repl_jobs.remove(&job) else {
+                    return;
+                };
+                state.outstanding -= 1;
+                state.failed.push(copy);
+                if state.outstanding == 0 {
+                    self.report_job(job, state);
+                } else {
+                    self.repl_jobs.insert(job, state);
+                }
+            }
+        }
+    }
+
+    fn on_replicate(&mut self, job: u64, copies: Vec<ReplicaCopy>) {
         let mut state = JobState {
             outstanding: 0,
             done: Vec::new(),
@@ -539,25 +580,22 @@ impl Benefactor {
                 let size = info.size;
                 state.outstanding += 1;
                 let op = self.op();
+                let chunk = copy.chunk;
                 self.pending_loads
                     .insert(op, LoadPurpose::ReplPush { job, copy });
-                out.push(BenefactorAction::Load {
-                    op,
-                    chunk: copy.chunk,
-                    size,
-                });
+                self.actions.push(Action::Load { op, chunk, size });
             } else {
                 state.failed.push(copy);
             }
         }
         if state.outstanding == 0 {
-            out.push(self.report_job(job, state));
+            self.report_job(job, state);
         } else {
             self.repl_jobs.insert(job, state);
         }
     }
 
-    fn on_put_ack(&mut self, req: RequestId, ok: bool, out: &mut Vec<BenefactorAction>) {
+    fn on_put_ack(&mut self, req: RequestId, ok: bool) {
         let Some(put) = self.outstanding_puts.remove(&req) else {
             return;
         };
@@ -571,48 +609,49 @@ impl Benefactor {
             state.failed.push(put.copy);
         }
         if state.outstanding == 0 {
-            out.push(self.report_job(put.job, state));
+            self.report_job(put.job, state);
         } else {
             self.repl_jobs.insert(put.job, state);
         }
     }
 
-    fn report_job(&mut self, job: u64, state: JobState) -> BenefactorAction {
-        BenefactorAction::Send {
-            to: MANAGER_NODE,
-            msg: Msg::ReplicateReport {
+    fn report_job(&mut self, job: u64, state: JobState) {
+        self.actions.send(
+            MANAGER_NODE,
+            Msg::ReplicateReport {
                 job,
                 node: self.id,
                 done: state.done,
                 failed: state.failed,
             },
-        }
+        );
     }
 
-    fn remove_chunk(&mut self, chunk: ChunkId, out: &mut Vec<BenefactorAction>) {
+    fn remove_chunk(&mut self, chunk: ChunkId) {
         if let Some(info) = self.index.remove(&chunk) {
             self.used = self.used.saturating_sub(info.size as u64);
-            out.push(BenefactorAction::Drop { chunk });
+            self.actions.push(Action::DropChunk { chunk });
         }
     }
 
-    fn emit_heartbeat(&mut self, now: Time, out: &mut Vec<BenefactorAction>) {
+    fn emit_heartbeat(&mut self, now: Time) {
         self.last_heartbeat = Some(now);
-        out.push(BenefactorAction::Send {
-            to: MANAGER_NODE,
-            msg: Msg::Heartbeat {
+        self.actions.send(
+            MANAGER_NODE,
+            Msg::Heartbeat {
                 node: self.id,
                 free_space: self.free_space(),
                 total_space: self.total,
                 addr: self.advertised_addr.clone(),
             },
-        });
+        );
     }
+
+    // ------------------------------------------------------------ timers
 
     /// Runs time-based behaviour: joining, heartbeats, GC reports,
     /// replication timeouts, stash re-offers.
-    pub fn tick(&mut self, now: Time) -> Vec<BenefactorAction> {
-        let mut out = Vec::new();
+    fn process_timeout(&mut self, now: Time) {
         if !self.joined {
             let due = self
                 .last_heartbeat
@@ -622,23 +661,23 @@ impl Benefactor {
                 let req = self.req();
                 self.join_req = Some(req);
                 self.last_heartbeat = Some(now);
-                out.push(BenefactorAction::Send {
-                    to: MANAGER_NODE,
-                    msg: Msg::JoinRequest {
+                self.actions.send(
+                    MANAGER_NODE,
+                    Msg::JoinRequest {
                         req,
                         addr: self.advertised_addr.clone(),
                         total_space: self.total,
                     },
-                });
+                );
             }
-            return out;
+            return;
         }
         let hb_due = self
             .last_heartbeat
             .map(|t| now.since(t) >= self.cfg.heartbeat_every)
             .unwrap_or(true);
         if hb_due {
-            self.emit_heartbeat(now, &mut out);
+            self.emit_heartbeat(now);
         }
         if self.gc_due {
             let gc_ok = self
@@ -656,26 +695,26 @@ impl Benefactor {
                     .map(|(id, _)| *id)
                     .collect();
                 chunks.sort_unstable();
-                out.push(BenefactorAction::Send {
-                    to: MANAGER_NODE,
-                    msg: Msg::GcReport {
+                self.actions.send(
+                    MANAGER_NODE,
+                    Msg::GcReport {
                         req,
                         node: self.id,
                         chunks,
                     },
-                });
+                );
             }
         }
         // Replication transfer timeouts.
         let mut timed_out: Vec<RequestId> = self
             .outstanding_puts
             .iter()
-            .filter(|(_, p)| now.since(p.sent_at) > self.cfg.put_timeout)
+            .filter(|(_, p)| now.since(p.sent_at) >= self.cfg.put_timeout)
             .map(|(r, _)| *r)
             .collect();
         timed_out.sort_unstable();
         for req in timed_out {
-            self.on_put_ack(req, false, &mut out);
+            self.on_put_ack(req, false);
         }
         // Stash maintenance.
         self.stash
@@ -687,30 +726,128 @@ impl Benefactor {
         if reoffer_due && !self.stash.is_empty() {
             self.last_reoffer = Some(now);
             let id = self.id;
-            let mut offers = Vec::new();
-            for s in &mut self.stash {
-                let req = RequestId(self.next_req + 1);
-                self.next_req += 1;
+            for i in 0..self.stash.len() {
+                let req = self.req();
+                let s = &mut self.stash[i];
                 s.last_offer_req = Some(req);
-                offers.push(BenefactorAction::Send {
-                    to: MANAGER_NODE,
-                    msg: Msg::ReofferCommit {
-                        req,
-                        node: id,
-                        path: s.path.clone(),
-                        entries: s.entries.clone(),
-                        placements: s.placements.clone(),
-                    },
-                });
+                let msg = Msg::ReofferCommit {
+                    req,
+                    node: id,
+                    path: s.path.clone(),
+                    entries: s.entries.clone(),
+                    placements: s.placements.clone(),
+                };
+                self.actions.send(MANAGER_NODE, msg);
             }
-            out.extend(offers);
         }
-        out
     }
 
     /// Number of stashed (not yet manager-acknowledged) commits.
     pub fn stashed_commits(&self) -> usize {
         self.stash.len()
+    }
+
+    // ------------------------------------------------------ legacy shims
+
+    fn take_legacy(&mut self) -> Vec<BenefactorAction> {
+        self.actions
+            .drain()
+            .into_iter()
+            .map(BenefactorAction::from)
+            .collect()
+    }
+
+    /// Compatibility shim over [`Node::handle`]: processes one message and
+    /// drains the resulting actions.
+    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<BenefactorAction> {
+        Node::handle(self, from, msg, now);
+        self.take_legacy()
+    }
+
+    /// Compatibility shim over [`Node::handle_timeout`].
+    pub fn tick(&mut self, now: Time) -> Vec<BenefactorAction> {
+        Node::handle_timeout(self, now);
+        self.take_legacy()
+    }
+
+    /// Compatibility shim over [`Completion::Stored`].
+    pub fn on_store_complete(&mut self, op: u64, now: Time) -> Vec<BenefactorAction> {
+        self.complete_store(op, now);
+        self.take_legacy()
+    }
+
+    /// Compatibility shim over [`Completion::Loaded`].
+    pub fn on_load_complete(
+        &mut self,
+        op: u64,
+        chunk: ChunkId,
+        payload: Payload,
+        now: Time,
+    ) -> Vec<BenefactorAction> {
+        self.complete_load(op, chunk, payload, now);
+        self.take_legacy()
+    }
+}
+
+impl Node for Benefactor {
+    fn handle(&mut self, from: NodeId, msg: Msg, now: Time) {
+        self.process_msg(from, msg, now);
+    }
+
+    fn handle_completion(&mut self, completion: Completion, now: Time) {
+        match completion {
+            Completion::Stored { op } => self.complete_store(op, now),
+            Completion::Loaded { op, chunk, payload } => {
+                self.complete_load(op, chunk, payload, now)
+            }
+            Completion::LoadFailed { op, chunk } => self.load_failed(op, chunk),
+            // Benefactor transfers are fire-and-forget at the transport
+            // level; replication failures surface via the put timeout.
+            Completion::SendDone { .. } | Completion::SendFailed { .. } => {}
+            other => debug_assert!(false, "unexpected completion {other:?}"),
+        }
+    }
+
+    fn handle_timeout(&mut self, now: Time) {
+        self.process_timeout(now);
+    }
+
+    fn poll_action(&mut self) -> Option<Action> {
+        self.actions.pop()
+    }
+
+    fn poll_timeout(&self) -> Option<Time> {
+        let hb = Some(match self.last_heartbeat {
+            Some(t) => t + self.cfg.heartbeat_every,
+            None => Time::ZERO,
+        });
+        if !self.joined {
+            // Next join attempt.
+            return hb;
+        }
+        let mut next = hb;
+        if self.gc_due {
+            next = earliest(
+                next,
+                Some(match self.last_gc {
+                    Some(t) => t + self.cfg.gc_min_interval,
+                    None => Time::ZERO,
+                }),
+            );
+        }
+        for p in self.outstanding_puts.values() {
+            next = earliest(next, Some(p.sent_at + self.cfg.put_timeout));
+        }
+        if !self.stash.is_empty() {
+            next = earliest(
+                next,
+                Some(match self.last_reoffer {
+                    Some(t) => t + self.cfg.reoffer_every,
+                    None => Time::ZERO,
+                }),
+            );
+        }
+        next
     }
 }
 
@@ -738,7 +875,13 @@ mod tests {
         let mut b = make();
         let out = b.tick(Time::ZERO);
         let msgs = send_msgs(&out);
-        assert!(matches!(msgs[0], Msg::Heartbeat { node: NodeId(5), .. }));
+        assert!(matches!(
+            msgs[0],
+            Msg::Heartbeat {
+                node: NodeId(5),
+                ..
+            }
+        ));
         // No duplicate heartbeat before the period elapses.
         assert!(b.tick(Time::ZERO + Dur::from_millis(10)).is_empty());
         let out = b.tick(Time::ZERO + Dur::from_millis(60));
@@ -765,7 +908,10 @@ mod tests {
         assert_eq!(b.id(), NodeId(9));
         assert!(matches!(
             send_msgs(&out)[0],
-            Msg::Heartbeat { node: NodeId(9), .. }
+            Msg::Heartbeat {
+                node: NodeId(9),
+                ..
+            }
         ));
     }
 
@@ -833,7 +979,10 @@ mod tests {
         );
         assert!(matches!(
             &out[0],
-            BenefactorAction::Send { msg: Msg::PutChunkOk { .. }, .. }
+            BenefactorAction::Send {
+                msg: Msg::PutChunkOk { .. },
+                ..
+            }
         ));
         assert_eq!(b.used_space(), 1, "no double accounting");
     }

@@ -19,41 +19,52 @@
 //!   (FsCH), optimistic/pessimistic write semantics, and a read path with
 //!   read-ahead and replica failover.
 //!
-//! **Sans-IO**: no state machine touches a socket, disk, clock, or thread.
-//! Inputs are protocol messages, completions, and explicit `now` timestamps;
-//! outputs are action lists (send message X to node Y, store/load bytes,
-//! stage bytes locally). Two drivers embed these machines unchanged:
-//! `stdchk-net` (threads + TCP + real disks) and `stdchk-sim` (a
-//! discrete-event simulator with virtual time used to reproduce the paper's
-//! evaluation).
+//! **Sans-IO, one API**: no state machine touches a socket, disk, clock, or
+//! thread, and all four implement the poll-based [`Node`] trait — inputs
+//! arrive through [`Node::handle`] (messages), [`Node::handle_completion`]
+//! (finished driver I/O) and [`Node::handle_timeout`] (deadlines from
+//! [`Node::poll_timeout`]); outputs are drained from a shared per-node
+//! [`ActionQueue`] as the unified [`Action`] enum. Two generic drivers embed
+//! these machines unchanged: `stdchk-net` (threads + TCP + real disks) and
+//! `stdchk-sim` (a discrete-event simulator with virtual time used to
+//! reproduce the paper's evaluation).
 //!
-//! # Example: driving a manager by hand
+//! # Example: driving a manager through the `Node` API
 //!
 //! ```
-//! use stdchk_core::{Manager, PoolConfig};
+//! use stdchk_core::{Action, Manager, Node, PoolConfig};
 //! use stdchk_proto::{Msg, NodeId, RequestId};
 //! use stdchk_util::Time;
 //!
 //! let mut mgr = Manager::new(PoolConfig::default());
 //! let now = Time::ZERO;
 //! // A benefactor joins the pool.
-//! let out = mgr.handle_msg(
+//! mgr.handle(
 //!     NodeId(0),
 //!     Msg::JoinRequest { req: RequestId(1), addr: String::new(), total_space: 1 << 30 },
 //!     now,
 //! );
-//! assert!(matches!(out[0].msg, Msg::JoinOk { .. }));
+//! // Drain the resulting effects: one JoinOk to transmit.
+//! match mgr.poll_action() {
+//!     Some(Action::Send { msg: Msg::JoinOk { .. }, .. }) => {}
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! assert!(mgr.poll_action().is_none());
+//! // And the next maintenance deadline is advertised for the driver.
+//! assert!(mgr.poll_timeout().is_some());
 //! ```
 
 pub mod benefactor;
 pub mod config;
 pub mod manager;
+pub mod node;
 pub mod payload;
 pub mod session;
 
 pub use benefactor::{Benefactor, BenefactorAction, BenefactorConfig};
 pub use config::PoolConfig;
 pub use manager::{Manager, ManagerStats, Send};
+pub use node::{Action, ActionQueue, Completion, Node};
 pub use payload::{ChunkAssembler, Payload};
 pub use session::read::{ReadAction, ReadSession};
 pub use session::write::{

@@ -1,24 +1,23 @@
 //! Time-based maintenance: heartbeat expiry and repair, reservation expiry,
 //! retention-policy sweeps, GC marking and reports, version pruning.
 
-
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::Msg;
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_util::Time;
 
 use super::{Manager, Send};
+use crate::node::ActionQueue;
 
 impl Manager {
-    /// Runs all time-based maintenance. Drivers call this periodically
-    /// (every few hundred milliseconds of pool time is plenty).
-    pub fn tick(&mut self, now: Time) -> Vec<Send> {
-        let mut out = Vec::new();
-        self.expire_benefactors(now, &mut out);
+    /// Runs all time-based maintenance: heartbeat expiry, reservation
+    /// expiry, retention sweeps, GC marking, replication dispatch.
+    pub(crate) fn process_timeout(&mut self, now: Time, out: &mut ActionQueue) {
+        self.expire_benefactors(now, out);
         self.expire_reservations(now);
         if now.since(self.last_policy_sweep) >= self.cfg.policy_sweep_every {
             self.last_policy_sweep = now;
-            self.policy_sweep(now, &mut out);
+            self.policy_sweep(now, out);
         }
         if now.since(self.last_gc_mark) >= self.cfg.gc_every {
             self.last_gc_mark = now;
@@ -26,11 +25,10 @@ impl Manager {
                 b.gc_due = true;
             }
         }
-        out.extend(self.pump_replication(now));
-        out
+        self.pump_replication(now, out);
     }
 
-    fn expire_benefactors(&mut self, now: Time, out: &mut Vec<Send>) {
+    fn expire_benefactors(&mut self, now: Time, out: &mut ActionQueue) {
         let timeout = self.cfg.benefactor_timeout;
         let dead: Vec<NodeId> = self
             .benefactors
@@ -87,12 +85,9 @@ impl Manager {
 
     // ------------------------------------------------------------ retention
 
-    fn policy_sweep(&mut self, now: Time, out: &mut Vec<Send>) {
-        let policies: Vec<(String, RetentionPolicy)> = self
-            .dirs
-            .iter()
-            .map(|(d, p)| (d.clone(), *p))
-            .collect();
+    fn policy_sweep(&mut self, now: Time, out: &mut ActionQueue) {
+        let policies: Vec<(String, RetentionPolicy)> =
+            self.dirs.iter().map(|(d, p)| (d.clone(), *p)).collect();
         for (dir, policy) in policies {
             let prefix = if dir == "/" {
                 "/".to_string()
@@ -109,10 +104,10 @@ impl Manager {
                 match policy {
                     RetentionPolicy::NoIntervention => {}
                     RetentionPolicy::AutomatedReplace { keep_last } => {
-                        out.extend(self.prune_versions(&path, keep_last as usize));
+                        self.prune_versions(&path, keep_last as usize, out);
                     }
                     RetentionPolicy::AutomatedPurge { after } => {
-                        out.extend(self.purge_older_than(&path, now, after));
+                        self.purge_older_than(&path, now, after, out);
                         self.drop_file_if_empty(&path);
                     }
                 }
@@ -122,26 +117,30 @@ impl Manager {
 
     /// Keeps only the newest `keep` versions of `path`, returning
     /// `DeleteChunks` orders for benefactors holding newly orphaned chunks.
-    pub(crate) fn prune_versions(&mut self, path: &str, keep: usize) -> Vec<Send> {
+    pub(crate) fn prune_versions(&mut self, path: &str, keep: usize, out: &mut ActionQueue) {
         let Some(file) = self.files.get_mut(path) else {
-            return Vec::new();
+            return;
         };
         if file.versions.len() <= keep {
-            return Vec::new();
+            return;
         }
         let drop_count = file.versions.len() - keep;
         let dropped: Vec<_> = file.versions.drain(..drop_count).collect();
-        let mut out = Vec::new();
         for record in dropped {
             self.stats.policy_drops += 1;
-            out.extend(self.decref_map(&record.map));
+            self.decref_map(&record.map, out);
         }
-        out
     }
 
-    fn purge_older_than(&mut self, path: &str, now: Time, after: stdchk_util::Dur) -> Vec<Send> {
+    fn purge_older_than(
+        &mut self,
+        path: &str,
+        now: Time,
+        after: stdchk_util::Dur,
+        out: &mut ActionQueue,
+    ) {
         let Some(file) = self.files.get_mut(path) else {
-            return Vec::new();
+            return;
         };
         let mut dropped = Vec::new();
         file.versions.retain(|v| {
@@ -152,17 +151,19 @@ impl Manager {
                 true
             }
         });
-        let mut out = Vec::new();
         for record in dropped {
             self.stats.policy_drops += 1;
-            out.extend(self.decref_map(&record.map));
+            self.decref_map(&record.map, out);
         }
-        out
     }
 
     /// Decrements refcounts for a dropped version; chunks reaching zero are
     /// deleted from their holders (fast path; pull-based GC is the backstop).
-    pub(crate) fn decref_map(&mut self, map: &stdchk_proto::chunkmap::ChunkMap) -> Vec<Send> {
+    pub(crate) fn decref_map(
+        &mut self,
+        map: &stdchk_proto::chunkmap::ChunkMap,
+        out: &mut ActionQueue,
+    ) {
         let mut per_node: std::collections::BTreeMap<NodeId, Vec<ChunkId>> = Default::default();
         for id in map.distinct_chunks() {
             let Some(meta) = self.chunks.get_mut(&id) else {
@@ -177,13 +178,12 @@ impl Manager {
                 self.repl_queue.retain(|t| t.chunk != id);
             }
         }
-        per_node
-            .into_iter()
-            .map(|(to, chunks)| Send {
+        for (to, chunks) in per_node {
+            out.push(Send {
                 to,
                 msg: Msg::DeleteChunks { chunks },
-            })
-            .collect()
+            });
+        }
     }
 
     // ------------------------------------------------------------ GC
@@ -193,7 +193,7 @@ impl Manager {
         req: RequestId,
         node: NodeId,
         chunks: Vec<ChunkId>,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         if let Some(b) = self.benefactors.get_mut(&node) {
             b.gc_due = false;
@@ -216,5 +216,7 @@ impl Manager {
             to: node,
             msg: Msg::GcReply { req, deletable },
         });
+        // Re-learned locations may provide sources for queued repairs.
+        self.pump_replication(Time::ZERO, out);
     }
 }

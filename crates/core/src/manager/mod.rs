@@ -6,10 +6,13 @@
 //! shadow chunk-maps, pull-based garbage collection, and automated
 //! time-sensitive data management.
 //!
-//! The implementation is a sans-IO state machine: [`Manager::handle_msg`]
-//! consumes one protocol message and returns the messages to send;
-//! [`Manager::tick`] runs time-based maintenance (heartbeat expiry,
-//! reservation expiry, retention policies, replication dispatch, GC marks).
+//! The implementation is a sans-IO state machine behind the unified
+//! [`Node`] API: [`Node::handle`] consumes one protocol message,
+//! [`Node::handle_timeout`] runs time-based maintenance (heartbeat expiry,
+//! reservation expiry, retention policies, replication dispatch, GC marks)
+//! at the deadline advertised by [`Node::poll_timeout`], and outputs drain
+//! through [`Node::poll_action`]. [`Manager::handle_msg`] and
+//! [`Manager::tick`] remain as `Vec`-returning compatibility shims.
 
 mod maintain;
 mod replicate;
@@ -25,14 +28,25 @@ use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
 
 use crate::config::PoolConfig;
+use crate::node::{earliest, Action, ActionQueue, Node};
 
-/// One outbound message produced by the manager.
+/// One outbound message produced by the manager (legacy shim vocabulary;
+/// drivers dispatch on the unified [`Action`] enum).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Send {
     /// Destination node.
     pub to: NodeId,
     /// The message.
     pub msg: Msg,
+}
+
+impl From<Send> for Action {
+    fn from(s: Send) -> Action {
+        Action::Send {
+            to: s.to,
+            msg: s.msg,
+        }
+    }
 }
 
 /// Counters exposed for harnesses (e.g. Figure 8 reports manager
@@ -156,6 +170,7 @@ pub struct Manager {
     pub(crate) last_policy_sweep: Time,
     pub(crate) last_gc_mark: Time,
     pub(crate) stats: ManagerStats,
+    pub(crate) actions: ActionQueue,
 }
 
 impl Manager {
@@ -181,6 +196,7 @@ impl Manager {
             last_policy_sweep: Time::ZERO,
             last_gc_mark: Time::ZERO,
             stats: ManagerStats::default(),
+            actions: ActionQueue::new(),
         }
     }
 
@@ -210,22 +226,21 @@ impl Manager {
         (total, free)
     }
 
-    /// Processes one inbound message, returning the messages to send.
-    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<Send> {
+    /// Processes one inbound message, pushing outputs into `out`.
+    fn process_msg(&mut self, from: NodeId, msg: Msg, now: Time, out: &mut ActionQueue) {
         self.stats.transactions += 1;
-        let mut out = Vec::new();
         match msg {
             Msg::JoinRequest {
                 req,
                 addr,
                 total_space,
-            } => self.on_join(from, req, addr, total_space, now, &mut out),
+            } => self.on_join(from, req, addr, total_space, now, out),
             Msg::Heartbeat {
                 node,
                 free_space,
                 total_space,
                 addr,
-            } => self.on_heartbeat(node, free_space, total_space, addr, now, &mut out),
+            } => self.on_heartbeat(node, free_space, total_space, addr, now, out),
             Msg::CreateFile {
                 req,
                 client,
@@ -241,47 +256,50 @@ impl Manager {
                 replication,
                 expected_chunks,
                 now,
-                &mut out,
+                out,
             ),
             Msg::ExtendReservation {
                 req,
                 reservation,
                 additional_chunks,
-            } => self.on_extend(from, req, reservation, additional_chunks, now, &mut out),
+            } => self.on_extend(from, req, reservation, additional_chunks, now, out),
             Msg::CommitChunkMap {
                 req,
                 reservation,
                 entries,
                 placements,
                 pessimistic,
-            } => self.on_commit(from, req, reservation, entries, placements, pessimistic, now, &mut out),
-            Msg::AbortWrite { req, reservation } => {
-                self.on_abort(from, req, reservation, &mut out)
-            }
-            Msg::GetFile { req, path, version } => {
-                self.on_get_file(from, req, &path, version, &mut out)
-            }
-            Msg::ListDir { req, path } => self.on_list_dir(from, req, &path, &mut out),
-            Msg::GetAttr { req, path } => self.on_get_attr(from, req, &path, &mut out),
-            Msg::ListVersions { req, path } => self.on_list_versions(from, req, &path, &mut out),
-            Msg::DeleteFile { req, path } => self.on_delete_file(from, req, &path, &mut out),
-            Msg::SetPolicy { req, dir, policy } => {
-                self.on_set_policy(from, req, dir, policy, &mut out)
-            }
-            Msg::GcReport { req, node, chunks } => self.on_gc_report(req, node, chunks, &mut out),
+            } => self.on_commit(
+                from,
+                req,
+                reservation,
+                entries,
+                placements,
+                pessimistic,
+                now,
+                out,
+            ),
+            Msg::AbortWrite { req, reservation } => self.on_abort(from, req, reservation, out),
+            Msg::GetFile { req, path, version } => self.on_get_file(from, req, &path, version, out),
+            Msg::ListDir { req, path } => self.on_list_dir(from, req, &path, out),
+            Msg::GetAttr { req, path } => self.on_get_attr(from, req, &path, out),
+            Msg::ListVersions { req, path } => self.on_list_versions(from, req, &path, out),
+            Msg::DeleteFile { req, path } => self.on_delete_file(from, req, &path, out),
+            Msg::SetPolicy { req, dir, policy } => self.on_set_policy(from, req, dir, policy, out),
+            Msg::GcReport { req, node, chunks } => self.on_gc_report(req, node, chunks, out),
             Msg::ReplicateReport {
                 job,
                 node,
                 done,
                 failed,
-            } => self.on_replicate_report(job, node, done, failed, now, &mut out),
+            } => self.on_replicate_report(job, node, done, failed, now, out),
             Msg::ReofferCommit {
                 req,
                 node,
                 path,
                 entries,
                 placements,
-            } => self.on_reoffer(req, node, path, entries, placements, now, &mut out),
+            } => self.on_reoffer(req, node, path, entries, placements, now, out),
             Msg::ResolveNodes { req, nodes } => {
                 let addrs = nodes
                     .into_iter()
@@ -312,7 +330,6 @@ impl Manager {
                 }
             }
         }
-        out
     }
 
     // ------------------------------------------------------------ membership
@@ -324,7 +341,7 @@ impl Manager {
         addr: String,
         total_space: u64,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let node = NodeId(self.next_node);
         self.next_node += 1;
@@ -348,6 +365,9 @@ impl Manager {
                 heartbeat_every: self.cfg.heartbeat_every,
             },
         });
+        // A fresh donor may unblock queued replication (repairs, deferred
+        // pessimistic commits) that had no viable target.
+        self.pump_replication(now, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -358,7 +378,7 @@ impl Manager {
         total: u64,
         addr: String,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let info = self.benefactors.entry(node).or_insert_with(|| {
             // Unknown node: accept the soft-state registration. This is the
@@ -392,6 +412,11 @@ impl Manager {
             to: node,
             msg: Msg::HeartbeatAck { node, gc_due },
         });
+        if was_offline {
+            // A returning donor may unblock queued replication immediately
+            // instead of waiting for the next maintenance sweep.
+            self.pump_replication(now, out);
+        }
     }
 
     // ------------------------------------------------------------ allocation
@@ -448,7 +473,11 @@ impl Manager {
 
     // ------------------------------------------------------------ reads
 
-    fn file_view(&self, path: &str, version: Option<VersionId>) -> Result<FileVersionView, ErrorCode> {
+    fn file_view(
+        &self,
+        path: &str,
+        version: Option<VersionId>,
+    ) -> Result<FileVersionView, ErrorCode> {
         let file = self.files.get(path).ok_or(ErrorCode::NotFound)?;
         let record = match version {
             None => file.versions.last().ok_or(ErrorCode::NotFound)?,
@@ -469,9 +498,7 @@ impl Manager {
                     .map(|m| {
                         m.locations
                             .iter()
-                            .filter(|n| {
-                                self.benefactors.get(n).map(|b| b.online).unwrap_or(false)
-                            })
+                            .filter(|n| self.benefactors.get(n).map(|b| b.online).unwrap_or(false))
                             .copied()
                             .collect()
                     })
@@ -479,7 +506,7 @@ impl Manager {
                 (id, locs)
             })
             .collect();
-        locations.sort_by(|a, b| a.0.cmp(&b.0));
+        locations.sort_by_key(|a| a.0);
         Ok(FileVersionView {
             version: record.version,
             map: record.map.clone(),
@@ -493,7 +520,7 @@ impl Manager {
         req: RequestId,
         path: &str,
         version: Option<VersionId>,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         match self.file_view(path, version) {
             Ok(view) => out.push(Send {
@@ -539,7 +566,7 @@ impl Manager {
             || self.dirs.keys().any(|d| d.starts_with(&prefix))
     }
 
-    fn on_get_attr(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+    fn on_get_attr(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut ActionQueue) {
         let path = normalize(path);
         if let Some(file) = self.files.get(&path) {
             if !file.versions.is_empty() {
@@ -577,7 +604,7 @@ impl Manager {
         });
     }
 
-    fn on_list_dir(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+    fn on_list_dir(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut ActionQueue) {
         let dir = normalize(path);
         if !self.is_dir(&dir) {
             out.push(Send {
@@ -656,7 +683,13 @@ impl Manager {
         });
     }
 
-    fn on_list_versions(&mut self, from: NodeId, req: RequestId, path: &str, out: &mut Vec<Send>) {
+    fn on_list_versions(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        path: &str,
+        out: &mut ActionQueue,
+    ) {
         let path = normalize(path);
         match self.files.get(&path) {
             Some(f) if !f.versions.is_empty() => {
@@ -717,7 +750,11 @@ impl Manager {
             let mut sorted = meta.locations.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), meta.locations.len(), "duplicate locations for {id}");
+            assert_eq!(
+                sorted.len(),
+                meta.locations.len(),
+                "duplicate locations for {id}"
+            );
         }
         for r in self.reservations.values() {
             for node in r.reserved_on.keys() {
@@ -727,6 +764,70 @@ impl Manager {
                 );
             }
         }
+    }
+
+    // ------------------------------------------------------ legacy shims
+
+    fn take_sends(&mut self) -> Vec<Send> {
+        self.actions
+            .drain()
+            .into_iter()
+            .map(|a| match a {
+                Action::Send { to, msg } => Send { to, msg },
+                other => unreachable!("manager never emits {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Compatibility shim over [`Node::handle`]: processes one message and
+    /// drains the resulting sends.
+    pub fn handle_msg(&mut self, from: NodeId, msg: Msg, now: Time) -> Vec<Send> {
+        Node::handle(self, from, msg, now);
+        self.take_sends()
+    }
+
+    /// Compatibility shim over [`Node::handle_timeout`]: runs maintenance
+    /// and drains the resulting sends.
+    pub fn tick(&mut self, now: Time) -> Vec<Send> {
+        Node::handle_timeout(self, now);
+        self.take_sends()
+    }
+}
+
+impl Node for Manager {
+    fn handle(&mut self, from: NodeId, msg: Msg, now: Time) {
+        // Detach the queue so handlers can push while borrowing `self`;
+        // steady-state this is pointer swaps, not allocation.
+        let mut out = std::mem::take(&mut self.actions);
+        self.process_msg(from, msg, now, &mut out);
+        self.actions = out;
+    }
+
+    fn handle_timeout(&mut self, now: Time) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.process_timeout(now, &mut out);
+        self.actions = out;
+    }
+
+    fn poll_action(&mut self) -> Option<Action> {
+        self.actions.pop()
+    }
+
+    fn poll_timeout(&self) -> Option<Time> {
+        // Periodic sweeps.
+        let mut next = Some(
+            (self.last_policy_sweep + self.cfg.policy_sweep_every)
+                .min(self.last_gc_mark + self.cfg.gc_every),
+        );
+        // Earliest benefactor-liveness expiry.
+        for b in self.benefactors.values().filter(|b| b.online) {
+            next = earliest(next, Some(b.last_seen + self.cfg.benefactor_timeout));
+        }
+        // Earliest reservation expiry.
+        for r in self.reservations.values() {
+            next = earliest(next, Some(r.expires));
+        }
+        next
     }
 }
 

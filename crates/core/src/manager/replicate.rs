@@ -14,6 +14,7 @@ use stdchk_proto::msg::{Msg, ReplicaCopy};
 use stdchk_util::Time;
 
 use super::{Manager, ReplJob, ReplTask, Send};
+use crate::node::ActionQueue;
 
 impl Manager {
     pub(crate) fn online_locations(&self, locations: &[NodeId]) -> usize {
@@ -40,8 +41,7 @@ impl Manager {
 
     /// Dispatches queued replication tasks into jobs, respecting the
     /// concurrency bound. Returns the `ReplicateCmd`s to send.
-    pub(crate) fn pump_replication(&mut self, _now: Time) -> Vec<Send> {
-        let mut out = Vec::new();
+    pub(crate) fn pump_replication(&mut self, _now: Time, out: &mut ActionQueue) {
         while self.repl_jobs.len() < self.cfg.max_replication_jobs && !self.repl_queue.is_empty() {
             // Build one job: pick the first actionable task, then batch more
             // tasks that share its source.
@@ -63,7 +63,7 @@ impl Manager {
                     Plan::Drop => {
                         // Unrecoverable (no source or no possible target):
                         // unblock any pessimistic commit waiting on it.
-                        self.resolve_waiting_chunk(task.chunk, &mut out);
+                        self.resolve_waiting_chunk(task.chunk, out);
                     }
                 }
             }
@@ -93,7 +93,6 @@ impl Manager {
                 },
             });
         }
-        out
     }
 
     fn plan_task(&mut self, task: &ReplTask, required_source: Option<NodeId>) -> Plan {
@@ -136,7 +135,7 @@ impl Manager {
         done: Vec<ReplicaCopy>,
         failed: Vec<ReplicaCopy>,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let Some(job_state) = self.repl_jobs.remove(&job) else {
             return; // stale or duplicate report
@@ -168,13 +167,13 @@ impl Manager {
                 self.resolve_waiting_chunk(c.chunk, out);
             }
         }
-        out.extend(self.pump_replication(now));
+        self.pump_replication(now, out);
     }
 
     /// Marks `chunk` as no longer blocking pessimistic commits if its
     /// replication state is final (satisfied or unrecoverable), emitting any
     /// newly unblocked `CommitOk`s.
-    pub(crate) fn resolve_waiting_chunk(&mut self, chunk: ChunkId, out: &mut Vec<Send>) {
+    pub(crate) fn resolve_waiting_chunk(&mut self, chunk: ChunkId, out: &mut ActionQueue) {
         let satisfied_or_dead = match self.chunks.get(&chunk) {
             None => true,
             Some(meta) => {

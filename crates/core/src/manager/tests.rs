@@ -146,7 +146,7 @@ fn entries(ids: &[u64], size: u32) -> Vec<ChunkEntry> {
         .collect()
 }
 
-fn find_reply<'a>(out: &'a [Send], pred: impl Fn(&Msg) -> bool) -> &'a Msg {
+fn find_reply(out: &[Send], pred: impl Fn(&Msg) -> bool) -> &Msg {
     out.iter()
         .map(|s| &s.msg)
         .find(|m| pred(m))
@@ -201,9 +201,15 @@ fn commit_makes_file_visible_with_locations() {
 
     // GetFile returns the map with online locations.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/app/ckpt.n1".into(), version: None }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetFile {
+            req,
+            path: "/app/ckpt.n1".into(),
+            version: None,
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::FileViewReply { view, .. } => {
             assert_eq!(view.map.entries(), ents.as_slice());
@@ -216,9 +222,14 @@ fn commit_makes_file_visible_with_locations() {
     }
     // Attr reflects the committed version.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/app/ckpt.n1".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetAttr {
+            req,
+            path: "/app/ckpt.n1".into(),
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::AttrReply { attr, .. } => {
             assert_eq!(attr.size, 3 * 1024);
@@ -236,11 +247,22 @@ fn uncommitted_file_is_invisible() {
     h.join_benefactors(2);
     let (_res, _stripe, _prev, _v) = h.open("/a/b", 1);
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/a/b".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetAttr {
+            req,
+            path: "/a/b".into(),
+        },
+        h.now,
+    );
     assert!(
-        matches!(out[0].msg, Msg::ErrorReply { code: ErrorCode::NotFound, .. }),
+        matches!(
+            out[0].msg,
+            Msg::ErrorReply {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ),
         "open-but-uncommitted file must not stat as a file: {out:?}"
     );
 }
@@ -263,9 +285,14 @@ fn second_version_shares_chunks_and_reports_prev() {
 
     // Both versions listed.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::ListVersions { req, path: "/f".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::ListVersions {
+            req,
+            path: "/f".into(),
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::VersionListReply { versions, .. } => assert_eq!(versions.len(), 2),
         other => panic!("unexpected {other:?}"),
@@ -322,14 +349,24 @@ fn abort_releases_and_hides_file() {
     h.join_benefactors(2);
     let (res, _, _, _) = h.open("/i", 1);
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::AbortWrite { req, reservation: res }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::AbortWrite {
+            req,
+            reservation: res,
+        },
+        h.now,
+    );
     assert!(matches!(out[0].msg, Msg::Ack { .. }));
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/i".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetAttr {
+            req,
+            path: "/i".into(),
+        },
+        h.now,
+    );
     assert!(matches!(out[0].msg, Msg::ErrorReply { .. }));
     h.mgr.check_invariants();
 }
@@ -368,9 +405,15 @@ fn benefactor_timeout_marks_offline_and_excludes_from_reads() {
     assert_eq!(h.mgr.online_benefactors(), 2);
     // Locations in reads exclude the dead node.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/k".into(), version: None }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetFile {
+            req,
+            path: "/k".into(),
+            version: None,
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::FileViewReply { view, .. } => {
             for (_, locs) in &view.locations {
@@ -540,9 +583,15 @@ fn gc_report_classifies_orphans_and_relearns_locations() {
     }
     // The live chunk now lists nodes[1] as a replica holder.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/o".into(), version: None }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetFile {
+            req,
+            path: "/o".into(),
+            version: None,
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::FileViewReply { view, .. } => {
             let locs = view.locations_of(ChunkId::test_id(1)).expect("chunk");
@@ -577,9 +626,14 @@ fn automated_replace_prunes_on_commit() {
         _ => unreachable!(),
     }
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::ListVersions { req, path: "/app/ck".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::ListVersions {
+            req,
+            path: "/app/ck".into(),
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::VersionListReply { versions, .. } => assert_eq!(versions.len(), 1),
         other => panic!("unexpected {other:?}"),
@@ -613,13 +667,20 @@ fn automated_purge_drops_old_versions_via_tick() {
         all_out.extend(h.advance(Dur::from_millis(100)));
     }
     assert!(
-        all_out.iter().any(|s| matches!(s.msg, Msg::DeleteChunks { .. })),
+        all_out
+            .iter()
+            .any(|s| matches!(s.msg, Msg::DeleteChunks { .. })),
         "purge should delete chunks: {all_out:?}"
     );
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetAttr { req, path: "/tmpckpt/x".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetAttr {
+            req,
+            path: "/tmpckpt/x".into(),
+        },
+        h.now,
+    );
     assert!(matches!(out[0].msg, Msg::ErrorReply { .. }));
     h.mgr.check_invariants();
 }
@@ -631,10 +692,17 @@ fn delete_file_orphans_chunks() {
     let (res, stripe, _, _) = h.open("/del", 1);
     h.commit(res, entries(&[1, 2], 10), &stripe, false);
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::DeleteFile { req, path: "/del".into() }, h.now);
-    assert!(out.iter().any(|s| matches!(s.msg, Msg::DeleteChunks { .. })));
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::DeleteFile {
+            req,
+            path: "/del".into(),
+        },
+        h.now,
+    );
+    assert!(out
+        .iter()
+        .any(|s| matches!(s.msg, Msg::DeleteChunks { .. })));
     assert!(out.iter().any(|s| matches!(s.msg, Msg::Ack { .. })));
     h.mgr.check_invariants();
 }
@@ -648,9 +716,14 @@ fn list_dir_shows_files_and_subdirs() {
         h.commit(res, entries(&[1], 10), &stripe, false);
     }
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::ListDir { req, path: "/bms".into() }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::ListDir {
+            req,
+            path: "/bms".into(),
+        },
+        h.now,
+    );
     match &out[0].msg {
         Msg::DirListingReply { entries, .. } => {
             let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
@@ -684,7 +757,10 @@ fn reoffer_needs_two_thirds_concurrence() {
         },
         h.now,
     );
-    assert!(out.is_empty(), "one offer of three must not commit: {out:?}");
+    assert!(
+        out.is_empty(),
+        "one offer of three must not commit: {out:?}"
+    );
     // Second agreeing offer: accepted.
     let req = h.req();
     let out = h.mgr.handle_msg(
@@ -702,9 +778,15 @@ fn reoffer_needs_two_thirds_concurrence() {
     assert_eq!(h.mgr.stats().recovered_commits, 1);
     // The file is now readable.
     let req = h.req();
-    let out = h
-        .mgr
-        .handle_msg(NodeId(77), Msg::GetFile { req, path: "/rec/f".into(), version: None }, h.now);
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::GetFile {
+            req,
+            path: "/rec/f".into(),
+            version: None,
+        },
+        h.now,
+    );
     assert!(matches!(out[0].msg, Msg::FileViewReply { .. }));
     // A third (late) offer is acked as stale.
     let req = h.req();

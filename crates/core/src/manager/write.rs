@@ -15,6 +15,7 @@ use super::{
     normalize, parent, ChunkMeta, FileState, Manager, PendingCommit, Reoffer, Reservation, Send,
     VersionRecord,
 };
+use crate::node::ActionQueue;
 
 impl Manager {
     #[allow(clippy::too_many_arguments)]
@@ -27,7 +28,7 @@ impl Manager {
         replication: u32,
         expected_chunks: u32,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let path = normalize(&path);
         let width = if stripe_width == 0 {
@@ -54,18 +55,15 @@ impl Manager {
         }
         // File entry exists from the first open; it stays invisible until a
         // version commits.
-        let file = self
-            .files
-            .entry(path.clone())
-            .or_insert_with(|| {
-                let id = FileId(self.next_file);
-                self.next_file += 1;
-                FileState {
-                    id,
-                    versions: Vec::new(),
-                    replication: 1,
-                }
-            });
+        let file = self.files.entry(path.clone()).or_insert_with(|| {
+            let id = FileId(self.next_file);
+            self.next_file += 1;
+            FileState {
+                id,
+                versions: Vec::new(),
+                replication: 1,
+            }
+        });
         file.replication = file.replication.max(replication);
         let file_id = file.id;
         let prev_chunks: Vec<ChunkEntry> = file
@@ -115,7 +113,7 @@ impl Manager {
         id: ReservationId,
         additional_chunks: u32,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let Some(mut res) = self.reservations.remove(&id) else {
             out.push(Send {
@@ -130,12 +128,8 @@ impl Manager {
         };
         // Refresh the stripe: drop members that went offline, backfill.
         let exclude: HashSet<NodeId> = res.stripe.iter().copied().collect();
-        res.stripe.retain(|n| {
-            self.benefactors
-                .get(n)
-                .map(|b| b.online)
-                .unwrap_or(false)
-        });
+        res.stripe
+            .retain(|n| self.benefactors.get(n).map(|b| b.online).unwrap_or(false));
         let missing = exclude.len() - res.stripe.len();
         if missing > 0 {
             let fresh = self.select_stripe(missing, &exclude);
@@ -178,7 +172,7 @@ impl Manager {
         placements: Vec<(ChunkId, Vec<NodeId>)>,
         pessimistic: bool,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let Some(res) = self.reservations.remove(&reservation) else {
             out.push(Send {
@@ -198,8 +192,15 @@ impl Manager {
         // Validate: every distinct chunk is either already stored (dedup
         // against an existing version) or has at least one placement.
         for id in map.distinct_chunks() {
-            let known = self.chunks.get(&id).map(|m| m.refcount > 0).unwrap_or(false);
-            let placed = placement_map.get(&id).map(|l| !l.is_empty()).unwrap_or(false);
+            let known = self
+                .chunks
+                .get(&id)
+                .map(|m| m.refcount > 0)
+                .unwrap_or(false);
+            let placed = placement_map
+                .get(&id)
+                .map(|l| !l.is_empty())
+                .unwrap_or(false);
             if !known && !placed {
                 out.push(Send {
                     to: from,
@@ -213,11 +214,7 @@ impl Manager {
             }
         }
         // Apply chunk metadata.
-        let sizes: HashMap<ChunkId, u32> = map
-            .entries()
-            .iter()
-            .map(|e| (e.id, e.size))
-            .collect();
+        let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
         for id in map.distinct_chunks() {
             let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
                 size: *sizes.get(&id).expect("entry size"),
@@ -236,18 +233,15 @@ impl Manager {
             }
         }
         // Record the version.
-        let file = self
-            .files
-            .entry(res.path.clone())
-            .or_insert_with(|| {
-                let id = FileId(self.next_file);
-                self.next_file += 1;
-                FileState {
-                    id,
-                    versions: Vec::new(),
-                    replication: res.replication,
-                }
-            });
+        let file = self.files.entry(res.path.clone()).or_insert_with(|| {
+            let id = FileId(self.next_file);
+            self.next_file += 1;
+            FileState {
+                id,
+                versions: Vec::new(),
+                replication: res.replication,
+            }
+        });
         file.replication = file.replication.max(res.replication);
         let file_id = file.id;
         let version = res.version;
@@ -275,7 +269,7 @@ impl Manager {
         // Retention: a newly committed image may obsolete older ones.
         let dir_policy = self.policy_for(&res.path);
         if let RetentionPolicy::AutomatedReplace { keep_last } = dir_policy {
-            out.extend(self.prune_versions(&res.path, keep_last as usize));
+            self.prune_versions(&res.path, keep_last as usize, out);
         }
 
         if pessimistic && !waiting.is_empty() {
@@ -296,7 +290,7 @@ impl Manager {
                 },
             });
         }
-        out.extend(self.pump_replication(now));
+        self.pump_replication(now, out);
     }
 
     pub(super) fn on_abort(
@@ -304,7 +298,7 @@ impl Manager {
         from: NodeId,
         req: RequestId,
         reservation: ReservationId,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         if let Some(res) = self.reservations.remove(&reservation) {
             self.release_reservation(&res);
@@ -322,12 +316,12 @@ impl Manager {
         from: NodeId,
         req: RequestId,
         path: &str,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let path = normalize(path);
         match self.files.get(&path) {
             Some(f) if !f.versions.is_empty() => {
-                out.extend(self.prune_versions(&path, 0));
+                self.prune_versions(&path, 0, out);
                 self.files.remove(&path);
                 out.push(Send {
                     to: from,
@@ -351,7 +345,7 @@ impl Manager {
         req: RequestId,
         dir: String,
         policy: RetentionPolicy,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let dir = normalize(&dir);
         self.dirs.insert(dir, policy);
@@ -403,7 +397,7 @@ impl Manager {
         entries: Vec<ChunkEntry>,
         placements: Vec<(ChunkId, Vec<NodeId>)>,
         now: Time,
-        out: &mut Vec<Send>,
+        out: &mut ActionQueue,
     ) {
         let path = normalize(&path);
         // Already committed with this exact map? Then the offer is stale:
@@ -452,8 +446,7 @@ impl Manager {
         let map = ChunkMap::from_entries(entries);
         let placement_map: HashMap<ChunkId, &Vec<NodeId>> =
             placements.iter().map(|(c, l)| (*c, l)).collect();
-        let sizes: HashMap<ChunkId, u32> =
-            map.entries().iter().map(|e| (e.id, e.size)).collect();
+        let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
         for id in map.distinct_chunks() {
             let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
                 size: *sizes.get(&id).expect("entry size"),

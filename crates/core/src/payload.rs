@@ -179,7 +179,12 @@ impl ChunkAssembler {
         let size = self.current as u32;
         let digest = std::mem::replace(&mut self.hasher, Sha256::new()).finalize();
         let id = ChunkId(digest);
-        let payload = if self.virtual_only && self.segments.iter().all(|s| matches!(s, Payload::Virtual { .. })) {
+        let payload = if self.virtual_only
+            && self
+                .segments
+                .iter()
+                .all(|s| matches!(s, Payload::Virtual { .. }))
+        {
             // Preserve virtuality: identity is the chunk id itself.
             let tag = u64::from_le_bytes(digest[..8].try_into().expect("digest len"));
             Payload::Virtual { size, tag }
@@ -249,7 +254,10 @@ mod tests {
         asm.push(Payload::real(vec![9u8; 8]), &mut done);
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].entry.id, ChunkId::for_content(&[9u8; 4]));
-        assert_eq!(done[0].entry.id, done[1].entry.id, "identical content dedupes");
+        assert_eq!(
+            done[0].entry.id, done[1].entry.id,
+            "identical content dedupes"
+        );
     }
 
     #[test]
@@ -276,15 +284,33 @@ mod tests {
     fn virtual_payloads_with_same_tags_dedupe() {
         let mut a = ChunkAssembler::new(1024);
         let mut out_a = Vec::new();
-        a.push(Payload::Virtual { size: 1024, tag: 42 }, &mut out_a);
+        a.push(
+            Payload::Virtual {
+                size: 1024,
+                tag: 42,
+            },
+            &mut out_a,
+        );
         let mut b = ChunkAssembler::new(1024);
         let mut out_b = Vec::new();
-        b.push(Payload::Virtual { size: 1024, tag: 42 }, &mut out_b);
+        b.push(
+            Payload::Virtual {
+                size: 1024,
+                tag: 42,
+            },
+            &mut out_b,
+        );
         assert_eq!(out_a[0].entry.id, out_b[0].entry.id);
 
         let mut c = ChunkAssembler::new(1024);
         let mut out_c = Vec::new();
-        c.push(Payload::Virtual { size: 1024, tag: 43 }, &mut out_c);
+        c.push(
+            Payload::Virtual {
+                size: 1024,
+                tag: 43,
+            },
+            &mut out_c,
+        );
         assert_ne!(out_a[0].entry.id, out_c[0].entry.id);
     }
 
@@ -292,13 +318,7 @@ mod tests {
     fn virtual_chunks_stay_virtual() {
         let mut a = ChunkAssembler::new(512);
         let mut out = Vec::new();
-        a.push(
-            Payload::Virtual {
-                size: 2048,
-                tag: 7,
-            },
-            &mut out,
-        );
+        a.push(Payload::Virtual { size: 2048, tag: 7 }, &mut out);
         assert_eq!(out.len(), 4);
         for c in &out {
             assert!(matches!(c.payload, Payload::Virtual { .. }));

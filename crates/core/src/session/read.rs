@@ -17,9 +17,11 @@ use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
 
 use super::ReqGen;
+use crate::node::{Action, ActionQueue, Completion, Node};
 use crate::payload::Payload;
 
-/// One output of the read session: a `GetChunk` to a benefactor.
+/// Legacy read-session action vocabulary, kept as a compatibility shim for
+/// tests. Drivers dispatch on the unified [`Action`] enum.
 #[derive(Clone, Debug)]
 pub enum ReadAction {
     /// Send a protocol message.
@@ -29,6 +31,22 @@ pub enum ReadAction {
         /// The message (always `GetChunk`).
         msg: Msg,
     },
+}
+
+impl From<ReadAction> for Action {
+    fn from(a: ReadAction) -> Action {
+        let ReadAction::Send { to, msg } = a;
+        Action::Send { to, msg }
+    }
+}
+
+impl From<Action> for ReadAction {
+    fn from(a: Action) -> ReadAction {
+        match a {
+            Action::Send { to, msg } => ReadAction::Send { to, msg },
+            other => unreachable!("read session never emits {other:?}"),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -61,6 +79,7 @@ pub struct ReadSession {
     next_deliver: usize,
     delivered: u64,
     state: ReadState,
+    actions: ActionQueue,
 }
 
 impl ReadSession {
@@ -87,6 +106,7 @@ impl ReadSession {
             next_deliver: 0,
             delivered: 0,
             state,
+            actions: ActionQueue::new(),
         }
     }
 
@@ -110,11 +130,10 @@ impl ReadSession {
         self.view.map.file_size()
     }
 
-    /// Issues fetches up to the read-ahead window.
-    pub fn poll(&mut self, _now: Time) -> Vec<ReadAction> {
-        let mut out = Vec::new();
+    /// Fills the read-ahead window with fetches.
+    fn fill_window(&mut self, out: &mut ActionQueue) {
         if self.state != ReadState::Active {
-            return out;
+            return;
         }
         while self.inflight.len() < self.window && self.next_issue < self.view.map.len() {
             let slot = self.next_issue;
@@ -122,19 +141,18 @@ impl ReadSession {
             if self.ready.contains_key(&slot) {
                 continue;
             }
-            self.issue(slot, &mut out);
+            self.issue(slot, out);
             if self.state != ReadState::Active {
                 break;
             }
         }
-        out
     }
 
     fn chunk_of(&self, slot: usize) -> ChunkId {
         self.view.map.entries()[slot].id
     }
 
-    fn issue(&mut self, slot: usize, out: &mut Vec<ReadAction>) {
+    fn issue(&mut self, slot: usize, out: &mut ActionQueue) {
         let chunk = self.chunk_of(slot);
         let attempt = *self.attempts.get(&slot).unwrap_or(&0);
         let holders = self.view.locations_of(chunk).unwrap_or(&[]);
@@ -153,15 +171,17 @@ impl ReadSession {
         });
     }
 
-    /// Processes a reply addressed to this session.
-    pub fn on_msg(&mut self, msg: Msg, now: Time) -> Vec<ReadAction> {
-        let mut out = Vec::new();
+    fn process_msg(&mut self, msg: Msg, out: &mut ActionQueue) {
         match msg {
             Msg::GetChunkOk {
-                req, chunk, size, data, ..
+                req,
+                chunk,
+                size,
+                data,
+                ..
             } => {
                 let Some(inf) = self.inflight.remove(&req) else {
-                    return out;
+                    return;
                 };
                 let expected = self.view.map.entries()[inf.slot];
                 let ok = if !data.is_empty() {
@@ -180,30 +200,58 @@ impl ReadSession {
                 } else {
                     // Corrupt replica: try another holder.
                     *self.attempts.entry(inf.slot).or_insert(0) += 1;
-                    self.issue(inf.slot, &mut out);
+                    self.issue(inf.slot, out);
                 }
             }
             Msg::ErrorReply { req, .. } => {
                 if let Some(inf) = self.inflight.remove(&req) {
                     *self.attempts.entry(inf.slot).or_insert(0) += 1;
-                    self.issue(inf.slot, &mut out);
+                    self.issue(inf.slot, out);
                 }
             }
             _ => {}
         }
-        out.extend(self.poll(now));
-        out
+        self.fill_window(out);
     }
 
-    /// Driver callback: the fetch for `req` failed at the transport level.
-    pub fn on_get_failed(&mut self, req: RequestId, now: Time) -> Vec<ReadAction> {
-        let mut out = Vec::new();
+    fn get_failed(&mut self, req: RequestId, out: &mut ActionQueue) {
         if let Some(inf) = self.inflight.remove(&req) {
             *self.attempts.entry(inf.slot).or_insert(0) += 1;
-            self.issue(inf.slot, &mut out);
+            self.issue(inf.slot, out);
         }
-        out.extend(self.poll(now));
-        out
+        self.fill_window(out);
+    }
+
+    // ------------------------------------------------------ legacy shims
+
+    /// Drains pending actions into the legacy `Vec` form (tests).
+    pub fn take_actions(&mut self) -> Vec<ReadAction> {
+        self.actions
+            .drain()
+            .into_iter()
+            .map(ReadAction::from)
+            .collect()
+    }
+
+    /// Compatibility shim: fills the read-ahead window and drains the
+    /// resulting fetches.
+    pub fn poll(&mut self, _now: Time) -> Vec<ReadAction> {
+        let mut out = std::mem::take(&mut self.actions);
+        self.fill_window(&mut out);
+        self.actions = out;
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Node::handle`].
+    pub fn on_msg(&mut self, msg: Msg, now: Time) -> Vec<ReadAction> {
+        Node::handle(self, NodeId(0), msg, now);
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Completion::SendFailed`].
+    pub fn on_get_failed(&mut self, req: RequestId, now: Time) -> Vec<ReadAction> {
+        self.handle_completion(Completion::SendFailed { req }, now);
+        self.take_actions()
     }
 
     /// Delivers the next in-order chunk to the application, if ready.
@@ -219,6 +267,34 @@ impl ReadSession {
             self.state = ReadState::Done;
         }
         Some((slot, payload))
+    }
+}
+
+impl Node for ReadSession {
+    fn handle(&mut self, _from: NodeId, msg: Msg, _now: Time) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.process_msg(msg, &mut out);
+        self.actions = out;
+    }
+
+    fn handle_completion(&mut self, completion: Completion, _now: Time) {
+        let mut out = std::mem::take(&mut self.actions);
+        match completion {
+            Completion::SendFailed { req } => self.get_failed(req, &mut out),
+            // A completed send carries no information for reads.
+            Completion::SendDone { .. } => {}
+            other => debug_assert!(false, "unexpected completion {other:?}"),
+        }
+        self.actions = out;
+    }
+
+    fn poll_action(&mut self) -> Option<Action> {
+        // Delivering chunks to the application opens window slots; top the
+        // window up lazily whenever the driver polls.
+        let mut out = std::mem::take(&mut self.actions);
+        self.fill_window(&mut out);
+        self.actions = out;
+        self.actions.pop()
     }
 }
 
@@ -242,7 +318,7 @@ mod tests {
             .zip(holders)
             .map(|(e, h)| (e.id, h.iter().map(|n| NodeId(*n)).collect()))
             .collect();
-        locations.sort_by(|a, b| a.0.cmp(&b.0));
+        locations.sort_by_key(|a| a.0);
         locations.dedup_by(|a, b| a.0 == b.0);
         FileVersionView {
             version: VersionId(1),
@@ -310,7 +386,10 @@ mod tests {
         let mut rs = ReadSession::new(1, v, 4, true);
         let actions = rs.poll(Time::ZERO);
         let (req, chunk) = match &actions[0] {
-            ReadAction::Send { msg: Msg::GetChunk { req, chunk }, .. } => (*req, *chunk),
+            ReadAction::Send {
+                msg: Msg::GetChunk { req, chunk },
+                ..
+            } => (*req, *chunk),
             other => panic!("unexpected {other:?}"),
         };
         // First replica returns tampered bytes.
@@ -324,7 +403,11 @@ mod tests {
             Time::ZERO,
         );
         assert_eq!(retry.len(), 1, "must retry on the other replica");
-        let ReadAction::Send { to, msg: Msg::GetChunk { req: req2, .. } } = &retry[0] else {
+        let ReadAction::Send {
+            to,
+            msg: Msg::GetChunk { req: req2, .. },
+        } = &retry[0]
+        else {
             panic!("unexpected {retry:?}");
         };
         assert_eq!(*to, NodeId(2));
@@ -348,7 +431,11 @@ mod tests {
         let v = view(&[b"x"], &[&[1]]);
         let mut rs = ReadSession::new(1, v, 4, true);
         let actions = rs.poll(Time::ZERO);
-        let ReadAction::Send { msg: Msg::GetChunk { req, .. }, .. } = &actions[0] else {
+        let ReadAction::Send {
+            msg: Msg::GetChunk { req, .. },
+            ..
+        } = &actions[0]
+        else {
             panic!();
         };
         rs.on_msg(
@@ -384,7 +471,11 @@ mod tests {
         let v = view(&[b"abcd"], &[&[1]]);
         let mut rs = ReadSession::new(1, v, 4, false);
         let actions = rs.poll(Time::ZERO);
-        let ReadAction::Send { msg: Msg::GetChunk { req, chunk }, .. } = &actions[0] else {
+        let ReadAction::Send {
+            msg: Msg::GetChunk { req, chunk },
+            ..
+        } = &actions[0]
+        else {
             panic!();
         };
         rs.on_msg(

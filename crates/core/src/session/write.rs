@@ -30,6 +30,7 @@ use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
 
 use super::ReqGen;
+use crate::node::{Action, ActionQueue, Completion, Node};
 use crate::payload::{AssembledChunk, ChunkAssembler, Payload};
 use crate::MANAGER_NODE;
 
@@ -112,7 +113,8 @@ pub struct OpenGrant {
     pub reserved_chunks: u64,
 }
 
-/// One output of the write session.
+/// Legacy write-session action vocabulary, kept as a compatibility shim
+/// for tests. Drivers dispatch on the unified [`Action`] enum.
 #[derive(Clone, Debug)]
 pub enum WriteAction {
     /// Send a protocol message (chunk puts to benefactors; extend, commit,
@@ -148,6 +150,45 @@ pub enum WriteAction {
         /// All staged bytes before this offset may be dropped.
         upto: u64,
     },
+}
+
+impl From<WriteAction> for Action {
+    fn from(a: WriteAction) -> Action {
+        match a {
+            WriteAction::Send { to, msg } => Action::Send { to, msg },
+            WriteAction::StageAppend {
+                op,
+                offset,
+                payload,
+            } => Action::StageAppend {
+                op,
+                offset,
+                payload,
+            },
+            WriteAction::StageFetch { op, offset, len } => Action::StageFetch { op, offset, len },
+            WriteAction::StageDiscard { upto } => Action::StageDiscard { upto },
+        }
+    }
+}
+
+impl From<Action> for WriteAction {
+    fn from(a: Action) -> WriteAction {
+        match a {
+            Action::Send { to, msg } => WriteAction::Send { to, msg },
+            Action::StageAppend {
+                op,
+                offset,
+                payload,
+            } => WriteAction::StageAppend {
+                op,
+                offset,
+                payload,
+            },
+            Action::StageFetch { op, offset, len } => WriteAction::StageFetch { op, offset, len },
+            Action::StageDiscard { upto } => WriteAction::StageDiscard { upto },
+            other => unreachable!("write session never emits {other:?}"),
+        }
+    }
 }
 
 /// Lifecycle of a write session.
@@ -257,6 +298,7 @@ pub struct WriteSession {
     stash_sent: bool,
     stash_reqs: HashSet<RequestId>,
     stats: WriteStats,
+    actions: ActionQueue,
 }
 
 impl WriteSession {
@@ -311,6 +353,7 @@ impl WriteSession {
                 open_at: now,
                 ..WriteStats::default()
             },
+            actions: ActionQueue::new(),
             grant,
         }
     }
@@ -370,31 +413,33 @@ impl WriteSession {
     /// Application write. Callers should respect [`WriteSession::writable`];
     /// writes beyond it are accepted but simply extend the backpressure
     /// window (the driver decides whether to block the application).
+    /// Resulting effects are drained through [`Node::poll_action`].
     ///
     /// # Panics
     ///
     /// Panics if called after `close()`.
-    pub fn write(&mut self, payload: Payload, now: Time) -> Vec<WriteAction> {
+    pub fn write(&mut self, payload: Payload, now: Time) {
         assert_eq!(self.state, SessionState::Open, "write after close");
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         self.stats.bytes_written += payload.len();
         let mut done = Vec::new();
         self.asm.push(payload, &mut done);
         for chunk in done {
             self.route_chunk(chunk, now, &mut out);
         }
-        out
+        self.actions = out;
     }
 
-    /// Application close: drains remaining data, then commits.
+    /// Application close: drains remaining data, then commits. Resulting
+    /// effects are drained through [`Node::poll_action`].
     ///
     /// # Panics
     ///
     /// Panics if called twice.
-    pub fn close(&mut self, now: Time) -> Vec<WriteAction> {
+    pub fn close(&mut self, now: Time) {
         assert_eq!(self.state, SessionState::Open, "close called twice");
         self.state = SessionState::Closing;
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.actions);
         if let Some(tail) = self.asm.finish() {
             self.route_chunk(tail, now, &mut out);
         }
@@ -407,20 +452,26 @@ impl WriteSession {
             self.seal_temps(true);
         }
         self.pump(now, &mut out);
-        out
+        self.actions = out;
     }
 
     // ------------------------------------------------------------ routing
 
-    fn route_chunk(&mut self, chunk: AssembledChunk, now: Time, out: &mut Vec<WriteAction>) {
+    fn route_chunk(&mut self, chunk: AssembledChunk, now: Time, out: &mut ActionQueue) {
         self.stats.chunks_total += 1;
         self.entries.push(chunk.entry);
         let dedup_hit = self.cfg.dedup && self.prev.contains(&chunk.entry.id);
         // A chunk already shipped (or queued) in *this* session is also a
         // dedup hit: content addressing is set-based.
         let already_here = self.placements.contains_key(&chunk.entry.id)
-            || self.pending_puts.values().any(|p| p.chunk == chunk.entry.id)
-            || self.queued_puts.iter().any(|q| q.entry.id == chunk.entry.id)
+            || self
+                .pending_puts
+                .values()
+                .any(|p| p.chunk == chunk.entry.id)
+            || self
+                .queued_puts
+                .iter()
+                .any(|q| q.entry.id == chunk.entry.id)
             || self
                 .staged
                 .iter()
@@ -476,7 +527,7 @@ impl WriteSession {
             let complete = self.stage_tail / temp_size.max(1);
             let target = if all {
                 // Seal the partial temp too (close).
-                if self.stage_tail % temp_size.max(1) == 0 {
+                if self.stage_tail.is_multiple_of(temp_size.max(1)) {
                     complete
                 } else {
                     complete + 1
@@ -492,7 +543,7 @@ impl WriteSession {
 
     /// Central scheduler: issues queued transfers, stage fetches, extension
     /// requests, close transitions and the final commit.
-    fn pump(&mut self, now: Time, out: &mut Vec<WriteAction>) {
+    fn pump(&mut self, now: Time, out: &mut ActionQueue) {
         if matches!(self.state, SessionState::Done | SessionState::Failed(_)) {
             return;
         }
@@ -571,7 +622,7 @@ impl WriteSession {
         size: u32,
         payload: Payload,
         background: bool,
-        out: &mut Vec<WriteAction>,
+        out: &mut ActionQueue,
     ) {
         let target = self.stripe[self.rr % self.stripe.len()];
         self.rr += 1;
@@ -602,30 +653,23 @@ impl WriteSession {
 
     // ------------------------------------------------------------ callbacks
 
-    /// Driver callback: the transfer for `req` has fully left this node
-    /// (socket write completed / simulated flow finished).
-    pub fn on_put_sent(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
-        let mut out = Vec::new();
+    fn put_sent(&mut self, req: RequestId, now: Time, out: &mut ActionQueue) {
         if let Some(p) = self.pending_puts.get_mut(&req) {
             p.sent = true;
         }
-        self.check_close_progress(now, &mut out);
-        out
+        self.check_close_progress(now, out);
     }
 
-    /// Driver callback: the transfer for `req` failed (connection lost,
-    /// timeout). The chunk is retried on the next stripe member.
-    pub fn on_put_failed(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
-        let mut out = Vec::new();
+    fn put_failed(&mut self, req: RequestId, now: Time, out: &mut ActionQueue) {
         let Some(mut p) = self.pending_puts.remove(&req) else {
-            return out;
+            return;
         };
         p.attempts += 1;
         // Exclude the failed target from the stripe.
         self.stripe.retain(|n| *n != p.target);
         if p.attempts > self.cfg.put_retries || self.stripe.is_empty() {
-            self.fail(ErrorCode::Unavailable, &mut out);
-            return out;
+            self.fail(ErrorCode::Unavailable, out);
+            return;
         }
         let target = self.stripe[self.rr % self.stripe.len()];
         self.rr += 1;
@@ -648,27 +692,21 @@ impl WriteSession {
                 ..p
             },
         );
-        self.pump(now, &mut out);
-        out
+        self.pump(now, out);
     }
 
-    /// Driver callback: a stage append completed.
-    pub fn on_stage_append_done(&mut self, op: u64, now: Time) -> Vec<WriteAction> {
-        let mut out = Vec::new();
+    fn stage_append_done(&mut self, op: u64, now: Time, out: &mut ActionQueue) {
         if let Some(bytes) = self.stage_ops.remove(&op) {
             self.stage_inflight = self.stage_inflight.saturating_sub(bytes);
         }
-        self.pump(now, &mut out);
-        out
+        self.pump(now, out);
     }
 
-    /// Driver callback: staged bytes fetched back for pushing.
-    pub fn on_stage_fetch(&mut self, op: u64, payload: Payload, now: Time) -> Vec<WriteAction> {
-        let mut out = Vec::new();
+    fn stage_fetched(&mut self, op: u64, payload: Payload, now: Time, out: &mut ActionQueue) {
         let Some(c) = self.pending_fetches.remove(&op) else {
-            return out;
+            return;
         };
-        self.issue_put(c.entry.id, c.entry.size, payload, false, &mut out);
+        self.issue_put(c.entry.id, c.entry.size, payload, false, out);
         // Track temp completion for IW discard/backpressure.
         if matches!(self.cfg.protocol, WriteProtocol::Incremental { .. }) {
             let min_unpushed_temp = self
@@ -688,13 +726,10 @@ impl WriteSession {
                 }
             }
         }
-        self.pump(now, &mut out);
-        out
+        self.pump(now, out);
     }
 
-    /// Processes a protocol reply addressed to this session.
-    pub fn on_msg(&mut self, msg: Msg, now: Time) -> Vec<WriteAction> {
-        let mut out = Vec::new();
+    fn process_msg(&mut self, msg: Msg, now: Time, out: &mut ActionQueue) {
         match msg {
             Msg::PutChunkOk { req, chunk, node } => {
                 if let Some(p) = self.pending_puts.remove(&req) {
@@ -704,48 +739,83 @@ impl WriteSession {
                     self.placements.entry(chunk).or_default().push(node);
                     self.placements.get_mut(&chunk).expect("just added").dedup();
                 }
-                self.pump(now, &mut out);
+                self.pump(now, out);
             }
             Msg::ExtendOk { req, stripe } => {
                 if self.extend_pending == Some(req) {
                     self.extend_pending = None;
-                    self.reserved_chunks += (self.queued_puts.len() as u64
-                        + self.staged.len() as u64)
-                        .max(8);
+                    self.reserved_chunks +=
+                        (self.queued_puts.len() as u64 + self.staged.len() as u64).max(8);
                     if !stripe.is_empty() {
                         self.stripe = stripe;
                     }
                 }
-                self.pump(now, &mut out);
+                self.pump(now, out);
             }
-            Msg::CommitOk { req, .. } => {
-                if self.commit_req == Some(req) {
-                    self.state = SessionState::Done;
-                    self.stats.done_at = Some(now);
-                }
+            Msg::CommitOk { req, .. } if self.commit_req == Some(req) => {
+                self.state = SessionState::Done;
+                self.stats.done_at = Some(now);
             }
             Msg::Ack { req } => {
                 self.stash_reqs.remove(&req);
-                self.check_close_progress(now, &mut out);
+                self.check_close_progress(now, out);
             }
             Msg::ErrorReply { req, code, .. } => {
-                if self.commit_req == Some(req) {
-                    self.fail(code, &mut out);
-                } else if self.extend_pending == Some(req) {
-                    self.fail(code, &mut out);
+                if self.commit_req == Some(req) || self.extend_pending == Some(req) {
+                    self.fail(code, out);
                 } else if self.pending_puts.contains_key(&req) {
-                    out.extend(self.on_put_failed(req, now));
+                    self.put_failed(req, now, out);
                 } else {
                     self.stash_reqs.remove(&req);
-                    self.check_close_progress(now, &mut out);
+                    self.check_close_progress(now, out);
                 }
             }
             _ => {}
         }
-        out
     }
 
-    fn fail(&mut self, code: ErrorCode, out: &mut Vec<WriteAction>) {
+    // ------------------------------------------------------ legacy shims
+
+    /// Drains pending actions into the legacy `Vec` form (tests).
+    pub fn take_actions(&mut self) -> Vec<WriteAction> {
+        self.actions
+            .drain()
+            .into_iter()
+            .map(WriteAction::from)
+            .collect()
+    }
+
+    /// Compatibility shim over [`Node::handle`].
+    pub fn on_msg(&mut self, msg: Msg, now: Time) -> Vec<WriteAction> {
+        Node::handle(self, MANAGER_NODE, msg, now);
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Completion::SendDone`].
+    pub fn on_put_sent(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
+        self.handle_completion(Completion::SendDone { req }, now);
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Completion::SendFailed`].
+    pub fn on_put_failed(&mut self, req: RequestId, now: Time) -> Vec<WriteAction> {
+        self.handle_completion(Completion::SendFailed { req }, now);
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Completion::StageAppended`].
+    pub fn on_stage_append_done(&mut self, op: u64, now: Time) -> Vec<WriteAction> {
+        self.handle_completion(Completion::StageAppended { op }, now);
+        self.take_actions()
+    }
+
+    /// Compatibility shim over [`Completion::StageFetched`].
+    pub fn on_stage_fetch(&mut self, op: u64, payload: Payload, now: Time) -> Vec<WriteAction> {
+        self.handle_completion(Completion::StageFetched { op, payload }, now);
+        self.take_actions()
+    }
+
+    fn fail(&mut self, code: ErrorCode, out: &mut ActionQueue) {
         self.state = SessionState::Failed(code);
         let req = self.reqs.next();
         out.push(WriteAction::Send {
@@ -759,7 +829,7 @@ impl WriteSession {
 
     // ------------------------------------------------------------ close path
 
-    fn check_close_progress(&mut self, now: Time, out: &mut Vec<WriteAction>) {
+    fn check_close_progress(&mut self, now: Time, out: &mut ActionQueue) {
         if self.state != SessionState::Closing {
             return;
         }
@@ -767,8 +837,7 @@ impl WriteSession {
         if self.stats.app_close_at.is_none() {
             let handed_off = match self.cfg.protocol {
                 WriteProtocol::SlidingWindow { .. } => {
-                    self.queued_puts.is_empty()
-                        && self.pending_puts.values().all(|p| p.sent)
+                    self.queued_puts.is_empty() && self.pending_puts.values().all(|p| p.sent)
                 }
                 WriteProtocol::CompleteLocal | WriteProtocol::Incremental { .. } => {
                     self.stage_inflight == 0 && self.stage_ops.is_empty()
@@ -792,7 +861,7 @@ impl WriteSession {
                     .iter()
                     .map(|(c, l)| (*c, l.clone()))
                     .collect();
-                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v.sort_by_key(|a| a.0);
                 v
             };
             if self.cfg.stash_commits && !self.stripe.is_empty() && !self.stash_sent {
@@ -829,3 +898,28 @@ impl WriteSession {
     }
 }
 
+impl Node for WriteSession {
+    fn handle(&mut self, _from: NodeId, msg: Msg, now: Time) {
+        let mut out = std::mem::take(&mut self.actions);
+        self.process_msg(msg, now, &mut out);
+        self.actions = out;
+    }
+
+    fn handle_completion(&mut self, completion: Completion, now: Time) {
+        let mut out = std::mem::take(&mut self.actions);
+        match completion {
+            Completion::SendDone { req } => self.put_sent(req, now, &mut out),
+            Completion::SendFailed { req } => self.put_failed(req, now, &mut out),
+            Completion::StageAppended { op } => self.stage_append_done(op, now, &mut out),
+            Completion::StageFetched { op, payload } => {
+                self.stage_fetched(op, payload, now, &mut out)
+            }
+            other => debug_assert!(false, "unexpected completion {other:?}"),
+        }
+        self.actions = out;
+    }
+
+    fn poll_action(&mut self) -> Option<Action> {
+        self.actions.pop()
+    }
+}

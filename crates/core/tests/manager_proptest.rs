@@ -18,28 +18,41 @@ use stdchk_util::{Dur, Time};
 
 #[derive(Clone, Debug)]
 enum Op {
-    OpenCommit { path: u8, chunks: Vec<u8>, replication: u8 },
-    OpenAbort { path: u8 },
-    OpenLeak { path: u8 },
-    Delete { path: u8 },
-    SetReplacePolicy { keep: u8 },
+    OpenCommit {
+        path: u8,
+        chunks: Vec<u8>,
+        replication: u8,
+    },
+    OpenAbort {
+        path: u8,
+    },
+    OpenLeak {
+        path: u8,
+    },
+    Delete {
+        path: u8,
+    },
+    SetReplacePolicy {
+        keep: u8,
+    },
     Heartbeats,
-    KillNode { which: u8 },
-    Advance { ms: u16 },
+    KillNode {
+        which: u8,
+    },
+    Advance {
+        ms: u16,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (
-            0u8..6,
-            proptest::collection::vec(0u8..32, 1..6),
-            1u8..3
-        )
-            .prop_map(|(path, chunks, replication)| Op::OpenCommit {
+        (0u8..6, proptest::collection::vec(0u8..32, 1..6), 1u8..3).prop_map(
+            |(path, chunks, replication)| Op::OpenCommit {
                 path,
                 chunks,
                 replication
-            }),
+            }
+        ),
         (0u8..6).prop_map(|path| Op::OpenAbort { path }),
         (0u8..6).prop_map(|path| Op::OpenLeak { path }),
         (0u8..6).prop_map(|path| Op::Delete { path }),

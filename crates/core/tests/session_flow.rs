@@ -7,14 +7,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
-
 use stdchk_core::payload::Payload;
 use stdchk_core::session::read::{ReadAction, ReadSession};
 use stdchk_core::session::write::{
     OpenGrant, SessionConfig, SessionState, WriteAction, WriteProtocol, WriteSession,
 };
-use stdchk_core::{Benefactor, BenefactorAction, BenefactorConfig, Manager, PoolConfig, MANAGER_NODE};
+use stdchk_core::{
+    Benefactor, BenefactorAction, BenefactorConfig, Manager, PoolConfig, MANAGER_NODE,
+};
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::Msg;
 use stdchk_util::{Dur, Time};
@@ -83,7 +83,10 @@ impl Pool {
             match a {
                 BenefactorAction::Send { to, msg } => self.queue.push_back((id, to, msg)),
                 BenefactorAction::Store { op, chunk, payload } => {
-                    self.blobs.get_mut(&id).expect("blob store").insert(chunk, payload);
+                    self.blobs
+                        .get_mut(&id)
+                        .expect("blob store")
+                        .insert(chunk, payload);
                     let b = self.benefactors.get_mut(&id).expect("benefactor");
                     let more = b.on_store_complete(op, self.now);
                     self.apply_benefactor_actions(id, more);
@@ -221,9 +224,7 @@ impl Session {
                         self.saw_put_before_close = true;
                     }
                     // The message leaves the client instantly: report "sent".
-                    if let (Msg::PutChunk { req, .. }, true) =
-                        (&msg, !pool.dead.contains(&to))
-                    {
+                    if let (Msg::PutChunk { req, .. }, true) = (&msg, !pool.dead.contains(&to)) {
                         let req = *req;
                         pool.queue.push_back((CLIENT, to, msg));
                         let more = self.inner.on_put_sent(req, pool.now);
@@ -237,7 +238,11 @@ impl Session {
                         pool.queue.push_back((CLIENT, to, msg));
                     }
                 }
-                WriteAction::StageAppend { op, offset, payload } => {
+                WriteAction::StageAppend {
+                    op,
+                    offset,
+                    payload,
+                } => {
                     self.stage.insert(offset, payload);
                     let more = self.inner.on_stage_append_done(op, pool.now);
                     self.apply(pool, more);
@@ -261,13 +266,15 @@ impl Session {
     }
 
     fn write(&mut self, pool: &mut Pool, data: &[u8]) {
-        let actions = self.inner.write(Payload::real(data.to_vec()), pool.now);
+        self.inner.write(Payload::real(data.to_vec()), pool.now);
+        let actions = self.inner.take_actions();
         self.apply(pool, actions);
         pool.run(Some(self));
     }
 
     fn close(&mut self, pool: &mut Pool) {
-        let actions = self.inner.close(pool.now);
+        self.inner.close(pool.now);
+        let actions = self.inner.take_actions();
         self.apply(pool, actions);
         pool.run(Some(self));
     }
@@ -442,7 +449,10 @@ fn dedup_skips_transfer_of_unchanged_chunks() {
     s2.write(&mut pool, &data);
     s2.close(&mut pool);
     assert!(s2.inner.is_done(), "state: {:?}", s2.inner.state());
-    assert_eq!(pool.put_count, puts_v1, "identical version must transfer nothing");
+    assert_eq!(
+        pool.put_count, puts_v1,
+        "identical version must transfer nothing"
+    );
     let st = s2.inner.stats();
     assert_eq!(st.bytes_stored, 0);
     assert_eq!(st.bytes_deduped, st.bytes_written);
@@ -575,7 +585,10 @@ fn stashed_commits_survive_manager_restart() {
         },
         pool.now,
     );
-    assert!(matches!(out[0].msg, Msg::ErrorReply { .. }), "metadata gone");
+    assert!(
+        matches!(out[0].msg, Msg::ErrorReply { .. }),
+        "metadata gone"
+    );
 
     // Benefactors heartbeat (re-registering) and re-offer their stashes.
     for _ in 0..5 {

@@ -55,7 +55,8 @@ fn checkpoint_timesteps_become_versions() {
     for t in 0..3u64 {
         let name = CheckpointName::new("bms", 4, t);
         let mut w = fs.checkpoint("/jobs", &name).expect("checkpoint");
-        w.write_all(format!("image at t{t}").as_bytes()).expect("write");
+        w.write_all(format!("image at t{t}").as_bytes())
+            .expect("write");
         w.finish().expect("finish");
     }
     // All timesteps are versions of the logical file.
@@ -118,4 +119,147 @@ fn unlink_invalidates_cache() {
     fs.unlink("/u/f.n0").expect("unlink");
     // Fresh stat must not come from the cache.
     assert!(fs.grid().stat("/u/f.n0").is_err());
+}
+
+/// Like [`pool`], but returns handles to the blob stores so tests can lose
+/// chunks behind the benefactors' backs.
+fn pool_with_stores(n: usize) -> (Fixture, Vec<Arc<MemStore>>) {
+    let mut cfg = PoolConfig::fast_for_tests();
+    cfg.chunk_size = 64 << 10;
+    let mgr = ManagerServer::spawn("127.0.0.1:0", cfg).expect("manager");
+    let stores: Vec<Arc<MemStore>> = (0..n).map(|_| Arc::new(MemStore::new())).collect();
+    let benefactors = stores
+        .iter()
+        .map(|store| {
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 128 << 20,
+                cfg: BenefactorConfig::fast_for_tests(),
+                store: Arc::clone(store) as Arc<dyn stdchk_net::store::ChunkStore>,
+            })
+            .expect("benefactor")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < n {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (
+        Fixture {
+            mgr,
+            _benefactors: benefactors,
+        },
+        stores,
+    )
+}
+
+#[test]
+fn restart_latest_falls_back_to_older_readable_version() {
+    use stdchk_net::store::ChunkStore;
+
+    let (f, stores) = pool_with_stores(2);
+    let fs = mount(&f);
+    // Version 1 (t0).
+    let mut w = fs
+        .checkpoint("/fb", &CheckpointName::new("sim", 2, 0))
+        .expect("ckpt t0");
+    w.write_all(b"good old image").expect("write");
+    w.finish().expect("finish t0");
+    let v1_chunks: Vec<_> = stores.iter().flat_map(|s| s.ids().expect("ids")).collect();
+    // Version 2 (t1), different content.
+    let mut w = fs
+        .checkpoint("/fb", &CheckpointName::new("sim", 2, 1))
+        .expect("ckpt t1");
+    w.write_all(b"fresh but doomed image").expect("write");
+    w.finish().expect("finish t1");
+    // A "crash" loses every chunk unique to version 2 from the donated
+    // disks (the benefactors' indices still advertise them).
+    for s in &stores {
+        for id in s.ids().expect("ids") {
+            if !v1_chunks.contains(&id) {
+                s.delete(id).expect("delete");
+            }
+        }
+    }
+    // Restart must skip the unreadable newest version and return t0's data.
+    let (version, data) = fs.restart_latest("/fb", "sim", 2).expect("fallback");
+    assert_eq!(data, b"good old image");
+    let versions = fs.versions("/fb/sim.n2").expect("versions");
+    assert_eq!(
+        versions.first().expect("v1").version,
+        version,
+        "fell back to the oldest"
+    );
+}
+
+#[test]
+fn create_invalidates_attr_and_listing_caches() {
+    let f = pool(2);
+    let fs = mount(&f);
+    let mut w = fs.create("/inv/a.n0").expect("create");
+    w.write_all(b"v1").expect("write");
+    w.finish().expect("finish");
+
+    // Warm both caches.
+    let before = fs.getattr("/inv/a.n0").expect("getattr");
+    assert_eq!(before.versions, 1);
+    assert_eq!(fs.readdir("/inv").expect("readdir").len(), 1);
+
+    // A new version through the facade must invalidate the cached attr:
+    // the fresh stat shows two versions immediately, not after the TTL.
+    let mut w = fs.create("/inv/a.n0").expect("create v2");
+    w.write_all(b"version two").expect("write");
+    w.finish().expect("finish");
+    let after = fs.getattr("/inv/a.n0").expect("getattr");
+    assert_eq!(after.versions, 2, "stale attr served from cache");
+    assert_eq!(after.size, b"version two".len() as u64);
+
+    // Creating a sibling invalidates the parent listing too.
+    let mut w = fs.create("/inv/b.n0").expect("create sibling");
+    w.write_all(b"x").expect("write");
+    w.finish().expect("finish");
+    let names: Vec<String> = fs
+        .readdir("/inv")
+        .expect("readdir")
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(
+        names.contains(&"b.n0".to_string()),
+        "stale listing: {names:?}"
+    );
+}
+
+#[test]
+fn unlink_invalidates_attr_and_listing_caches() {
+    let f = pool(2);
+    let fs = mount(&f);
+    for p in ["/rm/keep.n0", "/rm/gone.n0"] {
+        let mut w = fs.create(p).expect("create");
+        w.write_all(b"data").expect("write");
+        w.finish().expect("finish");
+    }
+    // Warm the caches.
+    assert!(fs.getattr("/rm/gone.n0").is_ok());
+    assert_eq!(fs.readdir("/rm").expect("readdir").len(), 2);
+
+    fs.unlink("/rm/gone.n0").expect("unlink");
+    // Both the cached attr and the cached parent listing must be gone.
+    assert!(
+        fs.getattr("/rm/gone.n0").is_err(),
+        "stale attr after unlink"
+    );
+    let names: Vec<String> = fs
+        .readdir("/rm")
+        .expect("readdir")
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(
+        names,
+        vec!["keep.n0".to_string()],
+        "stale listing after unlink"
+    );
 }

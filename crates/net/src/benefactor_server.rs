@@ -1,15 +1,15 @@
 //! A benefactor (storage donor) as a TCP node.
 //!
-//! Wraps the sans-IO [`Benefactor`] state machine with: a persistent
-//! manager connection (join, heartbeats, GC, replication commands), a
-//! listener for client and peer-benefactor data connections, a blob store
-//! for chunk payloads, and lazy outbound connections to replication
-//! targets (addresses resolved through the manager).
+//! The sans-IO [`Benefactor`] runs behind the same generic [`NodeHost`]
+//! event loop as the manager: reader threads `deliver` messages, the shared
+//! `run_node` loop fires joins/heartbeats/GC/timeouts from `poll_timeout`,
+//! and [`BenefEffects`] executes the unified actions — transmit over the
+//! right socket, store/load/delete against a [`ChunkStore`].
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -17,12 +17,14 @@ use std::time::Duration;
 use crossbeam::channel;
 use parking_lot::Mutex;
 
+use stdchk_core::node::{Action, Completion};
 use stdchk_core::payload::Payload;
-use stdchk_core::{Benefactor, BenefactorAction, BenefactorConfig, MANAGER_NODE};
+use stdchk_core::{Benefactor, BenefactorConfig, MANAGER_NODE};
 use stdchk_proto::ids::{NodeId, RequestId};
 use stdchk_proto::msg::{Msg, Role};
 
-use crate::conn::{read_loop, Clock, Sender};
+use crate::conn::{dial, read_loop, Clock, Sender, DIAL_TIMEOUT};
+use crate::driver::{spawn_node_loop, Effects, NodeHost};
 use crate::store::ChunkStore;
 
 /// Configuration of a networked benefactor.
@@ -39,17 +41,6 @@ pub struct BenefactorNetConfig {
     pub store: Arc<dyn ChunkStore>,
 }
 
-struct BenefState {
-    sm: Mutex<Benefactor>,
-    store: Arc<dyn ChunkStore>,
-    clock: Clock,
-    manager_addr: String,
-    mgr: Mutex<Sender>,
-    peers: Mutex<HashMap<NodeId, Sender>>,
-    resolver: Mutex<ResolveClient>,
-    shutdown: AtomicBool,
-}
-
 /// A dedicated manager connection for driver-level RPCs (address
 /// resolution), separate from the state machine's message stream.
 struct ResolveClient {
@@ -61,7 +52,7 @@ struct ResolveClient {
 
 impl ResolveClient {
     fn connect(addr: &str) -> io::Result<ResolveClient> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = dial(addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender
             .send(&Msg::Hello {
@@ -121,9 +112,109 @@ impl ResolveClient {
     }
 }
 
+/// Executes benefactor actions: transmit to the manager / the delivering
+/// connection / a lazily-dialed peer, and run blob-store I/O, reporting
+/// completions synchronously.
+pub struct BenefEffects {
+    store: Arc<dyn ChunkStore>,
+    mgr: Mutex<Sender>,
+    /// Inbound data connections, keyed by their synthetic conn id: replies
+    /// route through here no matter which thread pumps them.
+    conns: Mutex<HashMap<NodeId, Sender>>,
+    /// Outbound replication connections to peer benefactors (real ids).
+    peers: Mutex<HashMap<NodeId, Sender>>,
+    resolver: Mutex<ResolveClient>,
+    /// Back-reference for peer reply readers (set once at spawn).
+    host: Mutex<Option<Arc<BenefHost>>>,
+}
+
+type BenefHost = NodeHost<Benefactor, Arc<BenefEffects>>;
+
+impl Effects for Arc<BenefEffects> {
+    fn execute(&self, action: Action) -> Option<Completion> {
+        match action {
+            Action::Send { to, msg } => {
+                if to == MANAGER_NODE {
+                    let _ = self.mgr.lock().send(&msg);
+                } else if let Some(conn) = self.conns.lock().get(&to).cloned() {
+                    // Reply to an inbound data connection.
+                    let _ = conn.send(&msg);
+                } else {
+                    self.send_to_peer(to, msg);
+                }
+                None
+            }
+            Action::Store { op, chunk, payload } => self
+                .store
+                .put(chunk, &payload.bytes())
+                .ok()
+                .map(|()| Completion::Stored { op }),
+            Action::Load { op, chunk, .. } => match self.store.get(chunk) {
+                Ok(Some(data)) => Some(Completion::Loaded {
+                    op,
+                    chunk,
+                    payload: Payload::Real(data),
+                }),
+                // Lost or unreadable blob: tell the node so the requester
+                // fails over instead of timing out.
+                Ok(None) | Err(_) => Some(Completion::LoadFailed { op, chunk }),
+            },
+            Action::DropChunk { chunk } => {
+                let _ = self.store.delete(chunk);
+                None
+            }
+            other => unreachable!("benefactor never emits {other:?}"),
+        }
+    }
+}
+
+impl BenefEffects {
+    /// Sends to a peer benefactor, dialing (and spawning a reply reader) on
+    /// first use.
+    fn send_to_peer(self: &Arc<Self>, to: NodeId, msg: Msg) {
+        let existing = self.peers.lock().get(&to).cloned();
+        let sender = match existing {
+            Some(s) => s,
+            None => {
+                let Some(addr) = self.resolver.lock().resolve(to) else {
+                    return;
+                };
+                let Ok(stream) = dial(&addr, DIAL_TIMEOUT) else {
+                    return;
+                };
+                let Ok(reader) = stream.try_clone() else {
+                    return;
+                };
+                let sender = Sender::new(stream);
+                // The data-path listener ignores Hello payloads; announce
+                // with the null id.
+                let _ = sender.send(&Msg::Hello {
+                    role: Role::Benefactor,
+                    node: NodeId(0),
+                });
+                // Replies (PutChunkOk / ErrorReply) feed the state machine.
+                let host = self.host.lock().clone();
+                if let Some(host) = host {
+                    thread::Builder::new()
+                        .name("stdchk-benef-peer".into())
+                        .spawn(move || {
+                            read_loop(reader, move |m| host.deliver(to, m));
+                        })
+                        .expect("spawn peer reader");
+                }
+                self.peers.lock().insert(to, sender.clone());
+                sender
+            }
+        };
+        if sender.send(&msg).is_err() {
+            self.peers.lock().remove(&to);
+        }
+    }
+}
+
 /// A running benefactor node.
 pub struct BenefactorServer {
-    state: Arc<BenefState>,
+    host: Arc<BenefHost>,
     addr: SocketAddr,
 }
 
@@ -146,7 +237,7 @@ impl BenefactorServer {
     pub fn spawn(net: BenefactorNetConfig) -> io::Result<BenefactorServer> {
         let listener = TcpListener::bind(&net.listen)?;
         let addr = listener.local_addr()?;
-        let mgr_stream = TcpStream::connect(&net.manager_addr)?;
+        let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
         let mgr = Sender::new(mgr_stream.try_clone()?);
         mgr.send(&Msg::Hello {
             role: Role::Benefactor,
@@ -174,55 +265,57 @@ impl BenefactorServer {
 
         let resolver = ResolveClient::connect(&net.manager_addr)?;
         let first_reader = mgr.reader()?;
-        let state = Arc::new(BenefState {
-            sm: Mutex::new(sm),
+        let effects = Arc::new(BenefEffects {
             store: net.store,
-            clock,
-            manager_addr: net.manager_addr.clone(),
             mgr: Mutex::new(mgr),
+            conns: Mutex::new(HashMap::new()),
             peers: Mutex::new(HashMap::new()),
             resolver: Mutex::new(resolver),
-            shutdown: AtomicBool::new(false),
+            host: Mutex::new(None),
         });
+        let host = NodeHost::new(sm, clock, Arc::clone(&effects));
+        *effects.host.lock() = Some(Arc::clone(&host));
+
+        // The generic event loop replaces the bespoke ticker: joining,
+        // heartbeats, GC reports, put timeouts and re-offers all fire from
+        // Benefactor::poll_timeout.
+        spawn_node_loop("stdchk-benef-node", Arc::clone(&host));
 
         // Manager message stream, with reconnect: a benefactor outlives
         // manager restarts — its next heartbeat re-registers it (soft
-        // state), and stashed commits are re-offered by the ticker.
+        // state), and stashed commits are re-offered by its timers.
         {
-            let state = Arc::clone(&state);
+            let host = Arc::clone(&host);
+            let manager_addr = net.manager_addr.clone();
             thread::Builder::new()
                 .name("stdchk-benef-mgr".into())
                 .spawn(move || {
                     let mut reader = Some(first_reader);
                     loop {
-                        if state.shutdown.load(Ordering::Relaxed) {
+                        if host.is_shutdown() {
                             return;
                         }
                         if let Some(r) = reader.take() {
-                            let s2 = Arc::clone(&state);
-                            read_loop(r, move |msg| {
-                                let now = s2.clock.now();
-                                let actions = s2.sm.lock().handle_msg(MANAGER_NODE, msg, now);
-                                act(&s2, None, NodeId(0), actions);
-                            });
+                            let h2 = Arc::clone(&host);
+                            read_loop(r, move |msg| h2.deliver(MANAGER_NODE, msg));
                         }
                         // Disconnected: redial until it works.
                         loop {
-                            if state.shutdown.load(Ordering::Relaxed) {
+                            if host.is_shutdown() {
                                 return;
                             }
                             thread::sleep(Duration::from_millis(250));
-                            let Ok(stream) = TcpStream::connect(&state.manager_addr) else {
+                            let Ok(stream) = dial(&manager_addr, DIAL_TIMEOUT) else {
                                 continue;
                             };
                             let Ok(rd) = stream.try_clone() else { continue };
                             let sender = Sender::new(stream);
-                            let my_id = state.sm.lock().id();
+                            let my_id = host.with_node(|n| n.id());
                             let _ = sender.send(&Msg::Hello {
                                 role: Role::Benefactor,
                                 node: my_id,
                             });
-                            *state.mgr.lock() = sender;
+                            *host.effects().mgr.lock() = sender;
                             reader = Some(rd);
                             break;
                         }
@@ -231,47 +324,28 @@ impl BenefactorServer {
                 .expect("spawn mgr reader");
         }
 
-        // Ticker: join, heartbeats, GC, timeouts, re-offers.
-        {
-            let state = Arc::clone(&state);
-            thread::Builder::new()
-                .name("stdchk-benef-tick".into())
-                .spawn(move || loop {
-                    if state.shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let now = state.clock.now();
-                    let actions = state.sm.lock().tick(now);
-                    act(&state, None, NodeId(0), actions);
-                    thread::sleep(Duration::from_millis(25));
-                })
-                .expect("spawn ticker");
-        }
-
         // Data-path listener.
         {
-            let state = Arc::clone(&state);
+            let host = Arc::clone(&host);
             thread::Builder::new()
                 .name("stdchk-benef-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if state.shutdown.load(Ordering::Relaxed) {
+                        if host.is_shutdown() {
                             return;
                         }
                         let Ok(stream) = stream else { continue };
-                        let state = Arc::clone(&state);
+                        let host = Arc::clone(&host);
                         thread::Builder::new()
                             .name("stdchk-benef-conn".into())
-                            .spawn(move ||
-
- serve_data_conn(state, stream))
+                            .spawn(move || serve_data_conn(host, stream))
                             .expect("spawn conn");
                     }
                 })
                 .expect("spawn accept");
         }
 
-        Ok(BenefactorServer { state, addr })
+        Ok(BenefactorServer { host, addr })
     }
 
     /// The data-path listen address.
@@ -281,25 +355,30 @@ impl BenefactorServer {
 
     /// The node id assigned by the manager (0 until joined).
     pub fn node_id(&self) -> NodeId {
-        self.state.sm.lock().id()
+        self.host.with_node(|n| n.id())
     }
 
     /// Chunks currently stored.
     pub fn chunk_count(&self) -> usize {
-        self.state.sm.lock().chunk_count()
+        self.host.with_node(|n| n.chunk_count())
     }
 
     /// Free contributed bytes.
     pub fn free_space(&self) -> u64 {
-        self.state.sm.lock().free_space()
+        self.host.with_node(|n| n.free_space())
     }
 
     /// Stops serving (threads exit as their sockets drain).
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::Relaxed);
+        self.host.shutdown();
         let _ = TcpStream::connect(self.addr);
-        self.state.mgr.lock().shutdown();
-        for (_, p) in self.state.peers.lock().drain() {
+        self.host.effects().mgr.lock().shutdown();
+        // Break the host↔effects reference cycle so the node drops.
+        *self.host.effects().host.lock() = None;
+        for (_, c) in self.host.effects().conns.lock().drain() {
+            c.shutdown();
+        }
+        for (_, p) in self.host.effects().peers.lock().drain() {
             p.shutdown();
         }
     }
@@ -311,113 +390,24 @@ impl Drop for BenefactorServer {
     }
 }
 
-/// Executes benefactor actions. `reply` is the connection the triggering
-/// message arrived on; actions addressed to `reply_to` go back on it.
-fn act(
-    state: &Arc<BenefState>,
-    reply: Option<&Sender>,
-    reply_to: NodeId,
-    actions: Vec<BenefactorAction>,
-) {
-    for a in actions {
-        match a {
-            BenefactorAction::Send { to, msg } => {
-                if to == MANAGER_NODE {
-                    let _ = state.mgr.lock().send(&msg);
-                } else if Some(to) == Some(reply_to) && reply.is_some() {
-                    let _ = reply.expect("checked").send(&msg);
-                } else {
-                    send_to_peer(state, to, msg);
-                }
-            }
-            BenefactorAction::Store { op, chunk, payload } => {
-                let ok = state.store.put(chunk, &payload.bytes()).is_ok();
-                if ok {
-                    let now = state.clock.now();
-                    let more = state.sm.lock().on_store_complete(op, now);
-                    act(state, reply, reply_to, more);
-                }
-            }
-            BenefactorAction::Load { op, chunk, .. } => {
-                let data = state.store.get(chunk).ok().flatten();
-                if let Some(data) = data {
-                    let now = state.clock.now();
-                    let more =
-                        state
-                            .sm
-                            .lock()
-                            .on_load_complete(op, chunk, Payload::Real(data), now);
-                    act(state, reply, reply_to, more);
-                }
-            }
-            BenefactorAction::Drop { chunk } => {
-                let _ = state.store.delete(chunk);
-            }
-        }
-    }
-}
-
-/// Sends to a peer benefactor, dialing (and spawning a reply reader) on
-/// first use.
-fn send_to_peer(state: &Arc<BenefState>, to: NodeId, msg: Msg) {
-    let existing = state.peers.lock().get(&to).cloned();
-    let sender = match existing {
-        Some(s) => s,
-        None => {
-            let Some(addr) = state.resolver.lock().resolve(to) else {
-                return;
-            };
-            let Ok(stream) = TcpStream::connect(&addr) else {
-                return;
-            };
-            let Ok(reader) = stream.try_clone() else {
-                return;
-            };
-            let sender = Sender::new(stream);
-            let my_id = state.sm.lock().id();
-            let _ = sender.send(&Msg::Hello {
-                role: Role::Benefactor,
-                node: my_id,
-            });
-            // Replies (PutChunkOk / ErrorReply) feed the state machine.
-            let s2 = Arc::clone(state);
-            thread::Builder::new()
-                .name("stdchk-benef-peer".into())
-                .spawn(move || {
-                    read_loop(reader, move |m| {
-                        let now = s2.clock.now();
-                        let actions = s2.sm.lock().handle_msg(to, m, now);
-                        act(&s2, None, NodeId(0), actions);
-                    });
-                })
-                .expect("spawn peer reader");
-            state.peers.lock().insert(to, sender.clone());
-            sender
-        }
-    };
-    if sender.send(&msg).is_err() {
-        state.peers.lock().remove(&to);
-    }
-}
-
 /// Serves one inbound data connection (client writes/reads or peer
 /// replication pushes).
-fn serve_data_conn(state: Arc<BenefState>, stream: TcpStream) {
+fn serve_data_conn(host: Arc<BenefHost>, stream: TcpStream) {
     let sender = Sender::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let Ok(reader) = sender.reader() else { return };
-    // Synthetic per-connection peer id: replies route back on this socket.
+    // Synthetic per-connection peer id, registered so replies route back on
+    // this socket from any pumping thread.
     let conn_id = NodeId((1 << 50) | CONN_IDS.fetch_add(1, Ordering::Relaxed));
-    let state2 = Arc::clone(&state);
-    let sender2 = sender.clone();
+    host.effects().conns.lock().insert(conn_id, sender.clone());
+    let host2 = Arc::clone(&host);
     read_loop(reader, move |msg| {
         if matches!(msg, Msg::Hello { .. }) {
             return;
         }
-        let now = state2.clock.now();
-        let actions = state2.sm.lock().handle_msg(conn_id, msg, now);
-        act(&state2, Some(&sender2), conn_id, actions);
+        host2.deliver(conn_id, msg);
     });
+    host.effects().conns.lock().remove(&conn_id);
 }

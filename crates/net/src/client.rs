@@ -10,14 +10,19 @@
 //! - Metadata operations: [`Grid::stat`], [`Grid::list`],
 //!   [`Grid::versions`], [`Grid::delete`], [`Grid::set_policy`].
 //!
-//! The client proxy drives the same sans-IO sessions the simulator uses;
-//! here the driver is real threads, TCP sockets and a spill file for the
-//! CLW/IW staging protocols.
+//! Both handle kinds drive their sans-IO sessions through the unified
+//! [`Node`] API: one generic pump ([`pump_session`]) drains
+//! `poll_action()`, executes sends over TCP and stage I/O against a spill
+//! file, and feeds [`Completion`]s back. The write path and the read path
+//! differ only in which session type sits behind the pump.
+//!
+//! All dials use connect timeouts and streams carry write timeouts
+//! ([`crate::conn::dial`]), so a dead manager or benefactor fails fast
+//! instead of hanging a client thread.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,10 +32,11 @@ use std::time::Duration;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 
+use stdchk_core::node::{Action, Completion, Node};
 use stdchk_core::payload::Payload;
-use stdchk_core::session::read::{ReadAction, ReadSession, ReadState};
+use stdchk_core::session::read::{ReadSession, ReadState};
 use stdchk_core::session::write::{
-    OpenGrant, SessionConfig, SessionState, WriteAction, WriteSession, WriteStats,
+    OpenGrant, SessionConfig, SessionState, WriteSession, WriteStats,
 };
 use stdchk_core::MANAGER_NODE;
 use stdchk_proto::ids::{NodeId, RequestId, VersionId};
@@ -38,7 +44,8 @@ use stdchk_proto::msg::{DirEntry, FileAttr, Msg, Role, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
 
-use crate::conn::{read_loop, Clock, Sender};
+use crate::conn::{dial, read_frame_timeout, read_loop, Clock, Sender, DIAL_TIMEOUT};
+use crate::driver::ACTION_BATCH;
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -81,11 +88,66 @@ impl From<io::Error> for GridError {
     }
 }
 
+/// Shared state of one client-side session (write or read): the sans-IO
+/// machine, a wait condition for blocking callers, and the stage spill file
+/// (used by staged write protocols; inert for reads).
+struct SessionShared<N> {
+    session: Mutex<N>,
+    cv: Condvar,
+    stage: Mutex<Option<std::fs::File>>,
+    stage_path: PathBuf,
+}
+
+impl<N> SessionShared<N> {
+    fn new(session: N, stage_path: PathBuf) -> Arc<SessionShared<N>> {
+        Arc::new(SessionShared {
+            session: Mutex::new(session),
+            cv: Condvar::new(),
+            stage: Mutex::new(None),
+            stage_path,
+        })
+    }
+}
+
+/// Type-erased handle so one reply router serves every session kind.
+trait SessionSlot: Send + Sync {
+    /// Feeds a correlated reply into the session and pumps its actions.
+    fn deliver(self: Arc<Self>, grid: &Grid, msg: Msg);
+
+    /// Reports a transport failure for an outstanding request (the
+    /// connection it was sent on died), letting the session fail over.
+    fn fail(self: Arc<Self>, grid: &Grid, req: RequestId);
+}
+
+impl<N: Node + Send + 'static> SessionSlot for SessionShared<N> {
+    fn deliver(self: Arc<Self>, grid: &Grid, msg: Msg) {
+        {
+            let mut s = self.session.lock();
+            s.handle(MANAGER_NODE, msg, grid.inner.clock.now());
+            self.cv.notify_all();
+        }
+        pump_session(grid, &self);
+    }
+
+    fn fail(self: Arc<Self>, grid: &Grid, req: RequestId) {
+        {
+            let mut s = self.session.lock();
+            s.handle_completion(Completion::SendFailed { req }, grid.inner.clock.now());
+            self.cv.notify_all();
+        }
+        pump_session(grid, &self);
+    }
+}
+
 /// Where a correlated reply should be delivered.
 enum Route {
     Rpc(channel::Sender<Msg>),
-    Write(Arc<WriteShared>),
-    Read(Arc<ReadShared>),
+    Session {
+        slot: Arc<dyn SessionSlot>,
+        /// Destination the request was sent to — when that connection
+        /// dies, the request is failed over instead of stalling.
+        to: NodeId,
+    },
 }
 
 struct GridInner {
@@ -140,27 +202,39 @@ impl Default for WriteOptions {
 }
 
 impl Grid {
-    /// Connects to the manager at `addr`.
+    /// Connects to the manager at `addr`, failing fast (connect and
+    /// handshake-read timeouts) when the manager is dead.
     ///
     /// # Errors
     ///
-    /// Fails on dial/handshake problems.
+    /// Fails on dial/handshake problems; [`GridError::Timeout`] when the
+    /// manager accepts but never answers the handshake.
     pub fn connect(addr: &str) -> Result<Grid, GridError> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = dial(addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender.send(&Msg::Hello {
             role: Role::Client,
             node: NodeId(0),
         })?;
-        // The manager assigns our pool identity in its Hello reply.
+        // The manager assigns our pool identity in its Hello reply; a
+        // silent peer times out instead of wedging the caller.
         let mut reader = sender.reader()?;
-        let my_node = match stdchk_proto::frame::read_frame(&mut reader)? {
-            Some(Msg::Hello { node, .. }) => node,
-            other => {
+        let my_node = match read_frame_timeout(&mut reader, DIAL_TIMEOUT) {
+            Ok(Some(Msg::Hello { node, .. })) => node,
+            Ok(other) => {
                 return Err(GridError::Protocol(format!(
                     "expected Hello from manager, got {other:?}"
                 )))
             }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(GridError::Timeout)
+            }
+            Err(e) => return Err(e.into()),
         };
         let inner = Arc::new(GridInner {
             clock: Clock::new(),
@@ -180,7 +254,8 @@ impl Grid {
             thread::Builder::new()
                 .name("stdchk-grid-mgr".into())
                 .spawn(move || {
-                    read_loop(reader, move |msg| deliver_reply(&inner2, msg));
+                    let grid = Grid { inner: inner2 };
+                    read_loop(reader, move |msg| deliver_reply(&grid, msg));
                 })
                 .expect("spawn grid reader");
         }
@@ -221,7 +296,13 @@ impl Grid {
     /// [`GridError::Remote`] with [`ErrorCode::NotFound`] for absent paths.
     pub fn stat(&self, path: &str) -> Result<FileAttr, GridError> {
         let req = self.req();
-        match self.rpc(req, Msg::GetAttr { req, path: path.into() })? {
+        match self.rpc(
+            req,
+            Msg::GetAttr {
+                req,
+                path: path.into(),
+            },
+        )? {
             Msg::AttrReply { attr, .. } => Ok(attr),
             m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
         }
@@ -234,7 +315,13 @@ impl Grid {
     /// See [`Grid::stat`].
     pub fn list(&self, path: &str) -> Result<Vec<DirEntry>, GridError> {
         let req = self.req();
-        match self.rpc(req, Msg::ListDir { req, path: path.into() })? {
+        match self.rpc(
+            req,
+            Msg::ListDir {
+                req,
+                path: path.into(),
+            },
+        )? {
             Msg::DirListingReply { entries, .. } => Ok(entries),
             m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
         }
@@ -247,7 +334,13 @@ impl Grid {
     /// See [`Grid::stat`].
     pub fn versions(&self, path: &str) -> Result<Vec<VersionInfo>, GridError> {
         let req = self.req();
-        match self.rpc(req, Msg::ListVersions { req, path: path.into() })? {
+        match self.rpc(
+            req,
+            Msg::ListVersions {
+                req,
+                path: path.into(),
+            },
+        )? {
             Msg::VersionListReply { versions, .. } => Ok(versions),
             m => Err(GridError::Protocol(format!("unexpected reply {m:?}"))),
         }
@@ -260,7 +353,13 @@ impl Grid {
     /// See [`Grid::stat`].
     pub fn delete(&self, path: &str) -> Result<(), GridError> {
         let req = self.req();
-        self.rpc(req, Msg::DeleteFile { req, path: path.into() })?;
+        self.rpc(
+            req,
+            Msg::DeleteFile {
+                req,
+                path: path.into(),
+            },
+        )?;
         Ok(())
     }
 
@@ -337,12 +436,7 @@ impl Grid {
             .join(format!("stdchk-stage-{}-{sid}", std::process::id()));
         Ok(WriteHandle {
             grid: self.clone(),
-            shared: Arc::new(WriteShared {
-                session: Mutex::new(session),
-                cv: Condvar::new(),
-                stage: Mutex::new(None),
-                stage_path,
-            }),
+            shared: SessionShared::new(session, stage_path),
             finished: false,
         })
     }
@@ -368,19 +462,15 @@ impl Grid {
         };
         let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
         let session = ReadSession::new(sid, view, 4, true);
-        let shared = Arc::new(ReadShared {
-            session: Mutex::new(session),
-            cv: Condvar::new(),
-        });
+        let shared = SessionShared::new(session, PathBuf::new());
         let handle = ReadHandle {
             grid: self.clone(),
             shared,
             buffer: Vec::new(),
             buffer_pos: 0,
         };
-        // Prime the read-ahead window.
-        let actions = handle.shared.session.lock().poll(self.inner.clock.now());
-        drive_read(&handle.grid, &handle.shared, actions);
+        // Prime the read-ahead window (poll_action fills it lazily).
+        pump_session(&handle.grid, &handle.shared);
         Ok(handle)
     }
 
@@ -391,7 +481,7 @@ impl Grid {
             return Ok(s.clone());
         }
         let addr = self.resolve(node)?;
-        let stream = TcpStream::connect(&addr)?;
+        let stream = dial(&addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender.send(&Msg::Hello {
             role: Role::Client,
@@ -402,7 +492,11 @@ impl Grid {
         thread::Builder::new()
             .name("stdchk-grid-benef".into())
             .spawn(move || {
-                read_loop(reader, move |msg| deliver_reply(&inner2, msg));
+                let grid = Grid { inner: inner2 };
+                read_loop(reader, |msg| deliver_reply(&grid, msg));
+                // EOF or error: the benefactor is gone. Fail everything in
+                // flight on this connection so sessions retry elsewhere.
+                on_benefactor_conn_down(&grid, node);
             })
             .expect("spawn benef reader");
         self.inner.benefs.lock().insert(node, sender.clone());
@@ -436,140 +530,119 @@ impl Grid {
 }
 
 /// Dispatches a correlated reply to its route.
-fn deliver_reply(inner: &Arc<GridInner>, msg: Msg) {
+fn deliver_reply(grid: &Grid, msg: Msg) {
     let Some(req) = msg.request_id() else { return };
-    let route = inner.routes.lock().remove(&req);
+    let route = grid.inner.routes.lock().remove(&req);
     match route {
         Some(Route::Rpc(tx)) => {
             let _ = tx.send(msg);
         }
-        Some(Route::Write(shared)) => {
-            let grid = Grid {
-                inner: Arc::clone(inner),
-            };
-            let actions = {
-                let mut s = shared.session.lock();
-                let a = s.on_msg(msg, inner.clock.now());
-                shared.cv.notify_all();
-                a
-            };
-            drive_write(&grid, &shared, actions);
-        }
-        Some(Route::Read(shared)) => {
-            let grid = Grid {
-                inner: Arc::clone(inner),
-            };
-            let actions = {
-                let mut s = shared.session.lock();
-                let a = s.on_msg(msg, inner.clock.now());
-                shared.cv.notify_all();
-                a
-            };
-            drive_read(&grid, &shared, actions);
-        }
+        Some(Route::Session { slot, .. }) => slot.deliver(grid, msg),
         None => {}
     }
 }
 
-// ------------------------------------------------------------------- write
-
-struct WriteShared {
-    session: Mutex<WriteSession>,
-    cv: Condvar,
-    stage: Mutex<Option<std::fs::File>>,
-    stage_path: PathBuf,
-}
-
-/// A write session handle. Write data with [`std::io::Write`], then call
-/// [`WriteHandle::finish`] to commit (session semantics: nothing is visible
-/// until the commit).
-pub struct WriteHandle {
-    grid: Grid,
-    shared: Arc<WriteShared>,
-    finished: bool,
-}
-
-impl fmt::Debug for WriteHandle {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("WriteHandle").finish_non_exhaustive()
+/// A benefactor connection died: drop it from the registries and fail every
+/// session request that was in flight on it, so reads and writes fail over
+/// to other replicas promptly instead of waiting out their deadlines.
+fn on_benefactor_conn_down(grid: &Grid, node: NodeId) {
+    grid.inner.benefs.lock().remove(&node);
+    // The node may come back on a different port after a restart.
+    grid.inner.addr_cache.lock().remove(&node);
+    let stranded: Vec<(RequestId, Arc<dyn SessionSlot>)> = {
+        let mut routes = grid.inner.routes.lock();
+        let reqs: Vec<RequestId> = routes
+            .iter()
+            .filter(|(_, r)| matches!(r, Route::Session { to, .. } if *to == node))
+            .map(|(req, _)| *req)
+            .collect();
+        reqs.into_iter()
+            .filter_map(|req| match routes.remove(&req) {
+                Some(Route::Session { slot, .. }) => Some((req, slot)),
+                _ => None,
+            })
+            .collect()
+    };
+    for (req, slot) in stranded {
+        slot.fail(grid, req);
     }
 }
 
-/// Executes write-session actions on the real transports.
-fn drive_write(grid: &Grid, shared: &Arc<WriteShared>, actions: Vec<WriteAction>) {
-    let mut work = actions;
-    while !work.is_empty() {
-        let mut next = Vec::new();
-        for a in work {
-            match a {
-                WriteAction::Send { to, msg } if to == MANAGER_NODE => {
-                    if let Some(req) = msg.request_id() {
-                        grid.inner
-                            .routes
-                            .lock()
-                            .insert(req, Route::Write(Arc::clone(shared)));
-                    }
-                    if grid.inner.mgr.send(&msg).is_err() {
-                        fail_session(grid, shared, &mut next);
-                    }
+/// The generic session pump: drains `poll_action()` in batches and executes
+/// each unified action — sends over the manager or benefactor sockets with
+/// reply routing, stage I/O against the spill file — feeding completions
+/// straight back. Identical code drives write and read sessions.
+fn pump_session<N: Node + Send + 'static>(grid: &Grid, shared: &Arc<SessionShared<N>>) {
+    loop {
+        let mut batch = Vec::new();
+        {
+            let mut s = shared.session.lock();
+            while batch.len() < ACTION_BATCH {
+                match s.poll_action() {
+                    Some(a) => batch.push(a),
+                    None => break,
                 }
-                WriteAction::Send { to, msg } => {
-                    let req = msg.request_id().expect("data messages correlate");
-                    grid.inner
-                        .routes
-                        .lock()
-                        .insert(req, Route::Write(Arc::clone(shared)));
-                    let is_put = matches!(msg, Msg::PutChunk { .. });
-                    let ok = grid
-                        .benefactor_conn(to)
-                        .and_then(|c| c.send(&msg).map_err(GridError::from))
-                        .is_ok();
-                    let now = grid.inner.clock.now();
-                    let mut s = shared.session.lock();
-                    if ok {
-                        if is_put {
-                            next.extend(s.on_put_sent(req, now));
-                        }
-                    } else {
-                        grid.inner.routes.lock().remove(&req);
-                        if is_put {
-                            next.extend(s.on_put_failed(req, now));
-                        }
-                    }
-                    shared.cv.notify_all();
-                }
-                WriteAction::StageAppend { op, offset, payload } => {
-                    let res = stage_write(shared, offset, &payload.bytes());
-                    let now = grid.inner.clock.now();
-                    let mut s = shared.session.lock();
-                    if res.is_ok() {
-                        next.extend(s.on_stage_append_done(op, now));
-                    }
-                    shared.cv.notify_all();
-                }
-                WriteAction::StageFetch { op, offset, len } => {
-                    let data = stage_read(shared, offset, len as usize);
-                    let now = grid.inner.clock.now();
-                    let mut s = shared.session.lock();
-                    if let Ok(data) = data {
-                        next.extend(s.on_stage_fetch(op, Payload::Real(data.into()), now));
-                    }
-                    shared.cv.notify_all();
-                }
-                WriteAction::StageDiscard { .. } => {}
             }
         }
-        work = next;
+        if batch.is_empty() {
+            return;
+        }
+        for action in batch {
+            let completion = match action {
+                Action::Send { to, msg } => {
+                    let req = msg.request_id();
+                    if let Some(req) = req {
+                        grid.inner.routes.lock().insert(
+                            req,
+                            Route::Session {
+                                slot: Arc::clone(shared) as Arc<dyn SessionSlot>,
+                                to,
+                            },
+                        );
+                    }
+                    let ok = if to == MANAGER_NODE {
+                        grid.inner.mgr.send(&msg).is_ok()
+                    } else {
+                        grid.benefactor_conn(to)
+                            .and_then(|c| c.send(&msg).map_err(GridError::from))
+                            .is_ok()
+                    };
+                    match (req, ok) {
+                        (Some(req), true) => Some(Completion::SendDone { req }),
+                        (Some(req), false) => {
+                            grid.inner.routes.lock().remove(&req);
+                            Some(Completion::SendFailed { req })
+                        }
+                        (None, _) => None,
+                    }
+                }
+                Action::StageAppend {
+                    op,
+                    offset,
+                    payload,
+                } => stage_write(shared, offset, &payload.bytes())
+                    .is_ok()
+                    .then_some(Completion::StageAppended { op }),
+                Action::StageFetch { op, offset, len } => stage_read(shared, offset, len as usize)
+                    .ok()
+                    .map(|data| Completion::StageFetched {
+                        op,
+                        payload: Payload::Real(data.into()),
+                    }),
+                Action::StageDiscard { .. } => None,
+                other => unreachable!("client sessions never emit {other:?}"),
+            };
+            if let Some(c) = completion {
+                let now = grid.inner.clock.now();
+                let mut s = shared.session.lock();
+                s.handle_completion(c, now);
+                shared.cv.notify_all();
+            }
+        }
     }
 }
 
-fn fail_session(_grid: &Grid, shared: &Arc<WriteShared>, _next: &mut Vec<WriteAction>) {
-    // The session discovers transport failure through per-request errors;
-    // a manager-link failure is terminal for this handle.
-    shared.cv.notify_all();
-}
-
-fn stage_write(shared: &Arc<WriteShared>, offset: u64, data: &[u8]) -> io::Result<()> {
+fn stage_write<N>(shared: &Arc<SessionShared<N>>, offset: u64, data: &[u8]) -> io::Result<()> {
     use std::io::{Seek, SeekFrom};
     let mut guard = shared.stage.lock();
     if guard.is_none() {
@@ -586,7 +659,7 @@ fn stage_write(shared: &Arc<WriteShared>, offset: u64, data: &[u8]) -> io::Resul
     f.write_all(data)
 }
 
-fn stage_read(shared: &Arc<WriteShared>, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+fn stage_read<N>(shared: &Arc<SessionShared<N>>, offset: u64, len: usize) -> io::Result<Vec<u8>> {
     use std::io::{Seek, SeekFrom};
     let mut guard = shared.stage.lock();
     let f = guard
@@ -598,6 +671,23 @@ fn stage_read(shared: &Arc<WriteShared>, offset: u64, len: usize) -> io::Result<
     Ok(buf)
 }
 
+// ------------------------------------------------------------------- write
+
+/// A write session handle. Write data with [`std::io::Write`], then call
+/// [`WriteHandle::finish`] to commit (session semantics: nothing is visible
+/// until the commit).
+pub struct WriteHandle {
+    grid: Grid,
+    shared: Arc<SessionShared<WriteSession>>,
+    finished: bool,
+}
+
+impl fmt::Debug for WriteHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteHandle").finish_non_exhaustive()
+    }
+}
+
 impl Write for WriteHandle {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if buf.is_empty() {
@@ -605,7 +695,6 @@ impl Write for WriteHandle {
         }
         // Respect session backpressure (the SW buffer / IW temp pipeline).
         let n;
-        let actions;
         {
             let mut s = self.shared.session.lock();
             loop {
@@ -623,9 +712,12 @@ impl Write for WriteHandle {
                 }
                 self.shared.cv.wait(&mut s);
             }
-            actions = s.write(Payload::real(buf[..n].to_vec()), self.grid.inner.clock.now());
+            s.write(
+                Payload::real(buf[..n].to_vec()),
+                self.grid.inner.clock.now(),
+            );
         }
-        drive_write(&self.grid, &self.shared, actions);
+        pump_session(&self.grid, &self.shared);
         Ok(n)
     }
 
@@ -644,11 +736,11 @@ impl WriteHandle {
     /// [`GridError::SessionFailed`] if any chunk could not be stored.
     pub fn finish(mut self) -> Result<WriteStats, GridError> {
         self.finished = true;
-        let actions = {
-            let mut s = self.shared.session.lock();
-            s.close(self.grid.inner.clock.now())
-        };
-        drive_write(&self.grid, &self.shared, actions);
+        self.shared
+            .session
+            .lock()
+            .close(self.grid.inner.clock.now());
+        pump_session(&self.grid, &self.shared);
         let deadline = std::time::Instant::now() + self.grid.inner.timeout;
         let mut s = self.shared.session.lock();
         loop {
@@ -665,9 +757,7 @@ impl WriteHandle {
             if std::time::Instant::now() > deadline {
                 return Err(GridError::Timeout);
             }
-            self.shared
-                .cv
-                .wait_for(&mut s, Duration::from_millis(100));
+            self.shared.cv.wait_for(&mut s, Duration::from_millis(100));
         }
     }
 }
@@ -676,15 +766,19 @@ impl Drop for WriteHandle {
     fn drop(&mut self) {
         if !self.finished {
             // Abandoned write: release the reservation; GC reclaims chunks.
-            let actions = {
+            let closed = {
                 let mut s = self.shared.session.lock();
-                match s.state() {
-                    SessionState::Open => s.close(self.grid.inner.clock.now()),
-                    _ => Vec::new(),
+                if s.state() == SessionState::Open {
+                    s.close(self.grid.inner.clock.now());
+                    true
+                } else {
+                    false
                 }
             };
             // Best effort: we do not wait for completion.
-            drive_write(&self.grid, &self.shared, actions);
+            if closed {
+                pump_session(&self.grid, &self.shared);
+            }
             let _ = std::fs::remove_file(&self.shared.stage_path);
         }
     }
@@ -692,15 +786,10 @@ impl Drop for WriteHandle {
 
 // -------------------------------------------------------------------- read
 
-struct ReadShared {
-    session: Mutex<ReadSession>,
-    cv: Condvar,
-}
-
 /// A read handle over one committed version.
 pub struct ReadHandle {
     grid: Grid,
-    shared: Arc<ReadShared>,
+    shared: Arc<SessionShared<ReadSession>>,
     buffer: Vec<u8>,
     buffer_pos: usize,
 }
@@ -708,32 +797,6 @@ pub struct ReadHandle {
 impl fmt::Debug for ReadHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReadHandle").finish_non_exhaustive()
-    }
-}
-
-fn drive_read(grid: &Grid, shared: &Arc<ReadShared>, actions: Vec<ReadAction>) {
-    let mut work = actions;
-    while !work.is_empty() {
-        let mut next = Vec::new();
-        for ReadAction::Send { to, msg } in work {
-            let req = msg.request_id().expect("gets correlate");
-            grid.inner
-                .routes
-                .lock()
-                .insert(req, Route::Read(Arc::clone(shared)));
-            let ok = grid
-                .benefactor_conn(to)
-                .and_then(|c| c.send(&msg).map_err(GridError::from))
-                .is_ok();
-            if !ok {
-                grid.inner.routes.lock().remove(&req);
-                let now = grid.inner.clock.now();
-                let mut s = shared.session.lock();
-                next.extend(s.on_get_failed(req, now));
-                shared.cv.notify_all();
-            }
-        }
-        work = next;
     }
 }
 
@@ -766,14 +829,12 @@ impl Read for ReadHandle {
                 return Ok(n);
             }
             let deadline = std::time::Instant::now() + self.grid.inner.timeout;
-            let actions;
             {
                 let mut s = self.shared.session.lock();
                 loop {
                     if let Some((_, payload)) = s.next_ready() {
                         self.buffer = payload.bytes().to_vec();
                         self.buffer_pos = 0;
-                        actions = s.poll(self.grid.inner.clock.now());
                         break;
                     }
                     match s.state() {
@@ -789,12 +850,11 @@ impl Read for ReadHandle {
                     if std::time::Instant::now() > deadline {
                         return Err(io::Error::new(io::ErrorKind::TimedOut, "read stalled"));
                     }
-                    self.shared
-                        .cv
-                        .wait_for(&mut s, Duration::from_millis(100));
+                    self.shared.cv.wait_for(&mut s, Duration::from_millis(100));
                 }
             }
-            drive_read(&self.grid, &self.shared, actions);
+            // Delivering freed a window slot: refill the read-ahead.
+            pump_session(&self.grid, &self.shared);
             if self.buffer.is_empty() {
                 continue;
             }

@@ -1,15 +1,54 @@
 //! Framed TCP connection helpers shared by servers and clients.
 
 use std::io;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use stdchk_proto::frame::{read_frame, write_frame};
 use stdchk_proto::msg::Msg;
 use stdchk_util::Time;
+
+/// Default connect/write timeout for outbound connections. A dead manager
+/// or benefactor fails a dial fast instead of hanging the calling thread in
+/// the kernel's (minutes-long) TCP connect timeout.
+pub const DIAL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Connects to `addr` with a connect timeout, and arms the stream with a
+/// write timeout so senders can never block forever on a stalled peer.
+///
+/// # Errors
+///
+/// Address resolution failures, connect timeouts, and socket errors.
+pub fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let mut last_err = io::Error::other(format!("{addr}: no addresses resolved"));
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, timeout) {
+            Ok(stream) => {
+                stream.set_write_timeout(Some(timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Reads one frame with a temporary read timeout (handshakes), restoring
+/// the stream to blocking afterwards.
+///
+/// # Errors
+///
+/// Timeouts surface as [`io::ErrorKind::WouldBlock`]/`TimedOut`; transport
+/// errors pass through.
+pub fn read_frame_timeout(stream: &mut TcpStream, timeout: Duration) -> io::Result<Option<Msg>> {
+    stream.set_read_timeout(Some(timeout))?;
+    let r = read_frame(&mut *stream);
+    stream.set_read_timeout(None)?;
+    r
+}
 
 /// Process-wide clock mapping wall time onto the protocol's [`Time`].
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +114,11 @@ impl Sender {
     pub fn send(&self, msg: &Msg) -> io::Result<()> {
         let mut s = self.stream.lock();
         write_frame(&mut *s, msg)
+    }
+
+    /// True when both handles wrap the same underlying socket.
+    pub fn same_channel(&self, other: &Sender) -> bool {
+        Arc::ptr_eq(&self.stream, &other.stream)
     }
 
     /// Shuts the socket down, unblocking any reader.

@@ -1,0 +1,283 @@
+//! The generic event loop driving any sans-IO [`Node`] over real threads.
+//!
+//! `stdchk-net` used to wire each role (manager, benefactor) with its own
+//! dispatch, timer thread, and completion plumbing. [`NodeHost`] replaces
+//! all of that with one loop shared by every role:
+//!
+//! - reader threads feed inbound messages through [`NodeHost::deliver`];
+//! - [`run_node`] is the event loop: it fires [`Node::handle_timeout`] when
+//!   the deadline from [`Node::poll_timeout`] arrives and sleeps exactly
+//!   until the next one (woken early whenever an input may have re-armed a
+//!   timer);
+//! - after every input the host drains [`Node::poll_action`] **in batches**
+//!   — actions are popped under the lock in groups, then executed without
+//!   holding the node, so socket and disk I/O never serialize protocol
+//!   handling;
+//! - role-specific behaviour is reduced to an [`Effects`] implementation:
+//!   "transmit this message", "store/load this chunk". Effects return
+//!   [`Completion`]s that the host feeds straight back.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use stdchk_core::node::{Action, Completion, Node};
+use stdchk_proto::ids::NodeId;
+use stdchk_proto::msg::Msg;
+
+use crate::conn::Clock;
+
+/// Actions popped per lock acquisition while draining (shared by
+/// [`NodeHost::pump`] and the client's session pump).
+pub const ACTION_BATCH: usize = 32;
+
+/// Longest uninterrupted timer sleep (a safety net against missed wakeups;
+/// the loop normally sleeps exactly to [`Node::poll_timeout`]).
+const MAX_TIMER_SLEEP: Duration = Duration::from_millis(500);
+
+/// Role-specific execution of unified actions. Implementations are cheap
+/// handles (connection registries, blob stores) shared across threads.
+///
+/// All routing state must live in the implementation (connection
+/// registries keyed by node id): actions from the shared queue may be
+/// executed by *any* pumping thread — a timer tick may transmit a reply
+/// another connection's message produced — so effects cannot depend on
+/// which thread delivered the triggering input.
+pub trait Effects: Send + Sync + 'static {
+    /// Executes one action. Returns the resulting completion for
+    /// synchronous effects (blob-store writes); `None` when there is
+    /// nothing to report.
+    fn execute(&self, action: Action) -> Option<Completion>;
+}
+
+/// A sans-IO node hosted behind a lock, with a shared clock, an effects
+/// executor, and a timer the event loop sleeps on.
+pub struct NodeHost<N, E> {
+    node: Mutex<N>,
+    clock: Clock,
+    effects: E,
+    timer_gate: Mutex<()>,
+    timer_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
+    /// Hosts `node`.
+    pub fn new(node: N, clock: Clock, effects: E) -> Arc<NodeHost<N, E>> {
+        Arc::new(NodeHost {
+            node: Mutex::new(node),
+            clock,
+            effects,
+            timer_gate: Mutex::new(()),
+            timer_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The host's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The role-specific effects executor.
+    pub fn effects(&self) -> &E {
+        &self.effects
+    }
+
+    /// Runs `f` against the node (accessors, invariant audits).
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut N) -> R) -> R {
+        f(&mut self.node.lock())
+    }
+
+    /// Feeds one inbound message, then drains resulting actions.
+    pub fn deliver(&self, from: NodeId, msg: Msg) {
+        let now = self.clock.now();
+        self.node.lock().handle(from, msg, now);
+        self.pump();
+        // Handling a message may have armed an earlier timer.
+        self.timer_cv.notify_all();
+    }
+
+    /// Feeds one completion (for asynchronous effects), then drains.
+    pub fn complete(&self, completion: Completion) {
+        let now = self.clock.now();
+        self.node.lock().handle_completion(completion, now);
+        self.pump();
+        self.timer_cv.notify_all();
+    }
+
+    /// Drains `poll_action` in batches: pop up to [`ACTION_BATCH`] actions
+    /// under the lock, execute them lock-free, feed completions back,
+    /// repeat until the queue is empty.
+    pub fn pump(&self) {
+        let mut batch = Vec::with_capacity(ACTION_BATCH);
+        loop {
+            {
+                let mut node = self.node.lock();
+                while batch.len() < ACTION_BATCH {
+                    match node.poll_action() {
+                        Some(a) => batch.push(a),
+                        None => break,
+                    }
+                }
+            }
+            if batch.is_empty() {
+                return;
+            }
+            let mut completions = Vec::new();
+            for action in batch.drain(..) {
+                if let Some(c) = self.effects.execute(action) {
+                    completions.push(c);
+                }
+            }
+            if !completions.is_empty() {
+                let now = self.clock.now();
+                let mut node = self.node.lock();
+                for c in completions {
+                    node.handle_completion(c, now);
+                }
+            }
+        }
+    }
+
+    /// Stops [`run_node`] loops on this host.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.timer_cv.notify_all();
+    }
+
+    /// True once [`NodeHost::shutdown`] ran.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// The generic event loop: fires due timers, drains actions, and sleeps
+/// until the node's next deadline. Blocks until [`NodeHost::shutdown`].
+///
+/// One `run_node` thread per host; reader threads deliver messages
+/// concurrently through [`NodeHost::deliver`].
+pub fn run_node<N: Node + Send + 'static, E: Effects>(host: &NodeHost<N, E>) {
+    while !host.is_shutdown() {
+        let now = host.clock.now();
+        let next = {
+            let mut node = host.node.lock();
+            if node.poll_timeout().is_some_and(|t| t <= now) {
+                node.handle_timeout(now);
+            }
+            node.poll_timeout()
+        };
+        host.pump();
+        let now = host.clock.now();
+        let sleep = match next {
+            Some(t) if t <= now => Duration::from_millis(1), // re-armed and already due
+            Some(t) => Duration::from_nanos(t.as_nanos() - now.as_nanos()),
+            None => MAX_TIMER_SLEEP,
+        }
+        .clamp(Duration::from_millis(1), MAX_TIMER_SLEEP);
+        let mut gate = host.timer_gate.lock();
+        if host.is_shutdown() {
+            return;
+        }
+        host.timer_cv.wait_for(&mut gate, sleep);
+    }
+}
+
+/// Spawns the [`run_node`] event loop on a named thread.
+pub fn spawn_node_loop<N: Node + Send + 'static, E: Effects>(
+    name: &str,
+    host: Arc<NodeHost<N, E>>,
+) {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || run_node(&host))
+        .expect("spawn node loop");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+    use stdchk_core::node::ActionQueue;
+    use stdchk_proto::ids::RequestId;
+    use stdchk_util::Time;
+
+    /// A trivial node: echoes every message back to its sender and ticks a
+    /// counter on each timeout.
+    struct Echo {
+        q: ActionQueue,
+        ticks: u32,
+        next_deadline: Option<Time>,
+    }
+
+    impl Node for Echo {
+        fn handle(&mut self, from: NodeId, msg: Msg, _now: Time) {
+            self.q.send(from, msg);
+        }
+
+        fn handle_timeout(&mut self, now: Time) {
+            self.ticks += 1;
+            self.next_deadline = Some(now + stdchk_util::Dur::from_millis(5));
+        }
+
+        fn poll_action(&mut self) -> Option<Action> {
+            self.q.pop()
+        }
+
+        fn poll_timeout(&self) -> Option<Time> {
+            self.next_deadline
+        }
+    }
+
+    #[derive(Default)]
+    struct Captured(PlMutex<Vec<(NodeId, Msg)>>);
+
+    impl Effects for Arc<Captured> {
+        fn execute(&self, action: Action) -> Option<Completion> {
+            if let Action::Send { to, msg } = action {
+                self.0.lock().push((to, msg));
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn deliver_drains_through_effects() {
+        let sink = Arc::new(Captured::default());
+        let host = NodeHost::new(
+            Echo {
+                q: ActionQueue::new(),
+                ticks: 0,
+                next_deadline: Some(Time::ZERO),
+            },
+            Clock::new(),
+            Arc::clone(&sink),
+        );
+        host.deliver(NodeId(9), Msg::Ack { req: RequestId(1) });
+        let got = sink.0.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, NodeId(9));
+    }
+
+    #[test]
+    fn run_node_fires_timers_until_shutdown() {
+        let sink = Arc::new(Captured::default());
+        let host = NodeHost::new(
+            Echo {
+                q: ActionQueue::new(),
+                ticks: 0,
+                next_deadline: Some(Time::ZERO),
+            },
+            Clock::new(),
+            Arc::clone(&sink),
+        );
+        let h2 = Arc::clone(&host);
+        let t = std::thread::spawn(move || run_node(&h2));
+        std::thread::sleep(Duration::from_millis(40));
+        host.shutdown();
+        t.join().unwrap();
+        assert!(host.with_node(|n| n.ticks) >= 2, "timer loop must re-fire");
+    }
+}

@@ -10,6 +10,14 @@
 //! - [`Grid`] — the client proxy: `create()`/`open()` handles implementing
 //!   `std::io::{Write, Read}` plus metadata operations.
 //!
+//! All three drive their state machines through the unified
+//! [`Node`](stdchk_core::Node) API: the servers share one generic
+//! [`NodeHost`]/[`run_node`] event loop (reader threads deliver messages,
+//! maintenance fires from `poll_timeout`, actions drain in batches through
+//! a per-role [`Effects`] executor), and the client pumps its sessions
+//! through the same `poll_action` loop. Outbound dials use connect/write
+//! timeouts ([`conn::dial`]) so dead peers fail fast.
+//!
 //! Threading is deliberately simple (thread-per-connection): a desktop grid
 //! pool is tens of nodes with long-lived bulk transfers, where blocking I/O
 //! is both adequate and easy to reason about.
@@ -42,9 +50,11 @@
 pub mod benefactor_server;
 pub mod client;
 pub mod conn;
+pub mod driver;
 pub mod manager_server;
 pub mod store;
 
 pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
 pub use client::{Grid, GridError, ReadHandle, WriteHandle, WriteOptions};
+pub use driver::{run_node, Effects, NodeHost};
 pub use manager_server::ManagerServer;

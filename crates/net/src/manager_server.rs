@@ -1,57 +1,79 @@
 //! The metadata manager as a TCP server.
 //!
-//! Thread-per-connection around the sans-IO [`Manager`] state machine. A
-//! connection registry keyed by node id routes manager-initiated messages
-//! (replication commands, deferred pessimistic commit acks, chunk deletions)
-//! to the right socket; everything else flows back on the connection that
-//! carried the request.
+//! Thread-per-connection around the sans-IO [`Manager`], driven entirely
+//! through the unified [`Node`](stdchk_core::Node) API by the generic
+//! [`NodeHost`] event loop: reader threads call `deliver`, the shared
+//! [`run_node`] loop fires maintenance from `poll_timeout`, and the only
+//! manager-specific code left is [`MgrEffects`] — a connection registry
+//! that knows how to transmit.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use stdchk_core::node::{Action, Completion};
 use stdchk_core::{Manager, ManagerStats, PoolConfig};
 use stdchk_proto::ids::NodeId;
 use stdchk_proto::msg::{Msg, Role};
 
 use crate::conn::{read_loop, Clock, Sender};
+use crate::driver::{spawn_node_loop, Effects, NodeHost};
 
 /// Base of the per-connection client node-id namespace (far above any
 /// benefactor id the manager will ever assign).
 pub const CLIENT_NET_BASE: u64 = 1 << 48;
 
-struct MgrState {
-    mgr: Mutex<Manager>,
-    clock: Clock,
+/// Base of the synthetic id namespace for anonymous helper connections
+/// (pre-join benefactors, resolver sidebands). Every connection is bound in
+/// the registry under *some* id so any pumping thread can route replies.
+pub const HELPER_NET_BASE: u64 = 1 << 49;
+
+/// Transmit-only effects for the manager: a registry of live connections
+/// keyed by node id. The manager performs no disk or stage I/O.
+pub struct MgrEffects {
     conns: Mutex<HashMap<NodeId, Sender>>,
     next_client: AtomicU64,
-    shutdown: AtomicBool,
+    next_helper: AtomicU64,
 }
 
-impl MgrState {
-    fn route(&self, origin: Option<(NodeId, &Sender)>, sends: Vec<stdchk_core::Send>) {
-        for s in sends {
-            let sent = match origin {
-                Some((from, conn)) if s.to == from => conn.send(&s.msg).is_ok(),
-                _ => match self.conns.lock().get(&s.to) {
-                    Some(conn) => conn.send(&s.msg).is_ok(),
-                    None => false,
-                },
-            };
-            let _ = sent; // unreachable peers are soft-state; timers recover
+impl MgrEffects {
+    fn bind(&self, node: NodeId, conn: &Sender) {
+        self.conns.lock().insert(node, conn.clone());
+    }
+
+    /// Unbinds `node` only while it still points at `conn`: a reconnect may
+    /// already have rebound the id to a fresh connection.
+    fn unbind_if(&self, node: NodeId, conn: &Sender) {
+        let mut conns = self.conns.lock();
+        if conns.get(&node).is_some_and(|c| c.same_channel(conn)) {
+            conns.remove(&node);
         }
+    }
+}
+
+impl Effects for Arc<MgrEffects> {
+    fn execute(&self, action: Action) -> Option<Completion> {
+        let Action::Send { to, msg } = action else {
+            unreachable!("manager only transmits");
+        };
+        let conn = self.conns.lock().get(&to).cloned();
+        if let Some(conn) = conn {
+            let _ = conn.send(&msg);
+        }
+        // Unreachable peers are dropped: they are soft-state; their timers
+        // re-register and re-request.
+        None
     }
 }
 
 /// A running manager server.
 pub struct ManagerServer {
-    state: Arc<MgrState>,
+    host: Arc<NodeHost<Manager, Arc<MgrEffects>>>,
     addr: SocketAddr,
 }
 
@@ -72,53 +94,39 @@ impl ManagerServer {
     pub fn spawn(listen: &str, cfg: PoolConfig) -> io::Result<ManagerServer> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(MgrState {
-            mgr: Mutex::new(Manager::new(cfg)),
-            clock: Clock::new(),
+        let effects = Arc::new(MgrEffects {
             conns: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(CLIENT_NET_BASE),
-            shutdown: AtomicBool::new(false),
+            next_helper: AtomicU64::new(HELPER_NET_BASE),
         });
+        let host = NodeHost::new(Manager::new(cfg), Clock::new(), effects);
 
-        // Maintenance ticker.
-        {
-            let state = Arc::clone(&state);
-            thread::Builder::new()
-                .name("stdchk-mgr-tick".into())
-                .spawn(move || loop {
-                    if state.shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    thread::sleep(Duration::from_millis(100));
-                    let now = state.clock.now();
-                    let sends = state.mgr.lock().tick(now);
-                    state.route(None, sends);
-                })
-                .expect("spawn ticker");
-        }
+        // The generic event loop replaces the bespoke maintenance ticker:
+        // wakeups come from Manager::poll_timeout.
+        spawn_node_loop("stdchk-mgr-node", Arc::clone(&host));
 
         // Accept loop.
         {
-            let state = Arc::clone(&state);
+            let host = Arc::clone(&host);
             thread::Builder::new()
                 .name("stdchk-mgr-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if state.shutdown.load(Ordering::Relaxed) {
+                        if host.is_shutdown() {
                             return;
                         }
                         let Ok(stream) = stream else { continue };
-                        let state = Arc::clone(&state);
+                        let host = Arc::clone(&host);
                         thread::Builder::new()
                             .name("stdchk-mgr-conn".into())
-                            .spawn(move || serve_conn(state, stream))
+                            .spawn(move || serve_conn(host, stream))
                             .expect("spawn conn");
                     }
                 })
                 .expect("spawn accept");
         }
 
-        Ok(ManagerServer { state, addr })
+        Ok(ManagerServer { host, addr })
     }
 
     /// The bound address clients and benefactors dial.
@@ -128,12 +136,12 @@ impl ManagerServer {
 
     /// Current manager counters.
     pub fn stats(&self) -> ManagerStats {
-        self.state.mgr.lock().stats()
+        self.host.with_node(|m| m.stats())
     }
 
     /// Online benefactor count (for tests and examples).
     pub fn online_benefactors(&self) -> usize {
-        self.state.mgr.lock().online_benefactors()
+        self.host.with_node(|m| m.online_benefactors())
     }
 
     /// Runs the manager's metadata invariant audit.
@@ -142,16 +150,16 @@ impl ManagerServer {
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
-        self.state.mgr.lock().check_invariants();
+        self.host.with_node(|m| m.check_invariants());
     }
 
     /// Stops accepting and ticking. Existing connection threads exit as
     /// their sockets close.
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::Relaxed);
+        self.host.shutdown();
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
-        for (_, conn) in self.state.conns.lock().drain() {
+        for (_, conn) in self.host.effects().conns.lock().drain() {
             conn.shutdown();
         }
     }
@@ -163,74 +171,86 @@ impl Drop for ManagerServer {
     }
 }
 
-fn serve_conn(state: Arc<MgrState>, stream: TcpStream) {
+/// Serves one connection: a small inbound handshake binds the peer in the
+/// registry (real id, client id, or synthetic helper id — every connection
+/// gets one), then every message is delivered through the generic host.
+fn serve_conn(host: Arc<NodeHost<Manager, Arc<MgrEffects>>>, stream: TcpStream) {
     let sender = Sender::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let Ok(reader) = sender.reader() else { return };
 
-    // Handshake: learn who is on the other end. The slot is shared with the
-    // post-loop cleanup.
-    let peer_slot: Arc<Mutex<Option<NodeId>>> = Arc::new(Mutex::new(None));
-    let peer_slot2 = Arc::clone(&peer_slot);
-    let state2 = Arc::clone(&state);
+    // Handshake state: every id this connection was bound under. A helper
+    // id can later be joined by the real node id a heartbeat announces; the
+    // last entry is the current peer identity, and all of them are unbound
+    // when the connection dies. Shared with the post-loop cleanup.
+    let bound_ids: Arc<Mutex<Vec<NodeId>>> = Arc::new(Mutex::new(Vec::new()));
+    let bound_ids2 = Arc::clone(&bound_ids);
+    let host2 = Arc::clone(&host);
     let sender2 = sender.clone();
     read_loop(reader, move |msg| {
-        let now = state2.clock.now();
-        let mut peer_guard = peer_slot2.lock();
-        let peer = *peer_guard;
+        let mut ids = bound_ids2.lock();
+        let peer = ids.last().copied();
         match (&msg, peer) {
-            (Msg::Hello { role: Role::Client, .. }, None) => {
-                let id = NodeId(state2.next_client.fetch_add(1, Ordering::Relaxed));
-                *peer_guard = Some(id);
-                state2.conns.lock().insert(id, sender2.clone());
+            (
+                Msg::Hello {
+                    role: Role::Client, ..
+                },
+                None,
+            ) => {
+                let id = NodeId(host2.effects().next_client.fetch_add(1, Ordering::Relaxed));
+                ids.push(id);
+                host2.effects().bind(id, &sender2);
                 // Tell the client its pool identity.
                 let _ = sender2.send(&Msg::Hello {
                     role: Role::Manager,
                     node: id,
                 });
             }
-            (Msg::Hello { node, .. }, None) => {
+            (Msg::Hello { node, .. }, None) if *node != NodeId(0) => {
                 // Benefactor (or manager peer) announcing an existing id.
-                if *node != NodeId(0) {
-                    *peer_guard = Some(*node);
-                    state2.conns.lock().insert(*node, sender2.clone());
-                }
+                ids.push(*node);
+                host2.effects().bind(*node, &sender2);
+            }
+            (Msg::Hello { .. }, None) => {
+                // Anonymous connection (pre-join benefactor, resolver
+                // sideband): bind a synthetic helper id so replies —
+                // including the JoinOk that assigns the real id — route
+                // through the registry from any thread.
+                let id = NodeId(host2.effects().next_helper.fetch_add(1, Ordering::Relaxed));
+                ids.push(id);
+                host2.effects().bind(id, &sender2);
             }
             _ => {
-                let from = peer.unwrap_or(NodeId(0));
-                let sends = state2.mgr.lock().handle_msg(from, msg.clone(), now);
-                // A join assigns the benefactor's node id: bind this conn
-                // and deliver the JoinOk here — the joiner had no routable
-                // id when the request was processed.
-                if let Msg::JoinRequest { .. } = msg {
-                    for s in &sends {
-                        if let Msg::JoinOk { node, .. } = s.msg {
-                            *peer_guard = Some(node);
-                            state2.conns.lock().insert(node, sender2.clone());
-                            let _ = sender2.send(&s.msg);
-                        }
-                    }
-                    return;
-                }
-                // A heartbeat from a not-yet-bound conn also binds it
-                // (manager restart: benefactors keep their old ids).
+                // A heartbeat binds the announcing node id (manager
+                // restart: benefactors keep their old ids; post-join
+                // benefactors upgrade their helper binding).
                 if let Msg::Heartbeat { node, .. } = msg {
-                    if peer_guard.is_none() {
-                        *peer_guard = Some(node);
-                        state2.conns.lock().insert(node, sender2.clone());
+                    if peer != Some(node) {
+                        ids.push(node);
+                        host2.effects().bind(node, &sender2);
                     }
                 }
-                // Replies addressed to `from` always return on this
-                // connection — including unbound helper connections whose
-                // `from` is the placeholder NodeId(0).
-                state2.route(Some((from, &sender2)), sends);
+                let from = match ids.last().copied() {
+                    Some(id) => id,
+                    None => {
+                        // No Hello at all: bind a helper id on first use.
+                        let id =
+                            NodeId(host2.effects().next_helper.fetch_add(1, Ordering::Relaxed));
+                        ids.push(id);
+                        host2.effects().bind(id, &sender2);
+                        id
+                    }
+                };
+                drop(ids);
+                host2.deliver(from, msg);
             }
         }
     });
-    let bound = *peer_slot.lock();
-    if let Some(id) = bound {
-        state.conns.lock().remove(&id);
+    // Unbind every identity this connection held so the registry never
+    // keeps a Sender to a dead socket.
+    for id in bound_ids.lock().drain(..) {
+        host.effects().unbind_if(id, &sender);
     }
 }

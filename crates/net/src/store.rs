@@ -63,9 +63,7 @@ impl MemStore {
 
 impl ChunkStore for MemStore {
     fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
-        self.blobs
-            .lock()
-            .insert(id, Bytes::from(data.to_vec()));
+        self.blobs.lock().insert(id, Bytes::from(data.to_vec()));
         Ok(())
     }
 

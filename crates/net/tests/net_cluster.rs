@@ -75,7 +75,10 @@ fn sliding_window_roundtrip_over_tcp() {
     let grid = pool.grid();
     let data = payload(300 << 10, 1); // ~5 chunks
     let mut w = grid
-        .create("/app/sw.n0", opts(WriteProtocol::SlidingWindow { buffer: 4 << 20 }))
+        .create(
+            "/app/sw.n0",
+            opts(WriteProtocol::SlidingWindow { buffer: 4 << 20 }),
+        )
         .expect("create");
     w.write_all(&data).expect("write");
     let stats = w.finish().expect("finish");
@@ -114,7 +117,9 @@ fn incremental_write_roundtrip_over_tcp() {
     let mut w = grid
         .create(
             "/app/iw.n0",
-            opts(WriteProtocol::Incremental { temp_size: 128 << 10 }),
+            opts(WriteProtocol::Incremental {
+                temp_size: 128 << 10,
+            }),
         )
         .expect("create");
     w.write_all(&data).expect("write");
@@ -291,4 +296,32 @@ fn disk_store_benefactor_serves_after_restart() {
     .expect("benefactor restart");
     assert_eq!(b2.chunk_count(), old_chunks, "index adopted from disk");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connect_to_dead_manager_fails_fast() {
+    use stdchk_net::GridError;
+
+    // Closed port: the dial errors immediately instead of hanging.
+    let start = Instant::now();
+    assert!(Grid::connect("127.0.0.1:1").is_err());
+    assert!(
+        start.elapsed() < Duration::from_secs(6),
+        "dead dial must fail within the connect timeout"
+    );
+
+    // Accepting-but-silent manager: the handshake read times out instead of
+    // blocking the caller forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let start = Instant::now();
+    match Grid::connect(&addr) {
+        Err(GridError::Timeout) => {}
+        other => panic!("expected handshake timeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "silent manager must time the handshake out"
+    );
+    drop(listener);
 }

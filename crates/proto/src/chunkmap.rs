@@ -190,13 +190,16 @@ mod tests {
             (ChunkId::test_id(5), vec![NodeId(1), NodeId(2)]),
             (ChunkId::test_id(9), vec![NodeId(3)]),
         ];
-        locs.sort_by(|a, b| a.0.cmp(&b.0));
+        locs.sort_by_key(|a| a.0);
         let view = FileVersionView {
             version: VersionId(1),
             map: ChunkMap::from_entries(vec![entry(5, 1), entry(9, 1)]),
             locations: locs,
         };
-        assert_eq!(view.locations_of(ChunkId::test_id(9)), Some(&[NodeId(3)][..]));
+        assert_eq!(
+            view.locations_of(ChunkId::test_id(9)),
+            Some(&[NodeId(3)][..])
+        );
         assert_eq!(view.locations_of(ChunkId::test_id(42)), None);
     }
 

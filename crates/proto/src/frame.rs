@@ -133,8 +133,8 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    let msg = Msg::from_wire_bytes(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let msg =
+        Msg::from_wire_bytes(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(Some(msg))
 }
 
@@ -198,7 +198,10 @@ mod tests {
         data.extend_from_slice(&[0; 17]);
         assert!(matches!(
             fb.feed(&data),
-            Err(ProtoError::FrameTooLarge { declared: 17, max: 16 })
+            Err(ProtoError::FrameTooLarge {
+                declared: 17,
+                max: 16
+            })
         ));
     }
 

@@ -480,12 +480,15 @@ impl Msg {
             Msg::PutChunk { size, .. } => 64 + *size as u64,
             Msg::GetChunkOk { size, .. } => 64 + *size as u64,
             Msg::CommitChunkMap {
-                entries, placements, ..
+                entries,
+                placements,
+                ..
             } => 64 + entries.len() as u64 * 36 + placements.len() as u64 * 48,
             Msg::CreateFileOk { prev_chunks, .. } => 96 + prev_chunks.len() as u64 * 36,
-            Msg::GcReport { chunks, .. } | Msg::GcReply { deletable: chunks, .. } => {
-                32 + chunks.len() as u64 * 32
-            }
+            Msg::GcReport { chunks, .. }
+            | Msg::GcReply {
+                deletable: chunks, ..
+            } => 32 + chunks.len() as u64 * 32,
             _ => 128,
         }
     }
@@ -1295,8 +1298,8 @@ mod tests {
     fn every_sample_roundtrips() {
         for m in sample_msgs() {
             let bytes = m.to_wire_bytes();
-            let back = Msg::from_wire_bytes(&bytes)
-                .unwrap_or_else(|e| panic!("decode {m:?} failed: {e}"));
+            let back =
+                Msg::from_wire_bytes(&bytes).unwrap_or_else(|e| panic!("decode {m:?} failed: {e}"));
             assert_eq!(m, back);
         }
     }

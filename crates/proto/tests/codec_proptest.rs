@@ -79,7 +79,13 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 replication: rep,
                 expected_chunks: exp,
             }),
-        (any::<u64>(), any::<u64>(), arb_entries(), arb_placements(), any::<bool>())
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_entries(),
+            arb_placements(),
+            any::<bool>()
+        )
             .prop_map(|(r, res, entries, placements, p)| Msg::CommitChunkMap {
                 req: RequestId(r),
                 reservation: ReservationId(res),
@@ -92,7 +98,12 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             file: FileId(f),
             version: VersionId(v),
         }),
-        (any::<u64>(), arb_chunk_id(), proptest::collection::vec(any::<u8>(), 0..2048), any::<bool>())
+        (
+            any::<u64>(),
+            arb_chunk_id(),
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            any::<bool>()
+        )
             .prop_map(|(r, c, data, bg)| Msg::PutChunk {
                 req: RequestId(r),
                 chunk: c,
@@ -117,13 +128,20 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             dir,
             policy,
         }),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(arb_chunk_id(), 0..64))
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_chunk_id(), 0..64)
+        )
             .prop_map(|(r, n, chunks)| Msg::GcReport {
                 req: RequestId(r),
                 node: NodeId(n),
                 chunks,
             }),
-        (any::<u64>(), proptest::collection::vec((arb_chunk_id(), any::<u64>()), 0..16))
+        (
+            any::<u64>(),
+            proptest::collection::vec((arb_chunk_id(), any::<u64>()), 0..16)
+        )
             .prop_map(|(job, pairs)| Msg::ReplicateCmd {
                 job,
                 copies: pairs
@@ -134,8 +152,14 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     })
                     .collect(),
             }),
-        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()).prop_map(
-            |(r, size, versions, mtime, is_dir)| Msg::AttrReply {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(r, size, versions, mtime, is_dir)| Msg::AttrReply {
                 req: RequestId(r),
                 attr: FileAttr {
                     size,
@@ -144,8 +168,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     mtime: Time(mtime),
                     is_dir,
                 },
-            }
-        ),
+            }),
     ]
 }
 

@@ -82,7 +82,10 @@ mod tests {
         assert!(fuse > local, "FUSE adds overhead");
         assert!(null < local / 5.0, "null is much faster than disk");
         let overhead = (fuse - local) / local;
-        assert!(overhead < 0.05, "FUSE overhead should be a few %: {overhead}");
+        assert!(
+            overhead < 0.05,
+            "FUSE overhead should be a few %: {overhead}"
+        );
     }
 
     #[test]

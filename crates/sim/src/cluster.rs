@@ -1,8 +1,11 @@
 //! The discrete-event cluster simulator.
 //!
 //! [`SimCluster`] embeds the *real* stdchk state machines (`Manager`,
-//! `Benefactor`, `WriteSession`) and drives them under virtual time with a
-//! resource model calibrated to the paper's testbed:
+//! `Benefactor`, `WriteSession`) and drives them **uniformly through the
+//! unified [`Node`] API** under virtual time: one dispatcher translates
+//! every [`Action`] into simulated resources, one completion path feeds
+//! [`Completion`]s back, and maintenance fires from each node's
+//! `poll_timeout`. The resource model is calibrated to the paper's testbed:
 //!
 //! - **network**: fluid flows with max-min fair NIC sharing, optional fabric
 //!   cap, strict foreground/background priority ([`crate::flownet`]);
@@ -24,11 +27,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use stdchk_core::node::{Action, Completion, Node};
 use stdchk_core::payload::Payload;
 use stdchk_core::session::write::{
-    OpenGrant, SessionConfig, SessionState, WriteAction, WriteProtocol, WriteSession, WriteStats,
+    OpenGrant, SessionConfig, SessionState, WriteProtocol, WriteSession, WriteStats,
 };
-use stdchk_core::{Benefactor, BenefactorAction, BenefactorConfig, Manager, PoolConfig, MANAGER_NODE};
+use stdchk_core::{Benefactor, BenefactorConfig, Manager, PoolConfig, MANAGER_NODE};
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::Msg;
 use stdchk_util::{mix64, Dur, Time};
@@ -82,9 +86,11 @@ impl SimConfig {
     /// The paper's LAN testbed: GigE NICs (≈117 MB/s usable), 86.2 MB/s
     /// disks, 32 µs FUSE crossings (§V.A).
     pub fn gige(benefactors: usize, clients: usize) -> SimConfig {
-        let mut pool = PoolConfig::default();
-        pool.heartbeat_every = Dur::from_secs(2);
-        pool.benefactor_timeout = Dur::from_secs(6);
+        let pool = PoolConfig {
+            heartbeat_every: Dur::from_secs(2),
+            benefactor_timeout: Dur::from_secs(6),
+            ..PoolConfig::default()
+        };
         SimConfig {
             benefactors,
             clients,
@@ -224,6 +230,8 @@ struct BenefNode {
     sm: Benefactor,
     disk: Disk,
     gated: bool,
+    /// Earliest maintenance wakeup currently sitting in the event heap.
+    next_tick: Time,
 }
 
 #[derive(Debug)]
@@ -260,10 +268,26 @@ struct FlowLoad {
 
 #[derive(Debug)]
 enum DiskKind {
-    BenefStore { bi: usize, op: u64, bytes: u64 },
-    BenefLoad { bi: usize, op: u64, chunk: ChunkId, size: u32 },
-    StageAppend { ci: usize, op: u64 },
-    StageFetch { ci: usize, op: u64, size: u32 },
+    BenefStore {
+        bi: usize,
+        op: u64,
+        bytes: u64,
+    },
+    BenefLoad {
+        bi: usize,
+        op: u64,
+        chunk: ChunkId,
+        size: u32,
+    },
+    StageAppend {
+        ci: usize,
+        op: u64,
+    },
+    StageFetch {
+        ci: usize,
+        op: u64,
+        size: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -300,6 +324,14 @@ impl Ord for Sched {
     }
 }
 
+/// Addresses one simulated node for uniform `Node`-API dispatch.
+#[derive(Clone, Copy, Debug)]
+enum NodeRef {
+    Mgr,
+    Benef(usize),
+    Client(usize),
+}
+
 /// The simulator. Build with [`SimCluster::new`], enqueue jobs with
 /// [`SimCluster::submit`], execute with [`SimCluster::run`].
 pub struct SimCluster {
@@ -318,6 +350,7 @@ pub struct SimCluster {
     next_sid: u64,
     next_fresh_tag: u64,
     tick_stop: Option<Time>,
+    mgr_next_tick: Time,
 }
 
 impl SimCluster {
@@ -358,6 +391,7 @@ impl SimCluster {
                     busy_until: Time::ZERO,
                 },
                 gated: false,
+                next_tick: Time::MAX,
             });
         }
         let mut clients = Vec::new();
@@ -390,10 +424,11 @@ impl SimCluster {
             next_sid: 1,
             next_fresh_tag: 1,
             tick_stop: None,
+            mgr_next_tick: Time::MAX,
         };
-        sim.schedule(Dur::from_millis(200), Ev::MgrTick);
+        sim.schedule_next_timeout(NodeRef::Mgr);
         for i in 0..sim.benefs.len() {
-            sim.schedule(sim.cfg.pool.heartbeat_every / 2, Ev::BenefTick(i));
+            sim.schedule_next_timeout(NodeRef::Benef(i));
         }
         sim
     }
@@ -493,17 +528,19 @@ impl SimCluster {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::MgrTick => {
-                let sends = self.mgr.tick(self.now);
-                self.dispatch_from(MANAGER_NODE, sends.into_iter().map(|s| (s.to, s.msg)), None);
+                self.mgr_next_tick = Time::MAX;
+                self.mgr.handle_timeout(self.now);
+                self.drive(NodeRef::Mgr);
                 if self.ticks_enabled() {
-                    self.schedule(Dur::from_millis(200), Ev::MgrTick);
+                    self.schedule_next_timeout(NodeRef::Mgr);
                 }
             }
             Ev::BenefTick(bi) => {
-                let actions = self.benefs[bi].sm.tick(self.now);
-                self.apply_benef_actions(bi, actions);
+                self.benefs[bi].next_tick = Time::MAX;
+                self.benefs[bi].sm.handle_timeout(self.now);
+                self.drive(NodeRef::Benef(bi));
                 if self.ticks_enabled() {
-                    self.schedule(self.cfg.pool.heartbeat_every / 2, Ev::BenefTick(bi));
+                    self.schedule_next_timeout(NodeRef::Benef(bi));
                 }
             }
             Ev::Deliver { from, to, msg } => self.route(from, to, msg, None),
@@ -516,7 +553,9 @@ impl SimCluster {
                 for flow in done {
                     let load = flow.payload;
                     if let Some((ci, req)) = load.notify {
-                        self.with_session(ci, |s, now| s.on_put_sent(req, now));
+                        self.with_session(ci, |s, now| {
+                            s.handle_completion(Completion::SendDone { req }, now);
+                        });
                     }
                     self.route(load.from, load.to, load.msg, None);
                 }
@@ -525,6 +564,36 @@ impl SimCluster {
             Ev::AppWrite { ci, n, tag } => self.app_write(ci, n, tag),
             Ev::DiskDone(kind) => self.disk_done(kind),
             Ev::ClientStart { ci } => self.client_start(ci),
+        }
+    }
+
+    /// Schedules the next maintenance wakeup for `nr` from its
+    /// `poll_timeout` — timer coalescing instead of fixed-period ticking.
+    /// Called after ticks *and* after message handling: an input may arm a
+    /// deadline earlier than the wakeup already sitting in the heap.
+    fn schedule_next_timeout(&mut self, nr: NodeRef) {
+        let (deadline, scheduled, ev) = match nr {
+            NodeRef::Mgr => (self.mgr.poll_timeout(), self.mgr_next_tick, Ev::MgrTick),
+            NodeRef::Benef(bi) => (
+                self.benefs[bi].sm.poll_timeout(),
+                self.benefs[bi].next_tick,
+                Ev::BenefTick(bi),
+            ),
+            NodeRef::Client(_) => return, // sessions have no timers
+        };
+        if let Some(t) = deadline {
+            // The +1ns nudge steps over strict `<` expiry comparisons so a
+            // deadline can never reschedule itself at the same instant.
+            let at = t.max(self.now) + Dur::from_nanos(1);
+            if at >= scheduled {
+                return; // an equal-or-earlier wakeup is already queued
+            }
+            match nr {
+                NodeRef::Mgr => self.mgr_next_tick = at,
+                NodeRef::Benef(bi) => self.benefs[bi].next_tick = at,
+                NodeRef::Client(_) => unreachable!(),
+            }
+            self.schedule_at(at, ev);
         }
     }
 
@@ -542,7 +611,13 @@ impl SimCluster {
         for (to, msg) in msgs {
             let is_data = matches!(msg, Msg::PutChunk { .. } | Msg::GetChunkOk { .. });
             if is_data && to != MANAGER_NODE {
-                let background = matches!(msg, Msg::PutChunk { background: true, .. });
+                let background = matches!(
+                    msg,
+                    Msg::PutChunk {
+                        background: true,
+                        ..
+                    }
+                );
                 let notify = match (&msg, notify_client) {
                     (Msg::PutChunk { req, .. }, Some(ci)) => Some((ci, *req)),
                     _ => None,
@@ -583,42 +658,131 @@ impl SimCluster {
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: Msg, _ctx: Option<()>) {
         if to == MANAGER_NODE {
-            let sends = self.mgr.handle_msg(from, msg, self.now);
-            self.dispatch_from(MANAGER_NODE, sends.into_iter().map(|s| (s.to, s.msg)), None);
+            self.mgr.handle(from, msg, self.now);
+            self.drive(NodeRef::Mgr);
+            if self.ticks_enabled() {
+                self.schedule_next_timeout(NodeRef::Mgr);
+            }
         } else if to.as_u64() >= CLIENT_BASE {
             let ci = (to.as_u64() - CLIENT_BASE) as usize;
             self.client_msg(ci, msg);
         } else {
             let bi = (to.as_u64() - BENEF_BASE) as usize;
             if bi < self.benefs.len() {
-                let actions = self.benefs[bi].sm.handle_msg(from, msg, self.now);
-                self.apply_benef_actions(bi, actions);
+                self.benefs[bi].sm.handle(from, msg, self.now);
+                self.drive(NodeRef::Benef(bi));
+                if self.ticks_enabled() {
+                    self.schedule_next_timeout(NodeRef::Benef(bi));
+                }
             }
         }
     }
 
-    // ------------------------------------------------------------ benefactors
+    // ------------------------------------------------ uniform dispatch
 
-    fn apply_benef_actions(&mut self, bi: usize, actions: Vec<BenefactorAction>) {
-        let node = NodeId(BENEF_BASE + bi as u64);
-        for a in actions {
-            match a {
-                BenefactorAction::Send { to, msg } => {
-                    self.dispatch_from(node, std::iter::once((to, msg)), None);
-                }
-                BenefactorAction::Store { op, payload, .. } => {
-                    let bytes = payload.len();
-                    let fin = self.benefs[bi].disk.schedule(self.now, bytes);
-                    self.schedule_at(fin, Ev::DiskDone(DiskKind::BenefStore { bi, op, bytes }));
-                    self.update_gate(bi);
-                }
-                BenefactorAction::Load { op, chunk, size } => {
-                    let fin = self.benefs[bi].disk.schedule(self.now, size as u64);
-                    self.schedule_at(fin, Ev::DiskDone(DiskKind::BenefLoad { bi, op, chunk, size }));
-                    self.update_gate(bi);
-                }
-                BenefactorAction::Drop { .. } => {}
+    /// Drains `poll_action()` from one node and translates every unified
+    /// [`Action`] into the simulated resource it costs: sends become flows
+    /// or control messages, chunk I/O lands on the owning node's disk,
+    /// stage I/O on the client disk or page cache. This single dispatcher
+    /// replaces the per-role action appliers.
+    fn drive(&mut self, nr: NodeRef) {
+        loop {
+            let action = match nr {
+                NodeRef::Mgr => self.mgr.poll_action(),
+                NodeRef::Benef(bi) => self.benefs[bi].sm.poll_action(),
+                NodeRef::Client(ci) => match &mut self.clients[ci].active {
+                    Some(ClientActive::Writing(w)) => w.session.poll_action(),
+                    _ => None,
+                },
+            };
+            let Some(action) = action else { break };
+            self.execute(nr, action);
+        }
+    }
+
+    fn execute(&mut self, nr: NodeRef, action: Action) {
+        match action {
+            Action::Send { to, msg } => {
+                let (from, notify) = match nr {
+                    NodeRef::Mgr => (MANAGER_NODE, None),
+                    NodeRef::Benef(bi) => (NodeId(BENEF_BASE + bi as u64), None),
+                    NodeRef::Client(ci) => (self.clients[ci].node, Some(ci)),
+                };
+                self.dispatch_from(from, std::iter::once((to, msg)), notify);
             }
+            Action::Store { op, payload, .. } => {
+                let NodeRef::Benef(bi) = nr else {
+                    unreachable!("chunk stores run on benefactors");
+                };
+                let bytes = payload.len();
+                let fin = self.benefs[bi].disk.schedule(self.now, bytes);
+                self.schedule_at(fin, Ev::DiskDone(DiskKind::BenefStore { bi, op, bytes }));
+                self.update_gate(bi);
+            }
+            Action::Load { op, chunk, size } => {
+                let NodeRef::Benef(bi) = nr else {
+                    unreachable!("chunk loads run on benefactors");
+                };
+                let fin = self.benefs[bi].disk.schedule(self.now, size as u64);
+                self.schedule_at(
+                    fin,
+                    Ev::DiskDone(DiskKind::BenefLoad {
+                        bi,
+                        op,
+                        chunk,
+                        size,
+                    }),
+                );
+                self.update_gate(bi);
+            }
+            Action::DropChunk { .. } => {}
+            Action::StageAppend { op, payload, .. } => {
+                let NodeRef::Client(ci) = nr else {
+                    unreachable!("staging runs on clients");
+                };
+                match self.client_protocol(ci) {
+                    Some(WriteProtocol::CompleteLocal) => {
+                        let fin = self.clients[ci].disk.schedule(self.now, payload.len());
+                        self.schedule_at(fin, Ev::DiskDone(DiskKind::StageAppend { ci, op }));
+                    }
+                    _ => {
+                        // IW temps: absorbed by the page cache at memcpy
+                        // speed; they are deleted after push, before
+                        // writeback persists them.
+                        let d = Dur::for_bytes(payload.len(), self.cfg.memcpy_rate);
+                        self.schedule(d, Ev::DiskDone(DiskKind::StageAppend { ci, op }));
+                    }
+                }
+            }
+            Action::StageFetch { op, len, .. } => {
+                let NodeRef::Client(ci) = nr else {
+                    unreachable!("staging runs on clients");
+                };
+                match self.client_protocol(ci) {
+                    Some(WriteProtocol::CompleteLocal) => {
+                        let fin = self.clients[ci].disk.schedule(self.now, len as u64);
+                        self.schedule_at(
+                            fin,
+                            Ev::DiskDone(DiskKind::StageFetch { ci, op, size: len }),
+                        );
+                    }
+                    _ => {
+                        // Cache hit.
+                        self.schedule(
+                            Dur::from_nanos(1),
+                            Ev::DiskDone(DiskKind::StageFetch { ci, op, size: len }),
+                        );
+                    }
+                }
+            }
+            Action::StageDiscard { .. } => {}
+        }
+    }
+
+    fn client_protocol(&self, ci: usize) -> Option<WriteProtocol> {
+        match &self.clients[ci].active {
+            Some(ClientActive::Writing(w)) => Some(w.job.session.protocol),
+            _ => None,
         }
     }
 
@@ -712,13 +876,14 @@ impl SimCluster {
                             job.session.clone(),
                             self.now,
                         );
-                        self.clients[ci].active = Some(ClientActive::Writing(Box::new(ActiveWrite {
-                            job,
-                            session,
-                            written: 0,
-                            app_busy: false,
-                            closed: false,
-                        })));
+                        self.clients[ci].active =
+                            Some(ClientActive::Writing(Box::new(ActiveWrite {
+                                job,
+                                session,
+                                written: 0,
+                                app_busy: false,
+                                closed: false,
+                            })));
                         self.arm_app(ci);
                     }
                     Msg::ErrorReply { req, detail, .. } if req == open_req => {
@@ -742,73 +907,23 @@ impl SimCluster {
                 }
             }
             Some(ClientActive::Writing(_)) => {
-                self.with_session(ci, |s, now| s.on_msg(msg, now));
+                self.with_session(ci, |s, now| s.handle(MANAGER_NODE, msg, now));
             }
             None => {}
         }
     }
 
-    /// Runs `f` against the client's session, applies the resulting actions,
-    /// re-arms the app, and finalizes the job if the session ended.
-    fn with_session(
-        &mut self,
-        ci: usize,
-        f: impl FnOnce(&mut WriteSession, Time) -> Vec<WriteAction>,
-    ) {
+    /// Runs `f` against the client's session, drives the resulting actions
+    /// through the uniform dispatcher, re-arms the app, and finalizes the
+    /// job if the session ended.
+    fn with_session(&mut self, ci: usize, f: impl FnOnce(&mut WriteSession, Time)) {
         let Some(ClientActive::Writing(w)) = &mut self.clients[ci].active else {
             return;
         };
-        let actions = f(&mut w.session, self.now);
-        self.apply_write_actions(ci, actions);
+        f(&mut w.session, self.now);
+        self.drive(NodeRef::Client(ci));
         self.arm_app(ci);
         self.maybe_finish(ci);
-    }
-
-    fn apply_write_actions(&mut self, ci: usize, actions: Vec<WriteAction>) {
-        let node = self.clients[ci].node;
-        let protocol = {
-            let Some(ClientActive::Writing(w)) = &self.clients[ci].active else {
-                return;
-            };
-            w.job.session.protocol
-        };
-        for a in actions {
-            match a {
-                WriteAction::Send { to, msg } => {
-                    self.dispatch_from(node, std::iter::once((to, msg)), Some(ci));
-                }
-                WriteAction::StageAppend { op, payload, .. } => match protocol {
-                    WriteProtocol::CompleteLocal => {
-                        let fin = self.clients[ci].disk.schedule(self.now, payload.len());
-                        self.schedule_at(fin, Ev::DiskDone(DiskKind::StageAppend { ci, op }));
-                    }
-                    _ => {
-                        // IW temps: absorbed by the page cache at memcpy
-                        // speed; they are deleted after push, before
-                        // writeback persists them.
-                        let d = Dur::for_bytes(payload.len(), self.cfg.memcpy_rate);
-                        self.schedule(d, Ev::DiskDone(DiskKind::StageAppend { ci, op }));
-                    }
-                },
-                WriteAction::StageFetch { op, len, .. } => match protocol {
-                    WriteProtocol::CompleteLocal => {
-                        let fin = self.clients[ci].disk.schedule(self.now, len as u64);
-                        self.schedule_at(
-                            fin,
-                            Ev::DiskDone(DiskKind::StageFetch { ci, op, size: len }),
-                        );
-                    }
-                    _ => {
-                        // Cache hit.
-                        self.schedule(
-                            Dur::from_nanos(1),
-                            Ev::DiskDone(DiskKind::StageFetch { ci, op, size: len }),
-                        );
-                    }
-                },
-                WriteAction::StageDiscard { .. } => {}
-            }
-        }
     }
 
     /// Schedules the next application write if the session can take it.
@@ -867,7 +982,7 @@ impl SimCluster {
             w.written += n as u64;
         }
         self.with_session(ci, move |s, now| {
-            s.write(Payload::Virtual { size: n, tag }, now)
+            s.write(Payload::Virtual { size: n, tag }, now);
         });
     }
 
@@ -913,26 +1028,43 @@ impl SimCluster {
         match kind {
             DiskKind::BenefStore { bi, op, bytes } => {
                 self.metrics.persisted(self.now, bytes);
-                let actions = self.benefs[bi].sm.on_store_complete(op, self.now);
-                self.apply_benef_actions(bi, actions);
+                self.benefs[bi]
+                    .sm
+                    .handle_completion(Completion::Stored { op }, self.now);
+                self.drive(NodeRef::Benef(bi));
                 self.update_gate(bi);
             }
-            DiskKind::BenefLoad { bi, op, chunk, size } => {
-                let actions = self.benefs[bi].sm.on_load_complete(
-                    op,
-                    chunk,
-                    Payload::Virtual { size, tag: 0 },
+            DiskKind::BenefLoad {
+                bi,
+                op,
+                chunk,
+                size,
+            } => {
+                self.benefs[bi].sm.handle_completion(
+                    Completion::Loaded {
+                        op,
+                        chunk,
+                        payload: Payload::Virtual { size, tag: 0 },
+                    },
                     self.now,
                 );
-                self.apply_benef_actions(bi, actions);
+                self.drive(NodeRef::Benef(bi));
                 self.update_gate(bi);
             }
             DiskKind::StageAppend { ci, op } => {
-                self.with_session(ci, |s, now| s.on_stage_append_done(op, now));
+                self.with_session(ci, |s, now| {
+                    s.handle_completion(Completion::StageAppended { op }, now);
+                });
             }
             DiskKind::StageFetch { ci, op, size } => {
                 self.with_session(ci, move |s, now| {
-                    s.on_stage_fetch(op, Payload::Virtual { size, tag: 0 }, now)
+                    s.handle_completion(
+                        Completion::StageFetched {
+                            op,
+                            payload: Payload::Virtual { size, tag: 0 },
+                        },
+                        now,
+                    );
                 });
             }
         }

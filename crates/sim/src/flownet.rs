@@ -121,7 +121,14 @@ impl<P> FlowNet<P> {
     /// # Panics
     ///
     /// Panics if either endpoint was never registered.
-    pub fn add(&mut self, src: NodeId, dst: NodeId, bytes: u64, background: bool, payload: P) -> FlowId {
+    pub fn add(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        background: bool,
+        payload: P,
+    ) -> FlowId {
         assert!(self.caps.contains_key(&src), "unknown src {src}");
         assert!(self.caps.contains_key(&dst), "unknown dst {dst}");
         let id = self.next_id;
@@ -293,8 +300,16 @@ mod tests {
         n.recompute();
         let mut rates: Vec<(NodeId, f64)> = n.flows().map(|f| (f.dst, f.rate)).collect();
         rates.sort_by_key(|(d, _)| *d);
-        assert!((rates[0].1 - 80.0 * MB).abs() < 1.0, "fast flow {}", rates[0].1);
-        assert!((rates[1].1 - 20.0 * MB).abs() < 1.0, "slow flow {}", rates[1].1);
+        assert!(
+            (rates[0].1 - 80.0 * MB).abs() < 1.0,
+            "fast flow {}",
+            rates[0].1
+        );
+        assert!(
+            (rates[1].1 - 20.0 * MB).abs() < 1.0,
+            "slow flow {}",
+            rates[1].1
+        );
     }
 
     #[test]

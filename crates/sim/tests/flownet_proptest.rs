@@ -11,15 +11,30 @@ const MBPS: f64 = 1e6;
 
 #[derive(Clone, Debug)]
 enum Churn {
-    Add { src: u8, dst: u8, kb: u32, background: bool },
-    Settle { ms: u16 },
-    Gate { node: u8, pct: u8 },
+    Add {
+        src: u8,
+        dst: u8,
+        kb: u32,
+        background: bool,
+    },
+    Settle {
+        ms: u16,
+    },
+    Gate {
+        node: u8,
+        pct: u8,
+    },
 }
 
 fn arb_churn() -> impl Strategy<Value = Churn> {
     prop_oneof![
         (0u8..5, 0u8..5, 1u32..100_000, any::<bool>()).prop_map(|(src, dst, kb, background)| {
-            Churn::Add { src, dst, kb, background }
+            Churn::Add {
+                src,
+                dst,
+                kb,
+                background,
+            }
         }),
         (1u16..2000).prop_map(|ms| Churn::Settle { ms }),
         (0u8..5, 10u8..100).prop_map(|(node, pct)| Churn::Gate { node, pct }),
@@ -41,7 +56,7 @@ proptest! {
         let mut now = Time::ZERO;
         let mut added = 0u32;
         let mut finished = 0u32;
-        let mut gates = vec![100.0 * MBPS; 5];
+        let mut gates = [100.0 * MBPS; 5];
         for c in churn {
             match c {
                 Churn::Add { src, dst, kb, background } => {
@@ -69,8 +84,8 @@ proptest! {
                 }
             }
             // Conservation: per-node egress/ingress and the fabric hold.
-            let mut eg = vec![0.0f64; 5];
-            let mut ing = vec![0.0f64; 5];
+            let mut eg = [0.0f64; 5];
+            let mut ing = [0.0f64; 5];
             let mut total = 0.0;
             for f in net.flows() {
                 prop_assert!(f.rate >= -1e-6, "negative rate");
@@ -86,7 +101,7 @@ proptest! {
             }
             prop_assert!(total <= 400.0 * MBPS + 1.0, "fabric overcommitted: {total}");
             // Work conservation: if any flow exists, at least one has rate.
-            if net.len() > 0 {
+            if !net.is_empty() {
                 prop_assert!(
                     net.flows().any(|f| f.rate > 0.0) || net.flows().all(|f| f.background),
                     "allocator stalled with foreground flows pending"
@@ -101,7 +116,7 @@ proptest! {
             let step = net
                 .next_completion()
                 .unwrap_or(Dur::from_millis(100));
-            now = now + step;
+            now += step;
             net.settle(now);
             finished += net.take_finished().len() as u32;
             net.recompute();

@@ -49,7 +49,10 @@ fn sliding_window_saturates_gige_with_two_benefactors() {
     let (oab2, _) = one_job(2, 2, 256 * MB, sw(64 << 20));
     let (oab4, _) = one_job(4, 4, 256 * MB, sw(64 << 20));
     // Paper Fig. 2: two benefactors saturate the client's GigE NIC.
-    assert!(oab1 < oab2, "stripe 1 ({oab1}) must trail stripe 2 ({oab2})");
+    assert!(
+        oab1 < oab2,
+        "stripe 1 ({oab1}) must trail stripe 2 ({oab2})"
+    );
     assert!(
         (oab4 - oab2).abs() / oab2 < 0.15,
         "saturated by stripe 2: {oab2} vs {oab4}"

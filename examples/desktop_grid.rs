@@ -18,8 +18,16 @@ fn main() {
     println!("{:<22} {:>12} {:>12}", "protocol", "OAB MB/s", "ASB MB/s");
     for (label, protocol) in [
         ("complete local write", WriteProtocol::CompleteLocal),
-        ("incremental write", WriteProtocol::Incremental { temp_size: 32 << 20 }),
-        ("sliding window", WriteProtocol::SlidingWindow { buffer: 64 << 20 }),
+        (
+            "incremental write",
+            WriteProtocol::Incremental {
+                temp_size: 32 << 20,
+            },
+        ),
+        (
+            "sliding window",
+            WriteProtocol::SlidingWindow { buffer: 64 << 20 },
+        ),
     ] {
         let mut sim = SimCluster::new(SimConfig::gige(12, 4));
         // All four processes of the parallel app checkpoint at once.

@@ -41,11 +41,15 @@ fn spawn_benefactor(mgr_addr: &str) -> BenefactorServer {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut cfg = PoolConfig::default();
-    cfg.heartbeat_every = stdchk::util::Dur::from_millis(100);
-    cfg.benefactor_timeout = stdchk::util::Dur::from_millis(500);
+    let cfg = PoolConfig {
+        heartbeat_every: stdchk::util::Dur::from_millis(100),
+        benefactor_timeout: stdchk::util::Dur::from_millis(500),
+        ..PoolConfig::default()
+    };
     let mgr = ManagerServer::spawn("127.0.0.1:0", cfg)?;
-    let benefactors: Vec<_> = (0..4).map(|_| spawn_benefactor(&mgr.addr().to_string())).collect();
+    let benefactors: Vec<_> = (0..4)
+        .map(|_| spawn_benefactor(&mgr.addr().to_string()))
+        .collect();
     wait_online(&mgr, 4);
     let grid = Grid::connect(&mgr.addr().to_string())?;
 
@@ -66,13 +70,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .position(|b| b.chunk_count() > 0)
         .expect("someone stores chunks");
-    println!("killing benefactor {victim} ({} chunks)", benefactors[victim].chunk_count());
+    println!(
+        "killing benefactor {victim} ({} chunks)",
+        benefactors[victim].chunk_count()
+    );
     benefactors[victim].shutdown();
     std::thread::sleep(Duration::from_millis(200));
 
     let back = grid.open("/jobs/resilient.n0", None)?.read_all()?;
     assert_eq!(back, image);
-    println!("read failed over to surviving replicas: {} bytes ok", back.len());
+    println!(
+        "read failed over to surviving replicas: {} bytes ok",
+        back.len()
+    );
 
     // --- Part 2: manager failure, ⅔-concurrence recovery ----------------
     // Write with commit stashing enabled.
@@ -87,8 +97,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mgr_addr = mgr.addr();
     drop(mgr);
     std::thread::sleep(Duration::from_millis(100));
-    let mut cfg = PoolConfig::default();
-    cfg.heartbeat_every = stdchk::util::Dur::from_millis(100);
+    let cfg = PoolConfig {
+        heartbeat_every: stdchk::util::Dur::from_millis(100),
+        ..PoolConfig::default()
+    };
     let mgr2 = ManagerServer::spawn(&mgr_addr.to_string(), cfg)?;
     println!("manager restarted empty at {}", mgr2.addr());
 
@@ -105,6 +117,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let recovered = grid2.open("/jobs/durable.n0", None)?.read_all()?;
     assert_eq!(recovered, image);
-    println!("manager recovered the commit from benefactor stashes: {} bytes ok", recovered.len());
+    println!(
+        "manager recovered the commit from benefactor stashes: {} bytes ok",
+        recovered.len()
+    );
     Ok(())
 }

@@ -20,8 +20,10 @@ use stdchk::net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer};
 use stdchk::util::bytesize::fmt_bytes;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut pool_cfg = PoolConfig::default();
-    pool_cfg.chunk_size = 256 << 10;
+    let pool_cfg = PoolConfig {
+        chunk_size: 256 << 10,
+        ..PoolConfig::default()
+    };
     let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg)?;
     let _benefactors: Vec<_> = (0..3)
         .map(|_| {

@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 5. Namespace inspection.
     for e in grid.list("/jobs")? {
-        println!("/jobs/{} — {} bytes, {} version(s)", e.name, e.attr.size, e.attr.versions);
+        println!(
+            "/jobs/{} — {} bytes, {} version(s)",
+            e.name, e.attr.size, e.attr.versions
+        );
     }
     Ok(())
 }

@@ -21,8 +21,10 @@ use stdchk::proto::RetentionPolicy;
 use stdchk::util::Dur;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let mut cfg = PoolConfig::default();
-    cfg.policy_sweep_every = Dur::from_millis(200);
+    let cfg = PoolConfig {
+        policy_sweep_every: Dur::from_millis(200),
+        ..PoolConfig::default()
+    };
     let mgr = ManagerServer::spawn("127.0.0.1:0", cfg)?;
     let _bs: Vec<_> = (0..2)
         .map(|_| {

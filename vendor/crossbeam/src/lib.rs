@@ -1,0 +1,100 @@
+//! Minimal vendored stand-in for the pieces of `crossbeam` stdchk uses:
+//! the `channel` module, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+
+    /// Sending half of a channel (unbounded or bounded).
+    pub enum Sender<T> {
+        /// From [`unbounded`].
+        Unbounded(mpsc::Sender<T>),
+        /// From [`bounded`].
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; blocks on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value),
+                Sender::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] if every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a value.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`mpsc::TryRecvError`] if empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// A bounded FIFO channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_both_kinds() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            let (tx, rx) = bounded(1);
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+            assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        }
+    }
+}
