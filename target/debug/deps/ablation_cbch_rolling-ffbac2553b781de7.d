@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cbch_rolling-ffbac2553b781de7.d: crates/bench/benches/ablation_cbch_rolling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cbch_rolling-ffbac2553b781de7.rmeta: crates/bench/benches/ablation_cbch_rolling.rs Cargo.toml
+
+crates/bench/benches/ablation_cbch_rolling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

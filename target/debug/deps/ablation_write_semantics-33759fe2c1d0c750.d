@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_write_semantics-33759fe2c1d0c750.d: crates/bench/benches/ablation_write_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_write_semantics-33759fe2c1d0c750.rmeta: crates/bench/benches/ablation_write_semantics.rs Cargo.toml
+
+crates/bench/benches/ablation_write_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_write_semantics-fce91a9761f9ab23.d: crates/bench/benches/ablation_write_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_write_semantics-fce91a9761f9ab23.rmeta: crates/bench/benches/ablation_write_semantics.rs Cargo.toml
+
+crates/bench/benches/ablation_write_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

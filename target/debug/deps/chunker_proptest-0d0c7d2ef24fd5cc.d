@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunker_proptest-0d0c7d2ef24fd5cc.d: crates/chunker/tests/chunker_proptest.rs
+
+/root/repo/target/debug/deps/chunker_proptest-0d0c7d2ef24fd5cc: crates/chunker/tests/chunker_proptest.rs
+
+crates/chunker/tests/chunker_proptest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunker_proptest-b6d28fe892a3a244.d: crates/chunker/tests/chunker_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunker_proptest-b6d28fe892a3a244.rmeta: crates/chunker/tests/chunker_proptest.rs Cargo.toml
+
+crates/chunker/tests/chunker_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

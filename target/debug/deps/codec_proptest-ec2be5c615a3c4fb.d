@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_proptest-ec2be5c615a3c4fb.d: crates/proto/tests/codec_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_proptest-ec2be5c615a3c4fb.rmeta: crates/proto/tests/codec_proptest.rs Cargo.toml
+
+crates/proto/tests/codec_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

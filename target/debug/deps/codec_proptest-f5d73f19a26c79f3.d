@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_proptest-f5d73f19a26c79f3.d: crates/proto/tests/codec_proptest.rs
+
+/root/repo/target/debug/deps/codec_proptest-f5d73f19a26c79f3: crates/proto/tests/codec_proptest.rs
+
+crates/proto/tests/codec_proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ab60e58cc5ea60c4.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ab60e58cc5ea60c4.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_oab_stripe-1db762670076aae0.d: crates/bench/benches/fig2_oab_stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_oab_stripe-1db762670076aae0.rmeta: crates/bench/benches/fig2_oab_stripe.rs Cargo.toml
+
+crates/bench/benches/fig2_oab_stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

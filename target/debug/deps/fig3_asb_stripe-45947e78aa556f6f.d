@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_asb_stripe-45947e78aa556f6f.d: crates/bench/benches/fig3_asb_stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_asb_stripe-45947e78aa556f6f.rmeta: crates/bench/benches/fig3_asb_stripe.rs Cargo.toml
+
+crates/bench/benches/fig3_asb_stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

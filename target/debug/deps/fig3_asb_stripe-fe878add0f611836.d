@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_asb_stripe-fe878add0f611836.d: crates/bench/benches/fig3_asb_stripe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_asb_stripe-fe878add0f611836.rmeta: crates/bench/benches/fig3_asb_stripe.rs Cargo.toml
+
+crates/bench/benches/fig3_asb_stripe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_sw_oab_buffers-d3fa3c15dddfa2c5.d: crates/bench/benches/fig4_sw_oab_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_sw_oab_buffers-d3fa3c15dddfa2c5.rmeta: crates/bench/benches/fig4_sw_oab_buffers.rs Cargo.toml
+
+crates/bench/benches/fig4_sw_oab_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

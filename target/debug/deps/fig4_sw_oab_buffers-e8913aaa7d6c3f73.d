@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_sw_oab_buffers-e8913aaa7d6c3f73.d: crates/bench/benches/fig4_sw_oab_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_sw_oab_buffers-e8913aaa7d6c3f73.rmeta: crates/bench/benches/fig4_sw_oab_buffers.rs Cargo.toml
+
+crates/bench/benches/fig4_sw_oab_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sw_asb_buffers-b2db47cdbb345d31.d: crates/bench/benches/fig5_sw_asb_buffers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sw_asb_buffers-b2db47cdbb345d31.rmeta: crates/bench/benches/fig5_sw_asb_buffers.rs Cargo.toml
+
+crates/bench/benches/fig5_sw_asb_buffers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

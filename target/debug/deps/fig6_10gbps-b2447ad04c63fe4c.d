@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_10gbps-b2447ad04c63fe4c.d: crates/bench/benches/fig6_10gbps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_10gbps-b2447ad04c63fe4c.rmeta: crates/bench/benches/fig6_10gbps.rs Cargo.toml
+
+crates/bench/benches/fig6_10gbps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_10gbps-fa27ffd8994f7afa.d: crates/bench/benches/fig6_10gbps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_10gbps-fa27ffd8994f7afa.rmeta: crates/bench/benches/fig6_10gbps.rs Cargo.toml
+
+crates/bench/benches/fig6_10gbps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_sw_fsch-72b9dee7c131d22b.d: crates/bench/benches/fig7_sw_fsch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_sw_fsch-72b9dee7c131d22b.rmeta: crates/bench/benches/fig7_sw_fsch.rs Cargo.toml
+
+crates/bench/benches/fig7_sw_fsch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_sw_fsch-7bfe4bacb549bc21.d: crates/bench/benches/fig7_sw_fsch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_sw_fsch-7bfe4bacb549bc21.rmeta: crates/bench/benches/fig7_sw_fsch.rs Cargo.toml
+
+crates/bench/benches/fig7_sw_fsch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

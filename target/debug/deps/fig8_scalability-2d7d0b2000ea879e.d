@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_scalability-2d7d0b2000ea879e.d: crates/bench/benches/fig8_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_scalability-2d7d0b2000ea879e.rmeta: crates/bench/benches/fig8_scalability.rs Cargo.toml
+
+crates/bench/benches/fig8_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

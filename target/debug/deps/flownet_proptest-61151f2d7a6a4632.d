@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flownet_proptest-61151f2d7a6a4632.d: crates/sim/tests/flownet_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflownet_proptest-61151f2d7a6a4632.rmeta: crates/sim/tests/flownet_proptest.rs Cargo.toml
+
+crates/sim/tests/flownet_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flownet_proptest-d582a632566b33de.d: crates/sim/tests/flownet_proptest.rs
+
+/root/repo/target/debug/deps/flownet_proptest-d582a632566b33de: crates/sim/tests/flownet_proptest.rs
+
+crates/sim/tests/flownet_proptest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fs_facade-1008e9e894f7ee7a.d: crates/fs/tests/fs_facade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfs_facade-1008e9e894f7ee7a.rmeta: crates/fs/tests/fs_facade.rs Cargo.toml
+
+crates/fs/tests/fs_facade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

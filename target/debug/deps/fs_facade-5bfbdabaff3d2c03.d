@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs_facade-5bfbdabaff3d2c03.d: crates/fs/tests/fs_facade.rs
+
+/root/repo/target/debug/deps/fs_facade-5bfbdabaff3d2c03: crates/fs/tests/fs_facade.rs
+
+crates/fs/tests/fs_facade.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-a9a8bc096c1ffe28.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-a9a8bc096c1ffe28.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-f1fecd33d06735e5.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-f1fecd33d06735e5: tests/full_stack.rs
+
+tests/full_stack.rs:

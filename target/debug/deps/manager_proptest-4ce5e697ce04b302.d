@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manager_proptest-4ce5e697ce04b302.d: crates/core/tests/manager_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanager_proptest-4ce5e697ce04b302.rmeta: crates/core/tests/manager_proptest.rs Cargo.toml
+
+crates/core/tests/manager_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manager_proptest-d54176ea10f25f8a.d: crates/core/tests/manager_proptest.rs
+
+/root/repo/target/debug/deps/manager_proptest-d54176ea10f25f8a: crates/core/tests/manager_proptest.rs
+
+crates/core/tests/manager_proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_cluster-0f5cf5c2c50ae945.d: crates/net/tests/net_cluster.rs
+
+/root/repo/target/debug/deps/net_cluster-0f5cf5c2c50ae945: crates/net/tests/net_cluster.rs
+
+crates/net/tests/net_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_cluster-f1aaabd3737dbd95.d: crates/net/tests/net_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_cluster-f1aaabd3737dbd95.rmeta: crates/net/tests/net_cluster.rs Cargo.toml
+
+crates/net/tests/net_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

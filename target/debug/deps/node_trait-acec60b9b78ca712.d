@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/node_trait-acec60b9b78ca712.d: crates/core/tests/node_trait.rs
+
+/root/repo/target/debug/deps/node_trait-acec60b9b78ca712: crates/core/tests/node_trait.rs
+
+crates/core/tests/node_trait.rs:

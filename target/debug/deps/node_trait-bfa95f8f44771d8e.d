@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/node_trait-bfa95f8f44771d8e.d: crates/core/tests/node_trait.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnode_trait-bfa95f8f44771d8e.rmeta: crates/core/tests/node_trait.rs Cargo.toml
+
+crates/core/tests/node_trait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

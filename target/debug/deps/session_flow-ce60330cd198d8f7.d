@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_flow-ce60330cd198d8f7.d: crates/core/tests/session_flow.rs
+
+/root/repo/target/debug/deps/session_flow-ce60330cd198d8f7: crates/core/tests/session_flow.rs
+
+crates/core/tests/session_flow.rs:

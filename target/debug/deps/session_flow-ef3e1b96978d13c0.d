@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_flow-ef3e1b96978d13c0.d: crates/core/tests/session_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_flow-ef3e1b96978d13c0.rmeta: crates/core/tests/session_flow.rs Cargo.toml
+
+crates/core/tests/session_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_shapes-497051912d84bf8e.d: crates/sim/tests/sim_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_shapes-497051912d84bf8e.rmeta: crates/sim/tests/sim_shapes.rs Cargo.toml
+
+crates/sim/tests/sim_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

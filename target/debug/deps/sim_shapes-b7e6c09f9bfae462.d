@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_shapes-b7e6c09f9bfae462.d: crates/sim/tests/sim_shapes.rs
+
+/root/repo/target/debug/deps/sim_shapes-b7e6c09f9bfae462: crates/sim/tests/sim_shapes.rs
+
+crates/sim/tests/sim_shapes.rs:

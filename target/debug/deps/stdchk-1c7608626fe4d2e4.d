@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stdchk-1c7608626fe4d2e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk-1c7608626fe4d2e4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk-1c7608626fe4d2e4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stdchk-39a0c81a381552f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk-39a0c81a381552f5.rmeta: src/lib.rs
+
+src/lib.rs:

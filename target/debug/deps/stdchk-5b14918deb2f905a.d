@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk-5b14918deb2f905a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk-5b14918deb2f905a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

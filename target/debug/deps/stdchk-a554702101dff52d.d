@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk-a554702101dff52d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk-a554702101dff52d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stdchk-aa34b1ddedd13678.d: src/lib.rs
+
+/root/repo/target/debug/deps/stdchk-aa34b1ddedd13678: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk_bench-0e1b98008855447c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_bench-0e1b98008855447c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

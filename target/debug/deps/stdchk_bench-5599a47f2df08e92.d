@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stdchk_bench-5599a47f2df08e92.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/stdchk_bench-5599a47f2df08e92: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

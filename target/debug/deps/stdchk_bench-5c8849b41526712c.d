@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stdchk_bench-5c8849b41526712c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk_bench-5c8849b41526712c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk_bench-5c8849b41526712c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stdchk_bench-77e8d933e80b8da3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/stdchk_bench-77e8d933e80b8da3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stdchk_bench-a5d76fe50fe7cea9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstdchk_bench-a5d76fe50fe7cea9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

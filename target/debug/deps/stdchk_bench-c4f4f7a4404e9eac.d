@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk_bench-c4f4f7a4404e9eac.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_bench-c4f4f7a4404e9eac.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk_chunker-0c10edff3d42fdf1.d: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+/root/repo/target/debug/deps/libstdchk_chunker-0c10edff3d42fdf1.rmeta: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+crates/chunker/src/lib.rs:
+crates/chunker/src/cbch.rs:
+crates/chunker/src/fsch.rs:
+crates/chunker/src/similarity.rs:
+crates/chunker/src/stats.rs:

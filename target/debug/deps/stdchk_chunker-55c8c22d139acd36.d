@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stdchk_chunker-55c8c22d139acd36.d: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_chunker-55c8c22d139acd36.rmeta: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs Cargo.toml
+
+crates/chunker/src/lib.rs:
+crates/chunker/src/cbch.rs:
+crates/chunker/src/fsch.rs:
+crates/chunker/src/similarity.rs:
+crates/chunker/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

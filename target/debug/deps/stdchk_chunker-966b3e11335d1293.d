@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stdchk_chunker-966b3e11335d1293.d: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+/root/repo/target/debug/deps/libstdchk_chunker-966b3e11335d1293.rlib: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+/root/repo/target/debug/deps/libstdchk_chunker-966b3e11335d1293.rmeta: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+crates/chunker/src/lib.rs:
+crates/chunker/src/cbch.rs:
+crates/chunker/src/fsch.rs:
+crates/chunker/src/similarity.rs:
+crates/chunker/src/stats.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/stdchk_core-6a4f2c8cbebc13ba.d: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/manager/tests.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+/root/repo/target/debug/deps/stdchk_core-6a4f2c8cbebc13ba: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/manager/tests.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+crates/core/src/lib.rs:
+crates/core/src/benefactor.rs:
+crates/core/src/config.rs:
+crates/core/src/manager/mod.rs:
+crates/core/src/manager/maintain.rs:
+crates/core/src/manager/replicate.rs:
+crates/core/src/manager/write.rs:
+crates/core/src/manager/tests.rs:
+crates/core/src/node.rs:
+crates/core/src/payload.rs:
+crates/core/src/session/mod.rs:
+crates/core/src/session/read.rs:
+crates/core/src/session/write.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/stdchk_core-c5706afaf0c2d222.d: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+/root/repo/target/debug/deps/libstdchk_core-c5706afaf0c2d222.rlib: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+/root/repo/target/debug/deps/libstdchk_core-c5706afaf0c2d222.rmeta: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+crates/core/src/lib.rs:
+crates/core/src/benefactor.rs:
+crates/core/src/config.rs:
+crates/core/src/manager/mod.rs:
+crates/core/src/manager/maintain.rs:
+crates/core/src/manager/replicate.rs:
+crates/core/src/manager/write.rs:
+crates/core/src/node.rs:
+crates/core/src/payload.rs:
+crates/core/src/session/mod.rs:
+crates/core/src/session/read.rs:
+crates/core/src/session/write.rs:

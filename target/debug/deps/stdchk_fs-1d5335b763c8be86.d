@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/stdchk_fs-1d5335b763c8be86.d: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/debug/deps/libstdchk_fs-1d5335b763c8be86.rlib: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/debug/deps/libstdchk_fs-1d5335b763c8be86.rmeta: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:

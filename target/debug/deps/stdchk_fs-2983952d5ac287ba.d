@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stdchk_fs-2983952d5ac287ba.d: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/debug/deps/libstdchk_fs-2983952d5ac287ba.rmeta: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdchk_fs-3fa4066cc452504e.d: crates/fs/src/lib.rs crates/fs/src/naming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_fs-3fa4066cc452504e.rmeta: crates/fs/src/lib.rs crates/fs/src/naming.rs Cargo.toml
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdchk_fs-8ab4d86412a6e294.d: crates/fs/src/lib.rs crates/fs/src/naming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_fs-8ab4d86412a6e294.rmeta: crates/fs/src/lib.rs crates/fs/src/naming.rs Cargo.toml
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

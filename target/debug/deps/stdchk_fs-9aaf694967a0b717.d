@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stdchk_fs-9aaf694967a0b717.d: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/debug/deps/stdchk_fs-9aaf694967a0b717: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:

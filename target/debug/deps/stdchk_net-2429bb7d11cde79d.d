@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stdchk_net-2429bb7d11cde79d.d: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/libstdchk_net-2429bb7d11cde79d.rlib: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/libstdchk_net-2429bb7d11cde79d.rmeta: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/benefactor_server.rs:
+crates/net/src/client.rs:
+crates/net/src/conn.rs:
+crates/net/src/driver.rs:
+crates/net/src/manager_server.rs:
+crates/net/src/store.rs:

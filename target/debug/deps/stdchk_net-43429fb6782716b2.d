@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/stdchk_net-43429fb6782716b2.d: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_net-43429fb6782716b2.rmeta: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/benefactor_server.rs:
+crates/net/src/client.rs:
+crates/net/src/conn.rs:
+crates/net/src/driver.rs:
+crates/net/src/manager_server.rs:
+crates/net/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stdchk_net-9a655d2c93c0fcdd.d: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/stdchk_net-9a655d2c93c0fcdd: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/benefactor_server.rs:
+crates/net/src/client.rs:
+crates/net/src/conn.rs:
+crates/net/src/driver.rs:
+crates/net/src/manager_server.rs:
+crates/net/src/store.rs:

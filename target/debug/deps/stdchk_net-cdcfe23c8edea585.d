@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stdchk_net-cdcfe23c8edea585.d: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/debug/deps/libstdchk_net-cdcfe23c8edea585.rmeta: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/benefactor_server.rs:
+crates/net/src/client.rs:
+crates/net/src/conn.rs:
+crates/net/src/driver.rs:
+crates/net/src/manager_server.rs:
+crates/net/src/store.rs:

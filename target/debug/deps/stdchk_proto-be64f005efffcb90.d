@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/stdchk_proto-be64f005efffcb90.d: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+/root/repo/target/debug/deps/libstdchk_proto-be64f005efffcb90.rlib: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+/root/repo/target/debug/deps/libstdchk_proto-be64f005efffcb90.rmeta: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/chunkmap.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/error.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/ids.rs:
+crates/proto/src/msg.rs:
+crates/proto/src/policy.rs:

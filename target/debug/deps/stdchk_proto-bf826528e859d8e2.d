@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/stdchk_proto-bf826528e859d8e2.d: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_proto-bf826528e859d8e2.rmeta: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/chunkmap.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/error.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/ids.rs:
+crates/proto/src/msg.rs:
+crates/proto/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stdchk_proto-e57b431c17931143.d: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+/root/repo/target/debug/deps/stdchk_proto-e57b431c17931143: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/chunkmap.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/error.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/ids.rs:
+crates/proto/src/msg.rs:
+crates/proto/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk_sim-2bcd48052362f5ff.d: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libstdchk_sim-2bcd48052362f5ff.rmeta: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/baselines.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/flownet.rs:
+crates/sim/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stdchk_sim-344017a14e52536c.d: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libstdchk_sim-344017a14e52536c.rlib: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libstdchk_sim-344017a14e52536c.rmeta: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/baselines.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/flownet.rs:
+crates/sim/src/metrics.rs:

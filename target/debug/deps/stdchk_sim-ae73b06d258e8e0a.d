@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stdchk_sim-ae73b06d258e8e0a.d: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/stdchk_sim-ae73b06d258e8e0a: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/baselines.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/flownet.rs:
+crates/sim/src/metrics.rs:

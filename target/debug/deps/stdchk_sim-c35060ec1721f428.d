@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stdchk_sim-c35060ec1721f428.d: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_sim-c35060ec1721f428.rmeta: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/baselines.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/flownet.rs:
+crates/sim/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/stdchk_util-1abe57b55ff2a98b.d: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_util-1abe57b55ff2a98b.rmeta: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/bytesize.rs:
+crates/util/src/rate.rs:
+crates/util/src/rolling.rs:
+crates/util/src/sha256.rs:
+crates/util/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

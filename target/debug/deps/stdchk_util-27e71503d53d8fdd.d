@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stdchk_util-27e71503d53d8fdd.d: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libstdchk_util-27e71503d53d8fdd.rlib: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libstdchk_util-27e71503d53d8fdd.rmeta: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bytesize.rs:
+crates/util/src/rate.rs:
+crates/util/src/rolling.rs:
+crates/util/src/sha256.rs:
+crates/util/src/time.rs:

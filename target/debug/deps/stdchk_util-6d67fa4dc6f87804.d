@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdchk_util-6d67fa4dc6f87804.d: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libstdchk_util-6d67fa4dc6f87804.rmeta: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bytesize.rs:
+crates/util/src/rate.rs:
+crates/util/src/rolling.rs:
+crates/util/src/sha256.rs:
+crates/util/src/time.rs:

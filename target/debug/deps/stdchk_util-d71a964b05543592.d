@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdchk_util-d71a964b05543592.d: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/stdchk_util-d71a964b05543592: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bytesize.rs:
+crates/util/src/rate.rs:
+crates/util/src/rolling.rs:
+crates/util/src/sha256.rs:
+crates/util/src/time.rs:

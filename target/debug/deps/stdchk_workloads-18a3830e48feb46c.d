@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stdchk_workloads-18a3830e48feb46c.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstdchk_workloads-18a3830e48feb46c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/traces.rs:
+crates/workloads/src/virt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/stdchk_workloads-5c8d4907dd62dddb.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/debug/deps/stdchk_workloads-5c8d4907dd62dddb: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/traces.rs:
+crates/workloads/src/virt.rs:

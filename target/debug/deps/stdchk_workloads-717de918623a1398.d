@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stdchk_workloads-717de918623a1398.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/debug/deps/libstdchk_workloads-717de918623a1398.rlib: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/debug/deps/libstdchk_workloads-717de918623a1398.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/traces.rs:
+crates/workloads/src/virt.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/stdchk_workloads-fe9a08cc5485bf98.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/debug/deps/libstdchk_workloads-fe9a08cc5485bf98.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/traces.rs:
+crates/workloads/src/virt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_fuse_overhead-800b61fe7a1aed74.d: crates/bench/benches/table1_fuse_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_fuse_overhead-800b61fe7a1aed74.rmeta: crates/bench/benches/table1_fuse_overhead.rs Cargo.toml
+
+crates/bench/benches/table1_fuse_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_traces-1debbdd0fd9343ae.d: crates/bench/benches/table2_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_traces-1debbdd0fd9343ae.rmeta: crates/bench/benches/table2_traces.rs Cargo.toml
+
+crates/bench/benches/table2_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

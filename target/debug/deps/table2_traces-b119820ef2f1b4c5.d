@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_traces-b119820ef2f1b4c5.d: crates/bench/benches/table2_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_traces-b119820ef2f1b4c5.rmeta: crates/bench/benches/table2_traces.rs Cargo.toml
+
+crates/bench/benches/table2_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

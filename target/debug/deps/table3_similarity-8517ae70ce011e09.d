@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_similarity-8517ae70ce011e09.d: crates/bench/benches/table3_similarity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_similarity-8517ae70ce011e09.rmeta: crates/bench/benches/table3_similarity.rs Cargo.toml
+
+crates/bench/benches/table3_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

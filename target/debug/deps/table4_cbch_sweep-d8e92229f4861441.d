@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_cbch_sweep-d8e92229f4861441.d: crates/bench/benches/table4_cbch_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_cbch_sweep-d8e92229f4861441.rmeta: crates/bench/benches/table4_cbch_sweep.rs Cargo.toml
+
+crates/bench/benches/table4_cbch_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_blast_e2e-0cbb90b6fb56de4c.d: crates/bench/benches/table5_blast_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_blast_e2e-0cbb90b6fb56de4c.rmeta: crates/bench/benches/table5_blast_e2e.rs Cargo.toml
+
+crates/bench/benches/table5_blast_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_blast_e2e-6338790d625711c8.d: crates/bench/benches/table5_blast_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_blast_e2e-6338790d625711c8.rmeta: crates/bench/benches/table5_blast_e2e.rs Cargo.toml
+
+crates/bench/benches/table5_blast_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

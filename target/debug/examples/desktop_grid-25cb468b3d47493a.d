@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/desktop_grid-25cb468b3d47493a.d: examples/desktop_grid.rs
+
+/root/repo/target/debug/examples/desktop_grid-25cb468b3d47493a: examples/desktop_grid.rs
+
+examples/desktop_grid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/desktop_grid-5cd37b7af0365733.d: examples/desktop_grid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesktop_grid-5cd37b7af0365733.rmeta: examples/desktop_grid.rs Cargo.toml
+
+examples/desktop_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

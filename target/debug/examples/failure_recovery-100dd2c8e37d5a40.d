@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_recovery-100dd2c8e37d5a40.d: examples/failure_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_recovery-100dd2c8e37d5a40.rmeta: examples/failure_recovery.rs Cargo.toml
+
+examples/failure_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

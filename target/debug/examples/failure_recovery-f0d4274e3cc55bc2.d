@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-f0d4274e3cc55bc2.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-f0d4274e3cc55bc2: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

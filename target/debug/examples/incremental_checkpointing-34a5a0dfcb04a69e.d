@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_checkpointing-34a5a0dfcb04a69e.d: examples/incremental_checkpointing.rs
+
+/root/repo/target/debug/examples/incremental_checkpointing-34a5a0dfcb04a69e: examples/incremental_checkpointing.rs
+
+examples/incremental_checkpointing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_checkpointing-d58aa66466a06325.d: examples/incremental_checkpointing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_checkpointing-d58aa66466a06325.rmeta: examples/incremental_checkpointing.rs Cargo.toml
+
+examples/incremental_checkpointing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

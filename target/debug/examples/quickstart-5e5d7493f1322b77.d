@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5e5d7493f1322b77.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5e5d7493f1322b77: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retention_policies-8a6950350345efbb.d: examples/retention_policies.rs
+
+/root/repo/target/debug/examples/retention_policies-8a6950350345efbb: examples/retention_policies.rs
+
+examples/retention_policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/retention_policies-a8945b1c82b7315b.d: examples/retention_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libretention_policies-a8945b1c82b7315b.rmeta: examples/retention_policies.rs Cargo.toml
+
+examples/retention_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stdchk-93f60c2ad22cad5c.d: src/lib.rs
+
+/root/repo/target/release/deps/libstdchk-93f60c2ad22cad5c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstdchk-93f60c2ad22cad5c.rmeta: src/lib.rs
+
+src/lib.rs:

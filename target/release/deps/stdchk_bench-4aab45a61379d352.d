@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stdchk_bench-4aab45a61379d352.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstdchk_bench-4aab45a61379d352.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstdchk_bench-4aab45a61379d352.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/stdchk_chunker-1434ffc3cf0ccf8f.d: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+/root/repo/target/release/deps/libstdchk_chunker-1434ffc3cf0ccf8f.rlib: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+/root/repo/target/release/deps/libstdchk_chunker-1434ffc3cf0ccf8f.rmeta: crates/chunker/src/lib.rs crates/chunker/src/cbch.rs crates/chunker/src/fsch.rs crates/chunker/src/similarity.rs crates/chunker/src/stats.rs
+
+crates/chunker/src/lib.rs:
+crates/chunker/src/cbch.rs:
+crates/chunker/src/fsch.rs:
+crates/chunker/src/similarity.rs:
+crates/chunker/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/stdchk_core-df0ac0918b151b41.d: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+/root/repo/target/release/deps/libstdchk_core-df0ac0918b151b41.rlib: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+/root/repo/target/release/deps/libstdchk_core-df0ac0918b151b41.rmeta: crates/core/src/lib.rs crates/core/src/benefactor.rs crates/core/src/config.rs crates/core/src/manager/mod.rs crates/core/src/manager/maintain.rs crates/core/src/manager/replicate.rs crates/core/src/manager/write.rs crates/core/src/node.rs crates/core/src/payload.rs crates/core/src/session/mod.rs crates/core/src/session/read.rs crates/core/src/session/write.rs
+
+crates/core/src/lib.rs:
+crates/core/src/benefactor.rs:
+crates/core/src/config.rs:
+crates/core/src/manager/mod.rs:
+crates/core/src/manager/maintain.rs:
+crates/core/src/manager/replicate.rs:
+crates/core/src/manager/write.rs:
+crates/core/src/node.rs:
+crates/core/src/payload.rs:
+crates/core/src/session/mod.rs:
+crates/core/src/session/read.rs:
+crates/core/src/session/write.rs:

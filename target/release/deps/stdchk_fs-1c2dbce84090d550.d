@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/stdchk_fs-1c2dbce84090d550.d: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/release/deps/libstdchk_fs-1c2dbce84090d550.rlib: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+/root/repo/target/release/deps/libstdchk_fs-1c2dbce84090d550.rmeta: crates/fs/src/lib.rs crates/fs/src/naming.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/naming.rs:

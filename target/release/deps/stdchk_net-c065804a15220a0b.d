@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/stdchk_net-c065804a15220a0b.d: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/release/deps/libstdchk_net-c065804a15220a0b.rlib: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+/root/repo/target/release/deps/libstdchk_net-c065804a15220a0b.rmeta: crates/net/src/lib.rs crates/net/src/benefactor_server.rs crates/net/src/client.rs crates/net/src/conn.rs crates/net/src/driver.rs crates/net/src/manager_server.rs crates/net/src/store.rs
+
+crates/net/src/lib.rs:
+crates/net/src/benefactor_server.rs:
+crates/net/src/client.rs:
+crates/net/src/conn.rs:
+crates/net/src/driver.rs:
+crates/net/src/manager_server.rs:
+crates/net/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/stdchk_proto-bced73cfe8b31dad.d: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+/root/repo/target/release/deps/libstdchk_proto-bced73cfe8b31dad.rlib: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+/root/repo/target/release/deps/libstdchk_proto-bced73cfe8b31dad.rmeta: crates/proto/src/lib.rs crates/proto/src/chunkmap.rs crates/proto/src/codec.rs crates/proto/src/error.rs crates/proto/src/frame.rs crates/proto/src/ids.rs crates/proto/src/msg.rs crates/proto/src/policy.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/chunkmap.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/error.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/ids.rs:
+crates/proto/src/msg.rs:
+crates/proto/src/policy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/stdchk_sim-1e8b7eb692763d15.d: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libstdchk_sim-1e8b7eb692763d15.rlib: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libstdchk_sim-1e8b7eb692763d15.rmeta: crates/sim/src/lib.rs crates/sim/src/baselines.rs crates/sim/src/cluster.rs crates/sim/src/flownet.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/baselines.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/flownet.rs:
+crates/sim/src/metrics.rs:

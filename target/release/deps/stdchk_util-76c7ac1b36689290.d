@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/stdchk_util-76c7ac1b36689290.d: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libstdchk_util-76c7ac1b36689290.rlib: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libstdchk_util-76c7ac1b36689290.rmeta: crates/util/src/lib.rs crates/util/src/bytesize.rs crates/util/src/rate.rs crates/util/src/rolling.rs crates/util/src/sha256.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/bytesize.rs:
+crates/util/src/rate.rs:
+crates/util/src/rolling.rs:
+crates/util/src/sha256.rs:
+crates/util/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/stdchk_workloads-b07fdaf1b7c335ed.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/release/deps/libstdchk_workloads-b07fdaf1b7c335ed.rlib: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+/root/repo/target/release/deps/libstdchk_workloads-b07fdaf1b7c335ed.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/traces.rs crates/workloads/src/virt.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/traces.rs:
+crates/workloads/src/virt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/desktop_grid-27753fbe2a6ed554.d: examples/desktop_grid.rs
+
+/root/repo/target/release/examples/desktop_grid-27753fbe2a6ed554: examples/desktop_grid.rs
+
+examples/desktop_grid.rs:

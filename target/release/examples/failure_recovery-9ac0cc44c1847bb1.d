@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_recovery-9ac0cc44c1847bb1.d: examples/failure_recovery.rs
+
+/root/repo/target/release/examples/failure_recovery-9ac0cc44c1847bb1: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_checkpointing-10a60261fb0d5d82.d: examples/incremental_checkpointing.rs
+
+/root/repo/target/release/examples/incremental_checkpointing-10a60261fb0d5d82: examples/incremental_checkpointing.rs
+
+examples/incremental_checkpointing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-90988ca0670587c6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-90988ca0670587c6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/retention_policies-9c727311fd91e758.d: examples/retention_policies.rs
+
+/root/repo/target/release/examples/retention_policies-9c727311fd91e758: examples/retention_policies.rs
+
+examples/retention_policies.rs:
