@@ -256,7 +256,18 @@ impl Benefactor {
 
     /// Seeds the index from a persistent blob store at restart: the chunks
     /// become immediately servable and GC-reportable.
-    pub fn adopt_existing(&mut self, chunks: impl IntoIterator<Item = (ChunkId, u32)>, now: Time) {
+    ///
+    /// Drivers feed this the store's recovered `(id, size)` listing (the
+    /// net crate's `ChunkStore::entries()`), so a benefactor that crashed
+    /// with gigabytes of durable chunks rejoins the pool serving all of
+    /// them without replaying any payload bytes. Returns how many chunks
+    /// were newly adopted (duplicates are ignored).
+    pub fn adopt_existing(
+        &mut self,
+        chunks: impl IntoIterator<Item = (ChunkId, u32)>,
+        now: Time,
+    ) -> usize {
+        let mut adopted = 0;
         for (id, size) in chunks {
             if self
                 .index
@@ -270,8 +281,10 @@ impl Benefactor {
                 .is_none()
             {
                 self.used += size as u64;
+                adopted += 1;
             }
         }
+        adopted
     }
 
     fn req(&mut self) -> RequestId {

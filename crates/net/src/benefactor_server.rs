@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::payload::Payload;
 use stdchk_core::{Benefactor, BenefactorConfig, MANAGER_NODE};
-use stdchk_proto::ids::{NodeId, RequestId};
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::{Msg, Role};
 
 use crate::conn::{dial, read_loop, Clock, Sender, DIAL_TIMEOUT};
@@ -166,6 +166,53 @@ impl Effects for Arc<BenefEffects> {
             other => unreachable!("benefactor never emits {other:?}"),
         }
     }
+
+    /// Coalesces the queued `Store` actions of one drained batch into a
+    /// single blob-store `put_batch`, so a group-commit engine
+    /// ([`crate::store::SegmentStore`]) absorbs a whole ingest burst with
+    /// one flush. Relative order of non-store actions is preserved; stores
+    /// flush before any later non-store action executes.
+    fn execute_batch(&self, actions: &mut Vec<Action>, completions: &mut Vec<Completion>) {
+        let mut stores: Vec<(u64, ChunkId, Payload)> = Vec::new();
+        for action in actions.drain(..) {
+            match action {
+                Action::Store { op, chunk, payload } => stores.push((op, chunk, payload)),
+                other => {
+                    self.flush_stores(&mut stores, completions);
+                    if let Some(c) = self.execute(other) {
+                        completions.push(c);
+                    }
+                }
+            }
+        }
+        self.flush_stores(&mut stores, completions);
+    }
+}
+
+impl BenefEffects {
+    /// Runs one buffered store batch; every chunk acks `Stored` on success.
+    /// On failure nothing acks — the writer times out and fails over, same
+    /// as a single failed put.
+    fn flush_stores(
+        &self,
+        stores: &mut Vec<(u64, ChunkId, Payload)>,
+        completions: &mut Vec<Completion>,
+    ) {
+        if stores.is_empty() {
+            return;
+        }
+        let payloads: Vec<_> = stores.iter().map(|(_, _, p)| p.bytes()).collect();
+        let batch: Vec<(ChunkId, &[u8])> = stores
+            .iter()
+            .zip(&payloads)
+            .map(|((_, chunk, _), bytes)| (*chunk, &bytes[..]))
+            .collect();
+        if self.store.put_batch(&batch).is_ok() {
+            completions.extend(stores.drain(..).map(|(op, _, _)| Completion::Stored { op }));
+        } else {
+            stores.clear();
+        }
+    }
 }
 
 impl BenefEffects {
@@ -247,21 +294,11 @@ impl BenefactorServer {
 
         let mut sm = Benefactor::new(NodeId(0), net.total_space, net.cfg);
         sm.set_advertised_addr(addr.to_string());
-        // Adopt whatever survived a restart in the blob store.
-        let existing: Vec<_> = net
-            .store
-            .ids()?
-            .into_iter()
-            .filter_map(|id| {
-                net.store
-                    .get(id)
-                    .ok()
-                    .flatten()
-                    .map(|b| (id, b.len() as u32))
-            })
-            .collect();
+        // Adopt whatever survived a restart in the blob store. `entries()`
+        // comes from the store's index (or file metadata), so restart cost
+        // does not scale with the stored bytes.
         let clock = Clock::new();
-        sm.adopt_existing(existing, clock.now());
+        sm.adopt_existing(net.store.entries()?, clock.now());
 
         let resolver = ResolveClient::connect(&net.manager_addr)?;
         let first_reader = mgr.reader()?;

@@ -11,7 +11,7 @@
 //!   [`Grid::versions`], [`Grid::delete`], [`Grid::set_policy`].
 //!
 //! Both handle kinds drive their sans-IO sessions through the unified
-//! [`Node`] API: one generic pump ([`pump_session`]) drains
+//! [`Node`] API: one generic pump (`pump_session`) drains
 //! `poll_action()`, executes sends over TCP and stage I/O against a spill
 //! file, and feeds [`Completion`]s back. The write path and the read path
 //! differ only in which session type sits behind the pump.

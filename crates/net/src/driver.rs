@@ -50,6 +50,22 @@ pub trait Effects: Send + Sync + 'static {
     /// synchronous effects (blob-store writes); `None` when there is
     /// nothing to report.
     fn execute(&self, action: Action) -> Option<Completion>;
+
+    /// Executes one drained batch of actions, draining `actions` and
+    /// pushing resulting completions.
+    ///
+    /// The default executes them one at a time in order. Implementations
+    /// sitting on batch-aware resources should override it — the
+    /// benefactor coalesces its queued `Store` actions into one blob-store
+    /// `put_batch` so a group-commit engine covers a whole ingest burst
+    /// with a single flush.
+    fn execute_batch(&self, actions: &mut Vec<Action>, completions: &mut Vec<Completion>) {
+        for action in actions.drain(..) {
+            if let Some(c) = self.execute(action) {
+                completions.push(c);
+            }
+        }
+    }
 }
 
 /// A sans-IO node hosted behind a lock, with a shared clock, an effects
@@ -109,8 +125,9 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
     }
 
     /// Drains `poll_action` in batches: pop up to [`ACTION_BATCH`] actions
-    /// under the lock, execute them lock-free, feed completions back,
-    /// repeat until the queue is empty.
+    /// under the lock, hand the whole batch to
+    /// [`Effects::execute_batch`] lock-free, feed completions back, repeat
+    /// until the queue is empty.
     pub fn pump(&self) {
         let mut batch = Vec::with_capacity(ACTION_BATCH);
         loop {
@@ -127,11 +144,8 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
                 return;
             }
             let mut completions = Vec::new();
-            for action in batch.drain(..) {
-                if let Some(c) = self.effects.execute(action) {
-                    completions.push(c);
-                }
-            }
+            self.effects.execute_batch(&mut batch, &mut completions);
+            debug_assert!(batch.is_empty(), "execute_batch must drain the batch");
             if !completions.is_empty() {
                 let now = self.clock.now();
                 let mut node = self.node.lock();

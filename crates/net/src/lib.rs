@@ -5,8 +5,10 @@
 //!
 //! - [`ManagerServer`] — the metadata manager as a TCP server.
 //! - [`BenefactorServer`] — a storage donor: joins the pool, heartbeats,
-//!   serves chunks from a [`store::ChunkStore`] (a directory of
-//!   content-hash-named files by default), executes replication, runs GC.
+//!   serves chunks from a [`store::ChunkStore`] (the
+//!   [`store::SegmentStore`] append-only segment log with group commit for
+//!   production; one-file-per-chunk [`store::DiskStore`] and
+//!   [`store::MemStore`] as alternatives), executes replication, runs GC.
 //! - [`Grid`] — the client proxy: `create()`/`open()` handles implementing
 //!   `std::io::{Write, Read}` plus metadata operations.
 //!

@@ -3,7 +3,7 @@
 //! Thread-per-connection around the sans-IO [`Manager`], driven entirely
 //! through the unified [`Node`](stdchk_core::Node) API by the generic
 //! [`NodeHost`] event loop: reader threads call `deliver`, the shared
-//! [`run_node`] loop fires maintenance from `poll_timeout`, and the only
+//! [`run_node`](crate::run_node) loop fires maintenance from `poll_timeout`, and the only
 //! manager-specific code left is [`MgrEffects`] — a connection registry
 //! that knows how to transmit.
 

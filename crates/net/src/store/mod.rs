@@ -1,0 +1,370 @@
+//! Chunk blob stores backing a benefactor's scavenged space.
+//!
+//! The benefactor state machine owns the authoritative chunk *index*; these
+//! stores hold the bytes, behind the [`ChunkStore`] trait so the server
+//! wiring, the examples, and the tests can pick a layout per deployment:
+//!
+//! - [`SegmentStore`] — the production engine: an append-only segment log
+//!   with group commit, crash recovery and compaction (see [`segment`]).
+//!   Small-chunk ingest runs at near-sequential disk bandwidth because every
+//!   put is one append and one *shared* `sync_data`.
+//! - [`DiskStore`] — the original one-file-per-chunk layout, named by
+//!   content hash inside the donated directory: self-describing,
+//!   crash-tolerant (a partial write fails its hash check on read), and
+//!   trivially garbage-collectable, but it pays `create` + `write` +
+//!   `sync_data` + `rename` per chunk, which caps burst ingest far below
+//!   what the hardware allows. Kept as the simple/debuggable baseline and
+//!   as the comparison point for the store benchmark.
+//! - [`MemStore`] — in-memory, for tests and ephemeral pools.
+//!
+//! # Choosing a store
+//!
+//! ```no_run
+//! use stdchk_net::store::{ChunkStore, SegmentStore};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! // The default production engine for a donated directory:
+//! let store: Arc<dyn ChunkStore> = Arc::new(SegmentStore::open("/scavenge/stdchk")?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Durability contract
+//!
+//! A `put` that returns `Ok` must survive a crash of the benefactor
+//! process: the benefactor acks `PutChunk` only after the store reports the
+//! bytes durable, and the manager counts that ack toward the write's
+//! replication semantics. `delete` is weaker — a deletion lost to a crash
+//! merely resurrects a chunk that the next GC pass removes again.
+
+pub mod segment;
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use stdchk_proto::ids::ChunkId;
+use stdchk_util::sha256::Sha256;
+
+pub use segment::{SegmentStore, SegmentStoreConfig};
+
+/// Blob storage for chunk payloads.
+///
+/// Implementations are shared across the benefactor's connection and event
+/// threads (`&self` methods, `Send + Sync`), so every method must be safe
+/// under arbitrary interleaving — including concurrent `put`s of the *same*
+/// chunk id, which content addressing makes idempotent.
+pub trait ChunkStore: Send + Sync + 'static {
+    /// Persists `data` under `id`. Durable once `Ok` is returned.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()>;
+
+    /// Persists a whole batch, durable once `Ok` is returned. The driver
+    /// hands a benefactor's queued `Store` actions over together so an
+    /// engine with group commit ([`SegmentStore`]) can cover the batch with
+    /// a single flush; the default just loops [`ChunkStore::put`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium. On error the caller must assume
+    /// nothing from the batch is durable.
+    fn put_batch(&self, batch: &[(ChunkId, &[u8])]) -> io::Result<()> {
+        for (id, data) in batch {
+            self.put(*id, data)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the chunk back, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium, including detected corruption of
+    /// a present record.
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>>;
+
+    /// Deletes the chunk; absent chunks are fine.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn delete(&self, id: ChunkId) -> io::Result<()>;
+
+    /// Ids present in the store (used to seed recovery).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn ids(&self) -> io::Result<Vec<ChunkId>>;
+
+    /// `(id, size)` pairs for every chunk present — what
+    /// [`Benefactor::adopt_existing`](stdchk_core::Benefactor::adopt_existing)
+    /// needs to rebuild the benefactor's index at restart.
+    ///
+    /// The default reads every payload through [`ChunkStore::get`];
+    /// implementations with a cheap size source (an in-memory index, file
+    /// metadata) should override it so restart cost does not scale with
+    /// stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn entries(&self) -> io::Result<Vec<(ChunkId, u32)>> {
+        let mut out = Vec::new();
+        for id in self.ids()? {
+            if let Some(data) = self.get(id)? {
+                out.push((id, data.len() as u32));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// In-memory store for tests and ephemeral pools.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: Mutex<HashMap<ChunkId, Bytes>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
+        self.blobs.lock().insert(id, Bytes::from(data.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>> {
+        Ok(self.blobs.lock().get(&id).cloned())
+    }
+
+    fn delete(&self, id: ChunkId) -> io::Result<()> {
+        self.blobs.lock().remove(&id);
+        Ok(())
+    }
+
+    fn ids(&self) -> io::Result<Vec<ChunkId>> {
+        Ok(self.blobs.lock().keys().copied().collect())
+    }
+
+    fn entries(&self) -> io::Result<Vec<(ChunkId, u32)>> {
+        Ok(self
+            .blobs
+            .lock()
+            .iter()
+            .map(|(id, b)| (*id, b.len() as u32))
+            .collect())
+    }
+}
+
+/// Distinguishes concurrent in-flight temp files within one process; the
+/// pid in the name distinguishes processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One-file-per-chunk store in a donated directory.
+///
+/// Every chunk lives in a file named by the hex of its content hash.
+/// Writes go through a `.tmp-` file plus `rename` so a crash can never
+/// leave a half-written chunk under a valid name; `open` sweeps `.tmp-`
+/// leftovers from crashed processes.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`, removing any
+    /// orphaned `.tmp-` files a previous process left behind.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or listed.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        for entry in fs::read_dir(dir.as_ref())? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                fs::remove_file(entry.path()).ok();
+            }
+        }
+        Ok(DiskStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path_of(&self, id: ChunkId) -> PathBuf {
+        self.dir.join(Sha256::to_hex(id.as_bytes()))
+    }
+}
+
+impl ChunkStore for DiskStore {
+    fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
+        // Write-then-rename for atomicity against crashes mid-write. The
+        // per-process sequence number keeps two concurrent puts of the same
+        // chunk (same id, same length) from racing on one temp path.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.path_of(id))
+    }
+
+    fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>> {
+        match fs::File::open(self.path_of(id)) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(Some(Bytes::from(buf)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&self, id: ChunkId) -> io::Result<()> {
+        match fs::remove_file(self.path_of(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn ids(&self) -> io::Result<Vec<ChunkId>> {
+        Ok(self.entries()?.into_iter().map(|(id, _)| id).collect())
+    }
+
+    fn entries(&self) -> io::Result<Vec<(ChunkId, u32)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.len() != 64 {
+                continue; // temp files and strangers
+            }
+            let mut digest = [0u8; 32];
+            let mut ok = true;
+            for i in 0..32 {
+                match u8::from_str_radix(&name[i * 2..i * 2 + 2], 16) {
+                    Ok(b) => digest[i] = b,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push((ChunkId(digest), entry.metadata()?.len() as u32));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ChunkStore) {
+        let data = b"chunk payload bytes";
+        let id = ChunkId::for_content(data);
+        assert!(store.get(id).unwrap().is_none());
+        store.put(id, data).unwrap();
+        assert_eq!(&store.get(id).unwrap().unwrap()[..], data);
+        assert_eq!(store.ids().unwrap(), vec![id]);
+        assert_eq!(store.entries().unwrap(), vec![(id, data.len() as u32)]);
+        store.delete(id).unwrap();
+        assert!(store.get(id).unwrap().is_none());
+        store.delete(id).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("stdchk-test-{}", std::process::id()));
+        let store = DiskStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("stdchk-segtrait-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = SegmentStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("stdchk-reopen-{}", std::process::id()));
+        let data = b"persistent";
+        let id = ChunkId::for_content(data);
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(id, data).unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(&store.get(id).unwrap().unwrap()[..], data);
+        assert_eq!(store.ids().unwrap(), vec![id]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_open_sweeps_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("stdchk-orphan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".tmp-4242-7"), b"torn half-write").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.ids().unwrap().is_empty());
+        assert!(
+            !dir.join(".tmp-4242-7").exists(),
+            "orphaned temp file must be swept at open"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_concurrent_same_chunk_puts_do_not_collide() {
+        let dir = std::env::temp_dir().join(format!("stdchk-race-{}", std::process::id()));
+        let store = std::sync::Arc::new(DiskStore::open(&dir).unwrap());
+        let data = vec![0x5Au8; 64 << 10];
+        let id = ChunkId::for_content(&data);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = std::sync::Arc::clone(&store);
+            let data = data.clone();
+            handles.push(std::thread::spawn(move || store.put(id, &data)));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(&store.get(id).unwrap().unwrap()[..], &data[..]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

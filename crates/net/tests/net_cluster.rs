@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use stdchk_core::session::write::{SessionConfig, WriteProtocol};
 use stdchk_core::{BenefactorConfig, PoolConfig};
-use stdchk_net::store::{DiskStore, MemStore};
+use stdchk_net::store::{DiskStore, MemStore, SegmentStore};
 use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_util::mix64;
@@ -254,9 +254,15 @@ fn write_survives_benefactor_death() {
     );
 }
 
-#[test]
-fn disk_store_benefactor_serves_after_restart() {
-    let dir = std::env::temp_dir().join(format!("stdchk-net-restart-{}", std::process::id()));
+/// Writes through a benefactor backed by `open_store(dir)`, restarts the
+/// benefactor process on the same directory, and checks the restarted
+/// index adopts every persisted chunk.
+fn benefactor_serves_after_restart(
+    tag: &str,
+    open_store: impl Fn(&std::path::Path) -> Arc<dyn stdchk_net::store::ChunkStore>,
+) {
+    let dir = std::env::temp_dir().join(format!("stdchk-net-restart-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
     let mut pool_cfg = PoolConfig::fast_for_tests();
     pool_cfg.chunk_size = 64 << 10;
     let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
@@ -265,7 +271,7 @@ fn disk_store_benefactor_serves_after_restart() {
         listen: "127.0.0.1:0".into(),
         total_space: 64 << 20,
         cfg: BenefactorConfig::fast_for_tests(),
-        store: Arc::new(DiskStore::open(&dir).expect("store")),
+        store: open_store(&dir),
     })
     .expect("benefactor");
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -291,11 +297,37 @@ fn disk_store_benefactor_serves_after_restart() {
         listen: "127.0.0.1:0".into(),
         total_space: 64 << 20,
         cfg: BenefactorConfig::fast_for_tests(),
-        store: Arc::new(DiskStore::open(&dir).expect("store")),
+        store: open_store(&dir),
     })
     .expect("benefactor restart");
     assert_eq!(b2.chunk_count(), old_chunks, "index adopted from disk");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_store_benefactor_serves_after_restart() {
+    benefactor_serves_after_restart("disk", |dir| Arc::new(DiskStore::open(dir).expect("store")));
+}
+
+#[test]
+fn segment_store_benefactor_serves_after_restart() {
+    benefactor_serves_after_restart("seg", |dir| {
+        // The store directory is exclusively locked; after an in-process
+        // "restart" the old server's threads may still be draining their
+        // Arc, so retry until they release it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match SegmentStore::open(dir) {
+                Ok(s) => return Arc::new(s) as Arc<dyn stdchk_net::store::ChunkStore>,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("open segment store: {e}"),
+            }
+        }
+    });
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Length-prefixed framing for byte streams.
 //!
 //! Each frame is a little-endian `u32` length followed by that many payload
-//! bytes (one encoded [`Msg`](crate::Msg)). [`FrameBuf`] is a sans-IO
+//! bytes (one encoded [`Msg`]). [`FrameBuf`] is a sans-IO
 //! incremental decoder — feed it arbitrary byte slices as they arrive and
 //! pull out complete frames — while [`read_frame`]/[`write_frame`] are
 //! blocking helpers for `std::io` streams.

@@ -10,9 +10,11 @@
 //! - **network**: fluid flows with max-min fair NIC sharing, optional fabric
 //!   cap, strict foreground/background priority ([`crate::flownet`]);
 //!   control messages travel with a fixed small latency;
-//! - **disks**: FIFO byte-rate queues per node; a benefactor whose disk
-//!   backlog exceeds a threshold *gates* its NIC ingress down to disk speed,
-//!   modelling TCP backpressure from a storage-bound receiver;
+//! - **disks**: FIFO byte-rate queues per node, plus a fixed per-record
+//!   overhead on benefactor chunk I/O calibrated to the measured
+//!   segment-log storage engine; a benefactor whose disk backlog exceeds a
+//!   threshold *gates* its NIC ingress down to disk speed, modelling TCP
+//!   backpressure from a storage-bound receiver;
 //! - **application**: each write call costs the FUSE user-space crossing
 //!   (per-call overhead + copy at memcpy rate, Table 1's calibration) plus
 //!   the FsCH hashing rate when incremental checkpointing is on;
@@ -74,6 +76,13 @@ pub struct SimConfig {
     pub hash_rate: f64,
     /// Application write-call size (defaults to the chunk size).
     pub app_block: u32,
+    /// Fixed per-record cost of the benefactor storage engine, charged on
+    /// every chunk store/load in addition to the byte transfer. Calibrated
+    /// to the measured segment-log engine (`stdchk-net`'s `SegmentStore`):
+    /// one record append plus the amortized share of a group-commit
+    /// `sync_data` — tens of microseconds, not the milliseconds a
+    /// file-per-chunk layout pays for create + fsync + rename.
+    pub store_op_overhead: Dur,
     /// Disk backlog beyond which a benefactor gates its ingress.
     pub gate_on: Dur,
     /// Backlog below which the gate reopens.
@@ -105,6 +114,7 @@ impl SimConfig {
             memcpy_rate: 1.05e9,
             hash_rate: 110e6,
             app_block: pool.chunk_size,
+            store_op_overhead: Dur::from_micros(60),
             gate_on: Dur::from_millis(150),
             gate_off: Dur::from_millis(50),
             pool,
@@ -209,13 +219,16 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
 #[derive(Clone, Copy, Debug, Default)]
 struct Disk {
     rate: f64,
+    /// Fixed per-operation cost on top of the byte transfer (zero for
+    /// client staging, the storage-engine record overhead on benefactors).
+    per_op: Dur,
     busy_until: Time,
 }
 
 impl Disk {
     fn schedule(&mut self, now: Time, bytes: u64) -> Time {
         let start = self.busy_until.max(now);
-        let fin = start + Dur::for_bytes(bytes, self.rate);
+        let fin = start + self.per_op + Dur::for_bytes(bytes, self.rate);
         self.busy_until = fin;
         fin
     }
@@ -388,6 +401,7 @@ impl SimCluster {
                 sm: Benefactor::new(id, cfg.benefactor_space, bcfg.clone()),
                 disk: Disk {
                     rate: cfg.benefactor_disk,
+                    per_op: cfg.store_op_overhead,
                     busy_until: Time::ZERO,
                 },
                 gated: false,
@@ -404,6 +418,7 @@ impl SimCluster {
                 active: None,
                 disk: Disk {
                     rate: cfg.client_disk,
+                    per_op: Dur::from_nanos(0),
                     busy_until: Time::ZERO,
                 },
             });

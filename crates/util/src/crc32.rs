@@ -1,0 +1,187 @@
+//! CRC-32C (Castagnoli) for storage record framing.
+//!
+//! The segment-log storage engine frames every record with a CRC so a
+//! reopen can detect a torn tail (a record cut short by a crash) and a read
+//! can detect bit rot without paying the full SHA-256 cost. CRC-32C is the
+//! polynomial used by iSCSI, ext4 and Btrfs for exactly this job: strong
+//! burst-error detection at a few cycles per byte.
+//!
+//! On x86-64 with SSE4.2 the dedicated `crc32` instruction is used (the
+//! reason CRC-32C is *the* storage polynomial — several bytes per cycle);
+//! elsewhere a table-driven slice-by-8 implementation (8 bytes folded per
+//! step, ~8× the single-table rate). Dependency-free like the rest of
+//! this crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use stdchk_util::crc32::Crc32;
+//!
+//! let sum = Crc32::checksum(b"segment record payload");
+//! let mut inc = Crc32::new();
+//! inc.update(b"segment record ");
+//! inc.update(b"payload");
+//! assert_eq!(inc.finalize(), sum);
+//! ```
+
+/// CRC-32C polynomial, reversed bit order.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Slice-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k][b]` advances a byte `k` extra
+/// positions so eight bytes fold in one step.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// Incremental CRC-32C state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: sse4.2 presence was just verified at runtime.
+            self.state = unsafe { update_hw(self.state, data) };
+            return;
+        }
+        self.update_sw(data);
+    }
+
+    /// Portable slice-by-8 fold.
+    fn update_sw(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for d in &mut chunks {
+            let lo = u32::from_le_bytes(d[0..4].try_into().unwrap()) ^ crc;
+            let hi = u32::from_le_bytes(d[4..8].try_into().unwrap());
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum value.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot checksum of `data`.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(data);
+        c.finalize()
+    }
+}
+
+/// Hardware fold via the SSE4.2 `crc32` instruction, 8 bytes per issue.
+///
+/// # Safety
+///
+/// Caller must have verified SSE4.2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn update_hw(state: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut crc = state as u64;
+    let mut chunks = data.chunks_exact(8);
+    for d in &mut chunks {
+        crc = _mm_crc32_u64(crc, u64::from_le_bytes(d.try_into().unwrap()));
+    }
+    let mut crc = crc as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Crc32;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 (iSCSI) CRC-32C test vectors.
+        assert_eq!(Crc32::checksum(b""), 0);
+        assert_eq!(Crc32::checksum(b"123456789"), 0xE306_9283);
+        assert_eq!(Crc32::checksum(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(Crc32::checksum(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn hw_and_sw_paths_agree() {
+        let data: Vec<u8> = (0..4099u32).map(|i| (i.wrapping_mul(31)) as u8).collect();
+        let mut sw = Crc32::new();
+        sw.update_sw(&data);
+        assert_eq!(sw.finalize(), Crc32::checksum(&data));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7) as u8).collect();
+        for split in [0, 1, 13, 512, 1023, 1024] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), Crc32::checksum(&data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 256];
+        let base = Crc32::checksum(&data);
+        data[100] ^= 0x04;
+        assert_ne!(Crc32::checksum(&data), base);
+    }
+}

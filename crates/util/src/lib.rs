@@ -5,6 +5,8 @@
 //!
 //! - [`sha256`]: a from-scratch SHA-256 implementation used for
 //!   content-addressed chunk naming and integrity verification.
+//! - [`crc32`]: CRC-32C record checksums for the segment-log storage
+//!   engine's framing and torn-tail detection.
 //! - [`rolling`]: the polynomial window hashes used by the content-based
 //!   chunking (CbCH) heuristics.
 //! - [`time`]: nanosecond-precision [`Time`]/[`Dur`] newtypes shared by the
@@ -23,6 +25,7 @@
 //! ```
 
 pub mod bytesize;
+pub mod crc32;
 pub mod rate;
 pub mod rolling;
 pub mod sha256;

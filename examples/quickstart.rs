@@ -1,8 +1,9 @@
 //! Quickstart: a complete stdchk pool in one process.
 //!
-//! Starts a metadata manager and four benefactors on loopback TCP, writes a
-//! checkpoint with the sliding-window protocol, reads it back, and prints
-//! the paper's two bandwidth metrics (OAB/ASB).
+//! Starts a metadata manager and four benefactors on loopback TCP — each
+//! persisting chunks in the production segment-log engine under a scratch
+//! directory — writes a checkpoint with the sliding-window protocol, reads
+//! it back, and prints the paper's two bandwidth metrics (OAB/ASB).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -13,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use stdchk::core::session::write::WriteProtocol;
 use stdchk::core::{BenefactorConfig, PoolConfig};
-use stdchk::net::store::MemStore;
+use stdchk::net::store::SegmentStore;
 use stdchk::net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
 use stdchk::util::bytesize::fmt_rate;
 
@@ -22,7 +23,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mgr = ManagerServer::spawn("127.0.0.1:0", PoolConfig::default())?;
     println!("manager listening on {}", mgr.addr());
 
-    // 2. Four desktops donate scavenged space.
+    // 2. Four desktops donate scavenged space, each backed by a segment-log
+    //    store in a scratch directory.
+    let scratch = std::env::temp_dir().join(format!("stdchk-quickstart-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
     let mut benefactors = Vec::new();
     for i in 0..4 {
         let b = BenefactorServer::spawn(BenefactorNetConfig {
@@ -30,7 +34,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             listen: "127.0.0.1:0".into(),
             total_space: 1 << 30,
             cfg: BenefactorConfig::default(),
-            store: Arc::new(MemStore::new()),
+            store: Arc::new(SegmentStore::open(scratch.join(format!("donor{i}")))?),
         })?;
         println!("benefactor {i} donating 1 GiB at {}", b.addr());
         benefactors.push(b);
@@ -72,5 +76,6 @@ fn main() -> Result<(), Box<dyn Error>> {
             e.name, e.attr.size, e.attr.versions
         );
     }
+    std::fs::remove_dir_all(&scratch).ok();
     Ok(())
 }

@@ -6,11 +6,72 @@
 //! declared). No statistics machinery, no HTML reports — numbers on stdout.
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value passthrough.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// One finished benchmark's measurement (stdout is the primary report;
+/// harnesses that also emit machine-readable files drain these through
+/// [`take_results`]).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group name (`Criterion::benchmark_group` argument).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Declared per-iteration throughput basis, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Bytes per second, when byte throughput was declared and time was
+    /// measurable.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(n)) if self.median_ns > 0 => {
+                Some(n as f64 / (self.median_ns as f64 / 1e9))
+            }
+            _ => None,
+        }
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded by benchmarks run so far in this process.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results poisoned"))
+}
+
+/// Records (and prints, in the standard report format) an externally
+/// measured result — for harnesses that interleave the competitors inside
+/// one sampling loop (A/B pairing against environment noise) and so cannot
+/// time through [`Bencher`].
+pub fn record(group: &str, id: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let bps = n as f64 / median.as_secs_f64();
+            format!("  {:>10.1} MiB/s", bps / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id}: median {median:?}{rate}");
+    RESULTS.lock().expect("results poisoned").push(BenchResult {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_ns: median.as_nanos(),
+        throughput,
+    });
 }
 
 /// Batch sizing hint for [`Bencher::iter_batched`] (ignored; every batch is
@@ -119,6 +180,12 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("{}/{id}: median {med:?}{rate}", self.name);
+        RESULTS.lock().expect("results poisoned").push(BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            median_ns: med.as_nanos(),
+            throughput: self.throughput,
+        });
         self
     }
 
