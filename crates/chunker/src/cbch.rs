@@ -2,6 +2,25 @@
 //!
 //! See the crate docs for the overlap / no-overlap / rolling distinction and
 //! the paper's throughput implications.
+//!
+//! # Examples
+//!
+//! Content-defined boundaries survive an insertion near the start of the
+//! image (exactly what breaks fixed-size chunking):
+//!
+//! ```
+//! use stdchk_chunker::{Chunker, CbRollingChunker};
+//!
+//! let chunker = CbRollingChunker::new(48, 10);
+//! let v1: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect();
+//! let mut v2 = v1.clone();
+//! v2.splice(100..100, [0xAA, 0xBB, 0xCC]); // insert 3 bytes near the front
+//!
+//! let ids1: std::collections::HashSet<_> =
+//!     chunker.split(&v1).into_iter().map(|c| c.id).collect();
+//! let shared = chunker.split(&v2).iter().filter(|c| ids1.contains(&c.id)).count();
+//! assert!(shared > 0, "chunks after the insertion point re-align");
+//! ```
 
 use std::ops::Range;
 

@@ -5,6 +5,23 @@
 //! the previous image. [`SimilarityTracker`] runs that accounting over a
 //! stream of images; it also supports comparing against *all* prior versions
 //! (what a content-addressed store actually achieves).
+//!
+//! # Examples
+//!
+//! ```
+//! use stdchk_chunker::{Chunker, FsChunker, SimilarityTracker};
+//!
+//! let chunker = FsChunker::new(4 << 10);
+//! let mut tracker = SimilarityTracker::new();
+//! let v1 = vec![7u8; 64 << 10];
+//! tracker.observe(&chunker.split(&v1));
+//!
+//! // Second image: identical except the first chunk.
+//! let mut v2 = v1.clone();
+//! v2[0] ^= 0xFF;
+//! let report = tracker.observe(&chunker.split(&v2));
+//! assert!(report.ratio() > 0.9, "all but one chunk dedups");
+//! ```
 
 use std::collections::HashSet;
 

@@ -1,4 +1,15 @@
 //! Chunk-size statistics for Table 4's avg/min/max columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use stdchk_chunker::{ChunkStats, Chunker, CbRollingChunker};
+//!
+//! let image: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+//! let stats = ChunkStats::of(&CbRollingChunker::new(48, 12).split(&image));
+//! assert_eq!(stats.total, image.len() as u64);
+//! assert!(stats.min <= stats.avg() as u64 && stats.avg() as u64 <= stats.max);
+//! ```
 
 use stdchk_proto::chunkmap::ChunkEntry;
 

@@ -2,6 +2,7 @@
 //! retention-policy sweeps, GC marking and reports, version pruning.
 
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
+use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::Msg;
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_util::Time;
@@ -126,6 +127,10 @@ impl Manager {
         }
         let drop_count = file.versions.len() - keep;
         let dropped: Vec<_> = file.versions.drain(..drop_count).collect();
+        self.log_meta(out, || MetaRecord::Prune {
+            path: path.to_string(),
+            versions: dropped.iter().map(|v| v.version).collect(),
+        });
         for record in dropped {
             self.stats.policy_drops += 1;
             self.decref_map(&record.map, out);
@@ -150,6 +155,13 @@ impl Manager {
             } else {
                 true
             }
+        });
+        if dropped.is_empty() {
+            return;
+        }
+        self.log_meta(out, || MetaRecord::Prune {
+            path: path.to_string(),
+            versions: dropped.iter().map(|v| v.version).collect(),
         });
         for record in dropped {
             self.stats.policy_drops += 1;

@@ -14,6 +14,7 @@
 //! through [`Node::poll_action`]. [`Manager::handle_msg`] and
 //! [`Manager::tick`] remain as `Vec`-returning compatibility shims.
 
+mod durable;
 mod maintain;
 mod replicate;
 mod write;
@@ -22,6 +23,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use stdchk_proto::chunkmap::{ChunkMap, FileVersionView};
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::{DirEntry, FileAttr, Msg, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
@@ -171,6 +173,11 @@ pub struct Manager {
     pub(crate) last_gc_mark: Time,
     pub(crate) stats: ManagerStats,
     pub(crate) actions: ActionQueue,
+    /// When set, every namespace mutation also emits an
+    /// [`Action::MetaAppend`] write-ahead-log record (see [`durable`]).
+    pub(crate) wal: bool,
+    /// Mutation-order stamp for the next WAL record.
+    pub(crate) next_meta_seq: u64,
 }
 
 impl Manager {
@@ -197,12 +204,44 @@ impl Manager {
             last_gc_mark: Time::ZERO,
             stats: ManagerStats::default(),
             actions: ActionQueue::new(),
+            wal: false,
+            next_meta_seq: 0,
         }
     }
 
     /// The pool configuration.
     pub fn config(&self) -> &PoolConfig {
         &self.cfg
+    }
+
+    /// Turns on write-ahead logging: from now on every namespace mutation
+    /// emits an [`Action::MetaAppend`] record *before* the reply it
+    /// guards, so a driver that executes actions in order gets
+    /// durable-before-ack semantics for free. Off by default — a manager
+    /// without an attached log (tests, the pure-trait driver) stays
+    /// volatile and emits only `Send`s.
+    pub fn enable_wal(&mut self) {
+        self.wal = true;
+    }
+
+    /// True when write-ahead logging is on.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal
+    }
+
+    /// Queues a WAL record if logging is enabled (no-op otherwise). The
+    /// sequence stamp is assigned here, under the state-machine lock, so
+    /// it reflects true mutation order even when a driver executes the
+    /// queued actions from racing threads.
+    pub(crate) fn log_meta(&mut self, out: &mut ActionQueue, record: impl FnOnce() -> MetaRecord) {
+        if self.wal {
+            let seq = self.next_meta_seq;
+            self.next_meta_seq += 1;
+            out.push(Action::MetaAppend {
+                seq,
+                record: record(),
+            });
+        }
     }
 
     /// Operational counters.
@@ -354,9 +393,16 @@ impl Manager {
                 last_seen: now,
                 online: true,
                 gc_due: false,
-                addr,
+                addr: addr.clone(),
             },
         );
+        // The id assignment and dial address are durable; liveness stays
+        // soft state (heartbeats).
+        self.log_meta(out, || MetaRecord::Benefactor {
+            node,
+            addr,
+            total: total_space,
+        });
         out.push(Send {
             to: from,
             msg: Msg::JoinOk {
@@ -380,9 +426,10 @@ impl Manager {
         now: Time,
         out: &mut ActionQueue,
     ) {
+        let known = self.benefactors.contains_key(&node);
         let info = self.benefactors.entry(node).or_insert_with(|| {
             // Unknown node: accept the soft-state registration. This is the
-            // normal path after a manager restart.
+            // normal path after a manager restart without a metadata log.
             BenefactorInfo {
                 free,
                 total,
@@ -394,9 +441,11 @@ impl Manager {
             }
         });
         info.free = free;
+        let total_changed = info.total != total;
         info.total = total;
         info.last_seen = now;
-        if !addr.is_empty() {
+        let addr_changed = !addr.is_empty() && info.addr != addr;
+        if addr_changed {
             info.addr = addr;
         }
         let was_offline = !info.online;
@@ -408,6 +457,16 @@ impl Manager {
         }
         let gc_due = info.gc_due;
         self.next_node = self.next_node.max(node.as_u64() + 1);
+        if !known || addr_changed || total_changed {
+            // A membership fact changed (adoption of an unknown id, a new
+            // address, or a resized donation): persist it. Routine
+            // heartbeats append nothing.
+            let (addr, total) = {
+                let b = &self.benefactors[&node];
+                (b.addr.clone(), b.total)
+            };
+            self.log_meta(out, || MetaRecord::Benefactor { node, addr, total });
+        }
         out.push(Send {
             to: node,
             msg: Msg::HeartbeatAck { node, gc_due },
@@ -772,8 +831,12 @@ impl Manager {
         self.actions
             .drain()
             .into_iter()
-            .map(|a| match a {
-                Action::Send { to, msg } => Send { to, msg },
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some(Send { to, msg }),
+                // The Vec<Send> shims are driver-less; WAL records have no
+                // log to land in and are dropped (real drivers dispatch on
+                // the unified Action enum and persist them).
+                Action::MetaAppend { .. } => None,
                 other => unreachable!("manager never emits {other:?}"),
             })
             .collect()

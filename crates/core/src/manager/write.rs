@@ -6,6 +6,7 @@ use std::collections::{HashMap, HashSet};
 
 use stdchk_proto::chunkmap::{ChunkEntry, ChunkMap};
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
+use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::Msg;
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
@@ -18,6 +19,69 @@ use super::{
 use crate::node::ActionQueue;
 
 impl Manager {
+    /// Installs one sealed version: upserts chunk metadata (sizes,
+    /// refcounts, replication targets, placement locations) and appends
+    /// the version to the file entry, creating it if needed. Shared by
+    /// the client commit path, re-offer recovery, and WAL replay —
+    /// `file_hint` forces the file id when replaying a logged commit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn apply_version(
+        &mut self,
+        path: &str,
+        file_hint: Option<FileId>,
+        version: VersionId,
+        map: ChunkMap,
+        placements: &[(ChunkId, Vec<NodeId>)],
+        replication: u32,
+        mtime: Time,
+    ) -> FileId {
+        let placement_map: HashMap<ChunkId, &Vec<NodeId>> =
+            placements.iter().map(|(c, l)| (*c, l)).collect();
+        let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
+        for id in map.distinct_chunks() {
+            let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
+                size: *sizes.get(&id).expect("entry size"),
+                locations: Vec::new(),
+                refcount: 0,
+                target: 1,
+            });
+            meta.refcount += 1;
+            meta.target = meta.target.max(replication);
+            if let Some(locs) = placement_map.get(&id) {
+                for n in locs.iter() {
+                    if !meta.locations.contains(n) {
+                        meta.locations.push(*n);
+                    }
+                }
+            }
+        }
+        let file = self
+            .files
+            .entry(path.to_string())
+            .or_insert_with(|| FileState {
+                id: file_hint.unwrap_or(FileId(self.next_file)),
+                versions: Vec::new(),
+                replication: 1,
+            });
+        if let Some(hint) = file_hint {
+            // Replay: the logged id is authoritative. A lingering entry
+            // could carry a different id only through transient state the
+            // log deliberately omits (e.g. an entry kept empty by an open
+            // reservation at crash time); the record reflects what the
+            // emitting manager actually granted.
+            file.id = hint;
+        }
+        file.replication = file.replication.max(replication);
+        let file_id = file.id;
+        file.versions.push(VersionRecord {
+            version,
+            map,
+            mtime,
+        });
+        self.next_file = self.next_file.max(file_id.as_u64() + 1);
+        self.next_version = self.next_version.max(version.as_u64() + 1);
+        file_id
+    }
     #[allow(clippy::too_many_arguments)]
     pub(super) fn on_create_file(
         &mut self,
@@ -213,44 +277,28 @@ impl Manager {
                 return;
             }
         }
-        // Apply chunk metadata.
-        let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
-        for id in map.distinct_chunks() {
-            let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
-                size: *sizes.get(&id).expect("entry size"),
-                locations: Vec::new(),
-                refcount: 0,
-                target: 1,
-            });
-            meta.refcount += 1;
-            meta.target = meta.target.max(res.replication);
-            if let Some(locs) = placement_map.get(&id) {
-                for n in locs.iter() {
-                    if !meta.locations.contains(n) {
-                        meta.locations.push(*n);
-                    }
-                }
-            }
-        }
-        // Record the version.
-        let file = self.files.entry(res.path.clone()).or_insert_with(|| {
-            let id = FileId(self.next_file);
-            self.next_file += 1;
-            FileState {
-                id,
-                versions: Vec::new(),
-                replication: res.replication,
-            }
-        });
-        file.replication = file.replication.max(res.replication);
-        let file_id = file.id;
+        // Apply chunk metadata and record the version, then write-ahead-log
+        // the commit *before* any reply that acknowledges it.
         let version = res.version;
-        file.versions.push(VersionRecord {
+        let file_id = self.apply_version(
+            &res.path,
+            None,
             version,
-            map: map.clone(),
-            mtime: now,
-        });
+            map.clone(),
+            &placements,
+            res.replication,
+            now,
+        );
         self.stats.commits += 1;
+        self.log_meta(out, || MetaRecord::Commit {
+            path: res.path.clone(),
+            file: file_id,
+            version,
+            mtime: now,
+            entries: map.entries().to_vec(),
+            placements: placements.clone(),
+            replication: res.replication,
+        });
 
         // Plan replication for under-replicated chunks of this version.
         let mut waiting: HashSet<ChunkId> = HashSet::new();
@@ -323,6 +371,7 @@ impl Manager {
             Some(f) if !f.versions.is_empty() => {
                 self.prune_versions(&path, 0, out);
                 self.files.remove(&path);
+                self.log_meta(out, || MetaRecord::Delete { path: path.clone() });
                 out.push(Send {
                     to: from,
                     msg: Msg::Ack { req },
@@ -348,7 +397,8 @@ impl Manager {
         out: &mut ActionQueue,
     ) {
         let dir = normalize(&dir);
-        self.dirs.insert(dir, policy);
+        self.dirs.insert(dir.clone(), policy);
+        self.log_meta(out, || MetaRecord::SetPolicy { dir, policy });
         out.push(Send {
             to: from,
             msg: Msg::Ack { req },
@@ -441,46 +491,25 @@ impl Manager {
             // on its next cycle.
             return;
         }
-        // Accept: synthesize the commit.
+        // Accept: synthesize the commit (and, with a metadata log
+        // attached, persist it like any other — recovered state must not
+        // be lost to the *next* crash).
         self.reoffers.remove(&path);
         let map = ChunkMap::from_entries(entries);
-        let placement_map: HashMap<ChunkId, &Vec<NodeId>> =
-            placements.iter().map(|(c, l)| (*c, l)).collect();
-        let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
-        for id in map.distinct_chunks() {
-            let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
-                size: *sizes.get(&id).expect("entry size"),
-                locations: Vec::new(),
-                refcount: 0,
-                target: 1,
-            });
-            meta.refcount += 1;
-            if let Some(locs) = placement_map.get(&id) {
-                for n in locs.iter() {
-                    if !meta.locations.contains(n) {
-                        meta.locations.push(*n);
-                    }
-                }
-            }
-        }
         let version = VersionId(self.next_version);
         self.next_version += 1;
-        let file = self.files.entry(path).or_insert_with(|| {
-            let id = FileId(self.next_file);
-            self.next_file += 1;
-            FileState {
-                id,
-                versions: Vec::new(),
-                replication: 1,
-            }
-        });
-        file.versions.push(VersionRecord {
-            version,
-            map,
-            mtime: now,
-        });
+        let file_id = self.apply_version(&path, None, version, map.clone(), &placements, 1, now);
         self.stats.commits += 1;
         self.stats.recovered_commits += 1;
+        self.log_meta(out, || MetaRecord::Commit {
+            path,
+            file: file_id,
+            version,
+            mtime: now,
+            entries: map.entries().to_vec(),
+            placements,
+            replication: 1,
+        });
         out.push(Send {
             to: node,
             msg: Msg::Ack { req },

@@ -105,6 +105,23 @@ pub enum Action {
         /// All staged bytes before this offset may be dropped.
         upto: u64,
     },
+    /// Append one record to the manager's metadata write-ahead log.
+    /// Emitted only when the manager's WAL is enabled
+    /// ([`Manager::enable_wal`](crate::Manager::enable_wal)). No
+    /// completion, but drivers must make the record durable **before**
+    /// executing any `Send` drained after it — the manager queues the
+    /// append ahead of the reply it guards, so in-order execution is
+    /// exactly write-ahead logging.
+    MetaAppend {
+        /// Mutation order, assigned under the state-machine lock (0, 1,
+        /// 2, … per process). Drivers whose action execution can race
+        /// across batches (multiple pumping threads) must restore this
+        /// order before appending — log order must equal mutation order
+        /// or replay diverges.
+        seq: u64,
+        /// The mutation record to persist.
+        record: stdchk_proto::meta::MetaRecord,
+    },
 }
 
 /// A finished driver operation, fed back through

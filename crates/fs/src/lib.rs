@@ -12,6 +12,56 @@
 //!
 //! See [`StdchkFs`] for the entry point and [`naming::CheckpointName`] for
 //! `A.Ni.Tj` handling.
+//!
+//! # The call surface
+//!
+//! | POSIX-ish call | Facade method | Notes |
+//! |---|---|---|
+//! | `open(O_CREAT)` + `write` + `close` | [`StdchkFs::create`] → `write_all` → `finish` | session semantics: the image appears atomically at `finish` |
+//! | `open(O_RDONLY)` + `read` | [`StdchkFs::open`] / [`StdchkFs::open_version`] | striped reads with replica failover |
+//! | `stat` | [`StdchkFs::getattr`] | served from the attr cache within its TTL |
+//! | `readdir` | [`StdchkFs::readdir`] | served from the listing cache within its TTL |
+//! | `unlink` | [`StdchkFs::unlink`] | drops every version; chunks are GC'd |
+//! | — | [`StdchkFs::checkpoint`] / [`StdchkFs::restart_latest`] | `A.Ni.Tj`-aware write/read of the newest timestep |
+//!
+//! # Example: a checkpoint round-trip through the facade
+//!
+//! Runs a real in-process pool (manager + one donor on loopback), writes
+//! a checkpoint through the facade, and restarts from it:
+//!
+//! ```
+//! use std::io::Write;
+//! use std::sync::Arc;
+//! use stdchk_fs::{MountOptions, StdchkFs};
+//! use stdchk_net::store::MemStore;
+//! use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mgr = ManagerServer::spawn("127.0.0.1:0", Default::default())?;
+//! let _donor = BenefactorServer::spawn(BenefactorNetConfig {
+//!     manager_addr: mgr.addr().to_string(),
+//!     listen: "127.0.0.1:0".into(),
+//!     total_space: 1 << 30,
+//!     cfg: Default::default(),
+//!     store: Arc::new(MemStore::new()),
+//! })?;
+//! while mgr.online_benefactors() < 1 {
+//!     std::thread::sleep(std::time::Duration::from_millis(5));
+//! }
+//!
+//! let fs = StdchkFs::mount(Grid::connect(&mgr.addr().to_string())?, MountOptions::default());
+//! // `solver.n0.t1` — timesteps of `solver.n0` become versions of one file.
+//! let name = stdchk_fs::naming::CheckpointName::new("solver", 0, 1);
+//! let mut ck = fs.checkpoint("/app", &name)?;
+//! ck.write_all(b"checkpoint image bytes")?;
+//! ck.finish()?; // atomic commit: the image is now visible
+//!
+//! assert_eq!(fs.getattr("/app/solver.n0")?.size, 22);
+//! let (_version, image) = fs.restart_latest("/app", "solver", 0)?;
+//! assert_eq!(image, b"checkpoint image bytes");
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod naming;
 

@@ -54,6 +54,9 @@ pub fn read_frame_timeout(stream: &mut TcpStream, timeout: Duration) -> io::Resu
 #[derive(Clone, Copy, Debug)]
 pub struct Clock {
     epoch: Instant,
+    /// Protocol time at `epoch` (non-zero when resuming a durable
+    /// timeline).
+    base: Time,
 }
 
 impl Default for Clock {
@@ -65,14 +68,25 @@ impl Default for Clock {
 impl Clock {
     /// A clock whose zero is "now".
     pub fn new() -> Clock {
+        Clock::starting_at(Time::ZERO)
+    }
+
+    /// A clock that reads `base` now and advances from there. Protocol
+    /// time is process-relative, so a restarted durable manager resumes
+    /// the clock *after* every timestamp it replayed — otherwise
+    /// replayed version mtimes from the previous incarnation would sit
+    /// in this one's future (inverting mtime order for new commits and
+    /// stalling age-based retention until the new process caught up).
+    pub fn starting_at(base: Time) -> Clock {
         Clock {
             epoch: Instant::now(),
+            base,
         }
     }
 
     /// Current protocol time.
     pub fn now(&self) -> Time {
-        Time(self.epoch.elapsed().as_nanos() as u64)
+        self.base + stdchk_util::Dur(self.epoch.elapsed().as_nanos() as u64)
     }
 }
 

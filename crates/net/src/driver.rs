@@ -68,6 +68,15 @@ pub trait Effects: Send + Sync + 'static {
     }
 }
 
+/// Batch-order tickets for [`NodeHost`]s running with ordered effects.
+#[derive(Debug, Default)]
+struct OrderState {
+    /// Next ticket to hand out (assigned while the batch is popped).
+    next: u64,
+    /// Ticket currently allowed to execute.
+    turn: u64,
+}
+
 /// A sans-IO node hosted behind a lock, with a shared clock, an effects
 /// executor, and a timer the event loop sleeps on.
 pub struct NodeHost<N, E> {
@@ -77,11 +86,50 @@ pub struct NodeHost<N, E> {
     timer_gate: Mutex<()>,
     timer_cv: Condvar,
     shutdown: AtomicBool,
+    /// When set, drained batches execute strictly in pop order, one at a
+    /// time (see [`NodeHost::new_ordered`]).
+    ordered: bool,
+    order: Mutex<OrderState>,
+    order_cv: Condvar,
+}
+
+/// Advances the batch-order turn even if the executing thread unwinds,
+/// so a panicking effect cannot wedge every other pump.
+struct TurnGuard<'a> {
+    order: &'a Mutex<OrderState>,
+    cv: &'a Condvar,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        self.order.lock().turn += 1;
+        self.cv.notify_all();
+    }
 }
 
 impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
-    /// Hosts `node`.
+    /// Hosts `node` with concurrent effect execution: any pumping thread
+    /// may execute any drained batch, in any interleaving. Right for
+    /// effects that carry no cross-action ordering (blob I/O keyed by
+    /// content hash, independent sends).
     pub fn new(node: N, clock: Clock, effects: E) -> Arc<NodeHost<N, E>> {
+        NodeHost::build(node, clock, effects, false)
+    }
+
+    /// Hosts `node` with **ordered** effect execution: drained batches
+    /// run strictly in the order they were popped from the action queue,
+    /// one batch at a time. Required when effect order is part of the
+    /// protocol — the manager's metadata WAL queues each append *ahead
+    /// of* the reply it guards, and that only means write-ahead if no
+    /// racing pump thread can transmit a later-queued send first. Costs
+    /// effect-execution parallelism, so reserve it for nodes whose
+    /// effects are cheap (the manager's are socket writes and small log
+    /// appends).
+    pub fn new_ordered(node: N, clock: Clock, effects: E) -> Arc<NodeHost<N, E>> {
+        NodeHost::build(node, clock, effects, true)
+    }
+
+    fn build(node: N, clock: Clock, effects: E, ordered: bool) -> Arc<NodeHost<N, E>> {
         Arc::new(NodeHost {
             node: Mutex::new(node),
             clock,
@@ -89,6 +137,9 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
             timer_gate: Mutex::new(()),
             timer_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            ordered,
+            order: Mutex::new(OrderState::default()),
+            order_cv: Condvar::new(),
         })
     }
 
@@ -128,10 +179,16 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
     /// under the lock, hand the whole batch to
     /// [`Effects::execute_batch`] lock-free, feed completions back, repeat
     /// until the queue is empty.
+    ///
+    /// On an ordered host ([`NodeHost::new_ordered`]) each batch takes a
+    /// ticket *inside the pop critical section* (ticket order ≡ queue
+    /// order) and waits its turn before executing, so effects run in
+    /// exactly the order the node emitted them even with many pumping
+    /// threads.
     pub fn pump(&self) {
         let mut batch = Vec::with_capacity(ACTION_BATCH);
         loop {
-            {
+            let ticket = {
                 let mut node = self.node.lock();
                 while batch.len() < ACTION_BATCH {
                     match node.poll_action() {
@@ -139,10 +196,29 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
                         None => break,
                     }
                 }
-            }
-            if batch.is_empty() {
-                return;
-            }
+                if batch.is_empty() {
+                    return;
+                }
+                if self.ordered {
+                    let mut order = self.order.lock();
+                    let t = order.next;
+                    order.next += 1;
+                    Some(t)
+                } else {
+                    None
+                }
+            };
+            let _turn_guard = ticket.map(|t| {
+                let mut order = self.order.lock();
+                while order.turn != t {
+                    self.order_cv.wait(&mut order);
+                }
+                drop(order);
+                TurnGuard {
+                    order: &self.order,
+                    cv: &self.order_cv,
+                }
+            });
             let mut completions = Vec::new();
             self.effects.execute_batch(&mut batch, &mut completions);
             debug_assert!(batch.is_empty(), "execute_batch must drain the batch");

@@ -3,7 +3,12 @@
 //! This crate turns the sans-IO state machines of `stdchk-core` into a
 //! runnable storage pool:
 //!
-//! - [`ManagerServer`] — the metadata manager as a TCP server.
+//! - [`ManagerServer`] — the metadata manager as a TCP server. Runs
+//!   volatile ([`ManagerServer::spawn`], the paper's soft-state manager)
+//!   or durable ([`ManagerServer::spawn_durable`]): a
+//!   [`metalog::MetaLog`] write-ahead log + snapshots replayed at open,
+//!   so a restart serves `stat`/`list`/`open` immediately and benefactor
+//!   re-offers demote to a consistency repair.
 //! - [`BenefactorServer`] — a storage donor: joins the pool, heartbeats,
 //!   serves chunks from a [`store::ChunkStore`] (the
 //!   [`store::SegmentStore`] append-only segment log with group commit for
@@ -11,6 +16,11 @@
 //!   [`store::MemStore`] as alternatives), executes replication, runs GC.
 //! - [`Grid`] — the client proxy: `create()`/`open()` handles implementing
 //!   `std::io::{Write, Read}` plus metadata operations.
+//!
+//! Both durable structures — chunk segments and the metadata WAL — are
+//! built on one [`log`] engine core: CRC-framed self-delimiting records,
+//! a group-commit flusher, torn-tail recovery, and exclusive directory
+//! locks.
 //!
 //! All three drive their state machines through the unified
 //! [`Node`](stdchk_core::Node) API: the servers share one generic
@@ -53,10 +63,13 @@ pub mod benefactor_server;
 pub mod client;
 pub mod conn;
 pub mod driver;
+pub mod log;
 pub mod manager_server;
+pub mod metalog;
 pub mod store;
 
 pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
 pub use client::{Grid, GridError, ReadHandle, WriteHandle, WriteOptions};
 pub use driver::{run_node, Effects, NodeHost};
 pub use manager_server::ManagerServer;
+pub use metalog::{MetaLog, MetaLogConfig};

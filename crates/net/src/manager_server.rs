@@ -5,24 +5,38 @@
 //! [`NodeHost`] event loop: reader threads call `deliver`, the shared
 //! [`run_node`](crate::run_node) loop fires maintenance from `poll_timeout`, and the only
 //! manager-specific code left is [`MgrEffects`] — a connection registry
-//! that knows how to transmit.
+//! that knows how to transmit, plus (for durable managers) the metadata
+//! write-ahead log.
+//!
+//! [`ManagerServer::spawn`] runs the paper's volatile manager: a restart
+//! comes back empty and relies on benefactor re-offers.
+//! [`ManagerServer::spawn_durable`] attaches a [`MetaLog`]: the manager
+//! state machine write-ahead-logs every namespace mutation, a background
+//! thread installs periodic snapshots, and a restart replays snapshot +
+//! log before accepting its first connection — `stat`/`list`/`open`
+//! serve from replayed state immediately, and re-offers demote to a
+//! consistency repair.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::{Manager, ManagerStats, PoolConfig};
 use stdchk_proto::ids::NodeId;
+use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::{Msg, Role};
 
 use crate::conn::{read_loop, Clock, Sender};
 use crate::driver::{spawn_node_loop, Effects, NodeHost};
+use crate::metalog::{MetaLog, MetaLogConfig};
 
 /// Base of the per-connection client node-id namespace (far above any
 /// benefactor id the manager will ever assign).
@@ -33,12 +47,14 @@ pub const CLIENT_NET_BASE: u64 = 1 << 48;
 /// the registry under *some* id so any pumping thread can route replies.
 pub const HELPER_NET_BASE: u64 = 1 << 49;
 
-/// Transmit-only effects for the manager: a registry of live connections
-/// keyed by node id. The manager performs no disk or stage I/O.
+/// Effects for the manager: a registry of live connections keyed by node
+/// id, plus — for durable managers — the metadata write-ahead log that
+/// `MetaAppend` actions land in.
 pub struct MgrEffects {
     conns: Mutex<HashMap<NodeId, Sender>>,
     next_client: AtomicU64,
     next_helper: AtomicU64,
+    metalog: Option<Arc<MetaLog>>,
 }
 
 impl MgrEffects {
@@ -56,18 +72,74 @@ impl MgrEffects {
     }
 }
 
-impl Effects for Arc<MgrEffects> {
-    fn execute(&self, action: Action) -> Option<Completion> {
-        let Action::Send { to, msg } = action else {
-            unreachable!("manager only transmits");
-        };
+impl MgrEffects {
+    fn transmit(&self, to: NodeId, msg: &Msg) {
         let conn = self.conns.lock().get(&to).cloned();
         if let Some(conn) = conn {
-            let _ = conn.send(&msg);
+            if conn.send(msg).is_err() {
+                // A failed (or timed-out) send may have left a partial
+                // frame on the wire; any further message on this socket
+                // would desync the peer's framing. Drop the connection —
+                // peers are soft-state and re-register/retry.
+                self.unbind_if(to, &conn);
+                conn.shutdown();
+            }
         }
-        // Unreachable peers are dropped: they are soft-state; their timers
-        // re-register and re-request.
+        // Peers with no registered connection are dropped: they are
+        // soft-state; their timers re-register and re-request.
+    }
+}
+
+impl Effects for Arc<MgrEffects> {
+    /// Single-action path: same semantics as [`Effects::execute_batch`]
+    /// (which is the only caller shape the host actually uses), so the
+    /// two can never diverge on ordering or failure handling.
+    fn execute(&self, action: Action) -> Option<Completion> {
+        let mut batch = vec![action];
+        let mut completions = Vec::new();
+        self.execute_batch(&mut batch, &mut completions);
+        debug_assert!(completions.is_empty(), "manager effects yield nothing");
         None
+    }
+
+    /// Write-ahead ordering for a whole drained batch: every `MetaAppend`
+    /// is appended (one group commit covers them all) **before** any
+    /// `Send` executes, so no reply can acknowledge state the log does
+    /// not yet hold. Cross-batch order comes from the host: the manager
+    /// runs on an *ordered* [`NodeHost`], so batches execute strictly in
+    /// queue order and a send can never overtake the append queued ahead
+    /// of it in an earlier batch.
+    ///
+    /// A failed append is fail-stop: the in-memory manager has already
+    /// applied mutations the log will never hold, so continuing would
+    /// either ack state a restart loses or serve a namespace that
+    /// silently diverges from disk forever. Aborting lets the successor
+    /// restart from the last durable state (clients retry, exactly as
+    /// for a crash).
+    fn execute_batch(&self, actions: &mut Vec<Action>, completions: &mut Vec<Completion>) {
+        let _ = &completions;
+        let mut sends = Vec::with_capacity(actions.len());
+        let mut records: Vec<(u64, MetaRecord)> = Vec::new();
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => sends.push((to, msg)),
+                Action::MetaAppend { seq, record } => records.push((seq, record)),
+                other => unreachable!("manager never requests {other:?}"),
+            }
+        }
+        if !records.is_empty() {
+            let log = self
+                .metalog
+                .as_ref()
+                .expect("MetaAppend emitted without an attached MetaLog");
+            if let Err(e) = log.append_batch(&records) {
+                eprintln!("stdchk-mgr: fatal: metadata WAL append failed: {e}");
+                std::process::abort();
+            }
+        }
+        for (to, msg) in sends {
+            self.transmit(to, &msg);
+        }
     }
 }
 
@@ -75,6 +147,10 @@ impl Effects for Arc<MgrEffects> {
 pub struct ManagerServer {
     host: Arc<NodeHost<Manager, Arc<MgrEffects>>>,
     addr: SocketAddr,
+    /// The snapshot-installer thread (durable mode): joined on shutdown
+    /// so its `Arc<MetaLog>` — and with it the log directory `LOCK` —
+    /// is released promptly for a successor.
+    snapshotter: Mutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ManagerServer {
@@ -86,24 +162,125 @@ impl std::fmt::Debug for ManagerServer {
 }
 
 impl ManagerServer {
-    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts serving.
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts serving with
+    /// volatile metadata (the paper's soft-state manager: a restart
+    /// relies on heartbeats and re-offers).
     ///
     /// # Errors
     ///
     /// Fails if the listener cannot bind.
     pub fn spawn(listen: &str, cfg: PoolConfig) -> io::Result<ManagerServer> {
+        ManagerServer::spawn_inner(listen, cfg, None)
+    }
+
+    /// Binds `listen` and starts serving with durable metadata rooted at
+    /// `meta_dir`: the manager replays the directory's snapshot + WAL
+    /// before accepting its first connection, write-ahead-logs every
+    /// further namespace mutation, and installs periodic snapshots so
+    /// replay stays bounded.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind, the log directory cannot be
+    /// opened/locked, or the recovered log is corrupt.
+    pub fn spawn_durable(
+        listen: &str,
+        cfg: PoolConfig,
+        meta_dir: impl AsRef<Path>,
+    ) -> io::Result<ManagerServer> {
+        ManagerServer::spawn_durable_with(listen, cfg, meta_dir, MetaLogConfig::default())
+    }
+
+    /// [`ManagerServer::spawn_durable`] with explicit [`MetaLogConfig`]
+    /// tuning (tests use small snapshot thresholds).
+    ///
+    /// # Errors
+    ///
+    /// As [`ManagerServer::spawn_durable`].
+    pub fn spawn_durable_with(
+        listen: &str,
+        cfg: PoolConfig,
+        meta_dir: impl AsRef<Path>,
+        log_cfg: MetaLogConfig,
+    ) -> io::Result<ManagerServer> {
+        let (metalog, recovery) = MetaLog::open_with(meta_dir, log_cfg)?;
+        ManagerServer::spawn_inner(listen, cfg, Some((Arc::new(metalog), recovery)))
+    }
+
+    fn spawn_inner(
+        listen: &str,
+        cfg: PoolConfig,
+        durable: Option<(Arc<MetaLog>, crate::metalog::MetaRecovery)>,
+    ) -> io::Result<ManagerServer> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
+        let (clock, metalog, manager) = match durable {
+            None => (Clock::new(), None, Manager::new(cfg)),
+            Some((metalog, recovery)) => {
+                // Resume the protocol clock after the newest replayed
+                // timestamp: a fresh zero would put every durable mtime
+                // in this incarnation's future, inverting mtime order
+                // for new commits and stalling age-based retention.
+                let clock =
+                    Clock::starting_at(recovery.max_time() + stdchk_util::Dur::from_millis(1));
+                let now = clock.now();
+                let mut mgr = match &recovery.snapshot {
+                    Some(snap) => Manager::restore(cfg, snap, now),
+                    None => Manager::new(cfg),
+                };
+                for record in &recovery.records {
+                    mgr.replay(record, now);
+                }
+                mgr.enable_wal();
+                (clock, Some(metalog), mgr)
+            }
+        };
         let effects = Arc::new(MgrEffects {
             conns: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(CLIENT_NET_BASE),
             next_helper: AtomicU64::new(HELPER_NET_BASE),
+            metalog: metalog.clone(),
         });
-        let host = NodeHost::new(Manager::new(cfg), Clock::new(), effects);
+        // Ordered host: WAL appends are queued ahead of the replies they
+        // guard, and only in-order batch execution makes that
+        // write-ahead across racing connection threads.
+        let host = NodeHost::new_ordered(manager, clock, effects);
 
         // The generic event loop replaces the bespoke maintenance ticker:
         // wakeups come from Manager::poll_timeout.
         spawn_node_loop("stdchk-mgr-node", Arc::clone(&host));
+
+        // Snapshot installer: once the WAL tail grows past the configured
+        // threshold, serialize the manager and compact the log. The
+        // snapshot is captured inside `install_with` — under the log's
+        // append lock — so it is guaranteed to cover every record in the
+        // segments the install prunes; see `MetaLog::install_with` for
+        // why the resulting fuzziness (effects of not-yet-appended
+        // records) is safe to replay.
+        let snapshotter = metalog.map(|metalog| {
+            let host = Arc::clone(&host);
+            thread::Builder::new()
+                .name("stdchk-mgr-snapshot".into())
+                .spawn(move || {
+                    while !host.is_shutdown() {
+                        if metalog.wants_snapshot() {
+                            let res = metalog.install_with(|| host.with_node(|m| m.snapshot()));
+                            if let Err(e) = res {
+                                eprintln!("stdchk-mgr: snapshot install failed: {e}");
+                            }
+                        }
+                        // Short slices so shutdown (which joins this
+                        // thread to release the log LOCK) is quick.
+                        for _ in 0..5 {
+                            if host.is_shutdown() {
+                                return;
+                            }
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                })
+                .expect("spawn snapshotter")
+        });
 
         // Accept loop.
         {
@@ -126,7 +303,11 @@ impl ManagerServer {
                 .expect("spawn accept");
         }
 
-        Ok(ManagerServer { host, addr })
+        Ok(ManagerServer {
+            host,
+            addr,
+            snapshotter: Mutex::new(snapshotter),
+        })
     }
 
     /// The bound address clients and benefactors dial.
@@ -137,6 +318,17 @@ impl ManagerServer {
     /// Current manager counters.
     pub fn stats(&self) -> ManagerStats {
         self.host.with_node(|m| m.stats())
+    }
+
+    /// Metadata-WAL records appended since the last installed snapshot
+    /// (`None` for a volatile manager). Tests observe snapshot cadence
+    /// with this.
+    pub fn meta_wal_tail(&self) -> Option<u64> {
+        self.host
+            .effects()
+            .metalog
+            .as_ref()
+            .map(|m| m.records_since_snapshot())
     }
 
     /// Online benefactor count (for tests and examples).
@@ -154,13 +346,19 @@ impl ManagerServer {
     }
 
     /// Stops accepting and ticking. Existing connection threads exit as
-    /// their sockets close.
+    /// their sockets close. Joins the snapshotter so a durable manager's
+    /// log directory `LOCK` is released promptly for a successor (the
+    /// last straggler is any connection thread still draining its
+    /// `Arc`s; restart paths retry briefly on `AddrInUse`).
     pub fn shutdown(&self) {
         self.host.shutdown();
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         for (_, conn) in self.host.effects().conns.lock().drain() {
             conn.shutdown();
+        }
+        if let Some(h) = self.snapshotter.lock().take() {
+            let _ = h.join();
         }
     }
 }
@@ -175,6 +373,10 @@ impl Drop for ManagerServer {
 /// registry (real id, client id, or synthetic helper id — every connection
 /// gets one), then every message is delivered through the generic host.
 fn serve_conn(host: Arc<NodeHost<Manager, Arc<MgrEffects>>>, stream: TcpStream) {
+    // Bound outbound writes: the manager's effects execute in order, so a
+    // peer that stops draining its socket must time out instead of
+    // stalling the whole reply pipeline behind its full buffer.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let sender = Sender::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,

@@ -1,0 +1,845 @@
+//! The manager's durable metadata store: a write-ahead log plus periodic
+//! snapshots, built on the shared [`log`](crate::log) engine core.
+//!
+//! # Layout
+//!
+//! ```text
+//! meta-dir/
+//!   LOCK                          ← pid of the owning process
+//!   snap-0000000000000005.snap    ← snapshot covering wal segments < 5
+//!   wal-0000000000000005.log      ← sealed
+//!   wal-0000000000000006.log      ← active (append-only)
+//! ```
+//!
+//! Every WAL record is one framed [`MetaRecord`] (`crate::log` framing:
+//! `len ‖ kind ‖ key ‖ crc32c ‖ payload`); the 32-byte key field carries
+//! a persistent little-endian sequence number in its first 8 bytes, so
+//! recovery can verify the log is gapless. A snapshot file holds a single
+//! framed [`MetaSnapshot`] record. The snapshot's file number is the
+//! first WAL segment *not* covered by it: opening loads the newest valid
+//! snapshot `snap-k` and replays `wal-n` for every `n ≥ k`, truncating a
+//! torn tail exactly like the chunk segment store.
+//!
+//! # Ordering
+//!
+//! Replay only reproduces the manager if log order equals mutation
+//! order. Two layers guarantee it: the manager stamps each
+//! [`Action::MetaAppend`](stdchk_core::node::Action::MetaAppend) with a
+//! mutation-order `seq` (assigned under its state lock) and runs on an
+//! *ordered* `NodeHost` (batches execute in queue order, which is also
+//! what keeps a reply from overtaking the append that guards it), and
+//! [`MetaLog::append_batch`] independently enforces the stamps: a
+//! thread holding record `n + 1` waits (condvar, bounded) until record
+//! `n` has been appended, so even a driver with racing executors cannot
+//! interleave the log. Durability is then one group-commit wait per
+//! batch — the same flusher design the chunk store uses.
+//!
+//! # Snapshots
+//!
+//! [`MetaLog::install_with`] captures the snapshot *under the append
+//! lock* — so it covers every record in the segments about to be pruned —
+//! then writes it through a temp file and a rename, rotates the WAL to
+//! the segment number the snapshot covers up to, and deletes the covered
+//! segments and older snapshots. A crash
+//! anywhere in that sequence leaves either the old snapshot + full log
+//! or the new snapshot + an over-long log — both replay correctly
+//! (snapshots are *fuzzy*: replaying a record whose effect the snapshot
+//! already contains is detected by version id and skipped, see
+//! `Manager::replay`).
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use stdchk_proto::codec::Wire;
+use stdchk_proto::meta::{MetaRecord, MetaSnapshot};
+
+use crate::log::{
+    acquire_dir_lock, encode_header, record_size, scan_records, write_all_two, DirLock, GroupCommit,
+};
+
+/// Record kind byte: one framed [`MetaRecord`].
+const KIND_META: u8 = 0;
+/// Record kind byte: one framed [`MetaSnapshot`] (snapshot files only).
+const KIND_SNAPSHOT: u8 = 1;
+
+/// How long an out-of-order append waits for its predecessor before
+/// declaring the log wedged (a predecessor can only go missing through a
+/// driver bug or a died pump thread).
+const ORDER_WAIT: Duration = Duration::from_secs(10);
+
+/// Tuning knobs of a [`MetaLog`].
+#[derive(Clone, Copy, Debug)]
+pub struct MetaLogConfig {
+    /// Rotate the active WAL segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Run group-commit `sync_data` on appends. Disable only for pools
+    /// whose metadata durability does not matter (throwaway test pools).
+    pub sync: bool,
+    /// Group-commit window (see the chunk store's equivalent knob).
+    pub commit_window: Duration,
+    /// Ask for a snapshot once this many records accumulated since the
+    /// last one (drivers poll [`MetaLog::wants_snapshot`]).
+    pub snapshot_every: u64,
+}
+
+impl Default for MetaLogConfig {
+    fn default() -> Self {
+        MetaLogConfig {
+            segment_bytes: 16 << 20,
+            sync: true,
+            commit_window: Duration::ZERO,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// What [`MetaLog::open`] recovered from disk: the newest valid snapshot
+/// (if any) and every WAL record logged after it, in log order.
+#[derive(Clone, Debug, Default)]
+pub struct MetaRecovery {
+    /// The snapshot to restore from, if one was found.
+    pub snapshot: Option<MetaSnapshot>,
+    /// Records to replay on top, oldest first.
+    pub records: Vec<MetaRecord>,
+}
+
+impl MetaRecovery {
+    /// The latest timestamp in the recovered state. A restarted manager
+    /// resumes its protocol clock *after* this point
+    /// (`Clock::starting_at`), keeping replayed mtimes in the new
+    /// incarnation's past so mtime ordering and age-based retention
+    /// carry across restarts.
+    pub fn max_time(&self) -> stdchk_util::Time {
+        let mut max = stdchk_util::Time::ZERO;
+        if let Some(snap) = &self.snapshot {
+            for f in &snap.files {
+                for v in &f.versions {
+                    max = max.max(v.mtime);
+                }
+            }
+        }
+        for r in &self.records {
+            if let MetaRecord::Commit { mtime, .. } = r {
+                max = max.max(*mtime);
+            }
+        }
+        max
+    }
+}
+
+/// Mutable log state behind the writer lock.
+#[derive(Debug)]
+struct Inner {
+    /// Number of the active (append) WAL segment.
+    active: u64,
+    /// The active segment's file.
+    file: Arc<File>,
+    /// Bytes appended to the active segment so far.
+    active_len: u64,
+    /// Monotonic appended-byte watermark across all segments.
+    appended: u64,
+    /// Persistent sequence number of the next record (goes in the key).
+    next_seq: u64,
+    /// Runtime mutation-order stamp expected next (restores cross-thread
+    /// append order; starts at 0 every process run).
+    expected_order: u64,
+    /// Records appended since the last snapshot install (or open).
+    records_since_snapshot: u64,
+}
+
+struct Core {
+    inner: Mutex<Inner>,
+    /// Wakes appenders waiting for their predecessor's order slot.
+    order_cv: Condvar,
+    gc: GroupCommit,
+}
+
+/// The manager's write-ahead log + snapshot store (see the module docs).
+pub struct MetaLog {
+    dir: PathBuf,
+    cfg: MetaLogConfig,
+    core: Arc<Core>,
+    /// Serializes [`MetaLog::install_with`] calls (their second phase
+    /// runs outside the append lock).
+    install_mx: Mutex<()>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    _dir_lock: DirLock,
+}
+
+impl std::fmt::Debug for MetaLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaLog")
+            .field("dir", &self.dir)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for MetaLog {
+    fn drop(&mut self) {
+        self.core.gc.begin_shutdown();
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn wal_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("wal-{n:016x}.log"))
+}
+
+fn snap_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("snap-{n:016x}.snap"))
+}
+
+/// Numbers of files in `dir` matching `prefix` + hex + `suffix`.
+fn numbered(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(hex) = name
+            .strip_prefix(prefix)
+            .and_then(|s| s.strip_suffix(suffix))
+        {
+            if let Ok(n) = u64::from_str_radix(hex, 16) {
+                out.push(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn open_append(path: &Path, create_new: bool) -> io::Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create(!create_new)
+        .create_new(create_new)
+        .open(path)
+}
+
+impl MetaLog {
+    /// Opens (creating if needed) a metadata log rooted at `dir` with
+    /// default tuning and returns the recovered snapshot + record tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a framed-but-undecodable record
+    /// ([`io::ErrorKind::InvalidData`] — CRC-valid bytes that no longer
+    /// parse mean corruption or a format regression, not a torn tail),
+    /// a sequence gap, or [`io::ErrorKind::AddrInUse`] when another live
+    /// process owns the directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<(MetaLog, MetaRecovery)> {
+        MetaLog::open_with(dir, MetaLogConfig::default())
+    }
+
+    /// Opens with explicit [`MetaLogConfig`] tuning; see [`MetaLog::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MetaLog::open`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        cfg: MetaLogConfig,
+    ) -> io::Result<(MetaLog, MetaRecovery)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let dir_lock = acquire_dir_lock(&dir)?;
+        // A crash during install_with may leave a temp file behind.
+        fs::remove_file(dir.join("snap-tmp")).ok();
+
+        // Newest parseable snapshot wins; invalid ones (torn writes that
+        // never got renamed over, bit rot) are deleted and older ones
+        // tried. The snapshot's frame key anchors the sequence check: it
+        // stores the seq of the first record *not* covered, so a missing
+        // or wholly-corrupt post-snapshot segment fails recovery loudly
+        // instead of silently skipping acked records.
+        let mut snapshot = None;
+        let mut base = 0u64;
+        let mut next_seq = 0u64;
+        let mut seen_seq = false;
+        for &n in numbered(&dir, "snap-", ".snap")?.iter().rev() {
+            match read_snapshot(&snap_path(&dir, n)) {
+                Some((s, snap_seq)) => {
+                    snapshot = Some(s);
+                    base = n;
+                    next_seq = snap_seq;
+                    seen_seq = true;
+                    break;
+                }
+                None => {
+                    fs::remove_file(snap_path(&dir, n)).ok();
+                }
+            }
+        }
+
+        // Replay WAL segments the snapshot does not cover; delete the
+        // ones it does (a crash between snapshot install and segment
+        // pruning leaves them behind).
+        let mut records = Vec::new();
+        let mut segs: BTreeMap<u64, Arc<File>> = BTreeMap::new();
+        let mut appended = 0u64;
+        for n in numbered(&dir, "wal-", ".log")? {
+            if n < base {
+                fs::remove_file(wal_path(&dir, n))?;
+                continue;
+            }
+            let file = open_append(&wal_path(&dir, n), false)?;
+            let file_len = file.metadata()?.len();
+            let mut decode_err = None;
+            let valid = scan_records(&file, file_len, KIND_META, |_, rec| {
+                let seq = u64::from_le_bytes(rec.key[..8].try_into().unwrap());
+                if seen_seq && seq != next_seq {
+                    decode_err = Some(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("metadata log sequence gap: expected {next_seq}, found {seq}"),
+                    ));
+                    return Err(io::ErrorKind::InvalidData.into());
+                }
+                seen_seq = true;
+                next_seq = seq + 1;
+                match MetaRecord::from_wire_bytes(&rec.payload) {
+                    Ok(r) => {
+                        records.push(r);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        decode_err = Some(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("undecodable metadata record: {e}"),
+                        ));
+                        Err(io::ErrorKind::InvalidData.into())
+                    }
+                }
+            });
+            if let Some(e) = decode_err {
+                return Err(e);
+            }
+            let valid = valid?;
+            if valid < file_len {
+                // Torn tail: drop the unparseable suffix so the next
+                // append starts on a record boundary.
+                file.set_len(valid)?;
+            }
+            appended += valid;
+            segs.insert(n, Arc::new(file));
+        }
+
+        let (active, file, active_len) = match segs.last_key_value() {
+            Some((&n, f)) => (n, Arc::clone(f), f.metadata()?.len()),
+            None => {
+                let f = open_append(&wal_path(&dir, base), false)?;
+                (base, Arc::new(f), 0)
+            }
+        };
+
+        let core = Arc::new(Core {
+            inner: Mutex::new(Inner {
+                active,
+                file,
+                active_len,
+                appended,
+                next_seq,
+                expected_order: 0,
+                records_since_snapshot: records.len() as u64,
+            }),
+            order_cv: Condvar::new(),
+            gc: GroupCommit::new(appended),
+        });
+        let flusher = if cfg.sync {
+            let core2 = Arc::clone(&core);
+            Some(
+                std::thread::Builder::new()
+                    .name("stdchk-meta-flush".into())
+                    .spawn(move || {
+                        core2.gc.flusher_loop(cfg.commit_window, || {
+                            let inner = core2.inner.lock();
+                            (inner.appended, Arc::clone(&inner.file))
+                        })
+                    })
+                    .map_err(io::Error::other)?,
+            )
+        } else {
+            None
+        };
+        Ok((
+            MetaLog {
+                dir,
+                cfg,
+                core,
+                install_mx: Mutex::new(()),
+                flusher: Mutex::new(flusher),
+                _dir_lock: dir_lock,
+            },
+            MetaRecovery { snapshot, records },
+        ))
+    }
+
+    /// Appends one record (order stamp `seq`) and waits for durability.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium, or a wedged predecessor (see
+    /// [`MetaLog::append_batch`]).
+    pub fn append(&self, seq: u64, record: &MetaRecord) -> io::Result<()> {
+        self.append_batch(&[(seq, record.clone())])
+    }
+
+    /// Appends a batch of `(order stamp, record)` pairs and waits for one
+    /// group commit covering all of them.
+    ///
+    /// Order stamps restore mutation order across racing pump threads: a
+    /// record may only land once every lower-stamped record has. The
+    /// wait is condvar-based and bounded; a predecessor that never
+    /// arrives (a driver dropped a stamped record) poisons the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a poisoned log, or an order wait that timed out.
+    pub fn append_batch(&self, batch: &[(u64, MetaRecord)]) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut target = 0;
+        {
+            let mut inner = self.core.inner.lock();
+            for (order, record) in batch {
+                while inner.expected_order != *order {
+                    if self.core.gc.is_poisoned() {
+                        return Err(io::Error::other("metadata log poisoned"));
+                    }
+                    if self
+                        .core
+                        .order_cv
+                        .wait_for(&mut inner, ORDER_WAIT)
+                        .timed_out()
+                    {
+                        self.core.gc.poison();
+                        return Err(io::Error::other(format!(
+                            "metadata log wedged: record {} never arrived (holding {})",
+                            inner.expected_order, order
+                        )));
+                    }
+                }
+                let payload = record.to_wire_bytes();
+                let mut key = [0u8; 32];
+                key[..8].copy_from_slice(&inner.next_seq.to_le_bytes());
+                let header = encode_header(KIND_META, &key, &payload);
+                let res = self.append_raw(&mut inner, &header, &payload);
+                // Pass the slot on even on failure so waiting successors
+                // fail fast on the poisoned log instead of timing out.
+                inner.expected_order = *order + 1;
+                inner.next_seq += 1;
+                inner.records_since_snapshot += 1;
+                self.core.order_cv.notify_all();
+                match res {
+                    Ok(t) => target = t,
+                    Err(e) => {
+                        // A skipped record would leave a sequence gap no
+                        // later append can repair; the log is done.
+                        self.core.gc.poison();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        if self.cfg.sync {
+            self.core.gc.wait_durable(target)?;
+        }
+        Ok(())
+    }
+
+    /// Appends `header ‖ payload` to the active segment (rotating first
+    /// if full) and returns the appended watermark. Caller holds the
+    /// inner lock.
+    fn append_raw(&self, inner: &mut Inner, header: &[u8], payload: &[u8]) -> io::Result<u64> {
+        if inner.active_len >= self.cfg.segment_bytes {
+            self.rotate_to(inner, inner.active + 1)?;
+        }
+        if self.core.gc.is_poisoned() {
+            return Err(io::Error::other(
+                "metadata log poisoned by earlier I/O failure",
+            ));
+        }
+        if let Err(e) = write_all_two(&inner.file, header, payload) {
+            // Roll back a partial record; if even that fails, poison —
+            // continuing would corrupt acked records.
+            let off = inner.active_len;
+            let rolled_back = inner.file.set_len(off).is_ok()
+                && inner
+                    .file
+                    .metadata()
+                    .map(|m| m.len() == off)
+                    .unwrap_or(false);
+            if !rolled_back {
+                self.core.gc.poison();
+            }
+            return Err(e);
+        }
+        let added = (header.len() + payload.len()) as u64;
+        inner.active_len += added;
+        inner.appended += added;
+        self.core.gc.note_appended(inner.appended);
+        Ok(inner.appended)
+    }
+
+    /// Seals the active segment (synced, so group commit's "sync the
+    /// active file covers everything" invariant holds) and starts `next`.
+    fn rotate_to(&self, inner: &mut Inner, next: u64) -> io::Result<()> {
+        if self.cfg.sync {
+            self.core.gc.count_sync();
+            inner.file.sync_data()?;
+        }
+        let file = open_append(&wal_path(&self.dir, next), true)?;
+        inner.active = next;
+        inner.file = Arc::new(file);
+        inner.active_len = 0;
+        Ok(())
+    }
+
+    /// True once [`MetaLogConfig::snapshot_every`] records accumulated
+    /// since the last snapshot; the driver should take a manager
+    /// snapshot and [`MetaLog::install_with`] one.
+    pub fn wants_snapshot(&self) -> bool {
+        self.core.inner.lock().records_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Records appended since the last installed snapshot (replay-tail
+    /// length; observability and tests).
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.core.inner.lock().records_since_snapshot
+    }
+
+    /// WAL segment files currently on disk (tests observe rotation and
+    /// snapshot pruning with this).
+    pub fn wal_segment_count(&self) -> io::Result<usize> {
+        Ok(numbered(&self.dir, "wal-", ".log")?.len())
+    }
+
+    /// Installs a new recovery base: calls `snapshot()` **while holding
+    /// the append lock**, then writes the result (temp file + rename +
+    /// directory sync) and prunes the covered segments and older
+    /// snapshots with the lock released. Crash-safe at every step —
+    /// recovery falls back to the old snapshot + full log until the
+    /// rename lands.
+    ///
+    /// The append lock is held only for the capture + rotation pair:
+    /// that is what guarantees the snapshot covers every record in the
+    /// sealed segments about to be pruned (no append can land between
+    /// capturing the state and sealing the boundary), while the
+    /// expensive part — serializing and fsyncing a namespace-sized blob,
+    /// unlinking segments — runs without stalling commit acks.
+    /// Mutations whose records have *not* been appended yet at capture
+    /// time are fine: they land in the fresh segment after the boundary
+    /// and replay on top of the snapshot, which may therefore be fuzzy
+    /// (already containing their effects); `Manager::replay` detects and
+    /// skips exactly those records by version id.
+    ///
+    /// Lock order is log-then-state: the closure may take the manager's
+    /// state lock (`host.with_node`), and no append path acquires the log
+    /// lock while holding the state lock (the `NodeHost` pump executes
+    /// effects with the node released).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures rotating, writing, renaming, or pruning. On failure
+    /// after the boundary was sealed, the log simply keeps its old
+    /// recovery base (and re-requests a snapshot) — nothing covered was
+    /// pruned.
+    pub fn install_with(&self, snapshot: impl FnOnce() -> MetaSnapshot) -> io::Result<()> {
+        // One installer at a time (phase 2 runs outside the append lock).
+        let _installing = self.install_mx.lock();
+
+        // Phase 1, under the append lock: capture the state and seal the
+        // segment boundary it covers.
+        let (snap, base, seq) = {
+            let mut inner = self.core.inner.lock();
+            let snap = snapshot();
+            let base = inner.active + 1;
+            let seq = inner.next_seq;
+            self.rotate_to(&mut inner, base)?;
+            inner.records_since_snapshot = 0;
+            (snap, base, seq)
+        };
+
+        // Phase 2, lock-free: persist the snapshot, then prune what it
+        // covers. The sealed segments are frozen, so nothing races the
+        // unlinks; a crash anywhere here leaves the old base + full log.
+        let res = (|| {
+            let payload = snap.to_wire_bytes();
+            let mut key = [0u8; 32];
+            key[..8].copy_from_slice(&seq.to_le_bytes());
+            let header = encode_header(KIND_SNAPSHOT, &key, &payload);
+            let tmp = self.dir.join("snap-tmp");
+            {
+                let file = File::create(&tmp)?;
+                write_all_two(&file, &header, &payload)?;
+                if self.cfg.sync {
+                    self.core.gc.count_sync();
+                    file.sync_data()?;
+                }
+            }
+            fs::rename(&tmp, snap_path(&self.dir, base))?;
+            if self.cfg.sync {
+                // The rename itself must survive a crash.
+                File::open(&self.dir)?.sync_all()?;
+            }
+            for n in numbered(&self.dir, "wal-", ".log")? {
+                if n < base {
+                    fs::remove_file(wal_path(&self.dir, n))?;
+                }
+            }
+            for n in numbered(&self.dir, "snap-", ".snap")? {
+                if n < base {
+                    fs::remove_file(snap_path(&self.dir, n))?;
+                }
+            }
+            Ok(())
+        })();
+        if res.is_err() {
+            // The tail counter was reset optimistically; re-arm so the
+            // driver retries the snapshot instead of waiting for another
+            // full threshold of records.
+            self.core.inner.lock().records_since_snapshot = self.cfg.snapshot_every;
+        }
+        res
+    }
+}
+
+/// Reads and validates a snapshot file, returning it plus the sequence
+/// number of the first WAL record it does *not* cover (stored in the
+/// frame key at install time). `None` on any framing, CRC, kind or
+/// decode failure (the caller falls back to an older snapshot).
+fn read_snapshot(path: &Path) -> Option<(MetaSnapshot, u64)> {
+    let file = File::open(path).ok()?;
+    let len = file.metadata().ok()?.len();
+    let rec = crate::log::read_record(&file, 0, len, KIND_SNAPSHOT).ok()??;
+    if rec.kind != KIND_SNAPSHOT || record_size(rec.payload.len() as u32) != len {
+        return None;
+    }
+    let seq = u64::from_le_bytes(rec.key[..8].try_into().unwrap());
+    MetaSnapshot::from_wire_bytes(&rec.payload)
+        .ok()
+        .map(|s| (s, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stdchk_proto::ids::{FileId, NodeId, VersionId};
+    use stdchk_proto::policy::RetentionPolicy;
+    use stdchk_util::Time;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stdchk-meta-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn rec(i: u64) -> MetaRecord {
+        MetaRecord::SetPolicy {
+            dir: format!("/d{i}"),
+            policy: RetentionPolicy::AutomatedReplace {
+                keep_last: i as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn append_and_recover_in_order() {
+        let dir = tmp("order");
+        {
+            let (mlog, recovered) = MetaLog::open(&dir).unwrap();
+            assert!(recovered.snapshot.is_none());
+            assert!(recovered.records.is_empty());
+            for i in 0..10 {
+                mlog.append(i, &rec(i)).unwrap();
+            }
+        }
+        let (_mlog, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records.len(), 10);
+        for (i, r) in recovered.records.iter().enumerate() {
+            assert_eq!(r, &rec(i as u64));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_batches_are_serialized() {
+        let dir = tmp("reorder");
+        let (mlog, _) = MetaLog::open(&dir).unwrap();
+        let mlog = std::sync::Arc::new(mlog);
+        // Reverse submission order: the thread holding seq 1 must wait
+        // for seq 0.
+        let m2 = std::sync::Arc::clone(&mlog);
+        let t = std::thread::spawn(move || m2.append(1, &rec(1)).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        mlog.append(0, &rec(0)).unwrap();
+        t.join().unwrap();
+        drop(mlog);
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![rec(0), rec(1)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmp("torn");
+        {
+            let (mlog, _) = MetaLog::open(&dir).unwrap();
+            mlog.append(0, &rec(0)).unwrap();
+        }
+        // Garbage at the tail of the active segment.
+        let seg = wal_path(&dir, 0);
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+            f.write_all(&[0xAB; 13]).unwrap();
+        }
+        let (mlog, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![rec(0)]);
+        // And appends continue on a clean boundary.
+        mlog.append(0, &rec(1)).unwrap();
+        drop(mlog);
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![rec(0), rec(1)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let dir = tmp("snap");
+        let snap = MetaSnapshot {
+            next_node: 3,
+            next_file: 2,
+            next_version: 7,
+            benefactors: vec![(NodeId(1), "b:1".into(), 99)],
+            files: Vec::new(),
+            dirs: vec![("/kept".into(), RetentionPolicy::REPLACE)],
+            chunks: Vec::new(),
+        };
+        {
+            let cfg = MetaLogConfig {
+                segment_bytes: 256, // force rotation
+                ..Default::default()
+            };
+            let (mlog, _) = MetaLog::open_with(&dir, cfg).unwrap();
+            for i in 0..20 {
+                mlog.append(i, &rec(i)).unwrap();
+            }
+            assert!(mlog.wal_segment_count().unwrap() > 1);
+            mlog.install_with(|| snap.clone()).unwrap();
+            assert_eq!(mlog.wal_segment_count().unwrap(), 1, "old segments pruned");
+            assert_eq!(mlog.records_since_snapshot(), 0);
+            // Post-snapshot tail.
+            mlog.append(20, &rec(100)).unwrap();
+        }
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot, Some(snap));
+        assert_eq!(recovered.records, vec![rec(100)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_post_snapshot_segment_fails_recovery() {
+        let dir = tmp("gapseg");
+        let cfg = MetaLogConfig {
+            segment_bytes: 256, // a handful of records per segment
+            ..Default::default()
+        };
+        {
+            let (mlog, _) = MetaLog::open_with(&dir, cfg).unwrap();
+            for i in 0..4 {
+                mlog.append(i, &rec(i)).unwrap();
+            }
+            mlog.install_with(MetaSnapshot::default).unwrap();
+            // Fill the post-snapshot segment past rotation so records
+            // span at least two segments after the snapshot base.
+            for i in 4..16 {
+                mlog.append(i, &rec(i)).unwrap();
+            }
+            assert!(mlog.wal_segment_count().unwrap() >= 2);
+        }
+        // Lose the first post-snapshot segment wholesale (disk damage
+        // beyond a torn tail). The snapshot's anchored sequence must
+        // expose the hole instead of silently skipping acked records.
+        let first = numbered(&dir, "wal-", ".log").unwrap()[0];
+        fs::remove_file(wal_path(&dir, first)).unwrap();
+        let err = MetaLog::open_with(&dir, cfg).expect_err("gap must fail recovery");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_log() {
+        let dir = tmp("badsnap");
+        {
+            let (mlog, _) = MetaLog::open(&dir).unwrap();
+            mlog.append(0, &rec(0)).unwrap();
+            mlog.install_with(MetaSnapshot::default).unwrap();
+            mlog.append(1, &rec(1)).unwrap();
+        }
+        // Trash the snapshot body.
+        let snap = snap_path(&dir, 1);
+        let mut bytes = fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&snap, bytes).unwrap();
+
+        // The snapshot is rejected; the post-snapshot tail still replays
+        // (the pre-snapshot records are gone with their pruned segments —
+        // that is the corruption blast radius of losing a snapshot).
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.records, vec![rec(1)]);
+        assert!(!snap.exists(), "invalid snapshot deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_fails_fast() {
+        let dir = tmp("lock");
+        let (mlog, _) = MetaLog::open(&dir).unwrap();
+        assert_eq!(
+            MetaLog::open(&dir).unwrap_err().kind(),
+            io::ErrorKind::AddrInUse
+        );
+        drop(mlog);
+        MetaLog::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_records_roundtrip_through_the_log() {
+        let dir = tmp("commit");
+        let commit = MetaRecord::Commit {
+            path: "/app/ck.n0".into(),
+            file: FileId(1),
+            version: VersionId(2),
+            mtime: Time::from_secs(4),
+            entries: vec![stdchk_proto::chunkmap::ChunkEntry {
+                id: stdchk_proto::ids::ChunkId::test_id(8),
+                size: 64 << 10,
+            }],
+            placements: vec![(stdchk_proto::ids::ChunkId::test_id(8), vec![NodeId(1)])],
+            replication: 1,
+        };
+        {
+            let (mlog, _) = MetaLog::open(&dir).unwrap();
+            mlog.append_batch(&[(0, commit.clone()), (1, rec(1))])
+                .unwrap();
+        }
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![commit, rec(1)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

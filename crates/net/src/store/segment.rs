@@ -9,6 +9,12 @@
 //! one active segment file, durability is batched, and space is reclaimed
 //! by compacting mostly-dead segments.
 //!
+//! The record framing, group-commit flusher, torn-tail scan and directory
+//! lock live in the shared [`log`](crate::log) engine core (the manager's
+//! metadata WAL is built on the same pieces); this module adds what is
+//! chunk-specific — the `ChunkId → location` index, rotation bookkeeping,
+//! and liveness-driven compaction.
+//!
 //! # On-disk format
 //!
 //! A store directory holds numbered segment files:
@@ -76,29 +82,28 @@
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use stdchk_proto::ids::ChunkId;
 use stdchk_util::crc32::Crc32;
 
+use crate::log::{
+    acquire_dir_lock, encode_header, read_record, record_size, write_all_two, DirLock, GroupCommit,
+    HEADER,
+};
+
 use super::ChunkStore;
 
-/// Record header: `len (4) ‖ kind (1) ‖ chunk id (32) ‖ crc32c (4)`.
-const HEADER: usize = 4 + 1 + 32 + 4;
 /// Record kind byte: a chunk payload.
 const KIND_PUT: u8 = 0;
 /// Record kind byte: a tombstone.
 const KIND_TOMBSTONE: u8 = 1;
-/// Upper bound accepted for a record payload while scanning — anything
-/// larger is treated as a torn/corrupt header rather than allocated.
-const MAX_RECORD: u32 = 512 << 20;
 
 /// Tuning knobs of a [`SegmentStore`].
 #[derive(Clone, Copy, Debug)]
@@ -172,34 +177,13 @@ struct Shared {
     compacting: bool,
 }
 
-/// Group-commit watermark shared by all writers and the flusher.
-#[derive(Debug)]
-struct CommitState {
-    /// `Shared::appended` value known durable.
-    durable: u64,
-    /// The flusher hit an I/O error; the log is dead (sticky).
-    failed: bool,
-}
-
-/// State shared between the store handle and its background flusher.
+/// State shared between the store handle and its background flusher. The
+/// group-commit watermark machinery lives in the reusable
+/// [`GroupCommit`] core (`crate::log`); this struct adds the store's own
+/// index state.
 struct Core {
-    cfg: SegmentStoreConfig,
     shared: Mutex<Shared>,
-    commit: Mutex<CommitState>,
-    /// Wakes the flusher when appends outrun the durable watermark.
-    work_cv: Condvar,
-    /// Wakes committers when the durable watermark advances.
-    done_cv: Condvar,
-    /// Mirror of `Shared::appended`, readable without the shared lock.
-    appended: AtomicU64,
-    /// `sync_data` calls issued so far (observability: group-commit batch
-    /// factor = puts / syncs).
-    syncs: AtomicU64,
-    shutdown: AtomicBool,
-    /// The log's on-disk tail no longer matches the in-memory offsets (a
-    /// failed append could not be rolled back) or the flusher died; every
-    /// further mutation must refuse rather than corrupt. Sticky.
-    poisoned: AtomicBool,
+    gc: GroupCommit,
 }
 
 /// Append-only segment-log chunk store with group commit (see the module
@@ -213,52 +197,6 @@ pub struct SegmentStore {
     _dir_lock: DirLock,
 }
 
-/// The background group-commit loop: whenever appended bytes outrun the
-/// durable watermark, snapshot the watermark, `sync_data` the active
-/// segment, and publish the new durable point. Flushing eagerly — while
-/// writers are still appending or checksumming their next records —
-/// overlaps writeback with ingest, so a committer usually finds most of
-/// its bytes already on their way to the platter.
-fn flusher_loop(core: &Core) {
-    loop {
-        {
-            let mut c = core.commit.lock();
-            while !core.shutdown.load(Ordering::Relaxed)
-                && (c.failed || core.appended.load(Ordering::Relaxed) <= c.durable)
-            {
-                core.work_cv.wait(&mut c);
-            }
-            if core.shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-        }
-        if !core.cfg.commit_window.is_zero() {
-            std::thread::sleep(core.cfg.commit_window);
-        }
-        // Snapshot what has been appended *before* flushing: rotation
-        // syncs sealed segments inline, so syncing the current active file
-        // makes everything up to `cum` durable.
-        let (cum, file) = {
-            let shared = core.shared.lock();
-            (
-                shared.appended,
-                Arc::clone(&shared.segs[&shared.active].file),
-            )
-        };
-        core.syncs.fetch_add(1, Ordering::Relaxed);
-        let res = file.sync_data();
-        let mut c = core.commit.lock();
-        match res {
-            Ok(()) => c.durable = c.durable.max(cum),
-            Err(_) => {
-                c.failed = true;
-                core.poisoned.store(true, Ordering::Relaxed);
-            }
-        }
-        core.done_cv.notify_all();
-    }
-}
-
 impl std::fmt::Debug for SegmentStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SegmentStore")
@@ -270,8 +208,7 @@ impl std::fmt::Debug for SegmentStore {
 
 impl Drop for SegmentStore {
     fn drop(&mut self) {
-        self.core.shutdown.store(true, Ordering::Relaxed);
-        self.core.work_cv.notify_all();
+        self.core.gc.begin_shutdown();
         if let Some(h) = self.flusher.lock().take() {
             let _ = h.join();
         }
@@ -280,144 +217,6 @@ impl Drop for SegmentStore {
 
 fn seg_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("seg-{n:016x}.log"))
-}
-
-fn lock_path(dir: &Path) -> PathBuf {
-    dir.join("LOCK")
-}
-
-/// Claims exclusive ownership of the store directory via a pid lock file.
-///
-/// Two live `SegmentStore`s appending to one directory would interleave
-/// records and truncate each other's tails, so a second open must fail
-/// fast instead. A lock left by a crashed process (its pid no longer
-/// exists) is reclaimed automatically; if a recycled pid makes that check
-/// spuriously fail, the operator deletes `LOCK` by hand.
-/// RAII ownership of a store directory's `LOCK` file.
-struct DirLock(PathBuf);
-
-impl Drop for DirLock {
-    fn drop(&mut self) {
-        fs::remove_file(&self.0).ok();
-    }
-}
-
-fn acquire_dir_lock(dir: &Path) -> io::Result<DirLock> {
-    let path = lock_path(dir);
-    for _ in 0..2 {
-        match OpenOptions::new().write(true).create_new(true).open(&path) {
-            Ok(mut f) => {
-                let guard = DirLock(path);
-                f.write_all(std::process::id().to_string().as_bytes())?;
-                return Ok(guard);
-            }
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                let owner = fs::read_to_string(&path)
-                    .ok()
-                    .and_then(|s| s.trim().parse::<u32>().ok());
-                match owner {
-                    Some(pid)
-                        if pid != std::process::id()
-                            && Path::new(&format!("/proc/{pid}")).exists() =>
-                    {
-                        return Err(io::Error::new(
-                            io::ErrorKind::AddrInUse,
-                            format!("store directory already locked by live pid {pid}"),
-                        ));
-                    }
-                    Some(pid) if pid == std::process::id() => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::AddrInUse,
-                            "store directory already open in this process",
-                        ));
-                    }
-                    // Stale (crashed owner) or unreadable: reclaim, retry.
-                    _ => fs::remove_file(&path)?,
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Err(io::Error::new(
-        io::ErrorKind::AddrInUse,
-        "store directory lock contended",
-    ))
-}
-
-fn record_size(payload_len: u32) -> u64 {
-    HEADER as u64 + payload_len as u64
-}
-
-/// Builds the record header for `id` (`kind` put or tombstone) over
-/// `payload`; the payload itself is written separately (`writev`) so the
-/// hot path never copies chunk bytes.
-fn encode_header(kind: u8, id: ChunkId, payload: &[u8]) -> [u8; HEADER] {
-    let mut header = [0u8; HEADER];
-    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[4] = kind;
-    header[5..37].copy_from_slice(id.as_bytes());
-    let mut crc = Crc32::new();
-    crc.update(&header[..37]);
-    crc.update(payload);
-    header[37..41].copy_from_slice(&crc.finalize().to_le_bytes());
-    header
-}
-
-/// `write_all` across two buffers with `writev`, so header + payload land
-/// in one syscall without concatenating them first.
-fn write_all_two(mut file: &File, a: &[u8], b: &[u8]) -> io::Result<()> {
-    let (mut ap, mut bp) = (0usize, 0usize);
-    while ap < a.len() || bp < b.len() {
-        let n = file.write_vectored(&[io::IoSlice::new(&a[ap..]), io::IoSlice::new(&b[bp..])])?;
-        if n == 0 {
-            return Err(io::ErrorKind::WriteZero.into());
-        }
-        let take_a = n.min(a.len() - ap);
-        ap += take_a;
-        bp += n - take_a;
-    }
-    Ok(())
-}
-
-/// A record parsed back out of a segment.
-struct Record {
-    kind: u8,
-    id: ChunkId,
-    payload: Vec<u8>,
-}
-
-/// Reads and CRC-verifies the record at `off`. `Ok(None)` means the bytes
-/// at `off` do not frame a valid record (torn tail).
-fn read_record(file: &File, off: u64, file_len: u64) -> io::Result<Option<Record>> {
-    if file_len.saturating_sub(off) < HEADER as u64 {
-        return Ok(None);
-    }
-    let mut header = [0u8; HEADER];
-    file.read_exact_at(&mut header, off)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    let kind = header[4];
-    if len > MAX_RECORD
-        || kind > KIND_TOMBSTONE
-        || (len as u64) > file_len.saturating_sub(off + HEADER as u64)
-    {
-        return Ok(None);
-    }
-    let mut id = [0u8; 32];
-    id.copy_from_slice(&header[5..37]);
-    let stored_crc = u32::from_le_bytes(header[37..41].try_into().unwrap());
-    let mut payload = vec![0u8; len as usize];
-    file.read_exact_at(&mut payload, off + HEADER as u64)?;
-    let mut crc = Crc32::new();
-    crc.update(&header[..37]);
-    crc.update(&payload);
-    if crc.finalize() != stored_crc {
-        return Ok(None);
-    }
-    Ok(Some(Record {
-        kind,
-        id: ChunkId(id),
-        payload,
-    }))
 }
 
 impl SegmentStore {
@@ -483,13 +282,14 @@ impl SegmentStore {
             let mut off = 0u64;
             let mut live = 0u64;
             while off < file_len {
-                match read_record(&file, off, file_len)? {
+                match read_record(&file, off, file_len, KIND_TOMBSTONE)? {
                     Some(rec) => {
                         let size = record_size(rec.payload.len() as u32);
+                        let id = ChunkId(rec.key);
                         match rec.kind {
                             KIND_PUT => {
                                 let old = shared.index.insert(
-                                    rec.id,
+                                    id,
                                     Loc {
                                         seg: n,
                                         off,
@@ -507,7 +307,7 @@ impl SegmentStore {
                                 }
                             }
                             _ => {
-                                if let Some(old) = shared.index.remove(&rec.id) {
+                                if let Some(old) = shared.index.remove(&id) {
                                     let dead = record_size(old.len);
                                     if old.seg == n {
                                         live -= dead;
@@ -557,25 +357,27 @@ impl SegmentStore {
         }
 
         let core = Arc::new(Core {
-            cfg,
-            commit: Mutex::new(CommitState {
-                durable: shared.appended,
-                failed: false,
-            }),
-            appended: AtomicU64::new(shared.appended),
+            gc: GroupCommit::new(shared.appended),
             shared: Mutex::new(shared),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            syncs: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-            poisoned: AtomicBool::new(false),
         });
         let flusher = if cfg.sync {
             let core2 = Arc::clone(&core);
             Some(
                 std::thread::Builder::new()
                     .name("stdchk-seg-flush".into())
-                    .spawn(move || flusher_loop(&core2))
+                    .spawn(move || {
+                        // Snapshot under the shared lock: rotation syncs
+                        // sealed segments inline, so syncing the current
+                        // active file makes everything up to the appended
+                        // count durable.
+                        core2.gc.flusher_loop(cfg.commit_window, || {
+                            let shared = core2.shared.lock();
+                            (
+                                shared.appended,
+                                Arc::clone(&shared.segs[&shared.active].file),
+                            )
+                        })
+                    })
                     .map_err(io::Error::other)?,
             )
         } else {
@@ -606,12 +408,12 @@ impl SegmentStore {
     /// Total `sync_data` calls issued. `puts / sync_count()` is the
     /// group-commit batch factor achieved under the current load.
     pub fn sync_count(&self) -> u64 {
-        self.core.syncs.load(Ordering::Relaxed)
+        self.core.gc.sync_count()
     }
 
     /// One `sync_data`, counted.
     fn sync_file(&self, file: &File) -> io::Result<()> {
-        self.core.syncs.fetch_add(1, Ordering::Relaxed);
+        self.core.gc.count_sync();
         file.sync_data()
     }
 
@@ -657,7 +459,7 @@ impl SegmentStore {
         if shared.active_len >= self.cfg.segment_bytes {
             self.rotate(shared)?;
         }
-        if self.core.poisoned.load(Ordering::Relaxed) {
+        if self.core.gc.is_poisoned() {
             return Err(io::Error::other(
                 "segment log poisoned by earlier I/O failure",
             ));
@@ -673,7 +475,7 @@ impl SegmentStore {
             let rolled_back = file.set_len(off).is_ok()
                 && file.metadata().map(|m| m.len() == off).unwrap_or(false);
             if !rolled_back {
-                self.core.poisoned.store(true, Ordering::Relaxed);
+                self.core.gc.poison();
             }
             return Err(e);
         }
@@ -682,31 +484,16 @@ impl SegmentStore {
         s.total += added;
         shared.active_len += added;
         shared.appended += added;
-        self.core.appended.store(shared.appended, Ordering::Relaxed);
-        // Kick the flusher now so writeback overlaps the rest of the batch.
-        self.core.work_cv.notify_one();
+        // Publish and kick the flusher now so writeback overlaps the rest
+        // of the batch.
+        self.core.gc.note_appended(shared.appended);
         Ok((seg, off, shared.appended))
     }
 
     /// Blocks until everything appended up to `target` is durable — i.e.
     /// covered by one of the flusher's batched `sync_data` calls.
     fn group_commit(&self, target: u64) -> io::Result<()> {
-        let mut c = self.core.commit.lock();
-        loop {
-            if c.durable >= target {
-                return Ok(());
-            }
-            if c.failed {
-                return Err(io::Error::other("segment log flush failed"));
-            }
-            // Nudge the flusher *while holding the commit lock*: the
-            // flusher's predicate check and its wait are atomic under this
-            // lock, so this notify can never fall into its check→sleep
-            // window (append's lock-free notify is an optimization and may
-            // be lost; this one is the liveness guarantee).
-            self.core.work_cv.notify_one();
-            self.core.done_cv.wait(&mut c);
-        }
+        self.core.gc.wait_durable(target)
     }
 
     /// Rewrites the still-needed records of sealed segment `n` to the
@@ -769,9 +556,7 @@ impl SegmentStore {
         // The copies must be durable before the originals disappear.
         if self.cfg.sync {
             self.sync_file(&shared.segs[&shared.active].file)?;
-            let mut c = self.core.commit.lock();
-            c.durable = c.durable.max(shared.appended);
-            self.core.done_cv.notify_all();
+            self.core.gc.mark_durable(shared.appended);
         }
         shared.segs.remove(&n);
         fs::remove_file(seg_path(&self.dir, n))?;
@@ -857,7 +642,7 @@ impl SegmentStore {
 
 impl ChunkStore for SegmentStore {
     fn put(&self, id: ChunkId, data: &[u8]) -> io::Result<()> {
-        let header = encode_header(KIND_PUT, id, data);
+        let header = encode_header(KIND_PUT, id.as_bytes(), data);
         let target = {
             let mut shared = self.core.shared.lock();
             self.append_put(&mut shared, id, &header, data)?
@@ -878,7 +663,7 @@ impl ChunkStore for SegmentStore {
         // the whole batch.
         let mut target = 0;
         for (id, data) in batch {
-            let header = encode_header(KIND_PUT, *id, data);
+            let header = encode_header(KIND_PUT, id.as_bytes(), data);
             let mut shared = self.core.shared.lock();
             target = self.append_put(&mut shared, *id, &header, data)?;
         }
@@ -933,7 +718,7 @@ impl ChunkStore for SegmentStore {
         // Tombstone so a restart does not resurrect the chunk. Not synced:
         // losing it to a crash only re-surfaces a chunk the next GC pass
         // deletes again.
-        let header = encode_header(KIND_TOMBSTONE, id, &[]);
+        let header = encode_header(KIND_TOMBSTONE, id.as_bytes(), &[]);
         self.append(&mut shared, &header, &[])?;
         self.maybe_compact(&mut shared, old.seg)?;
         Ok(())
@@ -958,6 +743,7 @@ impl ChunkStore for SegmentStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("stdchk-seg-{name}-{}", std::process::id()));
@@ -1120,7 +906,7 @@ mod tests {
             .spawn()
             .and_then(|mut c| c.wait().map(|_| c.id()))
             .expect("spawn true");
-        std::fs::write(lock_path(&dir), dead.to_string()).unwrap();
+        std::fs::write(dir.join("LOCK"), dead.to_string()).unwrap();
         let store = SegmentStore::open(&dir).expect("stale lock must be reclaimed");
         drop(store);
         std::fs::remove_dir_all(&dir).ok();

@@ -330,6 +330,199 @@ fn segment_store_benefactor_serves_after_restart() {
     });
 }
 
+/// Opens a durable manager on `meta_dir`, retrying while a just-dropped
+/// predecessor still holds the log directory's `LOCK` (its threads drain
+/// their `Arc`s asynchronously).
+fn respawn_durable(
+    pool_cfg: PoolConfig,
+    meta_dir: &std::path::Path,
+    log_cfg: stdchk_net::metalog::MetaLogConfig,
+) -> ManagerServer {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match ManagerServer::spawn_durable_with("127.0.0.1:0", pool_cfg.clone(), meta_dir, log_cfg)
+        {
+            Ok(m) => return m,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("open durable manager: {e}"),
+        }
+    }
+}
+
+/// The tentpole acceptance test: kill and restart the manager under a
+/// populated namespace. `stat`/`list`/`open` must succeed from replayed
+/// WAL state *before* any benefactor re-offer is processed — here no
+/// re-offer (or even heartbeat) can ever arrive, because the benefactors
+/// still dial the dead manager's address and commit stashing is off.
+#[test]
+fn durable_manager_serves_after_restart_before_any_reoffer() {
+    let meta_dir = std::env::temp_dir().join(format!("stdchk-mgr-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&meta_dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    // The restarted manager restores benefactors as online; keep them so
+    // for the duration of the test even though they never heartbeat it.
+    pool_cfg.benefactor_timeout = stdchk_util::Dur::from_secs(60);
+    let log_cfg = stdchk_net::metalog::MetaLogConfig::default();
+    let mgr =
+        ManagerServer::spawn_durable_with("127.0.0.1:0", pool_cfg.clone(), &meta_dir, log_cfg)
+            .expect("durable manager");
+    let mut benefactors = Vec::new();
+    for _ in 0..2 {
+        benefactors.push(
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 256 << 20,
+                cfg: BenefactorConfig::fast_for_tests(),
+                store: Arc::new(MemStore::new()),
+            })
+            .expect("benefactor"),
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 2 {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Populate the namespace with everything the WAL must carry: a
+    // policy, two versions of one file (the policy prunes to one), a
+    // second file, and a deleted file.
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    grid.set_policy("/jobs", RetentionPolicy::REPLACE)
+        .expect("policy");
+    let v1 = payload(130 << 10, 41);
+    let v2 = payload(200 << 10, 42);
+    for data in [&v1, &v2] {
+        let mut w = grid
+            .create("/jobs/a.n0", WriteOptions::default())
+            .expect("create a");
+        w.write_all(data).expect("write");
+        w.finish().expect("finish");
+    }
+    let b_data = payload(64 << 10, 43);
+    let mut w = grid
+        .create("/meta/b.n0", WriteOptions::default())
+        .expect("create b");
+    w.write_all(&b_data).expect("write");
+    w.finish().expect("finish");
+    let mut w = grid
+        .create("/meta/tmp.n0", WriteOptions::default())
+        .expect("create tmp");
+    w.write_all(&payload(32 << 10, 44)).expect("write");
+    w.finish().expect("finish");
+    grid.delete("/meta/tmp.n0").expect("delete");
+    let stat_a = grid.stat("/jobs/a.n0").expect("stat a");
+    assert_eq!(stat_a.versions, 1, "REPLACE policy keeps one version");
+    mgr.check_invariants();
+
+    // Kill the manager. The benefactors keep running but can never reach
+    // the successor: no heartbeat, no re-offer.
+    drop(mgr);
+    let mgr2 = respawn_durable(pool_cfg, &meta_dir, log_cfg);
+
+    // Everything observable must come back from snapshot + WAL replay.
+    let grid2 = Grid::connect(&mgr2.addr().to_string()).expect("reconnect");
+    let stat_a2 = grid2.stat("/jobs/a.n0").expect("stat after restart");
+    assert_eq!(stat_a2, stat_a);
+    assert_eq!(
+        grid2.stat("/meta/b.n0").expect("stat b").size,
+        b_data.len() as u64
+    );
+    assert!(
+        grid2.stat("/meta/tmp.n0").is_err(),
+        "deleted file must stay deleted"
+    );
+    let names: Vec<String> = grid2
+        .list("/meta")
+        .expect("list")
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["b.n0"]);
+    assert_eq!(grid2.versions("/jobs/a.n0").expect("versions").len(), 1);
+    // The read path works end to end: locations and dial addresses all
+    // came from the replayed metadata, not from any re-registration.
+    assert_eq!(
+        grid2
+            .open("/jobs/a.n0", None)
+            .expect("open")
+            .read_all()
+            .expect("read"),
+        v2
+    );
+    let stats = mgr2.stats();
+    assert_eq!(stats.recovered_commits, 0, "no re-offer was processed");
+    assert_eq!(stats.commits, 0, "replay must not count as new commits");
+    mgr2.check_invariants();
+    drop(mgr2);
+    std::fs::remove_dir_all(&meta_dir).ok();
+}
+
+/// Snapshot cadence: with a tiny `snapshot_every` the background
+/// snapshotter compacts the WAL, and a restart restores from snapshot +
+/// tail instead of the full history.
+#[test]
+fn durable_manager_snapshots_compact_the_wal() {
+    let meta_dir = std::env::temp_dir().join(format!("stdchk-mgr-snap-{}", std::process::id()));
+    std::fs::remove_dir_all(&meta_dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    pool_cfg.benefactor_timeout = stdchk_util::Dur::from_secs(60);
+    let log_cfg = stdchk_net::metalog::MetaLogConfig {
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    let mgr =
+        ManagerServer::spawn_durable_with("127.0.0.1:0", pool_cfg.clone(), &meta_dir, log_cfg)
+            .expect("durable manager");
+    let _benefactor = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 256 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store: Arc::new(MemStore::new()),
+    })
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    let mut sizes = Vec::new();
+    for i in 0..6 {
+        let data = payload((16 << 10) + i * 512, 50 + i as u64);
+        let mut w = grid
+            .create(&format!("/many/f{i}.n0"), WriteOptions::default())
+            .expect("create");
+        w.write_all(&data).expect("write");
+        w.finish().expect("finish");
+        sizes.push(data.len() as u64);
+    }
+    // The snapshotter thread polls every 100 ms; wait for it to compact.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.meta_wal_tail().expect("durable") >= 4 {
+        assert!(Instant::now() < deadline, "snapshot never installed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(mgr);
+    let mgr2 = respawn_durable(pool_cfg, &meta_dir, log_cfg);
+    let grid2 = Grid::connect(&mgr2.addr().to_string()).expect("reconnect");
+    for (i, size) in sizes.iter().enumerate() {
+        assert_eq!(
+            grid2.stat(&format!("/many/f{i}.n0")).expect("stat").size,
+            *size
+        );
+    }
+    mgr2.check_invariants();
+    drop(mgr2);
+    std::fs::remove_dir_all(&meta_dir).ok();
+}
+
 #[test]
 fn connect_to_dead_manager_fails_fast() {
     use stdchk_net::GridError;

@@ -289,6 +289,17 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
 macro_rules! wire_u64_id {
     ($t:ty) => {
         impl Wire for $t {

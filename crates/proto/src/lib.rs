@@ -12,6 +12,8 @@
 //! - [`codec`]: a hand-written, dependency-free binary encoding with
 //!   round-trip property tests.
 //! - [`frame`]: length-prefixed framing for byte streams (TCP).
+//! - [`meta`]: durable manager-metadata mutation records and snapshots
+//!   (the payloads of the manager's write-ahead log).
 //!
 //! The encoding is deliberately explicit (no serde): each message documents
 //! its own layout, unknown tags fail loudly, and the format can evolve by
@@ -22,6 +24,7 @@ pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod ids;
+pub mod meta;
 pub mod msg;
 pub mod policy;
 

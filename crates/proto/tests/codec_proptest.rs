@@ -189,6 +189,16 @@ proptest! {
     }
 
     #[test]
+    fn meta_record_decoder_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // WAL payloads go through the same codec; corrupt bytes that pass
+        // the log CRC (bit rot) must error, never panic or OOM.
+        let _ = stdchk_proto::meta::MetaRecord::from_wire_bytes(&data);
+        let _ = stdchk_proto::meta::MetaSnapshot::from_wire_bytes(&data);
+    }
+
+    #[test]
     fn framebuf_reassembles_under_any_fragmentation(
         msgs in proptest::collection::vec(arb_msg(), 1..5),
         cuts in proptest::collection::vec(1usize..64, 1..32),

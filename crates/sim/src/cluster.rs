@@ -83,6 +83,18 @@ pub struct SimConfig {
     /// `sync_data` — tens of microseconds, not the milliseconds a
     /// file-per-chunk layout pays for create + fsync + rename.
     pub store_op_overhead: Dur,
+    /// Model the manager's metadata write-ahead log (`stdchk-net`'s
+    /// `MetaLog`): the manager state machine runs with its WAL enabled
+    /// and every record occupies the manager's log disk, delaying the
+    /// replies the record guards (durable-before-ack). Off by default so
+    /// the paper-calibrated figures are unchanged.
+    pub meta_log: bool,
+    /// Fixed per-record cost of a metadata WAL append (the amortized
+    /// group-commit share; same shape as [`SimConfig::store_op_overhead`]
+    /// but for the tiny metadata records).
+    pub meta_op_overhead: Dur,
+    /// Byte rate of the manager's metadata log disk.
+    pub manager_disk: f64,
     /// Disk backlog beyond which a benefactor gates its ingress.
     pub gate_on: Dur,
     /// Backlog below which the gate reopens.
@@ -115,6 +127,9 @@ impl SimConfig {
             hash_rate: 110e6,
             app_block: pool.chunk_size,
             store_op_overhead: Dur::from_micros(60),
+            meta_log: false,
+            meta_op_overhead: Dur::from_micros(40),
+            manager_disk: 86.2e6,
             gate_on: Dur::from_millis(150),
             gate_off: Dur::from_millis(50),
             pool,
@@ -355,6 +370,11 @@ pub struct SimCluster {
     net: FlowNet<FlowLoad>,
     net_gen: u64,
     mgr: Manager,
+    /// The manager's metadata-log disk (when `meta_log` is on).
+    mgr_log: Disk,
+    /// WAL appends ahead of this instant are not yet durable; manager
+    /// replies queued behind them wait (group-commit ack gating).
+    mgr_log_gate: Time,
     benefs: Vec<BenefNode>,
     clients: Vec<ClientNode>,
     metrics: Metrics,
@@ -374,6 +394,9 @@ impl SimCluster {
         assert!(cfg.clients > 0, "a pool needs clients");
         let mut net = FlowNet::new(cfg.fabric);
         let mut mgr = Manager::new(cfg.pool.clone());
+        if cfg.meta_log {
+            mgr.enable_wal();
+        }
         let mut benefs = Vec::new();
         let bcfg = BenefactorConfig {
             heartbeat_every: cfg.pool.heartbeat_every,
@@ -423,6 +446,11 @@ impl SimCluster {
                 },
             });
         }
+        let mgr_log = Disk {
+            rate: cfg.manager_disk,
+            per_op: cfg.meta_op_overhead,
+            busy_until: Time::ZERO,
+        };
         let mut sim = SimCluster {
             cfg,
             now: Time::ZERO,
@@ -430,6 +458,8 @@ impl SimCluster {
             heap: BinaryHeap::new(),
             net,
             net_gen: 0,
+            mgr_log,
+            mgr_log_gate: Time::ZERO,
             mgr,
             benefs,
             clients,
@@ -723,7 +753,25 @@ impl SimCluster {
                     NodeRef::Benef(bi) => (NodeId(BENEF_BASE + bi as u64), None),
                     NodeRef::Client(ci) => (self.clients[ci].node, Some(ci)),
                 };
+                // A manager reply queued behind a WAL append waits for the
+                // append's group commit (durable-before-ack): its control
+                // latency grows by whatever log writeback is outstanding.
+                if matches!(nr, NodeRef::Mgr) && self.mgr_log_gate > self.now {
+                    let extra = self.mgr_log_gate.since(self.now);
+                    self.schedule(
+                        self.cfg.control_latency + extra,
+                        Ev::Deliver { from, to, msg },
+                    );
+                    return;
+                }
                 self.dispatch_from(from, std::iter::once((to, msg)), notify);
+            }
+            Action::MetaAppend { record, .. } => {
+                debug_assert!(matches!(nr, NodeRef::Mgr), "only the manager logs metadata");
+                // One framed record lands on the manager's log disk; the
+                // durable point gates every reply drained after it.
+                let bytes = record.wire_size();
+                self.mgr_log_gate = self.mgr_log.schedule(self.now, bytes);
             }
             Action::Store { op, payload, .. } => {
                 let NodeRef::Benef(bi) = nr else {

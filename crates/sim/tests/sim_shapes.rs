@@ -287,3 +287,32 @@ fn pessimistic_write_completes_later_than_optimistic() {
         "pessimistic close must wait for replication: {optimistic} vs {pessimistic}"
     );
 }
+
+#[test]
+fn metadata_wal_charges_commit_latency_without_changing_outcomes() {
+    let run = |meta_log: bool| {
+        let mut cfg = SimConfig::gige(4, 1);
+        cfg.meta_log = meta_log;
+        // Exaggerate the per-record cost so the gating is visible even on
+        // a short run (the default is tens of microseconds).
+        cfg.meta_op_overhead = Dur::from_millis(5);
+        let mut sim = SimCluster::new(cfg);
+        for i in 0..4 {
+            let mut job = WriteJob::new(format!("/wal/f{i}.n0"), 8 * MB, sw(16 << 20));
+            job.stripe_width = 2;
+            sim.submit(0, job);
+        }
+        let report = sim.run(Dur::from_secs(1));
+        assert_eq!(report.results.len(), 4);
+        assert!(report.results.iter().all(|r| !r.failed));
+        (report.manager_stats.commits, report.end)
+    };
+    let (commits_off, end_off) = run(false);
+    let (commits_on, end_on) = run(true);
+    // Durability changes latency, never outcomes.
+    assert_eq!(commits_off, commits_on);
+    assert!(
+        end_on >= end_off,
+        "WAL appends must not make the run finish earlier: {end_off} vs {end_on}"
+    );
+}

@@ -1,0 +1,145 @@
+//! Markdown link checker over the repo docs.
+//!
+//! CI's docs job runs this: every relative link in `README.md` and
+//! `docs/*.md` must point at a file that exists, and every fragment
+//! (`#anchor`) must match a heading in the target document — so the
+//! architecture/paper-map docs cannot silently rot as files move.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Markdown files under check: the README plus everything in `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+/// GitHub-style heading anchor: lowercase, spaces to dashes, punctuation
+/// (other than dashes/underscores) dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| match c {
+            ' ' => Some('-'),
+            '-' | '_' => Some(c),
+            c if c.is_alphanumeric() => Some(c.to_ascii_lowercase()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Anchors defined by a markdown file (its `#`-prefixed headings).
+fn anchors_of(path: &Path) -> HashSet<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut in_code = false;
+    let mut out = HashSet::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let level = trimmed.chars().take_while(|c| *c == '#').count();
+        if level > 0 && trimmed.chars().nth(level) == Some(' ') {
+            out.insert(slug(&trimmed[level + 1..]));
+        }
+    }
+    out
+}
+
+/// Extracts `[text](target)` links, skipping fenced and inline code.
+fn links_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    out.push(line[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    for file in doc_files(root) {
+        let text = std::fs::read_to_string(&file).expect("read doc");
+        let dir = file.parent().expect("doc has a parent");
+        for link in links_of(&text) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue; // external; availability is not this test's job
+            }
+            let (target, fragment) = match link.split_once('#') {
+                Some((t, f)) => (t, Some(f.to_string())),
+                None => (link.as_str(), None),
+            };
+            let target_path = if target.is_empty() {
+                file.clone() // same-document anchor
+            } else {
+                dir.join(target)
+            };
+            if !target_path.exists() {
+                broken.push(format!("{}: missing target {link}", file.display()));
+                continue;
+            }
+            if let Some(fragment) = fragment {
+                if target_path.extension().is_some_and(|e| e == "md")
+                    && !anchors_of(&target_path).contains(&fragment)
+                {
+                    broken.push(format!("{}: missing anchor {link}", file.display()));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn docs_cover_the_new_metadata_layer() {
+    // The architecture doc and paper map must keep describing the durable
+    // metadata design shipped with it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("arch doc");
+    for needle in ["MetaLog", "write-ahead", "snapshot", "replay"] {
+        assert!(arch.contains(needle), "ARCHITECTURE.md lost '{needle}'");
+    }
+    let map = std::fs::read_to_string(root.join("docs/PAPER_MAP.md")).expect("paper map");
+    for needle in ["§IV.A", "crates/core", "metalog"] {
+        assert!(map.contains(needle), "PAPER_MAP.md lost '{needle}'");
+    }
+}
