@@ -1,31 +1,46 @@
 //! A benefactor (storage donor) as a TCP node.
 //!
 //! The sans-IO [`Benefactor`] runs behind the same generic [`NodeHost`]
-//! event loop as the manager: reader threads `deliver` messages, the shared
-//! `run_node` loop fires joins/heartbeats/GC/timeouts from `poll_timeout`,
-//! and [`BenefEffects`] executes the unified actions — transmit over the
-//! right socket, store/load/delete against a [`ChunkStore`].
+//! as the manager, over either transport ([`crate::Backend`]):
+//!
+//! - **reactor** (default): both planes — the manager control connection
+//!   and the data-path listener — live on one epoll
+//!   [`Reactor`]. Workers decode and `deliver`;
+//!   joins/heartbeats/GC/timeouts fire from `poll_timeout` folded into
+//!   `epoll_wait`; peer replication connections are dialed (and the
+//!   manager redialed after a restart) on the reactor's blocking lane so
+//!   workers never block;
+//! - **threaded** (legacy): reader thread per connection plus the shared
+//!   `run_node` timer loop.
+//!
+//! Either way [`BenefEffects`] executes the unified actions — transmit
+//! over the right connection, store/load/delete against a [`ChunkStore`].
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use parking_lot::Mutex;
 
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::payload::Payload;
 use stdchk_core::{Benefactor, BenefactorConfig, MANAGER_NODE};
+use stdchk_proto::frame::write_frame;
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::{Msg, Role};
+use stdchk_util::Time;
 
-use crate::conn::{dial, read_loop, Clock, Sender, DIAL_TIMEOUT};
+use crate::conn::{dial, read_frame_timeout, read_loop, Clock, Link, Sender, DIAL_TIMEOUT};
 use crate::driver::{spawn_node_loop, Effects, NodeHost};
+use crate::reactor::{
+    CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle, WeakHandle,
+};
 use crate::store::ChunkStore;
+use crate::{Backend, ServerOpts};
 
 /// Configuration of a networked benefactor.
 pub struct BenefactorNetConfig {
@@ -43,35 +58,25 @@ pub struct BenefactorNetConfig {
 
 /// A dedicated manager connection for driver-level RPCs (address
 /// resolution), separate from the state machine's message stream.
+///
+/// Fully blocking request/response on one lazily-dialed socket — no
+/// reader thread — with connect *and read* timeouts on every step, so a
+/// dead or wedged manager can never hang the calling thread. Callers are
+/// threads that are allowed to block: threaded-mode pump threads, or the
+/// reactor's blocking lane (never a reactor worker).
 struct ResolveClient {
     addr: String,
-    sender: Sender,
-    replies: channel::Receiver<Msg>,
+    stream: Option<TcpStream>,
     next_req: u64,
 }
 
 impl ResolveClient {
-    fn connect(addr: &str) -> io::Result<ResolveClient> {
-        let stream = dial(addr, DIAL_TIMEOUT)?;
-        let sender = Sender::new(stream.try_clone()?);
-        sender
-            .send(&Msg::Hello {
-                role: Role::Benefactor,
-                node: NodeId(0),
-            })
-            .ok();
-        let (tx, rx) = channel::unbounded();
-        let reader = sender.reader()?;
-        thread::Builder::new()
-            .name("stdchk-benef-resolve".into())
-            .spawn(move || read_loop(reader, move |m| drop(tx.send(m))))
-            .expect("spawn resolver");
-        Ok(ResolveClient {
+    fn new(addr: &str) -> ResolveClient {
+        ResolveClient {
             addr: addr.to_string(),
-            sender,
-            replies: rx,
+            stream: None,
             next_req: 1,
-        })
+        }
     }
 
     fn resolve(&mut self, node: NodeId) -> Option<String> {
@@ -79,10 +84,7 @@ impl ResolveClient {
             Some(a) => Some(a),
             None => {
                 // The manager may have restarted: redial once.
-                let addr = self.addr.clone();
-                if let Ok(fresh) = ResolveClient::connect(&addr) {
-                    *self = fresh;
-                }
+                self.stream = None;
                 self.try_resolve(node)
             }
         }
@@ -91,25 +93,58 @@ impl ResolveClient {
     fn try_resolve(&mut self, node: NodeId) -> Option<String> {
         self.next_req += 1;
         let req = RequestId(0xAAAA_0000_0000 | self.next_req);
-        self.sender
-            .send(&Msg::ResolveNodes {
+        let mut stream = match self.stream.take() {
+            Some(s) => s,
+            None => {
+                let s = dial(&self.addr, DIAL_TIMEOUT).ok()?;
+                write_frame(
+                    &mut &s,
+                    &Msg::Hello {
+                        role: Role::Benefactor,
+                        node: NodeId(0),
+                    },
+                )
+                .ok()?;
+                s
+            }
+        };
+        write_frame(
+            &mut &stream,
+            &Msg::ResolveNodes {
                 req,
                 nodes: vec![node],
-            })
-            .ok()?;
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while let Ok(msg) = self
-            .replies
-            .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
-        {
-            if let Msg::NodeAddrsReply { req: r, addrs } = msg {
-                if r == req {
+            },
+        )
+        .ok()?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let remain = deadline.saturating_duration_since(Instant::now());
+            if remain.is_zero() {
+                return None;
+            }
+            match read_frame_timeout(&mut stream, remain.max(Duration::from_millis(1))) {
+                Ok(Some(Msg::NodeAddrsReply { req: r, addrs })) if r == req => {
+                    // Keep the warmed-up connection for the next lookup.
+                    self.stream = Some(stream);
                     return addrs.into_iter().next().map(|(_, a)| a);
                 }
+                // Unrelated traffic (stale replies, transport pongs).
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => return None,
             }
         }
-        None
     }
+}
+
+/// An outbound replication connection to a peer benefactor: established,
+/// or being dialed on the reactor's blocking lane with sends queued.
+enum PeerState {
+    /// Live connection.
+    Up(Link),
+    /// Dial in flight; messages queued here flush when it lands (and are
+    /// dropped if it fails — put timeouts fail the copies over, exactly
+    /// like a send on a dead connection).
+    Dialing(Vec<Msg>),
 }
 
 /// Executes benefactor actions: transmit to the manager / the delivering
@@ -117,15 +152,19 @@ impl ResolveClient {
 /// completions synchronously.
 pub struct BenefEffects {
     store: Arc<dyn ChunkStore>,
-    mgr: Mutex<Sender>,
+    mgr: Mutex<Link>,
     /// Inbound data connections, keyed by their synthetic conn id: replies
     /// route through here no matter which thread pumps them.
-    conns: Mutex<HashMap<NodeId, Sender>>,
+    conns: Mutex<HashMap<NodeId, Link>>,
     /// Outbound replication connections to peer benefactors (real ids).
-    peers: Mutex<HashMap<NodeId, Sender>>,
+    peers: Mutex<HashMap<NodeId, PeerState>>,
     resolver: Mutex<ResolveClient>,
-    /// Back-reference for peer reply readers (set once at spawn).
+    /// Back-reference for peer reply readers (threaded mode; set once at
+    /// spawn).
     host: Mutex<Option<Arc<BenefHost>>>,
+    /// Reactor-mode context for deferred peer dials (None under the
+    /// threaded backend).
+    rapp: Mutex<Option<Arc<BenefApp>>>,
 }
 
 type BenefHost = NodeHost<Benefactor, Arc<BenefEffects>>;
@@ -216,12 +255,25 @@ impl BenefEffects {
 }
 
 impl BenefEffects {
-    /// Sends to a peer benefactor, dialing (and spawning a reply reader) on
-    /// first use.
+    /// Sends to a peer benefactor, establishing the connection on first
+    /// use. Under the threaded backend the dial happens inline (the
+    /// calling pump thread may block); under the reactor it is deferred
+    /// to the blocking lane with the message queued.
     fn send_to_peer(self: &Arc<Self>, to: NodeId, msg: Msg) {
-        let existing = self.peers.lock().get(&to).cloned();
-        let sender = match existing {
-            Some(s) => s,
+        let rapp = self.rapp.lock().clone();
+        match rapp {
+            Some(app) => self.send_to_peer_reactor(&app, to, msg),
+            None => self.send_to_peer_threaded(to, msg),
+        }
+    }
+
+    fn send_to_peer_threaded(self: &Arc<Self>, to: NodeId, msg: Msg) {
+        let existing = match self.peers.lock().get(&to) {
+            Some(PeerState::Up(l)) => Some(l.clone()),
+            _ => None,
+        };
+        let link = match existing {
+            Some(l) => l,
             None => {
                 let Some(addr) = self.resolver.lock().resolve(to) else {
                     return;
@@ -249,12 +301,247 @@ impl BenefEffects {
                         })
                         .expect("spawn peer reader");
                 }
-                self.peers.lock().insert(to, sender.clone());
-                sender
+                let link = Link::Thread(sender);
+                self.peers.lock().insert(to, PeerState::Up(link.clone()));
+                link
             }
         };
-        if sender.send(&msg).is_err() {
+        if link.send(&msg).is_err() {
             self.peers.lock().remove(&to);
+        }
+    }
+
+    /// Reactor mode: never blocks the calling worker. An unestablished
+    /// peer gets a `Dialing` entry and a blocking-lane job that resolves,
+    /// dials, registers and flushes the queue.
+    fn send_to_peer_reactor(self: &Arc<Self>, app: &Arc<BenefApp>, to: NodeId, msg: Msg) {
+        let mut peers = self.peers.lock();
+        match peers.get_mut(&to) {
+            Some(PeerState::Up(link)) => {
+                let link = link.clone();
+                drop(peers);
+                if link.send(&msg).is_err() {
+                    self.peers.lock().remove(&to);
+                }
+            }
+            Some(PeerState::Dialing(q)) => q.push(msg),
+            None => {
+                peers.insert(to, PeerState::Dialing(vec![msg]));
+                drop(peers);
+                let Some(handle) = app.handle.get().and_then(WeakHandle::upgrade) else {
+                    self.peers.lock().remove(&to);
+                    return;
+                };
+                let effects = Arc::clone(self);
+                let app = Arc::clone(app);
+                handle.spawn_blocking(move |h| dial_peer(&effects, &app, to, h));
+            }
+        }
+    }
+}
+
+/// Blocking-lane job: establish the replication connection to `to` and
+/// flush whatever queued while dialing.
+fn dial_peer(effects: &Arc<BenefEffects>, app: &Arc<BenefApp>, to: NodeId, h: &ReactorHandle) {
+    let link = (|| {
+        let addr = effects.resolver.lock().resolve(to)?;
+        let stream = dial(&addr, DIAL_TIMEOUT).ok()?;
+        // prepare → bookkeep → arm: the kind entry must exist before any
+        // worker can deliver this connection's first reply.
+        let token = h.prepare(stream, ConnOpts::dial_default()).ok()?;
+        app.kinds.lock().insert(token, BKind::Peer(to));
+        h.arm(token);
+        let link = Link::Event {
+            handle: h.downgrade(),
+            token,
+        };
+        // The data-path listener ignores Hello payloads; announce with
+        // the null id.
+        if link
+            .send(&Msg::Hello {
+                role: Role::Benefactor,
+                node: NodeId(0),
+            })
+            .is_err()
+        {
+            h.close(token);
+            return None;
+        }
+        Some(link)
+    })();
+    match link {
+        Some(link) => {
+            let queued = {
+                let mut peers = effects.peers.lock();
+                match peers.insert(to, PeerState::Up(link.clone())) {
+                    Some(PeerState::Dialing(q)) => q,
+                    _ => Vec::new(),
+                }
+            };
+            for msg in queued {
+                if link.send(&msg).is_err() {
+                    effects.peers.lock().remove(&to);
+                    return;
+                }
+            }
+        }
+        None => {
+            // Queued copies are dropped: their put timeouts fail them
+            // over, exactly as if the connection had died mid-send.
+            effects.peers.lock().remove(&to);
+        }
+    }
+}
+
+/// What a reactor connection means to the benefactor.
+#[derive(Clone, Copy, Debug)]
+enum BKind {
+    /// The manager control-plane connection.
+    Mgr,
+    /// An inbound data connection, addressed by its synthetic node id.
+    Data(NodeId),
+    /// An outbound replication connection to a peer benefactor.
+    Peer(NodeId),
+}
+
+/// The benefactor's [`ReactorApp`]: routes both planes (manager control
+/// stream + data-path connections) into the shared [`NodeHost`], fires
+/// protocol timers from the reactor tick, and redials the manager after a
+/// restart via the blocking lane.
+struct BenefApp {
+    host: OnceLock<Arc<BenefHost>>,
+    handle: OnceLock<WeakHandle>,
+    /// Role of each live reactor connection.
+    kinds: Mutex<HashMap<ConnToken, BKind>>,
+    /// Weak self-reference for redial jobs scheduled from callbacks.
+    weak_self: OnceLock<std::sync::Weak<BenefApp>>,
+    manager_addr: String,
+}
+
+impl BenefApp {
+    fn schedule_mgr_redial(&self, delay: Duration) {
+        let (Some(handle), Some(weak)) = (
+            self.handle.get().and_then(WeakHandle::upgrade),
+            self.weak_self.get().cloned(),
+        ) else {
+            return;
+        };
+        handle.spawn_blocking_after(delay, move |h| {
+            if let Some(app) = weak.upgrade() {
+                mgr_redial(&app, h);
+            }
+        });
+    }
+}
+
+/// Blocking-lane job: reconnect the manager control plane. A benefactor
+/// outlives manager restarts — its next heartbeat re-registers it (soft
+/// state), and stashed commits are re-offered by its timers.
+fn mgr_redial(app: &Arc<BenefApp>, h: &ReactorHandle) {
+    if h.is_shutdown() {
+        return;
+    }
+    let Some(host) = app.host.get() else { return };
+    if host.is_shutdown() {
+        return;
+    }
+    let established = (|| {
+        let stream = dial(&app.manager_addr, DIAL_TIMEOUT).ok()?;
+        let token = h.prepare(stream, ConnOpts::dial_default()).ok()?;
+        app.kinds.lock().insert(token, BKind::Mgr);
+        h.arm(token);
+        let link = Link::Event {
+            handle: h.downgrade(),
+            token,
+        };
+        let my_id = host.with_node(|n| n.id());
+        if link
+            .send(&Msg::Hello {
+                role: Role::Benefactor,
+                node: my_id,
+            })
+            .is_err()
+        {
+            h.close(token);
+            return None;
+        }
+        *host.effects().mgr.lock() = link;
+        Some(())
+    })();
+    if established.is_none() {
+        app.schedule_mgr_redial(Duration::from_millis(250));
+    }
+}
+
+impl ReactorApp for BenefApp {
+    fn on_accept(&self, conn: ConnToken, _listener: u64) {
+        let (Some(host), Some(handle)) = (self.host.get(), self.handle.get()) else {
+            return;
+        };
+        // Synthetic per-connection peer id, registered so replies route
+        // back on this connection from any pumping worker.
+        let id = NodeId((1 << 50) | CONN_IDS.fetch_add(1, Ordering::Relaxed));
+        self.kinds.lock().insert(conn, BKind::Data(id));
+        host.effects().conns.lock().insert(
+            id,
+            Link::Event {
+                handle: handle.clone(),
+                token: conn,
+            },
+        );
+    }
+
+    fn on_msg(&self, conn: ConnToken, msg: Msg) {
+        let Some(host) = self.host.get() else { return };
+        let kind = self.kinds.lock().get(&conn).copied();
+        match kind {
+            Some(BKind::Data(id)) if !matches!(msg, Msg::Hello { .. }) => {
+                host.deliver(id, msg);
+            }
+            Some(BKind::Data(_)) => {}
+            Some(BKind::Mgr) => host.deliver(MANAGER_NODE, msg),
+            Some(BKind::Peer(node)) => host.deliver(node, msg),
+            None => {}
+        }
+    }
+
+    fn on_close(&self, conn: ConnToken, _reason: CloseReason) {
+        let kind = self.kinds.lock().remove(&conn);
+        let Some(host) = self.host.get() else { return };
+        match kind {
+            Some(BKind::Data(id)) => {
+                host.effects().conns.lock().remove(&id);
+            }
+            Some(BKind::Peer(node)) => {
+                let mut peers = host.effects().peers.lock();
+                if let Some(PeerState::Up(Link::Event { token, .. })) = peers.get(&node) {
+                    if *token == conn {
+                        peers.remove(&node);
+                    }
+                }
+            }
+            Some(BKind::Mgr) => {
+                // Only the *current* control connection triggers a redial
+                // chain (a stale one may close after a successor exists).
+                let is_current = matches!(
+                    &*host.effects().mgr.lock(),
+                    Link::Event { token, .. } if *token == conn
+                );
+                if is_current && !host.is_shutdown() {
+                    self.schedule_mgr_redial(Duration::from_millis(250));
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        self.host.get().and_then(|h| h.next_deadline())
+    }
+
+    fn on_tick(&self, now: Time) {
+        if let Some(host) = self.host.get() {
+            host.tick(now);
         }
     }
 }
@@ -263,6 +550,8 @@ impl BenefEffects {
 pub struct BenefactorServer {
     host: Arc<BenefHost>,
     addr: SocketAddr,
+    /// The epoll transport (reactor backend only).
+    reactor: Option<Reactor>,
 }
 
 impl std::fmt::Debug for BenefactorServer {
@@ -276,12 +565,97 @@ impl std::fmt::Debug for BenefactorServer {
 static CONN_IDS: AtomicU64 = AtomicU64::new(1);
 
 impl BenefactorServer {
-    /// Joins the pool and starts serving.
+    /// Joins the pool and starts serving. Transport comes from
+    /// [`ServerOpts::default`] (the reactor, unless
+    /// `STDCHK_NET_BACKEND=threaded`).
     ///
     /// # Errors
     ///
     /// Fails if the listener cannot bind or the manager is unreachable.
     pub fn spawn(net: BenefactorNetConfig) -> io::Result<BenefactorServer> {
+        BenefactorServer::spawn_with(net, ServerOpts::default())
+    }
+
+    /// [`BenefactorServer::spawn`] with explicit transport tuning.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenefactorServer::spawn`].
+    pub fn spawn_with(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
+        match opts.backend {
+            Backend::Reactor => BenefactorServer::spawn_reactor(net, opts),
+            Backend::Threaded => BenefactorServer::spawn_threaded(net),
+        }
+    }
+
+    /// Reactor backend: control + data planes on one epoll worker pool.
+    fn spawn_reactor(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
+        let listener = TcpListener::bind(&net.listen)?;
+        let addr = listener.local_addr()?;
+        let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
+        write_frame(
+            &mut &mgr_stream,
+            &Msg::Hello {
+                role: Role::Benefactor,
+                node: NodeId(0),
+            },
+        )
+        .map_err(|e| io::Error::other(format!("manager handshake failed: {e}")))?;
+
+        let mut sm = Benefactor::new(NodeId(0), net.total_space, net.cfg);
+        sm.set_advertised_addr(addr.to_string());
+        let clock = Clock::new();
+        sm.adopt_existing(net.store.entries()?, clock.now());
+
+        let app = Arc::new(BenefApp {
+            host: OnceLock::new(),
+            handle: OnceLock::new(),
+            kinds: Mutex::new(HashMap::new()),
+            weak_self: OnceLock::new(),
+            manager_addr: net.manager_addr.clone(),
+        });
+        let _ = app.weak_self.set(Arc::downgrade(&app));
+        let reactor = Reactor::new(
+            clock,
+            Arc::clone(&app) as Arc<dyn ReactorApp>,
+            ReactorConfig {
+                workers: opts.workers,
+            },
+        )?;
+        let handle = reactor.handle().clone();
+        let mgr_token = handle.prepare(mgr_stream, ConnOpts::dial_default())?;
+        app.kinds.lock().insert(mgr_token, BKind::Mgr);
+        handle.arm(mgr_token);
+        let mgr_link = Link::Event {
+            handle: handle.downgrade(),
+            token: mgr_token,
+        };
+        let effects = Arc::new(BenefEffects {
+            store: net.store,
+            mgr: Mutex::new(mgr_link),
+            conns: Mutex::new(HashMap::new()),
+            peers: Mutex::new(HashMap::new()),
+            resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
+            host: Mutex::new(None),
+            rapp: Mutex::new(None),
+        });
+        let host = NodeHost::new(sm, clock, Arc::clone(&effects));
+        let _ = app.host.set(Arc::clone(&host));
+        let _ = app.handle.set(handle.downgrade());
+        *effects.rapp.lock() = Some(Arc::clone(&app));
+        // Join/heartbeat/GC timers fire from the reactor tick once the
+        // host is visible to the app (set above).
+        handle.add_listener(listener, 0, ConnOpts::server_default(opts.idle_timeout))?;
+
+        Ok(BenefactorServer {
+            host,
+            addr,
+            reactor: Some(reactor),
+        })
+    }
+
+    /// Legacy thread-per-connection backend.
+    fn spawn_threaded(net: BenefactorNetConfig) -> io::Result<BenefactorServer> {
         let listener = TcpListener::bind(&net.listen)?;
         let addr = listener.local_addr()?;
         let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
@@ -300,15 +674,15 @@ impl BenefactorServer {
         let clock = Clock::new();
         sm.adopt_existing(net.store.entries()?, clock.now());
 
-        let resolver = ResolveClient::connect(&net.manager_addr)?;
         let first_reader = mgr.reader()?;
         let effects = Arc::new(BenefEffects {
             store: net.store,
-            mgr: Mutex::new(mgr),
+            mgr: Mutex::new(Link::Thread(mgr)),
             conns: Mutex::new(HashMap::new()),
             peers: Mutex::new(HashMap::new()),
-            resolver: Mutex::new(resolver),
+            resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
             host: Mutex::new(None),
+            rapp: Mutex::new(None),
         });
         let host = NodeHost::new(sm, clock, Arc::clone(&effects));
         *effects.host.lock() = Some(Arc::clone(&host));
@@ -352,7 +726,7 @@ impl BenefactorServer {
                                 role: Role::Benefactor,
                                 node: my_id,
                             });
-                            *host.effects().mgr.lock() = sender;
+                            *host.effects().mgr.lock() = Link::Thread(sender);
                             reader = Some(rd);
                             break;
                         }
@@ -382,7 +756,11 @@ impl BenefactorServer {
                 .expect("spawn accept");
         }
 
-        Ok(BenefactorServer { host, addr })
+        Ok(BenefactorServer {
+            host,
+            addr,
+            reactor: None,
+        })
     }
 
     /// The data-path listen address.
@@ -405,18 +783,25 @@ impl BenefactorServer {
         self.host.with_node(|n| n.free_space())
     }
 
-    /// Stops serving (threads exit as their sockets drain).
+    /// Stops serving (threads exit as their sockets drain; the reactor
+    /// joins its workers).
     pub fn shutdown(&self) {
         self.host.shutdown();
+        if let Some(reactor) = &self.reactor {
+            reactor.shutdown();
+        }
         let _ = TcpStream::connect(self.addr);
         self.host.effects().mgr.lock().shutdown();
-        // Break the host↔effects reference cycle so the node drops.
+        // Break the host↔effects/app reference cycles so the node drops.
         *self.host.effects().host.lock() = None;
+        *self.host.effects().rapp.lock() = None;
         for (_, c) in self.host.effects().conns.lock().drain() {
             c.shutdown();
         }
         for (_, p) in self.host.effects().peers.lock().drain() {
-            p.shutdown();
+            if let PeerState::Up(link) = p {
+                link.shutdown();
+            }
         }
     }
 }
@@ -438,13 +823,17 @@ fn serve_data_conn(host: Arc<BenefHost>, stream: TcpStream) {
     // Synthetic per-connection peer id, registered so replies route back on
     // this socket from any pumping thread.
     let conn_id = NodeId((1 << 50) | CONN_IDS.fetch_add(1, Ordering::Relaxed));
-    host.effects().conns.lock().insert(conn_id, sender.clone());
+    host.effects()
+        .conns
+        .lock()
+        .insert(conn_id, Link::Thread(sender.clone()));
     let host2 = Arc::clone(&host);
-    read_loop(reader, move |msg| {
-        if matches!(msg, Msg::Hello { .. }) {
-            return;
+    read_loop(reader, move |msg| match msg {
+        Msg::Hello { .. } | Msg::Pong { .. } => {}
+        Msg::Ping { nonce } => {
+            let _ = sender.send(&Msg::Pong { nonce });
         }
-        host2.deliver(conn_id, msg);
+        other => host2.deliver(conn_id, other),
     });
     host.effects().conns.lock().remove(&conn_id);
 }

@@ -12,20 +12,36 @@
 //!
 //! Both handle kinds drive their sans-IO sessions through the unified
 //! [`Node`] API: one generic pump (`pump_session`) drains
-//! `poll_action()`, executes sends over TCP and stage I/O against a spill
-//! file, and feeds [`Completion`]s back. The write path and the read path
+//! `poll_action()`, executes sends and stage I/O against a spill file,
+//! and feeds [`Completion`]s back. The write path and the read path
 //! differ only in which session type sits behind the pump.
 //!
+//! Transport comes from [`crate::Backend`]:
+//!
+//! - **reactor** (default): every socket of every [`Grid`] lives on a
+//!   shared [`GridRuntime`] — a small epoll [`Reactor`]
+//!   (no reader threads; thread count is independent of how many grids
+//!   and connections exist). Sends enqueue onto bounded per-connection
+//!   buffers; `SendDone` completions arrive when the frame's last byte
+//!   leaves the socket; benefactor connections are dialed lazily on the
+//!   runtime's blocking lane with sends queued while the dial is in
+//!   flight. Many `Grid`s can share one runtime
+//!   ([`Grid::connect_on`]) — that is what lets hundreds of concurrent
+//!   client sessions run from a handful of threads.
+//! - **threaded** (legacy, `STDCHK_NET_BACKEND=threaded`): one reader
+//!   thread per connection, blocking sends.
+//!
 //! All dials use connect timeouts and streams carry write timeouts
-//! ([`crate::conn::dial`]), so a dead manager or benefactor fails fast
-//! instead of hanging a client thread.
+//! ([`crate::conn::dial`]); the connect handshake additionally bounds its
+//! read, so a dead manager or benefactor fails fast instead of hanging a
+//! client thread.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::Duration;
 
@@ -44,8 +60,12 @@ use stdchk_proto::msg::{DirEntry, FileAttr, Msg, Role, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
 
-use crate::conn::{dial, read_frame_timeout, read_loop, Clock, Sender, DIAL_TIMEOUT};
+use crate::conn::{dial, read_frame_timeout, read_loop, Clock, Link, Sender, DIAL_TIMEOUT};
 use crate::driver::ACTION_BATCH;
+use crate::reactor::{
+    CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle,
+};
+use crate::Backend;
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -117,6 +137,10 @@ trait SessionSlot: Send + Sync {
     /// Reports a transport failure for an outstanding request (the
     /// connection it was sent on died), letting the session fail over.
     fn fail(self: Arc<Self>, grid: &Grid, req: RequestId);
+
+    /// Reports that the frame carrying `req` fully left this host
+    /// (reactor backend: ends the OAB transmit window).
+    fn sent(self: Arc<Self>, grid: &Grid, req: RequestId);
 }
 
 impl<N: Node + Send + 'static> SessionSlot for SessionShared<N> {
@@ -137,6 +161,15 @@ impl<N: Node + Send + 'static> SessionSlot for SessionShared<N> {
         }
         pump_session(grid, &self);
     }
+
+    fn sent(self: Arc<Self>, grid: &Grid, req: RequestId) {
+        {
+            let mut s = self.session.lock();
+            s.handle_completion(Completion::SendDone { req }, grid.inner.clock.now());
+            self.cv.notify_all();
+        }
+        pump_session(grid, &self);
+    }
 }
 
 /// Where a correlated reply should be delivered.
@@ -150,17 +183,180 @@ enum Route {
     },
 }
 
+/// What a runtime connection belongs to.
+#[derive(Clone, Copy, Debug)]
+enum ConnKind {
+    /// The grid's manager connection.
+    Mgr,
+    /// A benefactor data connection.
+    Benef(NodeId),
+}
+
+/// A benefactor connection slot: established, or being dialed on the
+/// runtime's blocking lane with sends queued behind the dial.
+enum BenefEntry {
+    Up(Link),
+    Dialing(Vec<Msg>),
+}
+
+/// The shared client-side reactor: one worker pool + blocking dial lane
+/// serving every [`Grid`] connected through it. This is what keeps client
+/// thread count independent of grid/connection/session count — create one
+/// runtime and [`Grid::connect_on`] as many grids as you like.
+pub struct GridRuntime {
+    reactor: Reactor,
+    app: Arc<GridApp>,
+}
+
+impl fmt::Debug for GridRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GridRuntime").finish_non_exhaustive()
+    }
+}
+
+impl GridRuntime {
+    /// A runtime with one event worker (plenty for a client; sessions are
+    /// pumped by their own calling threads).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the reactor descriptors cannot be created.
+    pub fn new() -> io::Result<Arc<GridRuntime>> {
+        GridRuntime::with_workers(1)
+    }
+
+    /// A runtime with `workers` event workers.
+    ///
+    /// # Errors
+    ///
+    /// As [`GridRuntime::new`].
+    pub fn with_workers(workers: usize) -> io::Result<Arc<GridRuntime>> {
+        let app = Arc::new(GridApp {
+            conns: Mutex::new(HashMap::new()),
+        });
+        let reactor = Reactor::new(
+            Clock::new(),
+            Arc::clone(&app) as Arc<dyn ReactorApp>,
+            ReactorConfig { workers },
+        )?;
+        Ok(Arc::new(GridRuntime { reactor, app }))
+    }
+
+    fn handle(&self) -> &ReactorHandle {
+        self.reactor.handle()
+    }
+
+    /// Live connections across every grid on this runtime (tests assert
+    /// connections ≫ threads).
+    pub fn connection_count(&self) -> usize {
+        self.handle().conn_count()
+    }
+
+    /// Registers a connected stream for `inner`, routing its inbound
+    /// messages and closures back to that grid. The routing entry is in
+    /// place before the socket is armed, so no event can race it.
+    fn register(
+        &self,
+        inner: &Weak<GridInner>,
+        kind: ConnKind,
+        stream: std::net::TcpStream,
+    ) -> io::Result<ConnToken> {
+        let token = self.handle().prepare(stream, ConnOpts::dial_default())?;
+        self.app
+            .conns
+            .lock()
+            .insert(token, (Weak::clone(inner), kind));
+        self.handle().arm(token);
+        Ok(token)
+    }
+}
+
+/// The client runtime's [`ReactorApp`]: routes per-connection events to
+/// the owning grid. Holds only `Weak` grid references — dropping every
+/// `Grid` clone tears the grid down even while the runtime lives on.
+struct GridApp {
+    conns: Mutex<HashMap<ConnToken, (Weak<GridInner>, ConnKind)>>,
+}
+
+impl GridApp {
+    fn lookup(&self, conn: ConnToken) -> Option<(Grid, ConnKind)> {
+        let (weak, kind) = {
+            let conns = self.conns.lock();
+            let (w, k) = conns.get(&conn)?;
+            (Weak::clone(w), *k)
+        };
+        Some((
+            Grid {
+                inner: weak.upgrade()?,
+            },
+            kind,
+        ))
+    }
+}
+
+impl ReactorApp for GridApp {
+    fn on_msg(&self, conn: ConnToken, msg: Msg) {
+        if let Some((grid, _)) = self.lookup(conn) {
+            deliver_reply(&grid, msg);
+        }
+    }
+
+    fn on_close(&self, conn: ConnToken, _reason: CloseReason) {
+        let Some((weak, kind)) = self.conns.lock().remove(&conn) else {
+            return;
+        };
+        let Some(inner) = weak.upgrade() else { return };
+        let grid = Grid { inner };
+        match kind {
+            ConnKind::Benef(node) => on_benefactor_conn_down(&grid, node),
+            ConnKind::Mgr => on_manager_conn_down(&grid),
+        }
+    }
+
+    fn on_sent(&self, conn: ConnToken, token: u64) {
+        if let Some((grid, _)) = self.lookup(conn) {
+            on_frame_sent(&grid, RequestId(token));
+        }
+    }
+}
+
+/// Transport state of one grid.
+enum ClientBackend {
+    /// Legacy blocking transport (reader thread per connection).
+    Threaded,
+    /// Shared epoll runtime.
+    Reactor {
+        rt: Arc<GridRuntime>,
+        mgr_token: ConnToken,
+    },
+}
+
 struct GridInner {
     clock: Clock,
-    mgr: Sender,
+    mgr: Link,
     my_node: NodeId,
     next_req: AtomicU64,
     next_sid: AtomicU64,
     routes: Mutex<HashMap<RequestId, Route>>,
-    benefs: Mutex<HashMap<NodeId, Sender>>,
+    benefs: Mutex<HashMap<NodeId, BenefEntry>>,
     addr_cache: Mutex<HashMap<NodeId, String>>,
     timeout: Duration,
     stage_dir: PathBuf,
+    backend: ClientBackend,
+}
+
+impl Drop for GridInner {
+    fn drop(&mut self) {
+        if let ClientBackend::Reactor { rt, mgr_token } = &self.backend {
+            // Deregister this grid's connections from the shared runtime.
+            rt.handle().close(*mgr_token);
+            for (_, entry) in self.benefs.lock().drain() {
+                if let BenefEntry::Up(link) = entry {
+                    link.shutdown();
+                }
+            }
+        }
+    }
 }
 
 /// A connection to a stdchk pool.
@@ -203,13 +399,69 @@ impl Default for WriteOptions {
 
 impl Grid {
     /// Connects to the manager at `addr`, failing fast (connect and
-    /// handshake-read timeouts) when the manager is dead.
+    /// handshake-read timeouts) when the manager is dead. Transport comes
+    /// from [`Backend::from_env`]; the reactor backend creates a private
+    /// [`GridRuntime`] (use [`Grid::connect_on`] to share one across
+    /// grids).
     ///
     /// # Errors
     ///
     /// Fails on dial/handshake problems; [`GridError::Timeout`] when the
     /// manager accepts but never answers the handshake.
     pub fn connect(addr: &str) -> Result<Grid, GridError> {
+        match Backend::from_env() {
+            Backend::Threaded => Grid::connect_threaded(addr),
+            Backend::Reactor => Grid::connect_on(&GridRuntime::new()?, addr),
+        }
+    }
+
+    /// Connects through a shared [`GridRuntime`]: all sockets live on the
+    /// runtime's reactor, so any number of grids (and their concurrent
+    /// sessions) run on a fixed handful of threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`Grid::connect`].
+    pub fn connect_on(rt: &Arc<GridRuntime>, addr: &str) -> Result<Grid, GridError> {
+        // Bootstrap handshake stays blocking (with connect + read
+        // timeouts): one frame in, one frame out, before the socket moves
+        // onto the reactor.
+        let stream = dial(addr, DIAL_TIMEOUT)?;
+        write_hello(&stream)?;
+        let mut handshake = stream;
+        let my_node = read_hello_reply(&mut handshake)?;
+        // Prepare the socket first (unarmed: nothing can be delivered),
+        // attach the routing entry once the grid exists, then arm.
+        let mgr_token = rt.handle().prepare(handshake, ConnOpts::dial_default())?;
+        let inner = Arc::new(GridInner {
+            clock: Clock::new(),
+            mgr: Link::Event {
+                handle: rt.handle().downgrade(),
+                token: mgr_token,
+            },
+            my_node,
+            next_req: AtomicU64::new(1),
+            next_sid: AtomicU64::new(1),
+            routes: Mutex::new(HashMap::new()),
+            benefs: Mutex::new(HashMap::new()),
+            addr_cache: Mutex::new(HashMap::new()),
+            timeout: Duration::from_secs(10),
+            stage_dir: std::env::temp_dir(),
+            backend: ClientBackend::Reactor {
+                rt: Arc::clone(rt),
+                mgr_token,
+            },
+        });
+        rt.app
+            .conns
+            .lock()
+            .insert(mgr_token, (Arc::downgrade(&inner), ConnKind::Mgr));
+        rt.handle().arm(mgr_token);
+        Ok(Grid { inner })
+    }
+
+    /// Legacy thread-per-connection client.
+    fn connect_threaded(addr: &str) -> Result<Grid, GridError> {
         let stream = dial(addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender.send(&Msg::Hello {
@@ -219,26 +471,10 @@ impl Grid {
         // The manager assigns our pool identity in its Hello reply; a
         // silent peer times out instead of wedging the caller.
         let mut reader = sender.reader()?;
-        let my_node = match read_frame_timeout(&mut reader, DIAL_TIMEOUT) {
-            Ok(Some(Msg::Hello { node, .. })) => node,
-            Ok(other) => {
-                return Err(GridError::Protocol(format!(
-                    "expected Hello from manager, got {other:?}"
-                )))
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Err(GridError::Timeout)
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let my_node = read_hello_reply(&mut reader)?;
         let inner = Arc::new(GridInner {
             clock: Clock::new(),
-            mgr: sender,
+            mgr: Link::Thread(sender),
             my_node,
             next_req: AtomicU64::new(1),
             next_sid: AtomicU64::new(1),
@@ -247,6 +483,7 @@ impl Grid {
             addr_cache: Mutex::new(HashMap::new()),
             timeout: Duration::from_secs(10),
             stage_dir: std::env::temp_dir(),
+            backend: ClientBackend::Threaded,
         });
         // Manager reply pump.
         {
@@ -476,9 +713,10 @@ impl Grid {
 
     // -------------------------------------------------------- benefactor IO
 
-    fn benefactor_conn(&self, node: NodeId) -> Result<Sender, GridError> {
-        if let Some(s) = self.inner.benefs.lock().get(&node) {
-            return Ok(s.clone());
+    /// Threaded backend: inline blocking dial + reader thread.
+    fn benefactor_conn(&self, node: NodeId) -> Result<Link, GridError> {
+        if let Some(BenefEntry::Up(l)) = self.inner.benefs.lock().get(&node) {
+            return Ok(l.clone());
         }
         let addr = self.resolve(node)?;
         let stream = dial(&addr, DIAL_TIMEOUT)?;
@@ -499,8 +737,56 @@ impl Grid {
                 on_benefactor_conn_down(&grid, node);
             })
             .expect("spawn benef reader");
-        self.inner.benefs.lock().insert(node, sender.clone());
-        Ok(sender)
+        let link = Link::Thread(sender);
+        self.inner
+            .benefs
+            .lock()
+            .insert(node, BenefEntry::Up(link.clone()));
+        Ok(link)
+    }
+
+    /// Reactor backend: sends to `node` without ever blocking the calling
+    /// thread. An unestablished connection queues the message behind a
+    /// blocking-lane dial job. Returns `Err` only for immediately-failed
+    /// sends (the caller reports `SendFailed`); queued/sent messages
+    /// complete via `on_sent` / connection-close handling.
+    fn send_event(&self, node: NodeId, msg: Msg, req: Option<RequestId>) -> Result<(), ()> {
+        let ClientBackend::Reactor { rt, .. } = &self.inner.backend else {
+            unreachable!("send_event is reactor-only");
+        };
+        let track = req.map(|r| r.0);
+        let mut benefs = self.inner.benefs.lock();
+        match benefs.get_mut(&node) {
+            Some(BenefEntry::Up(link)) => {
+                let link = link.clone();
+                drop(benefs);
+                let sent = match track {
+                    Some(t) => link.send_tracked(&msg, t),
+                    None => link.send(&msg),
+                };
+                if sent.is_err() {
+                    // The close callback fails the other in-flight
+                    // requests; this one was never handed to the link.
+                    return Err(());
+                }
+                Ok(())
+            }
+            Some(BenefEntry::Dialing(q)) => {
+                q.push(msg);
+                Ok(())
+            }
+            None => {
+                benefs.insert(node, BenefEntry::Dialing(vec![msg]));
+                drop(benefs);
+                let weak = Arc::downgrade(&self.inner);
+                rt.handle().spawn_blocking(move |_| {
+                    if let Some(inner) = weak.upgrade() {
+                        dial_benefactor(&Grid { inner }, node);
+                    }
+                });
+                Ok(())
+            }
+        }
     }
 
     fn resolve(&self, node: NodeId) -> Result<String, GridError> {
@@ -526,6 +812,38 @@ impl Grid {
         };
         self.inner.addr_cache.lock().insert(node, addr.clone());
         Ok(addr)
+    }
+}
+
+/// Sends the client Hello on a freshly dialed bootstrap stream.
+fn write_hello(stream: &std::net::TcpStream) -> Result<(), GridError> {
+    stdchk_proto::frame::write_frame(
+        &mut &*stream,
+        &Msg::Hello {
+            role: Role::Client,
+            node: NodeId(0),
+        },
+    )?;
+    Ok(())
+}
+
+/// Reads the manager's identity-assigning Hello reply, bounded by the
+/// dial timeout so a silent manager cannot wedge the caller.
+fn read_hello_reply(stream: &mut std::net::TcpStream) -> Result<NodeId, GridError> {
+    match read_frame_timeout(stream, DIAL_TIMEOUT) {
+        Ok(Some(Msg::Hello { node, .. })) => Ok(node),
+        Ok(other) => Err(GridError::Protocol(format!(
+            "expected Hello from manager, got {other:?}"
+        ))),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(GridError::Timeout)
+        }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -568,6 +886,122 @@ fn on_benefactor_conn_down(grid: &Grid, node: NodeId) {
     }
 }
 
+/// The manager connection died (reactor backend): fail every in-flight
+/// manager request. RPC waiters see their channel close (surfacing as a
+/// timeout-class error immediately); sessions get `SendFailed`.
+fn on_manager_conn_down(grid: &Grid) {
+    let stranded: Vec<(RequestId, Route)> = {
+        let mut routes = grid.inner.routes.lock();
+        let reqs: Vec<RequestId> = routes
+            .iter()
+            .filter(|(_, r)| match r {
+                Route::Rpc(_) => true,
+                Route::Session { to, .. } => *to == MANAGER_NODE,
+            })
+            .map(|(req, _)| *req)
+            .collect();
+        reqs.into_iter()
+            .filter_map(|req| routes.remove(&req).map(|r| (req, r)))
+            .collect()
+    };
+    for (req, route) in stranded {
+        match route {
+            // Dropping the sender wakes the blocked RPC immediately.
+            Route::Rpc(tx) => drop(tx),
+            Route::Session { slot, .. } => slot.fail(grid, req),
+        }
+    }
+}
+
+/// A tracked frame fully left this host (reactor backend): deliver the
+/// `SendDone` that ends the session's transmit window. The route stays —
+/// the reply is still outstanding.
+fn on_frame_sent(grid: &Grid, req: RequestId) {
+    let slot = {
+        let routes = grid.inner.routes.lock();
+        match routes.get(&req) {
+            Some(Route::Session { slot, .. }) => Some(Arc::clone(slot)),
+            _ => None,
+        }
+    };
+    if let Some(slot) = slot {
+        slot.sent(grid, req);
+    }
+}
+
+/// Blocking-lane job: resolve + dial + handshake one benefactor
+/// connection, then flush the sends that queued while dialing.
+fn dial_benefactor(grid: &Grid, node: NodeId) {
+    let ClientBackend::Reactor { rt, .. } = &grid.inner.backend else {
+        return;
+    };
+    let established: Result<Link, GridError> = (|| {
+        let addr = grid.resolve(node)?;
+        let stream = dial(&addr, DIAL_TIMEOUT)?;
+        let token = rt.register(&Arc::downgrade(&grid.inner), ConnKind::Benef(node), stream)?;
+        let link = Link::Event {
+            handle: rt.handle().downgrade(),
+            token,
+        };
+        link.send(&Msg::Hello {
+            role: Role::Client,
+            node: grid.inner.my_node,
+        })?;
+        Ok(link)
+    })();
+    match established {
+        Ok(link) => {
+            let queued = {
+                let mut benefs = grid.inner.benefs.lock();
+                match benefs.insert(node, BenefEntry::Up(link.clone())) {
+                    Some(BenefEntry::Dialing(q)) => q,
+                    _ => Vec::new(),
+                }
+            };
+            for msg in queued {
+                let req = msg.request_id();
+                let sent = match req {
+                    Some(r) => link.send_tracked(&msg, r.0),
+                    None => link.send(&msg),
+                };
+                if sent.is_err() {
+                    // Connection died mid-flush: the close callback fails
+                    // the remaining in-flight requests; fail this one
+                    // explicitly in case its route was just added. (The
+                    // route is taken in its own statement so the lock is
+                    // released before `fail` pumps the session.)
+                    if let Some(r) = req {
+                        let route = grid.inner.routes.lock().remove(&r);
+                        if let Some(Route::Session { slot, .. }) = route {
+                            slot.fail(grid, r);
+                        }
+                    }
+                }
+            }
+        }
+        Err(_) => {
+            // Dial failed: drop the entry and fail everything queued, so
+            // sessions fail over instead of waiting out deadlines.
+            let queued = match grid.inner.benefs.lock().remove(&node) {
+                Some(BenefEntry::Dialing(q)) => q,
+                _ => Vec::new(),
+            };
+            grid.inner.addr_cache.lock().remove(&node);
+            for msg in queued {
+                if let Some(req) = msg.request_id() {
+                    // Take the route in its own statement: the lock must
+                    // drop before `fail` pumps the session (which inserts
+                    // new routes for the failover sends).
+                    let route = grid.inner.routes.lock().remove(&req);
+                    if let Some(Route::Session { slot, .. }) = route {
+                        slot.fail(grid, req);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The generic session pump: drains `poll_action()` in batches and executes
 /// each unified action — sends over the manager or benefactor sockets with
 /// reply routing, stage I/O against the spill file — feeding completions
@@ -600,20 +1034,46 @@ fn pump_session<N: Node + Send + 'static>(grid: &Grid, shared: &Arc<SessionShare
                             },
                         );
                     }
-                    let ok = if to == MANAGER_NODE {
-                        grid.inner.mgr.send(&msg).is_ok()
-                    } else {
-                        grid.benefactor_conn(to)
-                            .and_then(|c| c.send(&msg).map_err(GridError::from))
-                            .is_ok()
-                    };
-                    match (req, ok) {
-                        (Some(req), true) => Some(Completion::SendDone { req }),
-                        (Some(req), false) => {
-                            grid.inner.routes.lock().remove(&req);
-                            Some(Completion::SendFailed { req })
+                    match &grid.inner.backend {
+                        ClientBackend::Threaded => {
+                            // Blocking transport: the send completing IS
+                            // the frame leaving this host.
+                            let ok = if to == MANAGER_NODE {
+                                grid.inner.mgr.send(&msg).is_ok()
+                            } else {
+                                grid.benefactor_conn(to)
+                                    .and_then(|c| c.send(&msg).map_err(GridError::from))
+                                    .is_ok()
+                            };
+                            match (req, ok) {
+                                (Some(req), true) => Some(Completion::SendDone { req }),
+                                (Some(req), false) => {
+                                    grid.inner.routes.lock().remove(&req);
+                                    Some(Completion::SendFailed { req })
+                                }
+                                (None, _) => None,
+                            }
                         }
-                        (None, _) => None,
+                        ClientBackend::Reactor { .. } => {
+                            // Nonblocking transport: `SendDone` arrives via
+                            // `on_sent` when the frame's last byte is
+                            // written; dial-in-flight sends queue.
+                            let ok = if to == MANAGER_NODE {
+                                match req {
+                                    Some(r) => grid.inner.mgr.send_tracked(&msg, r.0).is_ok(),
+                                    None => grid.inner.mgr.send(&msg).is_ok(),
+                                }
+                            } else {
+                                grid.send_event(to, msg, req).is_ok()
+                            };
+                            match (req, ok) {
+                                (Some(req), false) => {
+                                    grid.inner.routes.lock().remove(&req);
+                                    Some(Completion::SendFailed { req })
+                                }
+                                _ => None,
+                            }
+                        }
                     }
                 }
                 Action::StageAppend {
@@ -727,6 +1187,80 @@ impl Write for WriteHandle {
 }
 
 impl WriteHandle {
+    /// Nonblocking write for event-driven drivers: accepts at most what
+    /// the session window allows right now and returns `Ok(0)` instead of
+    /// waiting when the window is full (retry after the transport makes
+    /// progress). This is what lets one thread drive hundreds of
+    /// concurrent sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::SessionFailed`] if the session already failed; an
+    /// error on write-after-close.
+    pub fn poll_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let n;
+        {
+            let mut s = self.shared.session.lock();
+            match s.state() {
+                SessionState::Failed(code) => {
+                    return Err(io::Error::other(GridError::SessionFailed(code)))
+                }
+                SessionState::Open => {}
+                _ => return Err(io::Error::other("write after close")),
+            }
+            let w = s.writable();
+            if w == 0 {
+                return Ok(0);
+            }
+            n = (buf.len() as u64).min(w) as usize;
+            s.write(
+                Payload::real(buf[..n].to_vec()),
+                self.grid.inner.clock.now(),
+            );
+        }
+        pump_session(&self.grid, &self.shared);
+        Ok(n)
+    }
+
+    /// Starts the session-semantics commit without blocking; poll
+    /// [`WriteHandle::try_finish`] for the outcome. Idempotent.
+    pub fn start_close(&mut self) {
+        let closed = {
+            let mut s = self.shared.session.lock();
+            if s.state() == SessionState::Open {
+                s.close(self.grid.inner.clock.now());
+                true
+            } else {
+                false
+            }
+        };
+        if closed {
+            pump_session(&self.grid, &self.shared);
+        }
+    }
+
+    /// Polls a closing session ([`WriteHandle::start_close`]) for its
+    /// final outcome: `None` while the commit is still in flight.
+    pub fn try_finish(&mut self) -> Option<Result<WriteStats, GridError>> {
+        pump_session(&self.grid, &self.shared);
+        let result = {
+            let s = self.shared.session.lock();
+            match s.state() {
+                SessionState::Done => Some(Ok(s.stats())),
+                SessionState::Failed(code) => Some(Err(GridError::SessionFailed(code))),
+                _ => None,
+            }
+        };
+        if result.is_some() {
+            self.finished = true;
+            let _ = std::fs::remove_file(&self.shared.stage_path);
+        }
+        result
+    }
+
     /// Closes the file: drains data, commits the chunk-map, and returns the
     /// session metrics. Blocks until the commit acknowledges (for
     /// pessimistic sessions this includes reaching the replication target).

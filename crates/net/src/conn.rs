@@ -153,6 +153,84 @@ pub fn read_loop(mut stream: TcpStream, mut on_msg: impl FnMut(Msg)) {
     }
 }
 
+/// One outbound connection, over either transport backend: a shared
+/// blocking write half (thread-per-connection) or a reactor connection
+/// token. Registries hold `Link`s so the servers' effects code is
+/// backend-agnostic.
+#[derive(Clone, Debug)]
+pub enum Link {
+    /// Legacy blocking transport.
+    Thread(Sender),
+    /// Reactor-registered connection. Holds a [`WeakHandle`](crate::reactor::WeakHandle): registries
+    /// live inside application state the reactor owns, so a strong handle
+    /// here would cycle. Sends on a torn-down reactor simply fail.
+    Event {
+        /// The owning reactor.
+        handle: crate::reactor::WeakHandle,
+        /// The connection.
+        token: crate::reactor::ConnToken,
+    },
+}
+
+impl Link {
+    /// Sends one frame.
+    ///
+    /// For [`Link::Thread`] this blocks until the socket accepts the
+    /// bytes; for [`Link::Event`] it means *queued or written* (bounded —
+    /// a slow peer's link errors out and is closed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/queueing failures.
+    pub fn send(&self, msg: &Msg) -> io::Result<()> {
+        match self {
+            Link::Thread(s) => s.send(msg),
+            Link::Event { handle, token } => match handle.upgrade() {
+                Some(h) => h.send(*token, msg),
+                None => Err(io::Error::other("reactor is gone")),
+            },
+        }
+    }
+
+    /// Sends one frame, requesting an `on_sent` completion with `track`
+    /// once the last byte is written ([`Link::Event`] only; the blocking
+    /// transport completes synchronously so callers synthesize it).
+    ///
+    /// # Errors
+    ///
+    /// As [`Link::send`].
+    pub fn send_tracked(&self, msg: &Msg, track: u64) -> io::Result<()> {
+        match self {
+            Link::Thread(s) => s.send(msg),
+            Link::Event { handle, token } => match handle.upgrade() {
+                Some(h) => h.send_tracked(*token, msg, track),
+                None => Err(io::Error::other("reactor is gone")),
+            },
+        }
+    }
+
+    /// True when both handles address the same underlying connection.
+    pub fn same_conn(&self, other: &Link) -> bool {
+        match (self, other) {
+            (Link::Thread(a), Link::Thread(b)) => a.same_channel(b),
+            (Link::Event { token: a, .. }, Link::Event { token: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Closes the connection.
+    pub fn shutdown(&self) {
+        match self {
+            Link::Thread(s) => s.shutdown(),
+            Link::Event { handle, token } => {
+                if let Some(h) = handle.upgrade() {
+                    h.close(*token);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,24 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
         f(&mut self.node.lock())
     }
 
+    /// The hosted node's next protocol deadline (what a reactor folds
+    /// into its `epoll_wait` timeout).
+    pub fn next_deadline(&self) -> Option<stdchk_util::Time> {
+        self.node.lock().poll_timeout()
+    }
+
+    /// Fires the node's timer if due and drains the resulting actions:
+    /// the shared tick every reactor-hosted server app delegates to.
+    pub fn tick(&self, now: stdchk_util::Time) {
+        {
+            let mut node = self.node.lock();
+            if node.poll_timeout().is_some_and(|t| t <= now) {
+                node.handle_timeout(now);
+            }
+        }
+        self.pump();
+    }
+
     /// Feeds one inbound message, then drains resulting actions.
     pub fn deliver(&self, from: NodeId, msg: Msg) {
         let now = self.clock.now();

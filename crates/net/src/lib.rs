@@ -24,15 +24,21 @@
 //!
 //! All three drive their state machines through the unified
 //! [`Node`](stdchk_core::Node) API: the servers share one generic
-//! [`NodeHost`]/[`run_node`] event loop (reader threads deliver messages,
-//! maintenance fires from `poll_timeout`, actions drain in batches through
-//! a per-role [`Effects`] executor), and the client pumps its sessions
-//! through the same `poll_action` loop. Outbound dials use connect/write
-//! timeouts ([`conn::dial`]) so dead peers fail fast.
+//! [`NodeHost`] (actions drain in batches through a per-role [`Effects`]
+//! executor), and the client pumps its sessions through the same
+//! `poll_action` loop.
 //!
-//! Threading is deliberately simple (thread-per-connection): a desktop grid
-//! pool is tens of nodes with long-lived bulk transfers, where blocking I/O
-//! is both adequate and easy to reason about.
+//! Transport is the event-driven [`reactor`] by default: an epoll worker
+//! pool owns every nonblocking socket, frames are decoded incrementally
+//! ([`stdchk_proto::frame::FrameDecoder`], chunk payloads sliced
+//! zero-copy), outbound buffers are bounded (slow/dead peers are
+//! disconnected, never block the pump), idle connections are reaped, and
+//! protocol timers fold into `epoll_wait` — thread count is O(workers),
+//! not O(connections), so the manager absorbs checkpoint bursts from
+//! whole pools. The legacy thread-per-connection transport remains
+//! selectable ([`Backend::Threaded`], `STDCHK_NET_BACKEND=threaded`) as
+//! the benchmark baseline. Outbound dials use connect/write timeouts and
+//! handshakes bound their reads ([`conn::dial`]) so dead peers fail fast.
 //!
 //! # Example (in-process pool)
 //!
@@ -66,10 +72,59 @@ pub mod driver;
 pub mod log;
 pub mod manager_server;
 pub mod metalog;
+pub mod reactor;
 pub mod store;
 
 pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
-pub use client::{Grid, GridError, ReadHandle, WriteHandle, WriteOptions};
+pub use client::{Grid, GridError, GridRuntime, ReadHandle, WriteHandle, WriteOptions};
 pub use driver::{run_node, Effects, NodeHost};
 pub use manager_server::ManagerServer;
 pub use metalog::{MetaLog, MetaLogConfig};
+pub use reactor::{
+    CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle, WeakHandle,
+};
+
+/// Which transport drives the servers and the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Readiness-based epoll reactor ([`reactor`]): worker-bounded
+    /// threads, nonblocking sockets, incremental framing. The default.
+    Reactor,
+    /// Legacy thread-per-connection transport (blocking reads, 2+ OS
+    /// threads per connection). Kept as the benchmark baseline and as an
+    /// escape hatch (`STDCHK_NET_BACKEND=threaded`).
+    Threaded,
+}
+
+impl Backend {
+    /// Reads `STDCHK_NET_BACKEND` (`reactor` | `threaded`), defaulting to
+    /// [`Backend::Reactor`].
+    pub fn from_env() -> Backend {
+        match std::env::var("STDCHK_NET_BACKEND").as_deref() {
+            Ok("threaded") | Ok("thread") => Backend::Threaded,
+            _ => Backend::Reactor,
+        }
+    }
+}
+
+/// Transport tuning for [`ManagerServer`] / [`BenefactorServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOpts {
+    /// Which transport to run.
+    pub backend: Backend,
+    /// Reactor worker threads (ignored by [`Backend::Threaded`]).
+    pub workers: usize,
+    /// Reap inbound connections silent for this long (reactor only; the
+    /// client side sends transport keepalives well inside this bound).
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServerOpts {
+    fn default() -> ServerOpts {
+        ServerOpts {
+            backend: Backend::from_env(),
+            workers: 2,
+            idle_timeout: Some(std::time::Duration::from_secs(60)),
+        }
+    }
+}

@@ -1,12 +1,22 @@
 //! The metadata manager as a TCP server.
 //!
-//! Thread-per-connection around the sans-IO [`Manager`], driven entirely
-//! through the unified [`Node`](stdchk_core::Node) API by the generic
-//! [`NodeHost`] event loop: reader threads call `deliver`, the shared
-//! [`run_node`](crate::run_node) loop fires maintenance from `poll_timeout`, and the only
-//! manager-specific code left is [`MgrEffects`] — a connection registry
-//! that knows how to transmit, plus (for durable managers) the metadata
-//! write-ahead log.
+//! The sans-IO [`Manager`] is driven entirely through the unified
+//! [`Node`](stdchk_core::Node) API. Two transports can host it
+//! ([`crate::Backend`]):
+//!
+//! - **reactor** (default): the epoll [`Reactor`] owns
+//!   every socket with a fixed worker pool — workers decode frames
+//!   incrementally and `deliver` them, manager maintenance fires from
+//!   `poll_timeout` folded into `epoll_wait`, and idle connections are
+//!   reaped. Threads stay O(workers) no matter how many clients and
+//!   benefactors connect.
+//! - **threaded** (legacy, `STDCHK_NET_BACKEND=threaded`): reader thread
+//!   per connection + the generic [`run_node`](crate::run_node) timer
+//!   loop. Kept as the benchmark baseline.
+//!
+//! Either way the only manager-specific code is [`MgrEffects`] — a
+//! connection registry that knows how to transmit, plus (for durable
+//! managers) the metadata write-ahead log.
 //!
 //! [`ManagerServer::spawn`] runs the paper's volatile manager: a restart
 //! comes back empty and relies on benefactor re-offers.
@@ -22,7 +32,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
@@ -33,10 +43,13 @@ use stdchk_core::{Manager, ManagerStats, PoolConfig};
 use stdchk_proto::ids::NodeId;
 use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::{Msg, Role};
+use stdchk_util::Time;
 
-use crate::conn::{read_loop, Clock, Sender};
+use crate::conn::{read_loop, Clock, Link, Sender};
 use crate::driver::{spawn_node_loop, Effects, NodeHost};
 use crate::metalog::{MetaLog, MetaLogConfig};
+use crate::reactor::{CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig};
+use crate::{Backend, ServerOpts};
 
 /// Base of the per-connection client node-id namespace (far above any
 /// benefactor id the manager will ever assign).
@@ -51,22 +64,22 @@ pub const HELPER_NET_BASE: u64 = 1 << 49;
 /// id, plus — for durable managers — the metadata write-ahead log that
 /// `MetaAppend` actions land in.
 pub struct MgrEffects {
-    conns: Mutex<HashMap<NodeId, Sender>>,
+    conns: Mutex<HashMap<NodeId, Link>>,
     next_client: AtomicU64,
     next_helper: AtomicU64,
     metalog: Option<Arc<MetaLog>>,
 }
 
 impl MgrEffects {
-    fn bind(&self, node: NodeId, conn: &Sender) {
+    fn bind(&self, node: NodeId, conn: &Link) {
         self.conns.lock().insert(node, conn.clone());
     }
 
     /// Unbinds `node` only while it still points at `conn`: a reconnect may
     /// already have rebound the id to a fresh connection.
-    fn unbind_if(&self, node: NodeId, conn: &Sender) {
+    fn unbind_if(&self, node: NodeId, conn: &Link) {
         let mut conns = self.conns.lock();
-        if conns.get(&node).is_some_and(|c| c.same_channel(conn)) {
+        if conns.get(&node).is_some_and(|c| c.same_conn(conn)) {
             conns.remove(&node);
         }
     }
@@ -80,13 +93,156 @@ impl MgrEffects {
                 // A failed (or timed-out) send may have left a partial
                 // frame on the wire; any further message on this socket
                 // would desync the peer's framing. Drop the connection —
-                // peers are soft-state and re-register/retry.
+                // peers are soft-state and re-register/retry. (The
+                // reactor link additionally fails on backpressure: a
+                // peer that stopped draining gets disconnected here.)
                 self.unbind_if(to, &conn);
                 conn.shutdown();
             }
         }
         // Peers with no registered connection are dropped: they are
         // soft-state; their timers re-register and re-request.
+    }
+}
+
+/// Routes one inbound message through the tiny connection handshake shared
+/// by both transports: binds the peer's identity (client/benefactor id or
+/// a synthetic helper id) in the registry, and returns `Some((from, msg))`
+/// when the message should be delivered to the manager node.
+///
+/// `bound_ids` is the per-connection identity stack; the last entry is the
+/// current peer identity and every entry is unbound when the connection
+/// dies.
+fn route_inbound(
+    effects: &MgrEffects,
+    bound_ids: &mut Vec<NodeId>,
+    conn: &Link,
+    msg: Msg,
+) -> Option<(NodeId, Msg)> {
+    // Transport liveness probes never reach the node (the reactor answers
+    // them itself; this is the threaded path's equivalent).
+    match &msg {
+        Msg::Ping { nonce } => {
+            let _ = conn.send(&Msg::Pong { nonce: *nonce });
+            return None;
+        }
+        Msg::Pong { .. } => return None,
+        _ => {}
+    }
+    let peer = bound_ids.last().copied();
+    match (&msg, peer) {
+        (
+            Msg::Hello {
+                role: Role::Client, ..
+            },
+            None,
+        ) => {
+            let id = NodeId(effects.next_client.fetch_add(1, Ordering::Relaxed));
+            bound_ids.push(id);
+            effects.bind(id, conn);
+            // Tell the client its pool identity.
+            let _ = conn.send(&Msg::Hello {
+                role: Role::Manager,
+                node: id,
+            });
+            None
+        }
+        (Msg::Hello { node, .. }, None) if *node != NodeId(0) => {
+            // Benefactor (or manager peer) announcing an existing id.
+            bound_ids.push(*node);
+            effects.bind(*node, conn);
+            None
+        }
+        (Msg::Hello { .. }, None) => {
+            // Anonymous connection (pre-join benefactor, resolver
+            // sideband): bind a synthetic helper id so replies — including
+            // the JoinOk that assigns the real id — route through the
+            // registry from any thread.
+            let id = NodeId(effects.next_helper.fetch_add(1, Ordering::Relaxed));
+            bound_ids.push(id);
+            effects.bind(id, conn);
+            None
+        }
+        _ => {
+            // A heartbeat binds the announcing node id (manager restart:
+            // benefactors keep their old ids; post-join benefactors
+            // upgrade their helper binding).
+            if let Msg::Heartbeat { node, .. } = msg {
+                if peer != Some(node) {
+                    bound_ids.push(node);
+                    effects.bind(node, conn);
+                }
+            }
+            let from = match bound_ids.last().copied() {
+                Some(id) => id,
+                None => {
+                    // No Hello at all: bind a helper id on first use.
+                    let id = NodeId(effects.next_helper.fetch_add(1, Ordering::Relaxed));
+                    bound_ids.push(id);
+                    effects.bind(id, conn);
+                    id
+                }
+            };
+            Some((from, msg))
+        }
+    }
+}
+
+/// The manager's [`ReactorApp`]: handshake-routes inbound messages into
+/// the shared [`NodeHost`], unbinds identities when connections die, and
+/// fires the manager's maintenance timers from the reactor's tick.
+struct MgrApp {
+    host: OnceLock<Arc<NodeHost<Manager, Arc<MgrEffects>>>>,
+    handle: OnceLock<crate::reactor::WeakHandle>,
+    /// Identities bound by each live connection.
+    bound: Mutex<HashMap<ConnToken, Vec<NodeId>>>,
+}
+
+impl MgrApp {
+    fn link(&self, conn: ConnToken) -> Link {
+        Link::Event {
+            handle: self.handle.get().expect("handle set at spawn").clone(),
+            token: conn,
+        }
+    }
+}
+
+impl ReactorApp for MgrApp {
+    fn on_accept(&self, conn: ConnToken, _listener: u64) {
+        self.bound.lock().insert(conn, Vec::new());
+    }
+
+    fn on_msg(&self, conn: ConnToken, msg: Msg) {
+        let Some(host) = self.host.get() else { return };
+        let link = self.link(conn);
+        let routed = {
+            let mut bound = self.bound.lock();
+            let ids = bound.entry(conn).or_default();
+            route_inbound(host.effects(), ids, &link, msg)
+        };
+        if let Some((from, msg)) = routed {
+            host.deliver(from, msg);
+        }
+    }
+
+    fn on_close(&self, conn: ConnToken, _reason: CloseReason) {
+        let Some(host) = self.host.get() else { return };
+        let link = self.link(conn);
+        if let Some(ids) = self.bound.lock().remove(&conn) {
+            for id in ids {
+                host.effects().unbind_if(id, &link);
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        self.host.get().and_then(|h| h.next_deadline())
+    }
+
+    fn on_tick(&self, now: Time) {
+        if let Some(host) = self.host.get() {
+            host.tick(now);
+        }
     }
 }
 
@@ -147,6 +303,8 @@ impl Effects for Arc<MgrEffects> {
 pub struct ManagerServer {
     host: Arc<NodeHost<Manager, Arc<MgrEffects>>>,
     addr: SocketAddr,
+    /// The epoll transport (reactor backend only).
+    reactor: Option<Reactor>,
     /// The snapshot-installer thread (durable mode): joined on shutdown
     /// so its `Arc<MetaLog>` — and with it the log directory `LOCK` —
     /// is released promptly for a successor.
@@ -164,13 +322,29 @@ impl std::fmt::Debug for ManagerServer {
 impl ManagerServer {
     /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts serving with
     /// volatile metadata (the paper's soft-state manager: a restart
-    /// relies on heartbeats and re-offers).
+    /// relies on heartbeats and re-offers). Transport comes from
+    /// [`ServerOpts::default`] (the reactor, unless
+    /// `STDCHK_NET_BACKEND=threaded`).
     ///
     /// # Errors
     ///
     /// Fails if the listener cannot bind.
     pub fn spawn(listen: &str, cfg: PoolConfig) -> io::Result<ManagerServer> {
-        ManagerServer::spawn_inner(listen, cfg, None)
+        ManagerServer::spawn_with(listen, cfg, ServerOpts::default())
+    }
+
+    /// [`ManagerServer::spawn`] with explicit transport tuning (backend,
+    /// reactor workers, idle reaping).
+    ///
+    /// # Errors
+    ///
+    /// As [`ManagerServer::spawn`].
+    pub fn spawn_with(
+        listen: &str,
+        cfg: PoolConfig,
+        opts: ServerOpts,
+    ) -> io::Result<ManagerServer> {
+        ManagerServer::spawn_inner(listen, cfg, None, opts)
     }
 
     /// Binds `listen` and starts serving with durable metadata rooted at
@@ -203,14 +377,31 @@ impl ManagerServer {
         meta_dir: impl AsRef<Path>,
         log_cfg: MetaLogConfig,
     ) -> io::Result<ManagerServer> {
+        ManagerServer::spawn_durable_tuned(listen, cfg, meta_dir, log_cfg, ServerOpts::default())
+    }
+
+    /// [`ManagerServer::spawn_durable_with`] plus explicit transport
+    /// tuning.
+    ///
+    /// # Errors
+    ///
+    /// As [`ManagerServer::spawn_durable`].
+    pub fn spawn_durable_tuned(
+        listen: &str,
+        cfg: PoolConfig,
+        meta_dir: impl AsRef<Path>,
+        log_cfg: MetaLogConfig,
+        opts: ServerOpts,
+    ) -> io::Result<ManagerServer> {
         let (metalog, recovery) = MetaLog::open_with(meta_dir, log_cfg)?;
-        ManagerServer::spawn_inner(listen, cfg, Some((Arc::new(metalog), recovery)))
+        ManagerServer::spawn_inner(listen, cfg, Some((Arc::new(metalog), recovery)), opts)
     }
 
     fn spawn_inner(
         listen: &str,
         cfg: PoolConfig,
         durable: Option<(Arc<MetaLog>, crate::metalog::MetaRecovery)>,
+        opts: ServerOpts,
     ) -> io::Result<ManagerServer> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
@@ -246,9 +437,38 @@ impl ManagerServer {
         // write-ahead across racing connection threads.
         let host = NodeHost::new_ordered(manager, clock, effects);
 
-        // The generic event loop replaces the bespoke maintenance ticker:
-        // wakeups come from Manager::poll_timeout.
-        spawn_node_loop("stdchk-mgr-node", Arc::clone(&host));
+        let reactor = match opts.backend {
+            Backend::Threaded => {
+                // The generic event loop replaces the bespoke maintenance
+                // ticker: wakeups come from Manager::poll_timeout.
+                spawn_node_loop("stdchk-mgr-node", Arc::clone(&host));
+                None
+            }
+            Backend::Reactor => {
+                // Maintenance fires from the reactor's tick instead; no
+                // dedicated timer thread.
+                let app = Arc::new(MgrApp {
+                    host: OnceLock::new(),
+                    handle: OnceLock::new(),
+                    bound: Mutex::new(HashMap::new()),
+                });
+                let _ = app.host.set(Arc::clone(&host));
+                let reactor = Reactor::new(
+                    clock,
+                    Arc::clone(&app) as Arc<dyn ReactorApp>,
+                    ReactorConfig {
+                        workers: opts.workers,
+                    },
+                )?;
+                let _ = app.handle.set(reactor.handle().downgrade());
+                reactor.handle().add_listener(
+                    listener.try_clone()?,
+                    0,
+                    ConnOpts::server_default(opts.idle_timeout),
+                )?;
+                Some(reactor)
+            }
+        };
 
         // Snapshot installer: once the WAL tail grows past the configured
         // threshold, serialize the manager and compact the log. The
@@ -282,8 +502,9 @@ impl ManagerServer {
                 .expect("spawn snapshotter")
         });
 
-        // Accept loop.
-        {
+        // Accept loop (threaded backend only; the reactor accepts through
+        // its registered listener).
+        if reactor.is_none() {
             let host = Arc::clone(&host);
             thread::Builder::new()
                 .name("stdchk-mgr-accept".into())
@@ -306,6 +527,7 @@ impl ManagerServer {
         Ok(ManagerServer {
             host,
             addr,
+            reactor,
             snapshotter: Mutex::new(snapshotter),
         })
     }
@@ -352,7 +574,10 @@ impl ManagerServer {
     /// `Arc`s; restart paths retry briefly on `AddrInUse`).
     pub fn shutdown(&self) {
         self.host.shutdown();
-        // Unblock the accept loop.
+        if let Some(reactor) = &self.reactor {
+            reactor.shutdown();
+        }
+        // Unblock the threaded accept loop.
         let _ = TcpStream::connect(self.addr);
         for (_, conn) in self.host.effects().conns.lock().drain() {
             conn.shutdown();
@@ -382,77 +607,26 @@ fn serve_conn(host: Arc<NodeHost<Manager, Arc<MgrEffects>>>, stream: TcpStream) 
         Err(_) => return,
     });
     let Ok(reader) = sender.reader() else { return };
+    let link = Link::Thread(sender);
 
     // Handshake state: every id this connection was bound under. A helper
     // id can later be joined by the real node id a heartbeat announces; the
     // last entry is the current peer identity, and all of them are unbound
-    // when the connection dies. Shared with the post-loop cleanup.
-    let bound_ids: Arc<Mutex<Vec<NodeId>>> = Arc::new(Mutex::new(Vec::new()));
-    let bound_ids2 = Arc::clone(&bound_ids);
-    let host2 = Arc::clone(&host);
-    let sender2 = sender.clone();
-    read_loop(reader, move |msg| {
-        let mut ids = bound_ids2.lock();
-        let peer = ids.last().copied();
-        match (&msg, peer) {
-            (
-                Msg::Hello {
-                    role: Role::Client, ..
-                },
-                None,
-            ) => {
-                let id = NodeId(host2.effects().next_client.fetch_add(1, Ordering::Relaxed));
-                ids.push(id);
-                host2.effects().bind(id, &sender2);
-                // Tell the client its pool identity.
-                let _ = sender2.send(&Msg::Hello {
-                    role: Role::Manager,
-                    node: id,
-                });
+    // when the connection dies.
+    let mut bound_ids: Vec<NodeId> = Vec::new();
+    {
+        let host = Arc::clone(&host);
+        let link = link.clone();
+        let bound = &mut bound_ids;
+        read_loop(reader, move |msg| {
+            if let Some((from, msg)) = route_inbound(host.effects(), bound, &link, msg) {
+                host.deliver(from, msg);
             }
-            (Msg::Hello { node, .. }, None) if *node != NodeId(0) => {
-                // Benefactor (or manager peer) announcing an existing id.
-                ids.push(*node);
-                host2.effects().bind(*node, &sender2);
-            }
-            (Msg::Hello { .. }, None) => {
-                // Anonymous connection (pre-join benefactor, resolver
-                // sideband): bind a synthetic helper id so replies —
-                // including the JoinOk that assigns the real id — route
-                // through the registry from any thread.
-                let id = NodeId(host2.effects().next_helper.fetch_add(1, Ordering::Relaxed));
-                ids.push(id);
-                host2.effects().bind(id, &sender2);
-            }
-            _ => {
-                // A heartbeat binds the announcing node id (manager
-                // restart: benefactors keep their old ids; post-join
-                // benefactors upgrade their helper binding).
-                if let Msg::Heartbeat { node, .. } = msg {
-                    if peer != Some(node) {
-                        ids.push(node);
-                        host2.effects().bind(node, &sender2);
-                    }
-                }
-                let from = match ids.last().copied() {
-                    Some(id) => id,
-                    None => {
-                        // No Hello at all: bind a helper id on first use.
-                        let id =
-                            NodeId(host2.effects().next_helper.fetch_add(1, Ordering::Relaxed));
-                        ids.push(id);
-                        host2.effects().bind(id, &sender2);
-                        id
-                    }
-                };
-                drop(ids);
-                host2.deliver(from, msg);
-            }
-        }
-    });
+        });
+    }
     // Unbind every identity this connection held so the registry never
-    // keeps a Sender to a dead socket.
-    for id in bound_ids.lock().drain(..) {
-        host.effects().unbind_if(id, &sender);
+    // keeps a handle to a dead socket.
+    for id in bound_ids.drain(..) {
+        host.effects().unbind_if(id, &link);
     }
 }

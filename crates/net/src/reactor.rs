@@ -1,0 +1,1379 @@
+//! Readiness-based network core: an epoll reactor with a fixed worker
+//! pool.
+//!
+//! The thread-per-connection transport scaled threads with *connections*;
+//! this module scales with *workers*. A [`Reactor`] owns N worker
+//! threads, each running an `epoll_wait` loop over nonblocking sockets:
+//!
+//! - **inbound**: readable sockets are drained into a per-worker scratch
+//!   buffer and fed through an incremental
+//!   [`FrameDecoder`]; every decoded
+//!   message is handed to the application via [`ReactorApp::on_msg`]
+//!   (chunk payloads are zero-copy slices of the frame buffer);
+//! - **outbound**: [`ReactorHandle::send`] serializes onto the
+//!   connection's resumable [`FrameEncoder`]
+//!   and flushes opportunistically; what the socket refuses is written by
+//!   the owning worker when `EPOLLOUT` fires. Outbound buffers are
+//!   **bounded**: a peer that stops draining (or died silently) is
+//!   disconnected — it can never block the pump;
+//! - **timers**: worker 0 folds the application's
+//!   [`poll_timeout`](stdchk_core::Node::poll_timeout)-derived deadline
+//!   ([`ReactorApp::next_deadline`]) and the connection sweep into its
+//!   `epoll_wait` timeout. The sweep reaps connections that exceeded
+//!   their idle timeout and emits transport-level `Ping`s on keepalive
+//!   connections (`Ping`/`Pong` never reach the application);
+//! - **blocking lane**: one auxiliary thread runs queued blocking jobs
+//!   (dials, address resolution) so reactor workers never block on
+//!   connect or RPC round-trips ([`ReactorHandle::spawn_blocking`]).
+//!
+//! Thread count is `workers + 1` regardless of connection count.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use stdchk_proto::frame::{FrameDecoder, FrameEncoder, MAX_FRAME};
+use stdchk_proto::msg::Msg;
+use stdchk_util::Time;
+
+use crate::conn::Clock;
+
+mod sys {
+    //! Thin `extern "C"` bindings for Linux epoll + eventfd. No external
+    //! crates: the platform is Linux and the surface is five syscalls.
+
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+
+    /// One epoll readiness event. On x86-64 the kernel ABI packs this
+    /// struct (no padding between `events` and `data`).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn epoll_create() -> io::Result<i32> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    fn ctl(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let r = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if r < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn epoll_add(epfd: i32, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    pub fn epoll_mod(epfd: i32, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    pub fn epoll_del(epfd: i32, fd: i32) {
+        let _ = ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits for events; `EINTR` surfaces as zero events.
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n < 0 {
+            return 0;
+        }
+        n as usize
+    }
+
+    pub fn eventfd_new() -> io::Result<i32> {
+        let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn eventfd_wake(fd: i32) {
+        let one: u64 = 1;
+        unsafe {
+            let _ = write(fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            let _ = read(fd, buf.as_mut_ptr().cast(), 8);
+        }
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            let _ = close(fd);
+        }
+    }
+}
+
+/// Identifies one registered connection for the lifetime of the reactor.
+/// Tokens are never reused.
+pub type ConnToken = u64;
+
+/// Event-loop data slot for worker wakeup eventfds.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Listener tokens carry this bit; connection tokens never do.
+const LISTENER_BIT: u64 = 1 << 63;
+/// Connection sweep cadence (idle reaping, keepalive pings).
+const SWEEP_EVERY: Duration = Duration::from_millis(100);
+/// Upper bound on any worker sleep (safety net against missed wakes).
+const MAX_SLEEP_MS: i64 = 500;
+/// Per-event read budget before yielding back to the event loop
+/// (level-triggered epoll re-reports leftover readability).
+const READ_BURST: usize = 4;
+
+/// Per-connection transport tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnOpts {
+    /// Reap the connection when no bytes arrive for this long. The
+    /// liveness bound for steady-state reads: a silently dead peer is
+    /// disconnected instead of leaking the connection forever.
+    pub idle_timeout: Option<Duration>,
+    /// Send a transport `Ping` when the connection has been read-idle
+    /// this long. Dial-side connections use it to stay ahead of the
+    /// server's idle reaper (the `Pong` refreshes both ends).
+    pub keepalive: Option<Duration>,
+    /// Disconnect when the outbound buffer exceeds this many bytes: a
+    /// peer that stops draining must never block or bloat the pump.
+    pub max_outbound: usize,
+    /// Disconnect when outbound bytes are pending but the socket has
+    /// accepted none of them for this long. This is the time-domain
+    /// liveness bound on sends (the byte-domain bound is `max_outbound`):
+    /// a dead or wedged peer fails in-flight transfers over within
+    /// seconds — the reactor's equivalent of the blocking transport's
+    /// socket write timeout. Slow-but-moving peers are unaffected; only
+    /// zero progress trips it.
+    pub write_stall_timeout: Option<Duration>,
+    /// Largest accepted inbound frame.
+    pub max_frame: u32,
+}
+
+impl Default for ConnOpts {
+    fn default() -> ConnOpts {
+        ConnOpts {
+            idle_timeout: None,
+            keepalive: None,
+            max_outbound: 256 << 20,
+            write_stall_timeout: Some(Duration::from_secs(5)),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+impl ConnOpts {
+    /// Defaults for server-accepted connections: idle peers are reaped.
+    pub fn server_default(idle_timeout: Option<Duration>) -> ConnOpts {
+        ConnOpts {
+            idle_timeout,
+            ..ConnOpts::default()
+        }
+    }
+
+    /// Defaults for dialed (client-side) connections: keepalive pings
+    /// hold the server-side reaper at bay across long idle stretches,
+    /// and the idle timeout reaps a silently dead peer that stops
+    /// answering them (in-flight transfers fail over much sooner via
+    /// `write_stall_timeout`).
+    pub fn dial_default() -> ConnOpts {
+        ConnOpts {
+            keepalive: Some(Duration::from_secs(15)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            ..ConnOpts::default()
+        }
+    }
+}
+
+/// Why a connection was closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Peer closed the stream.
+    Eof,
+    /// Transport error (read/write failure).
+    Error,
+    /// No inbound bytes within the idle timeout: peer presumed dead.
+    IdleTimeout,
+    /// Outbound buffer exceeded its bound: peer too slow or dead.
+    Backpressure,
+    /// Undecodable inbound bytes (oversized or malformed frame).
+    Protocol,
+    /// Closed locally via [`ReactorHandle::close`].
+    Local,
+}
+
+/// The application half of the reactor: role-specific handling of
+/// accepted connections, decoded messages, closures, flushed frames, and
+/// protocol timers. All callbacks may fire on any worker thread (or, for
+/// `on_sent`, on the thread that called `send`); implementations route by
+/// token and share state behind locks, exactly like [`crate::Effects`].
+pub trait ReactorApp: Send + Sync {
+    /// A listener accepted `conn` (`listener` is the `ctx` the listener
+    /// was registered with).
+    fn on_accept(&self, conn: ConnToken, listener: u64) {
+        let _ = (conn, listener);
+    }
+
+    /// One decoded inbound message. Transport `Ping`/`Pong` frames are
+    /// handled by the reactor and never reach this.
+    fn on_msg(&self, conn: ConnToken, msg: Msg);
+
+    /// The connection is gone (any cause except reactor shutdown).
+    fn on_close(&self, conn: ConnToken, reason: CloseReason) {
+        let _ = (conn, reason);
+    }
+
+    /// A frame sent with a tracking token fully left this host's socket
+    /// buffer into the kernel (ends OAB-style transmit windows).
+    fn on_sent(&self, conn: ConnToken, token: u64) {
+        let _ = (conn, token);
+    }
+
+    /// The next protocol deadline, folded into worker 0's `epoll_wait`
+    /// timeout.
+    fn next_deadline(&self) -> Option<Time> {
+        None
+    }
+
+    /// Called by worker 0 once `now` reaches [`ReactorApp::next_deadline`].
+    fn on_tick(&self, now: Time) {
+        let _ = now;
+    }
+}
+
+/// Resumable outbound state, shared by sender threads and the owning
+/// worker.
+struct Outbound {
+    enc: FrameEncoder,
+    /// True while `EPOLLOUT` is armed for this connection.
+    epollout: bool,
+    /// Sticky: set at close so late senders fail instead of queueing.
+    closed: bool,
+}
+
+/// One registered connection.
+struct ConnShared {
+    token: ConnToken,
+    stream: TcpStream,
+    /// Owning worker (reads and `EPOLLOUT` flushes happen there).
+    worker: usize,
+    opts: ConnOpts,
+    dec: Mutex<FrameDecoder>,
+    out: Mutex<Outbound>,
+    /// Milliseconds since reactor start of the last inbound byte.
+    last_read_ms: AtomicU64,
+    /// Milliseconds of the last outbound write progress (any byte the
+    /// socket accepted, or the moment the outbound buffer went from
+    /// empty to non-empty — the start of a potential stall window).
+    last_write_ms: AtomicU64,
+    /// Milliseconds of the last keepalive ping.
+    last_ping_ms: AtomicU64,
+    closing: AtomicBool,
+}
+
+struct ListenerEntry {
+    listener: TcpListener,
+    ctx: u64,
+    opts: ConnOpts,
+}
+
+struct WorkerIo {
+    epfd: i32,
+    wakefd: i32,
+}
+
+type BlockingJob = Box<dyn FnOnce(&ReactorHandle) + Send>;
+
+struct Inner {
+    clock: Clock,
+    app: Arc<dyn ReactorApp>,
+    workers: Vec<WorkerIo>,
+    conns: Mutex<HashMap<ConnToken, Arc<ConnShared>>>,
+    listeners: Mutex<HashMap<u64, ListenerEntry>>,
+    next_token: AtomicU64,
+    next_listener: AtomicU64,
+    next_worker: AtomicUsize,
+    next_ping: AtomicU64,
+    shutdown: AtomicBool,
+    /// Set when a non-zero worker delivered input; cleared by worker 0.
+    /// Skips redundant eventfd wakes while one is already pending.
+    timer_dirty: AtomicBool,
+    epoch: Instant,
+    jobs: Mutex<Vec<(Instant, u64, BlockingJob)>>,
+    job_seq: AtomicU64,
+    job_cv: Condvar,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            sys::close_fd(w.epfd);
+            sys::close_fd(w.wakefd);
+        }
+    }
+}
+
+/// Cheap cloneable handle: register listeners and connections, send
+/// frames, close connections, queue blocking jobs.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    inner: Arc<Inner>,
+}
+
+/// Non-owning [`ReactorHandle`]: what applications and connection
+/// registries store. The reactor's `Inner` owns the application, so a
+/// strong handle inside the application (or inside anything the
+/// application transitively owns, like an effects registry) would be a
+/// reference cycle that leaks the whole transport on shutdown.
+#[derive(Clone, Default)]
+pub struct WeakHandle {
+    inner: std::sync::Weak<Inner>,
+}
+
+impl std::fmt::Debug for WeakHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeakHandle").finish_non_exhaustive()
+    }
+}
+
+impl WeakHandle {
+    /// The strong handle, while the reactor is alive.
+    pub fn upgrade(&self) -> Option<ReactorHandle> {
+        self.inner.upgrade().map(|inner| ReactorHandle { inner })
+    }
+}
+
+impl ReactorHandle {
+    /// A non-owning handle for storage inside application state.
+    pub fn downgrade(&self) -> WeakHandle {
+        WeakHandle {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorHandle")
+            .field("workers", &self.inner.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Tuning for a [`Reactor`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Event-loop worker threads. Thread count stays `workers + 1`
+    /// (blocking lane) no matter how many connections register.
+    pub workers: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig { workers: 2 }
+    }
+}
+
+/// A running reactor: worker threads + blocking lane. Shuts down (and
+/// joins its threads) on [`Reactor::shutdown`] or drop.
+pub struct Reactor {
+    handle: ReactorHandle,
+    joins: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor").finish_non_exhaustive()
+    }
+}
+
+impl Reactor {
+    /// Starts a reactor serving `app`. `clock` maps wall time onto the
+    /// protocol [`Time`] used for [`ReactorApp::next_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the epoll or eventfd descriptors cannot be created.
+    pub fn new(clock: Clock, app: Arc<dyn ReactorApp>, cfg: ReactorConfig) -> io::Result<Reactor> {
+        let nworkers = cfg.workers.max(1);
+        let mut workers: Vec<WorkerIo> = Vec::with_capacity(nworkers);
+        let mut setup = || -> io::Result<()> {
+            for _ in 0..nworkers {
+                let epfd = sys::epoll_create()?;
+                let wakefd = match sys::eventfd_new() {
+                    Ok(fd) => fd,
+                    Err(e) => {
+                        sys::close_fd(epfd);
+                        return Err(e);
+                    }
+                };
+                sys::epoll_add(epfd, wakefd, WAKE_TOKEN, sys::EPOLLIN)?;
+                workers.push(WorkerIo { epfd, wakefd });
+            }
+            Ok(())
+        };
+        if let Err(e) = setup() {
+            for w in &workers {
+                sys::close_fd(w.epfd);
+                sys::close_fd(w.wakefd);
+            }
+            return Err(e);
+        }
+        let inner = Arc::new(Inner {
+            clock,
+            app,
+            workers,
+            conns: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            next_listener: AtomicU64::new(1),
+            next_worker: AtomicUsize::new(0),
+            next_ping: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            timer_dirty: AtomicBool::new(false),
+            epoch: Instant::now(),
+            jobs: Mutex::new(Vec::new()),
+            job_seq: AtomicU64::new(0),
+            job_cv: Condvar::new(),
+        });
+        let mut joins = Vec::with_capacity(nworkers + 1);
+        for idx in 0..nworkers {
+            let inner2 = Arc::clone(&inner);
+            joins.push(
+                thread::Builder::new()
+                    .name(format!("stdchk-react-{idx}"))
+                    .spawn(move || worker_loop(&inner2, idx))
+                    .expect("spawn reactor worker"),
+            );
+        }
+        {
+            let handle = ReactorHandle {
+                inner: Arc::clone(&inner),
+            };
+            joins.push(
+                thread::Builder::new()
+                    .name("stdchk-react-dial".into())
+                    .spawn(move || blocking_loop(handle))
+                    .expect("spawn reactor blocking lane"),
+            );
+        }
+        Ok(Reactor {
+            handle: ReactorHandle { inner },
+            joins: Mutex::new(joins),
+        })
+    }
+
+    /// The reactor's handle.
+    pub fn handle(&self) -> &ReactorHandle {
+        &self.handle
+    }
+
+    /// Stops workers and the blocking lane, joins them (unless called
+    /// from one of them), and shuts every connection down.
+    pub fn shutdown(&self) {
+        let inner = &self.handle.inner;
+        if inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for w in &inner.workers {
+            sys::eventfd_wake(w.wakefd);
+        }
+        inner.job_cv.notify_all();
+        let me = thread::current().id();
+        for j in self.joins.lock().drain(..) {
+            if j.thread().id() != me {
+                let _ = j.join();
+            }
+        }
+        for (_, c) in inner.conns.lock().drain() {
+            let _ = c.stream.shutdown(std::net::Shutdown::Both);
+        }
+        inner.listeners.lock().clear();
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ReactorHandle {
+    fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis() as u64
+    }
+
+    /// True once the reactor shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Registered connections (tests and introspection).
+    pub fn conn_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Registers a listening socket; accepted connections get `opts` and
+    /// are announced via [`ReactorApp::on_accept`] with `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking`/epoll registration failures.
+    pub fn add_listener(&self, listener: TcpListener, ctx: u64, opts: ConnOpts) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let id = self.inner.next_listener.fetch_add(1, Ordering::Relaxed);
+        let token = id | LISTENER_BIT;
+        let fd = listener.as_raw_fd();
+        self.inner.listeners.lock().insert(
+            token,
+            ListenerEntry {
+                listener,
+                ctx,
+                opts,
+            },
+        );
+        // Listeners live on worker 0 (accept is cheap; new conns are
+        // distributed round-robin anyway).
+        if let Err(e) = sys::epoll_add(self.inner.workers[0].epfd, fd, token, sys::EPOLLIN) {
+            self.inner.listeners.lock().remove(&token);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Registers an already-connected stream (e.g. a dialed + handshaken
+    /// socket), assigning it to a worker round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking`/epoll registration failures.
+    pub fn register(&self, stream: TcpStream, opts: ConnOpts) -> io::Result<ConnToken> {
+        let token = self.prepare(stream, opts)?;
+        self.arm(token);
+        Ok(token)
+    }
+
+    /// First half of [`ReactorHandle::register`]: allocates the token and
+    /// connection state but does **not** arm the socket in epoll — no
+    /// callback can fire for it yet. Callers finish their bookkeeping
+    /// (routing tables keyed by the token), then [`ReactorHandle::arm`].
+    /// The accept path uses this internally so `on_accept` always
+    /// happens-before the connection's first `on_msg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking` failures.
+    pub fn prepare(&self, stream: TcpStream, opts: ConnOpts) -> io::Result<ConnToken> {
+        if self.is_shutdown() {
+            return Err(io::Error::other("reactor is shut down"));
+        }
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        let worker =
+            self.inner.next_worker.fetch_add(1, Ordering::Relaxed) % self.inner.workers.len();
+        let conn = Arc::new(ConnShared {
+            token,
+            stream,
+            worker,
+            opts,
+            dec: Mutex::new(FrameDecoder::new(opts.max_frame)),
+            out: Mutex::new(Outbound {
+                enc: FrameEncoder::new(),
+                epollout: false,
+                closed: false,
+            }),
+            last_read_ms: AtomicU64::new(self.now_ms()),
+            last_write_ms: AtomicU64::new(self.now_ms()),
+            last_ping_ms: AtomicU64::new(0),
+            closing: AtomicBool::new(false),
+        });
+        self.inner.conns.lock().insert(token, Arc::clone(&conn));
+        Ok(token)
+    }
+
+    /// Second half of [`ReactorHandle::prepare`]: arms the connection in
+    /// its worker's epoll set. Messages may be delivered from the instant
+    /// this returns (or even during the call, on another worker). No-op
+    /// for unknown/closed tokens.
+    pub fn arm(&self, token: ConnToken) {
+        let Some(conn) = self.inner.conns.lock().get(&token).cloned() else {
+            return;
+        };
+        // Anything sent between prepare() and arm() sits in the outbound
+        // buffer; pick the initial interest mask accordingly (the mask is
+        // always chosen under the out lock — see `update_interest`).
+        let mut out = conn.out.lock();
+        if out.closed {
+            return;
+        }
+        // (Re)derive the flag: a pre-arm send's epoll_mod was a no-op, so
+        // whatever it left in `epollout` is stale.
+        out.epollout = !out.enc.is_empty();
+        let mut mask = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if out.epollout {
+            mask |= sys::EPOLLOUT;
+        }
+        let armed = sys::epoll_add(
+            self.inner.workers[conn.worker].epfd,
+            conn.stream.as_raw_fd(),
+            token,
+            mask,
+        );
+        drop(out);
+        if armed.is_err() {
+            self.inner.close_conn(&conn, CloseReason::Error);
+        }
+    }
+
+    /// Sends one message on `conn`: serialize onto the outbound buffer,
+    /// flush what the socket accepts now, let the owning worker write the
+    /// rest on `EPOLLOUT`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown/closed, the write failed, or
+    /// the outbound bound was exceeded (the connection is closed in the
+    /// latter two cases). A successful return means *queued or written* —
+    /// track a token ([`ReactorHandle::send_tracked`]) to learn when the
+    /// frame fully left this host.
+    pub fn send(&self, conn: ConnToken, msg: &Msg) -> io::Result<()> {
+        self.send_impl(conn, msg, None)
+    }
+
+    /// [`ReactorHandle::send`] with a completion token reported through
+    /// [`ReactorApp::on_sent`] when the frame's last byte is written.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorHandle::send`].
+    pub fn send_tracked(&self, conn: ConnToken, msg: &Msg, token: u64) -> io::Result<()> {
+        self.send_impl(conn, msg, Some(token))
+    }
+
+    fn send_impl(&self, token: ConnToken, msg: &Msg, track: Option<u64>) -> io::Result<()> {
+        let Some(conn) = self.inner.conns.lock().get(&token).cloned() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "unknown connection",
+            ));
+        };
+        self.inner.send_on(&conn, msg, track)
+    }
+
+    /// Closes `conn` (no-op if already gone). The application sees
+    /// [`CloseReason::Local`].
+    pub fn close(&self, conn: ConnToken) {
+        let c = self.inner.conns.lock().get(&conn).cloned();
+        if let Some(c) = c {
+            self.inner.close_conn(&c, CloseReason::Local);
+        }
+    }
+
+    /// Runs `f` on the blocking lane — the one thread allowed to block on
+    /// dials and RPC round-trips. Jobs run in due order.
+    pub fn spawn_blocking(&self, f: impl FnOnce(&ReactorHandle) + Send + 'static) {
+        self.spawn_blocking_after(Duration::ZERO, f);
+    }
+
+    /// [`ReactorHandle::spawn_blocking`] delayed by `delay` (redial
+    /// backoff without blocking the lane).
+    pub fn spawn_blocking_after(
+        &self,
+        delay: Duration,
+        f: impl FnOnce(&ReactorHandle) + Send + 'static,
+    ) {
+        if self.is_shutdown() {
+            return;
+        }
+        let seq = self.inner.job_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .jobs
+            .lock()
+            .push((Instant::now() + delay, seq, Box::new(f)));
+        self.inner.job_cv.notify_all();
+    }
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Serialize + opportunistic flush; arms `EPOLLOUT` for the remainder.
+    fn send_on(&self, conn: &Arc<ConnShared>, msg: &Msg, track: Option<u64>) -> io::Result<()> {
+        let mut completed = Vec::new();
+        let mut close_as = None;
+        let result = {
+            let mut out = conn.out.lock();
+            if out.closed {
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection closed",
+                ))
+            } else {
+                if out.enc.is_empty() {
+                    // Buffer going non-empty starts the stall window.
+                    conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
+                }
+                out.enc.push_tracked(msg, track);
+                if out.enc.pending_bytes() > conn.opts.max_outbound {
+                    out.closed = true;
+                    close_as = Some(CloseReason::Backpressure);
+                    Err(io::Error::other("outbound buffer bound exceeded"))
+                } else {
+                    let before = out.enc.pending_bytes();
+                    match out.enc.write_to(&mut &conn.stream, &mut completed) {
+                        Ok(drained) => {
+                            if out.enc.pending_bytes() != before {
+                                conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
+                            }
+                            self.update_interest(conn, &mut out, !drained);
+                            Ok(())
+                        }
+                        Err(e) => {
+                            out.closed = true;
+                            close_as = Some(CloseReason::Error);
+                            Err(e)
+                        }
+                    }
+                }
+            }
+            // Lock dropped here, before any callback: `on_sent` handlers
+            // may send again on this very connection.
+        };
+        for t in completed {
+            self.app.on_sent(conn.token, t);
+        }
+        if let Some(reason) = close_as {
+            self.close_conn(conn, reason);
+        }
+        result
+    }
+
+    /// Arms/disarms `EPOLLOUT` to match outbound occupancy. Caller holds
+    /// the `out` lock, which serializes every `epoll_ctl` MOD for this
+    /// connection.
+    fn update_interest(&self, conn: &ConnShared, out: &mut Outbound, want_out: bool) {
+        if out.epollout == want_out {
+            return;
+        }
+        out.epollout = want_out;
+        let mask = if want_out {
+            sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT
+        } else {
+            sys::EPOLLIN | sys::EPOLLRDHUP
+        };
+        let _ = sys::epoll_mod(
+            self.workers[conn.worker].epfd,
+            conn.stream.as_raw_fd(),
+            conn.token,
+            mask,
+        );
+    }
+
+    fn close_conn(&self, conn: &Arc<ConnShared>, reason: CloseReason) {
+        if conn.closing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        conn.out.lock().closed = true;
+        sys::epoll_del(self.workers[conn.worker].epfd, conn.stream.as_raw_fd());
+        self.conns.lock().remove(&conn.token);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if !self.is_shutdown() {
+            self.app.on_close(conn.token, reason);
+        }
+    }
+
+    /// Drains readable bytes through the frame decoder and dispatches
+    /// decoded messages. Returns true if any message reached the app.
+    fn conn_readable(&self, conn: &Arc<ConnShared>, scratch: &mut [u8]) -> bool {
+        let mut msgs: Vec<Msg> = Vec::new();
+        let mut delivered = false;
+        for _ in 0..READ_BURST {
+            if conn.closing.load(Ordering::Relaxed) {
+                return delivered;
+            }
+            match (&conn.stream).read(scratch) {
+                Ok(0) => {
+                    // Dispatch what decoded before the close.
+                    delivered |= self.dispatch(conn, &mut msgs);
+                    self.close_conn(conn, CloseReason::Eof);
+                    return delivered;
+                }
+                Ok(n) => {
+                    conn.last_read_ms.store(self.now_ms(), Ordering::Relaxed);
+                    let fed = conn.dec.lock().feed(&scratch[..n], &mut msgs);
+                    delivered |= self.dispatch(conn, &mut msgs);
+                    if fed.is_err() {
+                        self.close_conn(conn, CloseReason::Protocol);
+                        return delivered;
+                    }
+                    if n < scratch.len() {
+                        // Socket likely drained; let epoll re-report if not.
+                        return delivered;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return delivered,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(conn, CloseReason::Error);
+                    return delivered;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Hands decoded messages to the app, answering transport pings
+    /// in-place. Returns true if any message reached the app.
+    fn dispatch(&self, conn: &Arc<ConnShared>, msgs: &mut Vec<Msg>) -> bool {
+        let mut delivered = false;
+        for msg in msgs.drain(..) {
+            match msg {
+                Msg::Ping { nonce } => {
+                    let _ = self.send_on(conn, &Msg::Pong { nonce }, None);
+                }
+                Msg::Pong { .. } => {}
+                other => {
+                    self.app.on_msg(conn.token, other);
+                    delivered = true;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Flushes outbound on `EPOLLOUT`.
+    fn conn_writable(&self, conn: &Arc<ConnShared>) {
+        let mut completed = Vec::new();
+        let mut failed = false;
+        {
+            let mut out = conn.out.lock();
+            if out.closed {
+                return;
+            }
+            let before = out.enc.pending_bytes();
+            match out.enc.write_to(&mut &conn.stream, &mut completed) {
+                Ok(drained) => {
+                    if out.enc.pending_bytes() != before {
+                        conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
+                    }
+                    self.update_interest(conn, &mut out, !drained)
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(_) => {
+                    out.closed = true;
+                    failed = true;
+                }
+            }
+        }
+        for t in completed {
+            self.app.on_sent(conn.token, t);
+        }
+        if failed {
+            self.close_conn(conn, CloseReason::Error);
+        }
+    }
+
+    fn accept_ready(self: &Arc<Self>, token: u64) {
+        loop {
+            let accepted = {
+                let listeners = self.listeners.lock();
+                let Some(entry) = listeners.get(&token) else {
+                    return;
+                };
+                match entry.listener.accept() {
+                    Ok((stream, _)) => Some((stream, entry.ctx, entry.opts)),
+                    Err(_) => None,
+                }
+            };
+            let Some((stream, ctx, opts)) = accepted else {
+                return;
+            };
+            let handle = ReactorHandle {
+                inner: Arc::clone(self),
+            };
+            // prepare → on_accept → arm: the application's bookkeeping for
+            // this token is complete before any worker can deliver its
+            // first message (arming first would let a racing worker hand
+            // `on_msg` a connection the app has never heard of).
+            if let Ok(conn) = handle.prepare(stream, opts) {
+                self.app.on_accept(conn, ctx);
+                handle.arm(conn);
+            }
+        }
+    }
+
+    /// Worker 0: reap idle connections, fail stalled writers, emit
+    /// keepalive pings.
+    fn sweep(&self) {
+        let now_ms = self.now_ms();
+        let conns: Vec<Arc<ConnShared>> = self.conns.lock().values().cloned().collect();
+        for conn in conns {
+            let last_read = conn.last_read_ms.load(Ordering::Relaxed);
+            if let Some(idle) = conn.opts.idle_timeout {
+                if now_ms.saturating_sub(last_read) >= idle.as_millis() as u64 {
+                    self.close_conn(&conn, CloseReason::IdleTimeout);
+                    continue;
+                }
+            }
+            if let Some(stall) = conn.opts.write_stall_timeout {
+                // Pending bytes with zero progress: the peer is dead or
+                // wedged mid-transfer. Closing produces SendFailed /
+                // conn-down for everything in flight, so sessions fail
+                // over in seconds instead of waiting out deadlines.
+                let pending = !conn.out.lock().enc.is_empty();
+                let last_write = conn.last_write_ms.load(Ordering::Relaxed);
+                if pending && now_ms.saturating_sub(last_write) >= stall.as_millis() as u64 {
+                    self.close_conn(&conn, CloseReason::Backpressure);
+                    continue;
+                }
+            }
+            if let Some(ka) = conn.opts.keepalive {
+                // Ping when *write*-idle: what the remote reaper tracks is
+                // inbound silence, so a connection busy receiving (but
+                // sending nothing) still needs pings to stay alive there.
+                let ka_ms = ka.as_millis() as u64;
+                let last_write = conn.last_write_ms.load(Ordering::Relaxed);
+                let last_ping = conn.last_ping_ms.load(Ordering::Relaxed);
+                if now_ms.saturating_sub(last_write) >= ka_ms
+                    && now_ms.saturating_sub(last_ping) >= ka_ms
+                {
+                    conn.last_ping_ms.store(now_ms, Ordering::Relaxed);
+                    let nonce = self.next_ping.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.send_on(&conn, &Msg::Ping { nonce }, None);
+                }
+            }
+        }
+    }
+
+    /// Fires the app's protocol timer if due.
+    fn tick(&self) {
+        let now = self.clock.now();
+        if self.app.next_deadline().is_some_and(|t| t <= now) {
+            self.app.on_tick(now);
+        }
+    }
+
+    /// Worker 0's sleep: bounded by the app deadline and the next sweep.
+    fn worker0_timeout_ms(&self, next_sweep: Instant) -> i32 {
+        let mut ms = MAX_SLEEP_MS;
+        if let Some(dl) = self.app.next_deadline() {
+            let pnow = self.clock.now();
+            let delta = if dl <= pnow {
+                0
+            } else {
+                ((dl.as_nanos() - pnow.as_nanos()) / 1_000_000) as i64
+            };
+            ms = ms.min(delta);
+        }
+        let sweep_ms = next_sweep
+            .saturating_duration_since(Instant::now())
+            .as_millis() as i64;
+        ms = ms.min(sweep_ms);
+        ms.clamp(1, MAX_SLEEP_MS) as i32
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, idx: usize) {
+    let io = &inner.workers[idx];
+    let mut events = [sys::EpollEvent { events: 0, data: 0 }; 128];
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut next_sweep = Instant::now() + SWEEP_EVERY;
+    while !inner.is_shutdown() {
+        let timeout = if idx == 0 {
+            inner.worker0_timeout_ms(next_sweep)
+        } else {
+            MAX_SLEEP_MS as i32
+        };
+        let n = sys::wait(io.epfd, &mut events, timeout);
+        if inner.is_shutdown() {
+            return;
+        }
+        let mut delivered = false;
+        for ev in &events[..n] {
+            let token = ev.data;
+            let bits = ev.events;
+            if token == WAKE_TOKEN {
+                sys::eventfd_drain(io.wakefd);
+                continue;
+            }
+            if token & LISTENER_BIT != 0 {
+                inner.accept_ready(token);
+                continue;
+            }
+            let Some(conn) = inner.conns.lock().get(&token).cloned() else {
+                continue;
+            };
+            if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                delivered |= inner.conn_readable(&conn, &mut scratch);
+            }
+            if bits & sys::EPOLLOUT != 0 && !conn.closing.load(Ordering::Relaxed) {
+                inner.conn_writable(&conn);
+            }
+        }
+        if idx == 0 {
+            inner.timer_dirty.store(false, Ordering::Relaxed);
+            inner.tick();
+            if Instant::now() >= next_sweep {
+                inner.sweep();
+                next_sweep = Instant::now() + SWEEP_EVERY;
+            }
+        } else if delivered && !inner.timer_dirty.swap(true, Ordering::Relaxed) {
+            // Input may have re-armed an earlier protocol deadline: make
+            // worker 0 recompute its sleep.
+            sys::eventfd_wake(inner.workers[0].wakefd);
+        }
+    }
+}
+
+fn blocking_loop(handle: ReactorHandle) {
+    let inner = Arc::clone(&handle.inner);
+    loop {
+        let job = {
+            let mut q = inner.jobs.lock();
+            loop {
+                if inner.is_shutdown() {
+                    return;
+                }
+                let now = Instant::now();
+                let due_idx = q
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (due, _, _))| *due <= now)
+                    .min_by_key(|(_, (due, seq, _))| (*due, *seq))
+                    .map(|(i, _)| i);
+                if let Some(i) = due_idx {
+                    break q.swap_remove(i).2;
+                }
+                let wait = q
+                    .iter()
+                    .map(|(due, _, _)| due.saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_millis(500))
+                    .max(Duration::from_millis(1));
+                inner.job_cv.wait_for(&mut q, wait);
+            }
+        };
+        job(&handle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use stdchk_proto::ids::RequestId;
+
+    /// Echoes every message back on the same connection and records
+    /// lifecycle events.
+    #[derive(Default)]
+    struct EchoApp {
+        handle: Mutex<Option<ReactorHandle>>,
+        accepted: AtomicU64,
+        closed: Mutex<Vec<(ConnToken, CloseReason)>>,
+        sent: Mutex<Vec<u64>>,
+    }
+
+    impl ReactorApp for EchoApp {
+        fn on_accept(&self, _conn: ConnToken, _listener: u64) {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_msg(&self, conn: ConnToken, msg: Msg) {
+            let h = self.handle.lock().clone().unwrap();
+            let _ = h.send_tracked(conn, &msg, msg.request_id().map(|r| r.0).unwrap_or(0));
+        }
+        fn on_close(&self, conn: ConnToken, reason: CloseReason) {
+            self.closed.lock().push((conn, reason));
+        }
+        fn on_sent(&self, _conn: ConnToken, token: u64) {
+            self.sent.lock().push(token);
+        }
+    }
+
+    fn spawn_echo(opts: ConnOpts) -> (Reactor, Arc<EchoApp>, std::net::SocketAddr) {
+        let app = Arc::new(EchoApp::default());
+        let reactor = Reactor::new(
+            Clock::new(),
+            Arc::<EchoApp>::clone(&app) as Arc<dyn ReactorApp>,
+            ReactorConfig { workers: 2 },
+        )
+        .unwrap();
+        *app.handle.lock() = Some(reactor.handle().clone());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.handle().add_listener(listener, 7, opts).unwrap();
+        (reactor, app, addr)
+    }
+
+    #[test]
+    fn echo_roundtrip_over_reactor() {
+        let (reactor, app, addr) = spawn_echo(ConnOpts::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for i in 1..=20u64 {
+            stdchk_proto::frame::write_frame(&mut stream, &Msg::Ack { req: RequestId(i) }).unwrap();
+        }
+        for i in 1..=20u64 {
+            let got = stdchk_proto::frame::read_frame(&mut stream)
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, Msg::Ack { req: RequestId(i) });
+        }
+        assert_eq!(app.accepted.load(Ordering::Relaxed), 1);
+        // `on_sent` fires on the writing thread; the reply can reach us
+        // before the callback lands, so poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while app.sent.lock().len() < 20 {
+            assert!(
+                Instant::now() < deadline,
+                "tracked frames must complete: {:?}",
+                *app.sent.lock()
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_is_reaped() {
+        let (reactor, app, addr) =
+            spawn_echo(ConnOpts::server_default(Some(Duration::from_millis(300))));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Send nothing: the reactor must reap us (we observe EOF).
+        let mut buf = [0u8; 8];
+        let start = Instant::now();
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server should close the idle connection");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "reap took {:?}",
+            start.elapsed()
+        );
+        // Reason must be the idle timeout.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if app
+                .closed
+                .lock()
+                .iter()
+                .any(|(_, r)| *r == CloseReason::IdleTimeout)
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no IdleTimeout close recorded");
+            thread::sleep(Duration::from_millis(10));
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn keepalive_ping_keeps_active_peer_alive_and_pong_is_swallowed() {
+        // Server reaps at 400ms; a keepalive client conn dialed *into* the
+        // server must survive well past that by answering pings.
+        let (reactor, app, addr) =
+            spawn_echo(ConnOpts::server_default(Some(Duration::from_millis(400))));
+        // Dial-side: register the client end on the same reactor with an
+        // aggressive keepalive.
+        let stream = TcpStream::connect(addr).unwrap();
+        let opts = ConnOpts {
+            keepalive: Some(Duration::from_millis(100)),
+            ..ConnOpts::default()
+        };
+        let tok = reactor.handle().register(stream, opts).unwrap();
+        thread::sleep(Duration::from_millis(1200));
+        // Neither end closed: pings refreshed the server's idle clock,
+        // and the pongs never surfaced as application messages.
+        assert!(
+            app.closed.lock().is_empty(),
+            "keepalive should have kept the conn alive: {:?}",
+            *app.closed.lock()
+        );
+        assert!(reactor.handle().conn_count() >= 2);
+        let _ = tok;
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn oversize_frame_closes_connection() {
+        let (reactor, app, addr) = spawn_echo(ConnOpts {
+            max_frame: 1024,
+            ..ConnOpts::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&(2048u32).to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 64]).unwrap();
+        let mut buf = [0u8; 8];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "protocol violation must close the connection");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while app.closed.lock().is_empty() {
+            assert!(Instant::now() < deadline);
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(app.closed.lock()[0].1, CloseReason::Protocol);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn blocking_lane_runs_jobs_in_due_order() {
+        let app = Arc::new(EchoApp::default());
+        let reactor = Reactor::new(
+            Clock::new(),
+            Arc::<EchoApp>::clone(&app) as Arc<dyn ReactorApp>,
+            ReactorConfig { workers: 1 },
+        )
+        .unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2, o3) = (Arc::clone(&order), Arc::clone(&order), Arc::clone(&order));
+        reactor
+            .handle()
+            .spawn_blocking_after(Duration::from_millis(120), move |_| o1.lock().push(3));
+        reactor
+            .handle()
+            .spawn_blocking_after(Duration::from_millis(40), move |_| o2.lock().push(2));
+        reactor.handle().spawn_blocking(move |_| o3.lock().push(1));
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while order.lock().len() < 3 {
+            assert!(
+                Instant::now() < deadline,
+                "jobs never ran: {:?}",
+                *order.lock()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn stalled_writer_is_closed_by_time_bound() {
+        // Byte bound set far out of reach: only the time-domain stall
+        // detector can fire. The peer reads nothing, so once the kernel
+        // buffers fill, write progress stops and the conn must close.
+        let (reactor, app, addr) = spawn_echo(ConnOpts {
+            max_outbound: 1 << 30,
+            write_stall_timeout: Some(Duration::from_millis(300)),
+            ..ConnOpts::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let big = Msg::PutChunk {
+            req: RequestId(1),
+            chunk: stdchk_proto::ids::ChunkId::for_content(b"y"),
+            size: 256 << 10,
+            data: bytes::Bytes::from(vec![3u8; 256 << 10]),
+            background: false,
+        };
+        // Feed the echo server until our own (blocking, non-reading) send
+        // path jams or the server gives up on us.
+        let start = Instant::now();
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        while app.closed.lock().is_empty() {
+            let _ = stdchk_proto::frame::write_frame(&mut stream, &big);
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "stalled writer never reaped"
+            );
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(app.closed.lock()[0].1, CloseReason::Backpressure);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn slow_peer_hits_backpressure_bound() {
+        let (reactor, app, addr) = spawn_echo(ConnOpts {
+            max_outbound: 64 << 10,
+            ..ConnOpts::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Ask the echo server to send us lots of data while we never read:
+        // its outbound buffer must hit the bound and the conn must close.
+        let big = Msg::PutChunk {
+            req: RequestId(1),
+            chunk: stdchk_proto::ids::ChunkId::for_content(b"x"),
+            size: 32 << 10,
+            data: bytes::Bytes::from(vec![7u8; 32 << 10]),
+            background: false,
+        };
+        let mut closed = false;
+        for _ in 0..200 {
+            if stdchk_proto::frame::write_frame(&mut stream, &big).is_err() {
+                closed = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+            if !app.closed.lock().is_empty() {
+                closed = true;
+                break;
+            }
+        }
+        assert!(closed, "echoing into a non-reading peer must disconnect it");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while app.closed.lock().is_empty() {
+            assert!(Instant::now() < deadline);
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(app.closed.lock()[0].1, CloseReason::Backpressure);
+        reactor.shutdown();
+    }
+}

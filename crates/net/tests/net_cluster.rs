@@ -1,14 +1,17 @@
 //! End-to-end tests of the real TCP deployment on loopback: manager server,
 //! benefactor servers with blob stores, and the blocking client.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stdchk_core::session::write::{SessionConfig, WriteProtocol};
 use stdchk_core::{BenefactorConfig, PoolConfig};
 use stdchk_net::store::{DiskStore, MemStore, SegmentStore};
-use stdchk_net::{BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, WriteOptions};
+use stdchk_net::{
+    Backend, BenefactorNetConfig, BenefactorServer, Grid, GridRuntime, ManagerServer, ServerOpts,
+    WriteOptions,
+};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_util::mix64;
 
@@ -521,6 +524,198 @@ fn durable_manager_snapshots_compact_the_wal() {
     mgr2.check_invariants();
     drop(mgr2);
     std::fs::remove_dir_all(&meta_dir).ok();
+}
+
+/// OS threads of this process (from `/proc/self/status`).
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("read /proc/self/status")
+}
+
+/// The reactor's scalability contract: 256 concurrent client sessions —
+/// each its own `Grid` with its own manager + benefactor connections —
+/// complete while process thread count stays O(workers), not
+/// O(connections). A thread-per-connection transport would add 500+
+/// threads here; the reactor adds none per connection.
+#[test]
+fn reactor_stress_many_sessions_worker_bounded_threads() {
+    if Backend::from_env() != Backend::Reactor {
+        // The threaded backend intentionally scales threads with
+        // connections; this contract is reactor-only.
+        return;
+    }
+    const SESSIONS: usize = 256;
+    const FILE_BYTES: usize = 96 << 10; // 1.5 chunks at the 64 KiB size
+
+    // Fast heartbeats, but a realistic reservation TTL: 256 sessions are
+    // deliberately held open concurrently, far longer than the 500 ms
+    // fast-test TTL.
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    pool_cfg.reservation_ttl = stdchk_util::Dur::from_secs(120);
+    // Likewise the GC grace: uncommitted chunks of these long-lived
+    // sessions must not be reported (and reaped) as orphans mid-test.
+    let mut benef_cfg = BenefactorConfig::fast_for_tests();
+    benef_cfg.gc_grace = stdchk_util::Dur::from_secs(120);
+    let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
+    let mut benefactors = Vec::new();
+    for _ in 0..3 {
+        benefactors.push(
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 1 << 30,
+                cfg: benef_cfg.clone(),
+                store: Arc::new(MemStore::new()),
+            })
+            .expect("benefactor"),
+        );
+    }
+    let pool = TestPool { mgr, benefactors };
+    pool.wait_online(3);
+    let threads_before = process_threads();
+
+    // One shared client runtime: every grid's sockets live on it.
+    let rt = GridRuntime::with_workers(2).expect("runtime");
+    let addr = pool.mgr.addr().to_string();
+    let grids: Vec<Grid> = (0..SESSIONS)
+        .map(|_| Grid::connect_on(&rt, &addr).expect("connect"))
+        .collect();
+    let data = payload(FILE_BYTES, 1234);
+    let mut handles = Vec::with_capacity(SESSIONS);
+    for (i, grid) in grids.iter().enumerate() {
+        handles.push((
+            grid.create(
+                &format!("/stress/ckpt{i}.n0"),
+                opts(WriteProtocol::SlidingWindow { buffer: 1 << 20 }),
+            )
+            .expect("create"),
+            0usize,
+        ));
+    }
+
+    // Drive all sessions from this one thread with nonblocking writes.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut threads_mid = 0usize;
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for (handle, off) in handles.iter_mut() {
+            if *off < data.len() {
+                all_done = false;
+                let upto = (*off + (16 << 10)).min(data.len());
+                match handle.poll_write(&data[*off..upto]) {
+                    Ok(0) => {}
+                    Ok(n) => {
+                        *off += n;
+                        progress = true;
+                        if *off == data.len() {
+                            handle.start_close();
+                        }
+                    }
+                    Err(e) => panic!("session write failed: {e}"),
+                }
+            }
+        }
+        if threads_mid == 0 {
+            // All 256 sessions (and their 1000+ sockets) are now live.
+            threads_mid = process_threads();
+        }
+        if all_done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "stress writes stalled");
+        if !progress {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Poll the commits to completion (still a single driver thread).
+    let mut remaining: Vec<_> = handles.into_iter().map(|(h, _)| h).collect();
+    while !remaining.is_empty() {
+        assert!(Instant::now() < deadline, "stress commits stalled");
+        let mut still = Vec::with_capacity(remaining.len());
+        for mut handle in remaining {
+            match handle.try_finish() {
+                Some(Ok(stats)) => assert_eq!(stats.bytes_written, FILE_BYTES as u64),
+                Some(Err(e)) => panic!("session failed: {e}"),
+                None => still.push(handle),
+            }
+        }
+        remaining = still;
+        if !remaining.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Connections scaled with sessions; threads did not. (Other tests run
+    // concurrently in this process, so leave generous headroom — a
+    // thread-per-connection transport would blow through it 10x over.)
+    let conns = rt.connection_count();
+    assert!(conns >= SESSIONS, "expected ≥{SESSIONS} conns, got {conns}");
+    let grew = threads_mid.saturating_sub(threads_before);
+    assert!(
+        grew < 64,
+        "thread count grew by {grew} (before={threads_before}, mid={threads_mid}) — \
+         threads must not scale with the {conns} live connections"
+    );
+
+    // Spot-check durability of what was written.
+    for i in (0..SESSIONS).step_by(61) {
+        let r = grids[i]
+            .open(&format!("/stress/ckpt{i}.n0"), None)
+            .expect("open");
+        assert_eq!(r.read_all().expect("read"), data, "session {i}");
+    }
+    pool.mgr.check_invariants();
+}
+
+/// Reactor-driven liveness bound on steady-state reads: a peer that
+/// connects and then goes silent (here: a torn frame header, then
+/// nothing) is reaped by the idle timeout instead of leaking its
+/// connection and reader state forever.
+#[test]
+fn reactor_reaps_stalled_connection() {
+    if Backend::from_env() != Backend::Reactor {
+        return;
+    }
+    let mgr = ManagerServer::spawn_with(
+        "127.0.0.1:0",
+        PoolConfig::fast_for_tests(),
+        ServerOpts {
+            backend: Backend::Reactor,
+            workers: 2,
+            idle_timeout: Some(Duration::from_millis(400)),
+        },
+    )
+    .expect("manager");
+
+    // A wedged peer: 3 of the 4 frame-header bytes, then silence. Under
+    // the old blocking transport this parked a reader thread forever.
+    let mut stalled = std::net::TcpStream::connect(mgr.addr()).expect("connect");
+    stalled.write_all(&[7, 0, 0]).expect("partial header");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let start = Instant::now();
+    let mut buf = [0u8; 8];
+    let n = stalled.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "manager must close the stalled connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "reap took {:?}",
+        start.elapsed()
+    );
+
+    // The reaper only takes silent peers: a live client still works.
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    assert!(grid.list("/").is_ok());
 }
 
 #[test]

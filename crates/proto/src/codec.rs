@@ -84,12 +84,32 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding out of a shared buffer, the owning [`Bytes`] (same
+    /// allocation as `buf`): byte-payload fields are sliced out of it
+    /// without copying.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over `buf`.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// Creates a reader over a shared buffer: [`Bytes`] fields decode as
+    /// zero-copy slices of `bytes` instead of fresh allocations. This is
+    /// how the incremental frame decoder hands a chunk payload to the
+    /// store without copying it out of the receive buffer.
+    pub fn shared(bytes: &'a Bytes) -> Reader<'a> {
+        Reader {
+            buf: bytes,
+            pos: 0,
+            backing: Some(bytes),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -149,6 +169,24 @@ impl<'a> Reader<'a> {
     /// Reads `n` raw bytes.
     pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         self.take(n, "raw bytes")
+    }
+
+    /// Reads a length-prefixed byte string as [`Bytes`]. When the reader
+    /// was built with [`Reader::shared`], the result is a zero-copy slice
+    /// of the backing buffer; otherwise the bytes are copied.
+    pub fn get_shared(&mut self) -> Result<Bytes, ProtoError> {
+        let len = self.get_u32()? as usize;
+        match self.backing {
+            Some(b) => {
+                if len > self.remaining() {
+                    return Err(ProtoError::Truncated { what: "bytes body" });
+                }
+                let s = b.slice(self.pos..self.pos + len);
+                self.pos += len;
+                Ok(s)
+            }
+            None => Ok(Bytes::from(self.take(len, "bytes body")?.to_vec())),
+        }
     }
 }
 
@@ -235,7 +273,7 @@ impl Wire for Bytes {
         w.put_bytes(self);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
-        Ok(Bytes::from(r.get_bytes()?))
+        r.get_shared()
     }
 }
 

@@ -1,12 +1,23 @@
 //! Length-prefixed framing for byte streams.
 //!
 //! Each frame is a little-endian `u32` length followed by that many payload
-//! bytes (one encoded [`Msg`]). [`FrameBuf`] is a sans-IO
-//! incremental decoder — feed it arbitrary byte slices as they arrive and
-//! pull out complete frames — while [`read_frame`]/[`write_frame`] are
-//! blocking helpers for `std::io` streams.
+//! bytes (one encoded [`Msg`]). Three tiers of API:
+//!
+//! - [`FrameDecoder`] / [`FrameEncoder`] — the incremental sans-IO codec
+//!   the event-driven reactor transport runs on: the decoder accumulates
+//!   arbitrary partial reads and yields decoded messages (chunk payloads
+//!   sliced zero-copy out of the frame buffer), the encoder keeps a
+//!   resumable outbound buffer that survives short writes on nonblocking
+//!   sockets;
+//! - [`FrameBuf`] — a simpler incremental splitter yielding raw frame
+//!   bodies;
+//! - [`read_frame`] / [`write_frame`] — blocking helpers for `std::io`
+//!   streams (handshakes, legacy thread-per-connection paths).
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
+
+use bytes::Bytes;
 
 use crate::codec::Wire;
 use crate::error::ProtoError;
@@ -87,6 +98,221 @@ impl FrameBuf {
     }
 }
 
+/// Decode state of one in-flight frame.
+#[derive(Debug)]
+enum DecodeState {
+    /// Accumulating the 4-byte length header.
+    Header { buf: [u8; 4], have: usize },
+    /// Accumulating the frame body (`buf.len()` of `need` bytes present).
+    Body { buf: Vec<u8>, need: usize },
+}
+
+/// Incremental frame **message** decoder for readiness-based transports.
+///
+/// Feed it whatever byte slices the socket produces — single bytes,
+/// frame-straddling chunks, many coalesced frames — and it yields decoded
+/// [`Msg`]s exactly as the blocking [`read_frame`] would have. Byte
+/// payloads (`PutChunk::data`, `GetChunkOk::data`) are sliced out of the
+/// accumulated frame buffer as shared [`Bytes`] without copying.
+///
+/// Errors (oversized frame declaration, undecodable body) poison the
+/// decoder: the connection is beyond resynchronization and must be
+/// dropped, exactly like the blocking reader's `InvalidData`.
+///
+/// # Examples
+///
+/// ```
+/// use stdchk_proto::frame::{encode_frame, FrameDecoder, MAX_FRAME};
+/// use stdchk_proto::ids::RequestId;
+/// use stdchk_proto::msg::Msg;
+///
+/// let wire = encode_frame(&Msg::Ack { req: RequestId(7) });
+/// let mut dec = FrameDecoder::new(MAX_FRAME);
+/// let mut out = Vec::new();
+/// for b in &wire {
+///     dec.feed(std::slice::from_ref(b), &mut out).unwrap();
+/// }
+/// assert_eq!(out, vec![Msg::Ack { req: RequestId(7) }]);
+/// assert!(!dec.mid_frame());
+/// ```
+#[derive(Debug)]
+pub struct FrameDecoder {
+    state: DecodeState,
+    max_frame: u32,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder that rejects frames larger than `max_frame`.
+    pub fn new(max_frame: u32) -> FrameDecoder {
+        FrameDecoder {
+            state: DecodeState::Header {
+                buf: [0; 4],
+                have: 0,
+            },
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// Appends incoming bytes, pushing every message they complete onto
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] for an over-limit header,
+    /// [`ProtoError::Malformed`]/[`ProtoError::Truncated`] for an
+    /// undecodable body. Any error poisons the decoder; subsequent feeds
+    /// keep failing.
+    pub fn feed(&mut self, mut data: &[u8], out: &mut Vec<Msg>) -> Result<(), ProtoError> {
+        if self.poisoned {
+            return Err(ProtoError::bad("frame decoder poisoned"));
+        }
+        while !data.is_empty() {
+            match &mut self.state {
+                DecodeState::Header { buf, have } => {
+                    let n = (4 - *have).min(data.len());
+                    buf[*have..*have + n].copy_from_slice(&data[..n]);
+                    *have += n;
+                    data = &data[n..];
+                    if *have == 4 {
+                        let len = u32::from_le_bytes(*buf);
+                        if len > self.max_frame {
+                            self.poisoned = true;
+                            return Err(ProtoError::FrameTooLarge {
+                                declared: len,
+                                max: self.max_frame,
+                            });
+                        }
+                        self.state = DecodeState::Body {
+                            buf: Vec::with_capacity(len as usize),
+                            need: len as usize,
+                        };
+                    }
+                }
+                DecodeState::Body { buf, need } => {
+                    let n = (*need - buf.len()).min(data.len());
+                    buf.extend_from_slice(&data[..n]);
+                    data = &data[n..];
+                    if buf.len() == *need {
+                        let frame = Bytes::from(std::mem::take(buf));
+                        self.state = DecodeState::Header {
+                            buf: [0; 4],
+                            have: 0,
+                        };
+                        match Msg::from_frame(&frame) {
+                            Ok(msg) => out.push(msg),
+                            Err(e) => {
+                                self.poisoned = true;
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True while a frame is partially accumulated: EOF now would be a
+    /// torn frame (the blocking reader's `UnexpectedEof` mid-body), not a
+    /// clean close.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            DecodeState::Header { have, .. } => *have != 0,
+            DecodeState::Body { .. } => true,
+        }
+    }
+
+    /// True once a feed failed; the connection must be dropped.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// Resumable frame encoder for readiness-based transports.
+///
+/// [`FrameEncoder::push`] serializes a message onto the outbound buffer;
+/// [`FrameEncoder::write_to`] flushes as much as the (typically
+/// nonblocking) sink accepts and can be resumed after `WouldBlock` —
+/// partial frames pick up exactly where the previous short write stopped.
+/// Each frame may carry a completion token reported once its last byte
+/// reaches the sink (drivers use this to end transmit windows).
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    /// Encoded frames awaiting transmission; the head frame may be
+    /// partially written (`head_off` bytes already gone).
+    frames: VecDeque<(Vec<u8>, Option<u64>)>,
+    head_off: usize,
+    pending: usize,
+}
+
+impl FrameEncoder {
+    /// An empty encoder.
+    pub fn new() -> FrameEncoder {
+        FrameEncoder::default()
+    }
+
+    /// Serializes `msg` onto the outbound buffer.
+    pub fn push(&mut self, msg: &Msg) {
+        self.push_tracked(msg, None);
+    }
+
+    /// Serializes `msg`, tagging the frame with a completion `token`
+    /// reported by [`FrameEncoder::write_to`] once fully written.
+    pub fn push_tracked(&mut self, msg: &Msg, token: Option<u64>) {
+        let frame = encode_frame(msg);
+        self.pending += frame.len();
+        self.frames.push_back((frame, token));
+    }
+
+    /// Bytes not yet accepted by the sink.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending
+    }
+
+    /// True when nothing is waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Writes as much as `w` accepts. Tokens of frames whose last byte was
+    /// written are appended to `completed`. Returns `Ok(true)` when the
+    /// buffer drained, `Ok(false)` when the sink would block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink errors other than `WouldBlock` (`Interrupted` is
+    /// retried); a sink accepting zero bytes surfaces as `WriteZero`.
+    pub fn write_to<W: Write>(&mut self, w: &mut W, completed: &mut Vec<u64>) -> io::Result<bool> {
+        while let Some((frame, token)) = self.frames.front() {
+            match w.write(&frame[self.head_off..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.head_off += n;
+                    self.pending -= n;
+                    if self.head_off == frame.len() {
+                        if let Some(t) = token {
+                            completed.push(*t);
+                        }
+                        self.frames.pop_front();
+                        self.head_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
 /// Encodes `msg` as one frame into a fresh buffer.
 pub fn encode_frame(msg: &Msg) -> Vec<u8> {
     let body = msg.to_wire_bytes();
@@ -108,7 +334,9 @@ pub fn write_frame<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
 
 /// Reads one complete frame from a blocking stream and decodes the message.
 ///
-/// Returns `Ok(None)` on clean EOF at a frame boundary.
+/// Returns `Ok(None)` on clean EOF at a frame boundary. EOF *inside* a
+/// frame — even inside the 4-byte header — is a torn frame and errors
+/// (`UnexpectedEof`), matching [`FrameDecoder::mid_frame`].
 ///
 /// # Errors
 ///
@@ -116,10 +344,20 @@ pub fn write_frame<W: Write>(mut w: W, msg: &Msg) -> io::Result<()> {
 /// `io::ErrorKind::InvalidData`.
 pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
     let mut hdr = [0u8; 4];
-    match r.read_exact(&mut hdr) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut have = 0;
+    while have < 4 {
+        match r.read(&mut hdr[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(hdr);
     if len > MAX_FRAME {
@@ -211,6 +449,130 @@ mod tests {
         wire.truncate(wire.len() - 1);
         let mut cursor = std::io::Cursor::new(wire);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn decoder_yields_messages_across_splits() {
+        let msgs = vec![
+            sample(),
+            Msg::Ack { req: RequestId(7) },
+            Msg::PutChunk {
+                req: RequestId(8),
+                chunk: crate::ids::ChunkId::for_content(b"xyz"),
+                size: 3,
+                data: Bytes::from_static(b"xyz"),
+                background: false,
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        for split in 1..wire.len().min(48) {
+            let mut dec = FrameDecoder::new(MAX_FRAME);
+            let mut out = Vec::new();
+            for part in wire.chunks(split) {
+                dec.feed(part, &mut out).unwrap();
+            }
+            assert_eq!(out, msgs, "split={split}");
+            assert!(!dec.mid_frame());
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversize_and_poisons() {
+        let mut dec = FrameDecoder::new(16);
+        let mut out = Vec::new();
+        let data = (17u32).to_le_bytes();
+        assert!(matches!(
+            dec.feed(&data, &mut out),
+            Err(ProtoError::FrameTooLarge {
+                declared: 17,
+                max: 16
+            })
+        ));
+        assert!(dec.is_poisoned());
+        assert!(dec.feed(&[0], &mut out).is_err());
+    }
+
+    #[test]
+    fn decoder_reports_torn_frames() {
+        let wire = encode_frame(&sample());
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        dec.feed(&wire[..wire.len() - 1], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert!(dec.mid_frame(), "EOF here would tear the frame");
+    }
+
+    #[test]
+    fn decoder_slices_payload_without_copying() {
+        let payload = vec![42u8; 4096];
+        let msg = Msg::PutChunk {
+            req: RequestId(1),
+            chunk: crate::ids::ChunkId::for_content(&payload),
+            size: payload.len() as u32,
+            data: Bytes::from(payload.clone()),
+            background: false,
+        };
+        let wire = encode_frame(&msg);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        dec.feed(&wire, &mut out).unwrap();
+        let Msg::PutChunk { data, .. } = &out[0] else {
+            panic!("wrong message");
+        };
+        assert_eq!(&data[..], &payload[..]);
+    }
+
+    #[test]
+    fn encoder_resumes_across_short_writes() {
+        struct Dribble {
+            out: Vec<u8>,
+            budget: usize,
+        }
+        impl io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                let n = buf.len().min(self.budget).min(3);
+                self.out.extend_from_slice(&buf[..n]);
+                self.budget -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let msgs = vec![sample(), Msg::Ack { req: RequestId(2) }];
+        let mut enc = FrameEncoder::new();
+        enc.push_tracked(&msgs[0], Some(10));
+        enc.push_tracked(&msgs[1], Some(11));
+        let total = enc.pending_bytes();
+        let mut sink = Dribble {
+            out: Vec::new(),
+            budget: 0,
+        };
+        let mut completed = Vec::new();
+        // Repeatedly grant tiny write budgets until everything drains.
+        let mut drained = false;
+        for _ in 0..total + 8 {
+            sink.budget = 2;
+            if enc.write_to(&mut sink, &mut completed).unwrap() {
+                drained = true;
+                break;
+            }
+        }
+        assert!(drained);
+        assert_eq!(completed, vec![10, 11]);
+        // The dribbled byte stream is the exact concatenated frames.
+        let mut expect = Vec::new();
+        for m in &msgs {
+            expect.extend_from_slice(&encode_frame(m));
+        }
+        assert_eq!(sink.out, expect);
     }
 
     #[test]

@@ -95,6 +95,18 @@ pub enum Msg {
         /// Correlates with the request.
         req: RequestId,
     },
+    /// Transport-level liveness probe. Handled (and answered with
+    /// [`Msg::Pong`]) by the connection layer itself; state machines never
+    /// see it.
+    Ping {
+        /// Echoed back in the matching `Pong`.
+        nonce: u64,
+    },
+    /// Reply to [`Msg::Ping`]. Swallowed by the connection layer.
+    Pong {
+        /// The probed nonce.
+        nonce: u64,
+    },
     /// Negative reply for any request.
     ErrorReply {
         /// Correlates with the request.
@@ -465,12 +477,32 @@ impl Msg {
             | GetChunk { req, .. }
             | GetChunkOk { req, .. } => Some(*req),
             Hello { .. }
+            | Ping { .. }
+            | Pong { .. }
             | Heartbeat { .. }
             | HeartbeatAck { .. }
             | ReplicateCmd { .. }
             | ReplicateReport { .. }
             | DeleteChunks { .. } => None,
         }
+    }
+
+    /// Decodes one message out of a complete frame body, slicing byte
+    /// payloads (`PutChunk::data`, `GetChunkOk::data`) out of `frame`
+    /// without copying. The incremental [`FrameDecoder`] uses this so a
+    /// chunk payload travels from the socket receive buffer to the blob
+    /// store as one shared allocation.
+    ///
+    /// [`FrameDecoder`]: crate::frame::FrameDecoder
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on truncated, trailing, or malformed bytes.
+    pub fn from_frame(frame: &Bytes) -> Result<Msg, ProtoError> {
+        let mut r = Reader::shared(frame);
+        let msg = Msg::decode(&mut r)?;
+        r.finish()?;
+        Ok(msg)
     }
 
     /// Approximate wire size in bytes, used by the simulator to cost
@@ -660,6 +692,8 @@ msg_tags! {
     0 => Hello,
     1 => Ack,
     2 => ErrorReply,
+    3 => Ping,
+    4 => Pong,
     10 => CreateFile,
     11 => CreateFileOk,
     12 => ExtendReservation,
@@ -705,6 +739,7 @@ impl Wire for Msg {
                 node.encode(w);
             }
             Msg::Ack { req } => req.encode(w),
+            Msg::Ping { nonce } | Msg::Pong { nonce } => w.put_u64(*nonce),
             Msg::ErrorReply { req, code, detail } => {
                 req.encode(w);
                 code.encode(w);
@@ -955,6 +990,12 @@ impl Wire for Msg {
             1 => Msg::Ack {
                 req: RequestId::decode(r)?,
             },
+            3 => Msg::Ping {
+                nonce: r.get_u64()?,
+            },
+            4 => Msg::Pong {
+                nonce: r.get_u64()?,
+            },
             2 => Msg::ErrorReply {
                 req: RequestId::decode(r)?,
                 code: ErrorCode::decode(r)?,
@@ -1149,6 +1190,8 @@ mod tests {
                 node: NodeId(4),
             },
             Msg::Ack { req: RequestId(9) },
+            Msg::Ping { nonce: 17 },
+            Msg::Pong { nonce: 17 },
             Msg::ErrorReply {
                 req: RequestId(1),
                 code: ErrorCode::NoSpace,

@@ -1,0 +1,194 @@
+//! Property tests for the incremental frame codec: under *any*
+//! fragmentation of the byte stream — 1-byte drips, frame-straddling
+//! chunks, many frames coalesced into one read — [`FrameDecoder`] must
+//! decode exactly the messages the blocking [`read_frame`] reader yields,
+//! and agree with it on oversize-frame rejection and torn-EOF detection.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use stdchk_proto::frame::{encode_frame, read_frame, FrameDecoder, FrameEncoder, MAX_FRAME};
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
+use stdchk_proto::msg::{Msg, Role};
+
+/// Messages skewed toward the shapes that stress an incremental decoder:
+/// payload-bearing data-path frames next to tiny control frames.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        any::<u64>().prop_map(|r| Msg::Ack { req: RequestId(r) }),
+        any::<u64>().prop_map(|n| Msg::Ping { nonce: n }),
+        (any::<u64>(), 0u8..2).prop_map(|(n, r)| Msg::Hello {
+            role: if r == 0 {
+                Role::Client
+            } else {
+                Role::Benefactor
+            },
+            node: NodeId(n),
+        }),
+        (any::<u64>(), ".{0,40}").prop_map(|(r, path)| Msg::GetAttr {
+            req: RequestId(r),
+            path,
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            any::<bool>()
+        )
+            .prop_map(|(r, data, background)| Msg::PutChunk {
+                req: RequestId(r),
+                chunk: ChunkId::for_content(&data),
+                size: data.len() as u32,
+                data: Bytes::from(data),
+                background,
+            }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512)).prop_map(|(r, data)| {
+            Msg::GetChunkOk {
+                req: RequestId(r),
+                chunk: ChunkId::for_content(&data),
+                size: data.len() as u32,
+                data: Bytes::from(data),
+            }
+        }),
+    ]
+}
+
+/// Decodes `wire` with the blocking reader until EOF; `Err` means the
+/// stream ended mid-frame or carried an undecodable body.
+fn blocking_decode(wire: &[u8]) -> Result<Vec<Msg>, ()> {
+    let mut cursor = std::io::Cursor::new(wire);
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(Some(m)) => out.push(m),
+            Ok(None) => return Ok(out),
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Feeds `wire` to an incremental decoder in pieces given by cycling
+/// `cuts`; mirrors `blocking_decode`'s result shape (torn EOF = `Err`).
+fn incremental_decode(wire: &[u8], cuts: &[usize]) -> Result<Vec<Msg>, ()> {
+    let mut dec = FrameDecoder::new(MAX_FRAME);
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut cut_iter = cuts.iter().cycle();
+    while pos < wire.len() {
+        let step = (*cut_iter.next().unwrap()).min(wire.len() - pos);
+        dec.feed(&wire[pos..pos + step], &mut out).map_err(|_| ())?;
+        pos += step;
+    }
+    if dec.mid_frame() {
+        return Err(());
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Well-formed streams: every fragmentation decodes the same messages
+    // the blocking reader sees, including drips of a single byte.
+    #[test]
+    fn incremental_equals_blocking_on_clean_streams(
+        msgs in proptest::collection::vec(arb_msg(), 0..6),
+        cuts in proptest::collection::vec(1usize..96, 1..24),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        let blocking = blocking_decode(&wire).expect("clean stream");
+        prop_assert_eq!(&blocking, &msgs);
+        prop_assert_eq!(incremental_decode(&wire, &cuts).expect("clean stream"), msgs.clone());
+        prop_assert_eq!(incremental_decode(&wire, &[1]).expect("1-byte drip"), msgs);
+    }
+
+    // Truncated streams: wherever the stream tears, blocking and
+    // incremental agree on the prefix of messages decoded before the torn
+    // frame, and both flag the tear (unless the cut lands exactly on a
+    // frame boundary — a clean EOF for both).
+    #[test]
+    fn incremental_equals_blocking_on_torn_streams(
+        msgs in proptest::collection::vec(arb_msg(), 1..5),
+        cuts in proptest::collection::vec(1usize..64, 1..16),
+        tear_seed in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        let cut = ((wire.len() as f64) * tear_seed) as usize;
+        let torn = &wire[..cut];
+        let blocking = blocking_decode(torn);
+        let incremental = incremental_decode(torn, &cuts);
+        match (blocking, incremental) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(()), Err(())) => {}
+            (a, b) => prop_assert!(false, "blocking={a:?} incremental={b:?} at cut {cut}"),
+        }
+    }
+
+    // Oversize declarations: both readers reject a header whose length
+    // exceeds the limit, regardless of how the header bytes arrive.
+    #[test]
+    fn oversize_frames_rejected_like_blocking(
+        excess in 1u32..1024,
+        limit in 8u32..4096,
+        cuts in proptest::collection::vec(1usize..8, 1..8),
+    ) {
+        let declared = limit + excess;
+        let mut wire = declared.to_le_bytes().to_vec();
+        wire.extend_from_slice(&vec![0u8; (declared as usize).min(64)]);
+        // Blocking reader with the same limit semantics: MAX_FRAME is
+        // compile-time there, so emulate by checking the decoder only.
+        let mut dec = FrameDecoder::new(limit);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut cut_iter = cuts.iter().cycle();
+        let mut rejected = false;
+        while pos < wire.len() {
+            let step = (*cut_iter.next().unwrap()).min(wire.len() - pos);
+            if dec.feed(&wire[pos..pos + step], &mut out).is_err() {
+                rejected = true;
+                break;
+            }
+            pos += step;
+        }
+        prop_assert!(rejected, "declared {declared} > limit {limit} must be rejected");
+        prop_assert!(out.is_empty());
+        prop_assert!(dec.is_poisoned());
+    }
+
+    // Encoder → decoder: a stream produced through the resumable encoder
+    // under arbitrary write budgets decodes to the original messages.
+    #[test]
+    fn encoder_stream_roundtrips(
+        msgs in proptest::collection::vec(arb_msg(), 1..5),
+        budgets in proptest::collection::vec(1usize..48, 1..16),
+    ) {
+        struct Throttle<'a> {
+            out: Vec<u8>,
+            budgets: std::iter::Cycle<std::slice::Iter<'a, usize>>,
+        }
+        impl std::io::Write for Throttle<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = (*self.budgets.next().unwrap()).min(buf.len());
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut enc = FrameEncoder::new();
+        for (i, m) in msgs.iter().enumerate() {
+            enc.push_tracked(m, Some(i as u64));
+        }
+        let mut sink = Throttle { out: Vec::new(), budgets: budgets.iter().cycle() };
+        let mut completed = Vec::new();
+        while !enc.write_to(&mut sink, &mut completed).unwrap() {}
+        prop_assert_eq!(completed, (0..msgs.len() as u64).collect::<Vec<_>>());
+        prop_assert_eq!(blocking_decode(&sink.out).unwrap(), msgs);
+    }
+}
