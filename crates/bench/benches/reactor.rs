@@ -91,6 +91,7 @@ fn run_one(backend: Backend, sessions: usize) -> RunResult {
         backend,
         workers: 4,
         idle_timeout: Some(Duration::from_secs(120)),
+        ..ServerOpts::default()
     };
     let mgr = ManagerServer::spawn_with("127.0.0.1:0", pool_cfg(), opts).expect("manager");
     let benefactors: Vec<BenefactorServer> = (0..3)

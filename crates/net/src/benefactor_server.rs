@@ -36,6 +36,7 @@ use stdchk_util::Time;
 
 use crate::conn::{dial, read_frame_timeout, read_loop, Clock, Link, Sender, DIAL_TIMEOUT};
 use crate::driver::{spawn_node_loop, Effects, NodeHost};
+use crate::iolane::IoLane;
 use crate::reactor::{
     CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle, WeakHandle,
 };
@@ -159,12 +160,15 @@ pub struct BenefEffects {
     /// Outbound replication connections to peer benefactors (real ids).
     peers: Mutex<HashMap<NodeId, PeerState>>,
     resolver: Mutex<ResolveClient>,
-    /// Back-reference for peer reply readers (threaded mode; set once at
-    /// spawn).
+    /// Back-reference for peer reply readers and I/O-lane completions
+    /// (set once at spawn, both backends).
     host: Mutex<Option<Arc<BenefHost>>>,
     /// Reactor-mode context for deferred peer dials (None under the
     /// threaded backend).
     rapp: Mutex<Option<Arc<BenefApp>>>,
+    /// Durable store waits ride here instead of the executing pump
+    /// (None: inline execution, the `STDCHK_IO_LANE=off` baseline).
+    lane: Option<Arc<IoLane>>,
 }
 
 type BenefHost = NodeHost<Benefactor, Arc<BenefEffects>>;
@@ -199,7 +203,11 @@ impl Effects for Arc<BenefEffects> {
                 Ok(None) | Err(_) => Some(Completion::LoadFailed { op, chunk }),
             },
             Action::DropChunk { chunk } => {
+                // The tombstone append runs here (cheap, order-fixing);
+                // in deferred-maintenance mode any compaction it
+                // triggers waits for `maintain` on the I/O lane.
                 let _ = self.store.delete(chunk);
+                self.schedule_maintenance();
                 None
             }
             other => unreachable!("benefactor never emits {other:?}"),
@@ -229,9 +237,27 @@ impl Effects for Arc<BenefEffects> {
 }
 
 impl BenefEffects {
+    /// Queues one opportunistic `maintain` pass (deferred compaction) on
+    /// the I/O lane. Nonblocking and lossy by design: a refused submit
+    /// just waits for the next delete/batch to re-offer it.
+    fn schedule_maintenance(&self) {
+        if let Some(lane) = &self.lane {
+            let store = Arc::clone(&self.store);
+            let _ = lane.try_submit(move || {
+                let _ = store.maintain();
+            });
+        }
+    }
+
     /// Runs one buffered store batch; every chunk acks `Stored` on success.
     /// On failure nothing acks — the writer times out and fails over, same
     /// as a single failed put.
+    ///
+    /// With the disk I/O lane attached the batch is *submitted*
+    /// (appended — fixing the engine's record order now, so a later
+    /// `DropChunk` in the same drain still lands after these records)
+    /// and only the durability wait rides the lane; the lane completion
+    /// feeds the `Stored` acks back through the host. Inline otherwise.
     fn flush_stores(
         &self,
         stores: &mut Vec<(u64, ChunkId, Payload)>,
@@ -246,12 +272,60 @@ impl BenefEffects {
             .zip(&payloads)
             .map(|((_, chunk, _), bytes)| (*chunk, &bytes[..]))
             .collect();
+        let host = self.lane.as_ref().and_then(|_| self.host.lock().clone());
+        if let (Some(lane), Some(host)) = (&self.lane, host) {
+            match self.store.submit_put_batch(&batch) {
+                Ok(token) => {
+                    let ops: Vec<u64> = stores.drain(..).map(|(op, _, _)| op).collect();
+                    let store = Arc::clone(&self.store);
+                    // The reactor's timer eventfd, so a Stored-completion
+                    // that re-arms an earlier protocol deadline wakes
+                    // worker 0 (None under the threaded backend, whose
+                    // run_node loop is woken by `complete_all` itself).
+                    let handle = self
+                        .rapp
+                        .lock()
+                        .as_ref()
+                        .and_then(|app| app.handle.get().cloned());
+                    if !lane.submit(move || finish_put_batch(&store, &host, token, ops, handle)) {
+                        // Lane shut down under us: nothing acks; the
+                        // writers time out, exactly like a dying server.
+                    }
+                }
+                Err(_) => stores.clear(),
+            }
+            return;
+        }
         if self.store.put_batch(&batch).is_ok() {
             completions.extend(stores.drain(..).map(|(op, _, _)| Completion::Stored { op }));
         } else {
             stores.clear();
         }
     }
+}
+
+/// I/O-lane job: wait out the submitted batch's group commit, then feed
+/// every chunk's `Stored` ack back through the host (whose pump — on
+/// this lane thread — drains the resulting `PutChunkOk` sends).
+fn finish_put_batch(
+    store: &Arc<dyn ChunkStore>,
+    host: &Arc<BenefHost>,
+    token: u64,
+    ops: Vec<u64>,
+    handle: Option<WeakHandle>,
+) {
+    if store.wait_put(token).is_err() {
+        // Nothing acks: the writers time out and fail over, exactly
+        // like a failed inline put.
+        return;
+    }
+    host.complete_all(ops.into_iter().map(|op| Completion::Stored { op }));
+    if let Some(h) = handle.and_then(|w| w.upgrade()) {
+        h.notify_timer();
+    }
+    // Already on a lane thread: run any compaction the batch's
+    // rotations queued (cheap no-op when nothing is pending).
+    let _ = store.maintain();
 }
 
 impl BenefEffects {
@@ -552,6 +626,8 @@ pub struct BenefactorServer {
     addr: SocketAddr,
     /// The epoll transport (reactor backend only).
     reactor: Option<Reactor>,
+    /// The disk I/O lane (None when `STDCHK_IO_LANE=off`).
+    lane: Option<Arc<IoLane>>,
 }
 
 impl std::fmt::Debug for BenefactorServer {
@@ -584,7 +660,7 @@ impl BenefactorServer {
     pub fn spawn_with(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
         match opts.backend {
             Backend::Reactor => BenefactorServer::spawn_reactor(net, opts),
-            Backend::Threaded => BenefactorServer::spawn_threaded(net),
+            Backend::Threaded => BenefactorServer::spawn_threaded(net, opts),
         }
     }
 
@@ -630,6 +706,12 @@ impl BenefactorServer {
             handle: handle.downgrade(),
             token: mgr_token,
         };
+        let lane = opts.io_lane.then(|| Arc::new(IoLane::new()));
+        if lane.is_some() {
+            // Compaction fsyncs defer to `maintain` on the lane instead
+            // of running on whichever pump executed the delete.
+            net.store.set_deferred_maintenance(true);
+        }
         let effects = Arc::new(BenefEffects {
             store: net.store,
             mgr: Mutex::new(mgr_link),
@@ -638,11 +720,14 @@ impl BenefactorServer {
             resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
             host: Mutex::new(None),
             rapp: Mutex::new(None),
+            lane: lane.clone(),
         });
         let host = NodeHost::new(sm, clock, Arc::clone(&effects));
         let _ = app.host.set(Arc::clone(&host));
         let _ = app.handle.set(handle.downgrade());
         *effects.rapp.lock() = Some(Arc::clone(&app));
+        // Lane completions feed Stored acks back through this reference.
+        *effects.host.lock() = Some(Arc::clone(&host));
         // Join/heartbeat/GC timers fire from the reactor tick once the
         // host is visible to the app (set above).
         handle.add_listener(listener, 0, ConnOpts::server_default(opts.idle_timeout))?;
@@ -651,11 +736,12 @@ impl BenefactorServer {
             host,
             addr,
             reactor: Some(reactor),
+            lane,
         })
     }
 
     /// Legacy thread-per-connection backend.
-    fn spawn_threaded(net: BenefactorNetConfig) -> io::Result<BenefactorServer> {
+    fn spawn_threaded(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
         let listener = TcpListener::bind(&net.listen)?;
         let addr = listener.local_addr()?;
         let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
@@ -675,6 +761,10 @@ impl BenefactorServer {
         sm.adopt_existing(net.store.entries()?, clock.now());
 
         let first_reader = mgr.reader()?;
+        let lane = opts.io_lane.then(|| Arc::new(IoLane::new()));
+        if lane.is_some() {
+            net.store.set_deferred_maintenance(true);
+        }
         let effects = Arc::new(BenefEffects {
             store: net.store,
             mgr: Mutex::new(Link::Thread(mgr)),
@@ -683,6 +773,7 @@ impl BenefactorServer {
             resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
             host: Mutex::new(None),
             rapp: Mutex::new(None),
+            lane: lane.clone(),
         });
         let host = NodeHost::new(sm, clock, Arc::clone(&effects));
         *effects.host.lock() = Some(Arc::clone(&host));
@@ -760,6 +851,7 @@ impl BenefactorServer {
             host,
             addr,
             reactor: None,
+            lane,
         })
     }
 
@@ -787,6 +879,12 @@ impl BenefactorServer {
     /// joins its workers).
     pub fn shutdown(&self) {
         self.host.shutdown();
+        // Drain the lane before the reactor dies so in-flight durable
+        // waits still get to ack (the store's flusher lives until the
+        // store Arc drops, so queued waits complete rather than hang).
+        if let Some(lane) = &self.lane {
+            lane.shutdown();
+        }
         if let Some(reactor) = &self.reactor {
             reactor.shutdown();
         }

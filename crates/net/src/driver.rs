@@ -187,8 +187,20 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
 
     /// Feeds one completion (for asynchronous effects), then drains.
     pub fn complete(&self, completion: Completion) {
+        self.complete_all(std::iter::once(completion));
+    }
+
+    /// Feeds a batch of completions under one node-lock acquisition,
+    /// then drains once — how the disk I/O lane reports a whole store
+    /// batch's `Stored` acks without N lock round-trips.
+    pub fn complete_all(&self, completions: impl IntoIterator<Item = Completion>) {
         let now = self.clock.now();
-        self.node.lock().handle_completion(completion, now);
+        {
+            let mut node = self.node.lock();
+            for c in completions {
+                node.handle_completion(c, now);
+            }
+        }
         self.pump();
         self.timer_cv.notify_all();
     }

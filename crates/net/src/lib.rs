@@ -69,6 +69,7 @@ pub mod benefactor_server;
 pub mod client;
 pub mod conn;
 pub mod driver;
+pub mod iolane;
 pub mod log;
 pub mod manager_server;
 pub mod metalog;
@@ -78,6 +79,8 @@ pub mod store;
 pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
 pub use client::{Grid, GridError, GridRuntime, ReadHandle, WriteHandle, WriteOptions};
 pub use driver::{run_node, Effects, NodeHost};
+pub use iolane::{IoLane, IoLaneConfig};
+pub use log::SyncDelay;
 pub use manager_server::ManagerServer;
 pub use metalog::{MetaLog, MetaLogConfig};
 pub use reactor::{
@@ -117,6 +120,24 @@ pub struct ServerOpts {
     /// Reap inbound connections silent for this long (reactor only; the
     /// client side sends transport keepalives well inside this bound).
     pub idle_timeout: Option<std::time::Duration>,
+    /// Run blocking durable waits — [`store::SegmentStore`] group
+    /// commits, [`MetaLog`] flush waits, snapshot installs — on a
+    /// dedicated disk [`IoLane`] instead of the pump thread that drained
+    /// the triggering batch, so an fsync tail never stalls a reactor
+    /// worker's other sockets. Defaults from `STDCHK_IO_LANE`
+    /// (`off`/`0`/`false` disables — the pre-lane inline behavior, kept
+    /// as the benchmark baseline).
+    pub io_lane: bool,
+}
+
+impl ServerOpts {
+    /// Reads `STDCHK_IO_LANE`, defaulting to on.
+    pub fn io_lane_from_env() -> bool {
+        !matches!(
+            std::env::var("STDCHK_IO_LANE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    }
 }
 
 impl Default for ServerOpts {
@@ -125,6 +146,7 @@ impl Default for ServerOpts {
             backend: Backend::from_env(),
             workers: 2,
             idle_timeout: Some(std::time::Duration::from_secs(60)),
+            io_lane: ServerOpts::io_lane_from_env(),
         }
     }
 }

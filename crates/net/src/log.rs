@@ -232,6 +232,52 @@ pub fn acquire_dir_lock(dir: &Path) -> io::Result<DirLock> {
     ))
 }
 
+// ------------------------------------------------------- fault injection
+
+/// Test/bench-only fault injection for `sync_data` calls.
+///
+/// A cloneable handle wired into a [`GroupCommit`]: tests and benches
+/// inject a per-flush delay (modelling a slow platter or a deep device
+/// queue) or a hard failure, to observe how fsync tails propagate —
+/// e.g. that an unrelated connection's latency stays decoupled from a
+/// stalled commit once the disk I/O lane is on. Production code never
+/// sets it; the default is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct SyncDelay {
+    /// Injected delay per flush round, in milliseconds.
+    delay_ms: Arc<AtomicU64>,
+    /// When set, flushes fail instead of syncing.
+    fail: Arc<AtomicBool>,
+}
+
+impl SyncDelay {
+    /// Injects `delay` before every subsequent flush (zero clears it).
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_ms
+            .store(delay.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Makes every subsequent flush fail (`false` restores normal
+    /// operation — but note a [`GroupCommit`] that already failed stays
+    /// poisoned).
+    pub fn set_fail(&self, fail: bool) {
+        self.fail.store(fail, Ordering::Relaxed);
+    }
+
+    /// Applies the injected behavior: sleeps the configured delay, then
+    /// errors if failure is armed.
+    fn apply(&self) -> io::Result<()> {
+        let ms = self.delay_ms.load(Ordering::Relaxed);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if self.fail.load(Ordering::Relaxed) {
+            return Err(io::Error::other("injected sync failure"));
+        }
+        Ok(())
+    }
+}
+
 // ------------------------------------------------------------ group commit
 
 /// Watermark state behind the commit lock.
@@ -269,6 +315,8 @@ pub struct GroupCommit {
     /// failed append could not be rolled back) or the flusher died; every
     /// further mutation must refuse rather than corrupt. Sticky.
     poisoned: AtomicBool,
+    /// Test-only injected delay/failure applied per flush round.
+    faults: SyncDelay,
 }
 
 impl GroupCommit {
@@ -286,7 +334,14 @@ impl GroupCommit {
             syncs: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            faults: SyncDelay::default(),
         }
+    }
+
+    /// The watermark's [`SyncDelay`] fault-injection handle (tests and
+    /// benches only; see its docs).
+    pub fn sync_faults(&self) -> &SyncDelay {
+        &self.faults
     }
 
     /// Publishes a new appended-byte count and kicks the flusher so
@@ -330,7 +385,9 @@ impl GroupCommit {
     ///
     /// # Errors
     ///
-    /// Fails once the flusher has hit an I/O error (the log is dead).
+    /// Fails once the flusher has hit an I/O error (the log is dead), or
+    /// once shutdown began with the target still short of durable (the
+    /// flusher is gone; waiting would hang an I/O-lane worker forever).
     pub fn wait_durable(&self, target: u64) -> io::Result<()> {
         let mut c = self.commit.lock();
         loop {
@@ -339,6 +396,9 @@ impl GroupCommit {
             }
             if c.failed {
                 return Err(io::Error::other("log flush failed"));
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return Err(io::Error::other("log shut down before flush"));
             }
             // Nudge the flusher *while holding the commit lock*: the
             // flusher's predicate check and its wait are atomic under this
@@ -350,20 +410,29 @@ impl GroupCommit {
         }
     }
 
-    /// Stops the flusher loop and releases every waiter.
+    /// Stops the flusher loop and releases every waiter (committers
+    /// still short of their target fail instead of hanging).
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         self.work_cv.notify_all();
+        self.done_cv.notify_all();
     }
 
     /// The background group-commit loop: whenever appended bytes outrun
     /// the durable watermark, call `snapshot()` for the current appended
-    /// count and active file, `sync_data` it, and publish the new durable
-    /// point. `snapshot` must be taken under the owner's state lock so
-    /// rotation (which syncs sealed files inline) keeps the invariant
-    /// that syncing the active file covers everything up to the count.
-    /// Runs until [`GroupCommit::begin_shutdown`].
-    pub fn flusher_loop(&self, commit_window: Duration, snapshot: impl Fn() -> (u64, Arc<File>)) {
+    /// count, any sealed-but-unsynced files, and the active file;
+    /// `sync_data` the seals then the active file; and publish the new
+    /// durable point. `snapshot` must be taken under the owner's state
+    /// lock, and rotation must hand every file it seals over through the
+    /// seal list (instead of syncing inline on the appending thread — an
+    /// I/O-lane pump must never eat an fsync), so that syncing seals +
+    /// active covers everything up to the count. Runs until
+    /// [`GroupCommit::begin_shutdown`].
+    pub fn flusher_loop(
+        &self,
+        commit_window: Duration,
+        snapshot: impl Fn() -> (u64, Vec<Arc<File>>, Arc<File>),
+    ) {
         loop {
             {
                 let mut c = self.commit.lock();
@@ -380,9 +449,15 @@ impl GroupCommit {
                 // Let concurrent appends pile into the same sync_data.
                 std::thread::sleep(commit_window);
             }
-            let (cum, file) = snapshot();
-            self.syncs.fetch_add(1, Ordering::Relaxed);
-            let res = file.sync_data();
+            let (cum, seals, file) = snapshot();
+            let res = self.faults.apply().and_then(|()| {
+                for sealed in &seals {
+                    self.syncs.fetch_add(1, Ordering::Relaxed);
+                    sealed.sync_data()?;
+                }
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+                file.sync_data()
+            });
             let mut c = self.commit.lock();
             match res {
                 Ok(()) => c.durable = c.durable.max(cum),

@@ -27,7 +27,7 @@
 //! serve from replayed state immediately, and re-offers demote to a
 //! consistency repair.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -47,6 +47,8 @@ use stdchk_util::Time;
 
 use crate::conn::{read_loop, Clock, Link, Sender};
 use crate::driver::{spawn_node_loop, Effects, NodeHost};
+use crate::iolane::IoLane;
+use crate::log::SyncDelay;
 use crate::metalog::{MetaLog, MetaLogConfig};
 use crate::reactor::{CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig};
 use crate::{Backend, ServerOpts};
@@ -60,14 +62,46 @@ pub const CLIENT_NET_BASE: u64 = 1 << 48;
 /// the registry under *some* id so any pumping thread can route replies.
 pub const HELPER_NET_BASE: u64 = 1 << 49;
 
+/// One drained batch's replies, parked until release.
+struct OutboxEntry {
+    sends: Vec<(NodeId, Msg)>,
+    /// True once the batch's durability (if any) landed; released when
+    /// every earlier batch has also been released.
+    ready: bool,
+}
+
+/// Batch-ordered reply release for the I/O-lane path.
+///
+/// The ordered `NodeHost` executes drained batches strictly in queue
+/// order, so entries are *enqueued* in ticket order; the outbox then
+/// releases them in exactly that order, with a durable batch's sends
+/// held back until its lane-side `wait_appended` completes. That keeps
+/// the end-to-end guarantee intact: no send — from any batch — can
+/// overtake a WAL append queued ahead of it, even though the pump no
+/// longer blocks on the fsync.
+#[derive(Default)]
+struct Outbox {
+    /// Next batch sequence to assign (assigned while batches execute,
+    /// which the ordered host serializes).
+    next_seq: u64,
+    /// Next batch sequence allowed to transmit.
+    next_release: u64,
+    parked: BTreeMap<u64, OutboxEntry>,
+}
+
 /// Effects for the manager: a registry of live connections keyed by node
 /// id, plus — for durable managers — the metadata write-ahead log that
-/// `MetaAppend` actions land in.
+/// `MetaAppend` actions land in, and the disk I/O lane its group-commit
+/// waits ride on.
 pub struct MgrEffects {
     conns: Mutex<HashMap<NodeId, Link>>,
     next_client: AtomicU64,
     next_helper: AtomicU64,
     metalog: Option<Arc<MetaLog>>,
+    /// Durable waits ride here instead of the executing pump (None:
+    /// inline execution, the `STDCHK_IO_LANE=off` baseline).
+    lane: Option<Arc<IoLane>>,
+    outbox: Mutex<Outbox>,
 }
 
 impl MgrEffects {
@@ -86,6 +120,104 @@ impl MgrEffects {
 }
 
 impl MgrEffects {
+    /// The I/O-lane path for one drained batch: append the records
+    /// inline (buffered writes — fixing WAL order at submission), park
+    /// the replies on the batch's outbox slot, and hand only the
+    /// durability *wait* to the lane, whose completion releases the
+    /// slot. Batches without records still take a slot so their sends
+    /// cannot overtake replies parked behind an earlier batch's fsync.
+    ///
+    /// Called only from the ordered host's serialized batch execution,
+    /// which is what makes `next_seq` assignment the ticket order.
+    fn execute_lane(
+        self: &Arc<Self>,
+        lane: &Arc<IoLane>,
+        log: &Arc<MetaLog>,
+        records: Vec<(u64, MetaRecord)>,
+        sends: Vec<(NodeId, Msg)>,
+    ) {
+        if records.is_empty() {
+            let mut ob = self.outbox.lock();
+            let seq = ob.next_seq;
+            ob.next_seq += 1;
+            ob.parked.insert(seq, OutboxEntry { sends, ready: true });
+            self.drain_outbox(&mut ob);
+            return;
+        }
+        let target = match log.submit_append_batch(&records) {
+            Ok(t) => t,
+            Err(e) => {
+                // Same fail-stop as the inline path: the in-memory
+                // manager is already ahead of a log that cannot advance.
+                eprintln!("stdchk-mgr: fatal: metadata WAL append failed: {e}");
+                std::process::abort();
+            }
+        };
+        let seq = {
+            let mut ob = self.outbox.lock();
+            let seq = ob.next_seq;
+            ob.next_seq += 1;
+            ob.parked.insert(
+                seq,
+                OutboxEntry {
+                    sends,
+                    ready: false,
+                },
+            );
+            seq
+        };
+        let this = Arc::clone(self);
+        let log2 = Arc::clone(log);
+        if !lane.submit(move || this.finish_durable(&log2, target, seq)) {
+            // Lane already shut down: degrade to the inline wait (the
+            // shutdown path; ordering still holds — we are the newest
+            // parked entry).
+            self.finish_durable(log, target, seq);
+        }
+    }
+
+    /// Lane job (or shutdown-path inline call): wait out the batch's
+    /// group commit, then release its replies — and everything parked
+    /// behind them — in batch order.
+    fn finish_durable(&self, log: &MetaLog, target: u64, seq: u64) {
+        let res = log.wait_appended(target);
+        let mut ob = self.outbox.lock();
+        let entry = ob.parked.get_mut(&seq).expect("parked batch");
+        if res.is_err() {
+            if log.is_poisoned() {
+                // The flusher hit an I/O error: fail-stop, exactly like
+                // a failed inline append — never ack-then-lose.
+                eprintln!("stdchk-mgr: fatal: metadata WAL flush failed");
+                std::process::abort();
+            }
+            // Shutdown race: drop the replies (indistinguishable from a
+            // crash before transmission; clients retry), but keep the
+            // slot releasing so later entries are not wedged.
+            entry.sends.clear();
+        }
+        entry.ready = true;
+        self.drain_outbox(&mut ob);
+    }
+
+    /// Transmits every consecutive ready batch from the release cursor.
+    /// Runs under the outbox lock: that serializes racing lane
+    /// completions, so the global transmit order equals batch order
+    /// (sends are bounded nonblocking enqueues on the reactor, so the
+    /// hold is short).
+    fn drain_outbox(&self, ob: &mut Outbox) {
+        while ob
+            .parked
+            .get(&ob.next_release)
+            .is_some_and(|entry| entry.ready)
+        {
+            let entry = ob.parked.remove(&ob.next_release).expect("checked");
+            ob.next_release += 1;
+            for (to, msg) in entry.sends {
+                self.transmit(to, &msg);
+            }
+        }
+    }
+
     fn transmit(&self, to: NodeId, msg: &Msg) {
         let conn = self.conns.lock().get(&to).cloned();
         if let Some(conn) = conn {
@@ -266,6 +398,13 @@ impl Effects for Arc<MgrEffects> {
     /// queue order and a send can never overtake the append queued ahead
     /// of it in an earlier batch.
     ///
+    /// With the disk I/O lane attached the pump no longer waits out the
+    /// group commit: the appends still run here (inline, buffered), the
+    /// replies park on the batch's outbox slot, and the lane's
+    /// `wait_appended` completion releases them — still strictly in
+    /// batch order (the outbox), so both invariants survive with the
+    /// fsync tail off the worker.
+    ///
     /// A failed append is fail-stop: the in-memory manager has already
     /// applied mutations the log will never hold, so continuing would
     /// either ack state a restart loses or serve a namespace that
@@ -282,6 +421,11 @@ impl Effects for Arc<MgrEffects> {
                 Action::MetaAppend { seq, record } => records.push((seq, record)),
                 other => unreachable!("manager never requests {other:?}"),
             }
+        }
+        if let (Some(lane), Some(log)) = (&self.lane, &self.metalog) {
+            let (lane, log) = (Arc::clone(lane), Arc::clone(log));
+            self.execute_lane(&lane, &log, records, sends);
+            return;
         }
         if !records.is_empty() {
             let log = self
@@ -305,6 +449,8 @@ pub struct ManagerServer {
     addr: SocketAddr,
     /// The epoll transport (reactor backend only).
     reactor: Option<Reactor>,
+    /// The disk I/O lane (durable mode with the lane enabled).
+    lane: Option<Arc<IoLane>>,
     /// The snapshot-installer thread (durable mode): joined on shutdown
     /// so its `Arc<MetaLog>` — and with it the log directory `LOCK` —
     /// is released promptly for a successor.
@@ -426,11 +572,25 @@ impl ManagerServer {
                 (clock, Some(metalog), mgr)
             }
         };
+        // The disk I/O lane: durable waits (WAL group commits, snapshot
+        // fsync/prune) ride it instead of the pump that drained the
+        // batch. Only a durable manager has durable waits; the
+        // `STDCHK_IO_LANE=off` escape hatch keeps the inline baseline.
+        let lane = if opts.io_lane && metalog.is_some() {
+            Some(Arc::new(IoLane::new()))
+        } else {
+            None
+        };
+        if let (Some(lane), Some(log)) = (&lane, &metalog) {
+            log.set_io_lane(Arc::clone(lane));
+        }
         let effects = Arc::new(MgrEffects {
             conns: Mutex::new(HashMap::new()),
             next_client: AtomicU64::new(CLIENT_NET_BASE),
             next_helper: AtomicU64::new(HELPER_NET_BASE),
             metalog: metalog.clone(),
+            lane: lane.clone(),
+            outbox: Mutex::new(Outbox::default()),
         });
         // Ordered host: WAL appends are queued ahead of the replies they
         // guard, and only in-order batch execution makes that
@@ -528,6 +688,7 @@ impl ManagerServer {
             host,
             addr,
             reactor,
+            lane,
             snapshotter: Mutex::new(snapshotter),
         })
     }
@@ -551,6 +712,19 @@ impl ManagerServer {
             .metalog
             .as_ref()
             .map(|m| m.records_since_snapshot())
+    }
+
+    /// The metadata WAL's [`SyncDelay`] fault-injection handle (`None`
+    /// for a volatile manager). Test/bench instrumentation: inject an
+    /// fsync delay or failure into the WAL flusher to observe how disk
+    /// tails propagate (or, with the I/O lane, don't) to unrelated
+    /// connections.
+    pub fn meta_sync_faults(&self) -> Option<SyncDelay> {
+        self.host
+            .effects()
+            .metalog
+            .as_ref()
+            .map(|m| m.sync_faults())
     }
 
     /// Online benefactor count (for tests and examples).
@@ -584,6 +758,12 @@ impl ManagerServer {
         }
         if let Some(h) = self.snapshotter.lock().take() {
             let _ = h.join();
+        }
+        // Drain the I/O lane last: the MetaLog (and its flusher, which
+        // the queued waits depend on) is still alive — it drops with the
+        // effects, after this returns.
+        if let Some(lane) = &self.lane {
+            lane.shutdown();
         }
     }
 }

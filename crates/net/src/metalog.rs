@@ -34,6 +34,14 @@
 //! interleave the log. Durability is then one group-commit wait per
 //! batch — the same flusher design the chunk store uses.
 //!
+//! The disk I/O lane splits that pair:
+//! [`MetaLog::submit_append_batch`] appends on the submitting thread
+//! (single-submitter: the ordered host serializes batches, so stamps
+//! must simply arrive in order — the condvar wait is replaced by a
+//! hard check) and [`MetaLog::wait_appended`] runs the group-commit
+//! wait on a lane worker, so the pump that drained the batch never
+//! blocks on the fsync tail.
+//!
 //! # Snapshots
 //!
 //! [`MetaLog::install_with`] captures the snapshot *under the append
@@ -59,8 +67,10 @@ use parking_lot::{Condvar, Mutex};
 use stdchk_proto::codec::Wire;
 use stdchk_proto::meta::{MetaRecord, MetaSnapshot};
 
+use crate::iolane::IoLane;
 use crate::log::{
-    acquire_dir_lock, encode_header, record_size, scan_records, write_all_two, DirLock, GroupCommit,
+    acquire_dir_lock, encode_header, record_size, scan_records, write_all_two, DirLock,
+    GroupCommit, SyncDelay,
 };
 
 /// Record kind byte: one framed [`MetaRecord`].
@@ -151,6 +161,12 @@ struct Inner {
     expected_order: u64,
     /// Records appended since the last snapshot install (or open).
     records_since_snapshot: u64,
+    /// Files sealed by rotation whose `sync_data` is still owed; the
+    /// flusher syncs them before the active file so the durable
+    /// watermark never over-promises (see the segment store's
+    /// equivalent). Rotation must not sync inline: the appending thread
+    /// may be an I/O-lane pump.
+    pending_seals: Vec<Arc<File>>,
 }
 
 struct Core {
@@ -168,6 +184,9 @@ pub struct MetaLog {
     /// Serializes [`MetaLog::install_with`] calls (their second phase
     /// runs outside the append lock).
     install_mx: Mutex<()>,
+    /// When attached ([`MetaLog::set_io_lane`]), snapshot installs run
+    /// their fsync/prune phase on the lane instead of the caller.
+    lane: Mutex<Option<Arc<IoLane>>>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     _dir_lock: DirLock,
 }
@@ -351,6 +370,7 @@ impl MetaLog {
                 next_seq,
                 expected_order: 0,
                 records_since_snapshot: records.len() as u64,
+                pending_seals: Vec::new(),
             }),
             order_cv: Condvar::new(),
             gc: GroupCommit::new(appended),
@@ -362,8 +382,9 @@ impl MetaLog {
                     .name("stdchk-meta-flush".into())
                     .spawn(move || {
                         core2.gc.flusher_loop(cfg.commit_window, || {
-                            let inner = core2.inner.lock();
-                            (inner.appended, Arc::clone(&inner.file))
+                            let mut inner = core2.inner.lock();
+                            let seals = std::mem::take(&mut inner.pending_seals);
+                            (inner.appended, seals, Arc::clone(&inner.file))
                         })
                     })
                     .map_err(io::Error::other)?,
@@ -377,6 +398,7 @@ impl MetaLog {
                 cfg,
                 core,
                 install_mx: Mutex::new(()),
+                lane: Mutex::new(None),
                 flusher: Mutex::new(flusher),
                 _dir_lock: dir_lock,
             },
@@ -430,32 +452,94 @@ impl MetaLog {
                         )));
                     }
                 }
-                let payload = record.to_wire_bytes();
-                let mut key = [0u8; 32];
-                key[..8].copy_from_slice(&inner.next_seq.to_le_bytes());
-                let header = encode_header(KIND_META, &key, &payload);
-                let res = self.append_raw(&mut inner, &header, &payload);
-                // Pass the slot on even on failure so waiting successors
-                // fail fast on the poisoned log instead of timing out.
-                inner.expected_order = *order + 1;
-                inner.next_seq += 1;
-                inner.records_since_snapshot += 1;
-                self.core.order_cv.notify_all();
-                match res {
-                    Ok(t) => target = t,
-                    Err(e) => {
-                        // A skipped record would leave a sequence gap no
-                        // later append can repair; the log is done.
-                        self.core.gc.poison();
-                        return Err(e);
-                    }
-                }
+                target = self.append_record(&mut inner, *order, record)?;
             }
         }
-        if self.cfg.sync {
+        self.wait_appended(target)
+    }
+
+    /// Appends one record under the inner lock, advancing the seq/order
+    /// counters *even on failure* (so waiting successors fail fast on
+    /// the poisoned log instead of timing out) and returning the
+    /// watermark the record must be committed to.
+    fn append_record(&self, inner: &mut Inner, order: u64, record: &MetaRecord) -> io::Result<u64> {
+        let payload = record.to_wire_bytes();
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&inner.next_seq.to_le_bytes());
+        let header = encode_header(KIND_META, &key, &payload);
+        let res = self.append_raw(inner, &header, &payload);
+        inner.expected_order = order + 1;
+        inner.next_seq += 1;
+        inner.records_since_snapshot += 1;
+        self.core.order_cv.notify_all();
+        match res {
+            Ok(t) => Ok(t),
+            Err(e) => {
+                // A skipped record would leave a sequence gap no later
+                // append can repair; the log is done.
+                self.core.gc.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// Nonblocking half of [`MetaLog::append_batch`] for the disk I/O
+    /// lane: appends every record *now* — fixing WAL order at submission
+    /// time — and returns the watermark to hand to
+    /// [`MetaLog::wait_appended`] on a lane thread.
+    ///
+    /// Unlike [`MetaLog::append_batch`], an out-of-order stamp is an
+    /// *error*, not a wait: this path has a single submitter (the
+    /// manager's ordered `NodeHost` executes drained batches strictly in
+    /// queue order, which is also stamp order), so a predecessor that
+    /// has not arrived yet can never arrive — the cross-thread
+    /// order-stamp condvar is replaced by this submitter-order check.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a poisoned log, or an out-of-order stamp (a driver
+    /// bug; the log is poisoned, as the gap is unrepairable).
+    pub fn submit_append_batch(&self, batch: &[(u64, MetaRecord)]) -> io::Result<u64> {
+        let mut target = 0;
+        let mut inner = self.core.inner.lock();
+        for (order, record) in batch {
+            if *order != inner.expected_order {
+                self.core.gc.poison();
+                return Err(io::Error::other(format!(
+                    "metadata log submitted out of order: expected {}, got {order}",
+                    inner.expected_order
+                )));
+            }
+            target = self.append_record(&mut inner, *order, record)?;
+        }
+        Ok(target)
+    }
+
+    /// Blocks until everything appended up to `target` (a watermark from
+    /// [`MetaLog::submit_append_batch`]) is covered by a group commit.
+    /// No-op for unsynced logs.
+    ///
+    /// # Errors
+    ///
+    /// The flusher failed (the log is dead) or shut down first; nothing
+    /// guarded by `target` may be acknowledged.
+    pub fn wait_appended(&self, target: u64) -> io::Result<()> {
+        if self.cfg.sync && target > 0 {
             self.core.gc.wait_durable(target)?;
         }
         Ok(())
+    }
+
+    /// True once the log hit an unrepairable failure (every further
+    /// mutation refuses).
+    pub fn is_poisoned(&self) -> bool {
+        self.core.gc.is_poisoned()
+    }
+
+    /// Test/bench fault-injection handle for this log's flusher (see
+    /// [`SyncDelay`]).
+    pub fn sync_faults(&self) -> SyncDelay {
+        self.core.gc.sync_faults().clone()
     }
 
     /// Appends `header ‖ payload` to the active segment (rotating first
@@ -492,12 +576,14 @@ impl MetaLog {
         Ok(inner.appended)
     }
 
-    /// Seals the active segment (synced, so group commit's "sync the
-    /// active file covers everything" invariant holds) and starts `next`.
+    /// Seals the active segment and starts `next`. The seal's
+    /// `sync_data` is deferred to the flusher via `pending_seals` (group
+    /// commit syncs seals before the active file, so the "durable covers
+    /// everything appended" invariant holds without an inline fsync on
+    /// the appending thread).
     fn rotate_to(&self, inner: &mut Inner, next: u64) -> io::Result<()> {
         if self.cfg.sync {
-            self.core.gc.count_sync();
-            inner.file.sync_data()?;
+            inner.pending_seals.push(Arc::clone(&inner.file));
         }
         let file = open_append(&wal_path(&self.dir, next), true)?;
         inner.active = next;
@@ -574,37 +660,32 @@ impl MetaLog {
         // Phase 2, lock-free: persist the snapshot, then prune what it
         // covers. The sealed segments are frozen, so nothing races the
         // unlinks; a crash anywhere here leaves the old base + full log.
-        let res = (|| {
-            let payload = snap.to_wire_bytes();
-            let mut key = [0u8; 32];
-            key[..8].copy_from_slice(&seq.to_le_bytes());
-            let header = encode_header(KIND_SNAPSHOT, &key, &payload);
-            let tmp = self.dir.join("snap-tmp");
-            {
-                let file = File::create(&tmp)?;
-                write_all_two(&file, &header, &payload)?;
-                if self.cfg.sync {
-                    self.core.gc.count_sync();
-                    file.sync_data()?;
+        // With a lane attached the serialize/fsync/prune runs on a lane
+        // worker — it is exactly the class of blocking disk work the
+        // lane owns — and the installer (a background snapshotter
+        // thread, never a pump) blocks on the result either way.
+        let lane = self.lane.lock().clone();
+        let res = match lane {
+            Some(lane) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let dir = self.dir.clone();
+                let sync = self.cfg.sync;
+                let core = Arc::clone(&self.core);
+                let submitted = lane.submit(move || {
+                    let _ = tx.send(install_phase2(&dir, sync, &core, &snap, base, seq));
+                });
+                if submitted {
+                    rx.recv()
+                        .unwrap_or_else(|_| Err(io::Error::other("io lane dropped the install")))
+                } else {
+                    // The lane shut down under us; the work itself is
+                    // unrecoverable here because `snap` moved into the
+                    // refused closure. The old recovery base stays valid.
+                    Err(io::Error::other("io lane shut down mid-install"))
                 }
             }
-            fs::rename(&tmp, snap_path(&self.dir, base))?;
-            if self.cfg.sync {
-                // The rename itself must survive a crash.
-                File::open(&self.dir)?.sync_all()?;
-            }
-            for n in numbered(&self.dir, "wal-", ".log")? {
-                if n < base {
-                    fs::remove_file(wal_path(&self.dir, n))?;
-                }
-            }
-            for n in numbered(&self.dir, "snap-", ".snap")? {
-                if n < base {
-                    fs::remove_file(snap_path(&self.dir, n))?;
-                }
-            }
-            Ok(())
-        })();
+            None => install_phase2(&self.dir, self.cfg.sync, &self.core, &snap, base, seq),
+        };
         if res.is_err() {
             // The tail counter was reset optimistically; re-arm so the
             // driver retries the snapshot instead of waiting for another
@@ -613,6 +694,55 @@ impl MetaLog {
         }
         res
     }
+
+    /// Attaches the disk I/O lane snapshot installs should run their
+    /// fsync/prune phase on.
+    pub fn set_io_lane(&self, lane: Arc<IoLane>) {
+        *self.lane.lock() = Some(lane);
+    }
+}
+
+/// [`MetaLog::install_with`]'s second phase: write the captured snapshot
+/// through a temp file + rename + directory sync, then prune the WAL
+/// segments and older snapshots it covers. Runs lock-free (on the I/O
+/// lane when one is attached); crash-safe at every step.
+fn install_phase2(
+    dir: &Path,
+    sync: bool,
+    core: &Core,
+    snap: &MetaSnapshot,
+    base: u64,
+    seq: u64,
+) -> io::Result<()> {
+    let payload = snap.to_wire_bytes();
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&seq.to_le_bytes());
+    let header = encode_header(KIND_SNAPSHOT, &key, &payload);
+    let tmp = dir.join("snap-tmp");
+    {
+        let file = File::create(&tmp)?;
+        write_all_two(&file, &header, &payload)?;
+        if sync {
+            core.gc.count_sync();
+            file.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, snap_path(dir, base))?;
+    if sync {
+        // The rename itself must survive a crash.
+        File::open(dir)?.sync_all()?;
+    }
+    for n in numbered(dir, "wal-", ".log")? {
+        if n < base {
+            fs::remove_file(wal_path(dir, n))?;
+        }
+    }
+    for n in numbered(dir, "snap-", ".snap")? {
+        if n < base {
+            fs::remove_file(snap_path(dir, n))?;
+        }
+    }
+    Ok(())
 }
 
 /// Reads and validates a snapshot file, returning it plus the sequence
@@ -712,6 +842,74 @@ mod tests {
         drop(mlog);
         let (_m, recovered) = MetaLog::open(&dir).unwrap();
         assert_eq!(recovered.records, vec![rec(0), rec(1)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_then_wait_split_recovers_in_order() {
+        let dir = tmp("lane-split");
+        {
+            let cfg = MetaLogConfig {
+                segment_bytes: 256, // force rotation mid-stream
+                ..Default::default()
+            };
+            let (mlog, _) = MetaLog::open_with(&dir, cfg).unwrap();
+            let mut target = 0;
+            for i in 0..10 {
+                target = mlog.submit_append_batch(&[(i, rec(i))]).unwrap();
+            }
+            assert!(mlog.wal_segment_count().unwrap() > 1);
+            mlog.wait_appended(target).unwrap();
+        }
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.records.len(), 10);
+        for (i, r) in recovered.records.iter().enumerate() {
+            assert_eq!(r, &rec(i as u64));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_submit_poisons_the_log() {
+        // The lane path is single-submitter: a stamp gap can only be a
+        // driver bug, and the log must refuse loudly instead of waiting
+        // for a predecessor that can never arrive.
+        let dir = tmp("lane-gap");
+        let (mlog, _) = MetaLog::open(&dir).unwrap();
+        mlog.submit_append_batch(&[(0, rec(0))]).unwrap();
+        assert!(mlog.submit_append_batch(&[(2, rec(2))]).is_err());
+        assert!(mlog.is_poisoned());
+        assert!(mlog.append(1, &rec(1)).is_err(), "poisoned log refuses");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_installs_through_an_attached_io_lane() {
+        let dir = tmp("lane-snap");
+        let lane = std::sync::Arc::new(crate::iolane::IoLane::new());
+        let snap = MetaSnapshot {
+            next_node: 2,
+            ..MetaSnapshot::default()
+        };
+        {
+            let cfg = MetaLogConfig {
+                segment_bytes: 256,
+                ..Default::default()
+            };
+            let (mlog, _) = MetaLog::open_with(&dir, cfg).unwrap();
+            mlog.set_io_lane(std::sync::Arc::clone(&lane));
+            for i in 0..12 {
+                mlog.append(i, &rec(i)).unwrap();
+            }
+            let before = lane.completed();
+            mlog.install_with(|| snap.clone()).unwrap();
+            assert!(lane.completed() > before, "phase 2 must ride the lane");
+            assert_eq!(mlog.wal_segment_count().unwrap(), 1);
+            mlog.append(12, &rec(99)).unwrap();
+        }
+        let (_m, recovered) = MetaLog::open(&dir).unwrap();
+        assert_eq!(recovered.snapshot, Some(snap));
+        assert_eq!(recovered.records, vec![rec(99)]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

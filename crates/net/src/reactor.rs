@@ -116,13 +116,26 @@ mod sys {
         let _ = ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0);
     }
 
-    /// Waits for events; `EINTR` surfaces as zero events.
-    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+    const EINTR: i32 = 4;
+
+    /// Waits for events. Only `EINTR` surfaces as zero events; any other
+    /// negative return (e.g. `EBADF` from a close race) is a real error
+    /// the caller must fail on — treating it as "no events" would turn
+    /// the event loop into a silent 100% CPU spin.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` errno, except `EINTR`.
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
         if n < 0 {
-            return 0;
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                return Ok(0);
+            }
+            return Err(err);
         }
-        n as usize
+        Ok(n as usize)
     }
 
     pub fn eventfd_new() -> io::Result<i32> {
@@ -716,6 +729,18 @@ impl ReactorHandle {
         }
     }
 
+    /// Nudges worker 0 to recompute its timer sleep. Input delivered by
+    /// reactor workers does this automatically; callers feeding protocol
+    /// state from *outside* the reactor — the disk I/O lane completing a
+    /// durable wait and handing `Stored` completions to the node — use
+    /// this so a re-armed earlier deadline does not sit out the rest of
+    /// worker 0's current sleep.
+    pub fn notify_timer(&self) {
+        if !self.inner.timer_dirty.swap(true, Ordering::Relaxed) {
+            sys::eventfd_wake(self.inner.workers[0].wakefd);
+        }
+    }
+
     /// Runs `f` on the blocking lane — the one thread allowed to block on
     /// dials and RPC round-trips. Jobs run in due order.
     pub fn spawn_blocking(&self, f: impl FnOnce(&ReactorHandle) + Send + 'static) {
@@ -973,8 +998,22 @@ impl Inner {
                 // wedged mid-transfer. Closing produces SendFailed /
                 // conn-down for everything in flight, so sessions fail
                 // over in seconds instead of waiting out deadlines.
-                let pending = !conn.out.lock().enc.is_empty();
-                let last_write = conn.last_write_ms.load(Ordering::Relaxed);
+                //
+                // Occupancy and the stall anchor are read as a pair under
+                // the out lock: `send_on` stamps `last_write_ms` at the
+                // empty→non-empty transition under the same lock, so the
+                // sweep can never pair a just-enqueued frame with a stale
+                // pre-enqueue stamp — a connection that sat write-idle
+                // longer than the stall bound must not be closed on the
+                // first sweep after a new frame lands, before the peer
+                // had any chance to drain it.
+                let (pending, last_write) = {
+                    let out = conn.out.lock();
+                    (
+                        !out.enc.is_empty(),
+                        conn.last_write_ms.load(Ordering::Relaxed),
+                    )
+                };
                 if pending && now_ms.saturating_sub(last_write) >= stall.as_millis() as u64 {
                     self.close_conn(&conn, CloseReason::Backpressure);
                     continue;
@@ -990,9 +1029,13 @@ impl Inner {
                 if now_ms.saturating_sub(last_write) >= ka_ms
                     && now_ms.saturating_sub(last_ping) >= ka_ms
                 {
-                    conn.last_ping_ms.store(now_ms, Ordering::Relaxed);
                     let nonce = self.next_ping.fetch_add(1, Ordering::Relaxed);
-                    let _ = self.send_on(&conn, &Msg::Ping { nonce }, None);
+                    // Stamp only on a successful enqueue: counting a
+                    // failed send as "pinged" would silently skip a full
+                    // keepalive period before the next attempt.
+                    if self.send_on(&conn, &Msg::Ping { nonce }, None).is_ok() {
+                        conn.last_ping_ms.store(now_ms, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -1037,7 +1080,23 @@ fn worker_loop(inner: &Arc<Inner>, idx: usize) {
         } else {
             MAX_SLEEP_MS as i32
         };
-        let n = sys::wait(io.epfd, &mut events, timeout);
+        let n = match sys::wait(io.epfd, &mut events, timeout) {
+            Ok(n) => n,
+            Err(e) => {
+                // A real epoll failure (not EINTR). During shutdown the
+                // epfd may be closed under us — exit quietly; otherwise
+                // fail-stop the whole process: timers, sweeps and
+                // keepalives run exclusively on worker 0, so a silently
+                // dead worker would leave a half-alive server whose
+                // clients hang instead of failing over (and the old
+                // swallow-everything behavior was a 100% CPU spin).
+                if inner.is_shutdown() {
+                    return;
+                }
+                eprintln!("stdchk reactor worker {idx}: fatal: epoll_wait failed: {e}");
+                std::process::abort();
+            }
+        };
         if inner.is_shutdown() {
             return;
         }
@@ -1336,6 +1395,79 @@ mod tests {
             thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(app.closed.lock()[0].1, CloseReason::Backpressure);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn epoll_wait_surfaces_real_errors_and_swallows_nothing_else() {
+        // A closed epfd is exactly the close-race shape: the old code
+        // returned 0 events for *any* negative return, so a worker whose
+        // epfd died would spin at 100% CPU forever instead of failing.
+        let epfd = sys::epoll_create().unwrap();
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 4];
+        // Healthy fd with no events: times out with zero events, no error.
+        assert_eq!(sys::wait(epfd, &mut events, 10).unwrap(), 0);
+        sys::close_fd(epfd);
+        let err = sys::wait(epfd, &mut events, 10).expect_err("EBADF must surface");
+        assert_eq!(err.raw_os_error(), Some(9 /* EBADF */), "{err}");
+    }
+
+    #[test]
+    fn write_idle_connection_is_not_stall_closed_on_fresh_enqueue() {
+        // Regression: the stall clock must anchor at the empty→non-empty
+        // transition. A connection that was write-idle far longer than
+        // `write_stall_timeout` and then gets a frame enqueued must NOT
+        // be closed on the next sweep — only zero progress *since the
+        // enqueue* may trip the detector.
+        let (reactor, app, addr) = spawn_echo(ConnOpts {
+            write_stall_timeout: Some(Duration::from_millis(300)),
+            ..ConnOpts::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // One small roundtrip establishes write progress, then the server
+        // side sits write-idle well past the stall bound.
+        stdchk_proto::frame::write_frame(&mut stream, &Msg::Ack { req: RequestId(1) }).unwrap();
+        let _ = stdchk_proto::frame::read_frame(&mut stream)
+            .unwrap()
+            .unwrap();
+        thread::sleep(Duration::from_millis(800));
+        // Ask for a payload big enough (past any loopback socket
+        // buffering) that the server's outbound buffer is non-empty
+        // across several sweeps while we drain it slowly-but-steadily.
+        const BODY: usize = 4 << 20;
+        let big = Msg::PutChunk {
+            req: RequestId(2),
+            chunk: stdchk_proto::ids::ChunkId::for_content(b"anchor"),
+            size: BODY as u32,
+            data: bytes::Bytes::from(vec![9u8; BODY]),
+            background: false,
+        };
+        stdchk_proto::frame::write_frame(&mut stream, &big).unwrap();
+        // Drain the echo in slow slices: progress continues, so even
+        // though the buffer stays non-empty across sweeps no close may
+        // fire.
+        let mut got = 0usize;
+        let mut buf = vec![0u8; 64 << 10];
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while got < BODY {
+            assert!(Instant::now() < deadline, "echo stalled at {got}");
+            let n = stream.read(&mut buf).expect("echoed bytes");
+            assert!(
+                n > 0,
+                "connection closed after {got} bytes — spurious stall close: {:?}",
+                *app.closed.lock()
+            );
+            got += n;
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            app.closed.lock().is_empty(),
+            "write-idle + fresh enqueue must not be stall-closed: {:?}",
+            *app.closed.lock()
+        );
         reactor.shutdown();
     }
 

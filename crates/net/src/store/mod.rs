@@ -84,6 +84,63 @@ pub trait ChunkStore: Send + Sync + 'static {
         Ok(())
     }
 
+    /// Nonblocking half of [`ChunkStore::put_batch`] for the disk I/O
+    /// lane: stage/append the whole batch *now* — fixing the engine's
+    /// record order at submission time — and return an engine-defined
+    /// token. The bytes are durable only once [`ChunkStore::wait_put`]
+    /// returns `Ok` for that token; the driver runs that wait on a lane
+    /// thread so a pump never blocks on an fsync tail.
+    ///
+    /// The default performs the full blocking [`ChunkStore::put_batch`]
+    /// inline and returns a token whose wait is a no-op: engines without
+    /// a separable durability wait (in-memory, file-per-chunk) keep
+    /// their existing behavior.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures staging the batch; nothing from the batch should be
+    /// considered stored.
+    fn submit_put_batch(&self, batch: &[(ChunkId, &[u8])]) -> io::Result<u64> {
+        self.put_batch(batch)?;
+        Ok(0)
+    }
+
+    /// Blocks until the batch identified by `token` (from
+    /// [`ChunkStore::submit_put_batch`]) is durable.
+    ///
+    /// # Errors
+    ///
+    /// The batch did not (and will never) become durable; the caller
+    /// must ack none of it.
+    fn wait_put(&self, token: u64) -> io::Result<()> {
+        let _ = token;
+        Ok(())
+    }
+
+    /// Switches the store into *deferred maintenance* mode (or back):
+    /// mutation paths stop running expensive reclamation (segment
+    /// compaction, with its fsyncs) inline and instead queue candidates
+    /// for [`ChunkStore::maintain`], which the driver runs on the disk
+    /// I/O lane — so a GC-driven compaction never executes on the pump
+    /// thread that delivered the `DropChunk`. A caller that enables
+    /// this owns calling `maintain` (the benefactor schedules it after
+    /// deletes and store batches). Default: no-op — engines without
+    /// background maintenance ignore it.
+    fn set_deferred_maintenance(&self, deferred: bool) {
+        let _ = deferred;
+    }
+
+    /// Runs queued background maintenance (e.g. segment compaction).
+    /// Cheap when nothing is queued. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium; unprocessed candidates stay
+    /// queued for the next call.
+    fn maintain(&self) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Reads the chunk back, or `None` if absent.
     ///
     /// # Errors

@@ -95,7 +95,7 @@ use stdchk_util::crc32::Crc32;
 
 use crate::log::{
     acquire_dir_lock, encode_header, read_record, record_size, write_all_two, DirLock, GroupCommit,
-    HEADER,
+    SyncDelay, HEADER,
 };
 
 use super::ChunkStore;
@@ -172,9 +172,20 @@ struct Shared {
     /// Monotonic count of bytes appended across all segments; group commit
     /// waits on this watermark.
     appended: u64,
+    /// Files sealed by rotation whose `sync_data` is still owed. Rotation
+    /// defers the seal sync here instead of running it inline — the
+    /// appending thread may be an I/O-lane pump that must never eat an
+    /// fsync — and the flusher (or an inline durability point) syncs them
+    /// before the active file, preserving "syncing up to `appended` covers
+    /// every sealed byte".
+    pending_seals: Vec<Arc<File>>,
     /// A compaction is in progress (re-entrancy guard: its appends can
     /// rotate, and rotation's sweep must not nest another compaction).
     compacting: bool,
+    /// Deferred-maintenance mode only: sealed segments over the dead
+    /// threshold, waiting for [`ChunkStore::maintain`] to compact them
+    /// (on the disk I/O lane) instead of the mutating thread.
+    compact_queue: Vec<u64>,
 }
 
 /// State shared between the store handle and its background flusher. The
@@ -192,6 +203,8 @@ pub struct SegmentStore {
     dir: PathBuf,
     cfg: SegmentStoreConfig,
     core: Arc<Core>,
+    /// Deferred-maintenance mode (see [`ChunkStore::set_deferred_maintenance`]).
+    deferred: std::sync::atomic::AtomicBool,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Exclusive claim on the directory, released on drop.
     _dir_lock: DirLock,
@@ -270,7 +283,9 @@ impl SegmentStore {
             active: 0,
             active_len: 0,
             appended: 0,
+            pending_seals: Vec::new(),
             compacting: false,
+            compact_queue: Vec::new(),
         };
 
         // Replay, oldest segment first (compaction only ever moves records
@@ -366,14 +381,17 @@ impl SegmentStore {
                 std::thread::Builder::new()
                     .name("stdchk-seg-flush".into())
                     .spawn(move || {
-                        // Snapshot under the shared lock: rotation syncs
-                        // sealed segments inline, so syncing the current
-                        // active file makes everything up to the appended
-                        // count durable.
+                        // Snapshot under the shared lock: rotation hands
+                        // sealed-but-unsynced files over via
+                        // `pending_seals`, so syncing those plus the
+                        // current active file makes everything up to the
+                        // appended count durable.
                         core2.gc.flusher_loop(cfg.commit_window, || {
-                            let shared = core2.shared.lock();
+                            let mut shared = core2.shared.lock();
+                            let seals = std::mem::take(&mut shared.pending_seals);
                             (
                                 shared.appended,
+                                seals,
                                 Arc::clone(&shared.segs[&shared.active].file),
                             )
                         })
@@ -387,6 +405,7 @@ impl SegmentStore {
             dir,
             cfg,
             core,
+            deferred: std::sync::atomic::AtomicBool::new(false),
             flusher: Mutex::new(flusher),
             _dir_lock: dir_lock,
         };
@@ -417,12 +436,38 @@ impl SegmentStore {
         file.sync_data()
     }
 
+    /// Inline durability point: syncs every pending sealed file plus the
+    /// active segment, after which everything appended so far may be
+    /// marked durable. Caller holds the shared lock.
+    fn sync_all(&self, shared: &mut Shared) -> io::Result<()> {
+        let seals = std::mem::take(&mut shared.pending_seals);
+        for sealed in &seals {
+            if let Err(e) = self.sync_file(sealed) {
+                // The seal list was drained; a sealed file of unknown
+                // durability can never be made safe again.
+                self.core.gc.poison();
+                return Err(e);
+            }
+        }
+        self.sync_file(&shared.segs[&shared.active].file)
+    }
+
+    /// Test/bench fault-injection handle for this store's flusher (see
+    /// [`SyncDelay`]).
+    pub fn sync_faults(&self) -> SyncDelay {
+        self.core.gc.sync_faults().clone()
+    }
+
     /// Seals the active segment and opens the next one. Caller holds the
-    /// shared lock. The sealed file is synced first so sealed segments are
-    /// always fully durable (group commit relies on this).
+    /// shared lock. The sealed file's `sync_data` is *deferred* to the
+    /// flusher via `pending_seals` (an appending thread — possibly an
+    /// I/O-lane pump — must never eat an inline fsync); group commit
+    /// still covers sealed bytes because the flusher syncs pending seals
+    /// before advancing the durable watermark.
     fn rotate(&self, shared: &mut Shared) -> io::Result<()> {
         if self.cfg.sync {
-            self.sync_file(&shared.segs[&shared.active].file)?;
+            let sealed = Arc::clone(&shared.segs[&shared.active].file);
+            shared.pending_seals.push(sealed);
         }
         let next = shared.active + 1;
         let file = OpenOptions::new()
@@ -442,8 +487,23 @@ impl SegmentStore {
         shared.active_len = 0;
         // Seal-time sweep: the segment just sealed may already be past the
         // dead threshold (every chunk deleted/overwritten while it was
-        // active) and no future delete will name it.
-        self.sweep_sealed(shared)?;
+        // active) and no future delete will name it. In deferred mode the
+        // candidates queue for `maintain` (the I/O lane) instead — the
+        // rotating thread may be a pump that must not eat compaction
+        // fsyncs.
+        if self.is_deferred() {
+            let sealed: Vec<u64> = shared
+                .segs
+                .keys()
+                .copied()
+                .filter(|&k| k != shared.active)
+                .collect();
+            for n in sealed {
+                self.queue_candidate(shared, n);
+            }
+        } else {
+            self.sweep_sealed(shared)?;
+        }
         Ok(())
     }
 
@@ -553,9 +613,11 @@ impl SegmentStore {
             }
             off += size;
         }
-        // The copies must be durable before the originals disappear.
+        // The copies must be durable before the originals disappear. The
+        // inline sync must also cover any rotation-deferred seal syncs,
+        // or marking `appended` durable would over-promise.
         if self.cfg.sync {
-            self.sync_file(&shared.segs[&shared.active].file)?;
+            self.sync_all(shared)?;
             self.core.gc.mark_durable(shared.appended);
         }
         shared.segs.remove(&n);
@@ -563,28 +625,43 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// True when deferred-maintenance mode routes compaction through
+    /// [`ChunkStore::maintain`] instead of the mutating thread.
+    fn is_deferred(&self) -> bool {
+        self.deferred.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether sealed segment `n` has crossed the dead-byte threshold.
+    fn over_threshold(&self, shared: &Shared, n: u64) -> bool {
+        if n == shared.active {
+            return false;
+        }
+        let Some(s) = shared.segs.get(&n) else {
+            return false;
+        };
+        s.total > 0 && 1.0 - (s.live as f64 / s.total as f64) >= self.cfg.compact_dead_ratio
+    }
+
+    /// Deferred mode: remembers `n` for the next [`ChunkStore::maintain`]
+    /// instead of compacting here. Caller holds the shared lock.
+    fn queue_candidate(&self, shared: &mut Shared, n: u64) {
+        if self.over_threshold(shared, n) && !shared.compact_queue.contains(&n) {
+            shared.compact_queue.push(n);
+        }
+    }
+
     /// Compacts sealed segment `n` if its dead ratio crossed the threshold.
     /// Caller holds the shared lock. Re-entrancy guarded: a compaction's
     /// own appends can rotate the active segment, whose seal-time sweep
     /// must not start a nested compaction.
     fn maybe_compact(&self, shared: &mut Shared, n: u64) -> io::Result<()> {
-        if n == shared.active || shared.compacting {
+        if shared.compacting || !self.over_threshold(shared, n) {
             return Ok(());
         }
-        let Some(s) = shared.segs.get(&n) else {
-            return Ok(());
-        };
-        if s.total == 0 {
-            return Ok(());
-        }
-        let dead_ratio = 1.0 - (s.live as f64 / s.total as f64);
-        if dead_ratio >= self.cfg.compact_dead_ratio {
-            shared.compacting = true;
-            let res = self.compact(shared, n);
-            shared.compacting = false;
-            res?;
-        }
-        Ok(())
+        shared.compacting = true;
+        let res = self.compact(shared, n);
+        shared.compacting = false;
+        res
     }
 
     /// Checks every sealed segment against the compaction threshold. Runs
@@ -654,21 +731,56 @@ impl ChunkStore for SegmentStore {
     }
 
     fn put_batch(&self, batch: &[(ChunkId, &[u8])]) -> io::Result<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        // Interleave checksumming and appending record by record — the
-        // flusher is already pushing earlier records to the platter while
-        // later ones are still being CRC'd — then one group commit covers
-        // the whole batch.
+        let target = self.submit_put_batch(batch)?;
+        self.wait_put(target)
+    }
+
+    /// The nonblocking submission half: interleaves checksumming and
+    /// appending record by record — the flusher is already pushing
+    /// earlier records to the platter while later ones are still being
+    /// CRC'd — and returns the watermark one [`ChunkStore::wait_put`]
+    /// group commit must cover. Appending inline (on the submitting
+    /// thread) is what fixes the on-disk record order at submission
+    /// time: a tombstone or overwrite executed after this call lands
+    /// after these records no matter when the lane runs the wait.
+    fn submit_put_batch(&self, batch: &[(ChunkId, &[u8])]) -> io::Result<u64> {
         let mut target = 0;
         for (id, data) in batch {
             let header = encode_header(KIND_PUT, id.as_bytes(), data);
             let mut shared = self.core.shared.lock();
             target = self.append_put(&mut shared, *id, &header, data)?;
         }
-        if self.cfg.sync {
-            self.group_commit(target)?;
+        Ok(target)
+    }
+
+    fn wait_put(&self, token: u64) -> io::Result<()> {
+        if self.cfg.sync && token > 0 {
+            self.group_commit(token)?;
+        }
+        Ok(())
+    }
+
+    fn set_deferred_maintenance(&self, deferred: bool) {
+        self.deferred
+            .store(deferred, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Compacts every queued candidate. Runs on the caller's thread —
+    /// the benefactor schedules it on the disk I/O lane after deletes
+    /// and store batches. The shared lock is held across each
+    /// compaction (as it always was for the inline path), so store
+    /// mutations contend with a running compaction; what this mode
+    /// removes is the pump *itself* eating the copy + fsync.
+    fn maintain(&self) -> io::Result<()> {
+        let mut shared = self.core.shared.lock();
+        let mut pending = std::mem::take(&mut shared.compact_queue);
+        while let Some(n) = pending.pop() {
+            if let Err(e) = self.maybe_compact(&mut shared, n) {
+                // Unprocessed candidates stay queued for the next call.
+                pending.push(n);
+                shared.compact_queue.extend(pending);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -717,10 +829,18 @@ impl ChunkStore for SegmentStore {
         }
         // Tombstone so a restart does not resurrect the chunk. Not synced:
         // losing it to a crash only re-surfaces a chunk the next GC pass
-        // deletes again.
+        // deletes again. The tombstone append itself stays on this
+        // thread in every mode — it is what fixes the delete's position
+        // in the record order.
         let header = encode_header(KIND_TOMBSTONE, id.as_bytes(), &[]);
         self.append(&mut shared, &header, &[])?;
-        self.maybe_compact(&mut shared, old.seg)?;
+        if self.is_deferred() {
+            // Compaction (and its fsyncs) waits for `maintain` on the
+            // I/O lane; this thread may be a reactor pump.
+            self.queue_candidate(&mut shared, old.seg);
+        } else {
+            self.maybe_compact(&mut shared, old.seg)?;
+        }
         Ok(())
     }
 
@@ -995,6 +1115,82 @@ mod tests {
             store.get(victim_id).unwrap().is_none(),
             "compaction dropped a tombstone still guarding an older record"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_maintenance_compacts_only_in_maintain() {
+        // I/O-lane mode: deletes must not run compaction (and its
+        // fsyncs) on the calling thread; candidates queue until
+        // `maintain` — which the benefactor schedules on the lane.
+        let dir = tmp("deferred");
+        let cfg = SegmentStoreConfig {
+            segment_bytes: 8 << 10,
+            compact_dead_ratio: 0.5,
+            ..Default::default()
+        };
+        let store = SegmentStore::open_with(&dir, cfg).unwrap();
+        store.set_deferred_maintenance(true);
+        let mut ids = Vec::new();
+        for i in 0..32 {
+            let (id, data) = chunk(400 + i, 1 << 10);
+            store.put(id, &data).unwrap();
+            ids.push((id, data));
+        }
+        let before = store.segment_count();
+        assert!(before >= 4);
+        for (id, _) in ids.iter().take(24) {
+            store.delete(*id).unwrap();
+        }
+        // Tombstone appends may rotate (count can grow), but nothing may
+        // be compacted away on the deleting thread.
+        assert!(
+            store.segment_count() >= before,
+            "deferred mode must not compact on the deleting thread ({} -> {})",
+            before,
+            store.segment_count()
+        );
+        store.maintain().unwrap();
+        assert!(
+            store.segment_count() < before,
+            "maintain must run the queued compactions ({} -> {})",
+            before,
+            store.segment_count()
+        );
+        for (id, data) in ids.iter().skip(24) {
+            assert_eq!(&store.get(*id).unwrap().unwrap()[..], &data[..]);
+        }
+        // And the survivors replay after a restart.
+        drop(store);
+        let store = SegmentStore::open_with(&dir, cfg).unwrap();
+        assert_eq!(store.ids().unwrap().len(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_then_wait_split_survives_rotation_and_restart() {
+        // The I/O-lane split: submit (append, fix record order) on one
+        // "thread", wait (group commit) later — with a tiny segment cap
+        // so the batch rotates mid-submit, exercising the deferred
+        // seal-sync path (the flusher must sync the sealed file before
+        // the wait may return).
+        let dir = tmp("lane-split");
+        let cfg = SegmentStoreConfig {
+            segment_bytes: 4 << 10,
+            ..Default::default()
+        };
+        let store = SegmentStore::open_with(&dir, cfg).unwrap();
+        let chunks: Vec<_> = (0..12).map(|i| chunk(900 + i, 1 << 10)).collect();
+        let batch: Vec<(ChunkId, &[u8])> = chunks.iter().map(|(id, d)| (*id, &d[..])).collect();
+        let token = store.submit_put_batch(&batch).unwrap();
+        assert!(token > 0);
+        assert!(store.segment_count() > 1, "batch must span a rotation");
+        store.wait_put(token).unwrap();
+        drop(store);
+        let store = SegmentStore::open_with(&dir, cfg).unwrap();
+        for (id, data) in &chunks {
+            assert_eq!(&store.get(*id).unwrap().unwrap()[..], &data[..]);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -692,6 +692,7 @@ fn reactor_reaps_stalled_connection() {
             backend: Backend::Reactor,
             workers: 2,
             idle_timeout: Some(Duration::from_millis(400)),
+            ..ServerOpts::default()
         },
     )
     .expect("manager");
@@ -716,6 +717,126 @@ fn reactor_reaps_stalled_connection() {
     // The reaper only takes silent peers: a live client still works.
     let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
     assert!(grid.list("/").is_ok());
+}
+
+/// The disk I/O lane's contract: with a 100 ms fsync delay injected into
+/// the manager's WAL flusher and durable commits churning on other
+/// connections, an *unrelated* connection's transport Ping/Pong RTT must
+/// stay an order of magnitude below the delay. The manager runs one
+/// reactor worker, so every socket shares it — before the lane, the
+/// worker ate each commit's group-commit wait and the probe's pings
+/// queued behind 100 ms fsync tails.
+#[test]
+fn io_lane_decouples_unrelated_rtt_from_fsync_tails() {
+    use stdchk_proto::frame::{read_frame, write_frame};
+    use stdchk_proto::msg::Msg;
+
+    if Backend::from_env() != Backend::Reactor || !ServerOpts::io_lane_from_env() {
+        // The inline (`STDCHK_IO_LANE=off`) and threaded baselines
+        // intentionally pay the tail on the delivering thread; this
+        // decoupling contract is lane-only (the iolane bench measures
+        // the baseline for comparison).
+        return;
+    }
+    const DELAY: Duration = Duration::from_millis(100);
+    const FILES: usize = 12;
+    let meta_dir = std::env::temp_dir().join(format!("stdchk-mgr-lane-{}", std::process::id()));
+    std::fs::remove_dir_all(&meta_dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    let mgr = ManagerServer::spawn_durable_tuned(
+        "127.0.0.1:0",
+        pool_cfg,
+        &meta_dir,
+        stdchk_net::metalog::MetaLogConfig::default(),
+        ServerOpts {
+            backend: Backend::Reactor,
+            workers: 1,
+            ..ServerOpts::default()
+        },
+    )
+    .expect("durable manager");
+    let _benefactor = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 256 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store: Arc::new(MemStore::new()),
+    })
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Every WAL flush now waits out an injected 100 ms "slow platter".
+    mgr.meta_sync_faults()
+        .expect("durable manager")
+        .set_delay(DELAY);
+
+    // The probe: a raw connection whose transport pings the reactor's
+    // connection layer answers on the same single worker that owns the
+    // commit traffic. No handshake needed — Ping never reaches the app.
+    let mut probe = std::net::TcpStream::connect(mgr.addr()).expect("probe connect");
+    probe.set_nodelay(true).ok();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    // Commit churn: every `finish` write-ahead-logs a Commit record and
+    // its ack waits out the delayed group commit (on the lane).
+    let addr = mgr.addr().to_string();
+    let writer = std::thread::spawn(move || {
+        let grid = Grid::connect(&addr).expect("writer connect");
+        let start = Instant::now();
+        for i in 0..FILES {
+            let data = payload(64 << 10, 7000 + i as u64);
+            let mut w = grid
+                .create(&format!("/lane/f{i}.n0"), WriteOptions::default())
+                .expect("create");
+            w.write_all(&data).expect("write");
+            w.finish().expect("finish");
+        }
+        start.elapsed()
+    });
+
+    // Sample RTTs while the commits churn.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut rtts = Vec::new();
+    for nonce in 1..=40u64 {
+        let t0 = Instant::now();
+        write_frame(&mut probe, &Msg::Ping { nonce }).expect("ping");
+        loop {
+            match read_frame(&mut probe).expect("pong").expect("conn open") {
+                Msg::Pong { nonce: n } if n == nonce => break,
+                _ => {}
+            }
+        }
+        rtts.push(t0.elapsed());
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    let commit_wall = writer.join().expect("writer");
+    // The tails were real: each of the 12 commits waited out (a share
+    // of) the injected delay.
+    assert!(
+        commit_wall >= DELAY * 4,
+        "commits finished in {commit_wall:?} — the injected delay never engaged"
+    );
+    rtts.sort_unstable();
+    let p50 = rtts[rtts.len() / 2];
+    let p90 = rtts[rtts.len() * 9 / 10];
+    assert!(
+        p50 < DELAY / 10,
+        "median probe RTT {p50:?} not an order of magnitude below the {DELAY:?} fsync delay \
+         (all: {rtts:?})"
+    );
+    assert!(
+        p90 < DELAY / 2,
+        "p90 probe RTT {p90:?} still coupled to the fsync tail (all: {rtts:?})"
+    );
+    drop(mgr);
+    std::fs::remove_dir_all(&meta_dir).ok();
 }
 
 #[test]
