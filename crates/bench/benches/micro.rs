@@ -147,6 +147,7 @@ fn bench_manager(c: &mut Criterion) {
                             entries: vec![stdchk_proto::ChunkEntry { id, size: 1 << 20 }],
                             placements: vec![(id, vec![stripe[0]])],
                             pessimistic: false,
+                            dedup: Default::default(),
                         },
                         Time::ZERO,
                     );

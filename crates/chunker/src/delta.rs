@@ -1,0 +1,401 @@
+//! Rolling-checksum delta encoding for near-miss chunks (rsync-style).
+//!
+//! Have/want negotiation removes chunks that are *byte-identical* to ones
+//! the pool already stores. Successive checkpoints also produce near
+//! misses: a chunk at the same file offset whose content shifted or
+//! mutated slightly. For those the client encodes the new chunk as a
+//! delta against the previous version's chunk at the same position (the
+//! *basis*), using the classic weak-then-strong scheme:
+//!
+//! 1. [`ChunkSignature::build`] splits the basis into fixed blocks and
+//!    records a weak rolling checksum ([`RollingHash`]) plus a strong
+//!    CRC-32C digest per block.
+//! 2. [`delta_encode`] slides the weak hash over the new chunk one byte at
+//!    a time (O(1) per position); on a weak match it confirms with the
+//!    strong hash and emits a `Copy` op, otherwise the byte joins a
+//!    `Literal` run. CRC-32C (hardware-accelerated where available) is
+//!    strong *enough* here because the benefactor verifies the
+//!    reconstructed chunk against its content-addressed id before storing
+//!    it — a confirm collision costs one rejected delta and a full
+//!    resend, never a corrupt store.
+//! 3. [`delta_apply`] replays the ops against the basis to reconstruct
+//!    the chunk byte-for-byte. The benefactor does this *before* the
+//!    store append, so segments only ever hold full chunks and the read
+//!    path never learns deltas exist.
+//!
+//! The encoding is self-delimiting and intentionally simple:
+//!
+//! ```text
+//! op   := 0x00 len:u32le bytes[len]          literal
+//!       | 0x01 offset:u64le len:u32le        copy from basis
+//! delta := op*
+//! ```
+//!
+//! Adjacent copies of consecutive basis ranges merge into one op.
+//! [`delta_encode`] returns `None` when the encoding would not beat
+//! sending the chunk in full — the caller then falls back to `PutChunk`.
+
+use stdchk_util::crc32::Crc32;
+use stdchk_util::rolling::RollingHash;
+
+use std::collections::HashMap;
+
+/// Default signature block size. Small enough to find matches after
+/// sub-chunk shifts, large enough that a signature is ~1% of the basis.
+pub const DEFAULT_BLOCK: usize = 2048;
+
+/// Op-code for a literal run.
+const OP_LITERAL: u8 = 0x00;
+/// Op-code for a copy from the basis.
+const OP_COPY: u8 = 0x01;
+
+/// Per-block checksums of a basis chunk, the client-side half of the
+/// delta handshake. Built once when a chunk ships and cached for the next
+/// version of the same file.
+#[derive(Clone, Debug)]
+pub struct ChunkSignature {
+    /// Block size the signature was built with.
+    block: usize,
+    /// Basis length in bytes (whole blocks + ignored tail).
+    basis_len: usize,
+    /// weak hash → indices of blocks with that weak hash.
+    weak: HashMap<u64, Vec<u32>>,
+    /// Strong digest (CRC-32C) per block, indexed by block number.
+    strong: Vec<u32>,
+}
+
+impl ChunkSignature {
+    /// Builds the signature of `basis` with the given block size. Only
+    /// whole blocks participate; a short tail is never matched (it is
+    /// cheaper to ship it literally than to special-case it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn build(basis: &[u8], block: usize) -> Self {
+        assert!(block > 0, "block size must be non-zero");
+        let blocks = basis.len() / block;
+        let mut weak: HashMap<u64, Vec<u32>> = HashMap::with_capacity(blocks);
+        let mut strong = Vec::with_capacity(blocks);
+        for i in 0..blocks {
+            let b = &basis[i * block..(i + 1) * block];
+            let mut rh = RollingHash::new(block);
+            for &byte in b {
+                rh.push(byte);
+            }
+            weak.entry(rh.value()).or_default().push(i as u32);
+            strong.push(Crc32::checksum(b));
+        }
+        ChunkSignature {
+            block,
+            basis_len: basis.len(),
+            weak,
+            strong,
+        }
+    }
+
+    /// Builds the signature with [`DEFAULT_BLOCK`].
+    pub fn of(basis: &[u8]) -> Self {
+        Self::build(basis, DEFAULT_BLOCK)
+    }
+
+    /// The block size this signature was built with.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Length in bytes of the basis chunk.
+    pub fn basis_len(&self) -> usize {
+        self.basis_len
+    }
+
+    /// Finds the basis block matching `window` (weak hash pre-computed by
+    /// the caller's rolling scan), confirming with the strong digest.
+    fn find(&self, weak: u64, window: &[u8]) -> Option<u32> {
+        let candidates = self.weak.get(&weak)?;
+        let digest = Crc32::checksum(window);
+        candidates
+            .iter()
+            .copied()
+            .find(|&i| self.strong[i as usize] == digest)
+    }
+}
+
+/// Encodes `new` as a delta against the chunk `sig` describes.
+///
+/// Returns `None` when the delta would be at least as large as `new`
+/// itself (plus when the signature has no blocks at all) — the caller
+/// should ship the full chunk instead, so a returned delta is always a
+/// strict win on the wire.
+pub fn delta_encode(sig: &ChunkSignature, new: &[u8]) -> Option<Vec<u8>> {
+    if sig.strong.is_empty() || new.len() < sig.block {
+        return None;
+    }
+    let block = sig.block;
+    let mut out = DeltaWriter::new(new.len());
+    let mut rh = RollingHash::new(block);
+    for &b in &new[..block] {
+        rh.push(b);
+    }
+    // `pos` is the start of the current window; bytes before `emitted`
+    // are already encoded.
+    let mut pos = 0usize;
+    let mut emitted = 0usize;
+    loop {
+        if let Some(idx) = sig.find(rh.value(), &new[pos..pos + block]) {
+            out.literal(&new[emitted..pos]);
+            out.copy(idx as u64 * block as u64, block as u32);
+            pos += block;
+            emitted = pos;
+            if pos + block > new.len() {
+                break;
+            }
+            rh.reset();
+            for &b in &new[pos..pos + block] {
+                rh.push(b);
+            }
+        } else {
+            if pos + block >= new.len() {
+                break;
+            }
+            rh.slide(new[pos], new[pos + block]);
+            pos += 1;
+        }
+        if out.len() >= new.len() {
+            return None; // already losing; bail before scanning more
+        }
+    }
+    out.literal(&new[emitted..]);
+    if out.len() >= new.len() {
+        None
+    } else {
+        Some(out.into_bytes())
+    }
+}
+
+/// Error from [`delta_apply`]: the delta referenced bytes outside the
+/// basis or was itself malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaError(pub String);
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad delta: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Reconstructs the full chunk from `basis` and a delta ops stream.
+///
+/// # Errors
+///
+/// Returns [`DeltaError`] on truncated ops, unknown op-codes, or copy
+/// ranges that fall outside the basis. Never panics on untrusted input.
+pub fn delta_apply(basis: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::new();
+    let mut d = delta;
+    while !d.is_empty() {
+        let op = d[0];
+        d = &d[1..];
+        match op {
+            OP_LITERAL => {
+                let len = read_u32(&mut d)? as usize;
+                if d.len() < len {
+                    return Err(DeltaError(format!(
+                        "literal of {len} bytes but only {} remain",
+                        d.len()
+                    )));
+                }
+                out.extend_from_slice(&d[..len]);
+                d = &d[len..];
+            }
+            OP_COPY => {
+                let offset = read_u64(&mut d)? as usize;
+                let len = read_u32(&mut d)? as usize;
+                let end = offset
+                    .checked_add(len)
+                    .ok_or_else(|| DeltaError("copy range overflows".into()))?;
+                if end > basis.len() {
+                    return Err(DeltaError(format!(
+                        "copy {offset}+{len} exceeds basis of {} bytes",
+                        basis.len()
+                    )));
+                }
+                out.extend_from_slice(&basis[offset..end]);
+            }
+            other => return Err(DeltaError(format!("unknown op {other:#04x}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the ops stream, merging adjacent copies of consecutive ranges.
+struct DeltaWriter {
+    buf: Vec<u8>,
+    /// Offset in `buf` of the pending copy op, with its basis range, so a
+    /// following contiguous copy can extend it in place.
+    pending_copy: Option<(usize, u64, u32)>,
+}
+
+impl DeltaWriter {
+    fn new(cap_hint: usize) -> Self {
+        DeltaWriter {
+            buf: Vec::with_capacity(cap_hint / 8),
+            pending_copy: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn literal(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.pending_copy = None;
+        self.buf.push(OP_LITERAL);
+        self.buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn copy(&mut self, offset: u64, len: u32) {
+        if let Some((at, start, run)) = self.pending_copy {
+            if start + run as u64 == offset {
+                let merged = run + len;
+                self.buf[at + 9..at + 13].copy_from_slice(&merged.to_le_bytes());
+                self.pending_copy = Some((at, start, merged));
+                return;
+            }
+        }
+        let at = self.buf.len();
+        self.buf.push(OP_COPY);
+        self.buf.extend_from_slice(&offset.to_le_bytes());
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.pending_copy = Some((at, offset, len));
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+fn read_u32(d: &mut &[u8]) -> Result<u32, DeltaError> {
+    if d.len() < 4 {
+        return Err(DeltaError("truncated u32".into()));
+    }
+    let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+    *d = &d[4..];
+    Ok(v)
+}
+
+fn read_u64(d: &mut &[u8]) -> Result<u64, DeltaError> {
+    if d.len() < 8 {
+        return Err(DeltaError("truncated u64".into()));
+    }
+    let v = u64::from_le_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]);
+    *d = &d[8..];
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stdchk_util::mix64;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        (0..len).map(|i| mix64(seed ^ i as u64) as u8).collect()
+    }
+
+    #[test]
+    fn identical_chunk_encodes_to_one_copy() {
+        let basis = noise(16 << 10, 1);
+        let sig = ChunkSignature::build(&basis, 2048);
+        let delta = delta_encode(&sig, &basis).expect("identical should win");
+        // one merged copy op: 1 + 8 + 4 bytes
+        assert_eq!(delta.len(), 13);
+        assert_eq!(delta_apply(&basis, &delta).unwrap(), basis);
+    }
+
+    #[test]
+    fn shifted_content_still_matches() {
+        let basis = noise(16 << 10, 2);
+        // Insert 100 bytes near the front: every later block shifts.
+        let mut new = noise(100, 99);
+        new.extend_from_slice(&basis);
+        let sig = ChunkSignature::build(&basis, 2048);
+        let delta = delta_encode(&sig, &new).expect("shifted content should win");
+        assert!(delta.len() < new.len() / 4, "delta {} bytes", delta.len());
+        assert_eq!(delta_apply(&basis, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn partial_overlap_roundtrips() {
+        let basis = noise(32 << 10, 3);
+        let mut new = basis.clone();
+        // Mutate two scattered regions.
+        for b in &mut new[5_000..6_000] {
+            *b ^= 0xa5;
+        }
+        new[20_000..20_100].fill(0);
+        let sig = ChunkSignature::build(&basis, 2048);
+        let delta = delta_encode(&sig, &new).expect("mostly-same should win");
+        assert!(delta.len() < new.len() / 2);
+        assert_eq!(delta_apply(&basis, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn unrelated_content_declines() {
+        let basis = noise(8 << 10, 4);
+        let new = noise(8 << 10, 555);
+        let sig = ChunkSignature::build(&basis, 2048);
+        assert!(delta_encode(&sig, &new).is_none());
+    }
+
+    #[test]
+    fn short_new_chunk_declines() {
+        let basis = noise(8 << 10, 5);
+        let sig = ChunkSignature::build(&basis, 2048);
+        assert!(delta_encode(&sig, &noise(100, 6)).is_none());
+    }
+
+    #[test]
+    fn empty_basis_declines() {
+        let sig = ChunkSignature::build(&[], 2048);
+        assert!(delta_encode(&sig, &noise(4096, 7)).is_none());
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_copy() {
+        let basis = noise(1024, 8);
+        let mut delta = vec![OP_COPY];
+        delta.extend_from_slice(&2048u64.to_le_bytes());
+        delta.extend_from_slice(&100u32.to_le_bytes());
+        assert!(delta_apply(&basis, &delta).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_garbage() {
+        let basis = noise(1024, 9);
+        assert!(delta_apply(&basis, &[0xff]).is_err());
+        assert!(delta_apply(&basis, &[OP_LITERAL, 10, 0, 0, 0, 1]).is_err());
+        assert!(delta_apply(&basis, &[OP_COPY, 1, 2]).is_err());
+        // Empty delta reconstructs the empty chunk.
+        assert_eq!(delta_apply(&basis, &[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn tail_bytes_ship_literally() {
+        // Basis not a multiple of the block: tail never matches but the
+        // roundtrip stays exact.
+        let basis = noise(5000, 10);
+        let mut new = basis.clone();
+        new.extend_from_slice(&noise(300, 11));
+        let sig = ChunkSignature::build(&basis, 2048);
+        if let Some(delta) = delta_encode(&sig, &new) {
+            assert_eq!(delta_apply(&basis, &delta).unwrap(), new);
+        }
+    }
+}

@@ -39,11 +39,13 @@
 //! ```
 
 pub mod cbch;
+pub mod delta;
 pub mod fsch;
 pub mod similarity;
 pub mod stats;
 
 pub use cbch::{Advance, CbChunker, CbRollingChunker};
+pub use delta::{delta_apply, delta_encode, ChunkSignature};
 pub use fsch::FsChunker;
 pub use similarity::{SimilarityReport, SimilarityTracker};
 pub use stats::ChunkStats;

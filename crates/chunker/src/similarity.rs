@@ -39,14 +39,20 @@ pub enum CompareScope {
 }
 
 /// Byte-level accounting for one observed image.
+///
+/// `dup_bytes + new_bytes == total_bytes` always holds: every byte either
+/// duplicates a chunk the scope (or an earlier occurrence in the same
+/// image) already has, or belongs to the first occurrence of a new chunk.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimilarityReport {
     /// Total bytes in the image.
     pub total_bytes: u64,
-    /// Bytes whose chunks already existed in the comparison scope.
+    /// Bytes whose chunks already existed in the comparison scope, or
+    /// earlier in the same image — repeats within an image are
+    /// deduplicated too.
     pub dup_bytes: u64,
-    /// Bytes in chunks that must actually be stored/transferred (distinct
-    /// new chunks only — repeats within the image are also deduplicated).
+    /// Bytes in chunks that must actually be stored/transferred (first
+    /// occurrences of distinct new chunks only).
     pub new_bytes: u64,
 }
 
@@ -102,25 +108,36 @@ impl SimilarityTracker {
 
     /// Accounts one image (already chunked) and returns its report.
     pub fn observe(&mut self, chunks: &[ChunkEntry]) -> SimilarityReport {
+        let report = self.predict(chunks);
+        let fresh: HashSet<ChunkId> = chunks.iter().map(|e| e.id).collect();
+        self.history.extend(fresh.iter().copied());
+        self.previous = fresh;
+        self.reports.push(report);
+        report
+    }
+
+    /// Computes the report [`SimilarityTracker::observe`] would produce for
+    /// `chunks` without recording the image — what a test or client uses
+    /// to predict wire savings before a transfer actually happens.
+    pub fn predict(&self, chunks: &[ChunkEntry]) -> SimilarityReport {
         let baseline: &HashSet<ChunkId> = match self.scope {
             CompareScope::Previous => &self.previous,
             CompareScope::AllHistory => &self.history,
         };
         let mut report = SimilarityReport::default();
-        let mut fresh: HashSet<ChunkId> = HashSet::with_capacity(chunks.len());
         let mut new_distinct: HashSet<ChunkId> = HashSet::new();
         for e in chunks {
             report.total_bytes += e.size as u64;
-            if baseline.contains(&e.id) {
+            // A repeat of a chunk first seen earlier in this same image
+            // dedups exactly like a scope hit (the store has it by the
+            // time the repeat arrives); the old accounting dropped those
+            // bytes from *both* buckets, so dup + new undercounted total.
+            if baseline.contains(&e.id) || !new_distinct.insert(e.id) {
                 report.dup_bytes += e.size as u64;
-            } else if new_distinct.insert(e.id) {
+            } else {
                 report.new_bytes += e.size as u64;
             }
-            fresh.insert(e.id);
         }
-        self.history.extend(fresh.iter().copied());
-        self.previous = fresh;
-        self.reports.push(report);
         report
     }
 
@@ -161,8 +178,11 @@ mod tests {
     fn first_image_reports_zero_similarity() {
         let c = FsChunker::new(16);
         let mut t = SimilarityTracker::new();
-        let r = t.observe(&c.split(&[1u8; 64]));
+        // Distinct content per chunk: nothing dedups against empty history.
+        let img: Vec<u8> = (0..64u32).map(|i| i as u8).collect();
+        let r = t.observe(&c.split(&img));
         assert_eq!(r.dup_bytes, 0);
+        assert_eq!(r.new_bytes, r.total_bytes);
         assert_eq!(t.mean_ratio(), 0.0);
     }
 
@@ -180,8 +200,9 @@ mod tests {
     #[test]
     fn previous_scope_forgets_older_versions() {
         let c = FsChunker::new(4);
-        let a = vec![1u8; 16];
-        let b = vec![2u8; 16];
+        // Distinct content per chunk so only the scope can produce dups.
+        let a: Vec<u8> = (0..16u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (16..32u32).map(|i| i as u8).collect();
         let mut t = SimilarityTracker::new();
         t.observe(&c.split(&a));
         t.observe(&c.split(&b));
@@ -205,12 +226,29 @@ mod tests {
     #[test]
     fn intra_image_repeats_counted_once_in_new_bytes() {
         let c = FsChunker::new(4);
-        // 4 identical chunks: total 16, but only 4 bytes must be stored.
+        // 4 identical chunks: total 16, but only 4 bytes must be stored —
+        // the 3 repeats dedup against the first occurrence.
         let img = vec![7u8; 16];
         let mut t = SimilarityTracker::new();
         let r = t.observe(&c.split(&img));
         assert_eq!(r.total_bytes, 16);
         assert_eq!(r.new_bytes, 4);
+        assert_eq!(r.dup_bytes, 12);
+        assert_eq!(r.dup_bytes + r.new_bytes, r.total_bytes);
+    }
+
+    #[test]
+    fn predict_matches_observe_without_mutating() {
+        let c = FsChunker::new(4);
+        let a = vec![1u8; 16];
+        let mut b = a.clone();
+        b[0] = 9;
+        let mut t = SimilarityTracker::with_scope(CompareScope::AllHistory);
+        t.observe(&c.split(&a));
+        let predicted = t.predict(&c.split(&b));
+        assert_eq!(predicted, t.predict(&c.split(&b)), "predict is pure");
+        let observed = t.observe(&c.split(&b));
+        assert_eq!(predicted, observed);
     }
 
     #[test]

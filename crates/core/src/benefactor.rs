@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use stdchk_chunker::delta::delta_apply;
 use stdchk_proto::chunkmap::ChunkEntry;
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::{Msg, ReplicaCopy};
@@ -140,8 +141,24 @@ struct PendingStore {
 
 #[derive(Clone, Debug)]
 enum LoadPurpose {
-    ServeGet { req: RequestId, to: NodeId },
-    ReplPush { job: u64, copy: ReplicaCopy },
+    ServeGet {
+        req: RequestId,
+        to: NodeId,
+    },
+    ReplPush {
+        job: u64,
+        copy: ReplicaCopy,
+    },
+    /// A `DeltaPutChunk` loaded its basis chunk; apply the delta, verify
+    /// the reconstruction against the target's content hash, and store it
+    /// as a self-contained chunk (the read path never sees deltas).
+    DeltaApply {
+        req: RequestId,
+        to: NodeId,
+        chunk: ChunkId,
+        size: u32,
+        delta: bytes::Bytes,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -325,6 +342,13 @@ impl Benefactor {
                 data,
                 ..
             } => self.on_put(from, req, chunk, size, data, now),
+            Msg::DeltaPutChunk {
+                req,
+                chunk,
+                basis,
+                size,
+                delta,
+            } => self.on_delta_put(from, req, chunk, basis, size, delta),
             Msg::GetChunk { req, chunk } => self.on_get(from, req, chunk),
             Msg::DeleteChunks { chunks } => {
                 for c in chunks {
@@ -478,6 +502,86 @@ impl Benefactor {
         self.actions.push(Action::Store { op, chunk, payload });
     }
 
+    /// Stores a chunk shipped as a delta against a basis chunk already held
+    /// here (wire-level dedup for near-miss chunks). The reconstruction is
+    /// verified against the target's content hash before anything lands, and
+    /// the stored blob is the *full* chunk: storage stays self-contained, so
+    /// reads, replication, and GC are oblivious to how the bytes arrived.
+    /// Every refusal is an `ErrorReply` the sending client answers by
+    /// re-shipping the chunk in full.
+    fn on_delta_put(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        chunk: ChunkId,
+        basis: ChunkId,
+        size: u32,
+        delta: bytes::Bytes,
+    ) {
+        if !self.joined {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::Unavailable,
+                    detail: "benefactor has not joined the pool yet".to_string(),
+                },
+            );
+            return;
+        }
+        if self.index.contains_key(&chunk) {
+            // Content-addressed dedup: already stored, ack immediately.
+            self.actions.send(
+                from,
+                Msg::PutChunkOk {
+                    req,
+                    chunk,
+                    node: self.id,
+                },
+            );
+            return;
+        }
+        let Some(info) = self.index.get(&basis) else {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NotFound,
+                    detail: format!("delta basis {basis} not stored here"),
+                },
+            );
+            return;
+        };
+        if self.used + size as u64 > self.total {
+            self.actions.send(
+                from,
+                Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::NoSpace,
+                    detail: format!("{} bytes free", self.free_space()),
+                },
+            );
+            return;
+        }
+        let basis_size = info.size;
+        let op = self.op();
+        self.pending_loads.insert(
+            op,
+            LoadPurpose::DeltaApply {
+                req,
+                to: from,
+                chunk,
+                size,
+                delta,
+            },
+        );
+        self.actions.push(Action::Load {
+            op,
+            chunk: basis,
+            size: basis_size,
+        });
+    }
+
     fn complete_store(&mut self, op: u64, _now: Time) {
         let Some(p) = self.pending_stores.remove(&op) else {
             return;
@@ -546,6 +650,70 @@ impl Benefactor {
                     },
                 );
             }
+            LoadPurpose::DeltaApply {
+                req,
+                to,
+                chunk: target,
+                size,
+                delta,
+            } => {
+                // `chunk` is the basis that was loaded; `target` is the
+                // chunk being reconstructed.
+                let full = match &payload {
+                    Payload::Real(basis) => delta_apply(basis, &delta).ok(),
+                    // Virtual payloads (simulator drivers) carry no bytes
+                    // to patch; refuse so the client falls back to full.
+                    Payload::Virtual { .. } => None,
+                };
+                let ok = full
+                    .as_deref()
+                    .is_some_and(|f| f.len() == size as usize && target.verify(f));
+                if !ok {
+                    self.actions.send(
+                        to,
+                        Msg::ErrorReply {
+                            req,
+                            code: ErrorCode::Corrupt,
+                            detail: format!("delta for {target} does not reconstruct its content"),
+                        },
+                    );
+                    return;
+                }
+                if self.used + size as u64 > self.total {
+                    // Capacity may have shrunk while the basis was loading.
+                    self.actions.send(
+                        to,
+                        Msg::ErrorReply {
+                            req,
+                            code: ErrorCode::NoSpace,
+                            detail: format!("{} bytes free", self.free_space()),
+                        },
+                    );
+                    return;
+                }
+                self.index.insert(
+                    target,
+                    ChunkInfo {
+                        size,
+                        stored_at: now,
+                    },
+                );
+                self.used += size as u64;
+                let op = self.op();
+                self.pending_stores.insert(
+                    op,
+                    PendingStore {
+                        req,
+                        chunk: target,
+                        reply_to: to,
+                    },
+                );
+                self.actions.push(Action::Store {
+                    op,
+                    chunk: target,
+                    payload: Payload::Real(bytes::Bytes::from(full.expect("checked ok"))),
+                });
+            }
         }
     }
 
@@ -578,6 +746,18 @@ impl Benefactor {
                 } else {
                     self.repl_jobs.insert(job, state);
                 }
+            }
+            LoadPurpose::DeltaApply { req, to, .. } => {
+                // The basis is gone from the backing store: the client
+                // re-ships the target chunk in full.
+                self.actions.send(
+                    to,
+                    Msg::ErrorReply {
+                        req,
+                        code: ErrorCode::NotFound,
+                        detail: format!("delta basis {chunk} lost from backing store"),
+                    },
+                );
             }
         }
     }

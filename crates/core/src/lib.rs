@@ -63,7 +63,7 @@ pub mod session;
 
 pub use benefactor::{Benefactor, BenefactorAction, BenefactorConfig};
 pub use config::PoolConfig;
-pub use manager::{Manager, ManagerStats, Send};
+pub use manager::{DedupTotals, Manager, ManagerStats, Send};
 pub use node::{Action, ActionQueue, Completion, Node};
 pub use payload::{ChunkAssembler, Payload};
 pub use session::read::{ReadAction, ReadSession};

@@ -108,6 +108,7 @@ impl Manager {
                     locations: c.locations.clone(),
                     refcount: 0,
                     target: c.target,
+                    pins: 0,
                 },
             );
         }
@@ -215,6 +216,12 @@ impl Manager {
             MetaRecord::Benefactor { node, addr, total } => {
                 self.adopt_benefactor(*node, addr.clone(), *total, now);
             }
+            MetaRecord::Dedup { summary, .. } => {
+                // Rebuild the wire-savings ledger only; commit counts and
+                // every other ManagerStats counter stay at zero across a
+                // restart.
+                self.dedup.fold(summary);
+            }
         }
     }
 
@@ -248,6 +255,7 @@ impl Manager {
                 locations: Vec::new(),
                 refcount: 0,
                 target: 1,
+                pins: 0,
             });
             meta.refcount += 1;
         }

@@ -15,7 +15,7 @@ impl Manager {
     /// expiry, retention sweeps, GC marking, replication dispatch.
     pub(crate) fn process_timeout(&mut self, now: Time, out: &mut ActionQueue) {
         self.expire_benefactors(now, out);
-        self.expire_reservations(now);
+        self.expire_reservations(now, out);
         if now.since(self.last_policy_sweep) >= self.cfg.policy_sweep_every {
             self.last_policy_sweep = now;
             self.policy_sweep(now, out);
@@ -69,7 +69,7 @@ impl Manager {
         }
     }
 
-    fn expire_reservations(&mut self, now: Time) {
+    fn expire_reservations(&mut self, now: Time, out: &mut ActionQueue) {
         let expired: Vec<_> = self
             .reservations
             .iter()
@@ -79,6 +79,7 @@ impl Manager {
         for id in expired {
             if let Some(res) = self.reservations.remove(&id) {
                 self.release_reservation(&res);
+                self.unpin_reservation(&res, out);
                 self.drop_file_if_empty(&res.path);
             }
         }
@@ -183,11 +184,44 @@ impl Manager {
             };
             meta.refcount = meta.refcount.saturating_sub(1);
             if meta.refcount == 0 {
+                // Repairs of an unreferenced chunk are pointless either way.
+                self.repl_queue.retain(|t| t.chunk != id);
+                let meta = &self.chunks[&id];
+                if meta.pins > 0 {
+                    // A have/want negotiation promised this chunk to an
+                    // in-flight commit: keep the bytes until it unpins.
+                    continue;
+                }
                 for n in &meta.locations {
                     per_node.entry(*n).or_default().push(id);
                 }
                 self.chunks.remove(&id);
-                self.repl_queue.retain(|t| t.chunk != id);
+            }
+        }
+        for (to, chunks) in per_node {
+            out.push(Send {
+                to,
+                msg: Msg::DeleteChunks { chunks },
+            });
+        }
+    }
+
+    /// Releases every negotiation pin held by `res` (commit, abort, or
+    /// expiry). Dropping the last pin of an unreferenced chunk reclaims it
+    /// exactly like [`Manager::decref_map`] reaching zero.
+    pub(crate) fn unpin_reservation(&mut self, res: &super::Reservation, out: &mut ActionQueue) {
+        let mut per_node: std::collections::BTreeMap<NodeId, Vec<ChunkId>> = Default::default();
+        for id in &res.pinned {
+            let Some(meta) = self.chunks.get_mut(id) else {
+                continue;
+            };
+            meta.pins = meta.pins.saturating_sub(1);
+            if meta.refcount == 0 && meta.pins == 0 {
+                for n in &meta.locations {
+                    per_node.entry(*n).or_default().push(*id);
+                }
+                self.chunks.remove(id);
+                self.repl_queue.retain(|t| t.chunk != *id);
             }
         }
         for (to, chunks) in per_node {
@@ -213,7 +247,7 @@ impl Manager {
         let mut deletable = Vec::new();
         for id in chunks {
             match self.chunks.get_mut(&id) {
-                Some(meta) if meta.refcount > 0 => {
+                Some(meta) if meta.refcount > 0 || meta.pins > 0 => {
                     // Live chunk: (re-)learn the location. This is how a
                     // returning benefactor's replicas rejoin the metadata.
                     if !meta.locations.contains(&node) {

@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use stdchk_proto::chunkmap::{ChunkMap, FileVersionView};
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
 use stdchk_proto::meta::MetaRecord;
-use stdchk_proto::msg::{DirEntry, FileAttr, Msg, VersionInfo};
+use stdchk_proto::msg::{DedupSummary, DirEntry, FileAttr, Msg, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
@@ -69,6 +69,38 @@ pub struct ManagerStats {
     pub recovered_commits: u64,
 }
 
+/// Wire-dedup accounting accumulated across commits (paper §IV.C applied
+/// to the transfer path). Unlike [`ManagerStats`] these totals are
+/// *durable*: each negotiated commit logs a [`MetaRecord::Dedup`] record
+/// and replay folds it back in, so the savings ledger survives manager
+/// restarts without ever being confused with commit counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupTotals {
+    /// Commits that carried a non-trivial dedup summary.
+    pub commits: u64,
+    /// Chunks clients offered for negotiation.
+    pub offered_chunks: u64,
+    /// Offered chunks the manager asked to be shipped.
+    pub wanted_chunks: u64,
+    /// Bytes that never crossed the wire (commit-by-reference).
+    pub reused_bytes: u64,
+    /// Bytes shipped as deltas against a prior version's chunk.
+    pub delta_bytes: u64,
+    /// Bytes shipped in full.
+    pub full_bytes: u64,
+}
+
+impl DedupTotals {
+    pub(crate) fn fold(&mut self, s: &DedupSummary) {
+        self.commits += 1;
+        self.offered_chunks += s.offered as u64;
+        self.wanted_chunks += s.wanted as u64;
+        self.reused_bytes += s.reused_bytes;
+        self.delta_bytes += s.delta_bytes;
+        self.full_bytes += s.full_bytes;
+    }
+}
+
 #[derive(Clone, Debug)]
 pub(crate) struct BenefactorInfo {
     pub free: u64,
@@ -103,6 +135,14 @@ pub(crate) struct ChunkMeta {
     pub locations: Vec<NodeId>,
     pub refcount: u32,
     pub target: u32,
+    /// Soft holds placed by have/want negotiation: a `WantChunks` reply
+    /// that told a client "already here" pins the chunk until that
+    /// reservation commits, aborts, or expires, so retention pruning
+    /// racing the negotiation can never reclaim a chunk the upcoming
+    /// commit will reference. Pins are not logged or snapshotted — a
+    /// restart drops them, and the client's commit then fails validation
+    /// and retries with a full transfer.
+    pub pins: u32,
 }
 
 #[derive(Clone, Debug)]
@@ -116,6 +156,10 @@ pub(crate) struct Reservation {
     pub replication: u32,
     pub reserved_on: HashMap<NodeId, u64>,
     pub expires: Time,
+    /// Chunks pinned on behalf of this reservation by have/want
+    /// negotiation (one list entry per pin; released on commit, abort,
+    /// or expiry).
+    pub pinned: Vec<ChunkId>,
 }
 
 #[derive(Clone, Debug)]
@@ -172,6 +216,7 @@ pub struct Manager {
     pub(crate) last_policy_sweep: Time,
     pub(crate) last_gc_mark: Time,
     pub(crate) stats: ManagerStats,
+    pub(crate) dedup: DedupTotals,
     pub(crate) actions: ActionQueue,
     /// When set, every namespace mutation also emits an
     /// [`Action::MetaAppend`] write-ahead-log record (see [`durable`]).
@@ -203,6 +248,7 @@ impl Manager {
             last_policy_sweep: Time::ZERO,
             last_gc_mark: Time::ZERO,
             stats: ManagerStats::default(),
+            dedup: DedupTotals::default(),
             actions: ActionQueue::new(),
             wal: false,
             next_meta_seq: 0,
@@ -247,6 +293,12 @@ impl Manager {
     /// Operational counters.
     pub fn stats(&self) -> ManagerStats {
         self.stats
+    }
+
+    /// Wire-dedup savings ledger (durable across restarts via
+    /// [`MetaRecord::Dedup`] replay).
+    pub fn dedup_totals(&self) -> DedupTotals {
+        self.dedup
     }
 
     /// Number of currently online benefactors.
@@ -302,12 +354,18 @@ impl Manager {
                 reservation,
                 additional_chunks,
             } => self.on_extend(from, req, reservation, additional_chunks, now, out),
+            Msg::OfferChunks {
+                req,
+                reservation,
+                entries,
+            } => self.on_offer(from, req, reservation, entries, out),
             Msg::CommitChunkMap {
                 req,
                 reservation,
                 entries,
                 placements,
                 pessimistic,
+                dedup,
             } => self.on_commit(
                 from,
                 req,
@@ -315,6 +373,7 @@ impl Manager {
                 entries,
                 placements,
                 pessimistic,
+                dedup,
                 now,
                 out,
             ),
@@ -805,6 +864,12 @@ impl Manager {
                 meta.refcount,
                 expected.get(id).copied().unwrap_or(0),
                 "orphan chunk {id} holds refcount"
+            );
+            // Negotiation pins are the only way a refcount-zero chunk may
+            // outlive its last version; an unpinned zero is a GC leak.
+            assert!(
+                meta.refcount > 0 || meta.pins > 0,
+                "chunk {id} lingers with no references and no pins"
             );
             let mut sorted = meta.locations.clone();
             sorted.sort_unstable();

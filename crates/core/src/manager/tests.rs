@@ -131,6 +131,7 @@ impl Harness {
                 entries,
                 placements,
                 pessimistic,
+                dedup: Default::default(),
             },
             self.now,
         )
@@ -313,6 +314,7 @@ fn commit_without_placement_is_rejected() {
             entries: entries(&[5], 10),
             placements: vec![],
             pessimistic: false,
+            dedup: Default::default(),
         },
         h.now,
     );
@@ -443,6 +445,7 @@ fn death_triggers_re_replication_of_survivor_copies() {
                 (ChunkId::test_id(2), vec![nodes[0]]),
             ],
             pessimistic: false,
+            dedup: Default::default(),
         },
         h.now,
     );
@@ -474,6 +477,7 @@ fn pessimistic_commit_waits_for_replication() {
             entries: entries(&[4], 100),
             placements: vec![(ChunkId::test_id(4), vec![nodes[0]])],
             pessimistic: true,
+            dedup: Default::default(),
         },
         h.now,
     );
@@ -520,6 +524,7 @@ fn failed_replication_retries_with_budget() {
             entries: entries(&[7], 100),
             placements: vec![(ChunkId::test_id(7), vec![nodes[0]])],
             pessimistic: false,
+            dedup: Default::default(),
         },
         h.now,
     );
@@ -561,6 +566,7 @@ fn gc_report_classifies_orphans_and_relearns_locations() {
             entries: entries(&[1], 100),
             placements: vec![(ChunkId::test_id(1), vec![nodes[0]])],
             pessimistic: false,
+            dedup: Default::default(),
         },
         h.now,
     );

@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet};
 use stdchk_proto::chunkmap::{ChunkEntry, ChunkMap};
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
 use stdchk_proto::meta::MetaRecord;
-use stdchk_proto::msg::Msg;
+use stdchk_proto::msg::{DedupSummary, Msg};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
@@ -44,6 +44,7 @@ impl Manager {
                 locations: Vec::new(),
                 refcount: 0,
                 target: 1,
+                pins: 0,
             });
             meta.refcount += 1;
             meta.target = meta.target.max(replication);
@@ -148,6 +149,7 @@ impl Manager {
             replication,
             reserved_on: HashMap::new(),
             expires: now + self.cfg.reservation_ttl,
+            pinned: Vec::new(),
         };
         Manager::reserve_on(
             &mut reservation,
@@ -226,6 +228,65 @@ impl Manager {
         });
     }
 
+    /// Answers a have/want negotiation round (paper §IV.C moved onto the
+    /// wire): the client offers the chunk ids of an in-flight version and
+    /// the manager replies with the indices it wants shipped. Every chunk
+    /// it already holds is *pinned* against the reservation so retention
+    /// pruning cannot reclaim it before the commit-by-reference lands.
+    pub(super) fn on_offer(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        reservation: ReservationId,
+        entries: Vec<ChunkEntry>,
+        out: &mut ActionQueue,
+    ) {
+        if !self.reservations.contains_key(&reservation) {
+            out.push(Send {
+                to: from,
+                msg: Msg::ErrorReply {
+                    req,
+                    code: ErrorCode::Conflict,
+                    detail: format!("unknown or expired reservation {reservation}"),
+                },
+            });
+            return;
+        }
+        let mut wanted = Vec::new();
+        let mut pinned = Vec::new();
+        for (idx, e) in entries.iter().enumerate() {
+            // "Have" means the bytes provably exist on some benefactor: a
+            // live reference from a committed version, or an existing pin
+            // from a concurrent negotiation. Chunks merely placed by an
+            // uncommitted session don't count — the manager has no record
+            // of them yet.
+            let have = self
+                .chunks
+                .get(&e.id)
+                .map(|m| m.refcount > 0 || m.pins > 0)
+                .unwrap_or(false);
+            if have {
+                pinned.push(e.id);
+            } else {
+                wanted.push(idx as u32);
+            }
+        }
+        for id in &pinned {
+            if let Some(m) = self.chunks.get_mut(id) {
+                m.pins += 1;
+            }
+        }
+        self.reservations
+            .get_mut(&reservation)
+            .expect("checked above")
+            .pinned
+            .extend(pinned);
+        out.push(Send {
+            to: from,
+            msg: Msg::WantChunks { req, wanted },
+        });
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(super) fn on_commit(
         &mut self,
@@ -235,6 +296,7 @@ impl Manager {
         entries: Vec<ChunkEntry>,
         placements: Vec<(ChunkId, Vec<NodeId>)>,
         pessimistic: bool,
+        dedup: DedupSummary,
         now: Time,
         out: &mut ActionQueue,
     ) {
@@ -254,18 +316,22 @@ impl Manager {
             placements.iter().map(|(c, l)| (*c, l)).collect();
         let map = ChunkMap::from_entries(entries);
         // Validate: every distinct chunk is either already stored (dedup
-        // against an existing version) or has at least one placement.
+        // against an existing version, or held alive by a negotiation
+        // pin) or has at least one placement.
         for id in map.distinct_chunks() {
             let known = self
                 .chunks
                 .get(&id)
-                .map(|m| m.refcount > 0)
+                .map(|m| m.refcount > 0 || m.pins > 0)
                 .unwrap_or(false);
             let placed = placement_map
                 .get(&id)
                 .map(|l| !l.is_empty())
                 .unwrap_or(false);
             if !known && !placed {
+                // The reservation is spent either way: release its pins
+                // before bouncing the commit.
+                self.unpin_reservation(&res, out);
                 out.push(Send {
                     to: from,
                     msg: Msg::ErrorReply {
@@ -290,15 +356,49 @@ impl Manager {
             now,
         );
         self.stats.commits += 1;
+        // Commit increfs landed above, so unpinning now can only reclaim
+        // chunks the client offered but ultimately left out of the map.
+        self.unpin_reservation(&res, out);
+        // A reused chunk ships no placement, but the Commit record must
+        // stay self-contained for replay: replica locations learned since
+        // the chunk's original commit are soft state the log omits, so a
+        // fully-deduped version would otherwise replay with only the
+        // basis version's (possibly dead) stripe. Fold the index's known
+        // locations at commit time into the logged record.
+        let logged_placements: Vec<(ChunkId, Vec<NodeId>)> = {
+            let mut v = placements.clone();
+            let placed: HashSet<ChunkId> = v.iter().map(|(c, _)| *c).collect();
+            for id in map.distinct_chunks() {
+                if !placed.contains(&id) {
+                    if let Some(m) = self.chunks.get(&id) {
+                        if !m.locations.is_empty() {
+                            v.push((id, m.locations.clone()));
+                        }
+                    }
+                }
+            }
+            v
+        };
         self.log_meta(out, || MetaRecord::Commit {
             path: res.path.clone(),
             file: file_id,
             version,
             mtime: now,
             entries: map.entries().to_vec(),
-            placements: placements.clone(),
+            placements: logged_placements,
             replication: res.replication,
         });
+        if dedup != DedupSummary::default() {
+            // Fold the client's per-commit wire accounting into the
+            // durable savings ledger, logged right after the commit it
+            // annotates so replay rebuilds the same totals.
+            self.dedup.fold(&dedup);
+            self.log_meta(out, || MetaRecord::Dedup {
+                file: file_id,
+                version,
+                summary: dedup,
+            });
+        }
 
         // Plan replication for under-replicated chunks of this version.
         let mut waiting: HashSet<ChunkId> = HashSet::new();
@@ -350,6 +450,7 @@ impl Manager {
     ) {
         if let Some(res) = self.reservations.remove(&reservation) {
             self.release_reservation(&res);
+            self.unpin_reservation(&res, out);
             self.drop_file_if_empty(&res.path);
         }
         // Abort is idempotent: an expired reservation still acks.

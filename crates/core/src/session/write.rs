@@ -23,9 +23,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use bytes::Bytes;
+use stdchk_chunker::delta::{delta_encode, ChunkSignature};
 use stdchk_proto::chunkmap::ChunkEntry;
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
-use stdchk_proto::msg::Msg;
+use stdchk_proto::msg::{DedupSummary, Msg};
 use stdchk_proto::ErrorCode;
 use stdchk_util::Time;
 
@@ -60,6 +62,11 @@ pub struct SessionConfig {
     /// Enable FsCH incremental checkpointing: chunks whose content hash
     /// matches the previous version are not transferred or stored again.
     pub dedup: bool,
+    /// Enable have/want negotiation: chunk ids not resolvable locally are
+    /// offered to the manager (`OfferChunks`) before transfer, and only the
+    /// chunks the pool lacks ship — as deltas against the previous version
+    /// when a basis signature is available, in full otherwise.
+    pub negotiate: bool,
     /// Pessimistic write semantics: the commit acknowledges only once the
     /// replication target is met.
     pub pessimistic: bool,
@@ -81,6 +88,7 @@ impl Default for SessionConfig {
         SessionConfig {
             protocol: WriteProtocol::SlidingWindow { buffer: 64 << 20 },
             dedup: false,
+            negotiate: false,
             pessimistic: false,
             put_retries: 3,
             stash_commits: false,
@@ -223,6 +231,17 @@ pub struct WriteStats {
     pub app_close_at: Option<Time>,
     /// When all remote I/O completed and the map committed (ends ASB).
     pub done_at: Option<Time>,
+    /// Chunks offered to the manager for have/want negotiation.
+    pub offered_chunks: u64,
+    /// Offered chunks the manager asked for.
+    pub wanted_chunks: u64,
+    /// Bytes that never travelled: prev-version hits plus offers the
+    /// manager declined.
+    pub wire_reused_bytes: u64,
+    /// Bytes shipped as delta encodings.
+    pub wire_delta_bytes: u64,
+    /// Bytes shipped as full chunk payloads.
+    pub wire_full_bytes: u64,
 }
 
 impl WriteStats {
@@ -241,6 +260,10 @@ impl WriteStats {
     }
 }
 
+/// Chunk entries accumulated per `OfferChunks` batch before it is sent;
+/// `close()` flushes a partial batch.
+const OFFER_BATCH: usize = 16;
+
 #[derive(Clone, Debug)]
 struct PendingPut {
     chunk: ChunkId,
@@ -249,6 +272,24 @@ struct PendingPut {
     target: NodeId,
     attempts: u32,
     sent: bool,
+    /// True when the in-flight transfer is a `DeltaPutChunk`; an
+    /// `ErrorReply` then downgrades to a full `PutChunk` instead of
+    /// failing over to another benefactor.
+    as_delta: bool,
+    /// Bytes this transfer puts on the wire (delta length, or the full
+    /// chunk size).
+    wire_cost: u64,
+}
+
+/// Manager verdict on one offered chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    /// Offered; the `WantChunks` answer is still outstanding.
+    Pending,
+    /// The pool lacks it — it must ship.
+    Wanted,
+    /// Already stored — commit by reference.
+    Reused,
 }
 
 #[derive(Clone, Debug)]
@@ -293,6 +334,26 @@ pub struct WriteSession {
     pushed_temps: u64,
     push_open: bool,
     pending_fetches: HashMap<u64, StagedChunk>,
+    // Negotiation state (have/want + delta).
+    /// Entries awaiting the next `OfferChunks` batch.
+    offer_pending: Vec<ChunkEntry>,
+    /// Outstanding offer batches, by request id.
+    pending_offers: HashMap<RequestId, Vec<ChunkEntry>>,
+    /// Per-chunk negotiation verdicts (also marks a chunk as seen).
+    verdicts: HashMap<ChunkId, Verdict>,
+    /// SW payloads held back until their verdict arrives.
+    offer_hold: HashMap<ChunkId, AssembledChunk>,
+    /// new chunk id → previous-version chunk at the same position, when a
+    /// signature for it is available (delta candidate).
+    chunk_basis: HashMap<ChunkId, ChunkId>,
+    /// Signatures of previous-version chunks (injected by the driver).
+    basis_sigs: HashMap<ChunkId, ChunkSignature>,
+    /// Known locations of previous-version chunks (injected by the
+    /// driver): a delta must be routed to a node storing its basis.
+    basis_homes: HashMap<ChunkId, Vec<NodeId>>,
+    /// Signatures of chunks shipped this session, harvested by the driver
+    /// as delta bases for the next version.
+    out_sigs: HashMap<ChunkId, ChunkSignature>,
     // Commit state.
     commit_req: Option<RequestId>,
     stash_sent: bool,
@@ -346,6 +407,14 @@ impl WriteSession {
             pushed_temps: 0,
             push_open,
             pending_fetches: HashMap::new(),
+            offer_pending: Vec::new(),
+            pending_offers: HashMap::new(),
+            verdicts: HashMap::new(),
+            offer_hold: HashMap::new(),
+            chunk_basis: HashMap::new(),
+            basis_sigs: HashMap::new(),
+            basis_homes: HashMap::new(),
+            out_sigs: HashMap::new(),
             commit_req: None,
             stash_sent: false,
             stash_reqs: HashSet::new(),
@@ -381,6 +450,42 @@ impl WriteSession {
     /// True once `close()` has returned to the application (OAB endpoint).
     pub fn app_close_returned(&self) -> bool {
         self.stats.app_close_at.is_some()
+    }
+
+    /// Injects signatures of previous-version chunks so near-miss chunks
+    /// can ship as deltas. Call before the first `write()`.
+    pub fn set_basis_signatures(&mut self, sigs: HashMap<ChunkId, ChunkSignature>) {
+        self.basis_sigs = sigs;
+    }
+
+    /// Injects the known locations of previous-version chunks. A delta is
+    /// only worth encoding when some stripe node stores its basis — the
+    /// benefactor reconstructs the full chunk locally, so the delta must
+    /// land where the basis lives. Call before the first `write()`.
+    pub fn set_basis_placements(&mut self, homes: HashMap<ChunkId, Vec<NodeId>>) {
+        self.basis_homes = homes;
+    }
+
+    /// Where each chunk this session shipped (or will ship) has landed —
+    /// harvested by the driver as the delta-put routing hint for the next
+    /// version of the same file.
+    pub fn shipped_placements(&self) -> HashMap<ChunkId, Vec<NodeId>> {
+        self.placements.clone()
+    }
+
+    /// A stripe node storing `basis`, if any.
+    fn basis_home_in_stripe(&self, basis: ChunkId) -> Option<NodeId> {
+        self.basis_homes
+            .get(&basis)?
+            .iter()
+            .copied()
+            .find(|n| self.stripe.contains(n))
+    }
+
+    /// Takes the signatures of chunks shipped this session — the delta
+    /// bases for the *next* version of the same file.
+    pub fn take_signatures(&mut self) -> HashMap<ChunkId, ChunkSignature> {
+        std::mem::take(&mut self.out_sigs)
     }
 
     fn op(&mut self) -> u64 {
@@ -451,6 +556,8 @@ impl WriteSession {
         if matches!(self.cfg.protocol, WriteProtocol::Incremental { .. }) {
             self.seal_temps(true);
         }
+        // Any partial offer batch must go out now: the commit waits on it.
+        self.flush_offers(&mut out);
         self.pump(now, &mut out);
         self.actions = out;
     }
@@ -464,6 +571,7 @@ impl WriteSession {
         // A chunk already shipped (or queued) in *this* session is also a
         // dedup hit: content addressing is set-based.
         let already_here = self.placements.contains_key(&chunk.entry.id)
+            || self.verdicts.contains_key(&chunk.entry.id)
             || self
                 .pending_puts
                 .values()
@@ -484,11 +592,32 @@ impl WriteSession {
         if dedup {
             self.stats.chunks_deduped += 1;
             self.stats.bytes_deduped += chunk.entry.size as u64;
+            self.stats.wire_reused_bytes += chunk.entry.size as u64;
+        }
+        // Chunks neither resolvable locally nor already in flight enter
+        // have/want negotiation instead of shipping unconditionally.
+        let negotiate = self.cfg.negotiate && !dedup;
+        if negotiate {
+            // The previous version's chunk at the same file position is the
+            // delta basis candidate, when its signature is in hand.
+            let idx = self.entries.len() - 1;
+            if let Some(prev_e) = self.grant.prev_chunks.get(idx) {
+                if prev_e.id != chunk.entry.id && self.basis_sigs.contains_key(&prev_e.id) {
+                    self.chunk_basis.insert(chunk.entry.id, prev_e.id);
+                }
+            }
+            self.verdicts.insert(chunk.entry.id, Verdict::Pending);
+            self.offer_pending.push(chunk.entry);
+            self.stats.offered_chunks += 1;
         }
         match self.cfg.protocol {
             WriteProtocol::SlidingWindow { .. } => {
                 if dedup {
                     // Nothing to transfer; the manager resolves locations.
+                } else if negotiate {
+                    // Held (still inside the window) until the verdict.
+                    self.buffered += chunk.entry.size as u64;
+                    self.offer_hold.insert(chunk.entry.id, chunk);
                 } else {
                     self.buffered += chunk.entry.size as u64;
                     self.queued_puts.push_back(chunk);
@@ -519,7 +648,49 @@ impl WriteSession {
                 self.seal_temps(false);
             }
         }
+        if self.offer_pending.len() >= OFFER_BATCH {
+            self.flush_offers(out);
+        }
         self.pump(now, out);
+    }
+
+    /// Sends the accumulated offer batch to the manager.
+    fn flush_offers(&mut self, out: &mut ActionQueue) {
+        if self.offer_pending.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.offer_pending);
+        let req = self.reqs.next();
+        self.pending_offers.insert(req, entries.clone());
+        out.push(WriteAction::Send {
+            to: MANAGER_NODE,
+            msg: Msg::OfferChunks {
+                req,
+                reservation: self.grant.reservation,
+                entries,
+            },
+        });
+    }
+
+    /// Applies a `Reused` verdict: the pool already stores the chunk, so it
+    /// commits by reference and its bytes never travel.
+    fn resolve_reused(&mut self, e: ChunkEntry) {
+        self.verdicts.insert(e.id, Verdict::Reused);
+        self.stats.chunks_deduped += 1;
+        self.stats.bytes_deduped += e.size as u64;
+        self.stats.wire_reused_bytes += e.size as u64;
+        if self.offer_hold.remove(&e.id).is_some() {
+            self.buffered = self.buffered.saturating_sub(e.size as u64);
+        }
+    }
+
+    /// Applies a `Wanted` verdict: the chunk must ship after all.
+    fn resolve_wanted(&mut self, e: ChunkEntry) {
+        self.stats.wanted_chunks += 1;
+        self.verdicts.insert(e.id, Verdict::Wanted);
+        if let Some(held) = self.offer_hold.remove(&e.id) {
+            self.queued_puts.push_back(held);
+        }
     }
 
     fn seal_temps(&mut self, all: bool) {
@@ -577,6 +748,16 @@ impl WriteSession {
                     let _ = c;
                     continue;
                 }
+                match self.verdicts.get(&front.entry.id) {
+                    // The offer is outstanding: hold the push until the
+                    // manager says whether the pool already has it.
+                    Some(Verdict::Pending) => break,
+                    Some(Verdict::Reused) => {
+                        self.staged.pop_front();
+                        continue;
+                    }
+                    _ => {}
+                }
                 let pushable = match self.cfg.protocol {
                     WriteProtocol::Incremental { .. } => front.temp < self.sealed_temps,
                     WriteProtocol::CompleteLocal => self.state == SessionState::Closing,
@@ -624,31 +805,79 @@ impl WriteSession {
         background: bool,
         out: &mut ActionQueue,
     ) {
-        let target = self.stripe[self.rr % self.stripe.len()];
+        let mut target = self.stripe[self.rr % self.stripe.len()];
         self.rr += 1;
         self.used_chunks += 1;
         let req = self.reqs.next();
+        if self.cfg.negotiate {
+            // Shipped chunks become delta bases for the next version.
+            if let Payload::Real(bytes) = &payload {
+                self.out_sigs
+                    .entry(chunk)
+                    .or_insert_with(|| ChunkSignature::of(bytes));
+            }
+        }
+        // Near miss with a usable basis: ship a delta when it beats the
+        // full chunk on the wire.
+        let delta = if self.cfg.negotiate && !background {
+            self.chunk_basis.get(&chunk).and_then(|basis| {
+                let sig = self.basis_sigs.get(basis)?;
+                let Payload::Real(bytes) = &payload else {
+                    return None;
+                };
+                delta_encode(sig, bytes).map(|d| (*basis, Bytes::from(d)))
+            })
+        } else {
+            None
+        };
+        // A delta can only be applied by a benefactor that stores the
+        // basis; route it to one, or ship full if no stripe node does.
+        let delta = delta.filter(|(basis, _)| {
+            if let Some(home) = self.basis_home_in_stripe(*basis) {
+                target = home;
+                true
+            } else {
+                false
+            }
+        });
+        let (as_delta, wire_cost, msg) = match delta {
+            Some((basis, d)) => (
+                true,
+                d.len() as u64,
+                Msg::DeltaPutChunk {
+                    req,
+                    chunk,
+                    basis,
+                    size,
+                    delta: d,
+                },
+            ),
+            None => (
+                false,
+                size as u64,
+                Msg::PutChunk {
+                    req,
+                    chunk,
+                    size,
+                    data: payload.bytes(),
+                    background,
+                },
+            ),
+        };
         self.pending_puts.insert(
             req,
             PendingPut {
                 chunk,
                 size,
-                payload: payload.clone(),
+                payload,
                 target,
                 attempts: 0,
                 sent: false,
+                as_delta,
+                wire_cost,
             },
         );
-        out.push(WriteAction::Send {
-            to: target,
-            msg: Msg::PutChunk {
-                req,
-                chunk,
-                size,
-                data: payload.bytes(),
-                background,
-            },
-        });
+        out.push(WriteAction::Send { to: target, msg });
     }
 
     // ------------------------------------------------------------ callbacks
@@ -689,9 +918,40 @@ impl WriteSession {
             PendingPut {
                 target,
                 sent: false,
+                // Retries always ship the full chunk: the replacement
+                // target may not hold the delta basis.
+                as_delta: false,
+                wire_cost: p.size as u64,
                 ..p
             },
         );
+        self.pump(now, out);
+    }
+
+    /// The benefactor refused a delta (basis missing, or the
+    /// reconstruction failed verification): resend the same chunk in full
+    /// to the same target. The node itself is healthy, so it stays in the
+    /// stripe and no retry is charged.
+    fn delta_rejected(&mut self, req: RequestId, now: Time, out: &mut ActionQueue) {
+        let Some(mut p) = self.pending_puts.remove(&req) else {
+            return;
+        };
+        self.chunk_basis.remove(&p.chunk);
+        let new_req = self.reqs.next();
+        out.push(WriteAction::Send {
+            to: p.target,
+            msg: Msg::PutChunk {
+                req: new_req,
+                chunk: p.chunk,
+                size: p.size,
+                data: p.payload.bytes(),
+                background: false,
+            },
+        });
+        p.sent = false;
+        p.as_delta = false;
+        p.wire_cost = p.size as u64;
+        self.pending_puts.insert(new_req, p);
         self.pump(now, out);
     }
 
@@ -735,9 +995,27 @@ impl WriteSession {
                 if let Some(p) = self.pending_puts.remove(&req) {
                     debug_assert_eq!(p.chunk, chunk);
                     self.stats.bytes_stored += p.size as u64;
+                    if p.as_delta {
+                        self.stats.wire_delta_bytes += p.wire_cost;
+                    } else {
+                        self.stats.wire_full_bytes += p.wire_cost;
+                    }
                     self.buffered = self.buffered.saturating_sub(p.size as u64);
                     self.placements.entry(chunk).or_default().push(node);
                     self.placements.get_mut(&chunk).expect("just added").dedup();
+                }
+                self.pump(now, out);
+            }
+            Msg::WantChunks { req, wanted } => {
+                if let Some(batch) = self.pending_offers.remove(&req) {
+                    let want: HashSet<u32> = wanted.into_iter().collect();
+                    for (i, e) in batch.into_iter().enumerate() {
+                        if want.contains(&(i as u32)) {
+                            self.resolve_wanted(e);
+                        } else {
+                            self.resolve_reused(e);
+                        }
+                    }
                 }
                 self.pump(now, out);
             }
@@ -763,6 +1041,15 @@ impl WriteSession {
             Msg::ErrorReply { req, code, .. } => {
                 if self.commit_req == Some(req) || self.extend_pending == Some(req) {
                     self.fail(code, out);
+                } else if let Some(batch) = self.pending_offers.remove(&req) {
+                    // Negotiation refused (reservation expired, manager
+                    // without dedup support): ship everything in full.
+                    for e in batch {
+                        self.resolve_wanted(e);
+                    }
+                    self.pump(now, out);
+                } else if self.pending_puts.get(&req).is_some_and(|p| p.as_delta) {
+                    self.delta_rejected(req, now, out);
                 } else if self.pending_puts.contains_key(&req) {
                     self.put_failed(req, now, out);
                 } else {
@@ -837,7 +1124,11 @@ impl WriteSession {
         if self.stats.app_close_at.is_none() {
             let handed_off = match self.cfg.protocol {
                 WriteProtocol::SlidingWindow { .. } => {
-                    self.queued_puts.is_empty() && self.pending_puts.values().all(|p| p.sent)
+                    self.queued_puts.is_empty()
+                        && self.offer_hold.is_empty()
+                        && self.offer_pending.is_empty()
+                        && self.pending_offers.is_empty()
+                        && self.pending_puts.values().all(|p| p.sent)
                 }
                 WriteProtocol::CompleteLocal | WriteProtocol::Incremental { .. } => {
                     self.stage_inflight == 0 && self.stage_ops.is_empty()
@@ -847,11 +1138,18 @@ impl WriteSession {
                 self.stats.app_close_at = Some(now);
             }
         }
-        // Commit once every chunk is durably stored once.
+        // Commit once every chunk is durably stored once and every
+        // negotiation verdict is in.
         let all_stored = self.queued_puts.is_empty()
             && self.pending_puts.is_empty()
             && self.pending_fetches.is_empty()
-            && self.staged.iter().all(|c| c.deduped);
+            && self.offer_pending.is_empty()
+            && self.pending_offers.is_empty()
+            && self.offer_hold.is_empty()
+            && self
+                .staged
+                .iter()
+                .all(|c| c.deduped || self.verdicts.get(&c.entry.id) == Some(&Verdict::Reused));
         if all_stored && self.commit_req.is_none() && self.stash_reqs.is_empty() {
             self.staged.clear();
             let entries = self.entries.clone();
@@ -892,8 +1190,20 @@ impl WriteSession {
                     entries,
                     placements,
                     pessimistic: self.cfg.pessimistic,
+                    dedup: self.dedup_summary(),
                 },
             });
+        }
+    }
+
+    /// The commit-time accounting of how this version's bytes travelled.
+    pub fn dedup_summary(&self) -> DedupSummary {
+        DedupSummary {
+            offered: self.stats.offered_chunks as u32,
+            wanted: self.stats.wanted_chunks as u32,
+            reused_bytes: self.stats.wire_reused_bytes,
+            delta_bytes: self.stats.wire_delta_bytes,
+            full_bytes: self.stats.wire_full_bytes,
         }
     }
 }

@@ -161,6 +161,7 @@ impl Driver {
                         entries,
                         placements,
                         pessimistic: false,
+                        dedup: Default::default(),
                     },
                     self.now,
                 );

@@ -222,6 +222,7 @@ impl Driver {
                         entries,
                         placements,
                         pessimistic: false,
+                        dedup: Default::default(),
                     },
                 );
             }

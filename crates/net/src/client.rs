@@ -48,6 +48,7 @@ use std::time::Duration;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 
+use stdchk_chunker::delta::ChunkSignature;
 use stdchk_core::node::{Action, Completion, Node};
 use stdchk_core::payload::Payload;
 use stdchk_core::session::read::{ReadSession, ReadState};
@@ -55,7 +56,7 @@ use stdchk_core::session::write::{
     OpenGrant, SessionConfig, SessionState, WriteSession, WriteStats,
 };
 use stdchk_core::MANAGER_NODE;
-use stdchk_proto::ids::{NodeId, RequestId, VersionId};
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId, VersionId};
 use stdchk_proto::msg::{DirEntry, FileAttr, Msg, Role, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
@@ -343,6 +344,11 @@ struct GridInner {
     timeout: Duration,
     stage_dir: PathBuf,
     backend: ClientBackend,
+    /// Per-path delta bases harvested from finished write sessions — the
+    /// chunk signatures and placements feeding the *next* version of the
+    /// same file. Purely an optimization cache: a stale or missing entry
+    /// only means a chunk ships in full instead of as a delta.
+    signatures: Mutex<HashMap<String, PathBases>>,
 }
 
 impl Drop for GridInner {
@@ -357,6 +363,14 @@ impl Drop for GridInner {
             }
         }
     }
+}
+
+/// Delta bases one path's last write left behind: per-chunk signatures
+/// (what to diff against) and placements (where a delta can be applied).
+#[derive(Default)]
+struct PathBases {
+    sigs: HashMap<ChunkId, ChunkSignature>,
+    homes: HashMap<ChunkId, Vec<NodeId>>,
 }
 
 /// A connection to a stdchk pool.
@@ -451,6 +465,7 @@ impl Grid {
                 rt: Arc::clone(rt),
                 mgr_token,
             },
+            signatures: Mutex::new(HashMap::new()),
         });
         rt.app
             .conns
@@ -484,15 +499,37 @@ impl Grid {
             timeout: Duration::from_secs(10),
             stage_dir: std::env::temp_dir(),
             backend: ClientBackend::Threaded,
+            signatures: Mutex::new(HashMap::new()),
         });
-        // Manager reply pump.
+        // Manager reply pump. Session-routed messages are handed to a
+        // separate dispatcher thread: a session pump can issue a blocking
+        // manager RPC (benefactor address resolution on a cold cache), and
+        // running it inline here would park the only thread able to
+        // deliver that RPC's reply — a self-deadlock. RPC replies stay
+        // inline; they only unblock a channel.
+        let (dispatch_tx, dispatch_rx) = channel::unbounded::<(Arc<dyn SessionSlot>, Msg)>();
+        {
+            let inner2 = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("stdchk-grid-dispatch".into())
+                .spawn(move || {
+                    let grid = Grid { inner: inner2 };
+                    // Exits when the reader drops the sender (manager EOF).
+                    while let Ok((slot, msg)) = dispatch_rx.recv() {
+                        slot.deliver(&grid, msg);
+                    }
+                })
+                .expect("spawn grid dispatcher");
+        }
         {
             let inner2 = Arc::clone(&inner);
             thread::Builder::new()
                 .name("stdchk-grid-mgr".into())
                 .spawn(move || {
                     let grid = Grid { inner: inner2 };
-                    read_loop(reader, move |msg| deliver_reply(&grid, msg));
+                    read_loop(reader, move |msg| {
+                        deliver_reply_offloaded(&grid, msg, &dispatch_tx)
+                    });
                 })
                 .expect("spawn grid reader");
         }
@@ -660,13 +697,26 @@ impl Grid {
             reserved_chunks: opts.expected_chunks.max(1) as u64,
         };
         let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
-        let session = WriteSession::new(
+        // Wire-level dedup rides on the session's have/want negotiation;
+        // `STDCHK_DEDUP=off` forces full transfer (the A/B baseline).
+        let mut session_cfg = opts.session;
+        session_cfg.negotiate = crate::dedup_enabled();
+        let negotiate = session_cfg.negotiate;
+        let mut session = WriteSession::new(
             sid,
             self.inner.my_node,
             grant,
-            opts.session,
+            session_cfg,
             self.inner.clock.now(),
         );
+        if negotiate {
+            // Seed delta bases from what the previous write of this path
+            // left behind (if anything).
+            if let Some(bases) = self.inner.signatures.lock().get(path) {
+                session.set_basis_signatures(bases.sigs.clone());
+                session.set_basis_placements(bases.homes.clone());
+            }
+        }
         let stage_path = self
             .inner
             .stage_dir
@@ -674,6 +724,7 @@ impl Grid {
         Ok(WriteHandle {
             grid: self.clone(),
             shared: SessionShared::new(session, stage_path),
+            path: path.to_string(),
             finished: false,
         })
     }
@@ -856,6 +907,28 @@ fn deliver_reply(grid: &Grid, msg: Msg) {
             let _ = tx.send(msg);
         }
         Some(Route::Session { slot, .. }) => slot.deliver(grid, msg),
+        None => {}
+    }
+}
+
+/// [`deliver_reply`] for the threaded manager reader: session deliveries
+/// go to the dispatcher thread instead of running inline, because the
+/// resulting pump may block on a manager RPC whose reply only the reader
+/// can deliver.
+fn deliver_reply_offloaded(
+    grid: &Grid,
+    msg: Msg,
+    dispatch: &channel::Sender<(Arc<dyn SessionSlot>, Msg)>,
+) {
+    let Some(req) = msg.request_id() else { return };
+    let route = grid.inner.routes.lock().remove(&req);
+    match route {
+        Some(Route::Rpc(tx)) => {
+            let _ = tx.send(msg);
+        }
+        Some(Route::Session { slot, .. }) => {
+            let _ = dispatch.send((slot, msg));
+        }
         None => {}
     }
 }
@@ -1139,6 +1212,9 @@ fn stage_read<N>(shared: &Arc<SessionShared<N>>, offset: u64, len: usize) -> io:
 pub struct WriteHandle {
     grid: Grid,
     shared: Arc<SessionShared<WriteSession>>,
+    /// Pool path being written: keys the grid's signature cache so the
+    /// next version of the same file can delta against this one.
+    path: String,
     finished: bool,
 }
 
@@ -1254,11 +1330,32 @@ impl WriteHandle {
                 _ => None,
             }
         };
-        if result.is_some() {
+        if let Some(outcome) = &result {
             self.finished = true;
+            if outcome.is_ok() {
+                self.harvest_signatures();
+            }
             let _ = std::fs::remove_file(&self.shared.stage_path);
         }
         result
+    }
+
+    /// Banks this session's chunk signatures in the grid's per-path cache:
+    /// the delta bases for the next write of the same path. Merged over
+    /// older entries — a base pruned from the pool only costs a fallback
+    /// to full transfer, never correctness.
+    fn harvest_signatures(&self) {
+        let (sigs, homes) = {
+            let mut s = self.shared.session.lock();
+            (s.take_signatures(), s.shipped_placements())
+        };
+        if sigs.is_empty() {
+            return;
+        }
+        let mut cache = self.grid.inner.signatures.lock();
+        let bases = cache.entry(self.path.clone()).or_default();
+        bases.sigs.extend(sigs);
+        bases.homes.extend(homes);
     }
 
     /// Closes the file: drains data, commits the chunk-map, and returns the
@@ -1282,6 +1379,7 @@ impl WriteHandle {
                 SessionState::Done => {
                     let stats = s.stats();
                     drop(s);
+                    self.harvest_signatures();
                     let _ = std::fs::remove_file(&self.shared.stage_path);
                     return Ok(stats);
                 }

@@ -110,6 +110,16 @@ impl Backend {
     }
 }
 
+/// Reads `STDCHK_DEDUP`, defaulting to on. When off, [`client::Grid`]
+/// writes skip the have/want negotiation and delta encoding entirely and
+/// ship every chunk in full — the A/B baseline for the dedup benchmarks.
+pub fn dedup_enabled() -> bool {
+    !matches!(
+        std::env::var("STDCHK_DEDUP").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
 /// Transport tuning for [`ManagerServer`] / [`BenefactorServer`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServerOpts {

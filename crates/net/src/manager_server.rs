@@ -42,7 +42,7 @@ use stdchk_core::node::{Action, Completion};
 use stdchk_core::{Manager, ManagerStats, PoolConfig};
 use stdchk_proto::ids::NodeId;
 use stdchk_proto::meta::MetaRecord;
-use stdchk_proto::msg::{Msg, Role};
+use stdchk_proto::msg::{DedupSummary, Msg, Role};
 use stdchk_util::Time;
 
 use crate::conn::{read_loop, Clock, Link, Sender};
@@ -315,6 +315,32 @@ fn route_inbound(
                     id
                 }
             };
+            // Commits that rode the have/want negotiation carry their wire
+            // accounting; surface the per-commit dedup ratio next to the
+            // manager's other operational logging.
+            if let Msg::CommitChunkMap {
+                reservation, dedup, ..
+            } = &msg
+            {
+                if *dedup != DedupSummary::default() {
+                    let moved = dedup.delta_bytes + dedup.full_bytes;
+                    let total = dedup.reused_bytes + moved;
+                    let pct = if total > 0 {
+                        100.0 * moved as f64 / total as f64
+                    } else {
+                        100.0
+                    };
+                    eprintln!(
+                        "stdchk-mgr: commit {reservation:?} dedup: offered={} wanted={} \
+                         reused={}B delta={}B full={}B ({pct:.1}% of logical bytes on wire)",
+                        dedup.offered,
+                        dedup.wanted,
+                        dedup.reused_bytes,
+                        dedup.delta_bytes,
+                        dedup.full_bytes,
+                    );
+                }
+            }
             Some((from, msg))
         }
     }
@@ -725,6 +751,13 @@ impl ManagerServer {
             .metalog
             .as_ref()
             .map(|m| m.sync_faults())
+    }
+
+    /// Cumulative wire-dedup ledger (offered/wanted chunks, reused /
+    /// delta / full bytes). Durable managers rebuild it from `Dedup`
+    /// WAL records on restart.
+    pub fn dedup_totals(&self) -> stdchk_core::DedupTotals {
+        self.host.with_node(|m| m.dedup_totals())
     }
 
     /// Online benefactor count (for tests and examples).

@@ -180,6 +180,101 @@ fn dedup_reduces_second_version_transfers() {
     pool.mgr.check_invariants();
 }
 
+/// The wire-dedup subsystem end to end: the second, ~70%-similar version
+/// of a checkpoint negotiates have/want with the manager, ships only the
+/// missing chunks (full or as deltas), and both versions read back
+/// byte-identical. The session's wire accounting must agree with what
+/// [`SimilarityTracker`] predicts from the chunk streams.
+#[test]
+fn negotiation_ships_only_missing_chunks_of_similar_version() {
+    use stdchk_chunker::{Chunker, FsChunker, SimilarityTracker};
+
+    if !stdchk_net::dedup_enabled() {
+        // `STDCHK_DEDUP=off` is the full-transfer A/B baseline; the other
+        // roundtrip tests cover it.
+        return;
+    }
+    const CHUNK: usize = 64 << 10;
+    const CHUNKS: usize = 10;
+    let pool = TestPool::start(3);
+    let grid = pool.grid();
+
+    let v1 = payload(CHUNKS * CHUNK, 21);
+    // ~70% similar: dirty 3 of 10 chunks with a single flipped byte each
+    // (near-miss chunks — exactly what the delta path is for).
+    let mut v2 = v1.clone();
+    for i in [1usize, 4, 8] {
+        v2[i * CHUNK + 17] ^= 0xff;
+    }
+    let chunker = FsChunker::new(CHUNK);
+    let mut tracker = SimilarityTracker::new();
+    tracker.observe(&chunker.split(&v1));
+    let report = tracker.predict(&chunker.split(&v2));
+    assert_eq!(report.dup_bytes, 7 * CHUNK as u64, "test setup");
+
+    let mut w = grid
+        .create("/ckpt/img.n0", WriteOptions::default())
+        .expect("v1");
+    w.write_all(&v1).expect("write v1");
+    let s1 = w.finish().expect("finish v1");
+    // First version: everything is offered, everything is wanted.
+    assert_eq!(s1.offered_chunks, CHUNKS as u64);
+    assert_eq!(s1.wanted_chunks, CHUNKS as u64);
+    assert_eq!(s1.wire_reused_bytes, 0);
+
+    let mut w = grid
+        .create("/ckpt/img.n0", WriteOptions::default())
+        .expect("v2");
+    w.write_all(&v2).expect("write v2");
+    let s2 = w.finish().expect("finish v2");
+
+    // Wanted-chunk count and bytes-on-wire match the similarity report:
+    // the 7 duplicate chunks commit by reference, the 3 dirty ones ship —
+    // as deltas or full, but never more than their plain size.
+    assert_eq!(s2.offered_chunks, CHUNKS as u64);
+    assert_eq!(s2.wanted_chunks * CHUNK as u64, report.new_bytes);
+    assert_eq!(s2.wire_reused_bytes, report.dup_bytes);
+    let on_wire = s2.wire_delta_bytes + s2.wire_full_bytes;
+    assert!(on_wire > 0, "wanted chunks must actually travel");
+    assert!(
+        on_wire <= report.new_bytes,
+        "bytes on wire {on_wire} exceed the similarity report's {} new bytes",
+        report.new_bytes
+    );
+    assert!(
+        s2.wire_delta_bytes > 0,
+        "single-byte flips must delta-encode against the harvested signatures"
+    );
+    assert!(
+        on_wire * 2 <= s2.bytes_written,
+        "a 70%-similar version must ship under half its bytes"
+    );
+
+    // Both versions remain readable, byte for byte.
+    let versions = grid.versions("/ckpt/img.n0").expect("versions");
+    assert_eq!(versions.len(), 2);
+    let (old, new) = (versions[0].version, versions[1].version);
+    assert_eq!(
+        grid.open("/ckpt/img.n0", Some(old))
+            .unwrap()
+            .read_all()
+            .unwrap(),
+        v1
+    );
+    assert_eq!(
+        grid.open("/ckpt/img.n0", Some(new))
+            .unwrap()
+            .read_all()
+            .unwrap(),
+        v2
+    );
+    // Manager-side ledger saw the same traffic.
+    let totals = pool.mgr.dedup_totals();
+    assert_eq!(totals.commits, 2);
+    assert_eq!(totals.reused_bytes, report.dup_bytes);
+    pool.mgr.check_invariants();
+}
+
 #[test]
 fn metadata_operations_work_over_tcp() {
     let pool = TestPool::start(2);
@@ -521,6 +616,106 @@ fn durable_manager_snapshots_compact_the_wal() {
             *size
         );
     }
+    mgr2.check_invariants();
+    drop(mgr2);
+    std::fs::remove_dir_all(&meta_dir).ok();
+}
+
+/// Cross-version refcounts vs GC: after the retention policy prunes the
+/// older version, the chunks it *shared* with the newer version must
+/// survive garbage collection (the newer version still references them),
+/// while the chunks only the old version used are reclaimed. A durable
+/// manager restart must replay the wire-dedup ledger without inventing
+/// commits.
+#[test]
+fn refcounted_chunks_survive_gc_after_prune_and_restart() {
+    const CHUNK: usize = 64 << 10;
+    const CHUNKS: usize = 10;
+    let meta_dir = std::env::temp_dir().join(format!("stdchk-mgr-dedup-{}", std::process::id()));
+    std::fs::remove_dir_all(&meta_dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = CHUNK as u32;
+    pool_cfg.benefactor_timeout = stdchk_util::Dur::from_secs(60);
+    let log_cfg = stdchk_net::metalog::MetaLogConfig::default();
+    let mgr =
+        ManagerServer::spawn_durable_with("127.0.0.1:0", pool_cfg.clone(), &meta_dir, log_cfg)
+            .expect("durable manager");
+    let benefactor = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 256 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store: Arc::new(MemStore::new()),
+    })
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    grid.set_policy("/ckpt", RetentionPolicy::REPLACE)
+        .expect("policy");
+
+    let v1 = payload(CHUNKS * CHUNK, 31);
+    let mut v2 = v1.clone();
+    for i in [0usize, 5, 9] {
+        v2[i * CHUNK + 3] ^= 0xff;
+    }
+    for data in [&v1, &v2] {
+        let mut w = grid
+            .create("/ckpt/img.n0", WriteOptions::default())
+            .expect("create");
+        w.write_all(data).expect("write");
+        w.finish().expect("finish");
+    }
+    // The REPLACE policy prunes v1; GC then reclaims the 3 chunks only v1
+    // used, while the 7 chunks v2 still references must survive — the
+    // benefactor settles at exactly v2's distinct chunk count.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if benefactor.chunk_count() == CHUNKS && grid.stat("/ckpt/img.n0").unwrap().versions == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "GC never settled: {} chunks, {} versions",
+            benefactor.chunk_count(),
+            grid.stat("/ckpt/img.n0").unwrap().versions,
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        grid.open("/ckpt/img.n0", None).unwrap().read_all().unwrap(),
+        v2,
+        "shared chunks must survive the prune"
+    );
+    let totals = mgr.dedup_totals();
+    if stdchk_net::dedup_enabled() {
+        assert!(
+            totals.commits >= 1,
+            "negotiated commits must hit the ledger"
+        );
+        assert_eq!(totals.reused_bytes, 7 * CHUNK as u64);
+    }
+    mgr.check_invariants();
+
+    // Restart: the ledger replays from the WAL; commit counters do not.
+    drop(mgr);
+    let mgr2 = respawn_durable(pool_cfg, &meta_dir, log_cfg);
+    assert_eq!(mgr2.dedup_totals(), totals, "ledger survives restart");
+    let stats = mgr2.stats();
+    assert_eq!(stats.commits, 0, "replay must not count as commits");
+    assert_eq!(stats.recovered_commits, 0);
+    let grid2 = Grid::connect(&mgr2.addr().to_string()).expect("reconnect");
+    assert_eq!(
+        grid2
+            .open("/ckpt/img.n0", None)
+            .unwrap()
+            .read_all()
+            .unwrap(),
+        v2
+    );
     mgr2.check_invariants();
     drop(mgr2);
     std::fs::remove_dir_all(&meta_dir).ok();

@@ -20,6 +20,7 @@ use crate::chunkmap::{ChunkEntry, ChunkMap};
 use crate::codec::{Reader, Wire, Writer};
 use crate::error::ProtoError;
 use crate::ids::{ChunkId, FileId, NodeId, VersionId};
+use crate::msg::DedupSummary;
 use crate::policy::RetentionPolicy;
 use stdchk_util::Time;
 
@@ -83,6 +84,19 @@ pub enum MetaRecord {
         /// Donated space in bytes.
         total: u64,
     },
+    /// How a committed version's bytes travelled under have/want
+    /// negotiation. Logged alongside the matching `Commit` record so
+    /// restart-surviving dedup totals can be audited; replay folds it into
+    /// the manager's dedup counters and nothing else (the namespace effect
+    /// is entirely in the `Commit` record).
+    Dedup {
+        /// The committed file.
+        file: FileId,
+        /// The committed version.
+        version: VersionId,
+        /// Offered/wanted counts and reused/delta/full byte totals.
+        summary: DedupSummary,
+    },
 }
 
 const TAG_COMMIT: u8 = 0;
@@ -90,6 +104,7 @@ const TAG_PRUNE: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_SET_POLICY: u8 = 3;
 const TAG_BENEFACTOR: u8 = 4;
+const TAG_DEDUP: u8 = 5;
 
 impl MetaRecord {
     /// Stable wire discriminant.
@@ -100,6 +115,7 @@ impl MetaRecord {
             MetaRecord::Delete { .. } => TAG_DELETE,
             MetaRecord::SetPolicy { .. } => TAG_SET_POLICY,
             MetaRecord::Benefactor { .. } => TAG_BENEFACTOR,
+            MetaRecord::Dedup { .. } => TAG_DEDUP,
         }
     }
 
@@ -146,6 +162,15 @@ impl Wire for MetaRecord {
                 addr.encode(w);
                 w.put_u64(*total);
             }
+            MetaRecord::Dedup {
+                file,
+                version,
+                summary,
+            } => {
+                file.encode(w);
+                version.encode(w);
+                summary.encode(w);
+            }
         }
     }
 
@@ -175,6 +200,11 @@ impl Wire for MetaRecord {
                 node: NodeId::decode(r)?,
                 addr: String::decode(r)?,
                 total: r.get_u64()?,
+            },
+            TAG_DEDUP => MetaRecord::Dedup {
+                file: FileId::decode(r)?,
+                version: VersionId::decode(r)?,
+                summary: DedupSummary::decode(r)?,
             },
             t => return Err(ProtoError::bad(format!("unknown meta record tag {t}"))),
         })
@@ -369,6 +399,17 @@ mod tests {
             node: NodeId(5),
             addr: "10.0.0.2:4402".into(),
             total: 1 << 40,
+        });
+        roundtrip(MetaRecord::Dedup {
+            file: FileId(7),
+            version: VersionId(12),
+            summary: DedupSummary {
+                offered: 8,
+                wanted: 3,
+                reused_bytes: 5 << 16,
+                delta_bytes: 900,
+                full_bytes: 2 << 16,
+            },
         });
     }
 

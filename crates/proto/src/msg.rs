@@ -67,6 +67,25 @@ pub struct VersionInfo {
     pub mtime: Time,
 }
 
+/// Per-commit dedup accounting carried by `CommitChunkMap` and surfaced in
+/// the manager's commit log line: how the version's chunks travelled
+/// (negotiated away entirely, shipped as deltas, or shipped in full).
+/// `offered`/`wanted` stay zero when the session did not negotiate; the
+/// byte counters are filled either way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupSummary {
+    /// Distinct chunks offered to the manager via `OfferChunks`.
+    pub offered: u32,
+    /// Chunks the manager asked for (the rest committed by reference).
+    pub wanted: u32,
+    /// Bytes never sent because the pool already stored the chunk.
+    pub reused_bytes: u64,
+    /// Bytes sent as delta encodings (`DeltaPutChunk` payloads).
+    pub delta_bytes: u64,
+    /// Bytes sent as full `PutChunk` payloads.
+    pub full_bytes: u64,
+}
+
 /// Role announced by the `Hello` handshake on a fresh connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Role {
@@ -180,6 +199,8 @@ pub enum Msg {
         /// If true the commit succeeds only once the replication target is
         /// met (pessimistic write semantics).
         pessimistic: bool,
+        /// How this version's bytes travelled (all-zero without negotiation).
+        dedup: DedupSummary,
     },
     /// Successful commit.
     CommitOk {
@@ -285,6 +306,27 @@ pub enum Msg {
         req: RequestId,
         /// `(node, address)` pairs.
         addrs: Vec<(NodeId, String)>,
+    },
+    /// Have/want negotiation, step 1: the writing session offers the chunk
+    /// ids it is about to ship so the manager can answer which ones the pool
+    /// already stores (incremental-checkpoint dedup across versions and
+    /// files).
+    OfferChunks {
+        /// Request id.
+        req: RequestId,
+        /// The write session's reservation (scopes the offer and pins the
+        /// already-stored chunks against GC until commit/abort/expiry).
+        reservation: ReservationId,
+        /// Offered chunks, in the session's ship order.
+        entries: Vec<ChunkEntry>,
+    },
+    /// Have/want negotiation, step 2: which offered chunks must actually
+    /// transfer. The rest commit by reference.
+    WantChunks {
+        /// Request id (matches the `OfferChunks`).
+        req: RequestId,
+        /// Indices into the offer's `entries` that must be shipped.
+        wanted: Vec<u32>,
     },
 
     // ------------------------------------------------------ benefactor <-> manager
@@ -438,6 +480,23 @@ pub enum Msg {
         /// Chunk payload (may be empty in virtual/simulation mode).
         data: Bytes,
     },
+    /// Stores one chunk as a delta against a chunk the benefactor already
+    /// holds. The benefactor loads `basis`, applies `delta`, verifies the
+    /// reconstruction hashes to `chunk`, and stores the full bytes — the
+    /// store and the read path never see deltas. `NotFound` tells the client
+    /// to fall back to a full [`Msg::PutChunk`].
+    DeltaPutChunk {
+        /// Request id.
+        req: RequestId,
+        /// Content hash of the *reconstructed* chunk.
+        chunk: ChunkId,
+        /// The already-stored chunk the delta is encoded against.
+        basis: ChunkId,
+        /// Size in bytes of the reconstructed chunk.
+        size: u32,
+        /// Delta ops stream (see `stdchk_chunker::delta`).
+        delta: Bytes,
+    },
 }
 
 impl Msg {
@@ -466,6 +525,9 @@ impl Msg {
             | SetPolicy { req, .. }
             | ResolveNodes { req, .. }
             | NodeAddrsReply { req, .. }
+            | OfferChunks { req, .. }
+            | WantChunks { req, .. }
+            | DeltaPutChunk { req, .. }
             | JoinRequest { req, .. }
             | JoinOk { req, .. }
             | GcReport { req, .. }
@@ -511,6 +573,9 @@ impl Msg {
         match self {
             Msg::PutChunk { size, .. } => 64 + *size as u64,
             Msg::GetChunkOk { size, .. } => 64 + *size as u64,
+            Msg::DeltaPutChunk { delta, .. } => 112 + delta.len() as u64,
+            Msg::OfferChunks { entries, .. } => 32 + entries.len() as u64 * 36,
+            Msg::WantChunks { wanted, .. } => 24 + wanted.len() as u64 * 4,
             Msg::CommitChunkMap {
                 entries,
                 placements,
@@ -660,6 +725,25 @@ impl Wire for ReplicaCopy {
     }
 }
 
+impl Wire for DedupSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.offered);
+        w.put_u32(self.wanted);
+        w.put_u64(self.reused_bytes);
+        w.put_u64(self.delta_bytes);
+        w.put_u64(self.full_bytes);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ProtoError> {
+        Ok(DedupSummary {
+            offered: r.get_u32()?,
+            wanted: r.get_u32()?,
+            reused_bytes: r.get_u64()?,
+            delta_bytes: r.get_u64()?,
+            full_bytes: r.get_u64()?,
+        })
+    }
+}
+
 impl Wire for VersionInfo {
     fn encode(&self, w: &mut Writer) {
         self.version.encode(w);
@@ -713,6 +797,8 @@ msg_tags! {
     26 => SetPolicy,
     27 => ResolveNodes,
     28 => NodeAddrsReply,
+    29 => OfferChunks,
+    30 => WantChunks,
     40 => JoinRequest,
     41 => JoinOk,
     42 => Heartbeat,
@@ -728,6 +814,7 @@ msg_tags! {
     61 => PutChunkOk,
     62 => GetChunk,
     63 => GetChunkOk,
+    64 => DeltaPutChunk,
 }
 
 impl Wire for Msg {
@@ -796,12 +883,14 @@ impl Wire for Msg {
                 entries,
                 placements,
                 pessimistic,
+                dedup,
             } => {
                 req.encode(w);
                 reservation.encode(w);
                 entries.encode(w);
                 placements.encode(w);
                 pessimistic.encode(w);
+                dedup.encode(w);
             }
             Msg::CommitOk { req, file, version } => {
                 req.encode(w);
@@ -861,6 +950,19 @@ impl Wire for Msg {
             Msg::NodeAddrsReply { req, addrs } => {
                 req.encode(w);
                 addrs.encode(w);
+            }
+            Msg::OfferChunks {
+                req,
+                reservation,
+                entries,
+            } => {
+                req.encode(w);
+                reservation.encode(w);
+                entries.encode(w);
+            }
+            Msg::WantChunks { req, wanted } => {
+                req.encode(w);
+                wanted.encode(w);
             }
             Msg::JoinRequest {
                 req,
@@ -977,6 +1079,19 @@ impl Wire for Msg {
                 w.put_u32(*size);
                 data.encode(w);
             }
+            Msg::DeltaPutChunk {
+                req,
+                chunk,
+                basis,
+                size,
+                delta,
+            } => {
+                req.encode(w);
+                chunk.encode(w);
+                basis.encode(w);
+                w.put_u32(*size);
+                delta.encode(w);
+            }
         }
     }
 
@@ -1033,6 +1148,7 @@ impl Wire for Msg {
                 entries: Vec::decode(r)?,
                 placements: Vec::decode(r)?,
                 pessimistic: bool::decode(r)?,
+                dedup: DedupSummary::decode(r)?,
             },
             15 => Msg::CommitOk {
                 req: RequestId::decode(r)?,
@@ -1092,6 +1208,15 @@ impl Wire for Msg {
             28 => Msg::NodeAddrsReply {
                 req: RequestId::decode(r)?,
                 addrs: Vec::decode(r)?,
+            },
+            29 => Msg::OfferChunks {
+                req: RequestId::decode(r)?,
+                reservation: ReservationId::decode(r)?,
+                entries: Vec::decode(r)?,
+            },
+            30 => Msg::WantChunks {
+                req: RequestId::decode(r)?,
+                wanted: Vec::decode(r)?,
             },
             40 => Msg::JoinRequest {
                 req: RequestId::decode(r)?,
@@ -1170,6 +1295,13 @@ impl Wire for Msg {
                 size: r.get_u32()?,
                 data: Bytes::decode(r)?,
             },
+            64 => Msg::DeltaPutChunk {
+                req: RequestId::decode(r)?,
+                chunk: ChunkId::decode(r)?,
+                basis: ChunkId::decode(r)?,
+                size: r.get_u32()?,
+                delta: Bytes::decode(r)?,
+            },
             other => return Err(ProtoError::bad(format!("unknown message tag {other}"))),
         })
     }
@@ -1223,6 +1355,29 @@ mod tests {
                     (ChunkId::test_id(3), vec![NodeId(2), NodeId(1)]),
                 ],
                 pessimistic: true,
+                dedup: DedupSummary {
+                    offered: 3,
+                    wanted: 1,
+                    reused_bytes: 200,
+                    delta_bytes: 0,
+                    full_bytes: 7,
+                },
+            },
+            Msg::OfferChunks {
+                req: RequestId(16),
+                reservation: ReservationId(5),
+                entries: vec![e(1, 100), e(3, 7)],
+            },
+            Msg::WantChunks {
+                req: RequestId(16),
+                wanted: vec![1],
+            },
+            Msg::DeltaPutChunk {
+                req: RequestId(17),
+                chunk: ChunkId::for_content(b"new chunk"),
+                basis: ChunkId::for_content(b"old chunk"),
+                size: 9,
+                delta: Bytes::from_static(&[0, 4, 0, 0, 0, b'n', b'e', b'w', b' ']),
             },
             Msg::GetFile {
                 req: RequestId(4),

@@ -8,7 +8,7 @@ use stdchk_proto::chunkmap::{ChunkEntry, ChunkMap, FileVersionView};
 use stdchk_proto::codec::Wire;
 use stdchk_proto::frame::FrameBuf;
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
-use stdchk_proto::msg::{FileAttr, Msg, ReplicaCopy, Role};
+use stdchk_proto::msg::{DedupSummary, FileAttr, Msg, ReplicaCopy, Role};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_util::{Dur, Time};
 
@@ -45,6 +45,23 @@ fn arb_policy() -> impl Strategy<Value = RetentionPolicy> {
 
 fn arb_entries() -> impl Strategy<Value = Vec<ChunkEntry>> {
     proptest::collection::vec(arb_entry(), 0..16)
+}
+
+fn arb_dedup() -> impl Strategy<Value = DedupSummary> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(offered, wanted, reused, delta, full)| DedupSummary {
+            offered,
+            wanted,
+            reused_bytes: reused,
+            delta_bytes: delta,
+            full_bytes: full,
+        })
 }
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
@@ -84,15 +101,19 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             any::<u64>(),
             arb_entries(),
             arb_placements(),
-            any::<bool>()
+            any::<bool>(),
+            arb_dedup()
         )
-            .prop_map(|(r, res, entries, placements, p)| Msg::CommitChunkMap {
-                req: RequestId(r),
-                reservation: ReservationId(res),
-                entries,
-                placements,
-                pessimistic: p,
-            }),
+            .prop_map(
+                |(r, res, entries, placements, p, dedup)| Msg::CommitChunkMap {
+                    req: RequestId(r),
+                    reservation: ReservationId(res),
+                    entries,
+                    placements,
+                    pessimistic: p,
+                    dedup,
+                },
+            ),
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(r, f, v)| Msg::CommitOk {
             req: RequestId(r),
             file: FileId(f),

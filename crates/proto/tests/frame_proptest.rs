@@ -7,14 +7,65 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 
+use stdchk_proto::chunkmap::ChunkEntry;
 use stdchk_proto::frame::{encode_frame, read_frame, FrameDecoder, FrameEncoder, MAX_FRAME};
-use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
+use stdchk_proto::ids::{ChunkId, NodeId, RequestId, ReservationId};
 use stdchk_proto::msg::{Msg, Role};
+
+/// Offer batches as the dedup negotiation produces them: hashes of small
+/// arbitrary contents with independent sizes.
+fn arb_entries() -> impl Strategy<Value = Vec<ChunkEntry>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..16), 1u32..1 << 20),
+        0..12,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(content, size)| ChunkEntry {
+                id: ChunkId::for_content(&content),
+                size,
+            })
+            .collect()
+    })
+}
+
+/// The dedup negotiation's wire messages (have/want + delta transfer).
+fn arb_dedup_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), arb_entries()).prop_map(|(r, res, entries)| {
+            Msg::OfferChunks {
+                req: RequestId(r),
+                reservation: ReservationId(res),
+                entries,
+            }
+        }),
+        (any::<u64>(), proptest::collection::vec(any::<u32>(), 0..16)).prop_map(|(r, wanted)| {
+            Msg::WantChunks {
+                req: RequestId(r),
+                wanted,
+            }
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            any::<u32>(),
+        )
+            .prop_map(|(r, delta, basis, size)| Msg::DeltaPutChunk {
+                req: RequestId(r),
+                chunk: ChunkId::for_content(&delta),
+                basis: ChunkId::for_content(&basis),
+                size,
+                delta: Bytes::from(delta),
+            }),
+    ]
+}
 
 /// Messages skewed toward the shapes that stress an incremental decoder:
 /// payload-bearing data-path frames next to tiny control frames.
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
+        arb_dedup_msg(),
         any::<u64>().prop_map(|r| Msg::Ack { req: RequestId(r) }),
         any::<u64>().prop_map(|n| Msg::Ping { nonce: n }),
         (any::<u64>(), 0u8..2).prop_map(|(n, r)| Msg::Hello {
@@ -190,5 +241,75 @@ proptest! {
         while !enc.write_to(&mut sink, &mut completed).unwrap() {}
         prop_assert_eq!(completed, (0..msgs.len() as u64).collect::<Vec<_>>());
         prop_assert_eq!(blocking_decode(&sink.out).unwrap(), msgs);
+    }
+
+    // Dedup negotiation messages survive a frame round trip exactly.
+    #[test]
+    fn dedup_messages_roundtrip(msg in arb_dedup_msg()) {
+        let wire = encode_frame(&msg);
+        let body = Bytes::from(wire[4..].to_vec());
+        prop_assert_eq!(Msg::from_frame(&body).expect("clean frame"), msg);
+    }
+
+    // Mangled dedup frames: truncations, trailing garbage, and byte flips
+    // must yield a decode error (or a different message), never a panic.
+    #[test]
+    fn mangled_dedup_frames_never_panic(
+        msg in arb_dedup_msg(),
+        cut_seed in 0.0f64..1.0,
+        flip_seed in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+        trailing in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let body = encode_frame(&msg)[4..].to_vec();
+        // Truncation: anything short of the full body is torn.
+        let cut = ((body.len() as f64) * cut_seed) as usize;
+        if cut < body.len() {
+            let torn = Bytes::from(body[..cut].to_vec());
+            prop_assert!(Msg::from_frame(&torn).is_err(), "truncated at {cut}");
+        }
+        // Trailing bytes: from_frame demands full consumption.
+        let mut padded = body.clone();
+        padded.extend_from_slice(&trailing);
+        prop_assert!(Msg::from_frame(&Bytes::from(padded)).is_err());
+        // A flipped bit decodes to an error or to something != original —
+        // the decoder must stay total either way.
+        let mut flipped = body.clone();
+        let at = ((flipped.len() as f64) * flip_seed) as usize;
+        if at < flipped.len() {
+            flipped[at] ^= 1 << flip_bit;
+            if let Ok(decoded) = Msg::from_frame(&Bytes::from(flipped)) {
+                prop_assert_ne!(decoded, msg);
+            }
+        }
+    }
+
+    // Zero-copy delta payloads: `Msg::from_frame` must hand back a `delta`
+    // that aliases the frame's backing buffer, not a fresh allocation —
+    // the reactor's decode path depends on this to avoid copying every
+    // delta body.
+    #[test]
+    fn delta_payload_slices_frame_buffer(
+        delta in proptest::collection::vec(any::<u8>(), 1..2048),
+        req in any::<u64>(),
+        size in any::<u32>(),
+    ) {
+        let msg = Msg::DeltaPutChunk {
+            req: RequestId(req),
+            chunk: ChunkId::for_content(&delta),
+            basis: ChunkId::for_content(b"basis"),
+            size,
+            delta: Bytes::from(delta),
+        };
+        let frame = Bytes::from(encode_frame(&msg)[4..].to_vec());
+        let Msg::DeltaPutChunk { delta: decoded, .. } = Msg::from_frame(&frame).unwrap() else {
+            panic!("wrong variant");
+        };
+        let buf = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        let got = decoded.as_ptr() as usize;
+        prop_assert!(
+            buf.contains(&got) && buf.contains(&(got + decoded.len() - 1)),
+            "delta payload was copied out of the frame buffer"
+        );
     }
 }

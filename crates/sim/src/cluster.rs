@@ -74,6 +74,13 @@ pub struct SimConfig {
     pub memcpy_rate: f64,
     /// FsCH hashing rate (charged on the write path when dedup is on).
     pub hash_rate: f64,
+    /// Rolling-checksum delta-encode scan rate, charged on the write path
+    /// when wire-level have/want negotiation is on (the client signs each
+    /// outgoing chunk and scans near-miss chunks against the previous
+    /// version's signatures). The negotiation's manager round-trips are
+    /// charged separately and automatically: `OfferChunks`/`WantChunks`
+    /// are control messages, so each batch costs 2× `control_latency`.
+    pub delta_scan_rate: f64,
     /// Application write-call size (defaults to the chunk size).
     pub app_block: u32,
     /// Fixed per-record cost of the benefactor storage engine, charged on
@@ -125,6 +132,7 @@ impl SimConfig {
             fuse_per_call: Dur::from_micros(32),
             memcpy_rate: 1.05e9,
             hash_rate: 110e6,
+            delta_scan_rate: 400e6,
             app_block: pool.chunk_size,
             store_op_overhead: Dur::from_micros(60),
             meta_log: false,
@@ -654,7 +662,10 @@ impl SimCluster {
     ) {
         let mut flows_added = false;
         for (to, msg) in msgs {
-            let is_data = matches!(msg, Msg::PutChunk { .. } | Msg::GetChunkOk { .. });
+            let is_data = matches!(
+                msg,
+                Msg::PutChunk { .. } | Msg::DeltaPutChunk { .. } | Msg::GetChunkOk { .. }
+            );
             if is_data && to != MANAGER_NODE {
                 let background = matches!(
                     msg,
@@ -1016,6 +1027,12 @@ impl SimCluster {
         let mut cost = self.cfg.fuse_per_call + Dur::for_bytes(block, self.cfg.memcpy_rate);
         if w.job.session.dedup {
             cost += Dur::for_bytes(block, self.cfg.hash_rate);
+        }
+        if w.job.session.negotiate {
+            // Signature build + delta scan over the block (the payloads are
+            // virtual, so this is a pure cost model; the byte savings of the
+            // wire path are exercised by the net suite and `dedup` bench).
+            cost += Dur::for_bytes(block, self.cfg.delta_scan_rate);
         }
         let chunk_idx = (w.written / self.cfg.pool.chunk_size as u64) as usize;
         let tag = match &w.job.tags {
