@@ -71,6 +71,11 @@ impl Manager {
                 })
                 .collect(),
             dirs: self.dirs.iter().map(|(d, p)| (d.clone(), *p)).collect(),
+            repl_bounds: self
+                .repl_bounds
+                .iter()
+                .map(|(d, b)| (d.clone(), *b))
+                .collect(),
             chunks: self
                 .chunks
                 .iter()
@@ -100,6 +105,9 @@ impl Manager {
         for (dir, policy) in &snap.dirs {
             mgr.dirs.insert(dir.clone(), *policy);
         }
+        for (dir, bounds) in &snap.repl_bounds {
+            mgr.repl_bounds.insert(dir.clone(), *bounds);
+        }
         for c in &snap.chunks {
             mgr.chunks.insert(
                 c.id,
@@ -108,6 +116,7 @@ impl Manager {
                     locations: c.locations.clone(),
                     refcount: 0,
                     target: c.target,
+                    last_version: 0,
                     pins: 0,
                 },
             );
@@ -116,7 +125,7 @@ impl Manager {
             let mut versions = Vec::with_capacity(f.versions.len());
             for v in &f.versions {
                 let map = MetaSnapshot::map_of(v);
-                mgr.incref_map(&map);
+                mgr.incref_map(&map, v.version);
                 mgr.next_version = mgr.next_version.max(v.version.as_u64() + 1);
                 versions.push(super::VersionRecord {
                     version: v.version,
@@ -210,11 +219,24 @@ impl Manager {
                 self.drop_versions(path, &all, &mut scratch);
                 self.files.remove(path);
             }
-            MetaRecord::SetPolicy { dir, policy } => {
+            MetaRecord::SetPolicy {
+                dir,
+                policy,
+                repl_bounds,
+            } => {
                 self.dirs.insert(dir.clone(), *policy);
+                if let Some(bounds) = repl_bounds {
+                    self.repl_bounds.insert(dir.clone(), *bounds);
+                }
             }
             MetaRecord::Benefactor { node, addr, total } => {
                 self.adopt_benefactor(*node, addr.clone(), *total, now);
+            }
+            MetaRecord::Churn { node, session } => {
+                // Rebuild the durable churn ledger; the sliding departure
+                // window stays empty (stale departures must not throttle a
+                // freshly restarted manager).
+                self.churn.fold(*node, *session);
             }
             MetaRecord::Dedup { summary, .. } => {
                 // Rebuild the wire-savings ledger only; commit counts and
@@ -242,12 +264,14 @@ impl Manager {
         if !addr.is_empty() {
             info.addr = addr;
         }
+        self.churn.note_online(node, now);
         self.next_node = self.next_node.max(node.as_u64() + 1);
     }
 
     /// Increments refcounts for every distinct chunk of `map` (restore
-    /// path; the inverse of [`Manager::decref_map`]).
-    fn incref_map(&mut self, map: &ChunkMap) {
+    /// path; the inverse of [`Manager::decref_map`]), stamping the
+    /// referencing version for repair prioritization.
+    fn incref_map(&mut self, map: &ChunkMap, version: VersionId) {
         let sizes: HashMap<ChunkId, u32> = map.entries().iter().map(|e| (e.id, e.size)).collect();
         for id in map.distinct_chunks() {
             let meta = self.chunks.entry(id).or_insert_with(|| ChunkMeta {
@@ -255,9 +279,11 @@ impl Manager {
                 locations: Vec::new(),
                 refcount: 0,
                 target: 1,
+                last_version: 0,
                 pins: 0,
             });
             meta.refcount += 1;
+            meta.last_version = meta.last_version.max(version.as_u64());
         }
     }
 

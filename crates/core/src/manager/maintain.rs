@@ -19,6 +19,9 @@ impl Manager {
         if now.since(self.last_policy_sweep) >= self.cfg.policy_sweep_every {
             self.last_policy_sweep = now;
             self.policy_sweep(now, out);
+            if self.cfg.adaptive_replication {
+                self.adapt_replication_targets(now);
+            }
         }
         if now.since(self.last_gc_mark) >= self.cfg.gc_every {
             self.last_gc_mark = now;
@@ -41,6 +44,27 @@ impl Manager {
             if let Some(b) = self.benefactors.get_mut(&node) {
                 b.online = false;
                 b.gc_due = false;
+            }
+            // One online session ended: feed the churn estimators and make
+            // the session durable (replay folds it back into the totals).
+            let session = self.churn.note_departure(node, now);
+            self.log_meta(out, || MetaRecord::Churn { node, session });
+            // In-flight repair jobs sourced from the dead node will never
+            // report; requeue their copies so the work is re-planned from a
+            // surviving holder instead of leaking the job slot forever.
+            let orphaned: Vec<u64> = self
+                .repl_jobs
+                .iter()
+                .filter(|(_, j)| j.source == node)
+                .map(|(id, _)| *id)
+                .collect();
+            for job in orphaned {
+                if let Some(j) = self.repl_jobs.remove(&job) {
+                    for (chunk, _) in j.copies {
+                        let attempts = j.attempts.get(&chunk).copied().unwrap_or(0);
+                        self.requeue_replication(chunk, attempts + 1);
+                    }
+                }
             }
             // Remove the dead node from chunk locations; plan repair for
             // chunks that fell under their replication target. A returning
@@ -83,6 +107,90 @@ impl Manager {
                 self.drop_file_if_empty(&res.path);
             }
         }
+    }
+
+    // ---------------------------------------------------- churn adaptation
+
+    /// Recomputes every live chunk's replication target from observed
+    /// fleet availability (Ni & Harwood-style adaptive replication): the
+    /// per-file target is the smallest `r` within the file's bounds with
+    /// `1 - (1-a)^r` at or above the configured durability goal, and a
+    /// chunk's target is the max over the files referencing it. Targets
+    /// move both ways — calm fleets shed replicas through GC, churny
+    /// fleets grow them through the repair queue.
+    pub(crate) fn adapt_replication_targets(&mut self, now: Time) {
+        let avail = (self.churn.availability_ppm(now) as f64 / 1e6).clamp(0.0, 1.0);
+        let goal = (self.cfg.target_durability_ppm as f64 / 1e6).clamp(0.0, 1.0);
+        let mut desired: std::collections::HashMap<ChunkId, u32> = Default::default();
+        for (path, file) in &self.files {
+            let (lo, hi) = self.repl_bounds_for(path);
+            let r = Manager::target_for(avail, goal, lo, hi);
+            for v in &file.versions {
+                for id in v.map.distinct_chunks() {
+                    let e = desired.entry(id).or_insert(r);
+                    *e = (*e).max(r);
+                }
+            }
+        }
+        let mut under = Vec::new();
+        for (id, r) in desired {
+            let Some(meta) = self.chunks.get_mut(&id) else {
+                continue;
+            };
+            if meta.refcount == 0 {
+                continue;
+            }
+            meta.target = r;
+            under.push(id);
+        }
+        under.sort_unstable();
+        for id in under {
+            let meta = &self.chunks[&id];
+            let effective = (meta.target as usize).min(self.online_benefactors().max(1));
+            let online = self.online_locations(&meta.locations);
+            if online > 0 && online < effective {
+                self.enqueue_replication(id);
+            }
+        }
+    }
+
+    /// Smallest replica count in `[lo, hi]` meeting the durability goal
+    /// under per-replica availability `avail` (falls back to `hi` when
+    /// even the ceiling can't meet it).
+    fn target_for(avail: f64, goal: f64, lo: u32, hi: u32) -> u32 {
+        let u = (1.0 - avail).clamp(0.0, 1.0);
+        for r in lo..=hi {
+            if 1.0 - u.powi(r as i32) >= goal {
+                return r;
+            }
+        }
+        hi
+    }
+
+    /// Suggested checkpoint interval via Young's approximation
+    /// `t = sqrt(2·δ/λ)`, where `δ` is the observed checkpoint write
+    /// duration and `λ` the per-node departure rate over the churn
+    /// window. [`Dur::ZERO`] when no departure was observed recently —
+    /// a calm fleet warrants no guidance.
+    pub(crate) fn checkpoint_guidance(
+        &mut self,
+        delta: stdchk_util::Dur,
+        now: Time,
+    ) -> stdchk_util::Dur {
+        let fleet = self.benefactors.len();
+        let Some(rate_ppb) = self
+            .churn
+            .departure_rate_ppb(now, self.cfg.churn_window, fleet)
+        else {
+            return stdchk_util::Dur::ZERO;
+        };
+        let lambda = rate_ppb as f64 / 1e9;
+        if lambda <= 0.0 {
+            return stdchk_util::Dur::ZERO;
+        }
+        let delta_s = delta.as_secs_f64().max(1e-3);
+        let t = stdchk_util::Dur::from_secs_f64((2.0 * delta_s / lambda).sqrt());
+        t.clamp(self.cfg.guidance_min, self.cfg.guidance_max)
     }
 
     // ------------------------------------------------------------ retention
@@ -239,12 +347,14 @@ impl Manager {
         req: RequestId,
         node: NodeId,
         chunks: Vec<ChunkId>,
+        now: Time,
         out: &mut ActionQueue,
     ) {
         if let Some(b) = self.benefactors.get_mut(&node) {
             b.gc_due = false;
         }
         let mut deletable = Vec::new();
+        let mut relearned = Vec::new();
         for id in chunks {
             match self.chunks.get_mut(&id) {
                 Some(meta) if meta.refcount > 0 || meta.pins > 0 => {
@@ -252,17 +362,27 @@ impl Manager {
                     // returning benefactor's replicas rejoin the metadata.
                     if !meta.locations.contains(&node) {
                         meta.locations.push(node);
+                        relearned.push(id);
                     }
                 }
                 _ => deletable.push(id),
             }
+        }
+        // A re-learned copy can revive a chunk whose repair was dropped as
+        // unrecoverable (every source offline at the time): requeue it so
+        // the planner re-evaluates with the new source. Satisfied chunks
+        // fall out of the queue as `Plan::Drop` without charging budgets.
+        for id in relearned {
+            self.enqueue_replication(id);
         }
         self.stats.gc_deletable += deletable.len() as u64;
         out.push(Send {
             to: node,
             msg: Msg::GcReply { req, deletable },
         });
-        // Re-learned locations may provide sources for queued repairs.
-        self.pump_replication(Time::ZERO, out);
+        // Re-learned locations may provide sources for queued repairs. The
+        // report time must flow through: pumping at `Time::ZERO` would stop
+        // the scheduler's token buckets from ever refilling on this path.
+        self.pump_replication(now, out);
     }
 }

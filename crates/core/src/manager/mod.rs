@@ -14,10 +14,14 @@
 //! through [`Node::poll_action`]. [`Manager::handle_msg`] and
 //! [`Manager::tick`] remain as `Vec`-returning compatibility shims.
 
+mod churn;
 mod durable;
 mod maintain;
 mod replicate;
 mod write;
+
+pub(crate) use churn::ChurnTracker;
+pub use churn::{ChurnTotals, NodeClass};
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -27,7 +31,8 @@ use stdchk_proto::meta::MetaRecord;
 use stdchk_proto::msg::{DedupSummary, DirEntry, FileAttr, Msg, VersionInfo};
 use stdchk_proto::policy::RetentionPolicy;
 use stdchk_proto::ErrorCode;
-use stdchk_util::Time;
+use stdchk_util::rate::TokenBucket;
+use stdchk_util::{Dur, Time};
 
 use crate::config::PoolConfig;
 use crate::node::{earliest, Action, ActionQueue, Node};
@@ -135,6 +140,10 @@ pub(crate) struct ChunkMeta {
     pub locations: Vec<NodeId>,
     pub refcount: u32,
     pub target: u32,
+    /// Newest version id referencing this chunk — the repair scheduler's
+    /// tiebreak (recent checkpoints repair first, paper-style most-recent-
+    /// checkpoint-matters semantics).
+    pub last_version: u64,
     /// Soft holds placed by have/want negotiation: a `WantChunks` reply
     /// that told a client "already here" pins the chunk until that
     /// reservation commits, aborts, or expires, so retention pruning
@@ -156,6 +165,9 @@ pub(crate) struct Reservation {
     pub replication: u32,
     pub reserved_on: HashMap<NodeId, u64>,
     pub expires: Time,
+    /// When the write session opened (checkpoint-interval guidance uses
+    /// commit−open as the observed checkpoint duration δ).
+    pub opened: Time,
     /// Chunks pinned on behalf of this reservation by have/want
     /// negotiation (one list entry per pin; released on commit, abort,
     /// or expiry).
@@ -185,6 +197,9 @@ pub(crate) struct PendingCommit {
     pub file: FileId,
     pub version: VersionId,
     pub waiting: HashSet<ChunkId>,
+    /// Guidance computed at commit-validation time, delivered when the
+    /// deferred `CommitOk` finally goes out.
+    pub suggested_interval: Dur,
 }
 
 #[derive(Clone, Debug)]
@@ -207,6 +222,9 @@ pub struct Manager {
     pub(crate) rr_cursor: usize,
     pub(crate) files: BTreeMap<String, FileState>,
     pub(crate) dirs: BTreeMap<String, RetentionPolicy>,
+    /// Per-directory `(min, max)` clamps for adaptive replication targets
+    /// (durable via `MetaRecord::SetPolicy`).
+    pub(crate) repl_bounds: BTreeMap<String, (u32, u32)>,
     pub(crate) chunks: HashMap<ChunkId, ChunkMeta>,
     pub(crate) reservations: HashMap<ReservationId, Reservation>,
     pub(crate) repl_queue: VecDeque<ReplTask>,
@@ -217,6 +235,14 @@ pub struct Manager {
     pub(crate) last_gc_mark: Time,
     pub(crate) stats: ManagerStats,
     pub(crate) dedup: DedupTotals,
+    /// Session-length and departure-rate observation (see [`churn`]).
+    pub(crate) churn: ChurnTracker,
+    /// Fleet-wide repair token bucket (`None` = unlimited).
+    pub(crate) repair_fleet: Option<TokenBucket>,
+    /// Per-source repair token buckets, created lazily.
+    pub(crate) repair_sources: HashMap<NodeId, TokenBucket>,
+    /// Earliest time a throttled repair becomes dispatchable again.
+    pub(crate) next_repair_at: Option<Time>,
     pub(crate) actions: ActionQueue,
     /// When set, every namespace mutation also emits an
     /// [`Action::MetaAppend`] write-ahead-log record (see [`durable`]).
@@ -228,6 +254,9 @@ pub struct Manager {
 impl Manager {
     /// Creates a manager for an empty pool.
     pub fn new(cfg: PoolConfig) -> Manager {
+        let repair_fleet = (cfg.repair_scheduler && cfg.repair_rate_fleet > 0).then(|| {
+            TokenBucket::new(cfg.repair_rate_fleet as f64, cfg.repair_burst.max(1) as f64)
+        });
         Manager {
             cfg,
             next_node: 1,
@@ -239,6 +268,7 @@ impl Manager {
             rr_cursor: 0,
             files: BTreeMap::new(),
             dirs: BTreeMap::new(),
+            repl_bounds: BTreeMap::new(),
             chunks: HashMap::new(),
             reservations: HashMap::new(),
             repl_queue: VecDeque::new(),
@@ -249,6 +279,10 @@ impl Manager {
             last_gc_mark: Time::ZERO,
             stats: ManagerStats::default(),
             dedup: DedupTotals::default(),
+            churn: ChurnTracker::default(),
+            repair_fleet,
+            repair_sources: HashMap::new(),
+            next_repair_at: None,
             actions: ActionQueue::new(),
             wal: false,
             next_meta_seq: 0,
@@ -299,6 +333,32 @@ impl Manager {
     /// [`MetaRecord::Dedup`] replay).
     pub fn dedup_totals(&self) -> DedupTotals {
         self.dedup
+    }
+
+    /// Durable churn totals (departure count, summed session time).
+    pub fn churn_totals(&self) -> ChurnTotals {
+        self.churn.totals()
+    }
+
+    /// Current fleet availability estimate, parts-per-million.
+    pub fn availability_ppm(&self, now: Time) -> u64 {
+        self.churn.availability_ppm(now)
+    }
+
+    /// The churn class the manager currently assigns to `node`.
+    pub fn node_class(&self, node: NodeId) -> NodeClass {
+        self.churn.class_of(node)
+    }
+
+    /// Availability estimate restricted to one node class, or `None` when
+    /// no node of that class has been observed.
+    pub fn class_availability_ppm(&self, class: NodeClass, now: Time) -> Option<u64> {
+        self.churn.class_availability_ppm(class, now)
+    }
+
+    /// Under-replicated chunks awaiting repair dispatch (scheduler backlog).
+    pub fn repair_backlog(&self) -> usize {
+        self.repl_queue.len()
     }
 
     /// Number of currently online benefactors.
@@ -383,8 +443,13 @@ impl Manager {
             Msg::GetAttr { req, path } => self.on_get_attr(from, req, &path, out),
             Msg::ListVersions { req, path } => self.on_list_versions(from, req, &path, out),
             Msg::DeleteFile { req, path } => self.on_delete_file(from, req, &path, out),
-            Msg::SetPolicy { req, dir, policy } => self.on_set_policy(from, req, dir, policy, out),
-            Msg::GcReport { req, node, chunks } => self.on_gc_report(req, node, chunks, out),
+            Msg::SetPolicy {
+                req,
+                dir,
+                policy,
+                repl_bounds,
+            } => self.on_set_policy(from, req, dir, policy, repl_bounds, out),
+            Msg::GcReport { req, node, chunks } => self.on_gc_report(req, node, chunks, now, out),
             Msg::ReplicateReport {
                 job,
                 node,
@@ -455,6 +520,7 @@ impl Manager {
                 addr: addr.clone(),
             },
         );
+        self.churn.note_online(node, now);
         // The id assignment and dial address are durable; liveness stays
         // soft state (heartbeats).
         self.log_meta(out, || MetaRecord::Benefactor {
@@ -515,6 +581,9 @@ impl Manager {
             info.gc_due = true;
         }
         let gc_due = info.gc_due;
+        if !known || was_offline {
+            self.churn.note_online(node, now);
+        }
         self.next_node = self.next_node.max(node.as_u64() + 1);
         if !known || addr_changed || total_changed {
             // A membership fact changed (adoption of an unknown id, a new
@@ -954,6 +1023,10 @@ impl Node for Manager {
         // Earliest reservation expiry.
         for r in self.reservations.values() {
             next = earliest(next, Some(r.expires));
+        }
+        // Throttled repair work waiting on token refill.
+        if !self.repl_queue.is_empty() {
+            next = earliest(next, self.next_repair_at);
         }
         next
     }

@@ -11,7 +11,8 @@ use std::collections::HashSet;
 
 use stdchk_proto::ids::{ChunkId, NodeId};
 use stdchk_proto::msg::{Msg, ReplicaCopy};
-use stdchk_util::Time;
+use stdchk_util::rate::TokenBucket;
+use stdchk_util::{Dur, Time};
 
 use super::{Manager, ReplJob, ReplTask, Send};
 use crate::node::ActionQueue;
@@ -39,9 +40,35 @@ impl Manager {
         self.repl_queue.push_back(ReplTask { chunk, attempts: 0 });
     }
 
+    /// Re-queues a chunk whose in-flight job died (source expiry), keeping
+    /// its attempt count so source rotation makes progress.
+    pub(crate) fn requeue_replication(&mut self, chunk: ChunkId, attempts: u32) {
+        self.repl_queue.retain(|t| t.chunk != chunk);
+        if self
+            .repl_jobs
+            .values()
+            .any(|j| j.copies.iter().any(|(c, _)| *c == chunk))
+        {
+            return;
+        }
+        self.repl_queue.push_back(ReplTask { chunk, attempts });
+    }
+
     /// Dispatches queued replication tasks into jobs, respecting the
-    /// concurrency bound. Returns the `ReplicateCmd`s to send.
-    pub(crate) fn pump_replication(&mut self, _now: Time, out: &mut ActionQueue) {
+    /// concurrency bound. With the repair scheduler on (the default) the
+    /// queue is drained in priority order under token-bucket budgets;
+    /// `STDCHK_REPAIR_SCHED=off` style configs fall back to unthrottled
+    /// FIFO dispatch.
+    pub(crate) fn pump_replication(&mut self, now: Time, out: &mut ActionQueue) {
+        if self.cfg.repair_scheduler {
+            self.pump_scheduled(now, out);
+        } else {
+            self.pump_fifo(out);
+        }
+    }
+
+    /// Pre-scheduler dispatch: FIFO order, no pacing.
+    fn pump_fifo(&mut self, out: &mut ActionQueue) {
         while self.repl_jobs.len() < self.cfg.max_replication_jobs && !self.repl_queue.is_empty() {
             // Build one job: pick the first actionable task, then batch more
             // tasks that share its source.
@@ -93,6 +120,136 @@ impl Manager {
                 },
             });
         }
+    }
+
+    /// Prioritized, rate-limited dispatch: fewest-live-replicas chunks go
+    /// first (newest checkpoint version breaking ties), and every copy is
+    /// charged against a fleet-wide bucket plus a per-source bucket so a
+    /// rebuild storm never saturates donors that are also serving ingest.
+    /// Throttled work stays queued and [`Manager::poll_timeout`] wakes the
+    /// driver when tokens accrue.
+    fn pump_scheduled(&mut self, now: Time, out: &mut ActionQueue) {
+        self.next_repair_at = None;
+        self.prioritize_repair_queue();
+        let mut fleet_blocked = false;
+        while self.repl_jobs.len() < self.cfg.max_replication_jobs
+            && !self.repl_queue.is_empty()
+            && !fleet_blocked
+        {
+            let mut job_source: Option<NodeId> = None;
+            let mut copies: Vec<(ChunkId, NodeId)> = Vec::new();
+            let mut attempts: std::collections::HashMap<ChunkId, u32> = Default::default();
+            let mut skipped: Vec<ReplTask> = Vec::new();
+            while let Some(task) = self.repl_queue.pop_front() {
+                match self.plan_task(&task, job_source) {
+                    Plan::Copy { source, target } => {
+                        let size = self
+                            .chunks
+                            .get(&task.chunk)
+                            .map(|m| m.size as f64)
+                            .unwrap_or(0.0);
+                        match self.charge_repair(source, size, now) {
+                            Charge::Ok => {
+                                job_source = Some(source);
+                                copies.push((task.chunk, target));
+                                attempts.insert(task.chunk, task.attempts);
+                                if copies.len() >= self.cfg.replication_batch {
+                                    break;
+                                }
+                            }
+                            Charge::SourceBusy => skipped.push(task),
+                            Charge::FleetExhausted => {
+                                skipped.push(task);
+                                fleet_blocked = true;
+                                break;
+                            }
+                        }
+                    }
+                    Plan::Defer => skipped.push(task),
+                    Plan::Drop => self.resolve_waiting_chunk(task.chunk, out),
+                }
+            }
+            for t in skipped {
+                self.repl_queue.push_back(t);
+            }
+            let Some(source) = job_source else {
+                if fleet_blocked {
+                    continue; // flush loop state; outer condition exits
+                }
+                break;
+            };
+            let job = self.next_job;
+            self.next_job += 1;
+            self.stats.replication_copies += copies.len() as u64;
+            self.repl_jobs.insert(
+                job,
+                ReplJob {
+                    source,
+                    copies: copies.clone(),
+                    attempts,
+                },
+            );
+            out.push(Send {
+                to: source,
+                msg: Msg::ReplicateCmd {
+                    job,
+                    copies: copies
+                        .into_iter()
+                        .map(|(chunk, target)| ReplicaCopy { chunk, target })
+                        .collect(),
+                },
+            });
+        }
+    }
+
+    /// Sorts the repair queue by urgency: fewest live replicas first, then
+    /// newest referencing version (recent checkpoints are the ones restarts
+    /// read). Pruned chunks sink to the back; `plan_task` drops them.
+    fn prioritize_repair_queue(&mut self) {
+        let mut tasks: Vec<ReplTask> = std::mem::take(&mut self.repl_queue).into();
+        tasks.sort_by_key(|t| match self.chunks.get(&t.chunk) {
+            Some(meta) => (
+                self.online_locations(&meta.locations),
+                std::cmp::Reverse(meta.last_version),
+            ),
+            None => (usize::MAX, std::cmp::Reverse(0)),
+        });
+        self.repl_queue = tasks.into();
+    }
+
+    /// Charges one copy of `size` bytes against the fleet and per-source
+    /// budgets, recording the earliest refill time when throttled.
+    fn charge_repair(&mut self, source: NodeId, size: f64, now: Time) -> Charge {
+        if size <= 0.0 {
+            return Charge::Ok;
+        }
+        if let Some(fleet) = self.repair_fleet.as_mut() {
+            let wait = fleet.time_until(size, now);
+            if wait > Dur::ZERO {
+                let at = now + wait;
+                self.next_repair_at = Some(self.next_repair_at.map_or(at, |c| c.min(at)));
+                return Charge::FleetExhausted;
+            }
+        }
+        if self.cfg.repair_rate_source > 0 {
+            let rate = self.cfg.repair_rate_source as f64;
+            let burst = self.cfg.repair_burst.max(1) as f64;
+            let bucket = self
+                .repair_sources
+                .entry(source)
+                .or_insert_with(|| TokenBucket::new(rate, burst));
+            let wait = bucket.time_until(size, now);
+            if wait > Dur::ZERO {
+                let at = now + wait;
+                self.next_repair_at = Some(self.next_repair_at.map_or(at, |c| c.min(at)));
+                return Charge::SourceBusy;
+            }
+            bucket.try_take(size, now);
+        }
+        if let Some(fleet) = self.repair_fleet.as_mut() {
+            fleet.try_take(size, now);
+        }
+        Charge::Ok
     }
 
     fn plan_task(&mut self, task: &ReplTask, required_source: Option<NodeId>) -> Plan {
@@ -200,6 +357,7 @@ impl Manager {
                     req: pc.req,
                     file: pc.file,
                     version: pc.version,
+                    suggested_interval: pc.suggested_interval,
                 },
             });
         }
@@ -210,4 +368,14 @@ enum Plan {
     Copy { source: NodeId, target: NodeId },
     Defer,
     Drop,
+}
+
+/// Outcome of charging one repair copy against the rate budgets.
+enum Charge {
+    /// Tokens taken; the copy may dispatch now.
+    Ok,
+    /// The source benefactor's budget is exhausted; try another source.
+    SourceBusy,
+    /// The fleet-wide budget is exhausted; stop dispatching entirely.
+    FleetExhausted,
 }

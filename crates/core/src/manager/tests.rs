@@ -618,6 +618,7 @@ fn automated_replace_prunes_on_commit() {
             req,
             dir: "/app".into(),
             policy: RetentionPolicy::REPLACE,
+            repl_bounds: None,
         },
         h.now,
     );
@@ -661,6 +662,7 @@ fn automated_purge_drops_old_versions_via_tick() {
             policy: RetentionPolicy::AutomatedPurge {
                 after: Dur::from_millis(200),
             },
+            repl_bounds: None,
         },
         h.now,
     );
@@ -867,4 +869,390 @@ fn gc_mark_sets_due_flag_delivered_in_heartbeat_ack() {
         Msg::HeartbeatAck { gc_due, .. } => assert!(*gc_due),
         other => panic!("unexpected {other:?}"),
     }
+}
+
+// ---------------------------------------------- churn & repair scheduling
+
+use stdchk_proto::meta::MetaRecord;
+
+use crate::manager::{ChunkMeta, ReplTask};
+use crate::node::{Action, Node};
+
+impl Harness {
+    fn with_config(cfg: PoolConfig) -> Harness {
+        Harness {
+            mgr: Manager::new(cfg),
+            now: Time::ZERO,
+            next_req: 1,
+        }
+    }
+}
+
+/// Scheduler on, with a fleet budget of exactly one 1 KiB chunk per second
+/// and periodic maintenance pushed far out so ticks only pump repair.
+fn throttled_cfg() -> PoolConfig {
+    PoolConfig {
+        repair_rate_fleet: 1024,
+        repair_burst: 1024,
+        repair_rate_source: 0,
+        policy_sweep_every: Dur::from_secs(60),
+        gc_every: Dur::from_secs(60),
+        heartbeat_every: Dur::from_secs(60),
+        benefactor_timeout: Dur::from_secs(600),
+        ..PoolConfig::default()
+    }
+}
+
+fn total_copies(out: &[Send]) -> usize {
+    out.iter()
+        .map(|s| match &s.msg {
+            Msg::ReplicateCmd { copies, .. } => copies.len(),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Commits two 1 KiB chunks placed on `nodes[0]` only, under replication 2,
+/// so both need one repair copy each.
+fn commit_two_underreplicated(h: &mut Harness, nodes: &[NodeId]) -> Vec<Send> {
+    let (res, _stripe, _, _) = h.open("/r", 2);
+    let req = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[1, 2], 1024),
+            placements: vec![
+                (ChunkId::test_id(1), vec![nodes[0]]),
+                (ChunkId::test_id(2), vec![nodes[0]]),
+            ],
+            pessimistic: false,
+            dedup: Default::default(),
+        },
+        h.now,
+    )
+}
+
+#[test]
+fn gc_report_pumps_repair_at_report_time() {
+    let mut h = Harness::with_config(throttled_cfg());
+    let nodes = h.join_benefactors(3);
+    // The fleet budget covers one of the two needed copies; the other is
+    // throttled and stays queued.
+    let out = commit_two_underreplicated(&mut h, &nodes);
+    assert_eq!(total_copies(&out), 1, "budget admits one copy: {out:?}");
+    assert_eq!(h.mgr.repair_backlog(), 1);
+    // A GC report two seconds later must pump repair at the *report* time,
+    // where the bucket has refilled. (Regression: this path once pumped at
+    // Time::ZERO, before the bucket's last refill, so tokens never accrued
+    // and GC reports could not un-throttle repair.)
+    h.now += Dur::from_secs(2);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        nodes[0],
+        Msg::GcReport {
+            req,
+            node: nodes[0],
+            chunks: vec![ChunkId::test_id(1), ChunkId::test_id(2)],
+        },
+        h.now,
+    );
+    assert_eq!(
+        total_copies(&out),
+        1,
+        "refilled bucket dispatches the queued copy: {out:?}"
+    );
+    assert_eq!(h.mgr.repair_backlog(), 0);
+}
+
+#[test]
+fn throttled_repair_sets_wake_time_and_resumes_on_refill() {
+    let mut h = Harness::with_config(throttled_cfg());
+    let nodes = h.join_benefactors(3);
+    let out = commit_two_underreplicated(&mut h, &nodes);
+    assert_eq!(total_copies(&out), 1);
+    // The refill instant is recorded and surfaced as the driver wake time.
+    assert_eq!(h.mgr.next_repair_at, Some(Time::from_secs(1)));
+    assert_eq!(h.mgr.poll_timeout(), Some(Time::from_secs(1)));
+    // Ticking before the refill dispatches nothing.
+    let out = h.advance(Dur::from_millis(300));
+    assert_eq!(total_copies(&out), 0);
+    // After the refill the queued copy goes out and the backlog drains.
+    let out = h.advance(Dur::from_secs(1));
+    assert_eq!(total_copies(&out), 1);
+    assert_eq!(h.mgr.repair_backlog(), 0);
+}
+
+#[test]
+fn scheduler_off_env_reverts_to_unthrottled_fifo() {
+    assert!(PoolConfig::default().repair_scheduler);
+    std::env::set_var("STDCHK_REPAIR_SCHED", "off");
+    let cfg = throttled_cfg().apply_env();
+    std::env::remove_var("STDCHK_REPAIR_SCHED");
+    assert!(!cfg.repair_scheduler);
+    // The same commit the scheduler throttles to one copy dispatches both
+    // immediately on the legacy FIFO path.
+    let mut h = Harness::with_config(cfg);
+    let nodes = h.join_benefactors(3);
+    let out = commit_two_underreplicated(&mut h, &nodes);
+    assert_eq!(total_copies(&out), 2, "FIFO path ignores budgets: {out:?}");
+    assert_eq!(h.mgr.repair_backlog(), 0);
+}
+
+#[test]
+fn repair_queue_orders_by_liveness_then_recency() {
+    let mut cfg = PoolConfig::fast_for_tests();
+    cfg.replication_batch = 1; // one copy per job → dispatch order is visible
+    let mut h = Harness::with_config(cfg);
+    let nodes = h.join_benefactors(3);
+    let meta = |locs: &[NodeId], last_version: u64| ChunkMeta {
+        size: 100,
+        locations: locs.to_vec(),
+        refcount: 1,
+        target: 3,
+        last_version,
+        pins: 0,
+    };
+    // A and C each have one live replica (C referenced by a newer
+    // version); B has two.
+    h.mgr
+        .chunks
+        .insert(ChunkId::test_id(1), meta(&[nodes[0]], 1));
+    h.mgr
+        .chunks
+        .insert(ChunkId::test_id(2), meta(&[nodes[0], nodes[1]], 9));
+    h.mgr
+        .chunks
+        .insert(ChunkId::test_id(3), meta(&[nodes[0]], 7));
+    for id in [1, 2, 3] {
+        h.mgr.repl_queue.push_back(ReplTask {
+            chunk: ChunkId::test_id(id),
+            attempts: 0,
+        });
+    }
+    let out = h.advance(Dur::from_millis(10));
+    let order: Vec<ChunkId> = out
+        .iter()
+        .filter_map(|s| match &s.msg {
+            Msg::ReplicateCmd { copies, .. } => Some(copies[0].chunk),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            ChunkId::test_id(3), // 1 live replica, newest version
+            ChunkId::test_id(1), // 1 live replica, older version
+            ChunkId::test_id(2), // 2 live replicas
+        ]
+    );
+}
+
+#[test]
+fn expired_source_requeues_inflight_repair_to_survivor() {
+    let mut h = Harness::new();
+    let nodes = h.join_benefactors(3);
+    let (res, _stripe, _, _) = h.open("/d", 3);
+    let req = h.req();
+    let out = h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[5], 100),
+            placements: vec![(ChunkId::test_id(5), vec![nodes[0], nodes[1]])],
+            pessimistic: false,
+            dedup: Default::default(),
+        },
+        h.now,
+    );
+    // Target 3, two replicas: a copy job is in flight from nodes[0].
+    let src = out
+        .iter()
+        .find_map(|s| matches!(s.msg, Msg::ReplicateCmd { .. }).then_some(s.to))
+        .expect("replication command");
+    assert_eq!(src, nodes[0]);
+    // The source expires mid-job: the copy must be re-planned from the
+    // surviving holder rather than leaking the job slot.
+    h.now += Dur::from_millis(200);
+    h.heartbeat_all(&nodes[1..]);
+    let out = h.advance(Dur::from_millis(100));
+    let src = out
+        .iter()
+        .find_map(|s| matches!(s.msg, Msg::ReplicateCmd { .. }).then_some(s.to))
+        .expect("re-planned replication command");
+    assert_eq!(src, nodes[1]);
+    assert!(h.mgr.repl_jobs.values().all(|j| j.source == nodes[1]));
+}
+
+#[test]
+fn adaptive_targets_rise_under_churn_and_fall_when_calm() {
+    let mut cfg = PoolConfig::fast_for_tests();
+    cfg.adaptive_replication = true;
+    cfg.repl_min = 1;
+    cfg.repl_max = 3;
+    let mut h = Harness::with_config(cfg.clone());
+    let nodes = h.join_benefactors(4);
+    let (res, stripe, _, _) = h.open("/ckpt/a", 1);
+    h.commit(res, entries(&[1], 256), &stripe, false);
+    // Calm fleet: the sweep keeps the minimal target.
+    h.now += Dur::from_millis(200);
+    h.heartbeat_all(&nodes);
+    h.mgr.tick(h.now);
+    assert_eq!(h.mgr.chunks[&ChunkId::test_id(1)].target, 1);
+    // Three of four nodes churn out and stay gone: availability collapses
+    // and the sweep raises the target to the ceiling.
+    let holder = h.mgr.chunks[&ChunkId::test_id(1)]
+        .locations
+        .first()
+        .copied()
+        .expect("placement");
+    for _ in 0..10 {
+        h.now += Dur::from_millis(200);
+        h.heartbeat_all(&[holder]);
+        h.mgr.tick(h.now);
+    }
+    assert_eq!(h.mgr.chunks[&ChunkId::test_id(1)].target, 3);
+    // With only the holder online there is no capacity to repair into;
+    // the sweep must not queue futile work.
+    assert_eq!(h.mgr.repair_backlog(), 0);
+
+    // Fresh calm fleet: a high target decays to the directory bounds'
+    // floor (nearest-ancestor lookup).
+    let mut h = Harness::with_config(cfg);
+    let nodes = h.join_benefactors(4);
+    let req = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::SetPolicy {
+            req,
+            dir: "/ckpt".into(),
+            policy: RetentionPolicy::NoIntervention,
+            repl_bounds: Some((2, 3)),
+        },
+        h.now,
+    );
+    let (res, _stripe, _, _) = h.open("/ckpt/a", 3);
+    let req = h.req();
+    h.mgr.handle_msg(
+        NodeId(77),
+        Msg::CommitChunkMap {
+            req,
+            reservation: res,
+            entries: entries(&[1], 256),
+            placements: vec![(ChunkId::test_id(1), vec![nodes[0], nodes[1], nodes[2]])],
+            pessimistic: false,
+            dedup: Default::default(),
+        },
+        h.now,
+    );
+    assert_eq!(h.mgr.chunks[&ChunkId::test_id(1)].target, 3);
+    h.mgr.adapt_replication_targets(Time::from_secs(1));
+    // Fully-available fleet would settle at 1 replica, but the directory
+    // bounds clamp the floor at 2.
+    assert_eq!(h.mgr.chunks[&ChunkId::test_id(1)].target, 2);
+}
+
+#[test]
+fn checkpoint_guidance_follows_youngs_formula() {
+    let mut h = Harness::new();
+    h.join_benefactors(4);
+    let now = Time::from_secs(5);
+    // Calm fleet: no departures in the window, no guidance.
+    assert_eq!(h.mgr.checkpoint_guidance(Dur::from_secs(2), now), Dur::ZERO);
+    // One departure: λ = 1 / (10 s window · 4 nodes) = 0.025/s/node, and
+    // with δ = 2 s Young's formula gives sqrt(2·2/0.025) ≈ 12.6 s.
+    h.mgr.churn.note_departure(NodeId(999), now);
+    let t = h
+        .mgr
+        .checkpoint_guidance(Dur::from_secs(2), now)
+        .as_secs_f64();
+    assert!((12.0..14.0).contains(&t), "got {t}");
+    // Heavy churn with a tiny write duration clamps at the floor.
+    for i in 0..40 {
+        h.mgr.churn.note_departure(NodeId(1000 + i), now);
+    }
+    let t = h.mgr.checkpoint_guidance(Dur::ZERO, now);
+    assert_eq!(t, h.mgr.config().guidance_min);
+}
+
+#[test]
+fn commit_reply_carries_checkpoint_guidance() {
+    let mut h = Harness::new();
+    h.join_benefactors(2);
+    // Calm fleet: the reply carries no guidance.
+    let (res, stripe, _, _) = h.open("/g", 1);
+    h.now += Dur::from_millis(200);
+    let out = h.commit(res, entries(&[1], 256), &stripe, false);
+    match find_reply(&out, |m| matches!(m, Msg::CommitOk { .. })) {
+        Msg::CommitOk {
+            suggested_interval, ..
+        } => assert_eq!(*suggested_interval, Dur::ZERO),
+        _ => unreachable!(),
+    }
+    // Observed churn: the reply suggests a positive, bounded interval
+    // derived from this session's open→commit duration.
+    h.mgr.churn.note_departure(NodeId(999), h.now);
+    let (res, stripe, _, _) = h.open("/g", 1);
+    h.now += Dur::from_millis(200);
+    let out = h.commit(res, entries(&[2], 256), &stripe, false);
+    match find_reply(&out, |m| matches!(m, Msg::CommitOk { .. })) {
+        Msg::CommitOk {
+            suggested_interval, ..
+        } => {
+            assert!(*suggested_interval > Dur::ZERO);
+            assert!(*suggested_interval <= h.mgr.config().guidance_max);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn churn_and_bounds_replay_restores_estimator_state() {
+    let mut h = Harness::new();
+    h.mgr.enable_wal();
+    let nodes = h.join_benefactors(2);
+    let mut records = Vec::new();
+    let drain = |mgr: &mut Manager, records: &mut Vec<MetaRecord>| {
+        while let Some(a) = mgr.poll_action() {
+            if let Action::MetaAppend { record, .. } = a {
+                records.push(record);
+            }
+        }
+    };
+    // A bounds change plus one heartbeat expiry emit durable records.
+    let req = h.req();
+    Node::handle(
+        &mut h.mgr,
+        NodeId(77),
+        Msg::SetPolicy {
+            req,
+            dir: "/ckpt".into(),
+            policy: RetentionPolicy::NoIntervention,
+            repl_bounds: Some((2, 4)),
+        },
+        h.now,
+    );
+    drain(&mut h.mgr, &mut records);
+    h.now += Dur::from_millis(100);
+    h.heartbeat_all(&nodes[1..]);
+    h.now += Dur::from_millis(100);
+    Node::handle_timeout(&mut h.mgr, h.now);
+    drain(&mut h.mgr, &mut records);
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, MetaRecord::Churn { .. })));
+    assert_eq!(h.mgr.churn_totals().departures, 1);
+    // Replaying the log into a fresh manager reproduces totals and bounds.
+    let mut m2 = Manager::new(PoolConfig::fast_for_tests());
+    for r in &records {
+        m2.replay(r, h.now);
+    }
+    assert_eq!(m2.churn_totals(), h.mgr.churn_totals());
+    assert_eq!(m2.repl_bounds.get("/ckpt"), Some(&(2, 4)));
+    // Snapshots carry the bounds as well.
+    let snap = h.mgr.snapshot();
+    let m3 = Manager::restore(PoolConfig::fast_for_tests(), &snap, h.now);
+    assert_eq!(m3.repl_bounds.get("/ckpt"), Some(&(2, 4)));
 }

@@ -44,10 +44,12 @@ impl Manager {
                 locations: Vec::new(),
                 refcount: 0,
                 target: 1,
+                last_version: 0,
                 pins: 0,
             });
             meta.refcount += 1;
             meta.target = meta.target.max(replication);
+            meta.last_version = meta.last_version.max(version.as_u64());
             if let Some(locs) = placement_map.get(&id) {
                 for n in locs.iter() {
                     if !meta.locations.contains(n) {
@@ -149,6 +151,7 @@ impl Manager {
             replication,
             reserved_on: HashMap::new(),
             expires: now + self.cfg.reservation_ttl,
+            opened: now,
             pinned: Vec::new(),
         };
         Manager::reserve_on(
@@ -420,6 +423,9 @@ impl Manager {
             self.prune_versions(&res.path, keep_last as usize, out);
         }
 
+        // Checkpoint-interval guidance: the observed write duration is the
+        // checkpoint cost δ, churn supplies the failure rate λ.
+        let suggested_interval = self.checkpoint_guidance(now.since(res.opened), now);
         if pessimistic && !waiting.is_empty() {
             self.pending_commits.push(PendingCommit {
                 client: from,
@@ -427,6 +433,7 @@ impl Manager {
                 file: file_id,
                 version,
                 waiting,
+                suggested_interval,
             });
         } else {
             out.push(Send {
@@ -435,6 +442,7 @@ impl Manager {
                     req,
                     file: file_id,
                     version,
+                    suggested_interval,
                 },
             });
         }
@@ -495,11 +503,25 @@ impl Manager {
         req: RequestId,
         dir: String,
         policy: RetentionPolicy,
+        repl_bounds: Option<(u32, u32)>,
         out: &mut ActionQueue,
     ) {
         let dir = normalize(&dir);
         self.dirs.insert(dir.clone(), policy);
-        self.log_meta(out, || MetaRecord::SetPolicy { dir, policy });
+        // Sanitize: a zero floor or inverted pair can't express a valid
+        // clamp; coerce instead of bouncing the whole policy update.
+        let repl_bounds = repl_bounds.map(|(lo, hi)| {
+            let lo = lo.max(1);
+            (lo, hi.max(lo))
+        });
+        if let Some(bounds) = repl_bounds {
+            self.repl_bounds.insert(dir.clone(), bounds);
+        }
+        self.log_meta(out, || MetaRecord::SetPolicy {
+            dir,
+            policy,
+            repl_bounds,
+        });
         out.push(Send {
             to: from,
             msg: Msg::Ack { req },
@@ -516,6 +538,23 @@ impl Manager {
             }
             if dir == "/" {
                 return RetentionPolicy::NoIntervention;
+            }
+            dir = parent(&dir);
+        }
+    }
+
+    /// The adaptive-replication clamp applying to `path`: the bounds of
+    /// its nearest ancestor directory with `SetPolicy` bounds, defaulting
+    /// to the pool-wide `[repl_min, repl_max]`.
+    pub(crate) fn repl_bounds_for(&self, path: &str) -> (u32, u32) {
+        let mut dir = parent(path);
+        loop {
+            if let Some(b) = self.repl_bounds.get(&dir) {
+                return *b;
+            }
+            if dir == "/" {
+                let lo = self.cfg.repl_min.max(1);
+                return (lo, self.cfg.repl_max.max(lo));
             }
             dir = parent(&dir);
         }

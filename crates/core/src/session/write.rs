@@ -29,7 +29,7 @@ use stdchk_proto::chunkmap::ChunkEntry;
 use stdchk_proto::ids::{ChunkId, FileId, NodeId, RequestId, ReservationId, VersionId};
 use stdchk_proto::msg::{DedupSummary, Msg};
 use stdchk_proto::ErrorCode;
-use stdchk_util::Time;
+use stdchk_util::{Dur, Time};
 
 use super::ReqGen;
 use crate::node::{Action, ActionQueue, Completion, Node};
@@ -242,6 +242,9 @@ pub struct WriteStats {
     pub wire_delta_bytes: u64,
     /// Bytes shipped as full chunk payloads.
     pub wire_full_bytes: u64,
+    /// Checkpoint interval the manager suggested at commit, derived from
+    /// observed fleet churn ([`Dur::ZERO`] = no guidance).
+    pub suggested_interval: Dur,
 }
 
 impl WriteStats {
@@ -1030,9 +1033,14 @@ impl WriteSession {
                 }
                 self.pump(now, out);
             }
-            Msg::CommitOk { req, .. } if self.commit_req == Some(req) => {
+            Msg::CommitOk {
+                req,
+                suggested_interval,
+                ..
+            } if self.commit_req == Some(req) => {
                 self.state = SessionState::Done;
                 self.stats.done_at = Some(now);
+                self.stats.suggested_interval = suggested_interval;
             }
             Msg::Ack { req } => {
                 self.stash_reqs.remove(&req);

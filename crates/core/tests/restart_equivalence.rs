@@ -245,7 +245,15 @@ impl Driver {
                     0 => "/".to_string(),
                     d => format!("/d{d}"),
                 };
-                self.deliver(CLIENT, Msg::SetPolicy { req, dir, policy });
+                self.deliver(
+                    CLIENT,
+                    Msg::SetPolicy {
+                        req,
+                        dir,
+                        policy,
+                        repl_bounds: None,
+                    },
+                );
             }
             Op::Heartbeats => {
                 for n in self.nodes.clone() {

@@ -781,6 +781,7 @@ mod tests {
             policy: RetentionPolicy::AutomatedReplace {
                 keep_last: i as u32,
             },
+            repl_bounds: None,
         }
     }
 
@@ -923,6 +924,7 @@ mod tests {
             benefactors: vec![(NodeId(1), "b:1".into(), 99)],
             files: Vec::new(),
             dirs: vec![("/kept".into(), RetentionPolicy::REPLACE)],
+            repl_bounds: vec![("/kept".into(), (2, 4))],
             chunks: Vec::new(),
         };
         {

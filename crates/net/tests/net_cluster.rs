@@ -1061,3 +1061,137 @@ fn connect_to_dead_manager_fails_fast() {
     );
     drop(listener);
 }
+
+/// Chaos: a disk-backed benefactor is killed in the middle of a
+/// replicated write and restarted on the same directory moments later.
+/// The client fails its in-flight puts over to surviving stripe nodes,
+/// the manager expires the dead incarnation by heartbeat timeout, the
+/// restarted process re-adopts its persisted chunks and re-advertises
+/// them through GC reports, and the pessimistic commit converges with two
+/// live copies of every chunk. The commit reply also carries the
+/// churn-derived checkpoint guidance.
+#[test]
+fn chaos_benefactor_kill_restart_mid_write_converges() {
+    let dir = std::env::temp_dir().join(format!("stdchk-net-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    // The write stalls across the kill + failover window; the eager
+    // space reservation must survive that stall (the 500 ms test
+    // default can expire mid-write on a slow debug run, failing the
+    // session with Conflict before it can commit).
+    pool_cfg.reservation_ttl = stdchk_util::Dur::from_secs(30);
+    let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
+    // GC grace must outlive the kill-to-commit window: the restarted
+    // incarnation's early GC reports must not list the still-uncommitted
+    // chunks it adopted (the manager would order them dropped), while
+    // post-commit reports re-advertise them for repair.
+    let bcfg = BenefactorConfig {
+        gc_grace: stdchk_util::Dur::from_secs(2),
+        ..BenefactorConfig::fast_for_tests()
+    };
+    let spawn_disk = |dir: &std::path::Path| {
+        BenefactorServer::spawn(BenefactorNetConfig {
+            manager_addr: mgr.addr().to_string(),
+            listen: "127.0.0.1:0".into(),
+            total_space: 256 << 20,
+            cfg: bcfg.clone(),
+            store: Arc::new(DiskStore::open(dir).expect("disk store")),
+        })
+        .expect("benefactor")
+    };
+    let mut victim = spawn_disk(&dir);
+    let mut peers = Vec::new();
+    for _ in 0..3 {
+        peers.push(
+            BenefactorServer::spawn(BenefactorNetConfig {
+                manager_addr: mgr.addr().to_string(),
+                listen: "127.0.0.1:0".into(),
+                total_space: 256 << 20,
+                cfg: bcfg.clone(),
+                store: Arc::new(MemStore::new()),
+            })
+            .expect("benefactor"),
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 4 {
+        assert!(Instant::now() < deadline, "pool never came online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    let data = payload(2 << 20, 21); // 32 distinct 64 KiB chunks
+    let mut o = WriteOptions {
+        replication: 2,
+        ..WriteOptions::default()
+    };
+    o.session.pessimistic = true; // finish() returns only when replicated
+    let mut w = grid.create("/app/chaos.n0", o).expect("create");
+    let (first, rest) = data.split_at(data.len() / 2);
+    w.write_all(first).expect("write first half");
+    // The session window may still be draining: wait until the victim
+    // actually holds some of the stripe before killing it.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while victim.chunk_count() == 0 {
+        assert!(Instant::now() < deadline, "victim never received a chunk");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Kill the disk-backed benefactor mid-write; its lease (150 ms)
+    // expires while the client keeps writing.
+    victim.shutdown();
+    drop(victim);
+    std::thread::sleep(Duration::from_millis(400));
+    w.write_all(rest)
+        .expect("write second half despite the death");
+
+    // Restart it on the same directory: the store index re-adopts every
+    // persisted chunk and GC reports re-advertise them to the manager.
+    victim = spawn_disk(&dir);
+    assert!(victim.chunk_count() > 0, "restart must adopt disk chunks");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 4 {
+        assert!(Instant::now() < deadline, "restart never came online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = w
+        .finish()
+        .expect("pessimistic finish despite mid-write kill");
+    assert_eq!(stats.bytes_written, data.len() as u64);
+    assert!(
+        stats.suggested_interval > stdchk_util::Dur::ZERO,
+        "commit must carry checkpoint-interval guidance"
+    );
+
+    // Repair converges: every distinct chunk reaches two live copies
+    // (failover retries can leave stale extras, so the count alone is not
+    // enough — the whole file must also become readable through the
+    // manager's locations once the restarted node re-advertises).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let total = victim.chunk_count() + peers.iter().map(|b| b.chunk_count()).sum::<usize>();
+        let read_back = (total >= 64)
+            .then(|| {
+                grid.open("/app/chaos.n0", None)
+                    .expect("open")
+                    .read_all()
+                    .ok()
+            })
+            .flatten();
+        if let Some(read_back) = read_back {
+            assert_eq!(read_back, data);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "repair never converged: {total} stored copies"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    mgr.check_invariants();
+    drop(grid);
+    victim.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

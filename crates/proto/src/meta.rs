@@ -22,7 +22,7 @@ use crate::error::ProtoError;
 use crate::ids::{ChunkId, FileId, NodeId, VersionId};
 use crate::msg::DedupSummary;
 use crate::policy::RetentionPolicy;
-use stdchk_util::Time;
+use stdchk_util::{Dur, Time};
 
 /// One durable mutation of the manager's metadata, in commit order.
 ///
@@ -71,6 +71,8 @@ pub enum MetaRecord {
         dir: String,
         /// The policy now in force.
         policy: RetentionPolicy,
+        /// Optional `(min, max)` clamp on adaptive replication targets.
+        repl_bounds: Option<(u32, u32)>,
     },
     /// A benefactor joined the pool, or re-registered with a new address.
     /// Liveness stays soft state (heartbeats); the durable part is the id
@@ -83,6 +85,16 @@ pub enum MetaRecord {
         addr: String,
         /// Donated space in bytes.
         total: u64,
+    },
+    /// A benefactor's heartbeat lease expired, ending one online session.
+    /// Replay folds the session length and the departure count into the
+    /// manager's churn totals (like the dedup totals below) so failure-rate
+    /// estimates survive restarts; liveness itself stays soft state.
+    Churn {
+        /// The departed node.
+        node: NodeId,
+        /// How long the node was continuously online before expiring.
+        session: Dur,
     },
     /// How a committed version's bytes travelled under have/want
     /// negotiation. Logged alongside the matching `Commit` record so
@@ -105,6 +117,7 @@ const TAG_DELETE: u8 = 2;
 const TAG_SET_POLICY: u8 = 3;
 const TAG_BENEFACTOR: u8 = 4;
 const TAG_DEDUP: u8 = 5;
+const TAG_CHURN: u8 = 6;
 
 impl MetaRecord {
     /// Stable wire discriminant.
@@ -115,6 +128,7 @@ impl MetaRecord {
             MetaRecord::Delete { .. } => TAG_DELETE,
             MetaRecord::SetPolicy { .. } => TAG_SET_POLICY,
             MetaRecord::Benefactor { .. } => TAG_BENEFACTOR,
+            MetaRecord::Churn { .. } => TAG_CHURN,
             MetaRecord::Dedup { .. } => TAG_DEDUP,
         }
     }
@@ -153,14 +167,23 @@ impl Wire for MetaRecord {
                 versions.encode(w);
             }
             MetaRecord::Delete { path } => path.encode(w),
-            MetaRecord::SetPolicy { dir, policy } => {
+            MetaRecord::SetPolicy {
+                dir,
+                policy,
+                repl_bounds,
+            } => {
                 dir.encode(w);
                 policy.encode(w);
+                repl_bounds.encode(w);
             }
             MetaRecord::Benefactor { node, addr, total } => {
                 node.encode(w);
                 addr.encode(w);
                 w.put_u64(*total);
+            }
+            MetaRecord::Churn { node, session } => {
+                node.encode(w);
+                session.encode(w);
             }
             MetaRecord::Dedup {
                 file,
@@ -195,11 +218,16 @@ impl Wire for MetaRecord {
             TAG_SET_POLICY => MetaRecord::SetPolicy {
                 dir: String::decode(r)?,
                 policy: RetentionPolicy::decode(r)?,
+                repl_bounds: Option::decode(r)?,
             },
             TAG_BENEFACTOR => MetaRecord::Benefactor {
                 node: NodeId::decode(r)?,
                 addr: String::decode(r)?,
                 total: r.get_u64()?,
+            },
+            TAG_CHURN => MetaRecord::Churn {
+                node: NodeId::decode(r)?,
+                session: Dur::decode(r)?,
             },
             TAG_DEDUP => MetaRecord::Dedup {
                 file: FileId::decode(r)?,
@@ -319,6 +347,8 @@ pub struct MetaSnapshot {
     pub files: Vec<SnapshotFile>,
     /// Directory retention policies.
     pub dirs: Vec<(String, RetentionPolicy)>,
+    /// Per-directory `(min, max)` adaptive-replication bounds.
+    pub repl_bounds: Vec<(String, (u32, u32))>,
     /// Durable per-chunk metadata (size, target, last known locations).
     pub chunks: Vec<SnapshotChunk>,
 }
@@ -338,6 +368,7 @@ impl Wire for MetaSnapshot {
         self.benefactors.encode(w);
         self.files.encode(w);
         self.dirs.encode(w);
+        self.repl_bounds.encode(w);
         self.chunks.encode(w);
     }
 
@@ -349,6 +380,7 @@ impl Wire for MetaSnapshot {
             benefactors: Vec::decode(r)?,
             files: Vec::decode(r)?,
             dirs: Vec::decode(r)?,
+            repl_bounds: Vec::decode(r)?,
             chunks: Vec::decode(r)?,
         })
     }
@@ -394,11 +426,16 @@ mod tests {
         roundtrip(MetaRecord::SetPolicy {
             dir: "/jobs".into(),
             policy: RetentionPolicy::AutomatedReplace { keep_last: 2 },
+            repl_bounds: Some((2, 5)),
         });
         roundtrip(MetaRecord::Benefactor {
             node: NodeId(5),
             addr: "10.0.0.2:4402".into(),
             total: 1 << 40,
+        });
+        roundtrip(MetaRecord::Churn {
+            node: NodeId(5),
+            session: Dur::from_secs(7200),
         });
         roundtrip(MetaRecord::Dedup {
             file: FileId(7),
@@ -439,6 +476,7 @@ mod tests {
                     after: stdchk_util::Dur::from_secs(60),
                 },
             )],
+            repl_bounds: vec![("/jobs".into(), (1, 3))],
             chunks: vec![SnapshotChunk {
                 id: ChunkId::test_id(9),
                 size: 128,

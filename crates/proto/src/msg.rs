@@ -210,6 +210,9 @@ pub enum Msg {
         file: FileId,
         /// Committed version.
         version: VersionId,
+        /// Manager-suggested checkpoint interval derived from observed
+        /// fleet churn ([`Dur::ZERO`] when the manager has no guidance).
+        suggested_interval: Dur,
     },
     /// Abandons a write session, releasing its reservation.
     AbortWrite {
@@ -292,6 +295,9 @@ pub enum Msg {
         dir: String,
         /// The policy.
         policy: RetentionPolicy,
+        /// Optional `(min, max)` clamp for adaptive replication targets of
+        /// files under this directory. `None` leaves the pool-wide bounds.
+        repl_bounds: Option<(u32, u32)>,
     },
     /// Resolves node ids to dial addresses (real-network deployments).
     ResolveNodes {
@@ -892,10 +898,16 @@ impl Wire for Msg {
                 pessimistic.encode(w);
                 dedup.encode(w);
             }
-            Msg::CommitOk { req, file, version } => {
+            Msg::CommitOk {
+                req,
+                file,
+                version,
+                suggested_interval,
+            } => {
                 req.encode(w);
                 file.encode(w);
                 version.encode(w);
+                suggested_interval.encode(w);
             }
             Msg::AbortWrite { req, reservation } => {
                 req.encode(w);
@@ -938,10 +950,16 @@ impl Wire for Msg {
                 req.encode(w);
                 path.encode(w);
             }
-            Msg::SetPolicy { req, dir, policy } => {
+            Msg::SetPolicy {
+                req,
+                dir,
+                policy,
+                repl_bounds,
+            } => {
                 req.encode(w);
                 dir.encode(w);
                 policy.encode(w);
+                repl_bounds.encode(w);
             }
             Msg::ResolveNodes { req, nodes } => {
                 req.encode(w);
@@ -1154,6 +1172,7 @@ impl Wire for Msg {
                 req: RequestId::decode(r)?,
                 file: FileId::decode(r)?,
                 version: VersionId::decode(r)?,
+                suggested_interval: Dur::decode(r)?,
             },
             16 => Msg::AbortWrite {
                 req: RequestId::decode(r)?,
@@ -1200,6 +1219,7 @@ impl Wire for Msg {
                 req: RequestId::decode(r)?,
                 dir: String::decode(r)?,
                 policy: RetentionPolicy::decode(r)?,
+                repl_bounds: Option::decode(r)?,
             },
             27 => Msg::ResolveNodes {
                 req: RequestId::decode(r)?,
@@ -1363,6 +1383,12 @@ mod tests {
                     full_bytes: 7,
                 },
             },
+            Msg::CommitOk {
+                req: RequestId(3),
+                file: FileId(1),
+                version: VersionId(4),
+                suggested_interval: Dur::from_secs(300),
+            },
             Msg::OfferChunks {
                 req: RequestId(16),
                 reservation: ReservationId(5),
@@ -1411,6 +1437,7 @@ mod tests {
                 policy: RetentionPolicy::AutomatedPurge {
                     after: Dur::from_secs(3600),
                 },
+                repl_bounds: Some((2, 4)),
             },
             Msg::ResolveNodes {
                 req: RequestId(15),

@@ -114,10 +114,13 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     dedup,
                 },
             ),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(r, f, v)| Msg::CommitOk {
-            req: RequestId(r),
-            file: FileId(f),
-            version: VersionId(v),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(r, f, v, g)| {
+            Msg::CommitOk {
+                req: RequestId(r),
+                file: FileId(f),
+                version: VersionId(v),
+                suggested_interval: Dur::from_nanos(g),
+            }
         }),
         (
             any::<u64>(),
@@ -144,11 +147,18 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 }
             }
         ),
-        (any::<u64>(), ".*", arb_policy()).prop_map(|(r, dir, policy)| Msg::SetPolicy {
-            req: RequestId(r),
-            dir,
-            policy,
-        }),
+        (
+            any::<u64>(),
+            ".*",
+            arb_policy(),
+            prop_oneof![Just(None), (any::<u32>(), any::<u32>()).prop_map(Some)]
+        )
+            .prop_map(|(r, dir, policy, repl_bounds)| Msg::SetPolicy {
+                req: RequestId(r),
+                dir,
+                policy,
+                repl_bounds,
+            }),
         (
             any::<u64>(),
             any::<u64>(),

@@ -1,0 +1,276 @@
+//! Seeded churn-trace generation: join/leave/crash schedules for the
+//! chaos scenario suite.
+//!
+//! Traces are plain event lists (`(time, benefactor, kind)`) produced by a
+//! deterministic splitmix-style generator, so every scenario replays
+//! bit-identically from its seed. Three shapes cover the paper's desktop
+//! fleet arguments:
+//!
+//! * [`correlated_departure`] — a fraction of the fleet leaves in two
+//!   staggered waves (power event / lab shutdown; the acceptance scenario),
+//! * [`diurnal`] — nodes leave in the evening and return in the morning
+//!   (the scavenged-desktop day/night cycle),
+//! * [`steady`] — every node alternates exponentially-distributed online
+//!   sessions and offline gaps (background churn).
+
+use stdchk_util::{mix64, Dur, Time};
+
+use crate::cluster::ChurnKind;
+
+/// One scheduled churn transition.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnEvent {
+    /// When the transition happens.
+    pub at: Time,
+    /// Benefactor index.
+    pub benefactor: usize,
+    /// What happens to it.
+    pub kind: ChurnKind,
+}
+
+/// Deterministic splitmix-style generator for trace construction.
+#[derive(Clone, Debug)]
+pub struct TraceRng {
+    state: u64,
+}
+
+impl TraceRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TraceRng {
+        TraceRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp(&mut self, mean: Dur) -> Dur {
+        let u = self.unit().max(1e-12);
+        Dur::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Fisher–Yates sample of `k` distinct indices out of `[0, n)`.
+    pub fn sample(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut pool: Vec<usize> = (0..n).collect();
+        let k = k.min(n);
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// A correlated mass departure: `frac` of the `fleet` goes down in two
+/// staggered waves starting at `first_wave` (±1 s of per-node jitter),
+/// `crash_frac` of the victims crash (losing their stored chunks) while
+/// the rest leave with data intact. Nobody returns — the repair path has
+/// to rebuild redundancy from the survivors.
+pub fn correlated_departure(
+    fleet: usize,
+    frac: f64,
+    crash_frac: f64,
+    first_wave: Time,
+    stagger: Dur,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    let mut rng = TraceRng::new(seed);
+    let victims = ((fleet as f64 * frac).round() as usize).min(fleet);
+    let picked = rng.sample(fleet, victims);
+    let mut trace = Vec::new();
+    for (i, benefactor) in picked.into_iter().enumerate() {
+        let wave = if i % 2 == 0 {
+            first_wave
+        } else {
+            first_wave + stagger
+        };
+        let jitter = Dur::from_millis(rng.below(2000) as u64);
+        let kind = if rng.unit() < crash_frac {
+            ChurnKind::Crash
+        } else {
+            ChurnKind::Leave
+        };
+        trace.push(ChurnEvent {
+            at: wave + jitter,
+            benefactor,
+            kind,
+        });
+    }
+    trace.sort_by_key(|e| e.at);
+    trace
+}
+
+/// A day/night cycle: `night_frac` of the fleet leaves around `dusk` and
+/// returns around `dawn`, with per-node jitter. Data stays intact (these
+/// are powered-off desktops, not disk failures).
+pub fn diurnal(
+    fleet: usize,
+    night_frac: f64,
+    dusk: Time,
+    dawn: Time,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    assert!(dawn > dusk, "dawn must follow dusk");
+    let mut rng = TraceRng::new(seed);
+    let sleepers = ((fleet as f64 * night_frac).round() as usize).min(fleet);
+    let picked = rng.sample(fleet, sleepers);
+    let mut trace = Vec::new();
+    for benefactor in picked {
+        let leave_jitter = Dur::from_millis(rng.below(5000) as u64);
+        let return_jitter = Dur::from_millis(rng.below(5000) as u64);
+        trace.push(ChurnEvent {
+            at: dusk + leave_jitter,
+            benefactor,
+            kind: ChurnKind::Leave,
+        });
+        trace.push(ChurnEvent {
+            at: dawn + return_jitter,
+            benefactor,
+            kind: ChurnKind::Return,
+        });
+    }
+    trace.sort_by_key(|e| e.at);
+    trace
+}
+
+/// Steady background churn over `span`: each node alternates online
+/// sessions (mean `mean_session`) and offline gaps (mean `mean_offline`,
+/// floored at `min_offline` so a crashed node's heartbeat lease expires
+/// before it returns — a node that crashes and rejoins inside the lease
+/// would present phantom replicas no detector could see). `crash_frac` of
+/// departures wipe the node's chunks.
+pub fn steady(
+    fleet: usize,
+    mean_session: Dur,
+    mean_offline: Dur,
+    min_offline: Dur,
+    crash_frac: f64,
+    span: Dur,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    let mut rng = TraceRng::new(seed);
+    let end = Time::ZERO + span;
+    let mut trace = Vec::new();
+    for benefactor in 0..fleet {
+        let mut at = Time::ZERO + rng.exp(mean_session);
+        while at < end {
+            let kind = if rng.unit() < crash_frac {
+                ChurnKind::Crash
+            } else {
+                ChurnKind::Leave
+            };
+            trace.push(ChurnEvent {
+                at,
+                benefactor,
+                kind,
+            });
+            let back = at + rng.exp(mean_offline).max(min_offline);
+            if back >= end {
+                break;
+            }
+            trace.push(ChurnEvent {
+                at: back,
+                benefactor,
+                kind: ChurnKind::Return,
+            });
+            at = back + rng.exp(mean_session);
+        }
+    }
+    trace.sort_by_key(|e| e.at);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = correlated_departure(20, 0.3, 0.5, Time::from_secs(10), Dur::from_secs(20), 7);
+        let b = correlated_departure(20, 0.3, 0.5, Time::from_secs(10), Dur::from_secs(20), 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.at, x.benefactor), (y.at, y.benefactor));
+        }
+        let c = correlated_departure(20, 0.3, 0.5, Time::from_secs(10), Dur::from_secs(20), 8);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.benefactor != y.benefactor || x.at != y.at),
+            "different seeds should pick different victims"
+        );
+    }
+
+    #[test]
+    fn correlated_departure_hits_the_requested_fraction() {
+        let trace = correlated_departure(30, 0.3, 0.0, Time::from_secs(5), Dur::from_secs(15), 42);
+        assert_eq!(trace.len(), 9);
+        let mut victims: Vec<usize> = trace.iter().map(|e| e.benefactor).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 9, "victims must be distinct");
+        assert!(trace.iter().all(|e| matches!(e.kind, ChurnKind::Leave)));
+        // Two waves: some events near t=5, some near t=20.
+        assert!(trace.iter().any(|e| e.at < Time::from_secs(8)));
+        assert!(trace.iter().any(|e| e.at >= Time::from_secs(20)));
+    }
+
+    #[test]
+    fn diurnal_returns_everyone_it_removes() {
+        let trace = diurnal(16, 0.5, Time::from_secs(10), Time::from_secs(60), 3);
+        let leaves = trace
+            .iter()
+            .filter(|e| matches!(e.kind, ChurnKind::Leave))
+            .count();
+        let returns = trace
+            .iter()
+            .filter(|e| matches!(e.kind, ChurnKind::Return))
+            .count();
+        assert_eq!(leaves, returns);
+        assert_eq!(leaves, 8);
+    }
+
+    #[test]
+    fn steady_respects_offline_floor() {
+        let min_off = Dur::from_secs(8);
+        let trace = steady(
+            10,
+            Dur::from_secs(20),
+            Dur::from_secs(2),
+            min_off,
+            0.5,
+            Dur::from_secs(120),
+            11,
+        );
+        assert!(!trace.is_empty());
+        // Every Return follows its node's departure by at least the floor.
+        for w in 0..trace.len() {
+            if !matches!(trace[w].kind, ChurnKind::Return) {
+                continue;
+            }
+            let node = trace[w].benefactor;
+            let depart = trace[..w]
+                .iter()
+                .rev()
+                .find(|e| e.benefactor == node)
+                .expect("return without departure");
+            assert!(trace[w].at.since(depart.at) >= min_off);
+        }
+    }
+}

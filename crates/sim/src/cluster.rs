@@ -27,7 +27,7 @@
 //! 70 GB scalability run allocates no data.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use stdchk_core::node::{Action, Completion, Node};
 use stdchk_core::payload::Payload;
@@ -40,7 +40,7 @@ use stdchk_proto::msg::Msg;
 use stdchk_util::{mix64, Dur, Time};
 
 use crate::flownet::FlowNet;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Percentiles};
 
 /// Node id of the first benefactor; benefactor `i` is `BENEF_BASE + i`.
 pub const BENEF_BASE: u64 = 1;
@@ -108,6 +108,10 @@ pub struct SimConfig {
     pub gate_off: Dur,
     /// Pool (manager) configuration.
     pub pool: PoolConfig,
+    /// Benefactor state-machine knobs; `None` uses the testbed defaults
+    /// (chaos scenarios tighten the GC cadence so returning nodes
+    /// re-advertise their inventory quickly).
+    pub benefactor_cfg: Option<BenefactorConfig>,
 }
 
 impl SimConfig {
@@ -141,6 +145,7 @@ impl SimConfig {
             gate_on: Dur::from_millis(150),
             gate_off: Dur::from_millis(50),
             pool,
+            benefactor_cfg: None,
         }
     }
 
@@ -190,6 +195,20 @@ impl WriteJob {
     }
 }
 
+/// What happens to a benefactor at a churn-trace transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node goes offline with its stored chunks intact (powered off,
+    /// network partition). A later [`ChurnKind::Return`] brings the data
+    /// back.
+    Leave,
+    /// The node goes offline *and* loses its stored chunks (disk wipe,
+    /// reinstall). A later return rejoins it empty.
+    Crash,
+    /// The node comes back online and resumes heartbeating.
+    Return,
+}
+
 /// Outcome of one job.
 #[derive(Clone, Debug)]
 pub struct JobResult {
@@ -199,6 +218,9 @@ pub struct JobResult {
     pub path: String,
     /// Session metrics (OAB/ASB windows, dedup savings).
     pub stats: WriteStats,
+    /// Per-application-write-call latency percentiles (queueing included):
+    /// the ingest-latency view a checkpointing application sees.
+    pub ingest: Percentiles,
     /// True if the session failed instead of completing.
     pub failed: bool,
 }
@@ -212,6 +234,8 @@ pub struct SimReport {
     pub persisted_series: Vec<(u64, u64)>,
     /// Manager counters.
     pub manager_stats: stdchk_core::ManagerStats,
+    /// Full metrics (latency percentiles, repair-backlog gauge, summary).
+    pub metrics: Metrics,
     /// Virtual time at the end of the run.
     pub end: Time,
 }
@@ -266,6 +290,9 @@ struct BenefNode {
     sm: Benefactor,
     disk: Disk,
     gated: bool,
+    /// False while churned out: inbound traffic, ticks, and disk
+    /// completions are dropped, exactly as if the process were gone.
+    online: bool,
     /// Earliest maintenance wakeup currently sitting in the event heap.
     next_tick: Time,
 }
@@ -277,6 +304,10 @@ struct ActiveWrite {
     written: u64,
     app_busy: bool,
     closed: bool,
+    /// Completion instant of the previous write call (ingest-latency
+    /// sampling: the gap to the next completion includes blocking).
+    last_done: Time,
+    lat: Percentiles,
 }
 
 #[derive(Debug)]
@@ -330,11 +361,33 @@ enum DiskKind {
 enum Ev {
     MgrTick,
     BenefTick(usize),
-    Deliver { from: NodeId, to: NodeId, msg: Msg },
-    FlowCheck { gen: u64 },
-    AppWrite { ci: usize, n: u32, tag: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+    },
+    FlowCheck {
+        gen: u64,
+    },
+    AppWrite {
+        ci: usize,
+        n: u32,
+        tag: u64,
+    },
     DiskDone(DiskKind),
-    ClientStart { ci: usize },
+    ClientStart {
+        ci: usize,
+    },
+    Churn {
+        bi: usize,
+        kind: ChurnKind,
+    },
+    /// Synthesized transport failure for a client put (connection refused
+    /// or reset by a churned-out target).
+    PutFailed {
+        ci: usize,
+        req: RequestId,
+    },
 }
 
 struct Sched {
@@ -384,8 +437,12 @@ pub struct SimCluster {
     /// replies queued behind them wait (group-commit ack gating).
     mgr_log_gate: Time,
     benefs: Vec<BenefNode>,
+    bcfg: BenefactorConfig,
     clients: Vec<ClientNode>,
     metrics: Metrics,
+    /// Client puts delivered to a benefactor but not yet acked, by target:
+    /// when the target churns out these become `SendFailed` (TCP reset).
+    unacked: HashMap<NodeId, HashMap<RequestId, usize>>,
     results: Vec<JobResult>,
     jobs_outstanding: usize,
     next_sid: u64,
@@ -406,14 +463,16 @@ impl SimCluster {
             mgr.enable_wal();
         }
         let mut benefs = Vec::new();
-        let bcfg = BenefactorConfig {
+        let bcfg = cfg.benefactor_cfg.clone().unwrap_or(BenefactorConfig {
             heartbeat_every: cfg.pool.heartbeat_every,
             gc_grace: Dur::from_secs(600),
             gc_min_interval: Dur::from_secs(30),
-            put_timeout: Dur::from_secs(60),
+            // Short enough that repair copies stranded by a mid-transfer
+            // departure retry within a chaos scenario's horizon.
+            put_timeout: Dur::from_secs(15),
             reoffer_every: Dur::from_secs(10),
             stash_ttl: Dur::from_secs(3600),
-        };
+        });
         for i in 0..cfg.benefactors {
             let id = NodeId(BENEF_BASE + i as u64);
             net.set_node(id, cfg.benefactor_nic, cfg.benefactor_nic);
@@ -436,6 +495,7 @@ impl SimCluster {
                     busy_until: Time::ZERO,
                 },
                 gated: false,
+                online: true,
                 next_tick: Time::MAX,
             });
         }
@@ -470,8 +530,10 @@ impl SimCluster {
             mgr_log_gate: Time::ZERO,
             mgr,
             benefs,
+            bcfg,
             clients,
             metrics: Metrics::default(),
+            unacked: HashMap::new(),
             results: Vec::new(),
             jobs_outstanding: 0,
             next_sid: 1,
@@ -547,6 +609,7 @@ impl SimCluster {
             results: std::mem::take(&mut self.results),
             persisted_series: self.metrics.series(),
             manager_stats: self.mgr.stats(),
+            metrics: self.metrics.clone(),
             end: self.now,
         }
     }
@@ -554,6 +617,53 @@ impl SimCluster {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// The embedded manager (metadata ground truth for assertions).
+    pub fn manager(&self) -> &Manager {
+        &self.mgr
+    }
+
+    /// Mutable manager access, for read-style queries (`GetFile`,
+    /// `ListVersions`) driven directly by tests.
+    pub fn manager_mut(&mut self) -> &mut Manager {
+        &mut self.mgr
+    }
+
+    /// Whether benefactor `i` is currently churned in.
+    pub fn benefactor_online(&self, i: usize) -> bool {
+        self.benefs[i].online
+    }
+
+    /// Ground truth: does benefactor `i` actually hold `chunk`? (Bypasses
+    /// the manager's location metadata — this is what durability
+    /// assertions must check against.)
+    pub fn benefactor_has(&self, i: usize, chunk: ChunkId) -> bool {
+        self.benefs[i].sm.contains(chunk)
+    }
+
+    /// Number of benefactors in the fleet.
+    pub fn benefactor_count(&self) -> usize {
+        self.benefs.len()
+    }
+
+    /// Schedules one churn transition for benefactor `benefactor`.
+    pub fn schedule_churn(&mut self, at: Time, benefactor: usize, kind: ChurnKind) {
+        assert!(benefactor < self.benefs.len(), "unknown benefactor");
+        self.schedule_at(
+            at.max(self.now),
+            Ev::Churn {
+                bi: benefactor,
+                kind,
+            },
+        );
+    }
+
+    /// Schedules a whole churn trace (see [`crate::churn`]).
+    pub fn schedule_trace(&mut self, trace: &[crate::churn::ChurnEvent]) {
+        for e in trace {
+            self.schedule_churn(e.at, e.benefactor, e.kind);
+        }
     }
 
     // ------------------------------------------------------------ scheduling
@@ -583,6 +693,8 @@ impl SimCluster {
             Ev::MgrTick => {
                 self.mgr_next_tick = Time::MAX;
                 self.mgr.handle_timeout(self.now);
+                self.metrics
+                    .note_backlog(self.now, self.mgr.repair_backlog());
                 self.drive(NodeRef::Mgr);
                 if self.ticks_enabled() {
                     self.schedule_next_timeout(NodeRef::Mgr);
@@ -590,6 +702,9 @@ impl SimCluster {
             }
             Ev::BenefTick(bi) => {
                 self.benefs[bi].next_tick = Time::MAX;
+                if !self.benefs[bi].online {
+                    return; // churned out: the process isn't running
+                }
                 self.benefs[bi].sm.handle_timeout(self.now);
                 self.drive(NodeRef::Benef(bi));
                 if self.ticks_enabled() {
@@ -605,6 +720,19 @@ impl SimCluster {
                 let done = self.net.take_finished();
                 for flow in done {
                     let load = flow.payload;
+                    if self.benef_offline(load.to) {
+                        // Target churned out mid-transfer: the connection
+                        // resets instead of acking.
+                        if let Some((ci, req)) = load.notify {
+                            self.with_session(ci, |s, now| {
+                                s.handle_completion(Completion::SendFailed { req }, now);
+                            });
+                        }
+                        continue;
+                    }
+                    if self.benef_offline(load.from) {
+                        continue; // sender died before the bytes landed
+                    }
                     if let Some((ci, req)) = load.notify {
                         self.with_session(ci, |s, now| {
                             s.handle_completion(Completion::SendDone { req }, now);
@@ -617,6 +745,12 @@ impl SimCluster {
             Ev::AppWrite { ci, n, tag } => self.app_write(ci, n, tag),
             Ev::DiskDone(kind) => self.disk_done(kind),
             Ev::ClientStart { ci } => self.client_start(ci),
+            Ev::Churn { bi, kind } => self.apply_churn(bi, kind),
+            Ev::PutFailed { ci, req } => {
+                self.with_session(ci, |s, now| {
+                    s.handle_completion(Completion::SendFailed { req }, now);
+                });
+            }
         }
     }
 
@@ -678,6 +812,15 @@ impl SimCluster {
                     (Msg::PutChunk { req, .. }, Some(ci)) => Some((ci, *req)),
                     _ => None,
                 };
+                if self.benef_offline(to) {
+                    // Connection refused: a client put fails fast so the
+                    // session retries on another stripe target; anything
+                    // else (repair copies, reads) just vanishes.
+                    if let Some((ci, req)) = notify {
+                        self.schedule(self.cfg.control_latency, Ev::PutFailed { ci, req });
+                    }
+                    continue;
+                }
                 let bytes = msg.wire_size();
                 self.net.settle(self.now);
                 self.net.add(
@@ -714,6 +857,9 @@ impl SimCluster {
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: Msg, _ctx: Option<()>) {
         if to == MANAGER_NODE {
+            if self.benef_offline(from) {
+                return; // a dead node sends nothing (heartbeats included)
+            }
             self.mgr.handle(from, msg, self.now);
             self.drive(NodeRef::Mgr);
             if self.ticks_enabled() {
@@ -721,10 +867,30 @@ impl SimCluster {
             }
         } else if to.as_u64() >= CLIENT_BASE {
             let ci = (to.as_u64() - CLIENT_BASE) as usize;
+            if self.benef_offline(from) {
+                return;
+            }
+            // An ack reaching the client settles the delivered-unacked
+            // window for that put.
+            if let Some(req) = msg.request_id() {
+                if let Some(pending) = self.unacked.get_mut(&from) {
+                    pending.remove(&req);
+                }
+            }
             self.client_msg(ci, msg);
         } else {
             let bi = (to.as_u64() - BENEF_BASE) as usize;
-            if bi < self.benefs.len() {
+            if bi < self.benefs.len() && self.benefs[bi].online {
+                // A client put is now delivered but unacked: if the target
+                // churns out before `PutChunkOk` makes it back, this put
+                // must fail (the TCP connection resets with it).
+                if from.as_u64() >= CLIENT_BASE {
+                    if let (Msg::PutChunk { req, .. } | Msg::DeltaPutChunk { req, .. }, ci) =
+                        (&msg, (from.as_u64() - CLIENT_BASE) as usize)
+                    {
+                        self.unacked.entry(to).or_default().insert(*req, ci);
+                    }
+                }
                 self.benefs[bi].sm.handle(from, msg, self.now);
                 self.drive(NodeRef::Benef(bi));
                 if self.ticks_enabled() {
@@ -732,6 +898,17 @@ impl SimCluster {
                 }
             }
         }
+    }
+
+    /// True when `node` addresses a benefactor that is currently churned
+    /// out (clients and the manager are never offline).
+    fn benef_offline(&self, node: NodeId) -> bool {
+        let v = node.as_u64();
+        if node == MANAGER_NODE || v >= CLIENT_BASE {
+            return false;
+        }
+        let bi = (v - BENEF_BASE) as usize;
+        bi < self.benefs.len() && !self.benefs[bi].online
     }
 
     // ------------------------------------------------ uniform dispatch
@@ -752,6 +929,11 @@ impl SimCluster {
                 },
             };
             let Some(action) = action else { break };
+            if let NodeRef::Benef(bi) = nr {
+                if !self.benefs[bi].online {
+                    continue; // drain and discard: the process is gone
+                }
+            }
             self.execute(nr, action);
         }
     }
@@ -957,6 +1139,8 @@ impl SimCluster {
                                 written: 0,
                                 app_busy: false,
                                 closed: false,
+                                last_done: self.now,
+                                lat: Percentiles::default(),
                             })));
                         self.arm_app(ci);
                     }
@@ -972,6 +1156,7 @@ impl SimCluster {
                                 client: ci,
                                 path: job.path,
                                 stats: WriteStats::default(),
+                                ingest: Percentiles::default(),
                                 failed: true,
                             },
                         );
@@ -1060,6 +1245,13 @@ impl SimCluster {
             };
             w.app_busy = false;
             w.written += n as u64;
+            // Gap since the previous completed call — this includes any
+            // time the app spent *blocked* on a full session, which is
+            // exactly the stall a checkpointing application feels.
+            let lat = self.now.since(w.last_done);
+            w.last_done = self.now;
+            w.lat.record(lat);
+            self.metrics.note_ingest(lat);
         }
         self.with_session(ci, move |s, now| {
             s.write(Payload::Virtual { size: n, tag }, now);
@@ -1087,6 +1279,7 @@ impl SimCluster {
                     client: ci,
                     path: w.job.path.clone(),
                     stats: w.session.stats(),
+                    ingest: w.lat,
                     failed,
                 },
             );
@@ -1107,6 +1300,9 @@ impl SimCluster {
     fn disk_done(&mut self, kind: DiskKind) {
         match kind {
             DiskKind::BenefStore { bi, op, bytes } => {
+                if !self.benefs[bi].online {
+                    return; // in-flight write lost with the node
+                }
                 self.metrics.persisted(self.now, bytes);
                 self.benefs[bi]
                     .sm
@@ -1120,6 +1316,9 @@ impl SimCluster {
                 chunk,
                 size,
             } => {
+                if !self.benefs[bi].online {
+                    return;
+                }
                 self.benefs[bi].sm.handle_completion(
                     Completion::Loaded {
                         op,
@@ -1145,6 +1344,53 @@ impl SimCluster {
                         },
                         now,
                     );
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ churn
+
+    fn apply_churn(&mut self, bi: usize, kind: ChurnKind) {
+        match kind {
+            ChurnKind::Leave => self.set_benef_offline(bi),
+            ChurnKind::Crash => {
+                self.set_benef_offline(bi);
+                // The process and its chunks are gone: a fresh state
+                // machine replaces the old one, and whatever the disk was
+                // still writing is lost (stale `DiskDone`s for the old
+                // machine are tolerated as unknown ops).
+                let id = NodeId(BENEF_BASE + bi as u64);
+                self.benefs[bi].sm =
+                    Benefactor::new(id, self.cfg.benefactor_space, self.bcfg.clone());
+                self.benefs[bi].disk.busy_until = self.now;
+            }
+            ChurnKind::Return => {
+                if !self.benefs[bi].online {
+                    self.benefs[bi].online = true;
+                    // The stale heartbeat deadline is long past, so the
+                    // next wakeup fires immediately and the manager
+                    // re-adopts the node.
+                    self.schedule_next_timeout(NodeRef::Benef(bi));
+                }
+            }
+        }
+    }
+
+    /// Takes benefactor `bi` off the network: from here until a `Return`,
+    /// its inbound traffic, ticks, disk completions, and outbound actions
+    /// are all dropped. Client puts already delivered but unacked fail
+    /// back to their sessions (the TCP connections reset).
+    fn set_benef_offline(&mut self, bi: usize) {
+        if !self.benefs[bi].online {
+            return;
+        }
+        self.benefs[bi].online = false;
+        let id = NodeId(BENEF_BASE + bi as u64);
+        if let Some(pending) = self.unacked.remove(&id) {
+            for (req, ci) in pending {
+                self.with_session(ci, move |s, now| {
+                    s.handle_completion(Completion::SendFailed { req }, now);
                 });
             }
         }

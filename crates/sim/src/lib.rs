@@ -34,10 +34,13 @@
 //! ```
 
 pub mod baselines;
+pub mod churn;
 pub mod cluster;
 pub mod flownet;
 pub mod metrics;
+pub mod scenarios;
 
-pub use cluster::{JobResult, SimCluster, SimConfig, SimReport, WriteJob};
+pub use churn::{correlated_departure, diurnal, steady, ChurnEvent, TraceRng};
+pub use cluster::{ChurnKind, JobResult, SimCluster, SimConfig, SimReport, WriteJob};
 pub use flownet::{Flow, FlowId, FlowNet};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, Percentiles};

@@ -1,15 +1,64 @@
-//! Simulation metrics: persisted-byte accounting and time series.
+//! Simulation metrics: persisted-byte accounting, latency percentiles,
+//! repair-backlog gauges, and per-scenario summary lines.
 
 use std::collections::BTreeMap;
 
-use stdchk_util::Time;
+use stdchk_util::{Dur, Time};
 
-/// Collects persisted-byte counts bucketed by whole seconds of sim time —
-/// the series Figure 8 plots.
+/// Latency percentile accumulator (nearest-rank over recorded samples).
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<Dur>,
+}
+
+impl Percentiles {
+    /// Records one sample.
+    pub fn record(&mut self, d: Dur) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Nearest-rank percentile (`p` in percent, e.g. `99.0`). Zero when no
+    /// samples were recorded.
+    pub fn percentile(&self, p: f64) -> Dur {
+        if self.samples.is_empty() {
+            return Dur::ZERO;
+        }
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
+    }
+
+    /// Median sample.
+    pub fn p50(&self) -> Dur {
+        self.percentile(50.0)
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> Dur {
+        self.percentile(99.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Dur {
+        self.samples.iter().copied().max().unwrap_or(Dur::ZERO)
+    }
+}
+
+/// Collects persisted-byte counts bucketed by whole seconds of sim time
+/// (the series Figure 8 plots), ingest write-call latencies, and a
+/// repair-backlog gauge sampled on manager ticks.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     per_second: BTreeMap<u64, u64>,
     total: u64,
+    ingest: Percentiles,
+    backlog: Vec<(u64, usize)>,
 }
 
 impl Metrics {
@@ -20,9 +69,59 @@ impl Metrics {
         self.total += bytes;
     }
 
+    /// Records one application write-call latency (queueing included).
+    pub fn note_ingest(&mut self, d: Dur) {
+        self.ingest.record(d);
+    }
+
+    /// Samples the manager's repair backlog at `now`.
+    pub fn note_backlog(&mut self, now: Time, backlog: usize) {
+        let sec = now.as_nanos() / 1_000_000_000;
+        self.backlog.push((sec, backlog));
+    }
+
     /// Total persisted bytes.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Fleet-wide ingest latency percentiles.
+    pub fn ingest(&self) -> &Percentiles {
+        &self.ingest
+    }
+
+    /// The repair-backlog gauge as `(second, queued repairs)` samples in
+    /// observation order.
+    pub fn backlog_series(&self) -> &[(u64, usize)] {
+        &self.backlog
+    }
+
+    /// Largest observed repair backlog.
+    pub fn backlog_peak(&self) -> usize {
+        self.backlog.iter().map(|(_, b)| *b).max().unwrap_or(0)
+    }
+
+    /// The last whole second at which repair work was still queued —
+    /// `None` when the backlog was never non-zero. The distance from the
+    /// failure instant to this is the time-to-re-replication.
+    pub fn backlog_cleared_at(&self) -> Option<u64> {
+        self.backlog
+            .iter()
+            .rev()
+            .find(|(_, b)| *b > 0)
+            .map(|(s, _)| *s)
+    }
+
+    /// One-line per-scenario summary for test and bench logs.
+    pub fn summary(&self, scenario: &str) -> String {
+        format!(
+            "scenario={scenario} persisted={}B ingest_p50={:.1}ms ingest_p99={:.1}ms \
+             repair_backlog_peak={}",
+            self.total,
+            self.ingest.p50().as_secs_f64() * 1e3,
+            self.ingest.p99().as_secs_f64() * 1e3,
+            self.backlog_peak(),
+        )
     }
 
     /// The series as `(second, bytes)` pairs, gaps filled with zeros.
@@ -40,7 +139,6 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stdchk_util::Dur;
 
     #[test]
     fn buckets_by_second_and_fills_gaps() {
@@ -55,5 +153,32 @@ mod tests {
     #[test]
     fn empty_series_is_empty() {
         assert!(Metrics::default().series().is_empty());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut p = Percentiles::default();
+        for ms in 1..=100u64 {
+            p.record(Dur::from_millis(ms));
+        }
+        assert_eq!(p.p50(), Dur::from_millis(50));
+        assert_eq!(p.p99(), Dur::from_millis(99));
+        assert_eq!(p.percentile(100.0), Dur::from_millis(100));
+        assert_eq!(p.max(), Dur::from_millis(100));
+        assert_eq!(Percentiles::default().p99(), Dur::ZERO);
+    }
+
+    #[test]
+    fn backlog_gauge_tracks_clearing() {
+        let mut m = Metrics::default();
+        m.note_backlog(Time::from_secs(1), 0);
+        m.note_backlog(Time::from_secs(2), 7);
+        m.note_backlog(Time::from_secs(4), 3);
+        m.note_backlog(Time::from_secs(6), 0);
+        assert_eq!(m.backlog_peak(), 7);
+        assert_eq!(m.backlog_cleared_at(), Some(4));
+        let line = m.summary("demo");
+        assert!(line.contains("scenario=demo"), "{line}");
+        assert!(line.contains("repair_backlog_peak=7"), "{line}");
     }
 }

@@ -1,0 +1,116 @@
+//! Property test for durability under churn: for arbitrary seeded steady
+//! churn traces (filtered so the fleet never loses nodes faster than the
+//! detector + repair pipeline can restore redundancy), every committed
+//! replication-≥2 version remains readable at trace end, and the manager's
+//! metadata invariants — including chunk refcounts vs version references
+//! and location-table consistency — hold.
+
+use proptest::prelude::*;
+
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_sim::scenarios::{chaos_bcfg, committed_versions, version_readable};
+use stdchk_sim::{steady, ChurnEvent, ChurnKind, SimCluster, SimConfig, WriteJob};
+use stdchk_util::{Dur, Time};
+
+const MB: u64 = 1_000_000;
+/// Trace horizon.
+const SPAN: Dur = Dur::from_secs(60);
+/// Minimum spacing between fleet departures: must exceed heartbeat-lease
+/// expiry (6 s in the gige config) plus the worst-case rebuild of one
+/// node's share at the default repair budgets, so redundancy is restored
+/// before the next node can go down.
+const DEPARTURE_GAP: Dur = Dur::from_secs(12);
+
+fn sw(buffer: u64) -> SessionConfig {
+    SessionConfig {
+        protocol: WriteProtocol::SlidingWindow { buffer },
+        ..SessionConfig::default()
+    }
+}
+
+/// Enforces the survivable-churn guard on a raw steady trace: departures
+/// come one at a time, at least [`DEPARTURE_GAP`] apart, and never in the
+/// final stretch (where repair could still be in flight at trace end).
+/// Returns are kept only for departures that were kept.
+fn guard(trace: Vec<ChurnEvent>, fleet: usize) -> Vec<ChurnEvent> {
+    let cutoff = Time::ZERO + (SPAN - Dur::from_secs(15));
+    let mut online = vec![true; fleet];
+    let mut last_departure: Option<Time> = None;
+    let mut kept = Vec::new();
+    for ev in trace {
+        match ev.kind {
+            ChurnKind::Leave | ChurnKind::Crash => {
+                let spaced = last_departure.is_none_or(|t| ev.at.since(t) >= DEPARTURE_GAP);
+                if online[ev.benefactor] && spaced && ev.at <= cutoff {
+                    online[ev.benefactor] = false;
+                    last_departure = Some(ev.at);
+                    kept.push(ev);
+                }
+            }
+            ChurnKind::Return => {
+                if !online[ev.benefactor] {
+                    online[ev.benefactor] = true;
+                    kept.push(ev);
+                }
+            }
+        }
+    }
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn committed_versions_survive_guarded_churn(
+        seed in any::<u64>(),
+        fleet in 6usize..10,
+        files in 1usize..4,
+        file_mb in 8u64..17,
+        replication in 2u32..4,
+        mean_session_s in 40u64..81,
+        crash_frac in 0.0f64..0.6,
+    ) {
+        let mut cfg = SimConfig::gige(fleet, 1);
+        cfg.benefactor_cfg = Some(chaos_bcfg(&cfg.pool));
+        let mut sim = SimCluster::new(cfg);
+        for f in 0..files {
+            let mut job = WriteJob::new(
+                format!("/ckpt/p{f}.n0"),
+                file_mb * MB,
+                sw(16 << 20),
+            );
+            job.replication = replication;
+            sim.submit(0, job);
+        }
+        let trace = guard(
+            steady(
+                fleet,
+                Dur::from_secs(mean_session_s),
+                Dur::from_secs(20),
+                Dur::from_secs(10),
+                crash_frac,
+                SPAN,
+                seed,
+            ),
+            fleet,
+        );
+        sim.schedule_trace(&trace);
+        let report = sim.run(SPAN + Dur::from_secs(60));
+        prop_assert!(report.results.iter().all(|r| !r.failed));
+        for f in 0..files {
+            let path = format!("/ckpt/p{f}.n0");
+            let versions = committed_versions(&mut sim, &path);
+            prop_assert!(!versions.is_empty(), "{path} must have committed");
+            for version in versions {
+                prop_assert!(
+                    version_readable(&mut sim, &path, version),
+                    "{path} v{version:?} lost under trace seed {seed} \
+                     (fleet {fleet}, repl {replication}, {} churn events)",
+                    trace.len()
+                );
+            }
+        }
+        sim.manager().check_invariants();
+    }
+}
