@@ -1,0 +1,412 @@
+//! Zero-copy data path benchmark: vectored/`sendfile` transmit vs the
+//! copying baseline, on the real TCP stack over loopback.
+//!
+//! Two identical single-benefactor pools run side by side, differing only
+//! in `STDCHK_ZEROCOPY` (captured at spawn/dial time by each pool and its
+//! clients):
+//!
+//! - **ingest**: each round writes one fresh file per arm through the
+//!   client (round-unique content, so dedup ships every byte); the
+//!   client-side difference is writev of shared payload segments vs
+//!   flattening every `PutChunk` into a contiguous buffer;
+//! - **saturated read**: a raw pipelined data-plane client (windowed
+//!   `GetChunk`, identical in both arms) drains the first file straight
+//!   off one benefactor. All data chunks are force-sealed beforehand
+//!   (a roller put rotates the active segment), so the zero-copy arm
+//!   serves every payload with `sendfile` — the copying arm preads and
+//!   flattens. The server's transport counters are recorded as proof:
+//!   the zero-copy arm must report **zero** copied payload bytes.
+//!
+//! Rounds alternate arm order and the headline is the median of paired
+//! per-round ratios (like `store.rs`), so drift cancels. Writes
+//! `BENCH_zerocopy.json` at the workspace root (override with
+//! `STDCHK_BENCH_OUT`). `--smoke` / `STDCHK_BENCH_SMOKE=1` shrinks the
+//! file and round count so CI finishes in seconds.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_core::{BenefactorConfig, PoolConfig};
+use stdchk_net::store::{ChunkStore, SegmentStore, SegmentStoreConfig};
+use stdchk_net::{
+    BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, ServerOpts, WriteOptions,
+};
+use stdchk_proto::frame::{read_frame, write_frame};
+use stdchk_proto::ids::{ChunkId, RequestId};
+use stdchk_proto::msg::Msg;
+use stdchk_util::bytesize::to_mbps;
+use stdchk_util::mix64;
+
+const CHUNK: u32 = 4 << 20;
+const SEGMENT_BYTES: u64 = 16 << 20;
+/// Saturated-read request window (in-flight `GetChunk`s).
+const READ_WINDOW: usize = 16;
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| mix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) as u8)
+        .collect()
+}
+
+struct Arm {
+    name: &'static str,
+    /// `STDCHK_ZEROCOPY` value this arm's servers and clients capture.
+    env: &'static str,
+    mgr: ManagerServer,
+    benef: BenefactorServer,
+    store: Arc<SegmentStore>,
+    grid: Grid,
+    dir: std::path::PathBuf,
+    ingest_secs: Vec<f64>,
+    read_secs: Vec<f64>,
+}
+
+impl Arm {
+    /// Re-asserts this arm's env before any operation that may lazily
+    /// dial a connection (dial-side `ConnOpts` read it at connect time).
+    fn enter(&self) {
+        std::env::set_var("STDCHK_ZEROCOPY", self.env);
+    }
+}
+
+fn spawn_arm(name: &'static str, env: &'static str) -> Arm {
+    std::env::set_var("STDCHK_ZEROCOPY", env);
+    let dir = std::env::temp_dir().join(format!("stdchk-bench-zc-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = CHUNK;
+    pool_cfg.reservation_ttl = stdchk_util::Dur::from_secs(600);
+    let mut benef_cfg = BenefactorConfig::fast_for_tests();
+    benef_cfg.gc_grace = stdchk_util::Dur::from_secs(600);
+    let opts = ServerOpts {
+        workers: 4,
+        idle_timeout: Some(Duration::from_secs(300)),
+        ..ServerOpts::default()
+    };
+    let mgr = ManagerServer::spawn_with("127.0.0.1:0", pool_cfg, opts).expect("manager");
+    let store = Arc::new(
+        SegmentStore::open_with(
+            &dir,
+            SegmentStoreConfig {
+                segment_bytes: SEGMENT_BYTES,
+                ..Default::default()
+            },
+        )
+        .expect("store"),
+    );
+    let benef = BenefactorServer::spawn_with(
+        BenefactorNetConfig {
+            manager_addr: mgr.addr().to_string(),
+            listen: "127.0.0.1:0".into(),
+            total_space: 8 << 30,
+            cfg: benef_cfg,
+            store: Arc::clone(&store) as Arc<dyn ChunkStore>,
+        },
+        opts,
+    )
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline, "pool never came online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    Arm {
+        name,
+        env,
+        mgr,
+        benef,
+        store,
+        grid,
+        dir,
+        ingest_secs: Vec::new(),
+        read_secs: Vec::new(),
+    }
+}
+
+/// Writes one round-unique file through the client; returns seconds.
+fn ingest_round(arm: &Arm, round: usize, data: &[u8]) -> f64 {
+    arm.enter();
+    let write_opts = WriteOptions {
+        session: SessionConfig {
+            protocol: WriteProtocol::SlidingWindow { buffer: 8 << 20 },
+            ..SessionConfig::default()
+        },
+        ..WriteOptions::default()
+    };
+    let start = Instant::now();
+    let mut w = arm
+        .grid
+        .create(&format!("/bench/zc-r{round}.n0"), write_opts)
+        .expect("create");
+    w.write_all(data).expect("write");
+    w.finish().expect("finish");
+    start.elapsed().as_secs_f64()
+}
+
+/// Drains `chunks` off the benefactor's data plane with a windowed
+/// pipeline of `GetChunk`s; returns seconds for the full sweep.
+///
+/// The drain parses only the 4-byte frame-length headers and skips body
+/// bytes through a fixed scratch buffer — no per-frame allocation or
+/// decode. The client thus costs exactly one socket copy per byte in
+/// BOTH arms (this is a single-core box: client and server timeshare
+/// the CPU), so the measured difference is the server's transmit path.
+/// `verify_read` separately decodes a full sweep for correctness.
+fn read_round(arm: &Arm, chunks: &[(ChunkId, u32)]) -> f64 {
+    arm.enter();
+    let mut stream = TcpStream::connect(arm.benef.addr()).expect("dial benefactor");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut scratch = vec![0u8; 1 << 20];
+    let start = Instant::now();
+    let mut next = 0usize; // requests sent
+    let mut done = 0usize; // replies fully drained
+    let mut hdr = [0u8; 4];
+    let mut hdr_have = 0usize;
+    let mut body_left = 0usize; // bytes remaining of the current frame
+    while done < chunks.len() {
+        while next < chunks.len() && next - done < READ_WINDOW {
+            write_frame(
+                &mut stream,
+                &Msg::GetChunk {
+                    req: RequestId(next as u64 + 1),
+                    chunk: chunks[next].0,
+                },
+            )
+            .expect("request");
+            next += 1;
+        }
+        let n = stream.read(&mut scratch).expect("read");
+        assert!(n > 0, "benefactor closed mid-read");
+        let mut i = 0usize;
+        while i < n {
+            if body_left == 0 {
+                let take = (4 - hdr_have).min(n - i);
+                hdr[hdr_have..hdr_have + take].copy_from_slice(&scratch[i..i + take]);
+                hdr_have += take;
+                i += take;
+                if hdr_have == 4 {
+                    body_left = u32::from_le_bytes(hdr) as usize;
+                    hdr_have = 0;
+                }
+            } else {
+                let take = body_left.min(n - i);
+                body_left -= take;
+                i += take;
+                if body_left == 0 {
+                    done += 1;
+                }
+            }
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Full byte-exact verification of one sweep (outside any timing).
+fn verify_read(arm: &Arm, chunks: &[(ChunkId, u32)], data: &[u8]) {
+    arm.enter();
+    let mut stream = TcpStream::connect(arm.benef.addr()).expect("dial benefactor");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut off = 0usize;
+    for (i, (chunk, size)) in chunks.iter().enumerate() {
+        write_frame(
+            &mut stream,
+            &Msg::GetChunk {
+                req: RequestId(i as u64 + 1),
+                chunk: *chunk,
+            },
+        )
+        .expect("request");
+        let Msg::GetChunkOk { data: got, .. } =
+            read_frame(&mut stream).expect("reply").expect("conn open")
+        else {
+            panic!("unexpected reply");
+        };
+        assert_eq!(
+            &got[..],
+            &data[off..off + *size as usize],
+            "[{}] chunk {i} corrupted",
+            arm.name
+        );
+        off += *size as usize;
+    }
+    assert_eq!(off, data.len());
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test")
+        || std::env::var("STDCHK_BENCH_SMOKE").map(|v| v == "1") == Ok(true);
+    let file_bytes: usize = if smoke { 8 << 20 } else { 64 << 20 };
+    let rounds: usize = if smoke { 2 } else { 7 };
+    println!(
+        "zero-copy bench: {} MiB file, {} MiB chunks, {rounds} paired rounds{}",
+        file_bytes >> 20,
+        CHUNK >> 20,
+        if smoke { " (smoke scale)" } else { "" }
+    );
+
+    let mut zc = spawn_arm("zerocopy", "on");
+    let mut copy = spawn_arm("copy", "off");
+
+    // --- Ingest rounds: one fresh file per arm per round, order
+    // alternating. Round-unique content defeats cross-round dedup.
+    for round in 0..rounds {
+        let data = payload(file_bytes, 1000 + round as u64);
+        let (first, second): (&Arm, &Arm) = if round % 2 == 0 {
+            (&copy, &zc)
+        } else {
+            (&zc, &copy)
+        };
+        let t1 = ingest_round(first, round, &data);
+        let t2 = ingest_round(second, round, &data);
+        let (tc, tz) = if round % 2 == 0 { (t1, t2) } else { (t2, t1) };
+        copy.ingest_secs.push(tc);
+        zc.ingest_secs.push(tz);
+        println!(
+            "  ingest r{round}: copy {:7.1} MB/s   zerocopy {:7.1} MB/s",
+            to_mbps(file_bytes as f64 / tc),
+            to_mbps(file_bytes as f64 / tz),
+        );
+    }
+
+    // --- Seal everything: one oversized roller put rotates the active
+    // segment, so every data chunk is in a sealed segment and the
+    // zero-copy arm serves exclusively via sendfile.
+    for arm in [&zc, &copy] {
+        let roller = vec![0u8; SEGMENT_BYTES as usize];
+        arm.store
+            .put(ChunkId::for_content(b"zc-bench-roller"), &roller)
+            .expect("roller put");
+    }
+
+    // Reads sweep round 0's file; its chunk ids are content-derived.
+    let read_data = payload(file_bytes, 1000);
+    let chunks: Vec<(ChunkId, u32)> = read_data
+        .chunks(CHUNK as usize)
+        .map(|c| (ChunkId::for_content(c), c.len() as u32))
+        .collect();
+    verify_read(&zc, &chunks, &read_data);
+    verify_read(&copy, &chunks, &read_data);
+
+    let zc_before = zc.benef.transport_stats().expect("reactor stats");
+    let copy_before = copy.benef.transport_stats().expect("reactor stats");
+
+    // --- Saturated-read rounds, order alternating.
+    for round in 0..rounds {
+        let (first, second): (&Arm, &Arm) = if round % 2 == 0 {
+            (&zc, &copy)
+        } else {
+            (&copy, &zc)
+        };
+        let t1 = read_round(first, &chunks);
+        let t2 = read_round(second, &chunks);
+        let (tz, tc) = if round % 2 == 0 { (t1, t2) } else { (t2, t1) };
+        zc.read_secs.push(tz);
+        copy.read_secs.push(tc);
+        println!(
+            "  read   r{round}: copy {:7.1} MB/s   zerocopy {:7.1} MB/s",
+            to_mbps(file_bytes as f64 / tc),
+            to_mbps(file_bytes as f64 / tz),
+        );
+    }
+
+    let zc_stats = zc.benef.transport_stats().expect("reactor stats");
+    let copy_stats = copy.benef.transport_stats().expect("reactor stats");
+    let zc_read_copied = zc_stats.copied_payload_tx - zc_before.copied_payload_tx;
+    let copy_read_copied = copy_stats.copied_payload_tx - copy_before.copied_payload_tx;
+    println!(
+        "  counters over reads: zerocopy arm copied {zc_read_copied} B \
+         (zero-copy {} B); copy arm copied {copy_read_copied} B",
+        zc_stats.zerocopy_payload_tx - zc_before.zerocopy_payload_tx,
+    );
+    assert_eq!(
+        zc_read_copied, 0,
+        "sealed-segment reads must not copy a single payload byte"
+    );
+    assert!(
+        copy_read_copied > 0,
+        "baseline arm must exercise the copying path"
+    );
+
+    // Median of paired per-round ratios: robust to drift and outliers.
+    let ratio_of = |copy_secs: &[f64], zc_secs: &[f64]| {
+        let mut ratios: Vec<f64> = copy_secs.iter().zip(zc_secs).map(|(c, z)| c / z).collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+    let read_speedup = ratio_of(&copy.read_secs, &zc.read_secs);
+    let ingest_speedup = ratio_of(&copy.ingest_secs, &zc.ingest_secs);
+    let read_mbps = |a: &Arm| to_mbps(file_bytes as f64 / median(&a.read_secs));
+    let ingest_mbps = |a: &Arm| to_mbps(file_bytes as f64 / median(&a.ingest_secs));
+    println!(
+        "\nsaturated read: zerocopy {:.1} MB/s vs copy {:.1} MB/s — {read_speedup:.2}x\n\
+         ingest:         zerocopy {:.1} MB/s vs copy {:.1} MB/s — {ingest_speedup:.2}x",
+        read_mbps(&zc),
+        read_mbps(&copy),
+        ingest_mbps(&zc),
+        ingest_mbps(&copy),
+    );
+
+    // Smoke runs keep the harness alive in CI; never let their throwaway
+    // numbers clobber the committed full-scale result.
+    if !smoke || std::env::var("STDCHK_BENCH_OUT").is_ok() {
+        let out_path = std::env::var("STDCHK_BENCH_OUT").unwrap_or_else(|_| {
+            format!("{}/../../BENCH_zerocopy.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        let arm_json = |a: &Arm, read_copied: u64, zc_bytes: u64| {
+            format!(
+                "    {{\"arm\": \"{}\", \"ingest_mb_per_s\": {:.1}, \"read_mb_per_s\": {:.1}, \
+                 \"read_copied_payload_bytes\": {}, \"read_zerocopy_payload_bytes\": {}}}",
+                a.name,
+                ingest_mbps(a),
+                read_mbps(a),
+                read_copied,
+                zc_bytes,
+            )
+        };
+        let body = format!(
+            "{{\n  \"bench\": \"zerocopy\",\n  \"file_bytes\": {file_bytes},\n  \
+             \"chunk_bytes\": {CHUNK},\n  \"segment_bytes\": {SEGMENT_BYTES},\n  \
+             \"rounds\": {rounds},\n  \
+             \"read_speedup_zerocopy_vs_copy\": {read_speedup:.2},\n  \
+             \"ingest_speedup_zerocopy_vs_copy\": {ingest_speedup:.2},\n  \"results\": [\n{},\n{}\n  ]\n}}\n",
+            arm_json(
+                &zc,
+                zc_read_copied,
+                zc_stats.zerocopy_payload_tx - zc_before.zerocopy_payload_tx
+            ),
+            arm_json(
+                &copy,
+                copy_read_copied,
+                copy_stats.zerocopy_payload_tx - copy_before.zerocopy_payload_tx
+            ),
+        );
+        let mut f = std::fs::File::create(&out_path).expect("create BENCH_zerocopy.json");
+        f.write_all(body.as_bytes())
+            .expect("write BENCH_zerocopy.json");
+        println!("wrote {out_path}");
+    } else {
+        println!("smoke scale: skipping BENCH_zerocopy.json (set STDCHK_BENCH_OUT to force)");
+    }
+
+    for arm in [zc, copy] {
+        arm.benef.shutdown();
+        arm.mgr.shutdown();
+        let dir = arm.dir.clone();
+        drop(arm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -119,7 +119,9 @@ impl From<Action> for BenefactorAction {
         match a {
             Action::Send { to, msg } => BenefactorAction::Send { to, msg },
             Action::Store { op, chunk, payload } => BenefactorAction::Store { op, chunk, payload },
-            Action::Load { op, chunk, size } => BenefactorAction::Load { op, chunk, size },
+            Action::Load {
+                op, chunk, size, ..
+            } => BenefactorAction::Load { op, chunk, size },
             Action::DropChunk { chunk } => BenefactorAction::Drop { chunk },
             other => unreachable!("benefactor never emits {other:?}"),
         }
@@ -579,6 +581,7 @@ impl Benefactor {
             op,
             chunk: basis,
             size: basis_size,
+            serve: false,
         });
     }
 
@@ -612,7 +615,12 @@ impl Benefactor {
         let op = self.op();
         self.pending_loads
             .insert(op, LoadPurpose::ServeGet { req, to: from });
-        self.actions.push(Action::Load { op, chunk, size });
+        self.actions.push(Action::Load {
+            op,
+            chunk,
+            size,
+            serve: true,
+        });
     }
 
     fn complete_load(&mut self, op: u64, chunk: ChunkId, payload: Payload, now: Time) {
@@ -776,7 +784,12 @@ impl Benefactor {
                 let chunk = copy.chunk;
                 self.pending_loads
                     .insert(op, LoadPurpose::ReplPush { job, copy });
-                self.actions.push(Action::Load { op, chunk, size });
+                self.actions.push(Action::Load {
+                    op,
+                    chunk,
+                    size,
+                    serve: false,
+                });
             } else {
                 state.failed.push(copy);
             }

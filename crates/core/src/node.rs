@@ -73,6 +73,12 @@ pub enum Action {
         /// Size on record; drivers without a blob store cost the read with
         /// this, drivers with one may ignore it.
         size: u32,
+        /// True when the bytes go straight back out on the wire (a
+        /// `GetChunkOk` reply). Drivers may then satisfy the load with a
+        /// kernel-copy file region instead of materialized bytes; loads
+        /// whose bytes the node consumes (replication pushes, delta bases)
+        /// set this false and always get real data.
+        serve: bool,
     },
     /// Remove chunk data from the backing store. No completion.
     DropChunk {

@@ -651,7 +651,14 @@ impl WriteSession {
                 self.seal_temps(false);
             }
         }
-        if self.offer_pending.len() >= OFFER_BATCH {
+        // A full batch amortizes the manager round-trip, but a blocked
+        // window cannot wait for one: held offers count against `buffered`,
+        // so a window smaller than OFFER_BATCH chunks would deadlock with
+        // the writer (offers waiting for writes, writes waiting for the
+        // window the offers hold). Flush partial batches on window-full.
+        if self.offer_pending.len() >= OFFER_BATCH
+            || (!self.offer_pending.is_empty() && self.writable() == 0)
+        {
             self.flush_offers(out);
         }
         self.pump(now, out);

@@ -376,6 +376,49 @@ fn sliding_window_write_then_read_roundtrip() {
     assert_eq!(read_back(&mut pool, "/app/ck.n1"), data);
 }
 
+/// Regression: a sliding window smaller than one offer batch must still
+/// make progress. Held offers count against `buffered`, so if partial
+/// batches only flushed at OFFER_BATCH or close, a 4-chunk window would
+/// deadlock with the writer: offers waiting for more writes, writes
+/// waiting for the window those held offers occupy.
+#[test]
+fn sliding_window_smaller_than_offer_batch_keeps_moving() {
+    let mut pool = Pool::new(4);
+    let cfg = SessionConfig {
+        protocol: WriteProtocol::SlidingWindow { buffer: 4 * 1024 },
+        ..SessionConfig::default()
+    };
+    let mut s = session_new(&mut pool, "/app/small-window.n1", cfg, 1);
+    let data = pattern(40 * 1024, 7); // 40 chunks through a 4-chunk window
+    let mut off = 0;
+    let mut guard = 0;
+    while off < data.len() {
+        guard += 1;
+        assert!(guard < 10_000, "writer stuck");
+        let w = s.inner.writable() as usize;
+        if w == 0 {
+            // Everything in flight has already resolved (the harness runs
+            // the pool to quiescence inside `write`), so a blocked window
+            // means offers are stranded behind the batch threshold.
+            pool.run(Some(&mut s));
+            assert!(
+                s.inner.writable() > 0,
+                "window never reopened: partial offer batch not flushed"
+            );
+            continue;
+        }
+        let n = w.min(data.len() - off).min(700);
+        s.write(&mut pool, &data[off..off + n]);
+        off += n;
+    }
+    s.close(&mut pool);
+    assert!(s.inner.is_done(), "state: {:?}", s.inner.state());
+    let stats = s.inner.stats();
+    assert_eq!(stats.bytes_written, 40 * 1024);
+    pool.mgr.check_invariants();
+    assert_eq!(read_back(&mut pool, "/app/small-window.n1"), data);
+}
+
 #[test]
 fn complete_local_write_pushes_only_after_close() {
     let mut pool = Pool::new(3);

@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::payload::Payload;
 use stdchk_core::{Benefactor, BenefactorConfig, MANAGER_NODE};
-use stdchk_proto::frame::write_frame;
+use stdchk_proto::frame::{self, write_frame};
 use stdchk_proto::ids::{ChunkId, NodeId, RequestId};
 use stdchk_proto::msg::{Msg, Role};
 use stdchk_util::Time;
@@ -169,6 +169,12 @@ pub struct BenefEffects {
     /// Durable store waits ride here instead of the executing pump
     /// (None: inline execution, the `STDCHK_IO_LANE=off` baseline).
     lane: Option<Arc<IoLane>>,
+    /// Serve `GetChunk` replies for sealed segments straight from the
+    /// segment file via [`ReactorHandle::send_file_region`] — the payload
+    /// never enters user space. Reactor backend only, gated by
+    /// `STDCHK_ZEROCOPY`; the threaded backend and unsealed/verifying
+    /// stores always materialize.
+    zerocopy: bool,
 }
 
 type BenefHost = NodeHost<Benefactor, Arc<BenefEffects>>;
@@ -177,6 +183,22 @@ impl Effects for Arc<BenefEffects> {
     fn execute(&self, action: Action) -> Option<Completion> {
         match action {
             Action::Send { to, msg } => {
+                // A `GetChunkOk` whose payload is virtual (empty data,
+                // nonzero size) is a zero-copy serve: the Load answered
+                // with a region placeholder and the bytes leave straight
+                // from the segment file here.
+                if let Msg::GetChunkOk {
+                    req,
+                    chunk,
+                    size,
+                    data,
+                } = &msg
+                {
+                    if data.is_empty() && *size > 0 {
+                        self.send_region_reply(to, *req, *chunk, *size);
+                        return None;
+                    }
+                }
                 if to == MANAGER_NODE {
                     let _ = self.mgr.lock().send(&msg);
                 } else if let Some(conn) = self.conns.lock().get(&to).cloned() {
@@ -192,16 +214,37 @@ impl Effects for Arc<BenefEffects> {
                 .put(chunk, &payload.bytes())
                 .ok()
                 .map(|()| Completion::Stored { op }),
-            Action::Load { op, chunk, .. } => match self.store.get(chunk) {
-                Ok(Some(data)) => Some(Completion::Loaded {
-                    op,
-                    chunk,
-                    payload: Payload::Real(data),
-                }),
-                // Lost or unreadable blob: tell the node so the requester
-                // fails over instead of timing out.
-                Ok(None) | Err(_) => Some(Completion::LoadFailed { op, chunk }),
-            },
+            Action::Load {
+                op, chunk, serve, ..
+            } => {
+                if serve && self.zerocopy {
+                    // Sealed, checksummed-at-rest chunk: answer with a
+                    // virtual payload; the Send above re-derives the
+                    // region and ships it via sendfile. Loads the node
+                    // itself consumes (replication pushes, delta bases)
+                    // have `serve: false` and always get real bytes.
+                    if let Some(region) = self.store.read_region(chunk) {
+                        return Some(Completion::Loaded {
+                            op,
+                            chunk,
+                            payload: Payload::Virtual {
+                                size: region.len,
+                                tag: 0,
+                            },
+                        });
+                    }
+                }
+                match self.store.get(chunk) {
+                    Ok(Some(data)) => Some(Completion::Loaded {
+                        op,
+                        chunk,
+                        payload: Payload::Real(data),
+                    }),
+                    // Lost or unreadable blob: tell the node so the
+                    // requester fails over instead of timing out.
+                    Ok(None) | Err(_) => Some(Completion::LoadFailed { op, chunk }),
+                }
+            }
             Action::DropChunk { chunk } => {
                 // The tombstone append runs here (cheap, order-fixing);
                 // in deferred-maintenance mode any compaction it
@@ -237,6 +280,50 @@ impl Effects for Arc<BenefEffects> {
 }
 
 impl BenefEffects {
+    /// Ships a zero-copy `GetChunkOk`: re-derive the sealed-segment
+    /// region and hand it to the reactor as a pre-encoded frame head +
+    /// `sendfile` payload. Falls back to materializing the chunk when
+    /// the link is not a reactor connection or the region vanished
+    /// (compaction moved the chunk between Load and Send — the re-read
+    /// serves the bytes from wherever they live now). If the chunk is
+    /// gone entirely the reply is dropped: the requester's timeout fails
+    /// it over, exactly like a send on a dead connection.
+    fn send_region_reply(self: &Arc<Self>, to: NodeId, req: RequestId, chunk: ChunkId, size: u32) {
+        let link = if to == MANAGER_NODE {
+            Some(self.mgr.lock().clone())
+        } else {
+            self.conns.lock().get(&to).cloned()
+        };
+        if let Some(Link::Event { handle, token }) = &link {
+            if let (Some(region), Some(h)) = (self.store.read_region(chunk), handle.upgrade()) {
+                let head = frame::get_chunk_ok_frame_head(req, chunk, size, region.len);
+                let _ = h.send_file_region(
+                    *token,
+                    head,
+                    region.file,
+                    region.offset,
+                    region.len as u64,
+                    None,
+                );
+                return;
+            }
+        }
+        if let Ok(Some(data)) = self.store.get(chunk) {
+            let msg = Msg::GetChunkOk {
+                req,
+                chunk,
+                size,
+                data,
+            };
+            match link {
+                Some(l) => {
+                    let _ = l.send(&msg);
+                }
+                None => self.send_to_peer(to, msg),
+            }
+        }
+    }
+
     /// Queues one opportunistic `maintain` pass (deferred compaction) on
     /// the I/O lane. Nonblocking and lossy by design: a refused submit
     /// just waits for the next delete/batch to re-offer it.
@@ -721,6 +808,7 @@ impl BenefactorServer {
             host: Mutex::new(None),
             rapp: Mutex::new(None),
             lane: lane.clone(),
+            zerocopy: crate::zerocopy_enabled(),
         });
         let host = NodeHost::new(sm, clock, Arc::clone(&effects));
         let _ = app.host.set(Arc::clone(&host));
@@ -774,6 +862,10 @@ impl BenefactorServer {
             host: Mutex::new(None),
             rapp: Mutex::new(None),
             lane: lane.clone(),
+            // The blocking transport writes whole frames from one
+            // buffer; the sendfile path needs the reactor's resumable
+            // outbound queue.
+            zerocopy: false,
         });
         let host = NodeHost::new(sm, clock, Arc::clone(&effects));
         *effects.host.lock() = Some(Arc::clone(&host));
@@ -873,6 +965,13 @@ impl BenefactorServer {
     /// Free contributed bytes.
     pub fn free_space(&self) -> u64 {
         self.host.with_node(|n| n.free_space())
+    }
+
+    /// Cumulative transport counters (reactor backend only): bytes and
+    /// frames each way, plus copied vs zero-copy payload bytes — the
+    /// debug hook proving which transmit path served a workload.
+    pub fn transport_stats(&self) -> Option<crate::reactor::TransportStats> {
+        self.reactor.as_ref().map(|r| r.handle().transport_stats())
     }
 
     /// Stops serving (threads exit as their sockets drain; the reactor

@@ -75,6 +75,7 @@ pub mod manager_server;
 pub mod metalog;
 pub mod reactor;
 pub mod store;
+pub mod uring;
 
 pub use benefactor_server::{BenefactorNetConfig, BenefactorServer};
 pub use client::{Grid, GridError, GridRuntime, ReadHandle, WriteHandle, WriteOptions};
@@ -84,7 +85,8 @@ pub use log::SyncDelay;
 pub use manager_server::ManagerServer;
 pub use metalog::{MetaLog, MetaLogConfig};
 pub use reactor::{
-    CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle, WeakHandle,
+    CloseReason, ConnOpts, ConnToken, Reactor, ReactorApp, ReactorConfig, ReactorHandle,
+    TransportStats, WeakHandle,
 };
 
 /// Which transport drives the servers and the client.
@@ -116,6 +118,18 @@ impl Backend {
 pub fn dedup_enabled() -> bool {
     !matches!(
         std::env::var("STDCHK_DEDUP").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
+/// Reads `STDCHK_ZEROCOPY`, defaulting to on. When off, the reactor
+/// transport flattens every outbound frame into a contiguous buffer
+/// (copying chunk payloads) and benefactors serve `GetChunk` through the
+/// pread-and-copy path instead of `sendfile` — the A/B baseline for the
+/// zero-copy benchmarks.
+pub fn zerocopy_enabled() -> bool {
+    !matches!(
+        std::env::var("STDCHK_ZEROCOPY").as_deref(),
         Ok("off") | Ok("0") | Ok("false")
     )
 }

@@ -453,10 +453,10 @@ impl GroupCommit {
             let res = self.faults.apply().and_then(|()| {
                 for sealed in &seals {
                     self.syncs.fetch_add(1, Ordering::Relaxed);
-                    sealed.sync_data()?;
+                    crate::uring::sync_data(sealed)?;
                 }
                 self.syncs.fetch_add(1, Ordering::Relaxed);
-                file.sync_data()
+                crate::uring::sync_data(&file)
             });
             let mut c = self.commit.lock();
             match res {

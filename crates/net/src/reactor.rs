@@ -29,7 +29,7 @@
 //! Thread count is `workers + 1` regardless of connection count.
 
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -82,6 +82,21 @@ mod sys {
         fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
         fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
         fn close(fd: i32) -> i32;
+        fn sendfile(out_fd: i32, in_fd: i32, offset: *mut i64, count: usize) -> isize;
+    }
+
+    /// One `sendfile(2)` push from `in_fd` at `offset` into `out_fd`:
+    /// the kernel copies file pages straight into the socket, no user
+    /// buffer. Returns bytes moved; `WouldBlock`/`Interrupted` surface
+    /// as their `io::ErrorKind`s for the caller's readiness loop.
+    pub fn send_file(out_fd: i32, in_fd: i32, offset: u64, count: usize) -> io::Result<usize> {
+        // Kernel caps a single sendfile at ~2 GiB; clamp well under it.
+        let mut off = offset as i64;
+        let n = unsafe { sendfile(out_fd, in_fd, &mut off, count.min(1 << 30)) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
     }
 
     pub fn epoll_create() -> io::Result<i32> {
@@ -207,6 +222,12 @@ pub struct ConnOpts {
     pub write_stall_timeout: Option<Duration>,
     /// Largest accepted inbound frame.
     pub max_frame: u32,
+    /// Keep outbound chunk payloads as shared `Bytes` segments and flush
+    /// header + payload with one vectored write (`writev`), instead of
+    /// flattening every frame into a contiguous copy. Also gates the
+    /// `sendfile` file-region path. Defaults from `STDCHK_ZEROCOPY`
+    /// ([`crate::zerocopy_enabled`]); off is the copying A/B baseline.
+    pub zerocopy: bool,
 }
 
 impl Default for ConnOpts {
@@ -217,6 +238,7 @@ impl Default for ConnOpts {
             max_outbound: 256 << 20,
             write_stall_timeout: Some(Duration::from_secs(5)),
             max_frame: MAX_FRAME,
+            zerocopy: crate::zerocopy_enabled(),
         }
     }
 }
@@ -300,14 +322,221 @@ pub trait ReactorApp: Send + Sync {
     }
 }
 
+/// A frame whose payload leaves the host by `sendfile`: the encoded
+/// head (length prefix + leading fields) is written from memory, then
+/// `remaining` payload bytes are pushed kernel-side from `file` starting
+/// at `offset` — the bytes never enter user space. Fully resumable:
+/// `head_off`/`offset`/`remaining` advance as the socket accepts bytes,
+/// so backpressure, stall sweeps and the bounded-queue accounting treat
+/// a region exactly like buffered frames.
+struct PendingFileRegion {
+    head: Vec<u8>,
+    head_off: usize,
+    file: Arc<std::fs::File>,
+    offset: u64,
+    remaining: u64,
+    token: Option<u64>,
+}
+
+impl PendingFileRegion {
+    fn pending_bytes(&self) -> usize {
+        (self.head.len() - self.head_off) + self.remaining as usize
+    }
+}
+
+/// One queued transmit item, in wire order: a run of encoded frames or
+/// a kernel-copy file region.
+enum TxItem {
+    Frames(FrameEncoder),
+    Region(PendingFileRegion),
+}
+
+/// Per-connection transport counters. Relaxed atomics: written by
+/// whichever thread holds the relevant lock, read by the stats hook.
+#[derive(Default)]
+struct ConnStats {
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    frames_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    copied_payload_tx: AtomicU64,
+    zerocopy_payload_tx: AtomicU64,
+}
+
+/// Aggregated transport counters ([`ReactorHandle::transport_stats`]).
+///
+/// `copied_payload_tx` counts chunk-payload bytes that were flattened
+/// into a contiguous frame buffer before hitting the socket;
+/// `zerocopy_payload_tx` counts payload bytes that left either as shared
+/// `Bytes` segments under `writev` or kernel-side via `sendfile`. A
+/// zero `copied_payload_tx` over a sealed-segment read workload is the
+/// proof that no payload byte was memcpy'd on the transmit path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Bytes the sockets accepted (headers + payloads).
+    pub bytes_tx: u64,
+    /// Bytes read off the sockets.
+    pub bytes_rx: u64,
+    /// Frames enqueued for transmit (file regions count as one frame).
+    pub frames_tx: u64,
+    /// Frames decoded from inbound bytes (including transport pings).
+    pub frames_rx: u64,
+    /// Payload bytes copied into a flat frame buffer (the baseline path).
+    pub copied_payload_tx: u64,
+    /// Payload bytes sent without a user-space copy (writev or sendfile).
+    pub zerocopy_payload_tx: u64,
+}
+
+impl TransportStats {
+    fn fold(&mut self, s: &ConnStats) {
+        self.bytes_tx += s.bytes_tx.load(Ordering::Relaxed);
+        self.bytes_rx += s.bytes_rx.load(Ordering::Relaxed);
+        self.frames_tx += s.frames_tx.load(Ordering::Relaxed);
+        self.frames_rx += s.frames_rx.load(Ordering::Relaxed);
+        self.copied_payload_tx += s.copied_payload_tx.load(Ordering::Relaxed);
+        self.zerocopy_payload_tx += s.zerocopy_payload_tx.load(Ordering::Relaxed);
+    }
+}
+
 /// Resumable outbound state, shared by sender threads and the owning
 /// worker.
 struct Outbound {
-    enc: FrameEncoder,
+    /// Wire-ordered transmit queue. Invariant: at most the front item
+    /// may be partially written; a drained item is popped immediately
+    /// (except a lone drained encoder, kept as the reusable buffer so a
+    /// region-free connection never reallocates).
+    q: std::collections::VecDeque<TxItem>,
     /// True while `EPOLLOUT` is armed for this connection.
     epollout: bool,
     /// Sticky: set at close so late senders fail instead of queueing.
     closed: bool,
+}
+
+impl Outbound {
+    /// Bytes not yet accepted by the socket (frames + file regions).
+    fn pending_bytes(&self) -> usize {
+        self.q
+            .iter()
+            .map(|i| match i {
+                TxItem::Frames(enc) => enc.pending_bytes(),
+                TxItem::Region(r) => r.pending_bytes(),
+            })
+            .sum()
+    }
+
+    /// True when nothing is waiting to be written.
+    fn is_empty(&self) -> bool {
+        self.q.iter().all(|i| match i {
+            TxItem::Frames(enc) => enc.is_empty(),
+            TxItem::Region(_) => false,
+        })
+    }
+
+    /// Serializes `msg` onto the tail encoder (appending one if the tail
+    /// is a file region), crediting the payload-copy counters.
+    fn push_msg(&mut self, msg: &Msg, track: Option<u64>, vectored: bool, stats: &ConnStats) {
+        if !matches!(self.q.back(), Some(TxItem::Frames(_))) {
+            self.q
+                .push_back(TxItem::Frames(FrameEncoder::with_vectored(vectored)));
+        }
+        let Some(TxItem::Frames(enc)) = self.q.back_mut() else {
+            unreachable!("just ensured a tail encoder");
+        };
+        let (c0, s0) = (enc.copied_payload_bytes(), enc.shared_payload_bytes());
+        enc.push_tracked(msg, track);
+        stats
+            .copied_payload_tx
+            .fetch_add(enc.copied_payload_bytes() - c0, Ordering::Relaxed);
+        stats
+            .zerocopy_payload_tx
+            .fetch_add(enc.shared_payload_bytes() - s0, Ordering::Relaxed);
+        stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes queued items to `stream` in order until everything drained
+    /// or the socket refused. Returns `Ok(true)` when fully drained.
+    /// Completion tokens of fully written frames/regions land in
+    /// `completed` (fire callbacks only after dropping the out lock).
+    fn flush(
+        &mut self,
+        stream: &TcpStream,
+        completed: &mut Vec<u64>,
+        stats: &ConnStats,
+    ) -> io::Result<bool> {
+        loop {
+            match self.q.front_mut() {
+                None => return Ok(true),
+                Some(TxItem::Frames(enc)) => {
+                    let before = enc.pending_bytes();
+                    let mut w = stream;
+                    let drained = enc.write_to(&mut w, completed);
+                    stats
+                        .bytes_tx
+                        .fetch_add((before - enc.pending_bytes()) as u64, Ordering::Relaxed);
+                    if !drained? {
+                        return Ok(false);
+                    }
+                    if self.q.len() == 1 {
+                        // Lone drained encoder: keep it as the buffer.
+                        return Ok(true);
+                    }
+                    self.q.pop_front();
+                }
+                Some(TxItem::Region(r)) => {
+                    while r.head_off < r.head.len() {
+                        match (&*stream).write(&r.head[r.head_off..]) {
+                            Ok(0) => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::WriteZero,
+                                    "socket accepted zero bytes",
+                                ))
+                            }
+                            Ok(n) => {
+                                r.head_off += n;
+                                stats.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    while r.remaining > 0 {
+                        match sys::send_file(
+                            stream.as_raw_fd(),
+                            r.file.as_raw_fd(),
+                            r.offset,
+                            r.remaining as usize,
+                        ) {
+                            Ok(0) => {
+                                // The file shrank under us (should never
+                                // happen to a sealed segment): a stuck
+                                // region would wedge the queue forever.
+                                return Err(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "segment file truncated under pending sendfile region",
+                                ));
+                            }
+                            Ok(n) => {
+                                r.offset += n as u64;
+                                r.remaining -= n as u64;
+                                stats.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                                stats
+                                    .zerocopy_payload_tx
+                                    .fetch_add(n as u64, Ordering::Relaxed);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    if let Some(t) = r.token {
+                        completed.push(t);
+                    }
+                    self.q.pop_front();
+                }
+            }
+        }
+    }
 }
 
 /// One registered connection.
@@ -317,6 +546,7 @@ struct ConnShared {
     /// Owning worker (reads and `EPOLLOUT` flushes happen there).
     worker: usize,
     opts: ConnOpts,
+    stats: ConnStats,
     dec: Mutex<FrameDecoder>,
     out: Mutex<Outbound>,
     /// Milliseconds since reactor start of the last inbound byte.
@@ -357,6 +587,9 @@ struct Inner {
     /// Set when a non-zero worker delivered input; cleared by worker 0.
     /// Skips redundant eventfd wakes while one is already pending.
     timer_dirty: AtomicBool,
+    /// Counters of connections that already closed, so
+    /// [`ReactorHandle::transport_stats`] stays cumulative.
+    dead_stats: Mutex<TransportStats>,
     epoch: Instant,
     jobs: Mutex<Vec<(Instant, u64, BlockingJob)>>,
     job_seq: AtomicU64,
@@ -490,6 +723,7 @@ impl Reactor {
             next_ping: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             timer_dirty: AtomicBool::new(false),
+            dead_stats: Mutex::new(TransportStats::default()),
             epoch: Instant::now(),
             jobs: Mutex::new(Vec::new()),
             job_seq: AtomicU64::new(0),
@@ -636,9 +870,10 @@ impl ReactorHandle {
             stream,
             worker,
             opts,
+            stats: ConnStats::default(),
             dec: Mutex::new(FrameDecoder::new(opts.max_frame)),
             out: Mutex::new(Outbound {
-                enc: FrameEncoder::new(),
+                q: std::collections::VecDeque::new(),
                 epollout: false,
                 closed: false,
             }),
@@ -668,7 +903,7 @@ impl ReactorHandle {
         }
         // (Re)derive the flag: a pre-arm send's epoll_mod was a no-op, so
         // whatever it left in `epollout` is stale.
-        out.epollout = !out.enc.is_empty();
+        out.epollout = !out.is_empty();
         let mut mask = sys::EPOLLIN | sys::EPOLLRDHUP;
         if out.epollout {
             mask |= sys::EPOLLOUT;
@@ -718,6 +953,54 @@ impl ReactorHandle {
             ));
         };
         self.inner.send_on(&conn, msg, track)
+    }
+
+    /// Sends one frame whose payload leaves straight from `file` via
+    /// `sendfile`: `head` (the pre-encoded length prefix + leading
+    /// fields, e.g. [`stdchk_proto::frame::get_chunk_ok_frame_head`]) is
+    /// written from memory, then `len` payload bytes starting at
+    /// `offset` are pushed kernel-side — they never enter user space.
+    /// The region queues behind any buffered frames and participates in
+    /// the same backpressure byte bound, stall sweep and `on_sent`
+    /// tracking as ordinary sends. The file must be immutable over
+    /// `[offset, offset + len)` (a sealed segment).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorHandle::send`].
+    pub fn send_file_region(
+        &self,
+        conn: ConnToken,
+        head: Vec<u8>,
+        file: Arc<std::fs::File>,
+        offset: u64,
+        len: u64,
+        track: Option<u64>,
+    ) -> io::Result<()> {
+        let Some(conn) = self.inner.conns.lock().get(&conn).cloned() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "unknown connection",
+            ));
+        };
+        let region = PendingFileRegion {
+            head,
+            head_off: 0,
+            file,
+            offset,
+            remaining: len,
+            token: track,
+        };
+        self.inner.send_region_on(&conn, region)
+    }
+
+    /// Cumulative transport counters over live and closed connections.
+    pub fn transport_stats(&self) -> TransportStats {
+        let mut s = *self.inner.dead_stats.lock();
+        for conn in self.inner.conns.lock().values() {
+            s.fold(&conn.stats);
+        }
+        s
     }
 
     /// Closes `conn` (no-op if already gone). The application sees
@@ -777,6 +1060,29 @@ impl Inner {
 
     /// Serialize + opportunistic flush; arms `EPOLLOUT` for the remainder.
     fn send_on(&self, conn: &Arc<ConnShared>, msg: &Msg, track: Option<u64>) -> io::Result<()> {
+        self.enqueue_and_flush(conn, |out, conn| {
+            out.push_msg(msg, track, conn.opts.zerocopy, &conn.stats);
+        })
+    }
+
+    /// [`ReactorHandle::send_file_region`]'s transport half.
+    fn send_region_on(&self, conn: &Arc<ConnShared>, region: PendingFileRegion) -> io::Result<()> {
+        self.enqueue_and_flush(conn, |out, conn| {
+            conn.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+            out.q.push_back(TxItem::Region(region));
+        })
+    }
+
+    /// The shared send tail: under the out lock, stamp the stall anchor
+    /// on the empty→non-empty transition, enqueue via `push`, enforce the
+    /// outbound byte bound, flush what the socket accepts now and arm
+    /// `EPOLLOUT` for the rest. Completion callbacks fire after the lock
+    /// drops.
+    fn enqueue_and_flush(
+        &self,
+        conn: &Arc<ConnShared>,
+        push: impl FnOnce(&mut Outbound, &ConnShared),
+    ) -> io::Result<()> {
         let mut completed = Vec::new();
         let mut close_as = None;
         let result = {
@@ -787,20 +1093,20 @@ impl Inner {
                     "connection closed",
                 ))
             } else {
-                if out.enc.is_empty() {
+                if out.is_empty() {
                     // Buffer going non-empty starts the stall window.
                     conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
                 }
-                out.enc.push_tracked(msg, track);
-                if out.enc.pending_bytes() > conn.opts.max_outbound {
+                push(&mut out, conn);
+                if out.pending_bytes() > conn.opts.max_outbound {
                     out.closed = true;
                     close_as = Some(CloseReason::Backpressure);
                     Err(io::Error::other("outbound buffer bound exceeded"))
                 } else {
-                    let before = out.enc.pending_bytes();
-                    match out.enc.write_to(&mut &conn.stream, &mut completed) {
+                    let before = out.pending_bytes();
+                    match out.flush(&conn.stream, &mut completed, &conn.stats) {
                         Ok(drained) => {
-                            if out.enc.pending_bytes() != before {
+                            if out.pending_bytes() != before {
                                 conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
                             }
                             self.update_interest(conn, &mut out, !drained);
@@ -851,9 +1157,17 @@ impl Inner {
         if conn.closing.swap(true, Ordering::SeqCst) {
             return;
         }
-        conn.out.lock().closed = true;
+        {
+            let mut out = conn.out.lock();
+            out.closed = true;
+            // Drop queued regions now: each holds an `Arc<File>` that
+            // would otherwise pin a (possibly compacted-away) segment
+            // file open for as long as the ConnShared lingers.
+            out.q.clear();
+        }
         sys::epoll_del(self.workers[conn.worker].epfd, conn.stream.as_raw_fd());
         self.conns.lock().remove(&conn.token);
+        self.dead_stats.lock().fold(&conn.stats);
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         if !self.is_shutdown() {
             self.app.on_close(conn.token, reason);
@@ -878,6 +1192,7 @@ impl Inner {
                 }
                 Ok(n) => {
                     conn.last_read_ms.store(self.now_ms(), Ordering::Relaxed);
+                    conn.stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
                     let fed = conn.dec.lock().feed(&scratch[..n], &mut msgs);
                     delivered |= self.dispatch(conn, &mut msgs);
                     if fed.is_err() {
@@ -905,6 +1220,7 @@ impl Inner {
     fn dispatch(&self, conn: &Arc<ConnShared>, msgs: &mut Vec<Msg>) -> bool {
         let mut delivered = false;
         for msg in msgs.drain(..) {
+            conn.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
             match msg {
                 Msg::Ping { nonce } => {
                     let _ = self.send_on(conn, &Msg::Pong { nonce }, None);
@@ -928,10 +1244,10 @@ impl Inner {
             if out.closed {
                 return;
             }
-            let before = out.enc.pending_bytes();
-            match out.enc.write_to(&mut &conn.stream, &mut completed) {
+            let before = out.pending_bytes();
+            match out.flush(&conn.stream, &mut completed, &conn.stats) {
                 Ok(drained) => {
-                    if out.enc.pending_bytes() != before {
+                    if out.pending_bytes() != before {
                         conn.last_write_ms.store(self.now_ms(), Ordering::Relaxed);
                     }
                     self.update_interest(conn, &mut out, !drained)
@@ -1009,10 +1325,7 @@ impl Inner {
                 // had any chance to drain it.
                 let (pending, last_write) = {
                     let out = conn.out.lock();
-                    (
-                        !out.enc.is_empty(),
-                        conn.last_write_ms.load(Ordering::Relaxed),
-                    )
+                    (!out.is_empty(), conn.last_write_ms.load(Ordering::Relaxed))
                 };
                 if pending && now_ms.saturating_sub(last_write) >= stall.as_millis() as u64 {
                     self.close_conn(&conn, CloseReason::Backpressure);

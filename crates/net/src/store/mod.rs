@@ -54,6 +54,40 @@ use stdchk_util::sha256::Sha256;
 
 pub use segment::{SegmentStore, SegmentStoreConfig};
 
+/// A chunk payload addressed as a byte range of an immutable backing file,
+/// for kernel-copy transmission (`sendfile` straight from the file to the
+/// socket, no user-space pass).
+///
+/// The `Arc<File>` keeps the descriptor readable for as long as any region
+/// is in flight, even if the store unlinks the file meanwhile (segment
+/// compaction): on Unix the data stays reachable through the open
+/// descriptor. Content addressing makes the bytes stable — a store never
+/// rewrites a live record in place.
+#[derive(Clone, Debug)]
+pub struct FileRegion {
+    /// The backing file (shared with the store).
+    pub file: std::sync::Arc<fs::File>,
+    /// Byte offset of the payload within the file.
+    pub offset: u64,
+    /// Payload length.
+    pub len: u32,
+}
+
+impl FileRegion {
+    /// Materializes the region's bytes with one positioned read (the
+    /// fallback when the transport cannot splice the file directly).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium, including a short file.
+    pub fn read_bytes(&self) -> io::Result<Bytes> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = vec![0u8; self.len as usize];
+        self.file.read_exact_at(&mut buf, self.offset)?;
+        Ok(Bytes::from(buf))
+    }
+}
+
 /// Blob storage for chunk payloads.
 ///
 /// Implementations are shared across the benefactor's connection and event
@@ -148,6 +182,18 @@ pub trait ChunkStore: Send + Sync + 'static {
     /// I/O failures of the backing medium, including detected corruption of
     /// a present record.
     fn get(&self, id: ChunkId) -> io::Result<Option<Bytes>>;
+
+    /// The chunk as a [`FileRegion`] suitable for kernel-copy transmit
+    /// (`sendfile`), or `None` when the store cannot offer one — chunk
+    /// absent, bytes not in an immutable file (in-memory, still in the
+    /// active segment), or the store wants every read verified. Callers
+    /// must treat `None` as "use [`ChunkStore::get`]", never as "absent".
+    ///
+    /// Default: `None` (only stores with stable on-disk records opt in).
+    fn read_region(&self, id: ChunkId) -> Option<FileRegion> {
+        let _ = id;
+        None
+    }
 
     /// Deletes the chunk; absent chunks are fine.
     ///

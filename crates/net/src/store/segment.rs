@@ -430,10 +430,11 @@ impl SegmentStore {
         self.core.gc.sync_count()
     }
 
-    /// One `sync_data`, counted.
+    /// One `sync_data`, counted. Routed through the optional io_uring
+    /// submission lane (`STDCHK_IO_URING`); blocking `fdatasync` otherwise.
     fn sync_file(&self, file: &File) -> io::Result<()> {
         self.core.gc.count_sync();
-        file.sync_data()
+        crate::uring::sync_data(file)
     }
 
     /// Inline durability point: syncs every pending sealed file plus the
@@ -797,9 +798,10 @@ impl ChunkStore for SegmentStore {
             (Arc::clone(&seg.file), loc)
         };
         // pread outside the lock: the Arc keeps the file readable even if a
-        // concurrent compaction unlinks the segment.
+        // concurrent compaction unlinks the segment. The read goes through
+        // the optional io_uring submission lane (`STDCHK_IO_URING`).
         let mut buf = vec![0u8; HEADER + loc.len as usize];
-        file.read_exact_at(&mut buf, loc.off)?;
+        crate::uring::read_exact_at(&file, &mut buf, loc.off)?;
         let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
         let header_ok = len == loc.len && buf[4] == KIND_PUT && buf[5..37] == *id.as_bytes();
         let crc_ok = !self.cfg.verify_reads || {
@@ -817,6 +819,40 @@ impl ChunkStore for SegmentStore {
         }
         // Zero-copy sub-slice; the header stays in the shared allocation.
         Ok(Some(Bytes::from(buf).slice(HEADER..)))
+    }
+
+    /// Sealed records are immutable on disk, so their payload can go to a
+    /// socket with `sendfile` straight from the segment file. Records still
+    /// in the active segment fall back to [`ChunkStore::get`] (`None`), as
+    /// does everything when `verify_reads` demands a CRC pass over the
+    /// payload. The 41-byte record header is still read and checked here —
+    /// only the payload bytes skip user space.
+    fn read_region(&self, id: ChunkId) -> Option<super::FileRegion> {
+        if self.cfg.verify_reads {
+            return None;
+        }
+        let (file, loc) = {
+            let shared = self.core.shared.lock();
+            let loc = shared.index.get(&id).copied()?;
+            if loc.seg == shared.active {
+                return None; // unsealed: still being appended to
+            }
+            let seg = shared.segs.get(&loc.seg)?;
+            (Arc::clone(&seg.file), loc)
+        };
+        let mut hdr = [0u8; HEADER];
+        if file.read_exact_at(&mut hdr, loc.off).is_err() {
+            return None;
+        }
+        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        if !(len == loc.len && hdr[4] == KIND_PUT && hdr[5..37] == *id.as_bytes()) {
+            return None; // let `get` surface the corruption as an error
+        }
+        Some(super::FileRegion {
+            file,
+            offset: loc.off + HEADER as u64,
+            len: loc.len,
+        })
     }
 
     fn delete(&self, id: ChunkId) -> io::Result<()> {

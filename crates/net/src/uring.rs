@@ -1,0 +1,486 @@
+//! Optional `io_uring` submission path for disk I/O.
+//!
+//! The durable waits and segment preads that ride the disk [`IoLane`]
+//! normally issue classic blocking syscalls (`fdatasync`, `pread`). This
+//! module offers the same two operations through an `io_uring` ring —
+//! one submission queue write + one `io_uring_enter` instead of a
+//! dedicated syscall per operation — following the crate's no-new-deps
+//! rule: raw `syscall(2)` numbers and `#[repr(C)]` structs checked
+//! against `linux/io_uring.h`, no liburing.
+//!
+//! Selection follows the established env-knob pattern
+//! (`STDCHK_NET_BACKEND`, `STDCHK_IO_LANE`): the lane is **off by
+//! default** and opts in via `STDCHK_IO_URING=on`. At first use the
+//! kernel is probed with a real `io_uring_setup`; kernels (or seccomp
+//! sandboxes) that refuse it fall back to the blocking syscalls with a
+//! one-time notice, so turning the knob on is always safe.
+//!
+//! Each thread lazily owns one small ring (`thread_local`), sized for the
+//! call sites' one-operation-at-a-time pattern: the group-commit flusher
+//! waits for its own fsync, a store read wants its buffer filled before
+//! returning. There is deliberately no cross-thread submission queue —
+//! the win measured here is the cheaper submission path, not batching.
+//!
+//! [`IoLane`]: crate::iolane::IoLane
+
+use std::cell::OnceCell;
+use std::fs::File;
+use std::io;
+use std::os::raw::{c_long, c_void};
+use std::os::unix::fs::FileExt;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+const SYS_IO_URING_SETUP: c_long = 425;
+const SYS_IO_URING_ENTER: c_long = 426;
+
+const IORING_OP_FSYNC: u8 = 3;
+const IORING_OP_READ: u8 = 22;
+const IORING_FSYNC_DATASYNC: u32 = 1;
+const IORING_ENTER_GETEVENTS: u32 = 1;
+const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 0x01;
+
+/// Submission queue entries per ring; call sites submit one op at a time,
+/// so this only needs to be ≥ 1.
+const ENTRIES: u32 = 8;
+
+extern "C" {
+    fn syscall(num: c_long, ...) -> c_long;
+    fn mmap(addr: *mut c_void, len: usize, prot: i32, flags: i32, fd: i32, off: i64)
+        -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// `struct io_sqring_offsets` from `linux/io_uring.h`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+struct SqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// `struct io_cqring_offsets` from `linux/io_uring.h`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+struct CqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// `struct io_uring_params` from `linux/io_uring.h`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqOffsets,
+    cq_off: CqOffsets,
+}
+
+/// `struct io_uring_sqe` (64-byte form) from `linux/io_uring.h`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    rw_flags: u32,
+    user_data: u64,
+    buf_index: u16,
+    personality: u16,
+    splice_fd_in: i32,
+    addr3: u64,
+    pad2: u64,
+}
+
+/// `struct io_uring_cqe` from `linux/io_uring.h`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct Cqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+/// One mmap'd span, unmapped on drop.
+#[derive(Debug)]
+struct Map {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl Map {
+    fn new(fd: i32, len: usize, off: i64) -> io::Result<Map> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                off,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Map {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+}
+
+impl Drop for Map {
+    fn drop(&mut self) {
+        unsafe { munmap(self.ptr.cast(), self.len) };
+    }
+}
+
+/// A userspace io_uring handle: the ring fd plus the three mmap'd spans
+/// (SQ ring bookkeeping, CQ ring, SQE array) and precomputed pointers into
+/// them. Owned by exactly one thread (`thread_local`), so submissions
+/// never race; the atomics order against the *kernel* side.
+#[derive(Debug)]
+struct Ring {
+    fd: i32,
+    /// Held for its `Drop` (munmap): every raw pointer below aims into it.
+    #[allow(dead_code)]
+    sq: Map,
+    /// `None` when the kernel advertises `IORING_FEAT_SINGLE_MMAP` and the
+    /// CQ ring shares the SQ mapping. Held for `Drop`, like `sq`.
+    #[allow(dead_code)]
+    cq: Option<Map>,
+    sqes: Map,
+    sq_tail: *const AtomicU32,
+    sq_mask: u32,
+    sq_array: *mut u32,
+    cq_head: *const AtomicU32,
+    cq_tail: *const AtomicU32,
+    cq_mask: u32,
+    cqes: *const Cqe,
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+impl Ring {
+    fn setup() -> io::Result<Ring> {
+        let mut p = UringParams::default();
+        let fd = unsafe { syscall(SYS_IO_URING_SETUP, ENTRIES, &mut p as *mut UringParams) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = fd as i32;
+        let sq_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_len = p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let single = p.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let res = (|| {
+            let sq = Map::new(
+                fd,
+                if single { sq_len.max(cq_len) } else { sq_len },
+                IORING_OFF_SQ_RING,
+            )?;
+            let cq = if single {
+                None
+            } else {
+                Some(Map::new(fd, cq_len, IORING_OFF_CQ_RING)?)
+            };
+            let sqes = Map::new(
+                fd,
+                p.sq_entries as usize * std::mem::size_of::<Sqe>(),
+                IORING_OFF_SQES,
+            )?;
+            let cq_base = cq.as_ref().unwrap_or(&sq).ptr;
+            unsafe {
+                Ok(Ring {
+                    fd,
+                    sq_tail: sq.ptr.add(p.sq_off.tail as usize).cast(),
+                    sq_mask: *sq.ptr.add(p.sq_off.ring_mask as usize).cast::<u32>(),
+                    sq_array: sq.ptr.add(p.sq_off.array as usize).cast(),
+                    cq_head: cq_base.add(p.cq_off.head as usize).cast(),
+                    cq_tail: cq_base.add(p.cq_off.tail as usize).cast(),
+                    cq_mask: *cq_base.add(p.cq_off.ring_mask as usize).cast::<u32>(),
+                    cqes: cq_base.add(p.cq_off.cqes as usize).cast(),
+                    sq,
+                    cq,
+                    sqes,
+                })
+            }
+        })();
+        if res.is_err() {
+            unsafe { close(fd) };
+        }
+        res
+    }
+
+    /// Submits one SQE and blocks until its CQE arrives, returning the raw
+    /// `res` (a byte count, or `-errno`).
+    fn submit_and_wait(&self, sqe: Sqe) -> io::Result<i32> {
+        unsafe {
+            let tail = (*self.sq_tail).load(Ordering::Relaxed);
+            let idx = tail & self.sq_mask;
+            *self.sqes.ptr.cast::<Sqe>().add(idx as usize) = sqe;
+            *self.sq_array.add(idx as usize) = idx;
+            (*self.sq_tail).store(tail.wrapping_add(1), Ordering::Release);
+        }
+        loop {
+            let r = unsafe {
+                syscall(
+                    SYS_IO_URING_ENTER,
+                    self.fd,
+                    1u32,
+                    1u32,
+                    IORING_ENTER_GETEVENTS,
+                    std::ptr::null::<c_void>(),
+                    0usize,
+                )
+            };
+            if r >= 0 {
+                break;
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+        loop {
+            let head = unsafe { (*self.cq_head).load(Ordering::Relaxed) };
+            let tail = unsafe { (*self.cq_tail).load(Ordering::Acquire) };
+            if head == tail {
+                // Spurious enter return (signal after submit); wait again.
+                let r = unsafe {
+                    syscall(
+                        SYS_IO_URING_ENTER,
+                        self.fd,
+                        0u32,
+                        1u32,
+                        IORING_ENTER_GETEVENTS,
+                        std::ptr::null::<c_void>(),
+                        0usize,
+                    )
+                };
+                if r < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() != io::ErrorKind::Interrupted {
+                        return Err(e);
+                    }
+                }
+                continue;
+            }
+            let cqe = unsafe { *self.cqes.add((head & self.cq_mask) as usize) };
+            unsafe { (*self.cq_head).store(head.wrapping_add(1), Ordering::Release) };
+            return Ok(cqe.res);
+        }
+    }
+
+    fn fsync_datasync(&self, file: &File) -> io::Result<()> {
+        let res = self.submit_and_wait(Sqe {
+            opcode: IORING_OP_FSYNC,
+            fd: file.as_raw_fd(),
+            rw_flags: IORING_FSYNC_DATASYNC,
+            ..Sqe::default()
+        })?;
+        if res < 0 {
+            return Err(io::Error::from_raw_os_error(-res));
+        }
+        Ok(())
+    }
+
+    fn read_exact_at(&self, file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let res = self.submit_and_wait(Sqe {
+                opcode: IORING_OP_READ,
+                fd: file.as_raw_fd(),
+                off: off + done as u64,
+                addr: buf[done..].as_mut_ptr() as u64,
+                len: (buf.len() - done).min(u32::MAX as usize) as u32,
+                ..Sqe::default()
+            })?;
+            if res < 0 {
+                let e = io::Error::from_raw_os_error(-res);
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            if res == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short read from backing file",
+                ));
+            }
+            done += res as usize;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    static RING: OnceCell<Option<Ring>> = const { OnceCell::new() };
+}
+
+/// Runs `f` against this thread's ring; `None` when ring setup failed on
+/// this thread (caller falls back to the blocking syscall).
+fn with_ring<T>(f: impl FnOnce(&Ring) -> T) -> Option<T> {
+    RING.with(|cell| cell.get_or_init(|| Ring::setup().ok()).as_ref().map(f))
+}
+
+/// Tri-state probe cache: 0 unknown, 1 enabled, 2 disabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// True when `STDCHK_IO_URING=on` *and* the kernel accepts an
+/// `io_uring_setup`. Probed once per process; when the knob is on but the
+/// kernel (or a seccomp sandbox) refuses, a one-time notice is printed and
+/// every call site keeps its blocking-syscall behavior.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let wanted = matches!(
+                std::env::var("STDCHK_IO_URING").as_deref(),
+                Ok("1") | Ok("on") | Ok("true")
+            );
+            let on = wanted
+                && match Ring::setup() {
+                    Ok(_) => true,
+                    Err(e) => {
+                        eprintln!(
+                            "stdchk: STDCHK_IO_URING=on but io_uring is unavailable \
+                             ({e}); falling back to blocking syscalls"
+                        );
+                        false
+                    }
+                };
+            STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// `fdatasync(file)` through the io_uring lane when enabled, else
+/// [`File::sync_data`]. Used by the group-commit flushers whose durable
+/// waits ride the disk I/O lane.
+///
+/// # Errors
+///
+/// I/O failures of the backing medium.
+pub fn sync_data(file: &File) -> io::Result<()> {
+    if enabled() {
+        if let Some(res) = with_ring(|ring| ring.fsync_datasync(file)) {
+            return res;
+        }
+    }
+    file.sync_data()
+}
+
+/// Positioned full-buffer read through the io_uring lane when enabled,
+/// else [`FileExt::read_exact_at`]. Used for segment-store record reads.
+///
+/// # Errors
+///
+/// I/O failures of the backing medium, including a short file.
+pub fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    if enabled() {
+        if let Some(res) = with_ring(|ring| ring.read_exact_at(file, buf, off)) {
+            return res;
+        }
+    }
+    file.read_exact_at(buf, off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn ring_reads_and_syncs() {
+        let ring = match Ring::setup() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping: io_uring unavailable here ({e})");
+                return;
+            }
+        };
+        let dir = std::env::temp_dir().join(format!("stdchk-uring-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(&payload).unwrap();
+        }
+        let f = std::fs::File::open(&path).unwrap();
+        // Full read, offset read, and EOF behavior.
+        let mut buf = vec![0u8; payload.len()];
+        ring.read_exact_at(&f, &mut buf, 0).unwrap();
+        assert_eq!(buf, payload);
+        let mut tail = vec![0u8; 1000];
+        ring.read_exact_at(&f, &mut tail, payload.len() as u64 - 1000)
+            .unwrap();
+        assert_eq!(tail, payload[payload.len() - 1000..]);
+        let mut over = vec![0u8; 10];
+        let err = ring
+            .read_exact_at(&f, &mut over, payload.len() as u64)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Datasync on a writable file.
+        let wf = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        ring.fsync_datasync(&wf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_paths_work_without_env() {
+        // With the knob unset these route to the blocking syscalls.
+        let dir = std::env::temp_dir().join(format!("stdchk-uring-fb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        let mut buf = [0u8; 4];
+        read_exact_at(&f, &mut buf, 3).unwrap();
+        assert_eq!(&buf, b"3456");
+        let wf = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        sync_data(&wf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1195,3 +1195,208 @@ fn chaos_benefactor_kill_restart_mid_write_converges() {
     victim.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Mid-`sendfile` disconnect must clean up the pending file region: the
+/// `Arc<File>` the region holds is released (no fd pinned), the
+/// connection leaves the reactor, and the listener keeps serving new
+/// connections afterwards — no stall-sweep wedge, no leak.
+#[test]
+fn mid_sendfile_disconnect_releases_file_region() {
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use stdchk_net::{ConnOpts, Reactor, ReactorApp, ReactorConfig, ReactorHandle};
+    use stdchk_proto::ids::{ChunkId, RequestId};
+    use stdchk_proto::msg::Msg;
+
+    const LEN: usize = 16 << 20;
+    let dir = std::env::temp_dir().join(format!("stdchk-net-sendfile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("region.dat");
+    let data = payload(LEN, 41);
+    std::fs::write(&path, &data).unwrap();
+    let file = Arc::new(std::fs::File::open(&path).unwrap());
+
+    /// Replies to any inbound frame with the whole file as one
+    /// `GetChunkOk` frame head + sendfile region.
+    struct ServeApp {
+        handle: Mutex<Option<ReactorHandle>>,
+        file: Arc<std::fs::File>,
+        closed: AtomicUsize,
+        sent: AtomicUsize,
+    }
+    impl ReactorApp for ServeApp {
+        fn on_msg(&self, conn: u64, _msg: Msg) {
+            let h = self.handle.lock().unwrap().clone().unwrap();
+            let head = stdchk_proto::frame::get_chunk_ok_frame_head(
+                RequestId(1),
+                ChunkId::for_content(b"region"),
+                LEN as u32,
+                LEN as u32,
+            );
+            let _ = h.send_file_region(conn, head, Arc::clone(&self.file), 0, LEN as u64, Some(7));
+        }
+        fn on_close(&self, _conn: u64, _reason: stdchk_net::CloseReason) {
+            self.closed.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_sent(&self, _conn: u64, _token: u64) {
+            self.sent.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let app = Arc::new(ServeApp {
+        handle: Mutex::new(None),
+        file: Arc::clone(&file),
+        closed: AtomicUsize::new(0),
+        sent: AtomicUsize::new(0),
+    });
+    let reactor = Reactor::new(
+        stdchk_net::conn::Clock::new(),
+        Arc::clone(&app) as Arc<dyn ReactorApp>,
+        ReactorConfig { workers: 2 },
+    )
+    .unwrap();
+    *app.handle.lock().unwrap() = Some(reactor.handle().clone());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    reactor
+        .handle()
+        .add_listener(listener, 0, ConnOpts::default())
+        .unwrap();
+
+    // Client 1: trigger the region send, sip a few KB, vanish. The
+    // region is 16 MiB — far past any loopback buffering — so the
+    // disconnect lands mid-sendfile with most of it still queued.
+    {
+        let mut c = TcpStream::connect(addr).unwrap();
+        stdchk_proto::frame::write_frame(&mut c, &Msg::Ping { nonce: 1 }).unwrap();
+        // Ping is transport-level; send a real message to reach on_msg.
+        stdchk_proto::frame::write_frame(&mut c, &Msg::Ack { req: RequestId(1) }).unwrap();
+        let mut sip = vec![0u8; 4096];
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.read_exact(&mut sip).unwrap();
+        // Drop: RST/EOF while the server still owes ~16 MiB.
+    }
+
+    // The close must release the region's file handle: our Arc goes back
+    // to exactly 2 owners (this test + the app), and the conn is gone.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Arc::strong_count(&file) > 2 || reactor.handle().conn_count() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "pending file region leaked: {} Arc owners, {} conns",
+            Arc::strong_count(&file),
+            reactor.handle().conn_count()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(app.closed.load(Ordering::SeqCst) >= 1, "close not observed");
+    assert_eq!(
+        app.sent.load(Ordering::SeqCst),
+        0,
+        "partial send must not complete"
+    );
+
+    // Client 2: the reactor must still serve a full region, byte-exact.
+    {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stdchk_proto::frame::write_frame(&mut c, &Msg::Ack { req: RequestId(2) }).unwrap();
+        let head_len = stdchk_proto::frame::get_chunk_ok_frame_head(
+            RequestId(1),
+            ChunkId::for_content(b"region"),
+            LEN as u32,
+            LEN as u32,
+        )
+        .len();
+        let mut got = vec![0u8; head_len + LEN];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(
+            &got[head_len..],
+            &data[..],
+            "sendfile payload must be byte-exact"
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while app.sent.load(Ordering::SeqCst) < 1 {
+        assert!(Instant::now() < deadline, "tracked region never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = reactor.handle().transport_stats();
+    assert!(
+        stats.zerocopy_payload_tx >= LEN as u64,
+        "sendfile bytes must be counted zero-copy: {stats:?}"
+    );
+    reactor.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end zero-copy serve: a segment-store benefactor with tiny
+/// segments seals its chunks during ingest, so reads come back through
+/// the `sendfile` path — byte-exact, with the transport counters showing
+/// zero-copy payload traffic.
+#[test]
+fn sealed_chunks_serve_zero_copy_end_to_end() {
+    if !stdchk_net::zerocopy_enabled() || Backend::from_env() != Backend::Reactor {
+        return; // A/B baseline runs exercise the copying path instead.
+    }
+    let dir = std::env::temp_dir().join(format!("stdchk-net-zc-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 64 << 10;
+    let mgr = ManagerServer::spawn("127.0.0.1:0", pool_cfg).expect("manager");
+    let store = Arc::new(
+        stdchk_net::store::SegmentStore::open_with(
+            &dir,
+            stdchk_net::store::SegmentStoreConfig {
+                // Seal after every couple of chunks so reads hit sealed
+                // segments (the sendfile-eligible case).
+                segment_bytes: 96 << 10,
+                ..Default::default()
+            },
+        )
+        .expect("store"),
+    );
+    let benef = BenefactorServer::spawn(BenefactorNetConfig {
+        manager_addr: mgr.addr().to_string(),
+        listen: "127.0.0.1:0".into(),
+        total_space: 256 << 20,
+        cfg: BenefactorConfig::fast_for_tests(),
+        store,
+    })
+    .expect("benefactor");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while mgr.online_benefactors() < 1 {
+        assert!(Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+    let data = payload(640 << 10, 77); // 10 chunks over ~7 segments
+    let mut w = grid
+        .create("/app/zc.n0", WriteOptions::default())
+        .expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish");
+
+    let before = benef
+        .transport_stats()
+        .expect("reactor backend")
+        .zerocopy_payload_tx;
+    let read_back = grid
+        .open("/app/zc.n0", None)
+        .expect("open")
+        .read_all()
+        .expect("read");
+    assert_eq!(read_back, data, "zero-copy read must be byte-exact");
+    let after = benef
+        .transport_stats()
+        .expect("reactor backend")
+        .zerocopy_payload_tx;
+    assert!(
+        after > before,
+        "sealed-segment reads must ride the zero-copy path: {before} -> {after}"
+    );
+    mgr.check_invariants();
+    benef.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

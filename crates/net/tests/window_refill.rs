@@ -1,0 +1,79 @@
+//! Repro: sliding-window write larger than the client buffer must make
+//! progress (window refill paced by PutChunkOk acks) over the reactor.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use stdchk_core::session::write::{SessionConfig, WriteProtocol};
+use stdchk_core::{BenefactorConfig, PoolConfig};
+use stdchk_net::store::MemStore;
+use stdchk_net::{
+    BenefactorNetConfig, BenefactorServer, Grid, ManagerServer, ServerOpts, WriteOptions,
+};
+use stdchk_util::mix64;
+
+#[test]
+fn sliding_window_refills_past_client_buffer() {
+    let mut pool_cfg = PoolConfig::fast_for_tests();
+    pool_cfg.chunk_size = 1 << 20;
+    pool_cfg.reservation_ttl = stdchk_util::Dur::from_secs(600);
+    let mut benef_cfg = BenefactorConfig::fast_for_tests();
+    benef_cfg.gc_grace = stdchk_util::Dur::from_secs(600);
+    let opts = ServerOpts {
+        workers: 4,
+        ..ServerOpts::default()
+    };
+    let mgr = ManagerServer::spawn_with("127.0.0.1:0", pool_cfg, opts).expect("manager");
+    let _benef = BenefactorServer::spawn_with(
+        BenefactorNetConfig {
+            manager_addr: mgr.addr().to_string(),
+            listen: "127.0.0.1:0".into(),
+            total_space: 8 << 30,
+            cfg: benef_cfg,
+            store: Arc::new(MemStore::new()),
+        },
+        opts,
+    )
+    .expect("benefactor");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while mgr.online_benefactors() < 1 {
+        assert!(std::time::Instant::now() < deadline, "pool never online");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let grid = Grid::connect(&mgr.addr().to_string()).expect("connect");
+
+    let data: Vec<u8> = (0..24 << 20)
+        .map(|i| mix64(0xabcd ^ (i as u64).wrapping_mul(0x9e37_79b9)) as u8)
+        .collect();
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watchdog = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for _ in 0..600 {
+                if done.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            eprintln!("WATCHDOG: write stuck after 60s, aborting");
+            std::process::exit(42);
+        })
+    };
+    let mut w = grid
+        .create(
+            "/repro/window.n0",
+            WriteOptions {
+                session: SessionConfig {
+                    protocol: WriteProtocol::SlidingWindow { buffer: 8 << 20 },
+                    ..SessionConfig::default()
+                },
+                ..WriteOptions::default()
+            },
+        )
+        .expect("create");
+    w.write_all(&data).expect("write");
+    w.finish().expect("finish");
+    done.store(true, std::sync::atomic::Ordering::SeqCst);
+    watchdog.join().unwrap();
+}

@@ -15,12 +15,13 @@
 //!   streams (handshakes, legacy thread-per-connection paths).
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use bytes::Bytes;
 
-use crate::codec::Wire;
+use crate::codec::{Wire, Writer};
 use crate::error::ProtoError;
+use crate::ids::{ChunkId, RequestId};
 use crate::msg::Msg;
 
 /// Default maximum accepted frame: 64 MiB (comfortably above the largest
@@ -230,6 +231,34 @@ impl FrameDecoder {
     }
 }
 
+/// One queued outbound frame. The bytes on the wire are
+/// `head ‖ payload ‖ tail`: for chunk-bearing messages the payload stays a
+/// shared [`Bytes`] slice (no copy into the outbound buffer) and `head`
+/// carries everything up to and including the payload length prefix; for
+/// all other messages `head` is the whole encoded frame.
+#[derive(Debug)]
+struct OutFrame {
+    head: Vec<u8>,
+    payload: Bytes,
+    tail: Vec<u8>,
+    token: Option<u64>,
+}
+
+impl OutFrame {
+    fn len(&self) -> usize {
+        self.head.len() + self.payload.len() + self.tail.len()
+    }
+
+    fn segments(&self) -> [&[u8]; 3] {
+        [&self.head, &self.payload, &self.tail]
+    }
+}
+
+/// Most slices handed to one `writev`: enough to coalesce several small
+/// frames (or a few header+payload pairs) per syscall without building an
+/// unbounded iovec for a deep queue.
+const MAX_WRITE_VEC: usize = 16;
+
 /// Resumable frame encoder for readiness-based transports.
 ///
 /// [`FrameEncoder::push`] serializes a message onto the outbound buffer;
@@ -238,19 +267,49 @@ impl FrameDecoder {
 /// partial frames pick up exactly where the previous short write stopped.
 /// Each frame may carry a completion token reported once its last byte
 /// reaches the sink (drivers use this to end transmit windows).
-#[derive(Debug, Default)]
+///
+/// By default chunk payloads (`PutChunk::data`, `GetChunkOk::data`,
+/// `DeltaPutChunk::delta`) are kept as shared [`Bytes`] segments and
+/// flushed together with their frame header in one gathered
+/// `write_vectored` call — the byte stream is identical to the flattened
+/// encoding, but the payload is never copied into the outbound buffer.
+/// [`FrameEncoder::with_vectored`]`(false)` restores the copying baseline
+/// for A/B measurement.
+#[derive(Debug)]
 pub struct FrameEncoder {
-    /// Encoded frames awaiting transmission; the head frame may be
+    /// Encoded frames awaiting transmission; the front frame may be
     /// partially written (`head_off` bytes already gone).
-    frames: VecDeque<(Vec<u8>, Option<u64>)>,
+    frames: VecDeque<OutFrame>,
     head_off: usize,
     pending: usize,
+    vectored: bool,
+    copied_payload: u64,
+    shared_payload: u64,
+}
+
+impl Default for FrameEncoder {
+    fn default() -> FrameEncoder {
+        FrameEncoder::with_vectored(true)
+    }
 }
 
 impl FrameEncoder {
-    /// An empty encoder.
+    /// An empty encoder with the zero-copy vectored payload path enabled.
     pub fn new() -> FrameEncoder {
         FrameEncoder::default()
+    }
+
+    /// An empty encoder; `vectored: false` flattens every frame into one
+    /// contiguous buffer (the pre-zero-copy baseline).
+    pub fn with_vectored(vectored: bool) -> FrameEncoder {
+        FrameEncoder {
+            frames: VecDeque::new(),
+            head_off: 0,
+            pending: 0,
+            vectored,
+            copied_payload: 0,
+            shared_payload: 0,
+        }
     }
 
     /// Serializes `msg` onto the outbound buffer.
@@ -261,9 +320,28 @@ impl FrameEncoder {
     /// Serializes `msg`, tagging the frame with a completion `token`
     /// reported by [`FrameEncoder::write_to`] once fully written.
     pub fn push_tracked(&mut self, msg: &Msg, token: Option<u64>) {
-        let frame = encode_frame(msg);
+        let frame = match self.vectored.then(|| split_frame(msg)).flatten() {
+            Some((head, payload, tail)) => {
+                self.shared_payload += payload.len() as u64;
+                OutFrame {
+                    head,
+                    payload,
+                    tail,
+                    token,
+                }
+            }
+            None => {
+                self.copied_payload += payload_len(msg);
+                OutFrame {
+                    head: encode_frame(msg),
+                    payload: Bytes::new(),
+                    tail: Vec::new(),
+                    token,
+                }
+            }
+        };
         self.pending += frame.len();
-        self.frames.push_back((frame, token));
+        self.frames.push_back(frame);
     }
 
     /// Bytes not yet accepted by the sink.
@@ -276,34 +354,56 @@ impl FrameEncoder {
         self.frames.is_empty()
     }
 
-    /// Writes as much as `w` accepts. Tokens of frames whose last byte was
-    /// written are appended to `completed`. Returns `Ok(true)` when the
-    /// buffer drained, `Ok(false)` when the sink would block.
+    /// Cumulative payload bytes enqueued flattened (copied into the
+    /// outbound buffer) over this encoder's lifetime.
+    pub fn copied_payload_bytes(&self) -> u64 {
+        self.copied_payload
+    }
+
+    /// Cumulative payload bytes enqueued as shared slices (zero-copy) over
+    /// this encoder's lifetime.
+    pub fn shared_payload_bytes(&self) -> u64 {
+        self.shared_payload
+    }
+
+    /// Writes as much as `w` accepts, gathering up to `MAX_WRITE_VEC`
+    /// frame segments per `write_vectored` call. Tokens of frames whose
+    /// last byte was written are appended to `completed`. Returns
+    /// `Ok(true)` when the buffer drained, `Ok(false)` when the sink would
+    /// block.
     ///
     /// # Errors
     ///
     /// Propagates sink errors other than `WouldBlock` (`Interrupted` is
     /// retried); a sink accepting zero bytes surfaces as `WriteZero`.
     pub fn write_to<W: Write>(&mut self, w: &mut W, completed: &mut Vec<u64>) -> io::Result<bool> {
-        while let Some((frame, token)) = self.frames.front() {
-            match w.write(&frame[self.head_off..]) {
+        while !self.frames.is_empty() {
+            let res = {
+                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_WRITE_VEC);
+                let mut skip = self.head_off;
+                'gather: for f in &self.frames {
+                    for seg in f.segments() {
+                        if skip >= seg.len() {
+                            skip -= seg.len();
+                            continue;
+                        }
+                        slices.push(IoSlice::new(&seg[skip..]));
+                        skip = 0;
+                        if slices.len() == MAX_WRITE_VEC {
+                            break 'gather;
+                        }
+                    }
+                }
+                w.write_vectored(&slices)
+            };
+            match res {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => {
-                    self.head_off += n;
-                    self.pending -= n;
-                    if self.head_off == frame.len() {
-                        if let Some(t) = token {
-                            completed.push(*t);
-                        }
-                        self.frames.pop_front();
-                        self.head_off = 0;
-                    }
-                }
+                Ok(n) => self.advance(n, completed),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
@@ -311,6 +411,111 @@ impl FrameEncoder {
         }
         Ok(true)
     }
+
+    /// Accounts `n` freshly written bytes: pops completed frames (reporting
+    /// their tokens) and leaves `head_off` mid-frame for the remainder.
+    fn advance(&mut self, n: usize, completed: &mut Vec<u64>) {
+        self.pending -= n;
+        let mut n = self.head_off + n;
+        while let Some(f) = self.frames.front() {
+            let flen = f.len();
+            if n < flen {
+                self.head_off = n;
+                return;
+            }
+            n -= flen;
+            if let Some(t) = f.token {
+                completed.push(t);
+            }
+            self.frames.pop_front();
+        }
+        self.head_off = 0;
+        debug_assert_eq!(n, 0, "advanced past the queued bytes");
+    }
+}
+
+/// Splits a chunk-bearing message into (head, shared payload, tail) whose
+/// concatenation is byte-identical to [`encode_frame`]. Returns `None` for
+/// messages without a `Bytes` payload.
+fn split_frame(msg: &Msg) -> Option<(Vec<u8>, Bytes, Vec<u8>)> {
+    let (payload, tail) = match msg {
+        Msg::PutChunk {
+            data, background, ..
+        } => (data.clone(), vec![*background as u8]),
+        Msg::GetChunkOk { data, .. } => (data.clone(), Vec::new()),
+        Msg::DeltaPutChunk { delta, .. } => (delta.clone(), Vec::new()),
+        _ => return None,
+    };
+    let head = frame_head(msg, payload.len() as u32, tail.len())?;
+    Some((head, payload, tail))
+}
+
+/// Payload bytes a flattened encode of `msg` copies into the frame buffer.
+fn payload_len(msg: &Msg) -> u64 {
+    match msg {
+        Msg::PutChunk { data, .. } | Msg::GetChunkOk { data, .. } => data.len() as u64,
+        Msg::DeltaPutChunk { delta, .. } => delta.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Encodes the frame length prefix, message tag, leading fields, and the
+/// `u32` payload length prefix of a chunk-bearing message — everything on
+/// the wire *before* the payload bytes. The frame length accounts for
+/// `payload_len` payload bytes plus `tail_len` trailing field bytes.
+fn frame_head(msg: &Msg, payload_len: u32, tail_len: usize) -> Option<Vec<u8>> {
+    let mut w = Writer::with_capacity(96);
+    w.put_u32(0); // frame length, patched below
+    w.put_u8(msg.wire_tag());
+    match msg {
+        Msg::PutChunk {
+            req, chunk, size, ..
+        }
+        | Msg::GetChunkOk {
+            req, chunk, size, ..
+        } => {
+            req.encode(&mut w);
+            chunk.encode(&mut w);
+            w.put_u32(*size);
+        }
+        Msg::DeltaPutChunk {
+            req,
+            chunk,
+            basis,
+            size,
+            ..
+        } => {
+            req.encode(&mut w);
+            chunk.encode(&mut w);
+            basis.encode(&mut w);
+            w.put_u32(*size);
+        }
+        _ => return None,
+    }
+    w.put_u32(payload_len);
+    let mut head = w.into_bytes();
+    let body = head.len() - 4 + payload_len as usize + tail_len;
+    head[..4].copy_from_slice(&(body as u32).to_le_bytes());
+    Some(head)
+}
+
+/// Frame head for a `GetChunkOk` whose `payload_len` payload bytes the
+/// transport will append from an external source (e.g. `sendfile` straight
+/// out of a sealed segment file). The caller must follow these bytes with
+/// exactly `payload_len` raw payload bytes to complete the frame.
+pub fn get_chunk_ok_frame_head(
+    req: RequestId,
+    chunk: ChunkId,
+    size: u32,
+    payload_len: u32,
+) -> Vec<u8> {
+    let msg = Msg::GetChunkOk {
+        req,
+        chunk,
+        size,
+        data: Bytes::new(),
+    };
+    frame_head(&msg, payload_len, 0).expect("GetChunkOk always splits")
 }
 
 /// Encodes `msg` as one frame into a fresh buffer.
@@ -371,8 +576,10 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<Msg>> {
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    let msg =
-        Msg::from_wire_bytes(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Decode through the shared-buffer path: byte payloads slice out of
+    // the frame allocation instead of being copied a second time.
+    let body = Bytes::from(body);
+    let msg = Msg::from_frame(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(Some(msg))
 }
 
@@ -573,6 +780,94 @@ mod tests {
             expect.extend_from_slice(&encode_frame(m));
         }
         assert_eq!(sink.out, expect);
+    }
+
+    #[test]
+    fn split_frames_match_flattened_encoding() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let msgs = vec![
+            Msg::PutChunk {
+                req: RequestId(3),
+                chunk: crate::ids::ChunkId::for_content(&payload),
+                size: payload.len() as u32,
+                data: payload.clone(),
+                background: true,
+            },
+            Msg::GetChunkOk {
+                req: RequestId(4),
+                chunk: crate::ids::ChunkId::for_content(&payload),
+                size: payload.len() as u32,
+                data: payload.clone(),
+            },
+            Msg::DeltaPutChunk {
+                req: RequestId(5),
+                chunk: crate::ids::ChunkId::for_content(b"new"),
+                basis: crate::ids::ChunkId::for_content(b"old"),
+                size: 4096,
+                delta: payload.clone(),
+            },
+        ];
+        for m in &msgs {
+            let (head, body, tail) = split_frame(m).expect("chunk messages split");
+            let mut joined = head;
+            joined.extend_from_slice(&body);
+            joined.extend_from_slice(&tail);
+            assert_eq!(joined, encode_frame(m), "{m:?}");
+        }
+        // Non-payload messages do not split.
+        assert!(split_frame(&sample()).is_none());
+    }
+
+    #[test]
+    fn external_frame_head_matches_inline_encoding() {
+        let payload = Bytes::from(vec![9u8; 300]);
+        let chunk = crate::ids::ChunkId::for_content(&payload);
+        let inline = encode_frame(&Msg::GetChunkOk {
+            req: RequestId(6),
+            chunk,
+            size: payload.len() as u32,
+            data: payload.clone(),
+        });
+        let mut external = get_chunk_ok_frame_head(
+            RequestId(6),
+            chunk,
+            payload.len() as u32,
+            payload.len() as u32,
+        );
+        external.extend_from_slice(&payload);
+        assert_eq!(external, inline);
+    }
+
+    #[test]
+    fn vectored_encoder_counts_shared_payloads() {
+        let payload = Bytes::from(vec![1u8; 512]);
+        let msg = Msg::GetChunkOk {
+            req: RequestId(1),
+            chunk: crate::ids::ChunkId::for_content(&payload),
+            size: payload.len() as u32,
+            data: payload.clone(),
+        };
+        let mut vec_enc = FrameEncoder::new();
+        vec_enc.push(&msg);
+        vec_enc.push(&sample());
+        assert_eq!(vec_enc.shared_payload_bytes(), 512);
+        assert_eq!(vec_enc.copied_payload_bytes(), 0);
+
+        let mut flat_enc = FrameEncoder::with_vectored(false);
+        flat_enc.push(&msg);
+        assert_eq!(flat_enc.shared_payload_bytes(), 0);
+        assert_eq!(flat_enc.copied_payload_bytes(), 512);
+
+        // Both encoders produce the identical byte stream.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut completed = Vec::new();
+        assert!(vec_enc.write_to(&mut a, &mut completed).unwrap());
+        let mut flat_ref = FrameEncoder::with_vectored(false);
+        flat_ref.push(&msg);
+        flat_ref.push(&sample());
+        assert!(flat_ref.write_to(&mut b, &mut completed).unwrap());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -243,6 +243,62 @@ proptest! {
         prop_assert_eq!(blocking_decode(&sink.out).unwrap(), msgs);
     }
 
+    // Vectored transmit byte-identity: the writev encoder (payloads kept
+    // as shared segments, header/payload/tail gathered into IoSlices)
+    // must put exactly the bytes on the wire that flattening every frame
+    // with `encode_frame` would, under arbitrary short-write schedules
+    // that cut mid-header, mid-payload and mid-tail — and complete
+    // tracked frames in the same order.
+    #[test]
+    fn vectored_encoder_matches_flattened_bytes(
+        msgs in proptest::collection::vec(arb_msg(), 1..6),
+        budgets in proptest::collection::vec(1usize..48, 1..16),
+    ) {
+        struct VectoredThrottle<'a> {
+            out: Vec<u8>,
+            budgets: std::iter::Cycle<std::slice::Iter<'a, usize>>,
+        }
+        impl std::io::Write for VectoredThrottle<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = (*self.budgets.next().unwrap()).min(buf.len());
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+                // A real writev: one budget spread across the slices.
+                let mut budget = *self.budgets.next().unwrap();
+                let mut written = 0usize;
+                for b in bufs {
+                    let n = budget.min(b.len());
+                    self.out.extend_from_slice(&b[..n]);
+                    written += n;
+                    budget -= n;
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Ok(written)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut baseline = Vec::new();
+        for m in &msgs {
+            baseline.extend_from_slice(&encode_frame(m));
+        }
+        let mut enc = FrameEncoder::with_vectored(true);
+        for (i, m) in msgs.iter().enumerate() {
+            enc.push_tracked(m, Some(i as u64));
+        }
+        let mut sink = VectoredThrottle { out: Vec::new(), budgets: budgets.iter().cycle() };
+        let mut completed = Vec::new();
+        while !enc.write_to(&mut sink, &mut completed).unwrap() {}
+        prop_assert_eq!(completed, (0..msgs.len() as u64).collect::<Vec<_>>());
+        prop_assert_eq!(&sink.out, &baseline);
+        prop_assert_eq!(blocking_decode(&sink.out).unwrap(), msgs);
+    }
+
     // Dedup negotiation messages survive a frame round trip exactly.
     #[test]
     fn dedup_messages_roundtrip(msg in arb_dedup_msg()) {

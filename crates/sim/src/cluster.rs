@@ -83,6 +83,13 @@ pub struct SimConfig {
     pub delta_scan_rate: f64,
     /// Application write-call size (defaults to the chunk size).
     pub app_block: u32,
+    /// User-space copy passes charged when a benefactor serves a chunk
+    /// read onto the wire (`Action::Load` with `serve`). `0` models the
+    /// zero-copy data path (`sendfile` straight from a sealed segment —
+    /// `stdchk-net`'s default); `3` approximates the copying baseline
+    /// (pread buffer → outbound flatten → socket write). Off by default so
+    /// the paper-calibrated figures are unchanged.
+    pub serve_copy_passes: u32,
     /// Fixed per-record cost of the benefactor storage engine, charged on
     /// every chunk store/load in addition to the byte transfer. Calibrated
     /// to the measured segment-log engine (`stdchk-net`'s `SegmentStore`):
@@ -138,6 +145,7 @@ impl SimConfig {
             hash_rate: 110e6,
             delta_scan_rate: 400e6,
             app_block: pool.chunk_size,
+            serve_copy_passes: 0,
             store_op_overhead: Dur::from_micros(60),
             meta_log: false,
             meta_op_overhead: Dur::from_micros(40),
@@ -975,11 +983,24 @@ impl SimCluster {
                 self.schedule_at(fin, Ev::DiskDone(DiskKind::BenefStore { bi, op, bytes }));
                 self.update_gate(bi);
             }
-            Action::Load { op, chunk, size } => {
+            Action::Load {
+                op,
+                chunk,
+                size,
+                serve,
+            } => {
                 let NodeRef::Benef(bi) = nr else {
                     unreachable!("chunk loads run on benefactors");
                 };
-                let fin = self.benefs[bi].disk.schedule(self.now, size as u64);
+                let mut fin = self.benefs[bi].disk.schedule(self.now, size as u64);
+                if serve && self.cfg.serve_copy_passes > 0 {
+                    // Copying-transmit data path: each pass drags the chunk
+                    // through user space once (pread buffer, outbound
+                    // flatten, socket write). The zero-copy default charges
+                    // nothing, matching sendfile-from-segment.
+                    let passes = self.cfg.serve_copy_passes as u64;
+                    fin += Dur::for_bytes(size as u64 * passes, self.cfg.memcpy_rate);
+                }
                 self.schedule_at(
                     fin,
                     Ev::DiskDone(DiskKind::BenefLoad {
