@@ -1,0 +1,68 @@
+//! `stdchk-analyze` CLI.
+//!
+//! ```text
+//! cargo run -p stdchk-analyze --            # report violations
+//! cargo run -p stdchk-analyze -- --deny     # exit 1 if any (CI mode)
+//! cargo run -p stdchk-analyze -- --list-rules
+//! cargo run -p stdchk-analyze -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for (rule, what) in stdchk_analyze::RULES {
+                    println!("{rule}: {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (try --deny, --list-rules, --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root: this binary lives at
+    // crates/analyze, so CARGO_MANIFEST_DIR/../.. is the repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|e| {
+                eprintln!("cannot resolve workspace root: {e}");
+                std::process::exit(2);
+            })
+    });
+    let violations = stdchk_analyze::run(&root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!(
+            "stdchk-analyze: clean ({} rules)",
+            stdchk_analyze::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("stdchk-analyze: {} violation(s)", violations.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

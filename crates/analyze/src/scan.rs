@@ -1,0 +1,305 @@
+//! Lexical scrubbing: turn a Rust source file into per-line *code*
+//! (string/char literals and comments blanked) and per-line *comment
+//! text* (everything else blanked), plus a mask of lines inside
+//! `#[cfg(test)]` modules.
+//!
+//! Rules match tokens against the scrubbed code — so `".unwrap()"`
+//! inside a doc string or an error message never trips a rule — and
+//! match `SAFETY:` / `stdchk-allow(...)` against the comment channel,
+//! so commented-out code never satisfies or suppresses anything by
+//! accident. The scanner is a character-level state machine, not a
+//! parser: it understands `"…"` with escapes, `r#"…"#`, `'c'`
+//! vs `'lifetime`, `//` and nestable `/* … */`, which is all the
+//! lookalike-token problem requires.
+
+/// One source file split into a code channel and a comment channel.
+pub struct ScrubbedFile {
+    /// Per line: source with literals and comments replaced by spaces.
+    pub code: Vec<String>,
+    /// Per line: comment text only (everything else spaces).
+    pub comments: Vec<String>,
+    /// Per line: true when inside a `#[cfg(test)] mod … { … }` region.
+    pub test_mask: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with this many `#`s.
+    RawStr(usize),
+    /// Inside `'…'` (a char literal, not a lifetime).
+    Char,
+    /// Inside `/* … */`, at this nesting depth.
+    Block(usize),
+}
+
+impl ScrubbedFile {
+    pub fn new(src: &str) -> ScrubbedFile {
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        let mut state = State::Normal;
+        for line in src.lines() {
+            let (c, m, next) = scrub_line(line, state);
+            state = next;
+            code.push(c);
+            comments.push(m);
+        }
+        let test_mask = test_mask(&code);
+        ScrubbedFile {
+            code,
+            comments,
+            test_mask,
+        }
+    }
+}
+
+/// Scrubs one line starting in `state`; returns (code, comment, state
+/// carried into the next line).
+fn scrub_line(line: &str, mut state: State) -> (String, String, State) {
+    let chars: Vec<char> = line.chars().collect();
+    let n = chars.len();
+    let mut code = vec![' '; n];
+    let mut comment = vec![' '; n];
+    let mut i = 0;
+    while i < n {
+        match state {
+            State::Normal => {
+                let c = chars[i];
+                // Line comment: the rest of the line is comment text.
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    comment[i..n].copy_from_slice(&chars[i..n]);
+                    break;
+                }
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::Block(1);
+                    comment[i] = '/';
+                    comment[i + 1] = '*';
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // Keep the quotes in the code channel so `""` stays
+                    // visibly a literal; contents are blanked.
+                    code[i] = '"';
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' {
+                    // r"…" / r#"…"# / br"…" — only when `r` starts a
+                    // token (else `for` would match).
+                    let prev_ident =
+                        i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                    if !prev_ident {
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while j < n && chars[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < n && chars[j] == '"' {
+                            code[i] = 'r';
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`, `'static`) vs char literal
+                    // (`'a'`, `'\n'`): a lifetime is quote + ident with
+                    // no closing quote right after.
+                    let is_lifetime = i + 1 < n
+                        && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                        && !(i + 2 < n && chars[i + 2] == '\'');
+                    if !is_lifetime {
+                        code[i] = '\'';
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                }
+                code[i] = c;
+                i += 1;
+            }
+            State::Str => {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    code[i] = '"';
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if chars[i] == '"' {
+                    let end = i + 1 + hashes;
+                    if end <= n && chars[i + 1..end].iter().all(|&c| c == '#') {
+                        code[i] = '"';
+                        state = State::Normal;
+                        i = end;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '\'' {
+                    code[i] = '\'';
+                    state = State::Normal;
+                }
+                i += 1;
+            }
+            State::Block(depth) => {
+                if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    comment[i] = '*';
+                    comment[i + 1] = '/';
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    comment[i] = '/';
+                    comment[i + 1] = '*';
+                    state = State::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment[i] = chars[i];
+                i += 1;
+            }
+        }
+    }
+    // A string/char literal never spans lines here (raw strings and
+    // block comments do); plain `"` literals can via `\` continuation,
+    // which carrying `state` across lines handles for free.
+    (
+        code.into_iter().collect(),
+        comment.into_iter().collect(),
+        state,
+    )
+}
+
+/// Marks the lines belonging to `#[cfg(test)] mod … { … }` regions by
+/// brace-counting on scrubbed code (so braces in strings don't skew
+/// the depth).
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    // Saw `#[cfg(test)]`, waiting for the `mod`'s opening brace.
+    let mut pending = false;
+    // Brace depth remaining inside a test region; None = outside.
+    let mut depth: Option<i64> = None;
+    for (idx, line) in code.iter().enumerate() {
+        if let Some(d) = &mut depth {
+            mask[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => *d += 1,
+                    '}' => *d -= 1,
+                    _ => {}
+                }
+            }
+            if *d <= 0 {
+                depth = None;
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            pending = true;
+            mask[idx] = true;
+            continue;
+        }
+        if pending {
+            mask[idx] = true;
+            // The attribute can gate `mod tests;` (no body) or other
+            // items; only a brace on this line opens a region.
+            let mut d: i64 = 0;
+            let mut opened = false;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        d += 1;
+                        opened = true;
+                    }
+                    '}' => d -= 1,
+                    _ => {}
+                }
+            }
+            pending = false;
+            if opened && d > 0 {
+                depth = Some(d);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_leave_the_code_channel() {
+        let sf = ScrubbedFile::new(
+            "let x = \"call .unwrap() here\"; // and .unwrap() there\n\
+             let y = v.unwrap();",
+        );
+        assert!(!sf.code[0].contains(".unwrap()"));
+        assert!(sf.comments[0].contains(".unwrap() there"));
+        assert!(sf.code[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let sf = ScrubbedFile::new("let s = r#\"dial( stuff \"# ; dial(x);");
+        let first_dial = sf.code[0].find("dial(").unwrap();
+        // Only the real call survives.
+        assert!(first_dial > sf.code[0].find(';').unwrap());
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let sf = ScrubbedFile::new("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(sf.code[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let sf = ScrubbedFile::new("let c = '\"'; v.unwrap();");
+        assert!(sf.code[0].contains(".unwrap()"));
+        // The quote inside the char literal didn't open a string.
+        assert_eq!(sf.code[0].matches('"').count(), 0);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let sf = ScrubbedFile::new("/* dial(\n .unwrap()\n*/ v.unwrap();");
+        assert!(!sf.code[0].contains("dial("));
+        assert!(!sf.code[1].contains(".unwrap()"));
+        assert!(sf.code[2].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn test_mod_regions_are_masked() {
+        let src = "fn hot() { v.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { v.unwrap(); }\n\
+                   }\n\
+                   fn hot2() { v.unwrap(); }";
+        let sf = ScrubbedFile::new(src);
+        assert_eq!(sf.test_mask, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: pump-module code with nothing to report — lookalike tokens
+// only appear where the scrubber must ignore them.
+
+fn pump(conn: &Conn) {
+    // `redial(` is not `dial(`; `unwrap_or` is not `unwrap()`.
+    schedule_redial(conn);
+    let v = maybe().unwrap_or(0);
+    let s = "strings may say dial( and .unwrap() freely";
+    /* block comments too: .sync_data( f.sync_all( read_loop( */
+    let c = 'u'; // char literals must not open strings: '"'
+    let msg = format!("{v}{s}{c}");
+    send(msg);
+}

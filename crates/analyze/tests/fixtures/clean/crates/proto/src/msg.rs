@@ -1,0 +1,9 @@
+// Fixture: every tag and every concrete Wire impl is referenced by the
+// fixture test file.
+
+msg_tags! {
+    0 => Hello,
+    1 => Ack,
+}
+
+impl Wire for Hello {}

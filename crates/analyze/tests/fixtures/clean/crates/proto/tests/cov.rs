@@ -1,0 +1,4 @@
+fn uses() {
+    let _ = Msg::Hello { node: 0 };
+    let _ = Msg::Ack { req: 1 };
+}

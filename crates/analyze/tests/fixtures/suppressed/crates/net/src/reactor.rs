@@ -1,0 +1,16 @@
+// Fixture: the same shapes as the trigger tree, every one carrying a
+// justified suppression or a SAFETY comment — the analyzer must report
+// nothing.
+
+fn hot_path(stream: &TcpStream) {
+    // stdchk-allow(no-blocking-on-pump): fixture — runs on the blocking lane
+    let conn = dial("127.0.0.1:1", TIMEOUT);
+    // stdchk-allow(no-unwrap-on-hot-paths): fixture — invariant holds by construction
+    let v = conn.unwrap();
+    let w = v.metadata().expect("meta"); // stdchk-allow(no-unwrap-on-hot-paths): same-line allows also work
+}
+
+fn raw(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees p is valid.
+    unsafe { *p }
+}

@@ -1,0 +1,38 @@
+// Fixture: trips every file-scoped rule at least once. Never compiled —
+// the analyzer integration tests point `stdchk_analyze::run` at the
+// tree this file lives in.
+
+fn hot_path(stream: &TcpStream) {
+    // Line 7: a blocking dial on a pump-reachable module.
+    let conn = dial("127.0.0.1:1", TIMEOUT);
+    // Line 9: an unwrap on a hot path.
+    let v = conn.unwrap();
+    // Line 11: an expect on a hot path.
+    v.metadata().expect("metadata");
+    // Not a violation: `redial(` is a different token.
+    schedule_redial("127.0.0.1:1");
+    // Not a violation: inside a string literal.
+    let s = "call .unwrap() and dial( things";
+    // stdchk-allow(no-blocking-on-pump):
+    let late = dial("empty reason above is itself a violation", TIMEOUT);
+}
+
+fn fsyncs(f: &File) {
+    f.sync_data().ok();
+    f.sync_all().ok();
+}
+
+fn raw(p: *const u8) -> u8 {
+    // Line 26: unsafe without a SAFETY comment.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine_here() {
+        let x = maybe().unwrap();
+        let y = dial("tests may block", TIMEOUT).expect("fine");
+        // Test-module unsafe is also exempt.
+        unsafe { poke() };
+    }
+}

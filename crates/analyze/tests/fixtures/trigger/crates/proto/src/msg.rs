@@ -1,0 +1,17 @@
+// Fixture: a tag table and Wire impls, some of which the fixture test
+// suite never references.
+
+msg_tags! {
+    0 => Hello,
+    1 => Forgotten,
+}
+
+impl Wire for Covered {}
+
+impl Wire for Orphan {}
+
+macro_rules! ids {
+    ($t:ident) => {
+        impl Wire for $t {}
+    };
+}

@@ -1,0 +1,7 @@
+// Fixture test file: references Hello and Covered, but neither
+// Forgotten nor Orphan. `HelloWorld` must not count as `Hello`.
+fn uses() {
+    let _ = Msg::Hello { node: 0 };
+    roundtrip::<Covered>();
+    let _ = HelloWorld;
+}

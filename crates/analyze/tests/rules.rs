@@ -1,0 +1,118 @@
+//! Rule behavior against the checked-in fixture trees, plus the CLI
+//! `--deny` contract. Each fixture reproduces the workspace path
+//! layout (`crates/net/src/reactor.rs`, …) so the rules' file lists
+//! resolve against it exactly as they do against the real repo.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use stdchk_analyze::{run, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_at(vs: &[Violation], rule: &str) -> Vec<usize> {
+    vs.iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn trigger_tree_fires_every_rule() {
+    let vs = run(&fixture("trigger"));
+    // no-blocking-on-pump: the dial (7) and the two fsyncs (21, 22) —
+    // not the redial, not the string, and the empty-reason allow (16)
+    // replaces the dial under it.
+    assert_eq!(rules_at(&vs, "no-blocking-on-pump"), vec![7, 16, 21, 22]);
+    // no-unwrap-on-hot-paths: the unwrap and the expect.
+    assert_eq!(rules_at(&vs, "no-unwrap-on-hot-paths"), vec![9, 11]);
+    // unsafe-needs-safety: the raw deref, not the test-module unsafe.
+    assert_eq!(rules_at(&vs, "unsafe-needs-safety"), vec![27]);
+    // wire-msg-coverage: Forgotten (tag table) and Orphan (Wire impl),
+    // not Covered/Hello, and not the `$t` macro template.
+    let wire: Vec<&str> = vs
+        .iter()
+        .filter(|v| v.rule == "wire-msg-coverage")
+        .map(|v| v.msg.split('`').nth(1).unwrap())
+        .collect();
+    assert_eq!(wire, vec!["Forgotten", "Orphan"]);
+}
+
+#[test]
+fn empty_reason_allow_is_its_own_violation() {
+    let vs = run(&fixture("trigger"));
+    let empties: Vec<&Violation> = vs
+        .iter()
+        .filter(|v| v.msg.contains("without a justification"))
+        .collect();
+    assert_eq!(empties.len(), 1, "{vs:?}");
+    assert_eq!(empties[0].line, 16);
+    assert_eq!(empties[0].rule, "no-blocking-on-pump");
+}
+
+#[test]
+fn suppressed_tree_is_clean() {
+    let vs = run(&fixture("suppressed"));
+    assert!(vs.is_empty(), "justified allows must silence rules: {vs:?}");
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let vs = run(&fixture("clean"));
+    assert!(vs.is_empty(), "lookalike tokens must not fire: {vs:?}");
+}
+
+#[test]
+fn violations_sort_and_render_stably() {
+    let vs = run(&fixture("trigger"));
+    let mut sorted = vs.clone();
+    sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    assert_eq!(
+        vs.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        sorted.iter().map(ToString::to_string).collect::<Vec<_>>(),
+    );
+    let first = vs[0].to_string();
+    assert!(
+        first.starts_with("crates/net/src/reactor.rs:7: no-blocking-on-pump: "),
+        "{first}"
+    );
+}
+
+#[test]
+fn deny_exits_nonzero_on_seeded_violations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stdchk-analyze"))
+        .args(["--deny", "--root"])
+        .arg(fixture("trigger"))
+        .output()
+        .expect("run analyzer binary");
+    assert!(
+        !out.status.success(),
+        "--deny must fail on a tree with violations"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-blocking-on-pump"), "{stdout}");
+}
+
+#[test]
+fn deny_exits_zero_on_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stdchk-analyze"))
+        .args(["--deny", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("run analyzer binary");
+    assert!(out.status.success(), "--deny must pass a clean tree");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The repo must stay analyzer-clean: this is the same gate CI runs
+    // via `cargo run -p stdchk-analyze -- --deny`, kept as a test so
+    // plain `cargo test` catches a regression without the extra step.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let vs = run(&root);
+    assert!(vs.is_empty(), "workspace has analyzer violations: {vs:#?}");
+}

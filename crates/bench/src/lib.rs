@@ -11,6 +11,8 @@
 //! scale. Absolute numbers are not the reproduction target — orderings,
 //! saturation points, and ratios are.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use stdchk_chunker::{Chunker, SimilarityTracker};

@@ -38,6 +38,8 @@
 //! assert_eq!(chunks[0].id, stdchk_proto::ChunkId::for_content(&image[..64 * 1024]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cbch;
 pub mod delta;
 pub mod fsch;

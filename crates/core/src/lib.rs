@@ -54,6 +54,8 @@
 //! assert!(mgr.poll_timeout().is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod benefactor;
 pub mod config;
 pub mod manager;

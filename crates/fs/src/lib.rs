@@ -63,6 +63,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod naming;
 
 use std::collections::HashMap;

@@ -24,7 +24,9 @@ use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use stdchk_util::ordlock::OrderedMutex;
+
+use crate::ranks;
 
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::payload::Payload;
@@ -97,6 +99,7 @@ impl ResolveClient {
         let mut stream = match self.stream.take() {
             Some(s) => s,
             None => {
+                // stdchk-allow(no-blocking-on-pump): blocking resolver RPC: ResolveClient runs on the blocking lane or the threaded backend's own threads, never a pump worker
                 let s = dial(&self.addr, DIAL_TIMEOUT).ok()?;
                 write_frame(
                     &mut &s,
@@ -123,6 +126,7 @@ impl ResolveClient {
             if remain.is_zero() {
                 return None;
             }
+            // stdchk-allow(no-blocking-on-pump): bounded manager RPC read on the resolver sideband; same threads as the dial above
             match read_frame_timeout(&mut stream, remain.max(Duration::from_millis(1))) {
                 Ok(Some(Msg::NodeAddrsReply { req: r, addrs })) if r == req => {
                     // Keep the warmed-up connection for the next lookup.
@@ -153,19 +157,19 @@ enum PeerState {
 /// completions synchronously.
 pub struct BenefEffects {
     store: Arc<dyn ChunkStore>,
-    mgr: Mutex<Link>,
+    mgr: OrderedMutex<Link>,
     /// Inbound data connections, keyed by their synthetic conn id: replies
     /// route through here no matter which thread pumps them.
-    conns: Mutex<HashMap<NodeId, Link>>,
+    conns: OrderedMutex<HashMap<NodeId, Link>>,
     /// Outbound replication connections to peer benefactors (real ids).
-    peers: Mutex<HashMap<NodeId, PeerState>>,
-    resolver: Mutex<ResolveClient>,
+    peers: OrderedMutex<HashMap<NodeId, PeerState>>,
+    resolver: OrderedMutex<ResolveClient>,
     /// Back-reference for peer reply readers and I/O-lane completions
     /// (set once at spawn, both backends).
-    host: Mutex<Option<Arc<BenefHost>>>,
+    host: OrderedMutex<Option<Arc<BenefHost>>>,
     /// Reactor-mode context for deferred peer dials (None under the
     /// threaded backend).
-    rapp: Mutex<Option<Arc<BenefApp>>>,
+    rapp: OrderedMutex<Option<Arc<BenefApp>>>,
     /// Durable store waits ride here instead of the executing pump
     /// (None: inline execution, the `STDCHK_IO_LANE=off` baseline).
     lane: Option<Arc<IoLane>>,
@@ -439,6 +443,7 @@ impl BenefEffects {
                 let Some(addr) = self.resolver.lock().resolve(to) else {
                     return;
                 };
+                // stdchk-allow(no-blocking-on-pump): threaded backend only: thread-per-connection, blocking is that backend's design
                 let Ok(stream) = dial(&addr, DIAL_TIMEOUT) else {
                     return;
                 };
@@ -458,6 +463,7 @@ impl BenefEffects {
                     thread::Builder::new()
                         .name("stdchk-benef-peer".into())
                         .spawn(move || {
+                            // stdchk-allow(no-blocking-on-pump): dedicated peer-reader thread (stdchk-benef-peer), not a pump worker
                             read_loop(reader, move |m| host.deliver(to, m));
                         })
                         .expect("spawn peer reader");
@@ -506,6 +512,7 @@ impl BenefEffects {
 fn dial_peer(effects: &Arc<BenefEffects>, app: &Arc<BenefApp>, to: NodeId, h: &ReactorHandle) {
     let link = (|| {
         let addr = effects.resolver.lock().resolve(to)?;
+        // stdchk-allow(no-blocking-on-pump): blocking-lane job: the reactor defers peer dials here precisely so pump workers never block
         let stream = dial(&addr, DIAL_TIMEOUT).ok()?;
         // prepare → bookkeep → arm: the kind entry must exist before any
         // worker can deliver this connection's first reply.
@@ -573,7 +580,7 @@ struct BenefApp {
     host: OnceLock<Arc<BenefHost>>,
     handle: OnceLock<WeakHandle>,
     /// Role of each live reactor connection.
-    kinds: Mutex<HashMap<ConnToken, BKind>>,
+    kinds: OrderedMutex<HashMap<ConnToken, BKind>>,
     /// Weak self-reference for redial jobs scheduled from callbacks.
     weak_self: OnceLock<std::sync::Weak<BenefApp>>,
     manager_addr: String,
@@ -607,6 +614,7 @@ fn mgr_redial(app: &Arc<BenefApp>, h: &ReactorHandle) {
         return;
     }
     let established = (|| {
+        // stdchk-allow(no-blocking-on-pump): blocking-lane job: manager redial runs off-pump with sends queued meanwhile
         let stream = dial(&app.manager_addr, DIAL_TIMEOUT).ok()?;
         let token = h.prepare(stream, ConnOpts::dial_default()).ok()?;
         app.kinds.lock().insert(token, BKind::Mgr);
@@ -755,6 +763,7 @@ impl BenefactorServer {
     fn spawn_reactor(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
         let listener = TcpListener::bind(&net.listen)?;
         let addr = listener.local_addr()?;
+        // stdchk-allow(no-blocking-on-pump): startup path on the caller's thread, before any pump worker exists
         let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
         write_frame(
             &mut &mgr_stream,
@@ -773,7 +782,7 @@ impl BenefactorServer {
         let app = Arc::new(BenefApp {
             host: OnceLock::new(),
             handle: OnceLock::new(),
-            kinds: Mutex::new(HashMap::new()),
+            kinds: OrderedMutex::new(ranks::BENEF_KINDS, "benef.kinds", HashMap::new()),
             weak_self: OnceLock::new(),
             manager_addr: net.manager_addr.clone(),
         });
@@ -801,12 +810,16 @@ impl BenefactorServer {
         }
         let effects = Arc::new(BenefEffects {
             store: net.store,
-            mgr: Mutex::new(mgr_link),
-            conns: Mutex::new(HashMap::new()),
-            peers: Mutex::new(HashMap::new()),
-            resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
-            host: Mutex::new(None),
-            rapp: Mutex::new(None),
+            mgr: OrderedMutex::new(ranks::BENEF_MGR, "benef.mgr", mgr_link),
+            conns: OrderedMutex::new(ranks::BENEF_CONNS, "benef.conns", HashMap::new()),
+            peers: OrderedMutex::new(ranks::BENEF_PEERS, "benef.peers", HashMap::new()),
+            resolver: OrderedMutex::new(
+                ranks::BENEF_RESOLVER,
+                "benef.resolver",
+                ResolveClient::new(&net.manager_addr),
+            ),
+            host: OrderedMutex::new(ranks::BENEF_HOST, "benef.host", None),
+            rapp: OrderedMutex::new(ranks::BENEF_RAPP, "benef.rapp", None),
             lane: lane.clone(),
             zerocopy: crate::zerocopy_enabled(),
         });
@@ -832,6 +845,7 @@ impl BenefactorServer {
     fn spawn_threaded(net: BenefactorNetConfig, opts: ServerOpts) -> io::Result<BenefactorServer> {
         let listener = TcpListener::bind(&net.listen)?;
         let addr = listener.local_addr()?;
+        // stdchk-allow(no-blocking-on-pump): startup path on the caller's thread (threaded backend)
         let mgr_stream = dial(&net.manager_addr, DIAL_TIMEOUT)?;
         let mgr = Sender::new(mgr_stream.try_clone()?);
         mgr.send(&Msg::Hello {
@@ -855,12 +869,16 @@ impl BenefactorServer {
         }
         let effects = Arc::new(BenefEffects {
             store: net.store,
-            mgr: Mutex::new(Link::Thread(mgr)),
-            conns: Mutex::new(HashMap::new()),
-            peers: Mutex::new(HashMap::new()),
-            resolver: Mutex::new(ResolveClient::new(&net.manager_addr)),
-            host: Mutex::new(None),
-            rapp: Mutex::new(None),
+            mgr: OrderedMutex::new(ranks::BENEF_MGR, "benef.mgr", Link::Thread(mgr)),
+            conns: OrderedMutex::new(ranks::BENEF_CONNS, "benef.conns", HashMap::new()),
+            peers: OrderedMutex::new(ranks::BENEF_PEERS, "benef.peers", HashMap::new()),
+            resolver: OrderedMutex::new(
+                ranks::BENEF_RESOLVER,
+                "benef.resolver",
+                ResolveClient::new(&net.manager_addr),
+            ),
+            host: OrderedMutex::new(ranks::BENEF_HOST, "benef.host", None),
+            rapp: OrderedMutex::new(ranks::BENEF_RAPP, "benef.rapp", None),
             lane: lane.clone(),
             // The blocking transport writes whole frames from one
             // buffer; the sendfile path needs the reactor's resumable
@@ -891,6 +909,7 @@ impl BenefactorServer {
                         }
                         if let Some(r) = reader.take() {
                             let h2 = Arc::clone(&host);
+                            // stdchk-allow(no-blocking-on-pump): dedicated manager-reader thread (stdchk-benef-mgr), not a pump worker
                             read_loop(r, move |msg| h2.deliver(MANAGER_NODE, msg));
                         }
                         // Disconnected: redial until it works.
@@ -899,6 +918,7 @@ impl BenefactorServer {
                                 return;
                             }
                             thread::sleep(Duration::from_millis(250));
+                            // stdchk-allow(no-blocking-on-pump): same dedicated manager-reader thread; redial loops here between read_loop sessions
                             let Ok(stream) = dial(&manager_addr, DIAL_TIMEOUT) else {
                                 continue;
                             };
@@ -1025,6 +1045,7 @@ fn serve_data_conn(host: Arc<BenefHost>, stream: TcpStream) {
         .lock()
         .insert(conn_id, Link::Thread(sender.clone()));
     let host2 = Arc::clone(&host);
+    // stdchk-allow(no-blocking-on-pump): threaded backend per-connection reader thread
     read_loop(reader, move |msg| match msg {
         Msg::Hello { .. } | Msg::Pong { .. } => {}
         Msg::Ping { nonce } => {

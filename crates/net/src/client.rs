@@ -46,7 +46,9 @@ use std::thread;
 use std::time::Duration;
 
 use crossbeam::channel;
-use parking_lot::{Condvar, Mutex};
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 use stdchk_chunker::delta::ChunkSignature;
 use stdchk_core::node::{Action, Completion, Node};
@@ -113,18 +115,18 @@ impl From<io::Error> for GridError {
 /// machine, a wait condition for blocking callers, and the stage spill file
 /// (used by staged write protocols; inert for reads).
 struct SessionShared<N> {
-    session: Mutex<N>,
+    session: OrderedMutex<N>,
     cv: Condvar,
-    stage: Mutex<Option<std::fs::File>>,
+    stage: OrderedMutex<Option<std::fs::File>>,
     stage_path: PathBuf,
 }
 
 impl<N> SessionShared<N> {
     fn new(session: N, stage_path: PathBuf) -> Arc<SessionShared<N>> {
         Arc::new(SessionShared {
-            session: Mutex::new(session),
+            session: OrderedMutex::new(ranks::CLIENT_SESSION, "client.session", session),
             cv: Condvar::new(),
-            stage: Mutex::new(None),
+            stage: OrderedMutex::new(ranks::CLIENT_STAGE, "client.stage", None),
             stage_path,
         })
     }
@@ -233,7 +235,7 @@ impl GridRuntime {
     /// As [`GridRuntime::new`].
     pub fn with_workers(workers: usize) -> io::Result<Arc<GridRuntime>> {
         let app = Arc::new(GridApp {
-            conns: Mutex::new(HashMap::new()),
+            conns: OrderedMutex::new(ranks::CLIENT_APP_CONNS, "client.app.conns", HashMap::new()),
         });
         let reactor = Reactor::new(
             Clock::new(),
@@ -276,7 +278,7 @@ impl GridRuntime {
 /// the owning grid. Holds only `Weak` grid references — dropping every
 /// `Grid` clone tears the grid down even while the runtime lives on.
 struct GridApp {
-    conns: Mutex<HashMap<ConnToken, (Weak<GridInner>, ConnKind)>>,
+    conns: OrderedMutex<HashMap<ConnToken, (Weak<GridInner>, ConnKind)>>,
 }
 
 impl GridApp {
@@ -338,9 +340,9 @@ struct GridInner {
     my_node: NodeId,
     next_req: AtomicU64,
     next_sid: AtomicU64,
-    routes: Mutex<HashMap<RequestId, Route>>,
-    benefs: Mutex<HashMap<NodeId, BenefEntry>>,
-    addr_cache: Mutex<HashMap<NodeId, String>>,
+    routes: OrderedMutex<HashMap<RequestId, Route>>,
+    benefs: OrderedMutex<HashMap<NodeId, BenefEntry>>,
+    addr_cache: OrderedMutex<HashMap<NodeId, String>>,
     timeout: Duration,
     stage_dir: PathBuf,
     backend: ClientBackend,
@@ -348,7 +350,7 @@ struct GridInner {
     /// chunk signatures and placements feeding the *next* version of the
     /// same file. Purely an optimization cache: a stale or missing entry
     /// only means a chunk ships in full instead of as a delta.
-    signatures: Mutex<HashMap<String, PathBases>>,
+    signatures: OrderedMutex<HashMap<String, PathBases>>,
 }
 
 impl Drop for GridInner {
@@ -356,10 +358,22 @@ impl Drop for GridInner {
         if let ClientBackend::Reactor { rt, mgr_token } = &self.backend {
             // Deregister this grid's connections from the shared runtime.
             rt.handle().close(*mgr_token);
-            for (_, entry) in self.benefs.lock().drain() {
-                if let BenefEntry::Up(link) = entry {
-                    link.shutdown();
-                }
+            // Collect under the lock, shut down after releasing it: a
+            // close runs `GridApp::on_close` inline on this thread, which
+            // re-enters the grid's route/link locks (the PR 4 deadlock
+            // shape — only the mid-drop failing weak upgrade masked it
+            // here).
+            let links: Vec<Link> = self
+                .benefs
+                .lock()
+                .drain()
+                .filter_map(|(_, entry)| match entry {
+                    BenefEntry::Up(link) => Some(link),
+                    BenefEntry::Dialing(_) => None,
+                })
+                .collect();
+            for link in links {
+                link.shutdown();
             }
         }
     }
@@ -440,6 +454,7 @@ impl Grid {
         // Bootstrap handshake stays blocking (with connect + read
         // timeouts): one frame in, one frame out, before the socket moves
         // onto the reactor.
+        // stdchk-allow(no-blocking-on-pump): bootstrap handshake on the caller's thread, before the socket joins the reactor
         let stream = dial(addr, DIAL_TIMEOUT)?;
         write_hello(&stream)?;
         let mut handshake = stream;
@@ -456,16 +471,24 @@ impl Grid {
             my_node,
             next_req: AtomicU64::new(1),
             next_sid: AtomicU64::new(1),
-            routes: Mutex::new(HashMap::new()),
-            benefs: Mutex::new(HashMap::new()),
-            addr_cache: Mutex::new(HashMap::new()),
+            routes: OrderedMutex::new(ranks::CLIENT_ROUTES, "client.routes", HashMap::new()),
+            benefs: OrderedMutex::new(ranks::CLIENT_BENEFS, "client.benefs", HashMap::new()),
+            addr_cache: OrderedMutex::new(
+                ranks::CLIENT_ADDR_CACHE,
+                "client.addr_cache",
+                HashMap::new(),
+            ),
             timeout: Duration::from_secs(10),
             stage_dir: std::env::temp_dir(),
             backend: ClientBackend::Reactor {
                 rt: Arc::clone(rt),
                 mgr_token,
             },
-            signatures: Mutex::new(HashMap::new()),
+            signatures: OrderedMutex::new(
+                ranks::CLIENT_SIGNATURES,
+                "client.signatures",
+                HashMap::new(),
+            ),
         });
         rt.app
             .conns
@@ -477,6 +500,7 @@ impl Grid {
 
     /// Legacy thread-per-connection client.
     fn connect_threaded(addr: &str) -> Result<Grid, GridError> {
+        // stdchk-allow(no-blocking-on-pump): threaded backend: connect runs on the caller's thread
         let stream = dial(addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender.send(&Msg::Hello {
@@ -493,13 +517,21 @@ impl Grid {
             my_node,
             next_req: AtomicU64::new(1),
             next_sid: AtomicU64::new(1),
-            routes: Mutex::new(HashMap::new()),
-            benefs: Mutex::new(HashMap::new()),
-            addr_cache: Mutex::new(HashMap::new()),
+            routes: OrderedMutex::new(ranks::CLIENT_ROUTES, "client.routes", HashMap::new()),
+            benefs: OrderedMutex::new(ranks::CLIENT_BENEFS, "client.benefs", HashMap::new()),
+            addr_cache: OrderedMutex::new(
+                ranks::CLIENT_ADDR_CACHE,
+                "client.addr_cache",
+                HashMap::new(),
+            ),
             timeout: Duration::from_secs(10),
             stage_dir: std::env::temp_dir(),
             backend: ClientBackend::Threaded,
-            signatures: Mutex::new(HashMap::new()),
+            signatures: OrderedMutex::new(
+                ranks::CLIENT_SIGNATURES,
+                "client.signatures",
+                HashMap::new(),
+            ),
         });
         // Manager reply pump. Session-routed messages are handed to a
         // separate dispatcher thread: a session pump can issue a blocking
@@ -527,6 +559,7 @@ impl Grid {
                 .name("stdchk-grid-mgr".into())
                 .spawn(move || {
                     let grid = Grid { inner: inner2 };
+                    // stdchk-allow(no-blocking-on-pump): dedicated manager-reader thread (stdchk-grid-mgr), not a pump worker
                     read_loop(reader, move |msg| {
                         deliver_reply_offloaded(&grid, msg, &dispatch_tx)
                     });
@@ -787,6 +820,7 @@ impl Grid {
             return Ok(l.clone());
         }
         let addr = self.resolve(node)?;
+        // stdchk-allow(no-blocking-on-pump): threaded backend: inline dial on the caller's session thread is that backend's design
         let stream = dial(&addr, DIAL_TIMEOUT)?;
         let sender = Sender::new(stream.try_clone()?);
         sender.send(&Msg::Hello {
@@ -799,6 +833,7 @@ impl Grid {
             .name("stdchk-grid-benef".into())
             .spawn(move || {
                 let grid = Grid { inner: inner2 };
+                // stdchk-allow(no-blocking-on-pump): dedicated benefactor-reader thread (stdchk-grid-benef), not a pump worker
                 read_loop(reader, |msg| deliver_reply(&grid, msg));
                 // EOF or error: the benefactor is gone. Fail everything in
                 // flight on this connection so sessions retry elsewhere.
@@ -898,6 +933,7 @@ fn write_hello(stream: &std::net::TcpStream) -> Result<(), GridError> {
 /// Reads the manager's identity-assigning Hello reply, bounded by the
 /// dial timeout so a silent manager cannot wedge the caller.
 fn read_hello_reply(stream: &mut std::net::TcpStream) -> Result<NodeId, GridError> {
+    // stdchk-allow(no-blocking-on-pump): bounded handshake read on the caller's thread, before the socket joins the reactor
     match read_frame_timeout(stream, DIAL_TIMEOUT) {
         Ok(Some(Msg::Hello { node, .. })) => Ok(node),
         Ok(other) => Err(GridError::Protocol(format!(
@@ -1027,6 +1063,7 @@ fn dial_benefactor(grid: &Grid, node: NodeId) {
     };
     let established: Result<Link, GridError> = (|| {
         let addr = grid.resolve(node)?;
+        // stdchk-allow(no-blocking-on-pump): blocking-lane job: benefactor dials run off-pump with sends queued meanwhile
         let stream = dial(&addr, DIAL_TIMEOUT)?;
         let token = rt.register(&Arc::downgrade(&grid.inner), ConnKind::Benef(node), stream)?;
         let link = Link::Event {

@@ -5,7 +5,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use stdchk_util::ordlock::OrderedMutex;
+
+use crate::ranks;
 
 use stdchk_proto::frame::{read_frame, write_frame};
 use stdchk_proto::msg::Msg;
@@ -93,7 +95,7 @@ impl Clock {
 /// A shareable write half: many threads may send frames on one socket.
 #[derive(Clone)]
 pub struct Sender {
-    stream: Arc<Mutex<TcpStream>>,
+    stream: Arc<OrderedMutex<TcpStream>>,
 }
 
 impl std::fmt::Debug for Sender {
@@ -107,7 +109,7 @@ impl Sender {
     /// [`Sender::reader`] before wrapping.
     pub fn new(stream: TcpStream) -> Sender {
         Sender {
-            stream: Arc::new(Mutex::new(stream)),
+            stream: Arc::new(OrderedMutex::new(ranks::CONN_STREAM, "conn.stream", stream)),
         }
     }
 

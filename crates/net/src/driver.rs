@@ -21,7 +21,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 use stdchk_core::node::{Action, Completion, Node};
 use stdchk_proto::ids::NodeId;
@@ -80,23 +82,23 @@ struct OrderState {
 /// A sans-IO node hosted behind a lock, with a shared clock, an effects
 /// executor, and a timer the event loop sleeps on.
 pub struct NodeHost<N, E> {
-    node: Mutex<N>,
+    node: OrderedMutex<N>,
     clock: Clock,
     effects: E,
-    timer_gate: Mutex<()>,
+    timer_gate: OrderedMutex<()>,
     timer_cv: Condvar,
     shutdown: AtomicBool,
     /// When set, drained batches execute strictly in pop order, one at a
     /// time (see [`NodeHost::new_ordered`]).
     ordered: bool,
-    order: Mutex<OrderState>,
+    order: OrderedMutex<OrderState>,
     order_cv: Condvar,
 }
 
 /// Advances the batch-order turn even if the executing thread unwinds,
 /// so a panicking effect cannot wedge every other pump.
 struct TurnGuard<'a> {
-    order: &'a Mutex<OrderState>,
+    order: &'a OrderedMutex<OrderState>,
     cv: &'a Condvar,
 }
 
@@ -131,14 +133,14 @@ impl<N: Node + Send + 'static, E: Effects> NodeHost<N, E> {
 
     fn build(node: N, clock: Clock, effects: E, ordered: bool) -> Arc<NodeHost<N, E>> {
         Arc::new(NodeHost {
-            node: Mutex::new(node),
+            node: OrderedMutex::new(ranks::NODE, "host.node", node),
             clock,
             effects,
-            timer_gate: Mutex::new(()),
+            timer_gate: OrderedMutex::new(ranks::NODE_TIMER, "host.timer_gate", ()),
             timer_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             ordered,
-            order: Mutex::new(OrderState::default()),
+            order: OrderedMutex::new(ranks::NODE_ORDER, "host.order", OrderState::default()),
             order_cv: Condvar::new(),
         })
     }
@@ -310,10 +312,16 @@ pub fn spawn_node_loop<N: Node + Send + 'static, E: Effects>(
     name: &str,
     host: Arc<NodeHost<N, E>>,
 ) {
-    std::thread::Builder::new()
+    if let Err(e) = std::thread::Builder::new()
         .name(name.to_string())
         .spawn(move || run_node(&host))
-        .expect("spawn node loop");
+    {
+        // Fail-stop, not unwind: without its loop thread the node never
+        // pumps another action, so timers and retries die silently while
+        // the sockets stay open — a half-alive server.
+        eprintln!("stdchk node loop {name}: fatal: cannot spawn thread: {e}");
+        std::process::abort();
+    }
 }
 
 #[cfg(test)]

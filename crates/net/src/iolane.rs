@@ -37,7 +37,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::{Condvar, Mutex};
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 /// One queued unit of blocking disk work plus its completion.
 type Job = Box<dyn FnOnce() + Send>;
@@ -65,7 +67,7 @@ impl Default for IoLaneConfig {
 }
 
 struct Inner {
-    jobs: Mutex<VecDeque<Job>>,
+    jobs: OrderedMutex<VecDeque<Job>>,
     /// Wakes workers when jobs arrive and submitters when space frees.
     cv: Condvar,
     capacity: usize,
@@ -85,7 +87,7 @@ thread_local! {
 /// [`IoLane::shutdown`] or drop.
 pub struct IoLane {
     inner: Arc<Inner>,
-    joins: Mutex<Vec<thread::JoinHandle<()>>>,
+    joins: OrderedMutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for IoLane {
@@ -105,7 +107,7 @@ impl IoLane {
     /// Starts a lane with explicit [`IoLaneConfig`] tuning.
     pub fn with_config(cfg: IoLaneConfig) -> IoLane {
         let inner = Arc::new(Inner {
-            jobs: Mutex::new(VecDeque::new()),
+            jobs: OrderedMutex::new(ranks::IOLANE_JOBS, "iolane.jobs", VecDeque::new()),
             cv: Condvar::new(),
             capacity: cfg.capacity.max(1),
             shutdown: AtomicBool::new(false),
@@ -118,12 +120,18 @@ impl IoLane {
                 thread::Builder::new()
                     .name(format!("stdchk-io-{idx}"))
                     .spawn(move || worker_loop(&inner2))
-                    .expect("spawn io lane worker"),
+                    .unwrap_or_else(|e| {
+                        // Fail-stop, not unwind: a lane missing workers
+                        // accepts jobs that no thread will ever run, and
+                        // every durable write queued to it then hangs.
+                        eprintln!("stdchk io lane: fatal: cannot spawn worker thread: {e}");
+                        std::process::abort()
+                    }),
             );
         }
         IoLane {
             inner,
-            joins: Mutex::new(joins),
+            joins: OrderedMutex::new(ranks::IOLANE_JOINS, "iolane.joins", joins),
         }
     }
 
@@ -275,7 +283,10 @@ mod tests {
             workers: 1,
             capacity: 1,
         });
-        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate = Arc::new((
+            OrderedMutex::new(ranks::TEST, "test.gate", false),
+            Condvar::new(),
+        ));
         // Occupy the worker until released.
         let g2 = Arc::clone(&gate);
         assert!(lane.submit(move || {

@@ -73,6 +73,7 @@ pub mod iolane;
 pub mod log;
 pub mod manager_server;
 pub mod metalog;
+pub mod ranks;
 pub mod reactor;
 pub mod store;
 pub mod uring;

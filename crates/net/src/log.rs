@@ -30,9 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
-
 use stdchk_util::crc32::Crc32;
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 /// Framed-record header size: `len (4) ‖ kind (1) ‖ key (32) ‖ crc32c (4)`.
 pub const HEADER: usize = 4 + 1 + 32 + 4;
@@ -74,6 +75,25 @@ pub struct Record {
     pub payload: Vec<u8>,
 }
 
+/// Little-endian `u32` at `b[off..off + 4]`.
+///
+/// Infallible by construction at every call site: the buffers are
+/// fixed-size headers (or 32-byte keys) filled by a checked
+/// `read_exact_at`, so the slice is always in bounds and the
+/// `try_into().unwrap()` this replaces could never actually fail — but
+/// a literal `.unwrap()` on a hot path is indistinguishable from a
+/// latent panic in review, so the conversion lives here once, named.
+pub(crate) fn le_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+/// Little-endian `u64` at `b[off..off + 8]`; see [`le_u32`].
+pub(crate) fn le_u64(b: &[u8], off: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(v)
+}
+
 /// Reads and CRC-verifies the record at `off`. `Ok(None)` means the bytes
 /// at `off` do not frame a valid record with `kind <= max_kind` — at the
 /// end of an append segment, that is a torn tail.
@@ -92,7 +112,7 @@ pub fn read_record(
     }
     let mut header = [0u8; HEADER];
     file.read_exact_at(&mut header, off)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let len = le_u32(&header, 0);
     let kind = header[4];
     if len > MAX_RECORD
         || kind > max_kind
@@ -102,7 +122,7 @@ pub fn read_record(
     }
     let mut key = [0u8; 32];
     key.copy_from_slice(&header[5..37]);
-    let stored_crc = u32::from_le_bytes(header[37..41].try_into().unwrap());
+    let stored_crc = le_u32(&header, 37);
     let mut payload = vec![0u8; len as usize];
     file.read_exact_at(&mut payload, off + HEADER as u64)?;
     let mut crc = Crc32::new();
@@ -300,7 +320,7 @@ struct CommitState {
 /// trick databases use for their WAL, with the flusher shape
 /// additionally overlapping writeback with ongoing appends/checksums.
 pub struct GroupCommit {
-    commit: Mutex<CommitState>,
+    commit: OrderedMutex<CommitState>,
     /// Wakes the flusher when appends outrun the durable watermark.
     work_cv: Condvar,
     /// Wakes committers when the durable watermark advances.
@@ -324,10 +344,14 @@ impl GroupCommit {
     /// recovery found on disk).
     pub fn new(durable: u64) -> GroupCommit {
         GroupCommit {
-            commit: Mutex::new(CommitState {
-                durable,
-                failed: false,
-            }),
+            commit: OrderedMutex::new(
+                ranks::GC_COMMIT,
+                "log.gc.commit",
+                CommitState {
+                    durable,
+                    failed: false,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             appended: AtomicU64::new(durable),

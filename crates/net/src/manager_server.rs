@@ -36,7 +36,9 @@ use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use stdchk_util::ordlock::OrderedMutex;
+
+use crate::ranks;
 
 use stdchk_core::node::{Action, Completion};
 use stdchk_core::{Manager, ManagerStats, PoolConfig};
@@ -94,14 +96,14 @@ struct Outbox {
 /// `MetaAppend` actions land in, and the disk I/O lane its group-commit
 /// waits ride on.
 pub struct MgrEffects {
-    conns: Mutex<HashMap<NodeId, Link>>,
+    conns: OrderedMutex<HashMap<NodeId, Link>>,
     next_client: AtomicU64,
     next_helper: AtomicU64,
     metalog: Option<Arc<MetaLog>>,
     /// Durable waits ride here instead of the executing pump (None:
     /// inline execution, the `STDCHK_IO_LANE=off` baseline).
     lane: Option<Arc<IoLane>>,
-    outbox: Mutex<Outbox>,
+    outbox: OrderedMutex<Outbox>,
 }
 
 impl MgrEffects {
@@ -353,7 +355,7 @@ struct MgrApp {
     host: OnceLock<Arc<NodeHost<Manager, Arc<MgrEffects>>>>,
     handle: OnceLock<crate::reactor::WeakHandle>,
     /// Identities bound by each live connection.
-    bound: Mutex<HashMap<ConnToken, Vec<NodeId>>>,
+    bound: OrderedMutex<HashMap<ConnToken, Vec<NodeId>>>,
 }
 
 impl MgrApp {
@@ -480,7 +482,7 @@ pub struct ManagerServer {
     /// The snapshot-installer thread (durable mode): joined on shutdown
     /// so its `Arc<MetaLog>` — and with it the log directory `LOCK` —
     /// is released promptly for a successor.
-    snapshotter: Mutex<Option<thread::JoinHandle<()>>>,
+    snapshotter: OrderedMutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ManagerServer {
@@ -612,12 +614,12 @@ impl ManagerServer {
             log.set_io_lane(Arc::clone(lane));
         }
         let effects = Arc::new(MgrEffects {
-            conns: Mutex::new(HashMap::new()),
+            conns: OrderedMutex::new(ranks::MGR_CONNS, "mgr.conns", HashMap::new()),
             next_client: AtomicU64::new(CLIENT_NET_BASE),
             next_helper: AtomicU64::new(HELPER_NET_BASE),
             metalog: metalog.clone(),
             lane: lane.clone(),
-            outbox: Mutex::new(Outbox::default()),
+            outbox: OrderedMutex::new(ranks::MGR_OUTBOX, "mgr.outbox", Outbox::default()),
         });
         // Ordered host: WAL appends are queued ahead of the replies they
         // guard, and only in-order batch execution makes that
@@ -637,7 +639,7 @@ impl ManagerServer {
                 let app = Arc::new(MgrApp {
                     host: OnceLock::new(),
                     handle: OnceLock::new(),
-                    bound: Mutex::new(HashMap::new()),
+                    bound: OrderedMutex::new(ranks::MGR_BOUND, "mgr.bound", HashMap::new()),
                 });
                 let _ = app.host.set(Arc::clone(&host));
                 let reactor = Reactor::new(
@@ -716,7 +718,7 @@ impl ManagerServer {
             addr,
             reactor,
             lane,
-            snapshotter: Mutex::new(snapshotter),
+            snapshotter: OrderedMutex::new(ranks::MGR_SNAPSHOTTER, "mgr.snapshotter", snapshotter),
         })
     }
 
@@ -832,6 +834,7 @@ fn serve_conn(host: Arc<NodeHost<Manager, Arc<MgrEffects>>>, stream: TcpStream) 
         let host = Arc::clone(&host);
         let link = link.clone();
         let bound = &mut bound_ids;
+        // stdchk-allow(no-blocking-on-pump): threaded backend per-connection reader thread
         read_loop(reader, move |msg| {
             if let Some((from, msg)) = route_inbound(host.effects(), bound, &link, msg) {
                 host.deliver(from, msg);

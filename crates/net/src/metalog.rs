@@ -62,7 +62,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 use stdchk_proto::codec::Wire;
 use stdchk_proto::meta::{MetaRecord, MetaSnapshot};
@@ -170,7 +172,7 @@ struct Inner {
 }
 
 struct Core {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     /// Wakes appenders waiting for their predecessor's order slot.
     order_cv: Condvar,
     gc: GroupCommit,
@@ -183,11 +185,11 @@ pub struct MetaLog {
     core: Arc<Core>,
     /// Serializes [`MetaLog::install_with`] calls (their second phase
     /// runs outside the append lock).
-    install_mx: Mutex<()>,
+    install_mx: OrderedMutex<()>,
     /// When attached ([`MetaLog::set_io_lane`]), snapshot installs run
     /// their fsync/prune phase on the lane instead of the caller.
-    lane: Mutex<Option<Arc<IoLane>>>,
-    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    lane: OrderedMutex<Option<Arc<IoLane>>>,
+    flusher: OrderedMutex<Option<std::thread::JoinHandle<()>>>,
     _dir_lock: DirLock,
 }
 
@@ -316,7 +318,7 @@ impl MetaLog {
             let file_len = file.metadata()?.len();
             let mut decode_err = None;
             let valid = scan_records(&file, file_len, KIND_META, |_, rec| {
-                let seq = u64::from_le_bytes(rec.key[..8].try_into().unwrap());
+                let seq = crate::log::le_u64(&rec.key, 0);
                 if seen_seq && seq != next_seq {
                     decode_err = Some(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -362,16 +364,20 @@ impl MetaLog {
         };
 
         let core = Arc::new(Core {
-            inner: Mutex::new(Inner {
-                active,
-                file,
-                active_len,
-                appended,
-                next_seq,
-                expected_order: 0,
-                records_since_snapshot: records.len() as u64,
-                pending_seals: Vec::new(),
-            }),
+            inner: OrderedMutex::new(
+                ranks::METALOG_INNER,
+                "metalog.inner",
+                Inner {
+                    active,
+                    file,
+                    active_len,
+                    appended,
+                    next_seq,
+                    expected_order: 0,
+                    records_since_snapshot: records.len() as u64,
+                    pending_seals: Vec::new(),
+                },
+            ),
             order_cv: Condvar::new(),
             gc: GroupCommit::new(appended),
         });
@@ -397,9 +403,9 @@ impl MetaLog {
                 dir,
                 cfg,
                 core,
-                install_mx: Mutex::new(()),
-                lane: Mutex::new(None),
-                flusher: Mutex::new(flusher),
+                install_mx: OrderedMutex::new(ranks::METALOG_INSTALL, "metalog.install", ()),
+                lane: OrderedMutex::new(ranks::METALOG_LANE, "metalog.lane", None),
+                flusher: OrderedMutex::new(ranks::METALOG_FLUSHER, "metalog.flusher", flusher),
                 _dir_lock: dir_lock,
             },
             MetaRecovery { snapshot, records },
@@ -756,7 +762,7 @@ fn read_snapshot(path: &Path) -> Option<(MetaSnapshot, u64)> {
     if rec.kind != KIND_SNAPSHOT || record_size(rec.payload.len() as u32) != len {
         return None;
     }
-    let seq = u64::from_le_bytes(rec.key[..8].try_into().unwrap());
+    let seq = crate::log::le_u64(&rec.key, 0);
     MetaSnapshot::from_wire_bytes(&rec.payload)
         .ok()
         .map(|s| (s, seq))

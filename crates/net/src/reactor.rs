@@ -37,7 +37,9 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use stdchk_util::ordlock::{Condvar, OrderedMutex};
+
+use crate::ranks;
 
 use stdchk_proto::frame::{FrameDecoder, FrameEncoder, MAX_FRAME};
 use stdchk_proto::msg::Msg;
@@ -92,6 +94,11 @@ mod sys {
     pub fn send_file(out_fd: i32, in_fd: i32, offset: u64, count: usize) -> io::Result<usize> {
         // Kernel caps a single sendfile at ~2 GiB; clamp well under it.
         let mut off = offset as i64;
+        // SAFETY: both fds are owned by the caller and open for the
+        // duration of the call; `off` is a live stack slot the kernel
+        // writes back through; the count clamp keeps the request inside
+        // the syscall's documented range. sendfile touches no user
+        // memory besides `off`.
         let n = unsafe { sendfile(out_fd, in_fd, &mut off, count.min(1 << 30)) };
         if n < 0 {
             return Err(io::Error::last_os_error());
@@ -100,6 +107,8 @@ mod sys {
     }
 
     pub fn epoll_create() -> io::Result<i32> {
+        // SAFETY: no pointers cross the boundary; the flag constant
+        // matches the kernel ABI. The returned fd (or -1) is checked.
         let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -112,6 +121,8 @@ mod sys {
             events,
             data: token,
         };
+        // SAFETY: `ev` is a live, properly `#[repr(C)]`-laid-out stack
+        // struct for the duration of the call; the kernel only reads it.
         let r = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
         if r < 0 {
             return Err(io::Error::last_os_error());
@@ -142,6 +153,10 @@ mod sys {
     ///
     /// The `epoll_wait` errno, except `EINTR`.
     pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the pointer/len pair comes from a live `&mut [_]`, so
+        // the kernel writes at most `events.len()` records into memory we
+        // exclusively own; `EpollEvent` is plain old data, valid for any
+        // byte pattern the kernel stores.
         let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
         if n < 0 {
             let err = io::Error::last_os_error();
@@ -154,6 +169,8 @@ mod sys {
     }
 
     pub fn eventfd_new() -> io::Result<i32> {
+        // SAFETY: no pointers cross the boundary; flags match the
+        // kernel ABI; the returned fd (or -1) is checked.
         let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -163,6 +180,10 @@ mod sys {
 
     pub fn eventfd_wake(fd: i32) {
         let one: u64 = 1;
+        // SAFETY: the kernel reads exactly 8 bytes from `one`, a live
+        // stack u64. A failed write (full counter) is deliberately
+        // ignored: the eventfd is already signaled, which is all a wake
+        // needs.
         unsafe {
             let _ = write(fd, (&one as *const u64).cast(), 8);
         }
@@ -170,12 +191,18 @@ mod sys {
 
     pub fn eventfd_drain(fd: i32) {
         let mut buf = [0u8; 8];
+        // SAFETY: the kernel writes at most 8 bytes into `buf`, a live
+        // 8-byte stack array. EAGAIN (nothing to drain) is the expected
+        // no-op and is deliberately ignored.
         unsafe {
             let _ = read(fd, buf.as_mut_ptr().cast(), 8);
         }
     }
 
     pub fn close_fd(fd: i32) {
+        // SAFETY: no memory crosses the boundary. Callers pass fds they
+        // own exactly once (registry removal precedes the close), so no
+        // double-close can invalidate a reused descriptor.
         unsafe {
             let _ = close(fd);
         }
@@ -547,8 +574,8 @@ struct ConnShared {
     worker: usize,
     opts: ConnOpts,
     stats: ConnStats,
-    dec: Mutex<FrameDecoder>,
-    out: Mutex<Outbound>,
+    dec: OrderedMutex<FrameDecoder>,
+    out: OrderedMutex<Outbound>,
     /// Milliseconds since reactor start of the last inbound byte.
     last_read_ms: AtomicU64,
     /// Milliseconds of the last outbound write progress (any byte the
@@ -577,8 +604,8 @@ struct Inner {
     clock: Clock,
     app: Arc<dyn ReactorApp>,
     workers: Vec<WorkerIo>,
-    conns: Mutex<HashMap<ConnToken, Arc<ConnShared>>>,
-    listeners: Mutex<HashMap<u64, ListenerEntry>>,
+    conns: OrderedMutex<HashMap<ConnToken, Arc<ConnShared>>>,
+    listeners: OrderedMutex<HashMap<u64, ListenerEntry>>,
     next_token: AtomicU64,
     next_listener: AtomicU64,
     next_worker: AtomicUsize,
@@ -589,9 +616,9 @@ struct Inner {
     timer_dirty: AtomicBool,
     /// Counters of connections that already closed, so
     /// [`ReactorHandle::transport_stats`] stays cumulative.
-    dead_stats: Mutex<TransportStats>,
+    dead_stats: OrderedMutex<TransportStats>,
     epoch: Instant,
-    jobs: Mutex<Vec<(Instant, u64, BlockingJob)>>,
+    jobs: OrderedMutex<Vec<(Instant, u64, BlockingJob)>>,
     job_seq: AtomicU64,
     job_cv: Condvar,
 }
@@ -670,7 +697,7 @@ impl Default for ReactorConfig {
 /// joins its threads) on [`Reactor::shutdown`] or drop.
 pub struct Reactor {
     handle: ReactorHandle,
-    joins: Mutex<Vec<thread::JoinHandle<()>>>,
+    joins: OrderedMutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Reactor {
@@ -715,28 +742,38 @@ impl Reactor {
             clock,
             app,
             workers,
-            conns: Mutex::new(HashMap::new()),
-            listeners: Mutex::new(HashMap::new()),
+            conns: OrderedMutex::new(ranks::REACTOR_CONNS, "reactor.conns", HashMap::new()),
+            listeners: OrderedMutex::new(
+                ranks::REACTOR_LISTENERS,
+                "reactor.listeners",
+                HashMap::new(),
+            ),
             next_token: AtomicU64::new(1),
             next_listener: AtomicU64::new(1),
             next_worker: AtomicUsize::new(0),
             next_ping: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             timer_dirty: AtomicBool::new(false),
-            dead_stats: Mutex::new(TransportStats::default()),
+            dead_stats: OrderedMutex::new(
+                ranks::REACTOR_DEAD_STATS,
+                "reactor.dead_stats",
+                TransportStats::default(),
+            ),
             epoch: Instant::now(),
-            jobs: Mutex::new(Vec::new()),
+            jobs: OrderedMutex::new(ranks::REACTOR_JOBS, "reactor.jobs", Vec::new()),
             job_seq: AtomicU64::new(0),
             job_cv: Condvar::new(),
         });
         let mut joins = Vec::with_capacity(nworkers + 1);
         for idx in 0..nworkers {
             let inner2 = Arc::clone(&inner);
+            // Spawn failure (thread limit / OOM) at startup propagates:
+            // a reactor with fewer workers than its epoll sets expect
+            // would strand the connections hashed to the missing one.
             joins.push(
                 thread::Builder::new()
                     .name(format!("stdchk-react-{idx}"))
-                    .spawn(move || worker_loop(&inner2, idx))
-                    .expect("spawn reactor worker"),
+                    .spawn(move || worker_loop(&inner2, idx))?,
             );
         }
         {
@@ -746,13 +783,12 @@ impl Reactor {
             joins.push(
                 thread::Builder::new()
                     .name("stdchk-react-dial".into())
-                    .spawn(move || blocking_loop(handle))
-                    .expect("spawn reactor blocking lane"),
+                    .spawn(move || blocking_loop(handle))?,
             );
         }
         Ok(Reactor {
             handle: ReactorHandle { inner },
-            joins: Mutex::new(joins),
+            joins: OrderedMutex::new(ranks::REACTOR_JOINS, "reactor.joins", joins),
         })
     }
 
@@ -871,12 +907,20 @@ impl ReactorHandle {
             worker,
             opts,
             stats: ConnStats::default(),
-            dec: Mutex::new(FrameDecoder::new(opts.max_frame)),
-            out: Mutex::new(Outbound {
-                q: std::collections::VecDeque::new(),
-                epollout: false,
-                closed: false,
-            }),
+            dec: OrderedMutex::new(
+                ranks::REACTOR_DEC,
+                "conn.dec",
+                FrameDecoder::new(opts.max_frame),
+            ),
+            out: OrderedMutex::new(
+                ranks::REACTOR_OUT,
+                "conn.out",
+                Outbound {
+                    q: std::collections::VecDeque::new(),
+                    epollout: false,
+                    closed: false,
+                },
+            ),
             last_read_ms: AtomicU64::new(self.now_ms()),
             last_write_ms: AtomicU64::new(self.now_ms()),
             last_ping_ms: AtomicU64::new(0),
@@ -1485,6 +1529,7 @@ fn blocking_loop(handle: ReactorHandle) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::io::Write;
     use stdchk_proto::ids::RequestId;
 

@@ -47,7 +47,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use stdchk_util::ordlock::OrderedMutex;
+
+use crate::ranks;
 
 use stdchk_proto::ids::ChunkId;
 use stdchk_util::sha256::Sha256;
@@ -233,15 +235,23 @@ pub trait ChunkStore: Send + Sync + 'static {
 }
 
 /// In-memory store for tests and ephemeral pools.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStore {
-    blobs: Mutex<HashMap<ChunkId, Bytes>>,
+    blobs: OrderedMutex<HashMap<ChunkId, Bytes>>,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore::new()
+    }
 }
 
 impl MemStore {
     /// Creates an empty store.
     pub fn new() -> MemStore {
-        MemStore::default()
+        MemStore {
+            blobs: OrderedMutex::new(ranks::STORE_MEM, "memstore.blobs", HashMap::new()),
+        }
     }
 }
 

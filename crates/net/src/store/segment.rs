@@ -88,7 +88,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use stdchk_util::ordlock::OrderedMutex;
+
+use crate::ranks;
 
 use stdchk_proto::ids::ChunkId;
 use stdchk_util::crc32::Crc32;
@@ -193,7 +195,7 @@ struct Shared {
 /// [`GroupCommit`] core (`crate::log`); this struct adds the store's own
 /// index state.
 struct Core {
-    shared: Mutex<Shared>,
+    shared: OrderedMutex<Shared>,
     gc: GroupCommit,
 }
 
@@ -205,7 +207,7 @@ pub struct SegmentStore {
     core: Arc<Core>,
     /// Deferred-maintenance mode (see [`ChunkStore::set_deferred_maintenance`]).
     deferred: std::sync::atomic::AtomicBool,
-    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    flusher: OrderedMutex<Option<std::thread::JoinHandle<()>>>,
     /// Exclusive claim on the directory, released on drop.
     _dir_lock: DirLock,
 }
@@ -373,7 +375,7 @@ impl SegmentStore {
 
         let core = Arc::new(Core {
             gc: GroupCommit::new(shared.appended),
-            shared: Mutex::new(shared),
+            shared: OrderedMutex::new(ranks::STORE_SHARED, "segment.shared", shared),
         });
         let flusher = if cfg.sync {
             let core2 = Arc::clone(&core);
@@ -406,7 +408,7 @@ impl SegmentStore {
             cfg,
             core,
             deferred: std::sync::atomic::AtomicBool::new(false),
-            flusher: Mutex::new(flusher),
+            flusher: OrderedMutex::new(ranks::STORE_FLUSHER, "segment.flusher", flusher),
             _dir_lock: dir_lock,
         };
         // A crash (or an old layout) may have left mostly-dead sealed
@@ -541,6 +543,7 @@ impl SegmentStore {
             return Err(e);
         }
         let added = (header.len() + payload.len()) as u64;
+        // stdchk-allow(no-unwrap-on-hot-paths): `seg` was read from shared.active under this same guard; rotate inserts the entry before publishing the id
         let s = shared.segs.get_mut(&seg).expect("active segment exists");
         s.total += added;
         shared.active_len += added;
@@ -578,7 +581,7 @@ impl SegmentStore {
         while off < file_len {
             let mut header = [0u8; HEADER];
             src.read_exact_at(&mut header, off)?;
-            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let len = crate::log::le_u32(&header, 0);
             let kind = header[4];
             let size = record_size(len);
             let mut id = [0u8; 32];
@@ -608,6 +611,7 @@ impl SegmentStore {
                             len,
                         },
                     );
+                    // stdchk-allow(no-unwrap-on-hot-paths): compaction/recovery just inserted or re-read this segment id under the same shared guard
                     let s = shared.segs.get_mut(&seg).expect("active segment exists");
                     s.live += size;
                 }
@@ -704,6 +708,7 @@ impl SegmentStore {
                 len: payload.len() as u32,
             },
         );
+        // stdchk-allow(no-unwrap-on-hot-paths): compaction/recovery just inserted or re-read this segment id under the same shared guard
         let s = shared.segs.get_mut(&seg).expect("active segment exists");
         s.live += record_size(payload.len() as u32);
         if let Some(old) = old {
@@ -802,10 +807,10 @@ impl ChunkStore for SegmentStore {
         // the optional io_uring submission lane (`STDCHK_IO_URING`).
         let mut buf = vec![0u8; HEADER + loc.len as usize];
         crate::uring::read_exact_at(&file, &mut buf, loc.off)?;
-        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let len = crate::log::le_u32(&buf, 0);
         let header_ok = len == loc.len && buf[4] == KIND_PUT && buf[5..37] == *id.as_bytes();
         let crc_ok = !self.cfg.verify_reads || {
-            let stored = u32::from_le_bytes(buf[37..41].try_into().unwrap());
+            let stored = crate::log::le_u32(&buf, 37);
             let mut crc = Crc32::new();
             crc.update(&buf[..37]);
             crc.update(&buf[HEADER..]);
@@ -844,7 +849,7 @@ impl ChunkStore for SegmentStore {
         if file.read_exact_at(&mut hdr, loc.off).is_err() {
             return None;
         }
-        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let len = crate::log::le_u32(&hdr, 0);
         if !(len == loc.len && hdr[4] == KIND_PUT && hdr[5..37] == *id.as_bytes()) {
             return None; // let `get` surface the corruption as an error
         }

@@ -143,6 +143,11 @@ struct Map {
 
 impl Map {
     fn new(fd: i32, len: usize, off: i64) -> io::Result<Map> {
+        // SAFETY: a fresh MAP_SHARED mapping at a kernel-chosen address
+        // (addr null) over a ring fd the caller owns; the kernel
+        // validates len/off against the ring geometry and MAP_FAILED is
+        // checked below. The mapping's lifetime is Map's (munmap on
+        // Drop), and no safe API hands out the raw pointer.
         let ptr = unsafe {
             mmap(
                 std::ptr::null_mut(),
@@ -165,6 +170,9 @@ impl Map {
 
 impl Drop for Map {
     fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are exactly the span mmap returned, unmapped
+        // once (Map is never cloned); Ring's pointer fields into the span
+        // die with the Ring that owns this Map.
         unsafe { munmap(self.ptr.cast(), self.len) };
     }
 }
@@ -195,6 +203,10 @@ struct Ring {
 
 impl Drop for Ring {
     fn drop(&mut self) {
+        // SAFETY: no memory crosses the boundary; the ring fd is owned by
+        // exactly this Ring and closed exactly once. The mmaps (which
+        // keep the rings alive kernel-side) are unmapped by the Map
+        // drops that follow.
         unsafe { close(self.fd) };
     }
 }
@@ -202,6 +214,8 @@ impl Drop for Ring {
 impl Ring {
     fn setup() -> io::Result<Ring> {
         let mut p = UringParams::default();
+        // SAFETY: `p` is a live, zeroed #[repr(C)] UringParams the
+        // kernel fills; the raw return (fd or -errno) is checked below.
         let fd = unsafe { syscall(SYS_IO_URING_SETUP, ENTRIES, &mut p as *mut UringParams) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -227,6 +241,12 @@ impl Ring {
                 IORING_OFF_SQES,
             )?;
             let cq_base = cq.as_ref().unwrap_or(&sq).ptr;
+            // SAFETY: every offset comes from the params struct the
+            // kernel just filled for these mappings, so each `add` lands
+            // inside the corresponding Map span; the pointers are stored
+            // alongside the Maps that keep them alive, and the
+            // single-threaded owner (`thread_local`) means the two
+            // mask/array reads here cannot race a submission.
             unsafe {
                 Ok(Ring {
                     fd,
@@ -244,6 +264,8 @@ impl Ring {
             }
         })();
         if res.is_err() {
+            // SAFETY: the fd is owned and not yet wrapped in a Ring (whose
+            // Drop would close it); closing here is the only release.
             unsafe { close(fd) };
         }
         res
@@ -252,6 +274,11 @@ impl Ring {
     /// Submits one SQE and blocks until its CQE arrives, returning the raw
     /// `res` (a byte count, or `-errno`).
     fn submit_and_wait(&self, sqe: Sqe) -> io::Result<i32> {
+        // SAFETY: the ring is thread-local, so this thread is the only
+        // submitter: the masked slot the tail points at is free (depth-1
+        // usage — every submit waits for its completion before
+        // returning), and the Release store publishes the filled SQE to
+        // the kernel's Acquire of the tail.
         unsafe {
             let tail = (*self.sq_tail).load(Ordering::Relaxed);
             let idx = tail & self.sq_mask;
@@ -260,6 +287,9 @@ impl Ring {
             (*self.sq_tail).store(tail.wrapping_add(1), Ordering::Release);
         }
         loop {
+            // SAFETY: plain syscall on the owned ring fd; no userspace
+            // memory is passed (null sigset). Kernel reads the SQE through
+            // the shared mapping published above.
             let r = unsafe {
                 syscall(
                     SYS_IO_URING_ENTER,
@@ -280,10 +310,18 @@ impl Ring {
             }
         }
         loop {
-            let head = unsafe { (*self.cq_head).load(Ordering::Relaxed) };
-            let tail = unsafe { (*self.cq_tail).load(Ordering::Acquire) };
+            // SAFETY: both pointers aim at kernel-maintained u32 counters
+            // inside the live CQ mapping; the Acquire on the tail orders
+            // the CQE read below after the kernel's Release of it.
+            let (head, tail) = unsafe {
+                (
+                    (*self.cq_head).load(Ordering::Relaxed),
+                    (*self.cq_tail).load(Ordering::Acquire),
+                )
+            };
             if head == tail {
                 // Spurious enter return (signal after submit); wait again.
+                // SAFETY: as above — owned ring fd, no userspace memory.
                 let r = unsafe {
                     syscall(
                         SYS_IO_URING_ENTER,
@@ -303,8 +341,15 @@ impl Ring {
                 }
                 continue;
             }
-            let cqe = unsafe { *self.cqes.add((head & self.cq_mask) as usize) };
-            unsafe { (*self.cq_head).store(head.wrapping_add(1), Ordering::Release) };
+            // SAFETY: head != tail, so the masked CQE slot holds an entry
+            // the kernel published before its tail Release; Cqe is plain
+            // old data. The head store (Release) then returns the slot to
+            // the kernel.
+            let cqe = unsafe {
+                let cqe = *self.cqes.add((head & self.cq_mask) as usize);
+                (*self.cq_head).store(head.wrapping_add(1), Ordering::Release);
+                cqe
+            };
             return Ok(cqe.res);
         }
     }

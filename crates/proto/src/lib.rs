@@ -19,6 +19,8 @@
 //! its own layout, unknown tags fail loudly, and the format can evolve by
 //! adding tags.
 
+#![forbid(unsafe_code)]
+
 pub mod chunkmap;
 pub mod codec;
 pub mod error;

@@ -33,6 +33,8 @@
 //! assert!(oab > 80e6, "sliding window should near GigE speed: {oab}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod churn;
 pub mod cluster;

@@ -12,6 +12,9 @@
 //! - [`time`]: nanosecond-precision [`Time`]/[`Dur`] newtypes shared by the
 //!   sans-IO protocol core and the discrete-event simulator.
 //! - [`rate`]: a token-bucket rate limiter.
+//! - [`ordlock`]: rank-ordered mutexes whose debug builds panic at the
+//!   moment of a lock-order inversion, turning potential deadlocks into
+//!   deterministic test failures.
 //! - [`bytesize`]: human-readable byte/throughput formatting for benchmark
 //!   harness output.
 //!
@@ -26,6 +29,7 @@
 
 pub mod bytesize;
 pub mod crc32;
+pub mod ordlock;
 pub mod rate;
 pub mod rolling;
 pub mod sha256;

@@ -1,0 +1,386 @@
+//! Rank-ordered mutexes: deadlock detection as a debug-build panic.
+//!
+//! Two deadlocks in this project's history (the client route-lock
+//! dial-failover hang, the zero-copy offer-window wedge) shared one
+//! shape: two threads acquiring the same pair of locks in opposite
+//! orders, found late because nothing *enforced* an order. An
+//! [`OrderedMutex`] carries a static *rank*; every thread keeps a
+//! (debug-build) stack of the ranks it currently holds, and acquiring a
+//! lock whose rank is not strictly greater than every held rank panics
+//! immediately — turning a once-in-a-bench production hang into a unit
+//! test failure at the first wrong acquisition, on any interleaving.
+//!
+//! Discipline: a thread may only acquire locks in **strictly
+//! increasing** rank order. Two locks of equal rank therefore cannot
+//! nest (sequential, non-overlapping acquisition is fine). The rank
+//! table itself lives with the locks' owner (for the network stack, see
+//! `stdchk-net`'s `ranks` module).
+//!
+//! Semantics (matching the vendored `parking_lot` shape this replaces):
+//!
+//! - `lock()` returns the guard directly; poisoning is dissolved (a
+//!   panic while holding a lock does not wedge later users — subsystems
+//!   that cannot tolerate a half-applied mutation carry their own sticky
+//!   poison flags, like the log engine's `GroupCommit`).
+//! - [`Condvar::wait`]/[`Condvar::wait_for`] re-acquire through a
+//!   `&mut` guard. The rank stays on the waiter's held stack for the
+//!   duration of the wait: the thread still *logically* owns the slot
+//!   (it re-acquires before returning), and a blocked thread acquires
+//!   nothing anyway, so keeping the entry cannot produce false cycles.
+//! - `try_lock()` skips the order check — it never blocks, so it can
+//!   never complete a cycle — but its rank is still pushed while held,
+//!   so later blocking acquisitions are checked against it.
+//!
+//! Release-build cost: one `#[cfg]`'d-out field per guard; the lock
+//! compiles down to a plain `std::sync::Mutex`.
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+#[cfg(debug_assertions)]
+mod held {
+    //! The per-thread held-rank stack (debug builds only).
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        /// Ranks this thread currently holds: `(rank, entry id, name)`.
+        static STACK: RefCell<Vec<(u16, u64, &'static str)>> = const { RefCell::new(Vec::new()) };
+        /// Entry-id source: guards can be dropped out of acquisition
+        /// order (that is legal), so releases erase by id, not by pop.
+        static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Records an acquisition; panics on rank inversion when `check`.
+    pub fn acquire(rank: u16, name: &'static str, check: bool) -> u64 {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if check {
+                if let Some(&(held_rank, _, held_name)) = stack.iter().find(|&&(r, _, _)| r >= rank)
+                {
+                    panic!(
+                        "lock rank inversion: acquiring `{name}` (rank {rank}) while holding \
+                         `{held_name}` (rank {held_rank}); ranks must strictly increase \
+                         (held: {:?})",
+                        stack.iter().map(|&(r, _, n)| (n, r)).collect::<Vec<_>>()
+                    );
+                }
+            }
+            let id = NEXT_ID.with(|n| {
+                let id = n.get();
+                n.set(id + 1);
+                id
+            });
+            stack.push((rank, id, name));
+            id
+        })
+    }
+
+    /// Erases entry `id` (guards may drop in any order).
+    pub fn release(id: u64) {
+        // `let _ = ...` instead of unwrap: thread-local storage may
+        // already be torn down when guards drop during thread exit.
+        let _ = STACK.try_with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(_, i, _)| i == id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// A mutex with a static acquisition rank (see the module docs).
+pub struct OrderedMutex<T> {
+    rank: u16,
+    name: &'static str,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Creates a mutex named `name` at acquisition rank `rank`,
+    /// protecting `value`.
+    pub const fn new(rank: u16, name: &'static str, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            rank,
+            name,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// This lock's rank.
+    pub fn rank(&self) -> u16 {
+        self.rank
+    }
+
+    /// This lock's name (used in inversion panics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if this thread already holds a lock of equal
+    /// or greater rank (a lock-order violation: some other thread could
+    /// legally acquire the same pair in the opposite order and deadlock).
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let entry = held::acquire(self.rank, self.name, true);
+        OrderedGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(debug_assertions)]
+            entry,
+        }
+    }
+
+    /// Tries to acquire without blocking. Exempt from the order check
+    /// (a non-blocking acquisition can never complete a wait cycle),
+    /// but the held rank is recorded for later checks.
+    pub fn try_lock(&self) -> Option<OrderedGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let entry = held::acquire(self.rank, self.name, false);
+        Some(OrderedGuard {
+            inner: Some(inner),
+            #[cfg(debug_assertions)]
+            entry,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`OrderedMutex::lock`].
+///
+/// The inner `Option` is an implementation detail of [`Condvar`]: a wait
+/// takes the `std` guard out, parks, and puts the re-acquired guard
+/// back. It is `Some` at every point user code can observe.
+pub struct OrderedGuard<'a, T> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    entry: u64,
+}
+
+impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present outside wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside wait")
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        held::release(self.entry);
+    }
+}
+
+/// Result of a timed [`Condvar::wait_for`].
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable paired with [`OrderedMutex`], parking_lot-style:
+/// waits take `&mut` guard and re-establish it in place.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Blocks until notified, releasing the lock while waiting. The
+    /// lock's rank stays on this thread's held stack for the duration
+    /// (see the module docs).
+    pub fn wait<T>(&self, guard: &mut OrderedGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let g = self.0.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut OrderedGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present outside wait");
+        let (g, r) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(r.timed_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = OrderedMutex::new(10, "m", 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn increasing_rank_acquisition_is_fine() {
+        let low = OrderedMutex::new(10, "low", ());
+        let high = OrderedMutex::new(20, "high", ());
+        let _a = low.lock();
+        let _b = high.lock();
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_are_fine() {
+        let a = OrderedMutex::new(10, "a", ());
+        let b = OrderedMutex::new(20, "b", ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga);
+        drop(gb);
+        // The stack is clean: a fresh low-rank acquisition must pass.
+        let _ = a.lock();
+    }
+
+    #[test]
+    fn sequential_same_rank_is_fine() {
+        let a = OrderedMutex::new(10, "a", ());
+        let b = OrderedMutex::new(10, "b", ());
+        drop(a.lock());
+        drop(b.lock());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank inversion"))]
+    fn rank_inversion_panics_in_debug() {
+        let low = OrderedMutex::new(10, "low", ());
+        let high = OrderedMutex::new(20, "high", ());
+        let _b = high.lock();
+        let _a = low.lock();
+        // Release builds compile the check out; make the test fail its
+        // `should_panic` expectation only where the teeth exist.
+        #[cfg(not(debug_assertions))]
+        panic!("lock rank inversion checks are debug-only");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank inversion"))]
+    fn same_rank_nesting_panics_in_debug() {
+        let a = OrderedMutex::new(10, "a", ());
+        let b = OrderedMutex::new(10, "b", ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+        #[cfg(not(debug_assertions))]
+        panic!("lock rank inversion checks are debug-only");
+    }
+
+    #[test]
+    fn try_lock_skips_the_order_check_but_records_the_rank() {
+        let low = OrderedMutex::new(10, "low", ());
+        let high = OrderedMutex::new(20, "high", ());
+        let _b = high.lock();
+        // Non-blocking: allowed even though the order is wrong.
+        let _a = low.try_lock().expect("uncontended");
+        // ...but `low` is now on the stack, so a blocking acquisition
+        // ranked at or under 10 must still trip in debug builds.
+        #[cfg(debug_assertions)]
+        {
+            let c = OrderedMutex::new(5, "c", ());
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = c.lock();
+            }));
+            assert!(r.is_err(), "rank recorded by try_lock must be checked");
+        }
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((OrderedMutex::new(10, "gate", false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = OrderedMutex::new(10, "m", ());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn guard_usable_after_wait() {
+        let m = OrderedMutex::new(10, "m", 7);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let _ = cv.wait_for(&mut g, Duration::from_millis(1));
+        *g += 1;
+        assert_eq!(*g, 8);
+    }
+}

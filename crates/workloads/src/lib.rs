@@ -25,6 +25,8 @@
 //! gigabyte-scale experiments (Figure 7, Table 5) run without allocating
 //! data.
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod traces;
 pub mod virt;
